@@ -1,0 +1,231 @@
+package gosoma_test
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// executes the same full-stack simulated run the somabench command uses and
+// reports the experiment's headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` regenerates the paper's results end to end.
+//
+// The Scaling B bench truncates the sweep at 128 nodes to keep bench time
+// bounded; `somabench fig11` runs the full 64-512 sweep.
+
+import (
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/experiments"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/tau"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+func BenchmarkTable1OpenFOAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(); r.Body == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2DDMD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(); r.Body == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig4Scaling runs the overloaded OpenFOAM workflow (80 tasks, 10+1
+// nodes) and reports the 20→82-rank speedup and the 82→164 tail gain.
+func BenchmarkFig4Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunOpenFOAM(experiments.OverloadOpenFOAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byRanks := run.ByRanks()
+		m20 := stats.Mean(byRanks[20])
+		m82 := stats.Mean(byRanks[82])
+		m164 := stats.Mean(byRanks[164])
+		b.ReportMetric(m20/m82, "speedup_20_to_82")
+		b.ReportMetric(m82/m164, "speedup_82_to_164")
+		run.Close()
+	}
+}
+
+// BenchmarkFig5TauProfile runs the tuning workflow with the TAU plugin and
+// reports the MPI_Recv+MPI_Waitall share of total task time.
+func BenchmarkFig5TauProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunOpenFOAM(experiments.TuningOpenFOAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		profs, err := run.Analysis.TAUProfiles()
+		if err != nil {
+			b.Fatal(err)
+		}
+		totals := tau.FunctionTotals(profs)
+		all := 0.0
+		for _, v := range totals {
+			all += v
+		}
+		b.ReportMetric((totals["MPI_Recv"]+totals["MPI_Waitall"])/all*100, "recv+waitall_%")
+		run.Close()
+	}
+}
+
+// BenchmarkFig6Placement reports the packed-vs-spread gain of 20-rank tasks.
+func BenchmarkFig6Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunOpenFOAM(experiments.OverloadOpenFOAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bySpan := run.BySpan(20)
+		var packed, spread []float64
+		for span, ts := range bySpan {
+			if span == 1 {
+				packed = append(packed, ts...)
+			} else {
+				spread = append(spread, ts...)
+			}
+		}
+		if len(packed) > 0 && len(spread) > 0 {
+			b.ReportMetric(stats.Mean(packed)/stats.Mean(spread), "spread_gain_20rank")
+		}
+		run.Close()
+	}
+}
+
+// BenchmarkFig7CPUUtil reports the per-node utilization sample count and
+// peak of the tuning run's hardware namespace.
+func BenchmarkFig7CPUUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunOpenFOAM(experiments.TuningOpenFOAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak, samples := 0.0, 0
+		for _, h := range run.Hosts {
+			series, err := run.Analysis.CPUUtilSeries(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples += len(series)
+			for _, p := range series {
+				if p.Util > peak {
+					peak = p.Util
+				}
+			}
+		}
+		b.ReportMetric(float64(samples), "hw_samples")
+		b.ReportMetric(peak, "peak_util_%")
+		run.Close()
+	}
+}
+
+// BenchmarkFig8Utilization reports the overload run's overall core
+// utilization, the quantity Fig. 8's white space depicts.
+func BenchmarkFig8Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunOpenFOAM(experiments.OverloadOpenFOAM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(run.Timeline.Utilization(run.Makespan)*100, "core_util_%")
+		run.Close()
+	}
+}
+
+// BenchmarkFig9DDMDTuning reports the mean CPU utilization across the six
+// tuning phases — the "remains low" observation.
+func BenchmarkFig9DDMDTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunDDMD(experiments.TuningDDMD())
+		if err != nil {
+			b.Fatal(err)
+		}
+		util, err := run.Analysis.MeanClusterUtil()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(util, "mean_cpu_util_%")
+		run.Close()
+	}
+}
+
+// BenchmarkFig10ScalingA runs the six Scaling A configurations and reports
+// the shared-vs-exclusive median gap at the 1:1 ratio.
+func BenchmarkFig10ScalingA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sharedMed, exclMed float64
+		for _, cfg := range experiments.ScalingAConfigs() {
+			run, err := experiments.RunDDMD(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := stats.Summarize(run.PipelineTimes)
+			if cfg.RanksPerNamespace == 64 {
+				if cfg.Mode == experiments.ModeShared {
+					sharedMed = s.Median
+				} else {
+					exclMed = s.Median
+				}
+			}
+			run.Close()
+		}
+		if sharedMed > 0 {
+			b.ReportMetric((exclMed-sharedMed)/exclMed*100, "shared_gain_%")
+		}
+	}
+}
+
+// BenchmarkFig11ScalingB runs the Scaling B sweep to 128 nodes and reports
+// the frequent-exclusive overhead at each scale.
+func BenchmarkFig11ScalingB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig11(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode == experiments.ModeExclusive && r.IntervalSec == 10 {
+				switch r.AppNodes {
+				case 64:
+					b.ReportMetric(r.OverheadPct, "freq_excl_overhead_64n_%")
+				case 128:
+					b.ReportMetric(r.OverheadPct, "freq_excl_overhead_128n_%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAdaptiveAnalysis runs the four-phase adaptive study and reports
+// the training-stage speedup from phase 1 (1 task) to phase 4 (6 tasks).
+func BenchmarkAdaptiveAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.AdaptiveDDMD()
+		advisor := core.NewAdvisor()
+		suggestions := 0
+		cfg.PhaseHook = func(phase int, analysis core.Analysis) {
+			util, err := analysis.MeanClusterUtil()
+			if err != nil {
+				return
+			}
+			if advisor.SuggestTrainTasks(cfg.PerPhaseTrainTasks[phase], util,
+				cfg.FreeGPUsOnSomaNodes()) > cfg.PerPhaseTrainTasks[phase] {
+				suggestions++
+			}
+		}
+		run, err := experiments.RunDDMD(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr1 := stats.Mean(run.StageTimes[0][workload.StageTraining])
+		tr4 := stats.Mean(run.StageTimes[3][workload.StageTraining])
+		b.ReportMetric(tr1/tr4, "train_speedup_1_to_6_tasks")
+		b.ReportMetric(float64(suggestions), "fanout_suggestions")
+		run.Close()
+	}
+}

@@ -1,0 +1,122 @@
+// Command somabench regenerates every table and figure of the paper's
+// evaluation from the simulated full-stack reproduction.
+//
+// Usage:
+//
+//	somabench -list
+//	somabench all
+//	somabench table1 fig4 fig11
+//	somabench -max-nodes 128 fig11     # truncate the Scaling B sweep
+//
+// Each experiment runs the complete pipeline — pilot runtime, SOMA service
+// over RPC, monitor daemons, workload models — in simulated time and prints
+// the same rows/series the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/experiments"
+)
+
+type expEntry struct {
+	id    string
+	about string
+	run   func(maxNodes int) (experiments.Report, error)
+}
+
+func registry() []expEntry {
+	wrap := func(f func() (experiments.Report, error)) func(int) (experiments.Report, error) {
+		return func(int) (experiments.Report, error) { return f() }
+	}
+	return []expEntry{
+		{"table1", "OpenFOAM experiment summary",
+			func(int) (experiments.Report, error) { return experiments.Table1(), nil }},
+		{"table2", "DeepDriveMD mini-app experiment summary",
+			func(int) (experiments.Report, error) { return experiments.Table2(), nil }},
+		{"fig4", "OpenFOAM strong scaling", wrap(experiments.Fig4)},
+		{"fig5", "TAU per-rank MPI times", wrap(experiments.Fig5)},
+		{"fig6", "execution time vs node placement", wrap(experiments.Fig6)},
+		{"fig7", "per-node CPU utilization timeline", wrap(experiments.Fig7)},
+		{"fig8", "RP resource utilization timelines", wrap(experiments.Fig8)},
+		{"fig9", "DDMD tuning: CPU utilization vs cores", wrap(experiments.Fig9)},
+		{"fig10", "Scaling A: SOMA rank ratios", wrap(experiments.Fig10)},
+		{"fig11", "Scaling B: monitoring overhead at 64-512 nodes",
+			experiments.Fig11},
+		{"adaptive", "between-phase SOMA analysis", wrap(experiments.AdaptiveReport)},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	maxNodes := flag.Int("max-nodes", 0, "truncate the Scaling B sweep (0 = full 512)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: somabench [-list] [-max-nodes N] <experiment>... | all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	entries := registry()
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-9s %s\n", e.id, e.about)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range entries {
+				want[e.id] = true
+			}
+			continue
+		}
+		want[strings.ToLower(a)] = true
+	}
+	known := map[string]bool{}
+	for _, e := range entries {
+		known[e.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "somabench: unknown experiment(s): %s (try -list)\n",
+			strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, e := range entries {
+		if !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := e.run(*maxNodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somabench: %s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command somactl is the operator's client for a running SOMA service
+// (cmd/somad or any embedded service): publish, query, stats and shutdown
+// from the command line.
+//
+// Usage:
+//
+//	somactl -addr tcp://127.0.0.1:9900 stats
+//	somactl -addr ... query workflow RP/summary
+//	somactl -addr ... publish application 'FOM/task.000001/rate/12.5' 1.82e9
+//	somactl -addr ... shutdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: somactl -addr <address> <command> [args]
+
+commands:
+  stats                           per-instance statistics
+  query <namespace> [path]        print the merged subtree
+  select <namespace> <pattern>    glob over leaf paths (* = segment, ** = tail)
+  publish <namespace> <path> <v>  publish one float leaf at path
+  reset <namespace>               discard a namespace's stored data
+  shutdown                        ask the service to stop
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "", "service address (tcp://host:port)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if *addr == "" || len(args) == 0 {
+		usage()
+	}
+
+	client, err := core.Connect(*addr, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "stats":
+		stats, err := client.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		for _, ns := range core.Namespaces {
+			st, ok := stats[ns]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-12s ranks=%d publishes=%d leaves=%d bytes_in=%d last=%.3f\n",
+				ns, st.Ranks, st.Publishes, st.Leaves, st.BytesIn, st.LastTime)
+		}
+		// Shared-instance services report under "shared".
+		if st, ok := stats["shared"]; ok {
+			fmt.Printf("%-12s ranks=%d publishes=%d leaves=%d bytes_in=%d\n",
+				"shared", st.Ranks, st.Publishes, st.Leaves, st.BytesIn)
+		}
+	case "query":
+		if len(args) < 2 {
+			usage()
+		}
+		path := ""
+		if len(args) >= 3 {
+			path = args[2]
+		}
+		tree, err := client.Query(core.Namespace(args[1]), path)
+		if err != nil {
+			fatal(err)
+		}
+		if tree.IsEmpty() && tree.NumChildren() == 0 {
+			fmt.Println("(empty)")
+			return
+		}
+		fmt.Print(tree.Format())
+	case "select":
+		if len(args) != 3 {
+			usage()
+		}
+		matches, err := client.Select(core.Namespace(args[1]), args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if len(matches) == 0 {
+			fmt.Println("(no matches)")
+			return
+		}
+		for _, m := range matches {
+			if m.HasValue {
+				fmt.Printf("%s = %g\n", m.Path, m.Value)
+			} else {
+				fmt.Println(m.Path)
+			}
+		}
+	case "reset":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := client.Reset(core.Namespace(args[1])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "publish":
+		if len(args) != 4 {
+			usage()
+		}
+		v, err := strconv.ParseFloat(args[3], 64)
+		if err != nil {
+			fatal(fmt.Errorf("value %q: %w", args[3], err))
+		}
+		n := conduit.NewNode()
+		n.SetFloat(args[2], v)
+		if err := client.Publish(core.Namespace(args[1]), n); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "shutdown":
+		if err := client.Shutdown(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("shutdown requested")
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "somactl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command somad runs a standalone SOMA service over TCP — the form the
+// service takes when deployed as a long-running service task on dedicated
+// nodes. Clients connect with core.Connect(addr) and use the four-namespace
+// monitoring API (publish/query/stats/shutdown).
+//
+// Usage:
+//
+//	somad -listen tcp://0.0.0.0:9900 -ranks 4
+//
+// The concrete address is printed on stdout (the service "makes its RPC
+// address publicly known within the workflow"); the process exits when a
+// client sends the shutdown RPC or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp://127.0.0.1:0", "address to listen on (tcp://host:port or inproc://name)")
+	ranks := flag.Int("ranks", 1, "SOMA service ranks per namespace instance")
+	shared := flag.Bool("shared", false, "use one shared instance instead of one per namespace")
+	statsEvery := flag.Duration("stats-every", 0, "periodically log instance statistics (0 = off)")
+	dump := flag.String("dump", "", "write a JSON snapshot of all namespaces to this file on shutdown (post-mortem analysis)")
+	flag.Parse()
+
+	svc := core.NewService(core.ServiceConfig{
+		RanksPerNamespace: *ranks,
+		Shared:            *shared,
+	})
+	addr, err := svc.Listen(*listen)
+	if err != nil {
+		log.Fatalf("somad: %v", err)
+	}
+	fmt.Println(addr) // the published RPC address
+	log.Printf("somad: serving %d rank(s) per namespace at %s", *ranks, addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	poll := time.NewTicker(200 * time.Millisecond)
+	defer poll.Stop()
+	shutdown := func(reason string) {
+		log.Printf("somad: %s, shutting down", reason)
+		if *dump != "" {
+			snap, err := svc.Snapshot()
+			if err == nil {
+				err = snap.WriteFile(*dump)
+			}
+			if err != nil {
+				log.Printf("somad: snapshot failed: %v", err)
+			} else {
+				log.Printf("somad: snapshot written to %s", *dump)
+			}
+		}
+		svc.Close()
+	}
+	for {
+		select {
+		case sig := <-sigc:
+			shutdown(sig.String())
+			return
+		case <-tick:
+			for _, st := range svc.Stats() {
+				log.Printf("somad: ns=%-12s publishes=%d leaves=%d bytes_in=%d",
+					st.Namespace, st.Publishes, st.Leaves, st.BytesIn)
+			}
+		case <-poll.C:
+			if svc.Stopped() {
+				shutdown("shutdown RPC received")
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command somatop is a live terminal view of a running SOMA service: it
+// polls the service at an interval and renders the workflow summary, task
+// throughput, per-node CPU utilization, and per-instance service counters —
+// the operator's window into a monitored workflow.
+//
+// Usage:
+//
+//	somatop -addr tcp://127.0.0.1:9900 -interval 1s
+//	somatop -addr ... -once                # single snapshot, no loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "", "service address (tcp://host:port)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: somatop -addr tcp://host:port [-interval 2s] [-once]")
+		os.Exit(2)
+	}
+
+	client, err := core.Connect(*addr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "somatop:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	analysis := core.Analysis{Q: client}
+
+	for {
+		var sb strings.Builder
+		render(&sb, *addr, client, analysis)
+		if !*once {
+			// Clear screen between refreshes.
+			fmt.Print("\033[H\033[2J")
+		}
+		fmt.Print(sb.String())
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func render(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis) {
+	fmt.Fprintf(sb, "SOMA %s — %s\n\n", addr, time.Now().Format(time.TimeOnly))
+
+	if series, err := analysis.WorkflowSeries(); err == nil && len(series) > 0 {
+		last := series[len(series)-1]
+		fmt.Fprintf(sb, "workflow   pending=%d running=%d done=%d failed=%d canceled=%d (%d snapshots)\n",
+			last.Pending, last.Running, last.Done, last.Failed, last.Canceled, len(series))
+		if tp, err := analysis.Throughput(); err == nil && tp > 0 {
+			fmt.Fprintf(sb, "throughput %.3f tasks/s\n", tp)
+		}
+		if qw, err := analysis.QueueWaitStats(); err == nil && qw.N > 0 {
+			fmt.Fprintf(sb, "queue wait mean=%.1fs max=%.1fs (n=%d)\n", qw.Mean, qw.Max, qw.N)
+		}
+	} else {
+		fmt.Fprintln(sb, "workflow   (no data)")
+	}
+
+	if hosts, err := analysis.Hosts(); err == nil && len(hosts) > 0 {
+		fmt.Fprintf(sb, "\nhardware   %d node(s):\n", len(hosts))
+		shown := hosts
+		if len(shown) > 12 {
+			shown = shown[:12]
+		}
+		for _, h := range shown {
+			if series, err := analysis.CPUUtilSeries(h); err == nil && len(series) > 0 {
+				last := series[len(series)-1]
+				bar := int(last.Util / 100 * 30)
+				fmt.Fprintf(sb, "  %-10s [%-30s] %5.1f%%\n",
+					h, strings.Repeat("|", bar), last.Util)
+			}
+		}
+		if len(hosts) > len(shown) {
+			fmt.Fprintf(sb, "  ... and %d more\n", len(hosts)-len(shown))
+		}
+	}
+
+	if stats, err := client.Stats(); err == nil {
+		fmt.Fprintln(sb, "\nservice instances:")
+		for _, ns := range core.Namespaces {
+			if st, ok := stats[ns]; ok {
+				fmt.Fprintf(sb, "  %-12s ranks=%-3d publishes=%-8d leaves=%-9d bytes_in=%d\n",
+					ns, st.Ranks, st.Publishes, st.Leaves, st.BytesIn)
+			}
+		}
+	}
+}

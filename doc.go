@@ -1,0 +1,12 @@
+// Package gosoma is a from-scratch Go reproduction of "Enabling Performance
+// Observability for Heterogeneous HPC Workflows with SOMA" (ICPP 2024):
+// the SOMA service-based observability framework integrated with a
+// RADICAL-Pilot-style workflow runtime, together with every substrate the
+// paper depends on and a harness that regenerates every table and figure of
+// its evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable entry points are cmd/somabench (regenerate the paper's tables
+// and figures), cmd/somad (a standalone SOMA service over TCP), cmd/wfrun
+// (a live monitored workflow on this machine), and the examples/ programs.
+package gosoma

@@ -1,0 +1,177 @@
+// DeepDriveMD mini-app phases under EnTK with between-phase SOMA analysis.
+//
+// Four phases of the simulate → train → select → infer workflow run as one
+// EnTK pipeline on a monitored pilot. After each phase, the SOMA advisor
+// inspects the hardware namespace: the GPU-bound stages leave allocated CPU
+// cores idle, so it recommends fanning training out across the free GPUs —
+// the paper's adaptive-execution loop.
+//
+//	go run ./examples/ddmd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/entk"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+func main() {
+	const (
+		appNodes = 2
+		phases   = 4
+	)
+	eng := des.NewEngine()
+	rng := stats.NewRNG(9)
+	model := workload.DefaultDDMD()
+
+	cluster := platform.NewCluster(appNodes+1, platform.Summit())
+	sess := pilot.NewSession(eng, platform.NewBatchSystem(cluster))
+	pl, err := sess.SubmitPilot(pilot.PilotDescription{Nodes: appNodes + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent := pl.Agent
+	somaNode := pl.Allocation.Nodes[appNodes]
+
+	// SOMA service task on the extra node + monitors.
+	svc := core.NewService(core.ServiceConfig{RanksPerNamespace: 1, Clock: eng})
+	addr, err := svc.Listen("inproc://ddmd-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := core.Connect(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := agent.Submit(pilot.TaskDescription{
+		Name: "soma.service", Service: true, Ranks: 2,
+		PinNode: somaNode.Name, CPUActivity: 0.3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rpm, err := core.NewRPMonitor(core.RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopRP := rpm.Start()
+	var stopHW []func()
+	for i := 0; i < appNodes; i++ {
+		hwm, err := core.NewHWMonitor(core.HWMonitorConfig{
+			Runtime: eng,
+			Source:  procfs.NewSampler(procfs.NewSyntheticSource(pl.Allocation.Nodes[i], eng, uint64(i))),
+			Pub:     client, IntervalSec: 60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopHW = append(stopHW, hwm.Start())
+	}
+
+	// Build one pipeline of n phases; each phase is the four DDMD stages.
+	// The advisor's suggestion is applied to the NEXT phase's training
+	// stage — adaptive execution across phases.
+	analysis := core.Analysis{Q: core.LocalQuerier{Service: svc}}
+	advisor := core.NewAdvisor()
+	trainTasks := 1
+	p := &entk.Pipeline{Name: "ddmd"}
+
+	mkPhase := func(phase int) {
+		for _, stage := range []workload.DDMDStage{
+			workload.StageSimulation, workload.StageTraining,
+			workload.StageSelection, workload.StageAgent,
+		} {
+			stage := stage
+			phase := phase
+			s := &entk.Stage{Name: fmt.Sprintf("phase%d:%s", phase+1, stage)}
+			count := model.TaskCount(stage, trainTasks)
+			if stage == workload.StageTraining {
+				// Late binding: the task list for training is rebuilt when
+				// the stage is reached, using the advisor-updated count.
+				count = -1
+			}
+			gpus := 0
+			if model.UsesGPU(stage) {
+				gpus = 1
+			}
+			build := func(n int) []pilot.TaskDescription {
+				var tds []pilot.TaskDescription
+				for k := 0; k < n; k++ {
+					tt := trainTasks
+					tds = append(tds, pilot.TaskDescription{
+						Name: fmt.Sprintf("ph%d.%s.%d", phase+1, stage, k), Ranks: 1,
+						CoresPerRank: 3, GPUsPerRank: gpus,
+						CPUActivity: model.CPUActivity(stage),
+						Duration: func(pilot.ExecContext) float64 {
+							return model.StageTime(stage, 3, tt, rng)
+						},
+					})
+				}
+				return tds
+			}
+			if count > 0 {
+				s.Tasks = build(count)
+			} else {
+				s.Tasks = build(trainTasks)
+			}
+			if stage == workload.StageAgent {
+				s.PostExec = func(*entk.Stage, []*pilot.Task) {
+					util, err := analysis.MeanClusterUtil()
+					if err != nil {
+						return
+					}
+					freeGPUs := somaNode.Spec.GPUs // SOMA node GPUs sit idle
+					next := advisor.SuggestTrainTasks(trainTasks, util, freeGPUs)
+					fmt.Printf("phase %d done: CPU util %.1f%%, %d free GPUs → advisor: train with %d tasks\n",
+						phase+1, util, freeGPUs, next)
+					if phase+1 < phases {
+						trainTasks = next
+						// Rebuild the NEXT phase's training stage with the
+						// new fan-out (its tasks are built lazily below).
+						trainStage := p.Stages[(phase+1)*4+1]
+						trainStage.Tasks = build(trainTasks)
+					}
+				}
+			}
+			p.AddStage(s)
+		}
+	}
+	for ph := 0; ph < phases; ph++ {
+		mkPhase(ph)
+	}
+
+	am := entk.NewAppManager(sess, pl)
+	am.OnAllDone(func() {
+		agent.StopServices()
+		stopRP()
+		for _, s := range stopHW {
+			s()
+		}
+	})
+	if err := am.Run([]*entk.Pipeline{p}); err != nil {
+		log.Fatal(err)
+	}
+	makespan := eng.Run()
+
+	fmt.Printf("\n%d phases finished in %d simulated seconds\n", phases, int(makespan))
+	for ph := 0; ph < phases; ph++ {
+		trainStage := p.Stages[ph*4+1]
+		var times []float64
+		for _, t := range trainStage.Results() {
+			times = append(times, t.ExecTime())
+		}
+		fmt.Printf("phase %d training: %d task(s), stage mean %.0f s\n",
+			ph+1, len(times), stats.Mean(times))
+	}
+}

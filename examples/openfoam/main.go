@@ -1,0 +1,189 @@
+// OpenFOAM-style monitored ensemble, wired explicitly from the public API.
+//
+// This example builds what internal/experiments automates: a pilot on a
+// Summit-shaped allocation, a SOMA service task scheduled before the
+// application, the RP monitor and per-node hardware monitors, the TAU
+// plugin, and a strong-scaling ensemble of MPI tasks. It runs in simulated
+// time (a 10-node, ~45-minute workflow finishes in well under a second) and
+// then answers the paper's questions from the SOMA data alone.
+//
+//	go run ./examples/openfoam
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/tau"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+func main() {
+	const (
+		appNodes  = 4
+		instances = 3 // instances per rank configuration
+	)
+	rankConfigs := []int{20, 41, 82, 164}
+
+	eng := des.NewEngine() // simulated time; use des.NewRealRuntime() for wall time
+	rng := stats.NewRNG(7)
+	model := workload.DefaultOpenFOAM()
+
+	// Platform + pilot: appNodes for simulation, one extra node for RP+SOMA.
+	cluster := platform.NewCluster(appNodes+1, platform.Summit())
+	sess := pilot.NewSession(eng, platform.NewBatchSystem(cluster))
+	pl, err := sess.SubmitPilot(pilot.PilotDescription{Nodes: appNodes + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent := pl.Agent
+	somaNode := pl.Allocation.Nodes[appNodes]
+
+	// SOMA service + client stub over the in-process transport.
+	svc := core.NewService(core.ServiceConfig{RanksPerNamespace: 1, Clock: eng})
+	addr, err := svc.Listen("inproc://openfoam-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := core.Connect(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Service tasks first: the SOMA service pinned to its node, then one
+	// hardware-monitor client per application node (each on a reserved
+	// core), exactly the Fig. 2 layout.
+	mustSubmit := func(td pilot.TaskDescription) {
+		if _, err := agent.Submit(td); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustSubmit(pilot.TaskDescription{
+		Name: "soma.service", Service: true, Ranks: 4, PinNode: somaNode.Name,
+		CPUActivity: 0.3,
+	})
+	for i := 0; i < appNodes; i++ {
+		mustSubmit(pilot.TaskDescription{
+			Name: "soma.hwmonitor", Service: true, Ranks: 1,
+			PinNode: pl.Allocation.Nodes[i].Name, CPUActivity: 0.05,
+		})
+	}
+
+	// Collector daemons: RP monitor (workflow namespace) and hardware
+	// monitors (hardware namespace), sampling every 30 simulated seconds.
+	rpm, err := core.NewRPMonitor(core.RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopRP := rpm.Start()
+	var stopHW []func()
+	for i := 0; i < appNodes; i++ {
+		hwm, err := core.NewHWMonitor(core.HWMonitorConfig{
+			Runtime: eng,
+			Source:  procfs.NewSampler(procfs.NewSyntheticSource(pl.Allocation.Nodes[i], eng, uint64(i))),
+			Pub:     client, IntervalSec: 30,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopHW = append(stopHW, hwm.Start())
+	}
+
+	// TAU plugin publishing per-rank profiles on task completion.
+	plugin := tau.NewPlugin(func(n *conduit.Node) error {
+		return client.Publish(core.NSPerformance, n)
+	})
+
+	// The ensemble: instances × rank configurations of the melt-pool model.
+	for _, ranks := range rankConfigs {
+		for i := 0; i < instances; i++ {
+			ranks := ranks
+			mustSubmit(pilot.TaskDescription{
+				Name:  fmt.Sprintf("additivefoam.r%d.i%d", ranks, i),
+				Ranks: ranks,
+				Duration: func(ctx pilot.ExecContext) float64 {
+					return model.ExecTime(ranks, workload.Placement{
+						NodesSpanned: ctx.Placement.NodesSpanned(),
+						Contention:   ctx.Placement.Contention,
+						OwnDensity:   ctx.Placement.OwnDensity,
+					}, rng)
+				},
+				OnComplete: func(t *pilot.Task) {
+					if et := t.ExecTime(); et > 0 {
+						hosts := t.Placement().NodeNames()
+						var profs []tau.Profile
+						for j, rp := range model.RankBreakdown(ranks, et, rng) {
+							profs = append(profs, tau.Profile{
+								TaskUID: t.UID, Host: hosts[j*len(hosts)/ranks],
+								Rank: rp.Rank, Seconds: rp.Times,
+							})
+						}
+						_ = plugin.Report(profs)
+					}
+				},
+			})
+		}
+	}
+
+	agent.OnQuiescent(func() {
+		agent.StopServices()
+		stopRP()
+		for _, s := range stopHW {
+			s()
+		}
+	})
+	makespan := eng.Run()
+	fmt.Printf("workflow finished: %d simulated seconds (%.0f min)\n\n", int(makespan), makespan/60)
+
+	// Analysis — all answers come out of the SOMA service.
+	analysis := core.Analysis{Q: core.LocalQuerier{Service: svc}}
+	execTimes, err := analysis.ExecTimes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Attribute exec times to rank configs via the TAU profiles' rank
+	// counts — the performance namespace carries the task identifier.
+	byRanks := map[int][]float64{}
+	profs, _ := analysis.TAUProfiles()
+	ranksOf := map[string]int{}
+	for _, p := range profs {
+		if p.Rank+1 > ranksOf[p.TaskUID] {
+			ranksOf[p.TaskUID] = p.Rank + 1
+		}
+	}
+	for uid, et := range execTimes {
+		if r := ranksOf[uid]; r > 0 {
+			byRanks[r] = append(byRanks[r], et)
+		}
+	}
+	fmt.Println("strong scaling observed through SOMA:")
+	var sorted []int
+	for r := range byRanks {
+		sorted = append(sorted, r)
+	}
+	sort.Ints(sorted)
+	means := map[int]float64{}
+	for _, r := range sorted {
+		means[r] = stats.Mean(byRanks[r])
+		fmt.Printf("  %3d ranks: mean %6.1f s over %d instances\n", r, means[r], len(byRanks[r]))
+	}
+	fmt.Printf("advisor suggests %d ranks per task for the next run\n",
+		core.NewAdvisor().SuggestRanks(means))
+
+	tp, _ := analysis.Throughput()
+	fmt.Printf("workflow throughput: %.3f tasks/s\n", tp)
+	util, _ := analysis.MeanClusterUtil()
+	fmt.Printf("final mean node CPU utilization: %.1f%%\n", util)
+}

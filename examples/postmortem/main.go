@@ -1,0 +1,121 @@
+// Post-mortem analysis: online monitoring, offline answers.
+//
+// The paper argues online observability replaces the traditional
+// post-mortem workflow — but operators still archive runs. This example
+// shows both ends: a monitored workflow runs to completion, the SOMA
+// service state is exported to a JSON snapshot on disk, and the *same*
+// Analysis API then answers questions from the file alone, long after the
+// service is gone.
+//
+//	go run ./examples/postmortem
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+func main() {
+	snapPath := filepath.Join(os.TempDir(), "gosoma-postmortem.json")
+
+	// --- Phase 1: a monitored workflow (simulated time). ---
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(2, platform.Summit())
+	agent, err := pilot.NewAgent(pilot.AgentConfig{Runtime: eng, Nodes: cluster.Nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := core.NewService(core.ServiceConfig{Clock: eng})
+	addr, err := svc.Listen("inproc://postmortem-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.Connect(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rpm, err := core.NewRPMonitor(core.RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopRP := rpm.Start()
+	hwm, err := core.NewHWMonitor(core.HWMonitorConfig{
+		Runtime: eng,
+		Source:  procfs.NewSampler(procfs.NewSyntheticSource(cluster.Nodes[0], eng, 3)),
+		Pub:     client, IntervalSec: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopHW := hwm.Start()
+
+	agent.Start()
+	for i := 0; i < 6; i++ {
+		dur := 60 + 20*float64(i)
+		if _, err := agent.Submit(pilot.TaskDescription{
+			Ranks:    14,
+			Duration: func(pilot.ExecContext) float64 { return dur },
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	agent.OnQuiescent(func() { stopRP(); stopHW() })
+	makespan := eng.Run()
+
+	// Export and shut everything down — the "run is over" moment.
+	snap, err := svc.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := snap.WriteFile(snapPath); err != nil {
+		log.Fatal(err)
+	}
+	client.Close()
+	svc.Close()
+	fi, _ := os.Stat(snapPath)
+	fmt.Printf("workflow finished at t=%.0fs; snapshot: %s (%d bytes)\n\n",
+		makespan, snapPath, fi.Size())
+
+	// --- Phase 2: offline analysis from the file alone. ---
+	loaded, err := core.ReadSnapshot(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis := core.Analysis{Q: loaded}
+
+	uids, err := analysis.TaskUIDs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: %d tasks in the archived workflow namespace\n", len(uids))
+	var execTimes []float64
+	for _, uid := range uids {
+		if et, err := analysis.ExecTime(uid); err == nil {
+			execTimes = append(execTimes, et)
+		}
+	}
+	s := stats.Summarize(execTimes)
+	fmt.Printf("offline: execution times %s\n", s)
+	if qw, err := analysis.QueueWaitStats(); err == nil && qw.N > 0 {
+		fmt.Printf("offline: queue waits mean %.1fs, max %.1fs\n", qw.Mean, qw.Max)
+	}
+	if imb, err := analysis.UtilImbalance(0, 0); err == nil {
+		fmt.Printf("offline: cross-node utilization imbalance (stddev) %.1f pp\n", imb)
+	}
+	series, err := analysis.CPUUtilSeries("cn0000")
+	if err == nil {
+		fmt.Printf("offline: %d archived hardware samples for cn0000\n", len(series))
+	}
+	_ = os.Remove(snapPath)
+}

@@ -1,0 +1,102 @@
+// Quickstart: the smallest complete SOMA round trip.
+//
+// It starts a SOMA service over real TCP, connects a client stub, publishes
+// monitoring data into two namespaces — an application-reported figure of
+// merit (the paper's "scientific rate-of-progress") and a hardware sample
+// from this machine's /proc — then queries everything back and prints the
+// service-side statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/procfs"
+)
+
+func main() {
+	// 1. Start the service. In a real deployment this is the long-running
+	// SOMA service task on dedicated nodes (see cmd/somad); here it lives
+	// in-process but speaks real TCP.
+	svc := core.NewService(core.ServiceConfig{RanksPerNamespace: 1})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Println("SOMA service at", addr)
+
+	// 2. Connect a client stub — this is what runs inside an instrumented
+	// application or monitor daemon.
+	client, err := core.Connect(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// 3. Report application figures of merit through the instrumentation
+	// API: a molecular-dynamics task self-reporting its scientific
+	// rate-of-progress, attributed to its workflow task UID.
+	clock := des.NewRealClock()
+	reporter, err := core.NewAppReporter(client, clock, "task.000042")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		if err := reporter.Report("atom_timesteps", float64(step)*1.82e9); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Arbitrary hierarchical data works too.
+	extra := conduit.NewNode()
+	extra.SetInt("md/config/atoms", 2_500_000)
+	if err := client.Publish(core.NSApplication, extra); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Publish one real hardware sample from this machine's /proc, the
+	// Listing 2 data model.
+	if src, err := procfs.NewRealSource("", des.NewRealClock()); err == nil {
+		sample, err := src.Sample()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Publish(core.NSHardware, sample.ToConduit()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published /proc sample for host %s (%d processes, %d MB free)\n",
+			sample.Host, sample.NumProcesses, sample.AvailableRAMMB)
+	}
+
+	// 5. Query it back through the same RPC API — including the derived
+	// rate of progress.
+	analysis := core.Analysis{Q: client}
+	series, err := analysis.FOMSeries("task.000042", "atom_timesteps")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("figure-of-merit series: %d observations\n", len(series))
+	if rate, err := analysis.FOMRate("task.000042", "atom_timesteps"); err == nil {
+		fmt.Printf("scientific rate of progress: %.3g atom-timesteps/s\n", rate)
+	}
+	back, err := client.Query(core.NSApplication, "md")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("application namespace extras:\n", back.Format())
+
+	// 6. Service-side statistics, one instance per namespace.
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ns := range core.Namespaces {
+		st := stats[ns]
+		fmt.Printf("instance %-12s publishes=%d leaves=%d\n", ns, st.Publishes, st.Leaves)
+	}
+}

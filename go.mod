@@ -1,0 +1,3 @@
+module github.com/hpcobs/gosoma
+
+go 1.22

@@ -1,0 +1,370 @@
+package conduit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary wire format (little endian throughout):
+//
+//	node    := kind(u8) payload
+//	object  := count(uvarint) { name(str) node }*
+//	int     := zigzag varint
+//	float   := u64 (IEEE 754 bits)
+//	string  := str
+//	bool    := u8
+//	i-array := count(uvarint) { zigzag varint }*
+//	f-array := count(uvarint) { u64 }*
+//	str     := len(uvarint) bytes
+//
+// The format is self-describing and versioned by a 4-byte magic header so a
+// SOMA service can reject frames from incompatible clients.
+
+var binMagic = [4]byte{'C', 'D', 'T', 1}
+
+// Common codec errors.
+var (
+	ErrBadMagic  = errors.New("conduit: bad magic header")
+	ErrTruncated = errors.New("conduit: truncated input")
+)
+
+// maxDecodeItems bounds per-node child and array counts so a corrupt or
+// hostile frame cannot force a huge allocation before the data is read.
+const maxDecodeItems = 1 << 24
+
+// EncodeBinary serializes the subtree to the compact binary wire format used
+// for RPC transport between SOMA clients and service instances.
+func (n *Node) EncodeBinary() []byte {
+	buf := make([]byte, 0, 64+n.NumLeaves()*16)
+	buf = append(buf, binMagic[:]...)
+	return n.encodeBinary(buf)
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:k]...)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutVarint(tmp[:], v)
+	return append(buf, tmp[:k]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	return append(buf, tmp[:]...)
+}
+
+func (n *Node) encodeBinary(buf []byte) []byte {
+	buf = append(buf, byte(n.kind))
+	switch n.kind {
+	case KindEmpty:
+	case KindObject:
+		buf = appendUvarint(buf, uint64(len(n.order)))
+		for _, name := range n.order {
+			buf = appendString(buf, name)
+			buf = n.children[name].encodeBinary(buf)
+		}
+	case KindInt:
+		buf = appendVarint(buf, n.i)
+	case KindFloat:
+		buf = appendFloat(buf, n.f)
+	case KindString:
+		buf = appendString(buf, n.s)
+	case KindBool:
+		if n.b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindIntArray:
+		buf = appendUvarint(buf, uint64(len(n.ia)))
+		for _, v := range n.ia {
+			buf = appendVarint(buf, v)
+		}
+	case KindFloatArray:
+		buf = appendUvarint(buf, uint64(len(n.fa)))
+		for _, v := range n.fa {
+			buf = appendFloat(buf, v)
+		}
+	}
+	return buf
+}
+
+type binReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *binReader) u8() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, ErrTruncated
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, k := binary.Uvarint(r.data[r.pos:])
+	if k <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += k
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, k := binary.Varint(r.data[r.pos:])
+	if k <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += k
+	return v, nil
+}
+
+func (r *binReader) str() (string, error) {
+	ln, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.data)-r.pos) < ln {
+		return "", ErrTruncated
+	}
+	s := string(r.data[r.pos : r.pos+int(ln)])
+	r.pos += int(ln)
+	return s, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	if len(r.data)-r.pos < 8 {
+		return 0, ErrTruncated
+	}
+	bits := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+// DecodeBinary parses a frame produced by EncodeBinary.
+func DecodeBinary(data []byte) (*Node, error) {
+	if len(data) < 4 || data[0] != binMagic[0] || data[1] != binMagic[1] ||
+		data[2] != binMagic[2] || data[3] != binMagic[3] {
+		return nil, ErrBadMagic
+	}
+	r := &binReader{data: data, pos: 4}
+	n, err := decodeNode(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("conduit: %d trailing bytes", len(data)-r.pos)
+	}
+	return n, nil
+}
+
+// maxDepth bounds recursion so a malicious frame cannot blow the stack.
+const maxDepth = 512
+
+func decodeNode(r *binReader, depth int) (*Node, error) {
+	if depth > maxDepth {
+		return nil, errors.New("conduit: tree too deep")
+	}
+	kb, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{kind: Kind(kb)}
+	switch n.kind {
+	case KindEmpty:
+	case KindObject:
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxDecodeItems {
+			return nil, fmt.Errorf("conduit: child count %d too large", count)
+		}
+		if count > 0 {
+			n.children = make(map[string]*Node, count)
+			n.order = make([]string, 0, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			name, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			c, err := decodeNode(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := n.children[name]; !dup {
+				n.order = append(n.order, name)
+			}
+			n.children[name] = c
+		}
+	case KindInt:
+		if n.i, err = r.varint(); err != nil {
+			return nil, err
+		}
+	case KindFloat:
+		if n.f, err = r.f64(); err != nil {
+			return nil, err
+		}
+	case KindString:
+		if n.s, err = r.str(); err != nil {
+			return nil, err
+		}
+	case KindBool:
+		b, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		n.b = b != 0
+	case KindIntArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxDecodeItems {
+			return nil, fmt.Errorf("conduit: array count %d too large", count)
+		}
+		n.ia = make([]int64, count)
+		for i := range n.ia {
+			if n.ia[i], err = r.varint(); err != nil {
+				return nil, err
+			}
+		}
+	case KindFloatArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxDecodeItems {
+			return nil, fmt.Errorf("conduit: array count %d too large", count)
+		}
+		n.fa = make([]float64, count)
+		for i := range n.fa {
+			if n.fa[i], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("conduit: unknown kind %d", kb)
+	}
+	return n, nil
+}
+
+// jsonValue converts the subtree into the natural encoding/json value shape:
+// objects become map-with-order-lost, leaves become scalars/slices. Used by
+// MarshalJSON; the binary codec is authoritative for transport.
+func (n *Node) jsonValue() interface{} {
+	switch n.kind {
+	case KindObject:
+		m := make(map[string]interface{}, len(n.children))
+		for name, c := range n.children {
+			m[name] = c.jsonValue()
+		}
+		return m
+	case KindEmpty:
+		return nil
+	default:
+		return n.Value()
+	}
+}
+
+// MarshalJSON renders the subtree as plain JSON (objects/scalars/arrays).
+// Child insertion order is not preserved; use EncodeBinary when order
+// matters.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	return json.Marshal(n.jsonValue())
+}
+
+// UnmarshalJSON parses plain JSON into the node. JSON numbers become floats
+// unless they are integral, in which case they become int64 leaves.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var v interface{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return err
+	}
+	*n = Node{}
+	return n.fromJSONValue(v)
+}
+
+func (n *Node) fromJSONValue(v interface{}) error {
+	switch x := v.(type) {
+	case nil:
+		n.kind = KindEmpty
+	case map[string]interface{}:
+		n.kind = KindObject
+		for name, cv := range x {
+			c := n.ensureChild(name)
+			if err := c.fromJSONValue(cv); err != nil {
+				return err
+			}
+		}
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			n.setLeaf(KindInt)
+			n.i = i
+			return nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return err
+		}
+		n.setLeaf(KindFloat)
+		n.f = f
+	case string:
+		n.setLeaf(KindString)
+		n.s = x
+	case bool:
+		n.setLeaf(KindBool)
+		n.b = x
+	case []interface{}:
+		// Arrays decode as float arrays unless every element is integral.
+		allInt := true
+		for _, e := range x {
+			num, ok := e.(json.Number)
+			if !ok {
+				return fmt.Errorf("conduit: unsupported JSON array element %T", e)
+			}
+			if _, err := num.Int64(); err != nil {
+				allInt = false
+			}
+		}
+		if allInt {
+			n.setLeaf(KindIntArray)
+			n.ia = make([]int64, len(x))
+			for i, e := range x {
+				n.ia[i], _ = e.(json.Number).Int64()
+			}
+		} else {
+			n.setLeaf(KindFloatArray)
+			n.fa = make([]float64, len(x))
+			for i, e := range x {
+				f, err := e.(json.Number).Float64()
+				if err != nil {
+					return err
+				}
+				n.fa[i] = f
+			}
+		}
+	default:
+		return fmt.Errorf("conduit: unsupported JSON value %T", v)
+	}
+	return nil
+}

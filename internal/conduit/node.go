@@ -1,0 +1,532 @@
+// Package conduit implements a hierarchical, schema-free data model in the
+// spirit of LLNL's Conduit library, which the SOMA paper uses to represent
+// all monitoring data. A Node is an ordered tree: interior nodes hold named
+// children, leaf nodes hold a typed scalar or array value. Paths use '/' as
+// the separator, exactly like Conduit's fetch paths, so the layouts shown in
+// the paper (Listings 1 and 2) translate one to one:
+//
+//	n := conduit.NewNode()
+//	n.SetString("RP/task.000000/1698435412.6060030", "launch_start")
+//	n.SetInt("PROC/cn4302/3824813742052238/Uptime", 49902)
+//
+// Nodes are not safe for concurrent mutation; callers that share a Node
+// across goroutines must synchronize externally (the SOMA service does).
+package conduit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies what a Node holds.
+type Kind uint8
+
+// Node kinds. An Object node has named children; every other kind is a leaf.
+const (
+	KindEmpty Kind = iota
+	KindObject
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindIntArray
+	KindFloatArray
+)
+
+var kindNames = [...]string{
+	KindEmpty:      "empty",
+	KindObject:     "object",
+	KindInt:        "int64",
+	KindFloat:      "float64",
+	KindString:     "string",
+	KindBool:       "bool",
+	KindIntArray:   "int64_array",
+	KindFloatArray: "float64_array",
+}
+
+// String returns the Conduit-style dtype name for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Node is one vertex of the hierarchy. The zero value is an empty node.
+type Node struct {
+	kind Kind
+
+	i int64
+	f float64
+	s string
+	b bool
+	// ia and fa are stored by reference; callers that need isolation should
+	// pass copies (Set*Array copies by default, see below).
+	ia []int64
+	fa []float64
+
+	children map[string]*Node
+	// order preserves insertion order of children, which matters for
+	// deterministic serialization and for timeline-like layouts where the
+	// child names are timestamps appended in order.
+	order []string
+}
+
+// NewNode returns an empty node ready for use.
+func NewNode() *Node { return &Node{} }
+
+// Kind reports what the node currently holds.
+func (n *Node) Kind() Kind { return n.kind }
+
+// IsLeaf reports whether the node holds a value rather than children.
+func (n *Node) IsLeaf() bool { return n.kind != KindObject && n.kind != KindEmpty }
+
+// IsEmpty reports whether the node holds nothing at all.
+func (n *Node) IsEmpty() bool { return n.kind == KindEmpty }
+
+// NumChildren returns the number of direct children.
+func (n *Node) NumChildren() int { return len(n.order) }
+
+// ChildNames returns the direct child names in insertion order. The returned
+// slice is a copy.
+func (n *Node) ChildNames() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// reset clears any held value but keeps children intact only when the node
+// is already an object.
+func (n *Node) setLeaf(k Kind) {
+	n.kind = k
+	n.children = nil
+	n.order = nil
+}
+
+// Child returns the direct child with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[name]
+}
+
+// ensureChild returns the direct child with the given name, creating it (and
+// converting n into an object node) when absent.
+func (n *Node) ensureChild(name string) *Node {
+	if n.kind != KindObject {
+		// Overwrite any leaf value: assigning children to a leaf converts it,
+		// mirroring Conduit's behaviour of re-shaping on assignment.
+		n.kind = KindObject
+		n.i, n.f, n.s, n.b, n.ia, n.fa = 0, 0, "", false, nil, nil
+	}
+	if n.children == nil {
+		n.children = make(map[string]*Node)
+	}
+	c, ok := n.children[name]
+	if !ok {
+		c = &Node{}
+		n.children[name] = c
+		n.order = append(n.order, name)
+	}
+	return c
+}
+
+// splitPath splits a '/'-separated path, dropping empty segments so that
+// "a//b/" means "a/b".
+func splitPath(path string) []string {
+	raw := strings.Split(path, "/")
+	segs := raw[:0]
+	for _, s := range raw {
+		if s != "" {
+			segs = append(segs, s)
+		}
+	}
+	return segs
+}
+
+// Fetch returns the node at path, creating intermediate object nodes as
+// needed. Fetch with an empty path returns n itself.
+func (n *Node) Fetch(path string) *Node {
+	cur := n
+	for _, seg := range splitPath(path) {
+		cur = cur.ensureChild(seg)
+	}
+	return cur
+}
+
+// Get returns the node at path without creating anything; ok is false when
+// any path segment is missing.
+func (n *Node) Get(path string) (node *Node, ok bool) {
+	cur := n
+	for _, seg := range splitPath(path) {
+		cur = cur.Child(seg)
+		if cur == nil {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// Has reports whether a node exists at path.
+func (n *Node) Has(path string) bool {
+	_, ok := n.Get(path)
+	return ok
+}
+
+// Remove deletes the child subtree at path. It reports whether anything was
+// removed.
+func (n *Node) Remove(path string) bool {
+	segs := splitPath(path)
+	if len(segs) == 0 {
+		return false
+	}
+	parent := n
+	for _, seg := range segs[:len(segs)-1] {
+		parent = parent.Child(seg)
+		if parent == nil {
+			return false
+		}
+	}
+	name := segs[len(segs)-1]
+	if parent.children == nil {
+		return false
+	}
+	if _, ok := parent.children[name]; !ok {
+		return false
+	}
+	delete(parent.children, name)
+	for i, nm := range parent.order {
+		if nm == name {
+			parent.order = append(parent.order[:i], parent.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// SetInt stores an int64 leaf at path.
+func (n *Node) SetInt(path string, v int64) {
+	c := n.Fetch(path)
+	c.setLeaf(KindInt)
+	c.i = v
+}
+
+// SetFloat stores a float64 leaf at path.
+func (n *Node) SetFloat(path string, v float64) {
+	c := n.Fetch(path)
+	c.setLeaf(KindFloat)
+	c.f = v
+}
+
+// SetString stores a string leaf at path.
+func (n *Node) SetString(path, v string) {
+	c := n.Fetch(path)
+	c.setLeaf(KindString)
+	c.s = v
+}
+
+// SetBool stores a bool leaf at path.
+func (n *Node) SetBool(path string, v bool) {
+	c := n.Fetch(path)
+	c.setLeaf(KindBool)
+	c.b = v
+}
+
+// SetIntArray stores a copy of v as an int64 array leaf at path.
+func (n *Node) SetIntArray(path string, v []int64) {
+	c := n.Fetch(path)
+	c.setLeaf(KindIntArray)
+	c.ia = append([]int64(nil), v...)
+}
+
+// SetFloatArray stores a copy of v as a float64 array leaf at path.
+func (n *Node) SetFloatArray(path string, v []float64) {
+	c := n.Fetch(path)
+	c.setLeaf(KindFloatArray)
+	c.fa = append([]float64(nil), v...)
+}
+
+// Int returns the int64 at path. Float leaves are truncated. ok is false
+// when the path is missing or holds a non-numeric leaf.
+func (n *Node) Int(path string) (v int64, ok bool) {
+	c, ok := n.Get(path)
+	if !ok {
+		return 0, false
+	}
+	switch c.kind {
+	case KindInt:
+		return c.i, true
+	case KindFloat:
+		return int64(c.f), true
+	default:
+		return 0, false
+	}
+}
+
+// Float returns the float64 at path, converting int leaves.
+func (n *Node) Float(path string) (v float64, ok bool) {
+	c, ok := n.Get(path)
+	if !ok {
+		return 0, false
+	}
+	switch c.kind {
+	case KindFloat:
+		return c.f, true
+	case KindInt:
+		return float64(c.i), true
+	default:
+		return 0, false
+	}
+}
+
+// String returns the string at path.
+func (n *Node) StringVal(path string) (v string, ok bool) {
+	c, ok := n.Get(path)
+	if !ok || c.kind != KindString {
+		return "", false
+	}
+	return c.s, true
+}
+
+// Bool returns the bool at path.
+func (n *Node) Bool(path string) (v bool, ok bool) {
+	c, ok := n.Get(path)
+	if !ok || c.kind != KindBool {
+		return false, false
+	}
+	return c.b, true
+}
+
+// IntArray returns the int64 array stored at path. The returned slice is the
+// node's backing array; treat it as read-only.
+func (n *Node) IntArray(path string) (v []int64, ok bool) {
+	c, ok := n.Get(path)
+	if !ok || c.kind != KindIntArray {
+		return nil, false
+	}
+	return c.ia, true
+}
+
+// FloatArray returns the float64 array stored at path; read-only.
+func (n *Node) FloatArray(path string) (v []float64, ok bool) {
+	c, ok := n.Get(path)
+	if !ok || c.kind != KindFloatArray {
+		return nil, false
+	}
+	return c.fa, true
+}
+
+// Value returns the leaf value as an interface{} (nil for object/empty).
+func (n *Node) Value() interface{} {
+	switch n.kind {
+	case KindInt:
+		return n.i
+	case KindFloat:
+		return n.f
+	case KindString:
+		return n.s
+	case KindBool:
+		return n.b
+	case KindIntArray:
+		return n.ia
+	case KindFloatArray:
+		return n.fa
+	default:
+		return nil
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	out := &Node{kind: n.kind, i: n.i, f: n.f, s: n.s, b: n.b}
+	if n.ia != nil {
+		out.ia = append([]int64(nil), n.ia...)
+	}
+	if n.fa != nil {
+		out.fa = append([]float64(nil), n.fa...)
+	}
+	if n.children != nil {
+		out.children = make(map[string]*Node, len(n.children))
+		out.order = append([]string(nil), n.order...)
+		for name, c := range n.children {
+			out.children[name] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Merge copies every leaf of src into n, overwriting leaves that collide and
+// creating intermediate objects as needed. Children unique to n survive.
+// This is how the SOMA service combines updates arriving for the same
+// namespace collection.
+func (n *Node) Merge(src *Node) {
+	if src == nil {
+		return
+	}
+	if src.kind != KindObject {
+		if src.kind != KindEmpty {
+			n.setLeaf(src.kind)
+			n.i, n.f, n.s, n.b = src.i, src.f, src.s, src.b
+			n.ia = append([]int64(nil), src.ia...)
+			n.fa = append([]float64(nil), src.fa...)
+		}
+		return
+	}
+	for _, name := range src.order {
+		n.ensureChild(name).Merge(src.children[name])
+	}
+}
+
+// Walk visits every leaf in depth-first insertion order, calling fn with the
+// '/'-joined path from n and the leaf node. Returning false from fn stops
+// the walk early.
+func (n *Node) Walk(fn func(path string, leaf *Node) bool) {
+	n.walk("", fn)
+}
+
+func (n *Node) walk(prefix string, fn func(string, *Node) bool) bool {
+	if n.kind != KindObject {
+		if n.kind == KindEmpty && prefix == "" {
+			return true
+		}
+		return fn(prefix, n)
+	}
+	for _, name := range n.order {
+		p := name
+		if prefix != "" {
+			p = prefix + "/" + name
+		}
+		if !n.children[name].walk(p, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaves returns the paths of every leaf under n in insertion order.
+func (n *Node) Leaves() []string {
+	var out []string
+	n.Walk(func(path string, _ *Node) bool {
+		out = append(out, path)
+		return true
+	})
+	return out
+}
+
+// NumLeaves counts the leaves under n.
+func (n *Node) NumLeaves() int {
+	c := 0
+	n.Walk(func(string, *Node) bool { c++; return true })
+	return c
+}
+
+// Equal reports whether two subtrees hold the same structure and values.
+// Child order is ignored: two objects are equal when they have the same
+// name→subtree mapping.
+func (n *Node) Equal(other *Node) bool {
+	if n == nil || other == nil {
+		return n == other
+	}
+	if n.kind != other.kind {
+		return false
+	}
+	switch n.kind {
+	case KindObject:
+		if len(n.children) != len(other.children) {
+			return false
+		}
+		for name, c := range n.children {
+			oc, ok := other.children[name]
+			if !ok || !c.Equal(oc) {
+				return false
+			}
+		}
+		return true
+	case KindInt:
+		return n.i == other.i
+	case KindFloat:
+		return n.f == other.f
+	case KindString:
+		return n.s == other.s
+	case KindBool:
+		return n.b == other.b
+	case KindIntArray:
+		if len(n.ia) != len(other.ia) {
+			return false
+		}
+		for i := range n.ia {
+			if n.ia[i] != other.ia[i] {
+				return false
+			}
+		}
+		return true
+	case KindFloatArray:
+		if len(n.fa) != len(other.fa) {
+			return false
+		}
+		for i := range n.fa {
+			if n.fa[i] != other.fa[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Diff returns the leaf paths at which n and other disagree (missing on
+// either side or different values), sorted lexically. Useful in tests and in
+// the service's deduplication path.
+func (n *Node) Diff(other *Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	n.Walk(func(path string, leaf *Node) bool {
+		o, ok := other.Get(path)
+		if !ok || !leaf.Equal(o) {
+			out = append(out, path)
+		}
+		seen[path] = true
+		return true
+	})
+	other.Walk(func(path string, _ *Node) bool {
+		if !seen[path] {
+			out = append(out, path)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Format renders the subtree as an indented, YAML-like listing matching the
+// style of the paper's Listings 1 and 2. Intended for logs and examples.
+func (n *Node) Format() string {
+	var sb strings.Builder
+	n.format(&sb, 0, "")
+	return sb.String()
+}
+
+func (n *Node) format(sb *strings.Builder, depth int, name string) {
+	indent := strings.Repeat("  ", depth)
+	if name != "" {
+		sb.WriteString(indent)
+		sb.WriteString(name)
+		sb.WriteString(":")
+	}
+	switch n.kind {
+	case KindObject:
+		if name != "" {
+			sb.WriteString("\n")
+		}
+		for _, cn := range n.order {
+			n.children[cn].format(sb, depth+1, cn)
+		}
+	case KindEmpty:
+		sb.WriteString(" ~\n")
+	default:
+		fmt.Fprintf(sb, " %v\n", n.Value())
+	}
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/tau"
+)
+
+// Querier is the inbound half of the SOMA API the analysis layer needs.
+// *Client implements it over RPC; LocalQuerier implements it in-process.
+type Querier interface {
+	Query(ns Namespace, path string) (*conduit.Node, error)
+}
+
+// LocalQuerier queries a service directly.
+type LocalQuerier struct{ Service *Service }
+
+// Query delegates to the service.
+func (lq LocalQuerier) Query(ns Namespace, path string) (*conduit.Node, error) {
+	return lq.Service.Query(ns, path)
+}
+
+// Analysis computes the online metrics the paper derives from SOMA data:
+// workflow state statistics and throughput, per-task execution times,
+// per-node CPU utilization series, task-start markers, and TAU load-balance
+// views. All methods read through a Querier, so they run identically
+// against a remote service (RPC) or a local one.
+type Analysis struct{ Q Querier }
+
+// WorkflowSnapshot is one published summary of workflow state.
+type WorkflowSnapshot struct {
+	Time                                     float64
+	Pending, Running, Done, Failed, Canceled int
+}
+
+// WorkflowSeries returns the published workflow summaries in time order.
+func (a Analysis) WorkflowSeries() ([]WorkflowSnapshot, error) {
+	root, err := a.Q.Query(NSWorkflow, "RP/summary")
+	if err != nil {
+		return nil, err
+	}
+	var out []WorkflowSnapshot
+	for _, tsName := range root.ChildNames() {
+		t, err := strconv.ParseFloat(tsName, 64)
+		if err != nil {
+			continue
+		}
+		sub := root.Child(tsName)
+		snap := WorkflowSnapshot{Time: t}
+		if v, ok := sub.Int("pending"); ok {
+			snap.Pending = int(v)
+		}
+		if v, ok := sub.Int("running"); ok {
+			snap.Running = int(v)
+		}
+		if v, ok := sub.Int("done"); ok {
+			snap.Done = int(v)
+		}
+		if v, ok := sub.Int("failed"); ok {
+			snap.Failed = int(v)
+		}
+		if v, ok := sub.Int("canceled"); ok {
+			snap.Canceled = int(v)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// TimedEvent is one Listing 1 event of one task.
+type TimedEvent struct {
+	Time float64
+	Name string
+}
+
+// TaskEvents returns a task's execution events in time order.
+func (a Analysis) TaskEvents(uid string) ([]TimedEvent, error) {
+	root, err := a.Q.Query(NSWorkflow, "RP/"+uid)
+	if err != nil {
+		return nil, err
+	}
+	var out []TimedEvent
+	for _, tsName := range root.ChildNames() {
+		if tsName == "states" {
+			continue
+		}
+		t, err := strconv.ParseFloat(tsName, 64)
+		if err != nil {
+			continue
+		}
+		if name, ok := root.StringVal(tsName); ok {
+			out = append(out, TimedEvent{Time: t, Name: name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// TaskUIDs lists every task that has published workflow data.
+func (a Analysis) TaskUIDs() ([]string, error) {
+	root, err := a.Q.Query(NSWorkflow, "RP")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range root.ChildNames() {
+		if len(name) >= 5 && name[:5] == "task." {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ExecTime returns a task's rank_start→rank_stop duration from its events.
+func (a Analysis) ExecTime(uid string) (float64, error) {
+	evs, err := a.TaskEvents(uid)
+	if err != nil {
+		return 0, err
+	}
+	var start, stop float64
+	var haveStart, haveStop bool
+	for _, e := range evs {
+		switch e.Name {
+		case pilot.EvRankStart:
+			start, haveStart = e.Time, true
+		case pilot.EvRankStop:
+			stop, haveStop = e.Time, true
+		}
+	}
+	if !haveStart || !haveStop {
+		return 0, fmt.Errorf("soma: task %s has no complete rank interval", uid)
+	}
+	return stop - start, nil
+}
+
+// ExecTimes returns rank_start→rank_stop durations for every complete task.
+func (a Analysis) ExecTimes() (map[string]float64, error) {
+	uids, err := a.TaskUIDs()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, uid := range uids {
+		if et, err := a.ExecTime(uid); err == nil {
+			out[uid] = et
+		}
+	}
+	return out, nil
+}
+
+// TaskStart marks a task's execution start — the orange dots of Fig. 7.
+type TaskStart struct {
+	UID  string
+	Time float64
+}
+
+// TaskStarts returns every task's exec_start moment, in time order.
+func (a Analysis) TaskStarts() ([]TaskStart, error) {
+	uids, err := a.TaskUIDs()
+	if err != nil {
+		return nil, err
+	}
+	var out []TaskStart
+	for _, uid := range uids {
+		evs, err := a.TaskEvents(uid)
+		if err != nil {
+			continue
+		}
+		for _, e := range evs {
+			if e.Name == pilot.EvExecStart {
+				out = append(out, TaskStart{UID: uid, Time: e.Time})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// Throughput returns completed tasks per second between the first and last
+// workflow summary ("current and average task throughput").
+func (a Analysis) Throughput() (float64, error) {
+	series, err := a.WorkflowSeries()
+	if err != nil {
+		return 0, err
+	}
+	if len(series) < 2 {
+		return 0, nil
+	}
+	first, last := series[0], series[len(series)-1]
+	dt := last.Time - first.Time
+	if dt <= 0 {
+		return 0, nil
+	}
+	return float64(last.Done-first.Done) / dt, nil
+}
+
+// UtilPoint is one CPU utilization observation of one host.
+type UtilPoint struct {
+	Time float64
+	Util float64 // percent
+}
+
+// Hosts lists every node that has published hardware data.
+func (a Analysis) Hosts() ([]string, error) {
+	root, err := a.Q.Query(NSHardware, "PROC")
+	if err != nil {
+		return nil, err
+	}
+	hosts := root.ChildNames()
+	sort.Strings(hosts)
+	return hosts, nil
+}
+
+// CPUUtilSeries returns one host's utilization observations in time order —
+// one colored line of Fig. 7.
+func (a Analysis) CPUUtilSeries(host string) ([]UtilPoint, error) {
+	root, err := a.Q.Query(NSHardware, "PROC/"+host)
+	if err != nil {
+		return nil, err
+	}
+	var out []UtilPoint
+	for _, tsName := range root.ChildNames() {
+		t, err := strconv.ParseFloat(tsName, 64)
+		if err != nil {
+			continue
+		}
+		if util, ok := root.Float(tsName + "/CPU Util"); ok {
+			out = append(out, UtilPoint{Time: t, Util: util})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// UtilImbalance quantifies Fig. 7's "imbalance in the utilization on each
+// node": the standard deviation of per-host mean utilization over the given
+// time window (0 window = all samples). Zero means perfectly balanced.
+func (a Analysis) UtilImbalance(from, to float64) (float64, error) {
+	hosts, err := a.Hosts()
+	if err != nil {
+		return 0, err
+	}
+	var perHost []float64
+	for _, h := range hosts {
+		series, err := a.CPUUtilSeries(h)
+		if err != nil {
+			continue
+		}
+		var vals []float64
+		for _, p := range series {
+			if (from == 0 && to == 0) || (p.Time >= from && p.Time <= to) {
+				vals = append(vals, p.Util)
+			}
+		}
+		if len(vals) > 0 {
+			perHost = append(perHost, stats.Mean(vals))
+		}
+	}
+	if len(perHost) == 0 {
+		return 0, fmt.Errorf("soma: no utilization samples in window [%g, %g]", from, to)
+	}
+	return stats.StdDev(perHost), nil
+}
+
+// MeanClusterUtil averages the latest utilization across all hosts.
+func (a Analysis) MeanClusterUtil() (float64, error) {
+	hosts, err := a.Hosts()
+	if err != nil {
+		return 0, err
+	}
+	var vals []float64
+	for _, h := range hosts {
+		series, err := a.CPUUtilSeries(h)
+		if err != nil || len(series) == 0 {
+			continue
+		}
+		vals = append(vals, series[len(series)-1].Util)
+	}
+	return stats.Mean(vals), nil
+}
+
+// StateDurations returns one task's published per-state dwell times — how
+// long it spent NEW, queued in the agent scheduler, EXECUTING, and so on.
+func (a Analysis) StateDurations(uid string) (map[pilot.State]float64, error) {
+	root, err := a.Q.Query(NSWorkflow, "RP/"+uid+"/state_durations")
+	if err != nil {
+		return nil, err
+	}
+	out := map[pilot.State]float64{}
+	for _, name := range root.ChildNames() {
+		if v, ok := root.Float(name); ok {
+			out[pilot.State(name)] = v
+		}
+	}
+	return out, nil
+}
+
+// QueueWaitStats summarizes how long tasks waited in the agent scheduler
+// (the AGENT_SCHEDULING state) across the workflow — the paper's "status of
+// the pending tasks" signal for adaptive decisions.
+func (a Analysis) QueueWaitStats() (stats.Summary, error) {
+	uids, err := a.TaskUIDs()
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	var waits []float64
+	for _, uid := range uids {
+		d, err := a.StateDurations(uid)
+		if err != nil {
+			continue
+		}
+		if w, ok := d[pilot.StateAgentScheduling]; ok {
+			waits = append(waits, w)
+		}
+	}
+	return stats.Summarize(waits), nil
+}
+
+// TAUProfiles returns every profile published to the performance namespace.
+func (a Analysis) TAUProfiles() ([]tau.Profile, error) {
+	root, err := a.Q.Query(NSPerformance, "")
+	if err != nil {
+		return nil, err
+	}
+	return tau.FromConduit(root), nil
+}
+
+// ---------------------------------------------------------------------------
+// Advisor: turning observations into configuration suggestions — "such
+// information can then be employed to calculate better resource allocation
+// and task configuration" (abstract).
+
+// Advisor derives task-configuration advice from analysis results.
+type Advisor struct {
+	// MarginalGain is the minimum speedup per doubling that justifies a
+	// larger configuration (default 1.25 — below this, scaling further is
+	// "limited benefit").
+	MarginalGain float64
+	// LowUtil is the CPU utilization (percent) under which cores are
+	// considered reclaimable (default 35).
+	LowUtil float64
+}
+
+// NewAdvisor returns an advisor with the default thresholds.
+func NewAdvisor() Advisor { return Advisor{MarginalGain: 1.25, LowUtil: 35} }
+
+// SuggestRanks picks the task size after which scaling stops paying:
+// the largest configuration whose speedup over the previous one is at
+// least MarginalGain. meanTimes maps rank count to mean execution time.
+func (ad Advisor) SuggestRanks(meanTimes map[int]float64) int {
+	if len(meanTimes) == 0 {
+		return 0
+	}
+	ranks := make([]int, 0, len(meanTimes))
+	for r := range meanTimes {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	best := ranks[0]
+	for i := 1; i < len(ranks); i++ {
+		prev, cur := meanTimes[ranks[i-1]], meanTimes[ranks[i]]
+		if cur <= 0 {
+			break
+		}
+		if prev/cur >= ad.MarginalGain {
+			best = ranks[i]
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// SuggestTrainTasks recommends how many parallel training tasks the next
+// DDMD phase should use, given the observed mean CPU utilization and the
+// free GPUs SOMA saw during the current phase: low utilization plus idle
+// GPUs means the GPU-bound training stage can fan out.
+func (ad Advisor) SuggestTrainTasks(current int, meanUtilPct float64, freeGPUs int) int {
+	if current < 1 {
+		current = 1
+	}
+	if meanUtilPct >= ad.LowUtil || freeGPUs <= 0 {
+		return current
+	}
+	next := current * 2
+	if next > current+freeGPUs {
+		next = current + freeGPUs
+	}
+	return next
+}
+
+// SuggestCoresPerTask shrinks a task's core allocation when observed
+// utilization shows the cores are idle (Fig. 9's conclusion: fewer CPU
+// cores per GPU-bound task frees resources at minimal cost).
+func (ad Advisor) SuggestCoresPerTask(current int, meanUtilPct float64) int {
+	if current <= 1 {
+		return current
+	}
+	if meanUtilPct < ad.LowUtil {
+		next := current / 2
+		if next < 1 {
+			next = 1
+		}
+		return next
+	}
+	return current
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/tau"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+func analysisFixture(t *testing.T) (Analysis, *Service) {
+	t.Helper()
+	svc := NewService(ServiceConfig{})
+	t.Cleanup(func() { svc.Close() })
+	return Analysis{Q: LocalQuerier{Service: svc}}, svc
+}
+
+func TestExecTimeFromEvents(t *testing.T) {
+	a, svc := analysisFixture(t)
+	n := conduit.NewNode()
+	n.SetString("RP/task.000007/100.0000000", "launch_start")
+	n.SetString("RP/task.000007/100.3500000", "exec_start")
+	n.SetString("RP/task.000007/100.3600000", "rank_start")
+	n.SetString("RP/task.000007/250.3600000", "rank_stop")
+	n.SetString("RP/task.000007/250.3700000", "exec_stop")
+	n.SetString("RP/task.000007/250.4400000", "launch_stop")
+	svc.Publish(NSWorkflow, n, 0)
+
+	uids, err := a.TaskUIDs()
+	if err != nil || len(uids) != 1 || uids[0] != "task.000007" {
+		t.Fatalf("uids = %v, %v", uids, err)
+	}
+	et, err := a.ExecTime("task.000007")
+	if err != nil || math.Abs(et-150) > 1e-6 {
+		t.Fatalf("exec time = %v, %v", et, err)
+	}
+	all, err := a.ExecTimes()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("exec times = %v", all)
+	}
+	evs, _ := a.TaskEvents("task.000007")
+	if len(evs) != 6 || evs[0].Name != "launch_start" || evs[5].Name != "launch_stop" {
+		t.Fatalf("events = %v", evs)
+	}
+	if _, err := a.ExecTime("task.missing"); err == nil {
+		t.Fatal("missing task should error")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	a, svc := analysisFixture(t)
+	n := conduit.NewNode()
+	n.SetInt("RP/summary/0.0000000/done", 0)
+	n.SetInt("RP/summary/100.0000000/done", 20)
+	svc.Publish(NSWorkflow, n, 0)
+	tp, err := a.Throughput()
+	if err != nil || math.Abs(tp-0.2) > 1e-9 {
+		t.Fatalf("throughput = %v, %v", tp, err)
+	}
+	// Single snapshot → zero.
+	a2, svc2 := analysisFixture(t)
+	m := conduit.NewNode()
+	m.SetInt("RP/summary/5.0/done", 3)
+	svc2.Publish(NSWorkflow, m, 0)
+	if tp, _ := a2.Throughput(); tp != 0 {
+		t.Fatalf("single-point throughput = %v", tp)
+	}
+}
+
+func TestMeanClusterUtil(t *testing.T) {
+	a, svc := analysisFixture(t)
+	n := conduit.NewNode()
+	n.SetFloat("PROC/cn0001/10.0/CPU Util", 20)
+	n.SetFloat("PROC/cn0001/20.0/CPU Util", 40) // latest for cn0001
+	n.SetFloat("PROC/cn0002/20.0/CPU Util", 60)
+	svc.Publish(NSHardware, n, 0)
+	u, err := a.MeanClusterUtil()
+	if err != nil || u != 50 {
+		t.Fatalf("mean util = %v, %v", u, err)
+	}
+}
+
+func TestTAUProfilesThroughService(t *testing.T) {
+	a, svc := analysisFixture(t)
+	model := workload.DefaultOpenFOAM()
+	profs := model.RankBreakdown(4, 200, nil)
+	plugin := tau.NewPlugin(func(n *conduit.Node) error {
+		return svc.Publish(NSPerformance, n, 0)
+	})
+	var tauProfs []tau.Profile
+	for _, p := range profs {
+		tauProfs = append(tauProfs, tau.Profile{
+			TaskUID: "task.000000", Host: "cn0001", Rank: p.Rank, Seconds: p.Times,
+		})
+	}
+	if err := plugin.Report(tauProfs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.TAUProfiles()
+	if err != nil || len(back) != 4 {
+		t.Fatalf("profiles = %d, %v", len(back), err)
+	}
+	// Fig. 5 property: Recv+Waitall dominant in every recovered profile.
+	for _, p := range back {
+		if (p.Seconds["MPI_Recv"]+p.Seconds["MPI_Waitall"])/p.Total() < 0.3 {
+			t.Fatalf("rank %d lost its MPI dominance: %v", p.Rank, p.Seconds)
+		}
+	}
+}
+
+func TestAdvisorSuggestRanks(t *testing.T) {
+	ad := NewAdvisor()
+	// The Fig. 4 shape: big gains to 82 ranks, marginal at 164 → suggest 82.
+	model := workload.DefaultOpenFOAM()
+	times := map[int]float64{}
+	for _, r := range []int{20, 41, 82, 164} {
+		times[r] = model.MeanExecTime(r, workload.MinNodesFor(r, 42))
+	}
+	if got := ad.SuggestRanks(times); got != 82 {
+		t.Fatalf("suggested ranks = %d want 82 (times %v)", got, times)
+	}
+	if ad.SuggestRanks(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	// Perfect scaling suggests the largest config.
+	perfect := map[int]float64{1: 100, 2: 50, 4: 25}
+	if got := ad.SuggestRanks(perfect); got != 4 {
+		t.Fatalf("perfect scaling suggestion = %d", got)
+	}
+	// Zero-time guard.
+	if got := ad.SuggestRanks(map[int]float64{1: 10, 2: 0}); got != 1 {
+		t.Fatalf("degenerate suggestion = %d", got)
+	}
+}
+
+func TestAdvisorTrainTasks(t *testing.T) {
+	ad := NewAdvisor()
+	// Low CPU utilization + free GPUs → double the training tasks.
+	if got := ad.SuggestTrainTasks(1, 20, 6); got != 2 {
+		t.Fatalf("suggestion = %d want 2", got)
+	}
+	if got := ad.SuggestTrainTasks(2, 20, 6); got != 4 {
+		t.Fatalf("suggestion = %d want 4", got)
+	}
+	// Capped by available GPUs.
+	if got := ad.SuggestTrainTasks(4, 20, 2); got != 6 {
+		t.Fatalf("gpu-capped suggestion = %d want 6", got)
+	}
+	// Busy CPUs or no GPUs → unchanged.
+	if got := ad.SuggestTrainTasks(2, 80, 6); got != 2 {
+		t.Fatalf("busy suggestion = %d", got)
+	}
+	if got := ad.SuggestTrainTasks(2, 20, 0); got != 2 {
+		t.Fatalf("no-gpu suggestion = %d", got)
+	}
+	if got := ad.SuggestTrainTasks(0, 20, 6); got < 1 {
+		t.Fatalf("degenerate current = %d", got)
+	}
+}
+
+func TestAdvisorCoresPerTask(t *testing.T) {
+	ad := NewAdvisor()
+	if got := ad.SuggestCoresPerTask(7, 15); got != 3 {
+		t.Fatalf("idle cores suggestion = %d want 3", got)
+	}
+	if got := ad.SuggestCoresPerTask(7, 80); got != 7 {
+		t.Fatalf("busy cores suggestion = %d", got)
+	}
+	if got := ad.SuggestCoresPerTask(1, 5); got != 1 {
+		t.Fatalf("floor = %d", got)
+	}
+}
+
+func TestAnalysisIgnoresMalformedLeaves(t *testing.T) {
+	a, svc := analysisFixture(t)
+	n := conduit.NewNode()
+	n.SetString("RP/summary/not-a-timestamp/done", "nope")
+	n.SetString("RP/task.000001/not-a-ts", "launch_start")
+	n.SetInt("RP/task.000001/5.0", 7) // int where event string expected
+	n.SetFloat("PROC/cnY/bogus/CPU Util", 10)
+	svc.Publish(NSWorkflow, n, 0)
+	svc.Publish(NSHardware, n, 0)
+	if s, err := a.WorkflowSeries(); err != nil || len(s) != 0 {
+		t.Fatalf("series = %v, %v", s, err)
+	}
+	evs, err := a.TaskEvents("task.000001")
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("events = %v", evs)
+	}
+	series, err := a.CPUUtilSeries("cnY")
+	if err != nil || len(series) != 0 {
+		t.Fatalf("util series = %v", series)
+	}
+}
+
+func TestUtilImbalance(t *testing.T) {
+	a, svc := analysisFixture(t)
+	n := conduit.NewNode()
+	// Host A averages 80, host B averages 20 → stddev 30.
+	n.SetFloat("PROC/cnA/10.0/CPU Util", 70)
+	n.SetFloat("PROC/cnA/20.0/CPU Util", 90)
+	n.SetFloat("PROC/cnB/10.0/CPU Util", 10)
+	n.SetFloat("PROC/cnB/20.0/CPU Util", 30)
+	svc.Publish(NSHardware, n, 0)
+	imb, err := a.UtilImbalance(0, 0)
+	if err != nil || math.Abs(imb-30) > 1e-9 {
+		t.Fatalf("imbalance = %v, %v", imb, err)
+	}
+	// Windowed: only the t=10 samples → means 70 and 10 → stddev 30.
+	imb, err = a.UtilImbalance(5, 15)
+	if err != nil || math.Abs(imb-30) > 1e-9 {
+		t.Fatalf("windowed imbalance = %v, %v", imb, err)
+	}
+	if _, err := a.UtilImbalance(1000, 2000); err == nil {
+		t.Fatal("empty window should error")
+	}
+}

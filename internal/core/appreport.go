@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// AppReporter is the application-namespace instrumentation API (paper
+// §2.3.2): an application self-reports its scientific rate-of-progress or
+// figure of merit — "a molecular dynamics code might want to capture the
+// atom-timesteps per second". Each report is stamped with the task identity
+// and timestamp so heterogeneous tasks stay attributable, mirroring the
+// TAU-plugin additions.
+//
+// Layout in the application namespace:
+//
+//	FOM/<task uid>/<metric>/<timestamp>: value
+type AppReporter struct {
+	pub     Publisher
+	clock   des.Clock
+	taskUID string
+
+	mu    sync.Mutex
+	count int64
+}
+
+// NewAppReporter binds a reporter to a task identity. pub is typically a
+// *Client connected to the SOMA service; clock stamps reports.
+func NewAppReporter(pub Publisher, clock des.Clock, taskUID string) (*AppReporter, error) {
+	if pub == nil || clock == nil || taskUID == "" {
+		return nil, fmt.Errorf("soma: AppReporter requires pub, clock and taskUID")
+	}
+	return &AppReporter{pub: pub, clock: clock, taskUID: taskUID}, nil
+}
+
+// Report publishes one figure-of-merit observation.
+func (r *AppReporter) Report(metric string, value float64) error {
+	if metric == "" {
+		return fmt.Errorf("soma: empty metric name")
+	}
+	n := conduit.NewNode()
+	n.SetFloat(fmt.Sprintf("FOM/%s/%s/%.7f", r.taskUID, metric, r.clock.Now()), value)
+	if err := r.pub.Publish(NSApplication, n); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+	return nil
+}
+
+// ReportMany publishes several metrics under one timestamp.
+func (r *AppReporter) ReportMany(metrics map[string]float64) error {
+	if len(metrics) == 0 {
+		return nil
+	}
+	ts := r.clock.Now()
+	n := conduit.NewNode()
+	for metric, value := range metrics {
+		if metric == "" {
+			return fmt.Errorf("soma: empty metric name")
+		}
+		n.SetFloat(fmt.Sprintf("FOM/%s/%s/%.7f", r.taskUID, metric, ts), value)
+	}
+	if err := r.pub.Publish(NSApplication, n); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+	return nil
+}
+
+// Reported returns how many publishes succeeded.
+func (r *AppReporter) Reported() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// FOMPoint is one figure-of-merit observation.
+type FOMPoint struct {
+	Time  float64
+	Value float64
+}
+
+// FOMSeries returns one task's observations of one metric in time order —
+// the application-namespace analysis counterpart.
+func (a Analysis) FOMSeries(taskUID, metric string) ([]FOMPoint, error) {
+	root, err := a.Q.Query(NSApplication, "FOM/"+taskUID+"/"+metric)
+	if err != nil {
+		return nil, err
+	}
+	var out []FOMPoint
+	for _, tsName := range root.ChildNames() {
+		t, err := strconv.ParseFloat(tsName, 64)
+		if err != nil {
+			continue
+		}
+		if v, ok := root.Float(tsName); ok {
+			out = append(out, FOMPoint{Time: t, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// FOMTasks lists the task UIDs that have reported figures of merit.
+func (a Analysis) FOMTasks() ([]string, error) {
+	root, err := a.Q.Query(NSApplication, "FOM")
+	if err != nil {
+		return nil, err
+	}
+	uids := root.ChildNames()
+	sort.Strings(uids)
+	return uids, nil
+}
+
+// FOMRate returns the mean rate of change of a metric (units per second)
+// over the task's reported series — the "scientific rate-of-progress".
+func (a Analysis) FOMRate(taskUID, metric string) (float64, error) {
+	series, err := a.FOMSeries(taskUID, metric)
+	if err != nil {
+		return 0, err
+	}
+	if len(series) < 2 {
+		return 0, fmt.Errorf("soma: need at least two observations of %s/%s", taskUID, metric)
+	}
+	first, last := series[0], series[len(series)-1]
+	dt := last.Time - first.Time
+	if dt <= 0 {
+		return 0, fmt.Errorf("soma: zero time span for %s/%s", taskUID, metric)
+	}
+	return (last.Value - first.Value) / dt, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+func TestAppReporterRoundTrip(t *testing.T) {
+	eng := des.NewEngine()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	rep, err := NewAppReporter(LocalPublisher{Service: svc}, eng, "task.000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		eng.RunUntil(float64(i+1) * 10)
+		if err := rep.Report("atom_timesteps", float64(i)*1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep.Reported() != 5 {
+		t.Fatalf("reported = %d", rep.Reported())
+	}
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	uids, err := a.FOMTasks()
+	if err != nil || len(uids) != 1 || uids[0] != "task.000042" {
+		t.Fatalf("fom tasks = %v, %v", uids, err)
+	}
+	series, err := a.FOMSeries("task.000042", "atom_timesteps")
+	if err != nil || len(series) != 5 {
+		t.Fatalf("series = %v, %v", series, err)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Time <= series[i-1].Time {
+			t.Fatal("series not time ordered")
+		}
+	}
+	// 1e6 units per 10 s = 1e5/s.
+	rate, err := a.FOMRate("task.000042", "atom_timesteps")
+	if err != nil || math.Abs(rate-1e5) > 1 {
+		t.Fatalf("rate = %v, %v", rate, err)
+	}
+}
+
+func TestAppReporterReportMany(t *testing.T) {
+	eng := des.NewEngine()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	rep, _ := NewAppReporter(LocalPublisher{Service: svc}, eng, "task.000001")
+	if err := rep.ReportMany(map[string]float64{"loss": 0.5, "accuracy": 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ReportMany(nil); err != nil {
+		t.Fatal("empty ReportMany should be a no-op")
+	}
+	if rep.Reported() != 1 {
+		t.Fatalf("reported = %d", rep.Reported())
+	}
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	for _, metric := range []string{"loss", "accuracy"} {
+		s, err := a.FOMSeries("task.000001", metric)
+		if err != nil || len(s) != 1 {
+			t.Fatalf("%s series = %v, %v", metric, s, err)
+		}
+	}
+}
+
+func TestAppReporterValidation(t *testing.T) {
+	eng := des.NewEngine()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	if _, err := NewAppReporter(nil, eng, "t"); err == nil {
+		t.Fatal("nil publisher accepted")
+	}
+	if _, err := NewAppReporter(LocalPublisher{Service: svc}, eng, ""); err == nil {
+		t.Fatal("empty task uid accepted")
+	}
+	rep, _ := NewAppReporter(LocalPublisher{Service: svc}, eng, "t")
+	if err := rep.Report("", 1); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+	if err := rep.ReportMany(map[string]float64{"": 1}); err == nil {
+		t.Fatal("empty metric in batch accepted")
+	}
+}
+
+func TestAppReporterPublishFailure(t *testing.T) {
+	eng := des.NewEngine()
+	rep, _ := NewAppReporter(failingPub{err: errors.New("down")}, eng, "t")
+	if err := rep.Report("m", 1); err == nil {
+		t.Fatal("publish failure swallowed")
+	}
+	if rep.Reported() != 0 {
+		t.Fatal("failed publish counted")
+	}
+}
+
+func TestFOMRateDegenerate(t *testing.T) {
+	eng := des.NewEngine()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	if _, err := a.FOMRate("nobody", "m"); err == nil {
+		t.Fatal("rate on missing series should error")
+	}
+	rep, _ := NewAppReporter(LocalPublisher{Service: svc}, eng, "t")
+	rep.Report("m", 1) // single point, zero span
+	if _, err := a.FOMRate("t", "m"); err == nil {
+		t.Fatal("single-point rate should error")
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// Client is the SOMA client stub (paper §2.2.1): it exposes the monitoring
+// API and translates calls into RPCs. It runs inside the instrumented
+// component's address space (monitor daemons, the TAU plugin, application
+// tasks) and needs no resources of its own.
+//
+// Published trees are handed over to the service; callers must not mutate a
+// tree after publishing it.
+type Client struct {
+	ep *mercury.Endpoint
+
+	mu    sync.Mutex
+	async chan publishReq
+	wg    sync.WaitGroup
+	// Errs receives asynchronous publish failures; nil unless async mode
+	// was enabled.
+	Errs chan error
+	// fireAndForget switches publishes to one-way notifications.
+	fireAndForget bool
+
+	// Published counts successful publishes.
+	published int64
+}
+
+type publishReq struct {
+	ns   Namespace
+	node *conduit.Node
+}
+
+// Connect resolves the service address ("inproc://..." or "tcp://...") into
+// a client. The optional engine (may be nil) accounts client-side RPC stats.
+func Connect(addr string, engine *mercury.Engine) (*Client, error) {
+	var (
+		ep  *mercury.Endpoint
+		err error
+	)
+	if engine != nil {
+		ep, err = engine.Lookup(addr)
+	} else {
+		ep, err = mercury.Lookup(addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("soma: connect %s: %w", addr, err)
+	}
+	return &Client{ep: ep}, nil
+}
+
+// EnableAsync switches Publish to buffered asynchronous mode: publishes are
+// queued (up to depth) and sent by a background goroutine, so the
+// instrumented code never blocks on the service — the low-overhead
+// transport mode for real-time deployments. Errors surface on c.Errs.
+func (c *Client) EnableAsync(depth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.async != nil {
+		return
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	c.async = make(chan publishReq, depth)
+	c.Errs = make(chan error, depth)
+	// The worker must capture the channel VALUE: Close nils the field, and
+	// a field read in the range expression could observe nil (range over a
+	// nil channel blocks forever, deadlocking Close's wg.Wait).
+	ch := c.async
+	errs := c.Errs
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for req := range ch {
+			if err := c.publishSync(req.ns, req.node); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}
+	}()
+}
+
+// Publish sends a tree to the namespace's service instance. In async mode
+// it enqueues (dropping with an error on a full queue) and returns
+// immediately.
+func (c *Client) Publish(ns Namespace, n *conduit.Node) error {
+	c.mu.Lock()
+	async := c.async
+	c.mu.Unlock()
+	if async != nil {
+		select {
+		case async <- publishReq{ns: ns, node: n}:
+			return nil
+		default:
+			return fmt.Errorf("soma: async publish queue full")
+		}
+	}
+	return c.publishSync(ns, n)
+}
+
+// EnableFireAndForget switches Publish to one-way notifications: the client
+// never waits for the service's acknowledgment, trading delivery
+// confirmation for the lowest possible publish latency — the mode for
+// per-iteration application instrumentation on hot paths. Composable with
+// EnableAsync (the background goroutine then sends notifications).
+func (c *Client) EnableFireAndForget() {
+	c.mu.Lock()
+	c.fireAndForget = true
+	c.mu.Unlock()
+}
+
+func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.Fetch("data").Merge(n)
+	c.mu.Lock()
+	oneway := c.fireAndForget
+	c.mu.Unlock()
+	var err error
+	if oneway {
+		err = c.ep.Notify(RPCPublish, req.EncodeBinary())
+	} else {
+		_, err = c.ep.Call(context.Background(), RPCPublish, req.EncodeBinary())
+	}
+	if err == nil {
+		c.mu.Lock()
+		c.published++
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Published returns the number of successful publishes.
+func (c *Client) Published() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.published
+}
+
+// Query fetches a deep copy of the merged subtree at path within ns.
+func (c *Client) Query(ns Namespace, path string) (*conduit.Node, error) {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("path", path)
+	out, err := c.ep.Call(context.Background(), RPCQuery, req.EncodeBinary())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := resp.Get("data")
+	if !ok {
+		return conduit.NewNode(), nil
+	}
+	return data, nil
+}
+
+// Stats fetches per-instance service statistics.
+func (c *Client) Stats() (map[Namespace]InstanceStats, error) {
+	out, err := c.ep.Call(context.Background(), RPCStats, conduit.NewNode().EncodeBinary())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	stats := map[Namespace]InstanceStats{}
+	for _, nsName := range resp.ChildNames() {
+		sub := resp.Child(nsName)
+		st := InstanceStats{Namespace: Namespace(nsName)}
+		if v, ok := sub.Int("ranks"); ok {
+			st.Ranks = int(v)
+		}
+		st.Publishes, _ = sub.Int("publishes")
+		st.Leaves, _ = sub.Int("leaves")
+		st.BytesIn, _ = sub.Int("bytes_in")
+		st.LastTime, _ = sub.Float("last_time")
+		stats[st.Namespace] = st
+	}
+	return stats, nil
+}
+
+// SelectMatch is one result of a pattern select.
+type SelectMatch struct {
+	Path string
+	// Value holds the leaf's numeric value; HasValue is false for
+	// non-numeric leaves.
+	Value    float64
+	HasValue bool
+}
+
+// Select returns the leaf paths (and numeric values) matching a glob
+// pattern in a namespace, evaluated service-side.
+func (c *Client) Select(ns Namespace, pattern string) ([]SelectMatch, error) {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("pattern", pattern)
+	out, err := c.ep.Call(context.Background(), RPCSelect, req.EncodeBinary())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	matches, ok := resp.Get("matches")
+	if !ok {
+		return nil, nil
+	}
+	var result []SelectMatch
+	for _, name := range matches.ChildNames() {
+		sub := matches.Child(name)
+		m := SelectMatch{}
+		m.Path, _ = sub.StringVal("path")
+		m.Value, m.HasValue = sub.Float("value")
+		result = append(result, m)
+	}
+	return result, nil
+}
+
+// Reset asks the service to discard a namespace's stored data (after a
+// snapshot, at phase boundaries).
+func (c *Client) Reset(ns Namespace) error {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	_, err := c.ep.Call(context.Background(), RPCReset, req.EncodeBinary())
+	return err
+}
+
+// Shutdown asks the service to stop accepting data.
+func (c *Client) Shutdown() error {
+	_, err := c.ep.Call(context.Background(), RPCShutdown, conduit.NewNode().EncodeBinary())
+	return err
+}
+
+// Close flushes the async queue (if any) and releases the endpoint.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	async := c.async
+	c.async = nil
+	c.mu.Unlock()
+	if async != nil {
+		close(async)
+		c.wg.Wait()
+	}
+	return c.ep.Close()
+}

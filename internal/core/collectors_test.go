@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+)
+
+// simulatedWorkflow runs a small pilot workload under DES with an RP
+// monitor and per-node hardware monitors attached, returning the engine,
+// agent and service for assertions.
+func simulatedWorkflow(t *testing.T, nodes, tasks int, interval float64) (*des.Engine, *pilot.Agent, *Service) {
+	t.Helper()
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(nodes, platform.Summit())
+	agent, err := pilot.NewAgent(pilot.AgentConfig{Runtime: eng, Nodes: cluster.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ServiceConfig{Clock: eng})
+	addr, err := svc.Listen(fmt.Sprintf("inproc://wf-%s", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rpm, err := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopRP := rpm.Start()
+
+	var stopHW []func()
+	for i, node := range cluster.Nodes {
+		src := procfs.NewSyntheticSource(node, eng, uint64(i+1))
+		hwm, err := NewHWMonitor(HWMonitorConfig{
+			Runtime: eng, Source: procfs.NewSampler(src), Pub: client, IntervalSec: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stopHW = append(stopHW, hwm.Start())
+	}
+
+	agent.Start()
+	for i := 0; i < tasks; i++ {
+		_, err := agent.Submit(pilot.TaskDescription{
+			Ranks:    21,
+			Duration: func(pilot.ExecContext) float64 { return 120 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	agent.OnQuiescent(func() {
+		stopRP()
+		for _, s := range stopHW {
+			s()
+		}
+	})
+	eng.Run()
+	return eng, agent, svc
+}
+
+func TestRPMonitorPublishesListing1Layout(t *testing.T) {
+	_, agent, svc := simulatedWorkflow(t, 1, 2, 30)
+	q := LocalQuerier{Service: svc}
+	root, err := q.Query(NSWorkflow, "RP/task.000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Listing 1 event must appear as <timestamp>: "<event>".
+	found := map[string]bool{}
+	for _, tsName := range root.ChildNames() {
+		if tsName == "states" {
+			continue
+		}
+		if v, ok := root.StringVal(tsName); ok {
+			found[v] = true
+		}
+	}
+	for _, ev := range pilot.ExecutingEvents {
+		if !found[ev] {
+			t.Errorf("workflow namespace missing event %q (have %v)", ev, found)
+		}
+	}
+	// State history must be there too.
+	states, ok := root.Get("states")
+	if !ok || states.NumChildren() < 5 {
+		t.Fatalf("states subtree missing or short")
+	}
+	_ = agent
+}
+
+func TestRPMonitorSummaryConvergesToDone(t *testing.T) {
+	_, _, svc := simulatedWorkflow(t, 1, 3, 30)
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	series, err := a.WorkflowSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 2 {
+		t.Fatalf("summary series too short: %d", len(series))
+	}
+	last := series[len(series)-1]
+	if last.Done != 3 || last.Running != 0 || last.Pending != 0 {
+		t.Fatalf("final summary = %+v", last)
+	}
+	// Early snapshots should have seen work in flight.
+	sawActivity := false
+	for _, s := range series[:len(series)-1] {
+		if s.Running > 0 || s.Pending > 0 {
+			sawActivity = true
+		}
+	}
+	if !sawActivity {
+		t.Fatal("monitor never observed in-flight work")
+	}
+}
+
+func TestHWMonitorPublishesPerNodeSeries(t *testing.T) {
+	_, _, svc := simulatedWorkflow(t, 2, 2, 30)
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	hosts, err := a.Hosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	for _, h := range hosts {
+		series, err := a.CPUUtilSeries(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) < 3 {
+			t.Fatalf("host %s series = %d points", h, len(series))
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i].Time <= series[i-1].Time {
+				t.Fatalf("series not time-ordered at %d", i)
+			}
+		}
+	}
+}
+
+func TestCPUUtilSpikesWhenTaskStarts(t *testing.T) {
+	// Fig. 7's headline observation: "as a rank starts, there is a
+	// corresponding spike in CPU utilization."
+	_, _, svc := simulatedWorkflow(t, 1, 1, 10)
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	starts, err := a.TaskStarts()
+	if err != nil || len(starts) != 1 {
+		t.Fatalf("starts = %v, %v", starts, err)
+	}
+	series, err := a.CPUUtilSeries("cn0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64
+	haveBefore := false
+	for _, p := range series {
+		// Cores are claimed ~1 s before exec_start (scheduling overhead), so
+		// "before" must predate the whole scheduling window.
+		if p.Time < starts[0].Time-5 {
+			before, haveBefore = p.Util, true
+		}
+		if p.Time > starts[0].Time+10 && after == 0 {
+			after = p.Util
+		}
+	}
+	if !haveBefore {
+		t.Skip("no sample before task start at this interval")
+	}
+	if after < before+10 {
+		t.Fatalf("no spike: before=%.1f after=%.1f", before, after)
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	eng := des.NewEngine()
+	if _, err := NewRPMonitor(RPMonitorConfig{Runtime: eng}); err == nil {
+		t.Fatal("incomplete RP monitor config accepted")
+	}
+	if _, err := NewHWMonitor(HWMonitorConfig{Runtime: eng}); err == nil {
+		t.Fatal("incomplete HW monitor config accepted")
+	}
+}
+
+type failingPub struct{ err error }
+
+func (f failingPub) Publish(Namespace, *conduit.Node) error { return f.err }
+
+func TestMonitorsCountPublishFailures(t *testing.T) {
+	eng := des.NewEngine()
+	prof := pilot.NewProfiler()
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: prof,
+		Pub: failingPub{err: errors.New("down")}, IntervalSec: 10,
+	})
+	stop := rpm.Start()
+	eng.RunUntil(35)
+	stop()
+	ticks, errs := rpm.Ticks()
+	if ticks < 3 || errs != ticks {
+		t.Fatalf("ticks=%d errs=%d", ticks, errs)
+	}
+
+	node := platform.NewNode(0, platform.Summit())
+	hwm, _ := NewHWMonitor(HWMonitorConfig{
+		Runtime: eng, Source: procfs.NewSyntheticSource(node, eng, 1),
+		Pub: failingPub{err: errors.New("down")}, IntervalSec: 10,
+	})
+	stopHW := hwm.Start()
+	eng.RunUntil(70)
+	stopHW()
+	hticks, herrs := hwm.Ticks()
+	if hticks < 3 || herrs != hticks {
+		t.Fatalf("hw ticks=%d errs=%d", hticks, herrs)
+	}
+}
+
+func TestRPMonitorIncrementalCursor(t *testing.T) {
+	eng := des.NewEngine()
+	prof := pilot.NewProfiler()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: prof, Pub: LocalPublisher{Service: svc}, IntervalSec: 60,
+	})
+	prof.RecordState(0, "task.000000", pilot.StateNew)
+	rpm.Collect()
+	prof.RecordEvent(1, "task.000000", pilot.EvLaunchStart)
+	rpm.Collect()
+	// The event stream must not be re-published: exactly one state leaf and
+	// one event leaf for the task.
+	got, _ := svc.Query(NSWorkflow, "RP/task.000000")
+	leaves := got.NumLeaves()
+	if leaves != 2 {
+		t.Fatalf("leaves = %d want 2 (no duplication)", leaves)
+	}
+	ticks, errs := rpm.Ticks()
+	if ticks != 2 || errs != 0 {
+		t.Fatalf("ticks=%d errs=%d", ticks, errs)
+	}
+}
+
+func TestLocalPublisherRoundTrip(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	defer svc.Close()
+	lp := LocalPublisher{Service: svc}
+	n := conduit.NewNode()
+	n.SetInt("fom/atoms_per_sec", 12345)
+	if err := lp.Publish(NSApplication, n); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.Query(NSApplication, "fom")
+	if v, _ := got.Int("atoms_per_sec"); v != 12345 {
+		t.Fatal("application namespace round trip failed")
+	}
+}
+
+// TestRPMonitorStateDurations: the monitor calculates time spent in each
+// state (paper §3.1) and publishes it for analysis.
+func TestRPMonitorStateDurations(t *testing.T) {
+	eng := des.NewEngine()
+	prof := pilot.NewProfiler()
+	svc := NewService(ServiceConfig{Clock: eng})
+	defer svc.Close()
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: prof, Pub: LocalPublisher{Service: svc}, IntervalSec: 60,
+	})
+	prof.RecordState(0, "task.000000", pilot.StateNew)
+	prof.RecordState(2, "task.000000", pilot.StateTMGRScheduling)
+	prof.RecordState(2, "task.000000", pilot.StateAgentScheduling)
+	prof.RecordState(9, "task.000000", pilot.StateScheduled)
+	prof.RecordState(10, "task.000000", pilot.StateExecuting)
+	rpm.Collect()
+	prof.RecordState(110, "task.000000", pilot.StateDone)
+	rpm.Collect()
+
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	d, err := a.StateDurations("task.000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[pilot.StateNew] != 2 || d[pilot.StateAgentScheduling] != 7 ||
+		d[pilot.StateScheduled] != 1 || d[pilot.StateExecuting] != 100 {
+		t.Fatalf("durations = %v", d)
+	}
+	qw, err := a.QueueWaitStats()
+	if err != nil || qw.N != 1 || qw.Mean != 7 {
+		t.Fatalf("queue wait = %+v, %v", qw, err)
+	}
+}
+
+// TestQueueWaitVisibleInWorkflow: tasks that queue behind a full node show
+// their wait in the published AGENT_SCHEDULING duration.
+func TestQueueWaitVisibleInWorkflow(t *testing.T) {
+	_, _, svc := simulatedWorkflow(t, 1, 3, 30) // 3×21-rank tasks on 42 cores: one waits
+	a := Analysis{Q: LocalQuerier{Service: svc}}
+	qw, err := a.QueueWaitStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qw.N != 3 {
+		t.Fatalf("queue wait samples = %d", qw.N)
+	}
+	// Two tasks start immediately (wait ≈ bootstrap), the third waits for a
+	// full task duration (~120 s) more.
+	if qw.Max < 100 {
+		t.Fatalf("max queue wait = %.1f, want the straggler's wait", qw.Max)
+	}
+	if qw.Min > 30 {
+		t.Fatalf("min queue wait = %.1f, want a first-wave task", qw.Min)
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// A complete publish→query round trip against a SOMA service: the
+// zero-to-observability path.
+func ExampleClient() {
+	svc := core.NewService(core.ServiceConfig{RanksPerNamespace: 1})
+	addr, _ := svc.Listen("inproc://example-client")
+	defer svc.Close()
+
+	client, _ := core.Connect(addr, nil)
+	defer client.Close()
+
+	sample := conduit.NewNode()
+	sample.SetFloat("PROC/cn0001/42.0/CPU Util", 87.5)
+	_ = client.Publish(core.NSHardware, sample)
+
+	back, _ := client.Query(core.NSHardware, "PROC/cn0001/42.0")
+	util, _ := back.Float("CPU Util")
+	fmt.Printf("cn0001 utilization: %.1f%%\n", util)
+	// Output: cn0001 utilization: 87.5%
+}
+
+// The application-namespace instrumentation API: a task self-reports its
+// scientific rate of progress.
+func ExampleAppReporter() {
+	eng := des.NewEngine()
+	svc := core.NewService(core.ServiceConfig{Clock: eng})
+	defer svc.Close()
+
+	reporter, _ := core.NewAppReporter(core.LocalPublisher{Service: svc}, eng, "task.000042")
+	for step := 0; step < 3; step++ {
+		eng.RunUntil(float64(step+1) * 10)
+		_ = reporter.Report("atom_timesteps", float64(step)*1e6)
+	}
+
+	analysis := core.Analysis{Q: core.LocalQuerier{Service: svc}}
+	rate, _ := analysis.FOMRate("task.000042", "atom_timesteps")
+	fmt.Printf("%.0f atom-timesteps/s\n", rate)
+	// Output: 100000 atom-timesteps/s
+}
+
+// The advisor turns SOMA observations into configuration suggestions.
+func ExampleAdvisor() {
+	advisor := core.NewAdvisor()
+	// Fig. 4-shaped strong-scaling means (ranks → seconds).
+	times := map[int]float64{20: 408, 41: 227, 82: 155, 164: 139}
+	fmt.Println("suggested ranks:", advisor.SuggestRanks(times))
+	// GPU-bound phase: low CPU utilization and idle GPUs → fan training out.
+	fmt.Println("suggested training tasks:", advisor.SuggestTrainTasks(1, 2.0, 6))
+	// Output:
+	// suggested ranks: 82
+	// suggested training tasks: 2
+}

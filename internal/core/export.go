@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// Snapshot is a point-in-time export of a service's merged state — the
+// bridge from SOMA's online model to the traditional post-mortem analysis
+// the paper contrasts it with. A snapshot can be written to disk and later
+// analyzed offline through the same Analysis API.
+type Snapshot struct {
+	// Namespaces maps each namespace to its merged tree.
+	Namespaces map[Namespace]*conduit.Node
+	// Stats carries the per-instance counters at export time.
+	Stats []InstanceStats
+}
+
+// Snapshot exports the service's current merged state. The returned trees
+// are deep copies. Snapshot works on a stopped service too — that is the
+// post-mortem path.
+func (s *Service) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{Namespaces: map[Namespace]*conduit.Node{}}
+	for _, ns := range Namespaces {
+		in, err := s.instanceFor(ns)
+		if err != nil {
+			return nil, err
+		}
+		snap.Namespaces[ns] = in.query("")
+	}
+	snap.Stats = s.Stats()
+	return snap, nil
+}
+
+// snapshotJSON is the on-disk format: JSON for tooling friendliness (the
+// binary codec stays the RPC transport format).
+type snapshotJSON struct {
+	Version    int                          `json:"version"`
+	Namespaces map[string]json.RawMessage   `json:"namespaces"`
+	Stats      map[string]instanceStatsJSON `json:"stats"`
+}
+
+type instanceStatsJSON struct {
+	Ranks     int     `json:"ranks"`
+	Publishes int64   `json:"publishes"`
+	Leaves    int64   `json:"leaves"`
+	BytesIn   int64   `json:"bytes_in"`
+	LastTime  float64 `json:"last_time"`
+}
+
+const snapshotVersion = 1
+
+// MarshalJSON encodes the snapshot.
+func (sn *Snapshot) MarshalJSON() ([]byte, error) {
+	out := snapshotJSON{
+		Version:    snapshotVersion,
+		Namespaces: map[string]json.RawMessage{},
+		Stats:      map[string]instanceStatsJSON{},
+	}
+	for ns, tree := range sn.Namespaces {
+		raw, err := json.Marshal(tree)
+		if err != nil {
+			return nil, err
+		}
+		out.Namespaces[string(ns)] = raw
+	}
+	for _, st := range sn.Stats {
+		out.Stats[string(st.Namespace)] = instanceStatsJSON{
+			Ranks: st.Ranks, Publishes: st.Publishes, Leaves: st.Leaves,
+			BytesIn: st.BytesIn, LastTime: st.LastTime,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a snapshot.
+func (sn *Snapshot) UnmarshalJSON(data []byte) error {
+	var in snapshotJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Version != snapshotVersion {
+		return fmt.Errorf("soma: unsupported snapshot version %d", in.Version)
+	}
+	sn.Namespaces = map[Namespace]*conduit.Node{}
+	for nsName, raw := range in.Namespaces {
+		var tree conduit.Node
+		if err := json.Unmarshal(raw, &tree); err != nil {
+			return fmt.Errorf("soma: namespace %s: %w", nsName, err)
+		}
+		sn.Namespaces[Namespace(nsName)] = &tree
+	}
+	sn.Stats = nil
+	for nsName, st := range in.Stats {
+		sn.Stats = append(sn.Stats, InstanceStats{
+			Namespace: Namespace(nsName), Ranks: st.Ranks, Publishes: st.Publishes,
+			Leaves: st.Leaves, BytesIn: st.BytesIn, LastTime: st.LastTime,
+		})
+	}
+	return nil
+}
+
+// WriteFile exports the snapshot to path as JSON.
+func (sn *Snapshot) WriteFile(path string) error {
+	data, err := json.Marshal(sn)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadSnapshot loads a snapshot written by WriteFile.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sn Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return nil, err
+	}
+	return &sn, nil
+}
+
+// Query implements Querier over the snapshot, so the whole Analysis API
+// works offline: Analysis{Q: snapshot}.
+func (sn *Snapshot) Query(ns Namespace, path string) (*conduit.Node, error) {
+	tree, ok := sn.Namespaces[ns]
+	if !ok {
+		return nil, &ErrUnknownNamespace{NS: ns}
+	}
+	sub, found := tree.Get(path)
+	if !found {
+		return conduit.NewNode(), nil
+	}
+	return sub.Clone(), nil
+}

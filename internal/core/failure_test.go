@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+)
+
+// TestServiceDeathMidWorkflow injects a SOMA service crash halfway through
+// a monitored workflow: the workflow itself must complete unaffected (the
+// observability plane must never take the data plane down), monitors must
+// count their publish failures, and the data collected before the crash
+// must survive in a snapshot.
+func TestServiceDeathMidWorkflow(t *testing.T) {
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(2, platform.Summit())
+	agent, err := pilot.NewAgent(pilot.AgentConfig{Runtime: eng, Nodes: cluster.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ServiceConfig{Clock: eng})
+	addr, err := svc.Listen("inproc://svc-death-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: 20,
+	})
+	stopRP := rpm.Start()
+	hwm, _ := NewHWMonitor(HWMonitorConfig{
+		Runtime: eng,
+		Source:  procfs.NewSampler(procfs.NewSyntheticSource(cluster.Nodes[0], eng, 1)),
+		Pub:     client, IntervalSec: 20,
+	})
+	stopHW := hwm.Start()
+
+	agent.Start()
+	var tasks []*pilot.Task
+	for i := 0; i < 4; i++ {
+		task, err := agent.Submit(pilot.TaskDescription{
+			Ranks: 21, Duration: func(pilot.ExecContext) float64 { return 200 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	// Kill the service mid-run.
+	eng.At(150, func() { svc.Close() })
+	agent.OnQuiescent(func() {
+		stopRP()
+		stopHW()
+	})
+	eng.Run()
+
+	for _, task := range tasks {
+		if task.State() != pilot.StateDone {
+			t.Fatalf("task %s = %s; workflow must survive service death", task.UID, task.State())
+		}
+	}
+	rpTicks, rpErrs := rpm.Ticks()
+	if rpErrs == 0 || rpErrs >= rpTicks {
+		t.Fatalf("rp monitor ticks=%d errs=%d; want some failures after the crash and some successes before", rpTicks, rpErrs)
+	}
+	hwTicks, hwErrs := hwm.Ticks()
+	if hwErrs == 0 || hwErrs >= hwTicks {
+		t.Fatalf("hw monitor ticks=%d errs=%d", hwTicks, hwErrs)
+	}
+	// Pre-crash data survives for post-mortem analysis.
+	snap, err := svc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analysis{Q: snap}
+	series, err := a.WorkflowSeries()
+	if err != nil || len(series) == 0 {
+		t.Fatalf("no pre-crash workflow data: %v, %v", series, err)
+	}
+}
+
+// TestMonitorsSurviveTransientPublishErrors: a flaky publisher (fails every
+// other call) must not stop the monitoring cadence.
+func TestMonitorsSurviveTransientPublishErrors(t *testing.T) {
+	eng := des.NewEngine()
+	prof := pilot.NewProfiler()
+	calls := 0
+	flaky := publisherFunc(func(ns Namespace, n *conduit.Node) error {
+		calls++
+		if calls%2 == 0 {
+			return fmt.Errorf("transient network error")
+		}
+		return nil
+	})
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: prof, Pub: flaky, IntervalSec: 10,
+	})
+	stop := rpm.Start()
+	eng.RunUntil(100)
+	stop()
+	ticks, errs := rpm.Ticks()
+	if ticks < 10 {
+		t.Fatalf("monitor stopped ticking: %d", ticks)
+	}
+	if errs == 0 || errs == ticks {
+		t.Fatalf("ticks=%d errs=%d, want a mix", ticks, errs)
+	}
+}
+
+type publisherFunc func(Namespace, *conduit.Node) error
+
+func (f publisherFunc) Publish(ns Namespace, n *conduit.Node) error { return f(ns, n) }
+
+// TestEndToEndFourNamespaces drives all four namespaces through one live
+// service over RPC in a single simulated workflow and checks each analysis
+// surface — the integration test for the whole data model.
+func TestEndToEndFourNamespaces(t *testing.T) {
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(2, platform.Summit())
+	agent, err := pilot.NewAgent(pilot.AgentConfig{Runtime: eng, Nodes: cluster.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ServiceConfig{Clock: eng})
+	addr, _ := svc.Listen("inproc://four-ns-test")
+	defer svc.Close()
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rpm, _ := NewRPMonitor(RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client, IntervalSec: 15,
+	})
+	stopRP := rpm.Start()
+	hwm, _ := NewHWMonitor(HWMonitorConfig{
+		Runtime: eng,
+		Source:  procfs.NewSampler(procfs.NewSyntheticSource(cluster.Nodes[0], eng, 2)),
+		Pub:     client, IntervalSec: 15,
+	})
+	stopHW := hwm.Start()
+
+	agent.Start()
+	task, err := agent.Submit(pilot.TaskDescription{
+		Ranks:    4,
+		Duration: func(pilot.ExecContext) float64 { return 90 },
+		Func: func(ctx pilot.ExecContext) error {
+			// The task instruments itself: TAU-style profile into the
+			// performance namespace, figure of merit into application.
+			perf := conduit.NewNode()
+			perf.SetFloat(fmt.Sprintf("TAU/%s/cn0000/rank_00000/MPI_Recv", ctx.Task.UID), 30)
+			perf.SetFloat(fmt.Sprintf("TAU/%s/cn0000/rank_00000/.TAU application", ctx.Task.UID), 60)
+			if err := client.Publish(NSPerformance, perf); err != nil {
+				return err
+			}
+			rep, err := NewAppReporter(client, eng, ctx.Task.UID)
+			if err != nil {
+				return err
+			}
+			return rep.Report("timesteps", 1000)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.OnQuiescent(func() {
+		agent.StopServices()
+		stopRP()
+		stopHW()
+	})
+	eng.Run()
+
+	if task.State() != pilot.StateDone {
+		t.Fatalf("task state %s: %v", task.State(), task.Err())
+	}
+	a := Analysis{Q: client}
+	if et, err := a.ExecTime(task.UID); err != nil || et < 89 || et > 92 {
+		t.Fatalf("workflow ns exec time = %v, %v", et, err)
+	}
+	if hosts, err := a.Hosts(); err != nil || len(hosts) != 1 {
+		t.Fatalf("hardware ns hosts = %v, %v", hosts, err)
+	}
+	profs, err := a.TAUProfiles()
+	if err != nil || len(profs) != 1 || profs[0].TaskUID != task.UID {
+		t.Fatalf("performance ns profiles = %v, %v", profs, err)
+	}
+	fseries, err := a.FOMSeries(task.UID, "timesteps")
+	if err != nil || len(fseries) != 1 {
+		t.Fatalf("application ns series = %v, %v", fseries, err)
+	}
+	// Every instance saw traffic.
+	stats, _ := client.Stats()
+	for _, ns := range Namespaces {
+		if stats[ns].Publishes == 0 {
+			t.Fatalf("namespace %s saw no publishes", ns)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// ServiceConfig configures a SOMA service task.
+type ServiceConfig struct {
+	// RanksPerNamespace is the number of service processes assigned to each
+	// namespace instance — the "SOMA Ranks Per Namespace" row of the
+	// paper's Tables 1 and 2. It scales each instance's modeled capacity;
+	// the Go implementation itself is concurrent regardless.
+	RanksPerNamespace int
+	// Shared collapses all namespaces into a single instance with one lock
+	// (the ablation baseline for the per-namespace instance split).
+	Shared bool
+	// MaxRecords bounds each instance's publish history ring; 0 means the
+	// default (65536).
+	MaxRecords int
+	// Clock stamps arrivals; defaults to a real clock.
+	Clock des.Clock
+}
+
+func (c *ServiceConfig) defaults() {
+	if c.RanksPerNamespace < 1 {
+		c.RanksPerNamespace = 1
+	}
+	if c.MaxRecords == 0 {
+		c.MaxRecords = 65536
+	}
+	if c.Clock == nil {
+		c.Clock = des.NewRealClock()
+	}
+}
+
+// InstanceStats summarizes one namespace instance's activity.
+type InstanceStats struct {
+	Namespace Namespace
+	Ranks     int
+	Publishes int64
+	Leaves    int64 // leaves currently in the merged tree
+	BytesIn   int64
+	LastTime  float64
+}
+
+// instance is the storage and aggregation unit for one namespace.
+type instance struct {
+	ns    Namespace
+	ranks int
+
+	mu      sync.RWMutex
+	merged  *conduit.Node
+	history []record // ring buffer of raw publishes
+	head    int
+	count   int
+	pubs    int64
+	bytesIn int64
+	last    float64
+}
+
+type record struct {
+	time float64
+	node *conduit.Node
+}
+
+func newInstance(ns Namespace, ranks, maxRecords int) *instance {
+	return &instance{
+		ns:      ns,
+		ranks:   ranks,
+		merged:  conduit.NewNode(),
+		history: make([]record, maxRecords),
+	}
+}
+
+func (in *instance) publish(now float64, n *conduit.Node, rawBytes int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.merged.Merge(n)
+	in.history[in.head] = record{time: now, node: n}
+	in.head = (in.head + 1) % len(in.history)
+	if in.count < len(in.history) {
+		in.count++
+	}
+	in.pubs++
+	in.bytesIn += int64(rawBytes)
+	in.last = now
+}
+
+func (in *instance) query(path string) *conduit.Node {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	sub, ok := in.merged.Get(path)
+	if !ok {
+		return conduit.NewNode()
+	}
+	return sub.Clone()
+}
+
+func (in *instance) stats() InstanceStats {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return InstanceStats{
+		Namespace: in.ns,
+		Ranks:     in.ranks,
+		Publishes: in.pubs,
+		Leaves:    int64(in.merged.NumLeaves()),
+		BytesIn:   in.bytesIn,
+		LastTime:  in.last,
+	}
+}
+
+// historySince returns raw publishes with time > after, oldest first.
+func (in *instance) historySince(after float64) []*conduit.Node {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	var out []*conduit.Node
+	for i := 0; i < in.count; i++ {
+		idx := (in.head - in.count + i + len(in.history)) % len(in.history)
+		if in.history[idx].time > after {
+			out = append(out, in.history[idx].node)
+		}
+	}
+	return out
+}
+
+// Service is the SOMA service task: N service processes split across one
+// instance per namespace, fronted by RPC handlers on a mercury engine.
+type Service struct {
+	cfg       ServiceConfig
+	engine    *mercury.Engine
+	instances map[Namespace]*instance
+
+	mu      sync.Mutex
+	addrs   []string
+	stopped bool
+}
+
+// RPC handler names the service registers.
+const (
+	RPCPublish  = "soma.publish"
+	RPCQuery    = "soma.query"
+	RPCStats    = "soma.stats"
+	RPCShutdown = "soma.shutdown"
+	RPCReset    = "soma.reset"
+	RPCSelect   = "soma.select"
+)
+
+// ErrServiceStopped is returned for requests after shutdown.
+var ErrServiceStopped = errors.New("soma: service stopped")
+
+// NewService builds a service with one instance per namespace (or one
+// shared instance when cfg.Shared).
+func NewService(cfg ServiceConfig) *Service {
+	cfg.defaults()
+	s := &Service{
+		cfg:       cfg,
+		engine:    mercury.NewEngine(),
+		instances: map[Namespace]*instance{},
+	}
+	if cfg.Shared {
+		shared := newInstance("shared", cfg.RanksPerNamespace*len(Namespaces), cfg.MaxRecords)
+		for _, ns := range Namespaces {
+			s.instances[ns] = shared
+		}
+	} else {
+		for _, ns := range Namespaces {
+			s.instances[ns] = newInstance(ns, cfg.RanksPerNamespace, cfg.MaxRecords)
+		}
+	}
+	s.engine.Register(RPCPublish, s.handlePublish)
+	s.engine.Register(RPCQuery, s.handleQuery)
+	s.engine.Register(RPCStats, s.handleStats)
+	s.engine.Register(RPCShutdown, s.handleShutdown)
+	s.engine.Register(RPCReset, s.handleReset)
+	s.engine.Register(RPCSelect, s.handleSelect)
+	return s
+}
+
+// Listen exposes the service at addr ("inproc://..." or "tcp://...") and
+// returns the concrete address clients connect to — the RPC address the
+// service makes "publicly known within the workflow".
+func (s *Service) Listen(addr string) (string, error) {
+	concrete, err := s.engine.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addrs = append(s.addrs, concrete)
+	s.mu.Unlock()
+	return concrete, nil
+}
+
+// Addrs returns every address the service listens on.
+func (s *Service) Addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.addrs...)
+}
+
+// Engine exposes the underlying RPC engine (stats, tests).
+func (s *Service) Engine() *mercury.Engine { return s.engine }
+
+// Close shuts the service down.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	return s.engine.Close()
+}
+
+// Stopped reports whether shutdown was requested.
+func (s *Service) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+func (s *Service) instanceFor(ns Namespace) (*instance, error) {
+	in, ok := s.instances[ns]
+	if !ok {
+		return nil, &ErrUnknownNamespace{NS: ns}
+	}
+	return in, nil
+}
+
+// Publish ingests a tree into a namespace directly (the local call path of
+// the client stub; also what the in-proc simulated experiments use after
+// RPC framing). rawBytes is the wire size for accounting (0 for local).
+func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return err
+	}
+	in.publish(s.cfg.Clock.Now(), n, rawBytes)
+	return nil
+}
+
+// Query returns a deep copy of the merged subtree at path within ns.
+func (s *Service) Query(ns Namespace, path string) (*conduit.Node, error) {
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	return in.query(path), nil
+}
+
+// History returns the raw publishes into ns newer than the given service
+// timestamp, oldest first.
+func (s *Service) History(ns Namespace, after float64) ([]*conduit.Node, error) {
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	return in.historySince(after), nil
+}
+
+// Select returns the leaf paths in ns matching a '/'-separated glob
+// pattern ('*' = one segment, '**' = any tail), with the numeric values
+// where leaves are numeric. Analyses use it to slice a namespace without
+// pulling whole subtrees: Select(NSHardware, "PROC/*/*/CPU Util").
+func (s *Service) Select(ns Namespace, pattern string) (paths []string, values map[string]float64, err error) {
+	if s.Stopped() {
+		return nil, nil, ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, nil, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	paths = in.merged.Select(pattern)
+	values = map[string]float64{}
+	for _, p := range paths {
+		if v, ok := in.merged.Float(p); ok {
+			values[p] = v
+		}
+	}
+	return paths, values, nil
+}
+
+// ResetNamespace discards a namespace's merged tree and publish history,
+// keeping the counters. Long-running deployments call this at phase
+// boundaries (after a snapshot) to bound the merged tree's growth.
+func (s *Service) ResetNamespace(ns Namespace) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.merged = conduit.NewNode()
+	for i := range in.history {
+		in.history[i] = record{}
+	}
+	in.head, in.count = 0, 0
+	return nil
+}
+
+// Stats returns per-instance statistics in namespace order. With a shared
+// instance, the same aggregate appears once under namespace "shared".
+func (s *Service) Stats() []InstanceStats {
+	if s.cfg.Shared {
+		return []InstanceStats{s.instances[NSWorkflow].stats()}
+	}
+	out := make([]InstanceStats, 0, len(Namespaces))
+	for _, ns := range Namespaces {
+		out = append(out, s.instances[ns].stats())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// RPC surface. Requests and responses are themselves Conduit trees on the
+// wire (the service eats its own data model):
+//
+//	publish req : {ns: string, data: <tree>}
+//	query   req : {ns: string, path: string}  → resp: {data: <tree>}
+//	stats   req : {}                          → resp: {<ns>/{publishes,leaves,...}}
+//	shutdown    : {}                          → resp: {}
+
+func envelopeNS(req *conduit.Node) (Namespace, error) {
+	nsStr, ok := req.StringVal("ns")
+	if !ok {
+		return "", fmt.Errorf("soma: request missing ns field")
+	}
+	ns := Namespace(nsStr)
+	if !ns.Valid() {
+		return "", &ErrUnknownNamespace{NS: ns}
+	}
+	return ns, nil
+}
+
+func (s *Service) handlePublish(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := req.Get("data")
+	if !ok {
+		return nil, fmt.Errorf("soma: publish missing data")
+	}
+	if err := s.Publish(ns, data, len(payload)); err != nil {
+		return nil, err
+	}
+	return conduit.NewNode().EncodeBinary(), nil
+}
+
+func (s *Service) handleQuery(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	path, _ := req.StringVal("path")
+	sub, err := s.Query(ns, path)
+	if err != nil {
+		return nil, err
+	}
+	resp := conduit.NewNode()
+	resp.Fetch("data").Merge(sub)
+	return resp.EncodeBinary(), nil
+}
+
+func (s *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
+	resp := conduit.NewNode()
+	for _, st := range s.Stats() {
+		base := string(st.Namespace)
+		resp.SetInt(base+"/ranks", int64(st.Ranks))
+		resp.SetInt(base+"/publishes", st.Publishes)
+		resp.SetInt(base+"/leaves", st.Leaves)
+		resp.SetInt(base+"/bytes_in", st.BytesIn)
+		resp.SetFloat(base+"/last_time", st.LastTime)
+	}
+	return resp.EncodeBinary(), nil
+}
+
+func (s *Service) handleShutdown(_ context.Context, _ []byte) ([]byte, error) {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	return conduit.NewNode().EncodeBinary(), nil
+}
+
+func (s *Service) handleSelect(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	pattern, _ := req.StringVal("pattern")
+	paths, values, err := s.Select(ns, pattern)
+	if err != nil {
+		return nil, err
+	}
+	resp := conduit.NewNode()
+	for i, p := range paths {
+		base := fmt.Sprintf("matches/%06d", i)
+		resp.SetString(base+"/path", p)
+		if v, ok := values[p]; ok {
+			resp.SetFloat(base+"/value", v)
+		}
+	}
+	return resp.EncodeBinary(), nil
+}
+
+func (s *Service) handleReset(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ResetNamespace(ns); err != nil {
+		return nil, err
+	}
+	return conduit.NewNode().EncodeBinary(), nil
+}

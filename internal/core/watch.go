@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// Watcher delivers newly published trees of one namespace to a consumer —
+// the integration point the paper envisions for downstream analysis
+// frameworks ("a consumer of the performance metrics in order to improve
+// online decision-making", §5). It polls the service's publish history with
+// a monotone cursor, so consumers see every record exactly once, in order,
+// without the service pushing.
+type Watcher struct {
+	svc *Service
+	ns  Namespace
+	rt  des.Runtime
+
+	mu       sync.Mutex
+	after    float64
+	consumed int64
+	stop     func()
+	running  bool
+}
+
+// NewWatcher creates a watcher over one namespace of a local service.
+func NewWatcher(svc *Service, ns Namespace, rt des.Runtime) (*Watcher, error) {
+	if svc == nil || rt == nil {
+		return nil, fmt.Errorf("soma: Watcher requires a service and runtime")
+	}
+	if !ns.Valid() {
+		return nil, &ErrUnknownNamespace{NS: ns}
+	}
+	return &Watcher{svc: svc, ns: ns, rt: rt}, nil
+}
+
+// Poll returns every record published since the previous Poll (or since the
+// watcher was created), oldest first, and advances the cursor.
+func (w *Watcher) Poll() ([]*conduit.Node, error) {
+	w.mu.Lock()
+	after := w.after
+	w.mu.Unlock()
+	records, times, err := w.svc.historyWithTimes(w.ns, after)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) > 0 {
+		w.mu.Lock()
+		w.after = times[len(times)-1]
+		w.consumed += int64(len(records))
+		w.mu.Unlock()
+	}
+	return records, nil
+}
+
+// Consumed returns how many records this watcher has delivered.
+func (w *Watcher) Consumed() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.consumed
+}
+
+// Run polls every intervalSec and hands each new record to fn, until the
+// returned stop function is called. fn runs on the runtime's event path.
+func (w *Watcher) Run(intervalSec float64, fn func(*conduit.Node)) (stop func(), err error) {
+	if intervalSec <= 0 || fn == nil {
+		return nil, fmt.Errorf("soma: Watcher.Run requires a positive interval and fn")
+	}
+	w.mu.Lock()
+	if w.running {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("soma: watcher already running")
+	}
+	w.running = true
+	w.mu.Unlock()
+	inner := des.EveryRT(w.rt, intervalSec, func() bool {
+		records, err := w.Poll()
+		if err != nil {
+			return false
+		}
+		for _, rec := range records {
+			fn(rec)
+		}
+		return true
+	})
+	return func() {
+		inner()
+		w.mu.Lock()
+		w.running = false
+		w.mu.Unlock()
+	}, nil
+}
+
+// historyWithTimes is the service-internal form of History that also
+// returns each record's ingest timestamp, for cursor advancement.
+func (s *Service) historyWithTimes(ns Namespace, after float64) ([]*conduit.Node, []float64, error) {
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, nil, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	var nodes []*conduit.Node
+	var times []float64
+	for i := 0; i < in.count; i++ {
+		idx := (in.head - in.count + i + len(in.history)) % len(in.history)
+		if in.history[idx].time > after {
+			nodes = append(nodes, in.history[idx].node)
+			times = append(times, in.history[idx].time)
+		}
+	}
+	return nodes, times, nil
+}

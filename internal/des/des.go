@@ -1,0 +1,263 @@
+// Package des implements the discrete-event simulation engine that drives
+// every paper experiment in virtual time, plus the Clock abstraction that
+// lets the same pilot/monitor/service component logic run in real time
+// (examples, cmd/wfrun) or simulated time (cmd/somabench, benches).
+//
+// The engine is single-threaded by design: events execute in nondecreasing
+// time order, ties broken by scheduling order, so experiment results are
+// fully deterministic for a given seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Clock provides the current time in seconds since an arbitrary epoch.
+// Components take a Clock so they are agnostic to real vs simulated time.
+type Clock interface {
+	Now() float64
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{ start time.Time }
+
+// NewRealClock returns a wall Clock whose epoch is now.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now returns seconds since the clock was created.
+func (c *RealClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// Event is a scheduled callback.
+type event struct {
+	at   float64
+	seq  uint64
+	fn   func()
+	id   uint64
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. It implements Clock, so simulated
+// components can be handed the engine itself as their time source.
+//
+// Engine methods are safe to call from event callbacks (the common case).
+// They are also safe to call from other goroutines between Run invocations,
+// but Run itself must not be invoked concurrently.
+type Engine struct {
+	mu     sync.Mutex
+	pq     eventHeap
+	now    float64
+	seq    uint64
+	nextID uint64
+	events map[uint64]*event
+	// processed counts executed events; handy for engine-level assertions.
+	processed uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{events: map[uint64]*event{}}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Processed returns how many events have executed.
+func (e *Engine) Processed() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.processed
+}
+
+// Pending returns how many events are scheduled and not yet executed.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.events)
+}
+
+// Timer identifies a scheduled event for cancellation.
+type Timer uint64
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics — that is always a logic bug in the caller.
+func (e *Engine) At(t float64, fn func()) Timer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %.9f before now %.9f", t, e.now))
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: t, seq: e.seq, fn: fn, id: e.nextID}
+	e.events[ev.id] = ev
+	heap.Push(&e.pq, ev)
+	return Timer(ev.id)
+}
+
+// After schedules fn to run d seconds from now. Negative delays clamp to 0.
+func (e *Engine) After(d float64, fn func()) Timer {
+	e.mu.Lock()
+	now := e.now
+	e.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	return e.At(now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. It reports whether the
+// event was still pending.
+func (e *Engine) Cancel(tm Timer) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev, ok := e.events[uint64(tm)]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.events, uint64(tm))
+	return true
+}
+
+// step executes the earliest pending event. It returns false when no events
+// remain or the earliest event is after limit.
+func (e *Engine) step(limit float64) bool {
+	e.mu.Lock()
+	for {
+		if len(e.pq) == 0 {
+			e.mu.Unlock()
+			return false
+		}
+		ev := e.pq[0]
+		if ev.dead {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if ev.at > limit {
+			// Advance the clock to the limit so Now() after Run(until) == until.
+			if limit > e.now && !math.IsInf(limit, 1) {
+				e.now = limit
+			}
+			e.mu.Unlock()
+			return false
+		}
+		heap.Pop(&e.pq)
+		delete(e.events, ev.id)
+		e.now = ev.at
+		e.processed++
+		fn := ev.fn
+		e.mu.Unlock()
+		fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.step(math.Inf(1)) {
+	}
+	return e.Now()
+}
+
+// RunUntil executes events with time ≤ until, then sets the clock to until.
+func (e *Engine) RunUntil(until float64) float64 {
+	for e.step(until) {
+	}
+	e.mu.Lock()
+	if until > e.now && !math.IsInf(until, 1) {
+		e.now = until
+	}
+	now := e.now
+	e.mu.Unlock()
+	return now
+}
+
+// RunRealtime replays the event queue against the wall clock, sleeping
+// between events, with simulated seconds scaled by scale (0.01 plays one
+// simulated minute in 600ms). Used by demos that want to watch a simulated
+// workflow unfold live. Returns the final simulated time.
+func (e *Engine) RunRealtime(scale float64) float64 {
+	if scale <= 0 {
+		return e.Run()
+	}
+	for {
+		e.mu.Lock()
+		if len(e.pq) == 0 {
+			e.mu.Unlock()
+			return e.Now()
+		}
+		next := e.pq[0].at
+		now := e.now
+		e.mu.Unlock()
+		if dt := next - now; dt > 0 {
+			time.Sleep(time.Duration(dt * scale * float64(time.Second)))
+		}
+		if !e.step(math.Inf(1)) {
+			return e.Now()
+		}
+	}
+}
+
+// Every schedules fn at now+period, then every period thereafter, until
+// stop() is called or fn returns false. This is the shape of every
+// monitoring daemon in the simulated experiments.
+func (e *Engine) Every(period float64, fn func() bool) (stop func()) {
+	if period <= 0 {
+		panic("des: Every period must be positive")
+	}
+	var mu sync.Mutex
+	stopped := false
+	var tm Timer
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		if !fn() {
+			return
+		}
+		mu.Lock()
+		if !stopped {
+			tm = e.After(period, tick)
+		}
+		mu.Unlock()
+	}
+	tm = e.After(period, tick)
+	return func() {
+		mu.Lock()
+		stopped = true
+		e.Cancel(tm)
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,312 @@
+package des
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3.0, func() { order = append(order, 3) })
+	e.At(1.0, func() { order = append(order, 1) })
+	e.At(2.0, func() { order = append(order, 2) })
+	end := e.Run()
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", order)
+	}
+	if end != 3.0 {
+		t.Fatalf("end time = %v", end)
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1.0, func() { order = append(order, "first") })
+	e.At(1.0, func() { order = append(order, "second") })
+	e.Run()
+	if !reflect.DeepEqual(order, []string{"first", "second"}) {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.After(1.0, func() {
+		times = append(times, e.Now())
+		e.After(2.0, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if !reflect.DeepEqual(times, []float64{1.0, 3.0}) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative delay event never ran")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.At(1, func() { ran = true })
+	if !e.Cancel(tm) {
+		t.Fatal("cancel of pending event failed")
+	}
+	if e.Cancel(tm) {
+		t.Fatal("second cancel succeeded")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []float64
+	for _, at := range []float64{1, 2, 5, 9} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	now := e.RunUntil(5)
+	if !reflect.DeepEqual(ran, []float64{1, 2, 5}) {
+		t.Fatalf("ran = %v", ran)
+	}
+	if now != 5 {
+		t.Fatalf("now = %v want 5", now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	if got := e.RunUntil(42); got != 42 {
+		t.Fatalf("RunUntil on empty engine = %v", got)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEveryPeriodic(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	stop := e.Every(10, func() bool {
+		ticks = append(ticks, e.Now())
+		return len(ticks) < 4
+	})
+	defer stop()
+	e.Run()
+	want := []float64{10, 20, 30, 40}
+	if !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v want %v", ticks, want)
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var stop func()
+	stop = e.Every(1, func() bool {
+		count++
+		if count == 3 {
+			stop()
+		}
+		return true
+	})
+	e.RunUntil(100)
+	if count != 3 {
+		t.Fatalf("count = %d want 3", count)
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine().Every(0, func() bool { return true })
+}
+
+func TestEngineIsAClock(t *testing.T) {
+	var _ Clock = NewEngine()
+	var _ Clock = NewRealClock()
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	c := NewRealClock()
+	t0 := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	if c.Now()-t0 < 0.004 {
+		t.Fatalf("real clock did not advance: %v -> %v", t0, c.Now())
+	}
+}
+
+func TestRunRealtimeScalesAndCompletes(t *testing.T) {
+	e := NewEngine()
+	var ran []float64
+	for _, at := range []float64{0.5, 1.0} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	start := time.Now()
+	end := e.RunRealtime(0.01) // 1 sim-second = 10ms wall
+	elapsed := time.Since(start)
+	if end != 1.0 || len(ran) != 2 {
+		t.Fatalf("end=%v ran=%v", end, ran)
+	}
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("realtime run finished too fast: %v", elapsed)
+	}
+}
+
+func TestRunRealtimeZeroScaleIsFast(t *testing.T) {
+	e := NewEngine()
+	e.At(1000, func() {})
+	start := time.Now()
+	e.RunRealtime(0)
+	if time.Since(start) > time.Second {
+		t.Fatal("scale 0 should run as fast as possible")
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		var out []float64
+		for i := 0; i < 1000; i++ {
+			at := float64((i * 7919) % 501)
+			e.At(at, func() { out = append(out, e.Now()) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("runs with identical schedules diverged")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	if math.IsNaN(a[len(a)-1]) {
+		t.Fatal("nan time")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 100; j++ {
+			e.At(float64(j%17), func() {})
+		}
+		e.Run()
+	}
+}
+
+func TestRealRuntimeAfterFuncAndCancel(t *testing.T) {
+	rt := NewRealRuntime()
+	fired := make(chan struct{}, 2)
+	rt.AfterFunc(0.005, func() { fired <- struct{}{} })
+	cancel := rt.AfterFunc(1.0, func() { fired <- struct{}{} })
+	cancel()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("short callback never fired")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled callback fired")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rt.Shutdown()
+	// After shutdown, new callbacks never run.
+	ran := false
+	rt.AfterFunc(0.001, func() { ran = true })
+	time.Sleep(20 * time.Millisecond)
+	if ran {
+		t.Fatal("callback ran after shutdown")
+	}
+	if rt.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestRealRuntimeNegativeDelay(t *testing.T) {
+	rt := NewRealRuntime()
+	defer rt.Shutdown()
+	done := make(chan struct{})
+	rt.AfterFunc(-5, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("negative delay should fire immediately")
+	}
+}
+
+func TestEveryRTRealMode(t *testing.T) {
+	rt := NewRealRuntime()
+	defer rt.Shutdown()
+	ticks := make(chan struct{}, 100)
+	stop := EveryRT(rt, 0.005, func() bool {
+		ticks <- struct{}{}
+		return true
+	})
+	for i := 0; i < 3; i++ {
+		select {
+		case <-ticks:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("tick %d never arrived", i)
+		}
+	}
+	stop()
+	// Drain anything in flight, then ensure the cadence stopped.
+	time.Sleep(30 * time.Millisecond)
+	for len(ticks) > 0 {
+		<-ticks
+	}
+	time.Sleep(30 * time.Millisecond)
+	if len(ticks) != 0 {
+		t.Fatal("ticks continued after stop")
+	}
+}

@@ -1,0 +1,117 @@
+package des
+
+import (
+	"sync"
+	"time"
+)
+
+// Runtime is the time-and-callback abstraction the pilot runtime and the
+// SOMA collector daemons are written against. The DES Engine implements it
+// for simulated experiments; RealRuntime implements it for live runs. All
+// callbacks scheduled through a Runtime may fire concurrently in real mode,
+// so components guard their state with their own locks.
+type Runtime interface {
+	Clock
+	// AfterFunc schedules fn to run d seconds from now and returns a cancel
+	// function. Cancel is best-effort: fn may already be running.
+	AfterFunc(d float64, fn func()) (cancel func())
+}
+
+// AfterFunc adapts Engine's After/Cancel pair to the Runtime interface.
+func (e *Engine) AfterFunc(d float64, fn func()) (cancel func()) {
+	tm := e.After(d, fn)
+	return func() { e.Cancel(tm) }
+}
+
+// RealRuntime is a Runtime backed by the wall clock and time.AfterFunc. Its
+// zero value is not usable; call NewRealRuntime.
+type RealRuntime struct {
+	clock *RealClock
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	done  bool
+}
+
+// NewRealRuntime returns a wall-clock runtime whose epoch is now.
+func NewRealRuntime() *RealRuntime {
+	return &RealRuntime{clock: NewRealClock()}
+}
+
+// Now returns seconds since the runtime was created.
+func (r *RealRuntime) Now() float64 { return r.clock.Now() }
+
+// AfterFunc schedules fn on a timer goroutine.
+func (r *RealRuntime) AfterFunc(d float64, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return func() {}
+	}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	var once sync.Once
+	timer := time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
+		defer once.Do(r.wg.Done)
+		r.mu.Lock()
+		stopped := r.done
+		r.mu.Unlock()
+		if !stopped {
+			fn()
+		}
+	})
+	return func() {
+		if timer.Stop() {
+			once.Do(r.wg.Done)
+		}
+	}
+}
+
+// Shutdown stops future callbacks and waits for in-flight ones.
+func (r *RealRuntime) Shutdown() {
+	r.mu.Lock()
+	r.done = true
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// EveryRT schedules fn on rt at now+period and every period thereafter,
+// until stop() is called or fn returns false. It is the Runtime-generic
+// counterpart of Engine.Every, used by the monitoring daemons so the same
+// collector code ticks in simulated and real time.
+func EveryRT(rt Runtime, period float64, fn func() bool) (stop func()) {
+	if period <= 0 {
+		panic("des: EveryRT period must be positive")
+	}
+	var mu sync.Mutex
+	stopped := false
+	var cancel func()
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		if !fn() {
+			return
+		}
+		mu.Lock()
+		if !stopped {
+			cancel = rt.AfterFunc(period, tick)
+		}
+		mu.Unlock()
+	}
+	cancel = rt.AfterFunc(period, tick)
+	return func() {
+		mu.Lock()
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+		mu.Unlock()
+	}
+}

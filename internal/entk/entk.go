@@ -1,0 +1,289 @@
+// Package entk is a Go analog of RADICAL-EnTK (Ensemble Toolkit), the
+// higher-level abstraction over RADICAL-Pilot the paper uses for the
+// DeepDriveMD mini-app experiments (§3.2, Fig. 3):
+//
+//   - a Task is a pilot task description;
+//   - a Stage is a set of tasks that may run concurrently;
+//   - a Pipeline is an ordered sequence of stages — a stage starts only
+//     after every task of the previous stage finished;
+//   - an AppManager runs m pipelines concurrently on one pilot, and can
+//     schedule n phases in a row by appending phase stages to each pipeline.
+//
+// Stage completion hooks (PostExec) are the integration point for the
+// paper's "adaptive" experiment: SOMA analysis runs between phases and
+// adjusts the next phase's task configuration.
+package entk
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/pilot"
+)
+
+// Stage is one step of a pipeline: tasks submitted together, completing as
+// a barrier.
+type Stage struct {
+	Name  string
+	Tasks []pilot.TaskDescription
+	// PostExec runs after every task of the stage reached a final state
+	// and before the next stage is submitted. It may mutate the pipeline's
+	// later stages (adaptive workflows).
+	PostExec func(s *Stage, results []*pilot.Task)
+
+	results []*pilot.Task
+}
+
+// Results returns the stage's completed tasks (valid after the stage ran).
+func (s *Stage) Results() []*pilot.Task { return s.results }
+
+// Pipeline is an ordered list of stages.
+type Pipeline struct {
+	Name   string
+	Stages []*Stage
+
+	mu        sync.Mutex
+	current   int
+	done      bool
+	failed    bool
+	suspended bool
+	resumeFn  func()
+}
+
+// Suspend stops the pipeline from advancing past its current stage: tasks
+// already submitted run to completion, but the next stage is not submitted
+// until Resume. Mirrors EnTK's pipeline suspend/resume API.
+func (p *Pipeline) Suspend() {
+	p.mu.Lock()
+	p.suspended = true
+	p.mu.Unlock()
+}
+
+// Resume lets a suspended pipeline continue. If a stage barrier was reached
+// while suspended, the next stage is submitted immediately.
+func (p *Pipeline) Resume() {
+	p.mu.Lock()
+	p.suspended = false
+	fn := p.resumeFn
+	p.resumeFn = nil
+	p.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Suspended reports whether the pipeline is currently suspended.
+func (p *Pipeline) Suspended() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.suspended
+}
+
+// AddStage appends a stage.
+func (p *Pipeline) AddStage(s *Stage) { p.Stages = append(p.Stages, s) }
+
+// Done reports whether the pipeline has finished all stages.
+func (p *Pipeline) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// Failed reports whether any task of the pipeline failed.
+func (p *Pipeline) Failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// CurrentStage returns the index of the stage being executed.
+func (p *Pipeline) CurrentStage() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.current
+}
+
+// AppManager executes pipelines on a pilot, mirroring EnTK's AppManager.
+type AppManager struct {
+	session *pilot.Session
+	pilot   *pilot.Pilot
+	tmgr    *pilot.TaskManager
+
+	mu        sync.Mutex
+	active    int
+	pipelines []*Pipeline
+	onDone    []func()
+	started   bool
+}
+
+// NewAppManager binds a manager to a session and pilot.
+func NewAppManager(sess *pilot.Session, pl *pilot.Pilot) *AppManager {
+	return &AppManager{
+		session: sess,
+		pilot:   pl,
+		tmgr:    sess.NewTaskManager(pl),
+	}
+}
+
+// TaskManager exposes the underlying task manager (for monitors).
+func (am *AppManager) TaskManager() *pilot.TaskManager { return am.tmgr }
+
+// OnAllDone registers fn to run once every pipeline completes.
+func (am *AppManager) OnAllDone(fn func()) {
+	am.mu.Lock()
+	am.onDone = append(am.onDone, fn)
+	am.mu.Unlock()
+}
+
+// Run starts every pipeline concurrently. It returns immediately; drive the
+// runtime (DES engine) or use Wait (real mode) for completion. Run can only
+// be called once per manager.
+func (am *AppManager) Run(pipelines []*Pipeline) error {
+	am.mu.Lock()
+	if am.started {
+		am.mu.Unlock()
+		return fmt.Errorf("entk: AppManager.Run called twice")
+	}
+	am.started = true
+	am.pipelines = pipelines
+	am.active = len(pipelines)
+	am.mu.Unlock()
+	if len(pipelines) == 0 {
+		am.finish()
+		return nil
+	}
+	for _, p := range pipelines {
+		if len(p.Stages) == 0 {
+			am.pipelineDone(p)
+			continue
+		}
+		if err := am.submitStage(p, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pipelines returns the pipelines passed to Run.
+func (am *AppManager) Pipelines() []*Pipeline {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return append([]*Pipeline(nil), am.pipelines...)
+}
+
+// AllDone reports whether every pipeline finished.
+func (am *AppManager) AllDone() bool {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.started && am.active == 0
+}
+
+func (am *AppManager) finish() {
+	am.mu.Lock()
+	fns := append([]func(){}, am.onDone...)
+	am.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+func (am *AppManager) pipelineDone(p *Pipeline) {
+	p.mu.Lock()
+	p.done = true
+	p.mu.Unlock()
+	am.mu.Lock()
+	am.active--
+	last := am.active == 0
+	am.mu.Unlock()
+	if last {
+		am.finish()
+	}
+}
+
+// submitStage submits every task of stage idx with a completion barrier
+// that advances the pipeline.
+func (am *AppManager) submitStage(p *Pipeline, idx int) error {
+	stage := p.Stages[idx]
+	p.mu.Lock()
+	p.current = idx
+	p.mu.Unlock()
+
+	if len(stage.Tasks) == 0 {
+		am.advance(p, idx)
+		return nil
+	}
+
+	var (
+		mu      sync.Mutex
+		pending = len(stage.Tasks)
+	)
+	tds := make([]pilot.TaskDescription, len(stage.Tasks))
+	copy(tds, stage.Tasks)
+	for i := range tds {
+		userCB := tds[i].OnComplete
+		if tds[i].Name == "" {
+			tds[i].Name = fmt.Sprintf("%s:%s:t%03d", p.Name, stage.Name, i)
+		}
+		tds[i].OnComplete = func(t *pilot.Task) {
+			if userCB != nil {
+				userCB(t)
+			}
+			if t.State() == pilot.StateFailed {
+				p.mu.Lock()
+				p.failed = true
+				p.mu.Unlock()
+			}
+			mu.Lock()
+			stage.results = append(stage.results, t)
+			pending--
+			last := pending == 0
+			mu.Unlock()
+			if last {
+				// Advance via a zero-delay event to avoid re-entering the
+				// agent from its own completion path.
+				am.session.Runtime.AfterFunc(0, func() { am.advance(p, idx) })
+			}
+		}
+	}
+	_, err := am.tmgr.Submit(tds)
+	return err
+}
+
+// advance runs the stage hook and submits the next stage (or completes the
+// pipeline). A suspended pipeline parks here until Resume.
+func (am *AppManager) advance(p *Pipeline, idx int) {
+	stage := p.Stages[idx]
+	if stage.PostExec != nil {
+		stage.PostExec(stage, stage.results)
+	}
+	p.mu.Lock()
+	if p.suspended {
+		p.resumeFn = func() { am.advance(p, idx) }
+		// Skip re-running PostExec on resume by clearing it now; results
+		// are already recorded.
+		stage.PostExec = nil
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	if idx+1 < len(p.Stages) {
+		if err := am.submitStage(p, idx+1); err != nil {
+			p.mu.Lock()
+			p.failed = true
+			p.mu.Unlock()
+			am.pipelineDone(p)
+		}
+		return
+	}
+	am.pipelineDone(p)
+}
+
+// Wait blocks until every pipeline completes (real mode only).
+func (am *AppManager) Wait() {
+	done := make(chan struct{})
+	am.OnAllDone(func() { close(done) })
+	if am.AllDone() {
+		return
+	}
+	<-done
+}

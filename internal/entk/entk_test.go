@@ -1,0 +1,278 @@
+package entk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+func fixture(t *testing.T, nodes int) (*des.Engine, *pilot.Session, *AppManager) {
+	t.Helper()
+	eng := des.NewEngine()
+	batch := platform.NewBatchSystem(platform.NewCluster(nodes, platform.Summit()))
+	sess := pilot.NewSession(eng, batch)
+	p, err := sess.SubmitPilot(pilot.PilotDescription{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, sess, NewAppManager(sess, p)
+}
+
+func dur(d float64) pilot.DurationFunc {
+	return func(pilot.ExecContext) float64 { return d }
+}
+
+func TestStagesRunSequentially(t *testing.T) {
+	eng, _, am := fixture(t, 2)
+	p := &Pipeline{Name: "p0"}
+	p.AddStage(&Stage{Name: "s0", Tasks: []pilot.TaskDescription{
+		{Ranks: 4, Duration: dur(10)},
+		{Ranks: 4, Duration: dur(20)},
+	}})
+	p.AddStage(&Stage{Name: "s1", Tasks: []pilot.TaskDescription{
+		{Ranks: 4, Duration: dur(5)},
+	}})
+	if err := am.Run([]*Pipeline{p}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !p.Done() || p.Failed() {
+		t.Fatalf("done=%v failed=%v", p.Done(), p.Failed())
+	}
+	// Stage barrier: s1's task must start after BOTH s0 tasks finished.
+	s0 := p.Stages[0].Results()
+	s1 := p.Stages[1].Results()
+	if len(s0) != 2 || len(s1) != 1 {
+		t.Fatalf("results: %d, %d", len(s0), len(s1))
+	}
+	var s0End float64
+	for _, task := range s0 {
+		_, _, _, done := task.Times()
+		if done > s0End {
+			s0End = done
+		}
+	}
+	_, _, s1Start, _ := s1[0].Times()
+	if s1Start < s0End {
+		t.Fatalf("stage 1 started %v before stage 0 ended %v", s1Start, s0End)
+	}
+	if !am.AllDone() {
+		t.Fatal("manager should be done")
+	}
+}
+
+func TestConcurrentPipelines(t *testing.T) {
+	eng, _, am := fixture(t, 4)
+	var pipes []*Pipeline
+	for i := 0; i < 4; i++ {
+		p := &Pipeline{Name: fmt.Sprintf("p%d", i)}
+		p.AddStage(&Stage{Name: "s", Tasks: []pilot.TaskDescription{
+			{Ranks: 8, Duration: dur(30)},
+		}})
+		pipes = append(pipes, p)
+	}
+	if err := am.Run(pipes); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// All pipelines fit concurrently: every task should start at the same
+	// time (right after bootstrap) — makespan ≈ one task, not four.
+	var starts []float64
+	for _, p := range pipes {
+		if !p.Done() {
+			t.Fatalf("pipeline %s not done", p.Name)
+		}
+		_, _, s, _ := p.Stages[0].Results()[0].Times()
+		starts = append(starts, s)
+	}
+	for _, s := range starts[1:] {
+		if s != starts[0] {
+			t.Fatalf("pipelines serialized: starts %v", starts)
+		}
+	}
+}
+
+func TestPostExecAdaptsNextStage(t *testing.T) {
+	eng, _, am := fixture(t, 2)
+	p := &Pipeline{Name: "adaptive"}
+	p.AddStage(&Stage{
+		Name:  "phase1",
+		Tasks: []pilot.TaskDescription{{Ranks: 2, Duration: dur(10)}},
+		PostExec: func(_ *Stage, results []*pilot.Task) {
+			// Between-phase analysis doubles the next phase's ranks.
+			p.Stages[1].Tasks[0].Ranks = 4
+		},
+	})
+	p.AddStage(&Stage{Name: "phase2", Tasks: []pilot.TaskDescription{
+		{Ranks: 2, Duration: dur(10)},
+	}})
+	am.Run([]*Pipeline{p})
+	eng.Run()
+	got := p.Stages[1].Results()[0].Placement().TotalCores()
+	if got != 4 {
+		t.Fatalf("adapted stage ran with %d cores, want 4", got)
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	eng, _, am := fixture(t, 1)
+	p := &Pipeline{Name: "f"}
+	p.AddStage(&Stage{Name: "s0", Tasks: []pilot.TaskDescription{
+		{Ranks: 1, Duration: dur(1),
+			Func: func(pilot.ExecContext) error { return fmt.Errorf("boom") }},
+	}})
+	ranSecond := false
+	p.AddStage(&Stage{Name: "s1", Tasks: []pilot.TaskDescription{
+		{Ranks: 1, Duration: dur(1),
+			Func: func(pilot.ExecContext) error { ranSecond = true; return nil }},
+	}})
+	am.Run([]*Pipeline{p})
+	eng.Run()
+	if !p.Failed() {
+		t.Fatal("pipeline should be marked failed")
+	}
+	// EnTK continues the pipeline after failures (fail-soft), like the
+	// paper's non-deterministic pipelines: subsequent stages still run.
+	if !ranSecond {
+		t.Fatal("later stage should still run")
+	}
+	if !p.Done() {
+		t.Fatal("pipeline should still complete")
+	}
+}
+
+func TestEmptyStagesAndPipelines(t *testing.T) {
+	eng, _, am := fixture(t, 1)
+	p := &Pipeline{Name: "empty"}
+	p.AddStage(&Stage{Name: "nothing"})
+	p.AddStage(&Stage{Name: "one", Tasks: []pilot.TaskDescription{{Ranks: 1, Duration: dur(1)}}})
+	empty := &Pipeline{Name: "no-stages"}
+	am.Run([]*Pipeline{p, empty})
+	eng.Run()
+	if !p.Done() || !empty.Done() || !am.AllDone() {
+		t.Fatal("empty constructs should complete trivially")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	eng, _, am := fixture(t, 1)
+	if err := am.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := am.Run(nil); err == nil {
+		t.Fatal("second Run accepted")
+	}
+	eng.Run()
+}
+
+func TestRunNoPipelinesFiresDone(t *testing.T) {
+	_, _, am := fixture(t, 1)
+	fired := false
+	am.OnAllDone(func() { fired = true })
+	am.Run(nil)
+	if !fired || !am.AllDone() {
+		t.Fatal("empty Run should complete immediately")
+	}
+}
+
+func TestPhaseComposition(t *testing.T) {
+	// n phases of a 4-stage workflow = 4n stages on one pipeline — the
+	// paper's "n phases in a row, within m concurrent pipelines".
+	eng, _, am := fixture(t, 2)
+	p := &Pipeline{Name: "ddmd"}
+	const phases = 3
+	for ph := 0; ph < phases; ph++ {
+		for _, st := range []string{"sim", "train", "select", "agent"} {
+			p.AddStage(&Stage{
+				Name:  fmt.Sprintf("phase%d:%s", ph, st),
+				Tasks: []pilot.TaskDescription{{Ranks: 2, Duration: dur(5)}},
+			})
+		}
+	}
+	am.Run([]*Pipeline{p})
+	eng.Run()
+	if !p.Done() {
+		t.Fatal("not done")
+	}
+	if got := p.CurrentStage(); got != 4*phases-1 {
+		t.Fatalf("current stage = %d", got)
+	}
+	// Stages must not overlap in time.
+	var prevEnd float64
+	for _, s := range p.Stages {
+		_, _, start, end := s.Results()[0].Times()
+		if start < prevEnd {
+			t.Fatalf("stage %s overlapped previous (start %v < prev end %v)", s.Name, start, prevEnd)
+		}
+		prevEnd = end
+	}
+}
+
+func TestRealModeWait(t *testing.T) {
+	rt := des.NewRealRuntime()
+	defer rt.Shutdown()
+	batch := platform.NewBatchSystem(platform.NewCluster(1, platform.Summit()))
+	sess := pilot.NewSession(rt, batch)
+	p, err := sess.SubmitPilot(pilot.PilotDescription{Nodes: 1, BootstrapSec: 0.005, SchedOverheadSec: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := NewAppManager(sess, p)
+	pipe := &Pipeline{Name: "real"}
+	pipe.AddStage(&Stage{Name: "s", Tasks: []pilot.TaskDescription{
+		{Ranks: 2, Duration: dur(0.01)},
+		{Ranks: 2, Duration: dur(0.01)},
+	}})
+	if err := am.Run([]*Pipeline{pipe}); err != nil {
+		t.Fatal(err)
+	}
+	am.Wait()
+	if !pipe.Done() || pipe.Failed() {
+		t.Fatalf("done=%v failed=%v", pipe.Done(), pipe.Failed())
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	eng, _, am := fixture(t, 1)
+	p := &Pipeline{Name: "susp"}
+	p.AddStage(&Stage{Name: "s0", Tasks: []pilot.TaskDescription{{Ranks: 1, Duration: dur(10)}}})
+	p.AddStage(&Stage{Name: "s1", Tasks: []pilot.TaskDescription{{Ranks: 1, Duration: dur(10)}}})
+	// Suspend at the first stage barrier.
+	p.Stages[0].PostExec = func(*Stage, []*pilot.Task) { p.Suspend() }
+	if err := am.Run([]*Pipeline{p}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if p.Done() {
+		t.Fatal("suspended pipeline should not complete")
+	}
+	if !p.Suspended() {
+		t.Fatal("pipeline should report suspended")
+	}
+	if len(p.Stages[1].Results()) != 0 {
+		t.Fatal("stage 1 ran while suspended")
+	}
+	p.Resume()
+	eng.Run()
+	if !p.Done() || p.Suspended() {
+		t.Fatalf("pipeline after resume: done=%v suspended=%v", p.Done(), p.Suspended())
+	}
+	if len(p.Stages[1].Results()) != 1 {
+		t.Fatal("stage 1 did not run after resume")
+	}
+}
+
+func TestResumeWithoutSuspendIsNoop(t *testing.T) {
+	eng, _, am := fixture(t, 1)
+	p := &Pipeline{Name: "plain"}
+	p.AddStage(&Stage{Name: "s0", Tasks: []pilot.TaskDescription{{Ranks: 1, Duration: dur(5)}}})
+	am.Run([]*Pipeline{p})
+	p.Resume() // nothing pending
+	eng.Run()
+	if !p.Done() {
+		t.Fatal("pipeline should complete normally")
+	}
+}

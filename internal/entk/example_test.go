@@ -1,0 +1,50 @@
+package entk_test
+
+import (
+	"fmt"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/entk"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+// A DDMD-shaped pipeline: four ordered stages, the simulation stage fanning
+// out to concurrent tasks, all on one pilot.
+func ExampleAppManager() {
+	eng := des.NewEngine()
+	sess := pilot.NewSession(eng, platform.NewBatchSystem(platform.NewCluster(2, platform.Summit())))
+	pl, _ := sess.SubmitPilot(pilot.PilotDescription{Nodes: 2})
+
+	dur := func(d float64) pilot.DurationFunc {
+		return func(pilot.ExecContext) float64 { return d }
+	}
+	pipe := &entk.Pipeline{Name: "ddmd"}
+	sim := &entk.Stage{Name: "simulation"}
+	for i := 0; i < 12; i++ {
+		sim.Tasks = append(sim.Tasks, pilot.TaskDescription{
+			Ranks: 1, CoresPerRank: 3, GPUsPerRank: 1, Duration: dur(300),
+		})
+	}
+	pipe.AddStage(sim)
+	pipe.AddStage(&entk.Stage{Name: "training", Tasks: []pilot.TaskDescription{
+		{Ranks: 1, CoresPerRank: 7, GPUsPerRank: 1, Duration: dur(180)},
+	}})
+	pipe.AddStage(&entk.Stage{Name: "selection", Tasks: []pilot.TaskDescription{
+		{Ranks: 1, Duration: dur(45)},
+	}})
+	pipe.AddStage(&entk.Stage{Name: "agent", Tasks: []pilot.TaskDescription{
+		{Ranks: 1, GPUsPerRank: 1, Duration: dur(90)},
+	}})
+
+	am := entk.NewAppManager(sess, pl)
+	_ = am.Run([]*entk.Pipeline{pipe})
+	makespan := eng.Run()
+
+	// 12 GPUs needed, 12 available across 2 nodes: one simulation wave.
+	fmt.Println("done:", pipe.Done(), "failed:", pipe.Failed())
+	fmt.Println("stages:", len(pipe.Stages), "makespan under 700s:", makespan < 700)
+	// Output:
+	// done: true failed: false
+	// stages: 4 makespan under 700s: true
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/entk"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+// SOMAMode selects how SOMA's nodes relate to the application (Fig. 10/11).
+type SOMAMode string
+
+// The three configurations of the scaling experiments.
+const (
+	// ModeNone: no SOMA nodes, no monitoring — the baseline.
+	ModeNone SOMAMode = "none"
+	// ModeShared: SOMA nodes exist but RP may schedule application tasks
+	// on their free cores and GPUs.
+	ModeShared SOMAMode = "shared"
+	// ModeExclusive: SOMA nodes are reserved for SOMA only.
+	ModeExclusive SOMAMode = "exclusive"
+)
+
+// DDMDConfig parameterizes a DeepDriveMD mini-app workflow (§3.2, Table 2).
+type DDMDConfig struct {
+	Phases    int
+	Pipelines int
+	AppNodes  int
+	SomaNodes int
+	// CoresPerSim / CoresPerTrain are per-task CPU core counts. PerPhase
+	// overrides (for the tuning study) are applied per phase index when
+	// non-nil.
+	CoresPerSim        int
+	CoresPerTrain      int
+	PerPhaseSimCores   []int
+	PerPhaseTrainCores []int
+	NumTrainTasks      int
+	PerPhaseTrainTasks []int
+	RanksPerNamespace  int
+	MonitorIntervalSec float64
+	Mode               SOMAMode
+	Seed               uint64
+	// CompactHW drops per-core stat lines from hardware samples — used by
+	// the large scaling runs to keep the hardware namespace lean.
+	CompactHW bool
+	// PhaseHook runs between phases (after pipeline 0's agent stage
+	// completes) — the SOMA-analysis insertion point of the adaptive
+	// experiment. It receives the phase index just finished and a live
+	// Analysis over the run's SOMA service (zero-valued when Mode is
+	// ModeNone).
+	PhaseHook func(phase int, analysis core.Analysis)
+}
+
+// DDMDRun holds a completed mini-app workflow and its observability data.
+type DDMDRun struct {
+	Cfg           DDMDConfig
+	Makespan      float64
+	PipelineTimes []float64 // per-pipeline wall times (Figs. 10, 11)
+	// StageTimes[phase][stage] aggregates task execution times (Fig. 9).
+	StageTimes [][4][]float64
+	// PhaseBounds[p] = [start, end] of phase p (pipeline 0), for attributing
+	// utilization samples to phases in the tuning study.
+	PhaseBounds [][2]float64
+	Analysis    core.Analysis
+	Service     *core.Service
+	Advice      []AdviceRecord
+}
+
+// AdviceRecord is one between-phase advisor consultation.
+type AdviceRecord struct {
+	Phase           int
+	MeanUtilPct     float64
+	FreeGPUs        int
+	CurrentTrain    int
+	SuggestedTrain  int
+	SuggestedCores  int
+	CurrentSimCores int
+}
+
+// Close releases the run's SOMA service.
+func (r *DDMDRun) Close() {
+	if r.Service != nil {
+		r.Service.Close()
+	}
+}
+
+var ddmdRunSeq struct {
+	sync.Mutex
+	n int
+}
+
+// RunDDMD executes the mini-app workflow in simulated time.
+func RunDDMD(cfg DDMDConfig) (*DDMDRun, error) {
+	if cfg.Phases < 1 || cfg.Pipelines < 1 || cfg.AppNodes < 1 {
+		return nil, fmt.Errorf("experiments: invalid DDMD config %+v", cfg)
+	}
+	if cfg.MonitorIntervalSec <= 0 {
+		cfg.MonitorIntervalSec = 60
+	}
+	if cfg.RanksPerNamespace < 1 {
+		cfg.RanksPerNamespace = 1
+	}
+	if cfg.NumTrainTasks < 1 {
+		cfg.NumTrainTasks = 1
+	}
+	if cfg.CoresPerSim < 1 {
+		cfg.CoresPerSim = 1
+	}
+	if cfg.CoresPerTrain < 1 {
+		cfg.CoresPerTrain = 1
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeExclusive
+	}
+	if cfg.Mode == ModeNone {
+		cfg.SomaNodes = 0
+	}
+	ddmdRunSeq.Lock()
+	ddmdRunSeq.n++
+	runID := ddmdRunSeq.n
+	ddmdRunSeq.Unlock()
+
+	eng := des.NewEngine()
+	rng := stats.NewRNG(cfg.Seed)
+	model := workload.DefaultDDMD()
+
+	totalNodes := cfg.AppNodes + cfg.SomaNodes
+	cluster := platform.NewCluster(totalNodes, platform.Summit())
+	batch := platform.NewBatchSystem(cluster)
+	sess := pilot.NewSession(eng, batch)
+
+	// Monitoring overhead: applied as a task slowdown when monitoring is
+	// active, per the calibrated model (Fig. 11's mechanism).
+	slowdown := 1.0
+	if cfg.Mode != ModeNone {
+		ov := workload.DefaultOverhead()
+		perRank := float64(cfg.Pipelines) / float64(cfg.RanksPerNamespace)
+		slowdown = ov.SlowdownFactor(cfg.AppNodes, cfg.MonitorIntervalSec, perRank)
+	}
+
+	pl, err := sess.SubmitPilot(pilot.PilotDescription{
+		Nodes: totalNodes, Seed: cfg.Seed, Slowdown: slowdown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agent := pl.Agent
+
+	var svc *core.Service
+	var client *core.Client
+	var stopMonitors func()
+	if cfg.Mode != ModeNone {
+		svc = core.NewService(core.ServiceConfig{
+			RanksPerNamespace: cfg.RanksPerNamespace,
+			Clock:             eng,
+		})
+		addr, err := svc.Listen(fmt.Sprintf("inproc://ddmd-run-%d", runID))
+		if err != nil {
+			return nil, err
+		}
+		client, err = core.Connect(addr, nil)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+
+		// SOMA service ranks, split across the dedicated SOMA nodes (the
+		// last SomaNodes nodes of the allocation). Only the workflow and
+		// hardware namespaces are active in the DDMD runs, so two instances
+		// worth of ranks are placed.
+		totalRanks := 2 * cfg.RanksPerNamespace
+		perNode := (totalRanks + cfg.SomaNodes - 1) / cfg.SomaNodes
+		for i := 0; i < cfg.SomaNodes; i++ {
+			node := pl.Allocation.Nodes[cfg.AppNodes+i]
+			ranks := perNode
+			// In exclusive mode the GPU-reserve task needs one core per GPU
+			// on the same node; never let service ranks crowd it out.
+			maxRanks := node.Spec.UsableCores()
+			if cfg.Mode == ModeExclusive {
+				maxRanks -= node.Spec.GPUs
+			}
+			if ranks > maxRanks {
+				ranks = maxRanks
+			}
+			if _, err := agent.Submit(pilot.TaskDescription{
+				Name: fmt.Sprintf("soma.service.%d", i), Service: true,
+				Ranks: ranks, PinNode: node.Name, CPUActivity: 0.3,
+			}); err != nil {
+				svc.Close()
+				return nil, err
+			}
+			if cfg.Mode == ModeExclusive {
+				// Reserve the node's GPUs (one 6-rank task, each rank
+				// holding a core and a GPU) and its remaining cores, so RP
+				// cannot place application tasks there.
+				if _, err := agent.Submit(pilot.TaskDescription{
+					Name: fmt.Sprintf("soma.reserve.gpu.%d", i), Service: true,
+					Ranks: node.Spec.GPUs, GPUsPerRank: 1, PinNode: node.Name,
+					CPUActivity: 0.01,
+				}); err != nil {
+					svc.Close()
+					return nil, err
+				}
+				if rest := node.Spec.UsableCores() - ranks - node.Spec.GPUs; rest > 0 {
+					if _, err := agent.Submit(pilot.TaskDescription{
+						Name: fmt.Sprintf("soma.reserve.%d", i), Service: true,
+						Ranks: rest, PinNode: node.Name, CPUActivity: 0.01,
+					}); err != nil {
+						svc.Close()
+						return nil, err
+					}
+				}
+			}
+		}
+
+		// RP monitor daemon (one per workflow) + per-node hardware monitors.
+		rpm, err := core.NewRPMonitor(core.RPMonitorConfig{
+			Runtime: eng, Profiler: agent.Profiler(), Pub: client,
+			IntervalSec: cfg.MonitorIntervalSec,
+		})
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		stopRP := rpm.Start()
+		var stopHW []func()
+		for i := 0; i < totalNodes; i++ {
+			node := pl.Allocation.Nodes[i]
+			src := procfs.NewSyntheticSource(node, eng, cfg.Seed+uint64(i))
+			src.SetCompact(cfg.CompactHW)
+			hwm, err := core.NewHWMonitor(core.HWMonitorConfig{
+				Runtime: eng,
+				Source:  procfs.NewSampler(src),
+				Pub:     client, IntervalSec: cfg.MonitorIntervalSec,
+			})
+			if err != nil {
+				svc.Close()
+				return nil, err
+			}
+			stopHW = append(stopHW, hwm.Start())
+		}
+		stopMonitors = func() {
+			agent.StopServices()
+			stopRP()
+			for _, s := range stopHW {
+				s()
+			}
+		}
+	} else {
+		stopMonitors = func() { agent.StopServices() }
+	}
+
+	run := &DDMDRun{Cfg: cfg, Service: svc}
+	run.StageTimes = make([][4][]float64, cfg.Phases)
+	run.PhaseBounds = make([][2]float64, cfg.Phases)
+	if svc != nil {
+		run.Analysis = core.Analysis{Q: core.LocalQuerier{Service: svc}}
+	}
+
+	phaseParam := func(per []int, def, phase int) int {
+		if phase < len(per) && per[phase] > 0 {
+			return per[phase]
+		}
+		return def
+	}
+
+	// Build m pipelines × n phases × 4 stages.
+	var mu sync.Mutex
+	pipeStart := make([]float64, cfg.Pipelines)
+	pipeEnd := make([]float64, cfg.Pipelines)
+	ov := workload.DefaultOverhead()
+	var pipelines []*entk.Pipeline
+	for pi := 0; pi < cfg.Pipelines; pi++ {
+		pi := pi
+		// Shared mode lets RP place opportunistically, which occasionally
+		// yields an inefficient placement that delays a pipeline (§4.3).
+		placementFactor := 1.0
+		if cfg.Mode == ModeShared {
+			placementFactor = ov.SharedPlacementFactor(cfg.AppNodes, rng)
+		}
+		p := &entk.Pipeline{Name: fmt.Sprintf("pipe%03d", pi)}
+		for ph := 0; ph < cfg.Phases; ph++ {
+			ph := ph
+			simCores := phaseParam(cfg.PerPhaseSimCores, cfg.CoresPerSim, ph)
+			trainCores := phaseParam(cfg.PerPhaseTrainCores, cfg.CoresPerTrain, ph)
+			trainTasks := phaseParam(cfg.PerPhaseTrainTasks, cfg.NumTrainTasks, ph)
+			for _, stage := range []workload.DDMDStage{
+				workload.StageSimulation, workload.StageTraining,
+				workload.StageSelection, workload.StageAgent,
+			} {
+				stage := stage
+				count := model.TaskCount(stage, trainTasks)
+				cores := 1
+				switch stage {
+				case workload.StageSimulation:
+					cores = simCores
+				case workload.StageTraining:
+					cores = trainCores
+				}
+				gpus := 0
+				if model.UsesGPU(stage) {
+					gpus = model.GPUsPerTask
+				}
+				var tds []pilot.TaskDescription
+				for k := 0; k < count; k++ {
+					tds = append(tds, pilot.TaskDescription{
+						Name:         fmt.Sprintf("p%03d.ph%d.%s.%d", pi, ph, stage, k),
+						Ranks:        1,
+						CoresPerRank: cores,
+						GPUsPerRank:  gpus,
+						CPUActivity:  model.CPUActivity(stage),
+						Duration: func(pilot.ExecContext) float64 {
+							return model.StageTime(stage, cores, trainTasks, rng) * placementFactor
+						},
+					})
+				}
+				es := &entk.Stage{Name: fmt.Sprintf("ph%d:%s", ph, stage), Tasks: tds}
+				es.PostExec = func(s *entk.Stage, results []*pilot.Task) {
+					mu.Lock()
+					stageMinExec := 0.0
+					for _, t := range results {
+						_, _, exec, done := t.Times()
+						if pipeStart[pi] == 0 || (exec > 0 && exec < pipeStart[pi]) {
+							pipeStart[pi] = exec
+						}
+						if exec > 0 && (stageMinExec == 0 || exec < stageMinExec) {
+							stageMinExec = exec
+						}
+						if done > pipeEnd[pi] {
+							pipeEnd[pi] = done
+						}
+						if et := t.ExecTime(); et > 0 {
+							run.StageTimes[ph][stage] = append(run.StageTimes[ph][stage], et)
+						}
+					}
+					if pi == 0 {
+						if stage == workload.StageSimulation && run.PhaseBounds[ph][0] == 0 {
+							run.PhaseBounds[ph][0] = stageMinExec
+						}
+						if stage == workload.StageAgent {
+							run.PhaseBounds[ph][1] = eng.Now()
+						}
+					}
+					mu.Unlock()
+					if stage == workload.StageAgent && pi == 0 && cfg.PhaseHook != nil {
+						cfg.PhaseHook(ph, run.Analysis)
+					}
+				}
+				p.AddStage(es)
+			}
+		}
+		pipelines = append(pipelines, p)
+	}
+
+	am := entk.NewAppManager(sess, pl)
+	var once sync.Once
+	am.OnAllDone(func() {
+		once.Do(stopMonitors)
+	})
+	if err := am.Run(pipelines); err != nil {
+		if svc != nil {
+			svc.Close()
+		}
+		return nil, err
+	}
+	run.Makespan = eng.Run()
+
+	for pi := 0; pi < cfg.Pipelines; pi++ {
+		if pipeEnd[pi] > pipeStart[pi] && pipeStart[pi] > 0 {
+			run.PipelineTimes = append(run.PipelineTimes, pipeEnd[pi]-pipeStart[pi])
+		}
+	}
+	if client != nil {
+		client.Close()
+	}
+	return run, nil
+}
+
+// FreeGPUsOnSomaNodes estimates how many GPUs sat idle on the SOMA nodes —
+// the adaptive experiment's "identify free resources during runtime".
+func (cfg DDMDConfig) FreeGPUsOnSomaNodes() int {
+	if cfg.Mode == ModeShared || cfg.Mode == ModeExclusive {
+		return cfg.SomaNodes * platform.Summit().GPUs
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+func TestDDMDBaselinePhaseStructure(t *testing.T) {
+	run, err := RunDDMD(DDMDConfig{
+		Phases: 2, Pipelines: 1, AppNodes: 2, SomaNodes: 1,
+		CoresPerSim: 3, CoresPerTrain: 7, NumTrainTasks: 1,
+		Mode: ModeExclusive, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	for ph := 0; ph < 2; ph++ {
+		if n := len(run.StageTimes[ph][workload.StageSimulation]); n != 12 {
+			t.Fatalf("phase %d sim tasks = %d want 12", ph, n)
+		}
+		for _, st := range []workload.DDMDStage{
+			workload.StageTraining, workload.StageSelection, workload.StageAgent,
+		} {
+			if n := len(run.StageTimes[ph][st]); n != 1 {
+				t.Fatalf("phase %d stage %s tasks = %d want 1", ph, st, n)
+			}
+		}
+		if run.PhaseBounds[ph][1] <= run.PhaseBounds[ph][0] {
+			t.Fatalf("phase %d bounds inverted: %v", ph, run.PhaseBounds[ph])
+		}
+	}
+	if run.PhaseBounds[1][0] < run.PhaseBounds[0][1] {
+		t.Fatal("phase 1 started before phase 0 finished")
+	}
+	if len(run.PipelineTimes) != 1 || run.PipelineTimes[0] <= 0 {
+		t.Fatalf("pipeline times = %v", run.PipelineTimes)
+	}
+}
+
+// TestFig9Shape: CPU utilization stays low in every tuning phase even as
+// cores per task vary — the workload is GPU-bound.
+func TestFig9Shape(t *testing.T) {
+	run, err := RunDDMD(TuningDDMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	hosts, err := run.Analysis.Hosts()
+	if err != nil || len(hosts) == 0 {
+		t.Fatalf("hosts = %v, %v", hosts, err)
+	}
+	for ph := 0; ph < run.Cfg.Phases; ph++ {
+		var utils []float64
+		for _, host := range hosts[:run.Cfg.AppNodes] {
+			series, _ := run.Analysis.CPUUtilSeries(host)
+			for _, p := range series {
+				if p.Time >= run.PhaseBounds[ph][0] && p.Time <= run.PhaseBounds[ph][1] {
+					utils = append(utils, p.Util)
+				}
+			}
+		}
+		if len(utils) == 0 {
+			t.Fatalf("phase %d has no utilization samples", ph)
+		}
+		if m := stats.Mean(utils); m > 35 {
+			t.Errorf("phase %d mean CPU util %.1f%%, want low (GPU-bound)", ph, m)
+		}
+	}
+	// More cores per sim task should still shorten the sim stage slightly.
+	t1 := stats.Mean(run.StageTimes[0][workload.StageSimulation]) // 1 core
+	t7 := stats.Mean(run.StageTimes[2][workload.StageSimulation]) // 7 cores
+	if t7 >= t1 {
+		t.Errorf("sim stage with 7 cores (%.1f) should not be slower than 1 core (%.1f)", t7, t1)
+	}
+	if (t1-t7)/t1 > 0.2 {
+		t.Errorf("core effect %.0f%% too large — should be minimal", (t1-t7)/t1*100)
+	}
+}
+
+// TestScalingASharedVsExclusive: shared lets RP use the SOMA nodes' free
+// GPUs, lowering pipeline runtimes; the SOMA-rank ratio has little effect.
+func TestScalingASharedVsExclusive(t *testing.T) {
+	small := func(mode SOMAMode, ranks int) stats.Summary {
+		run, err := RunDDMD(DDMDConfig{
+			Phases: 1, Pipelines: 16, AppNodes: 16, SomaNodes: 1,
+			CoresPerSim: 3, CoresPerTrain: 7, NumTrainTasks: 1,
+			RanksPerNamespace: ranks, Mode: mode, Seed: 31, CompactHW: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer run.Close()
+		if len(run.PipelineTimes) != 16 {
+			t.Fatalf("pipelines = %d", len(run.PipelineTimes))
+		}
+		return stats.Summarize(run.PipelineTimes)
+	}
+	sh := small(ModeShared, 16)
+	ex := small(ModeExclusive, 16)
+	if sh.Median >= ex.Median {
+		t.Errorf("shared median %.1f should beat exclusive %.1f", sh.Median, ex.Median)
+	}
+	// Ratio effect is weak: 4:1 vs 1:1 ranks changes exclusive medians < 5%.
+	ex4 := small(ModeExclusive, 4)
+	rel := (ex4.Median - ex.Median) / ex.Median
+	if rel < -0.05 || rel > 0.05 {
+		t.Errorf("rank-ratio effect %.1f%% too strong", rel*100)
+	}
+}
+
+// TestFig11Shape runs the Scaling B sweep at reduced scale (64 and 128
+// nodes) and pins the overhead ordering the paper reports.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	rows, err := RunFig11(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d want 10", len(rows))
+	}
+	get := func(nodes int, mode SOMAMode, interval float64) Fig11Row {
+		for _, r := range rows {
+			if r.AppNodes == nodes && r.Mode == mode && r.IntervalSec == interval {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%s/%v", nodes, mode, interval)
+		return Fig11Row{}
+	}
+	for _, nodes := range []int{64, 128} {
+		freqEx := get(nodes, ModeExclusive, 10)
+		ex := get(nodes, ModeExclusive, 60)
+		sh := get(nodes, ModeShared, 60)
+		// Frequent monitoring costs more than 60 s monitoring.
+		if freqEx.OverheadPct <= ex.OverheadPct {
+			t.Errorf("%d nodes: frequent-exclusive %.2f%% should exceed exclusive %.2f%%",
+				nodes, freqEx.OverheadPct, ex.OverheadPct)
+		}
+		// Exclusive overhead is small at 60 s.
+		if ex.OverheadPct < -0.5 || ex.OverheadPct > 2 {
+			t.Errorf("%d nodes: exclusive overhead %.2f%% out of expected band", nodes, ex.OverheadPct)
+		}
+		// Shared runs faster than baseline at small scale.
+		if sh.OverheadPct >= 0 {
+			t.Errorf("%d nodes: shared overhead %.2f%%, want negative (speedup)", nodes, sh.OverheadPct)
+		}
+	}
+	// Frequent-exclusive overhead grows with node count (paper: 1.4% → 4.6%).
+	if get(128, ModeExclusive, 10).OverheadPct <= get(64, ModeExclusive, 10).OverheadPct {
+		t.Error("frequent-exclusive overhead should grow with scale")
+	}
+}
+
+// TestAdaptiveAdvice: between-phase SOMA analysis sees low CPU utilization
+// and free GPUs, and recommends fanning training out — the same direction
+// the paper's a-priori schedule takes.
+func TestAdaptiveAdvice(t *testing.T) {
+	cfg := AdaptiveDDMD()
+	advisor := core.NewAdvisor()
+	var advice []AdviceRecord
+	cfg.PhaseHook = func(phase int, analysis core.Analysis) {
+		util, err := analysis.MeanClusterUtil()
+		if err != nil {
+			t.Errorf("phase %d analysis: %v", phase, err)
+			return
+		}
+		current := cfg.PerPhaseTrainTasks[phase]
+		advice = append(advice, AdviceRecord{
+			Phase: phase, MeanUtilPct: util,
+			CurrentTrain:   current,
+			SuggestedTrain: advisor.SuggestTrainTasks(current, util, cfg.FreeGPUsOnSomaNodes()),
+		})
+	}
+	run, err := RunDDMD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if len(advice) != cfg.Phases {
+		t.Fatalf("advice records = %d want %d", len(advice), cfg.Phases)
+	}
+	for _, a := range advice {
+		if a.MeanUtilPct > 35 {
+			t.Errorf("phase %d util %.1f%% should be low", a.Phase, a.MeanUtilPct)
+		}
+		if a.SuggestedTrain <= a.CurrentTrain {
+			t.Errorf("phase %d: advisor should fan out training (%d → %d)",
+				a.Phase, a.CurrentTrain, a.SuggestedTrain)
+		}
+	}
+	// Parallel training shrinks the training stage across phases 1→4.
+	tr1 := stats.Mean(run.StageTimes[0][workload.StageTraining])
+	tr4 := stats.Mean(run.StageTimes[3][workload.StageTraining])
+	if tr4 >= tr1 {
+		t.Errorf("training with 6 tasks (%.1f s) should beat 1 task (%.1f s)", tr4, tr1)
+	}
+}
+
+func TestDDMDNoneModeHasNoService(t *testing.T) {
+	run, err := RunDDMD(DDMDConfig{
+		Phases: 1, Pipelines: 2, AppNodes: 2,
+		Mode: ModeNone, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if run.Service != nil {
+		t.Fatal("none mode should not start a SOMA service")
+	}
+	if len(run.PipelineTimes) != 2 {
+		t.Fatalf("pipeline times = %v", run.PipelineTimes)
+	}
+}
+
+func TestInvalidDDMDConfig(t *testing.T) {
+	if _, err := RunDDMD(DDMDConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

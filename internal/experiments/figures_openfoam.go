@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/tau"
+)
+
+// Fig4 reproduces the OpenFOAM strong-scaling study: 20 instances of each
+// rank configuration in one RP-managed workflow, execution times taken from
+// the SOMA workflow namespace.
+func Fig4() (Report, error) {
+	run, err := RunOpenFOAM(OverloadOpenFOAM())
+	if err != nil {
+		return Report{}, err
+	}
+	defer run.Close()
+
+	byRanks := run.ByRanks()
+	ranks := make([]int, 0, len(byRanks))
+	for r := range byRanks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	var rows [][]string
+	means := map[int]float64{}
+	for _, r := range ranks {
+		s := stats.Summarize(byRanks[r])
+		means[r] = s.Mean
+		rows = append(rows, boxRow(fmt.Sprintf("%d ranks", r), s))
+	}
+	advisor := core.NewAdvisor()
+	suggest := advisor.SuggestRanks(means)
+
+	var sb strings.Builder
+	sb.WriteString(table(boxHeader, rows))
+	sb.WriteString("\nexecution time (s) means: ")
+	for _, r := range ranks {
+		fmt.Fprintf(&sb, "%d→%.1f  ", r, means[r])
+	}
+	if len(ranks) >= 2 {
+		last, prev := ranks[len(ranks)-1], ranks[len(ranks)-2]
+		fmt.Fprintf(&sb, "\nspeedup %d→%d ranks: %.2fx (limited benefit beyond two nodes)",
+			prev, last, means[prev]/means[last])
+	}
+	fmt.Fprintf(&sb, "\nadvisor suggestion for RP task description: %d ranks\n", suggest)
+	return Report{
+		ID:    "fig4",
+		Title: "OpenFOAM strong scaling (20 instances per configuration)",
+		Notes: "Paper: execution time drops steeply to 82 ranks, then shows " +
+			"limited benefit beyond two nodes; SOMA-measured times feed the " +
+			"advisor that would re-configure RP task descriptions.",
+		Body: sb.String(),
+	}, nil
+}
+
+// Fig5 reproduces the per-rank MPI time view from the TAU SOMA plugin for
+// one 20-rank task of the tuning workflow.
+func Fig5() (Report, error) {
+	run, err := RunOpenFOAM(TuningOpenFOAM())
+	if err != nil {
+		return Report{}, err
+	}
+	defer run.Close()
+
+	profs, err := run.Analysis.TAUProfiles()
+	if err != nil {
+		return Report{}, err
+	}
+	// Pick the 20-rank task.
+	var uid string
+	for _, t := range run.Tasks {
+		if t.Ranks == 20 {
+			uid = t.UID
+			break
+		}
+	}
+	var sel []tau.Profile
+	for _, p := range profs {
+		if p.TaskUID == uid {
+			sel = append(sel, p)
+		}
+	}
+	if len(sel) == 0 {
+		return Report{}, fmt.Errorf("experiments: no TAU profiles for %s", uid)
+	}
+
+	fns := []string{"MPI_Recv", "MPI_Waitall", "MPI_Allreduce", "MPI_Isend", ".TAU application"}
+	var rows [][]string
+	for _, p := range sel {
+		row := []string{fmt.Sprintf("rank %02d", p.Rank)}
+		for _, fn := range fns {
+			row = append(row, fmt.Sprintf("%.1f", p.Seconds[fn]))
+		}
+		row = append(row, fmt.Sprintf("%.0f%%", p.MPITime()/p.Total()*100))
+		rows = append(rows, row)
+	}
+	header := append([]string{"rank"}, fns...)
+	header = append(header, "MPI share")
+
+	var sb strings.Builder
+	sb.WriteString(table(header, rows))
+	imb := tau.LoadImbalance(sel, uid, "MPI_Recv")
+	fmt.Fprintf(&sb, "\nMPI_Recv load imbalance (max/mean across ranks): %.2f\n", imb)
+	totals := tau.FunctionTotals(sel)
+	recvWait := totals["MPI_Recv"] + totals["MPI_Waitall"]
+	all := 0.0
+	for _, v := range totals {
+		all += v
+	}
+	fmt.Fprintf(&sb, "MPI_Recv+MPI_Waitall share of task time: %.0f%%\n", recvWait/all*100)
+	return Report{
+		ID:    "fig5",
+		Title: fmt.Sprintf("TAU per-rank MPI times for one 20-rank task (%s)", uid),
+		Notes: "Paper: a large portion of time for each rank is spent in " +
+			"MPI_Recv() and MPI_Waitall(); the hostname tag and task id " +
+			"attribute each profile to the right heterogeneous task.",
+		Body: sb.String(),
+	}, nil
+}
+
+// Fig6 reproduces the placement study: execution time of 20- and 41-rank
+// tasks grouped by how many nodes their ranks landed on during the
+// overloaded run.
+func Fig6() (Report, error) {
+	run, err := RunOpenFOAM(OverloadOpenFOAM())
+	if err != nil {
+		return Report{}, err
+	}
+	defer run.Close()
+
+	var sb strings.Builder
+	for _, ranks := range []int{20, 41} {
+		bySpan := run.BySpan(ranks)
+		spans := make([]int, 0, len(bySpan))
+		for s := range bySpan {
+			spans = append(spans, s)
+		}
+		sort.Ints(spans)
+		var rows [][]string
+		for _, s := range spans {
+			rows = append(rows, boxRow(fmt.Sprintf("%d ranks on %d node(s)", ranks, s),
+				stats.Summarize(bySpan[s])))
+		}
+		sb.WriteString(table(boxHeader, rows))
+		sb.WriteString("\n")
+	}
+	return Report{
+		ID:    "fig6",
+		Title: "Execution time vs. number of nodes the ranks landed on",
+		Notes: "Paper: 20-rank tasks improve when spread across more nodes " +
+			"(they were scheduled later, onto less-contended resources); the " +
+			"41-rank improvement is smaller as cross-node communication grows.",
+		Body: sb.String(),
+	}, nil
+}
+
+// Fig7 reproduces the per-node CPU-utilization timeline of the tuning
+// workflow, with task-start markers from the RP monitor.
+func Fig7() (Report, error) {
+	run, err := RunOpenFOAM(TuningOpenFOAM())
+	if err != nil {
+		return Report{}, err
+	}
+	defer run.Close()
+
+	starts, err := run.Analysis.TaskStarts()
+	if err != nil {
+		return Report{}, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sampled every %.0f s by the SOMA hardware monitoring client\n\n",
+		run.Cfg.MonitorIntervalSec)
+	for _, host := range run.Hosts {
+		series, err := run.Analysis.CPUUtilSeries(host)
+		if err != nil {
+			return Report{}, err
+		}
+		vals := make([]float64, len(series))
+		for i, p := range series {
+			vals[i] = p.Util
+		}
+		fmt.Fprintf(&sb, "%s |%s| util %% (min %.0f, max %.0f)\n",
+			host, sparkline(vals, 0, 100), stats.Min(vals), stats.Max(vals))
+	}
+	sb.WriteString("\ntask starts observed by the SOMA RP monitor (orange dots):\n")
+	for _, st := range starts {
+		fmt.Fprintf(&sb, "  t=%7.1fs  %s\n", st.Time, st.UID)
+	}
+	return Report{
+		ID:    "fig7",
+		Title: "CPU utilization per compute node, OpenFOAM tuning workflow",
+		Notes: "Paper: as a rank starts there is a corresponding spike in CPU " +
+			"utilization; imbalance across nodes in the latter half of the run " +
+			"shows room for better scheduling.",
+		Body: sb.String(),
+	}, nil
+}
+
+// Fig8 reproduces the RP resource-utilization timelines (overload on top,
+// tuning below): per-time-bucket fractions of core-time in bootstrap,
+// scheduling, running, and idle.
+func Fig8() (Report, error) {
+	var sb strings.Builder
+	renderRun := func(label string, cfg OpenFOAMConfig) error {
+		run, err := RunOpenFOAM(cfg)
+		if err != nil {
+			return err
+		}
+		defer run.Close()
+		const buckets = 12
+		occ := run.Timeline.Occupancy(run.Makespan, buckets)
+		fmt.Fprintf(&sb, "%s workflow (%d cores, makespan %.0f s, overall task-time utilization %.0f%%)\n",
+			label, run.Timeline.Cores(), run.Makespan,
+			run.Timeline.Utilization(run.Makespan)*100)
+		var rows [][]string
+		for b, m := range occ {
+			lo := run.Makespan * float64(b) / buckets
+			hi := run.Makespan * float64(b+1) / buckets
+			rows = append(rows, []string{
+				fmt.Sprintf("%5.0f-%5.0fs", lo, hi),
+				fmt.Sprintf("%5.1f%%", m[pilot.ResBootstrap]*100),
+				fmt.Sprintf("%5.1f%%", m[pilot.ResSchedule]*100),
+				fmt.Sprintf("%5.1f%%", m[pilot.ResRun]*100),
+				fmt.Sprintf("%5.1f%%", m[pilot.ResIdle]*100),
+			})
+		}
+		sb.WriteString(table(
+			[]string{"interval", "bootstrap", "schedule", "run", "idle"}, rows))
+		sb.WriteString("\n")
+		sb.WriteString(run.Timeline.Gantt(pilot.GanttOptions{
+			Width: 72, MaxRows: 24, End: run.Makespan,
+		}))
+		sb.WriteString("\n")
+		return nil
+	}
+	if err := renderRun("Overload", OverloadOpenFOAM()); err != nil {
+		return Report{}, err
+	}
+	if err := renderRun("Tuning", TuningOpenFOAM()); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		ID:    "fig8",
+		Title: "RP resource utilization (top: overload, bottom: tuning)",
+		Notes: "Paper colour coding: light blue = RP bootstrap, purple = task " +
+			"scheduling, green = task running, white = unused resources (a " +
+			"measure of RP scheduling optimization based on SOMA data).",
+		Body: sb.String(),
+	}, nil
+}

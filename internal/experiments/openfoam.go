@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/procfs"
+	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/tau"
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+// OpenFOAMConfig parameterizes the ExaAM/OpenFOAM workflow of §3.1 and
+// Table 1.
+type OpenFOAMConfig struct {
+	// InstancesPerConfig is 1 for the "tuning" run, 20 for "overloaded".
+	InstancesPerConfig int
+	// AppNodes is 4 (tuning) or 10 (overload); one extra node is always
+	// added for the RP agent and SOMA service.
+	AppNodes int
+	// RankConfigs are the MPI rank counts per task (Table 1: 20,41,82,164).
+	RankConfigs []int
+	// MonitorIntervalSec is the hardware/RP sampling period (30 s for the
+	// Fig. 7 run).
+	MonitorIntervalSec float64
+	// RanksPerNamespace is the SOMA service split (Table 1: 1).
+	RanksPerNamespace int
+	// WithTAU enables the TAU plugin (monitors "proc, rp, tau").
+	WithTAU bool
+	// Seed drives all stochastic models.
+	Seed uint64
+}
+
+// TuningOpenFOAM returns Table 1's "Tuning" column.
+func TuningOpenFOAM() OpenFOAMConfig {
+	return OpenFOAMConfig{
+		InstancesPerConfig: 1,
+		AppNodes:           4,
+		RankConfigs:        []int{20, 41, 82, 164},
+		MonitorIntervalSec: 30,
+		RanksPerNamespace:  1,
+		WithTAU:            true,
+		Seed:               1,
+	}
+}
+
+// OverloadOpenFOAM returns Table 1's "Overload" column.
+func OverloadOpenFOAM() OpenFOAMConfig {
+	cfg := TuningOpenFOAM()
+	cfg.InstancesPerConfig = 20
+	cfg.AppNodes = 10
+	cfg.Seed = 2
+	return cfg
+}
+
+// OFTaskRecord ties one application task to its configuration and observed
+// behaviour (execution time comes from the SOMA workflow namespace, not
+// from the simulator's ground truth).
+type OFTaskRecord struct {
+	UID          string
+	Ranks        int
+	NodesSpanned int
+	Contention   float64
+	ExecTime     float64 // from SOMA events (rank_start → rank_stop)
+	// GroundTruth is the runtime's own measurement of the same interval —
+	// kept so tests can verify the observability path loses nothing.
+	GroundTruth float64
+	SubmitTime  float64
+	StartTime   float64
+}
+
+// OpenFOAMRun is a completed workflow with its observability data.
+type OpenFOAMRun struct {
+	Cfg      OpenFOAMConfig
+	Makespan float64
+	Tasks    []OFTaskRecord
+	Analysis core.Analysis
+	Timeline *pilot.Timeline
+	Service  *core.Service
+	Hosts    []string
+}
+
+// Close releases the run's SOMA service.
+func (r *OpenFOAMRun) Close() {
+	if r.Service != nil {
+		r.Service.Close()
+	}
+}
+
+// ByRanks groups observed execution times by rank configuration (Fig. 4).
+func (r *OpenFOAMRun) ByRanks() map[int][]float64 {
+	out := map[int][]float64{}
+	for _, t := range r.Tasks {
+		if t.ExecTime > 0 {
+			out[t.Ranks] = append(out[t.Ranks], t.ExecTime)
+		}
+	}
+	return out
+}
+
+// BySpan groups execution times of one rank config by the number of nodes
+// the ranks landed on (Fig. 6).
+func (r *OpenFOAMRun) BySpan(ranks int) map[int][]float64 {
+	out := map[int][]float64{}
+	for _, t := range r.Tasks {
+		if t.Ranks == ranks && t.ExecTime > 0 {
+			out[t.NodesSpanned] = append(out[t.NodesSpanned], t.ExecTime)
+		}
+	}
+	return out
+}
+
+var openfoamRunSeq struct {
+	sync.Mutex
+	n int
+}
+
+// RunOpenFOAM executes the workflow under simulated time with full SOMA
+// monitoring and returns the observability data.
+func RunOpenFOAM(cfg OpenFOAMConfig) (*OpenFOAMRun, error) {
+	if cfg.InstancesPerConfig < 1 || cfg.AppNodes < 1 || len(cfg.RankConfigs) == 0 {
+		return nil, fmt.Errorf("experiments: invalid OpenFOAM config %+v", cfg)
+	}
+	if cfg.MonitorIntervalSec <= 0 {
+		cfg.MonitorIntervalSec = 30
+	}
+	if cfg.RanksPerNamespace < 1 {
+		cfg.RanksPerNamespace = 1
+	}
+	openfoamRunSeq.Lock()
+	openfoamRunSeq.n++
+	runID := openfoamRunSeq.n
+	openfoamRunSeq.Unlock()
+
+	eng := des.NewEngine()
+	rng := stats.NewRNG(cfg.Seed)
+	model := workload.DefaultOpenFOAM()
+
+	totalNodes := cfg.AppNodes + 1 // extra node for RP agent + SOMA service
+	cluster := platform.NewCluster(totalNodes, platform.Summit())
+	batch := platform.NewBatchSystem(cluster)
+	sess := pilot.NewSession(eng, batch)
+	pl, err := sess.SubmitPilot(pilot.PilotDescription{Nodes: totalNodes, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	agent := pl.Agent
+	somaNode := pl.Allocation.Nodes[totalNodes-1]
+
+	// SOMA service, reachable over the in-proc mercury transport so the
+	// full client-stub → RPC → instance data path is exercised.
+	svc := core.NewService(core.ServiceConfig{
+		RanksPerNamespace: cfg.RanksPerNamespace,
+		Clock:             eng,
+	})
+	addr, err := svc.Listen(fmt.Sprintf("inproc://openfoam-run-%d", runID))
+	if err != nil {
+		return nil, err
+	}
+	client, err := core.Connect(addr, nil)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+
+	// Service task: 4 instances × RanksPerNamespace processes, pinned to
+	// the extra node and scheduled before anything else.
+	_, err = agent.Submit(pilot.TaskDescription{
+		Name: "soma.service", Service: true,
+		Ranks: 4 * cfg.RanksPerNamespace, PinNode: somaNode.Name,
+		CPUActivity: 0.3,
+	})
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	// RP monitoring client: one per workflow, co-located with the service.
+	if _, err := agent.Submit(pilot.TaskDescription{
+		Name: "soma.rpmonitor", Service: true, Ranks: 1,
+		PinNode: somaNode.Name, CPUActivity: 0.1,
+	}); err != nil {
+		svc.Close()
+		return nil, err
+	}
+	// The extra node is exclusive to RP+SOMA in these runs: reserve its
+	// remaining cores and GPUs so no simulation task lands there.
+	if _, err := agent.Submit(pilot.TaskDescription{
+		Name: "soma.reserve", Service: true,
+		Ranks:   somaNode.Spec.UsableCores() - 4*cfg.RanksPerNamespace - 1,
+		PinNode: somaNode.Name, GPUsPerRank: 0, CPUActivity: 0.01,
+	}); err != nil {
+		svc.Close()
+		return nil, err
+	}
+	// Hardware monitoring client: one reserved core per application node.
+	for i := 0; i < cfg.AppNodes; i++ {
+		if _, err := agent.Submit(pilot.TaskDescription{
+			Name: "soma.hwmonitor", Service: true, Ranks: 1,
+			PinNode: pl.Allocation.Nodes[i].Name, CPUActivity: 0.05,
+		}); err != nil {
+			svc.Close()
+			return nil, err
+		}
+	}
+
+	// Collector daemons.
+	rpm, err := core.NewRPMonitor(core.RPMonitorConfig{
+		Runtime: eng, Profiler: agent.Profiler(), Pub: client,
+		IntervalSec: cfg.MonitorIntervalSec,
+	})
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	stopRP := rpm.Start()
+	var stopHW []func()
+	for i := 0; i < cfg.AppNodes; i++ {
+		node := pl.Allocation.Nodes[i]
+		hwm, err := core.NewHWMonitor(core.HWMonitorConfig{
+			Runtime: eng,
+			Source:  procfs.NewSampler(procfs.NewSyntheticSource(node, eng, cfg.Seed+uint64(i))),
+			Pub:     client, IntervalSec: cfg.MonitorIntervalSec,
+		})
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		stopHW = append(stopHW, hwm.Start())
+	}
+
+	// TAU plugin: publishes each completed task's per-rank profile to the
+	// performance namespace (tau_exec sampling without instrumentation).
+	plugin := tau.NewPlugin(func(n *conduit.Node) error {
+		return client.Publish(core.NSPerformance, n)
+	})
+
+	// Application tasks, in a seeded shuffle of all instances: RP receives
+	// the heterogeneous mix at once and its continuous scheduler decides
+	// placement, which is what produces the span diversity of Fig. 6.
+	var order []int
+	for _, ranks := range cfg.RankConfigs {
+		for inst := 0; inst < cfg.InstancesPerConfig; inst++ {
+			order = append(order, ranks)
+		}
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	type taskMeta struct {
+		task  *pilot.Task
+		ranks int
+	}
+	var metas []taskMeta
+	{
+		for idx, ranks := range order {
+			idx, ranks := idx, ranks
+			td := pilot.TaskDescription{
+				Name:        fmt.Sprintf("openfoam.r%d.i%d", ranks, idx),
+				Ranks:       ranks,
+				CPUActivity: model.CPUActivity(),
+				Duration: func(ctx pilot.ExecContext) float64 {
+					return model.ExecTime(ranks, workload.Placement{
+						NodesSpanned: ctx.Placement.NodesSpanned(),
+						Contention:   ctx.Placement.Contention,
+						OwnDensity:   ctx.Placement.OwnDensity,
+					}, rng)
+				},
+			}
+			if cfg.WithTAU {
+				td.OnComplete = func(t *pilot.Task) {
+					et := t.ExecTime()
+					if et <= 0 {
+						return
+					}
+					breakdown := model.RankBreakdown(ranks, et, rng)
+					profs := make([]tau.Profile, 0, len(breakdown))
+					hosts := t.Placement().NodeNames()
+					if len(hosts) == 0 {
+						return
+					}
+					for i, rp := range breakdown {
+						host := hosts[i*len(hosts)/len(breakdown)]
+						profs = append(profs, tau.Profile{
+							TaskUID: t.UID, Host: host, Rank: rp.Rank, Seconds: rp.Times,
+						})
+					}
+					_ = plugin.Report(profs)
+				}
+			}
+			task, err := agent.Submit(td)
+			if err != nil {
+				svc.Close()
+				return nil, err
+			}
+			metas = append(metas, taskMeta{task: task, ranks: ranks})
+		}
+	}
+
+	// Shut monitoring down once the application workload drains.
+	var once sync.Once
+	agent.OnQuiescent(func() {
+		once.Do(func() {
+			agent.StopServices()
+			stopRP() // runs one final collection, seeing the canceled services
+			for _, s := range stopHW {
+				s()
+			}
+		})
+	})
+
+	makespan := eng.Run()
+
+	analysis := core.Analysis{Q: core.LocalQuerier{Service: svc}}
+	execTimes, err := analysis.ExecTimes()
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	run := &OpenFOAMRun{
+		Cfg:      cfg,
+		Makespan: makespan,
+		Analysis: analysis,
+		Timeline: agent.Timeline(),
+		Service:  svc,
+	}
+	for _, m := range metas {
+		sub, _, exec, _ := m.task.Times()
+		run.Tasks = append(run.Tasks, OFTaskRecord{
+			UID:          m.task.UID,
+			Ranks:        m.ranks,
+			NodesSpanned: m.task.Placement().NodesSpanned(),
+			Contention:   m.task.Placement().Contention,
+			ExecTime:     execTimes[m.task.UID],
+			GroundTruth:  m.task.ExecTime(),
+			SubmitTime:   sub,
+			StartTime:    exec,
+		})
+	}
+	run.Hosts, _ = analysis.Hosts()
+	client.Close()
+	return run, nil
+}

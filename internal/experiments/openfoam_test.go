@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+// Runs are deterministic for a seed, so tests share one tuning and one
+// overload run.
+var (
+	tuningOnce sync.Once
+	tuningRun  *OpenFOAMRun
+	tuningErr  error
+
+	overloadOnce sync.Once
+	overloadRun  *OpenFOAMRun
+	overloadErr  error
+)
+
+func getTuning(t *testing.T) *OpenFOAMRun {
+	t.Helper()
+	tuningOnce.Do(func() { tuningRun, tuningErr = RunOpenFOAM(TuningOpenFOAM()) })
+	if tuningErr != nil {
+		t.Fatal(tuningErr)
+	}
+	return tuningRun
+}
+
+func getOverload(t *testing.T) *OpenFOAMRun {
+	t.Helper()
+	overloadOnce.Do(func() { overloadRun, overloadErr = RunOpenFOAM(OverloadOpenFOAM()) })
+	if overloadErr != nil {
+		t.Fatal(overloadErr)
+	}
+	return overloadRun
+}
+
+func TestOverloadRunsAllTasks(t *testing.T) {
+	run := getOverload(t)
+	if len(run.Tasks) != 80 {
+		t.Fatalf("tasks = %d want 80", len(run.Tasks))
+	}
+	for _, rec := range run.Tasks {
+		if rec.ExecTime <= 0 {
+			t.Fatalf("task %s has no SOMA-observed exec time", rec.UID)
+		}
+		if rec.NodesSpanned < 1 {
+			t.Fatalf("task %s spanned %d nodes", rec.UID, rec.NodesSpanned)
+		}
+	}
+	if run.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}
+
+// TestFig4Shape pins the paper's strong-scaling observation on the
+// SOMA-observed data: monotone improvement with diminishing returns beyond
+// two nodes (82 ranks), and the advisor picking 82.
+func TestFig4Shape(t *testing.T) {
+	run := getOverload(t)
+	byRanks := run.ByRanks()
+	means := map[int]float64{}
+	for r, ts := range byRanks {
+		if len(ts) != 20 {
+			t.Fatalf("ranks %d has %d instances, want 20", r, len(ts))
+		}
+		means[r] = stats.Mean(ts)
+	}
+	if !(means[20] > means[41] && means[41] > means[82] && means[82] > means[164]) {
+		t.Fatalf("scaling not monotone: %v", means)
+	}
+	if big := means[20] / means[82]; big < 2 {
+		t.Errorf("20→82 speedup %.2f, want > 2x", big)
+	}
+	if small := means[82] / means[164]; small > 1.3 {
+		t.Errorf("82→164 speedup %.2f, want limited (< 1.3x)", small)
+	}
+	if got := core.NewAdvisor().SuggestRanks(means); got != 82 {
+		t.Errorf("advisor suggests %d ranks, want 82", got)
+	}
+}
+
+// TestFig5Shape: MPI_Recv + MPI_Waitall dominate every rank of the 20-rank
+// task, per the TAU profiles stored in the performance namespace.
+func TestFig5Shape(t *testing.T) {
+	run := getTuning(t)
+	profs, err := run.Analysis.TAUProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) == 0 {
+		t.Fatal("no TAU profiles in the performance namespace")
+	}
+	// Total rank profiles = sum of rank counts = 20+41+82+164.
+	if len(profs) != 307 {
+		t.Fatalf("profiles = %d want 307", len(profs))
+	}
+	for _, p := range profs {
+		share := (p.Seconds["MPI_Recv"] + p.Seconds["MPI_Waitall"]) / p.Total()
+		if share < 0.25 || share > 0.8 {
+			t.Fatalf("task %s rank %d Recv+Waitall share %.2f not dominant",
+				p.TaskUID, p.Rank, share)
+		}
+		if p.Host == "" {
+			t.Fatal("profile missing hostname tag")
+		}
+	}
+}
+
+// TestFig6Shape: spreading a 20-rank task over more nodes improves its
+// execution time; the 41-rank gain is smaller.
+func TestFig6Shape(t *testing.T) {
+	run := getOverload(t)
+	rel := func(ranks int) (packed, spread float64) {
+		bySpan := run.BySpan(ranks)
+		var sp []float64
+		for span, ts := range bySpan {
+			if span == 1 {
+				packed = stats.Mean(ts)
+			} else {
+				sp = append(sp, ts...)
+			}
+		}
+		return packed, stats.Mean(sp)
+	}
+	p20, s20 := rel(20)
+	if p20 == 0 || s20 == 0 {
+		t.Skip("overload run produced no span diversity for 20 ranks at this seed")
+	}
+	if s20 >= p20 {
+		t.Errorf("spread 20-rank mean %.1f should beat packed %.1f", s20, p20)
+	}
+	gain20 := p20 / s20
+	if gain20 < 1.01 {
+		t.Errorf("20-rank spread gain %.3f too small", gain20)
+	}
+}
+
+// TestFig7Shape: per-node utilization series exist for every app node, and
+// task starts are visible with util spikes afterwards.
+func TestFig7Shape(t *testing.T) {
+	run := getTuning(t)
+	if len(run.Hosts) != run.Cfg.AppNodes {
+		t.Fatalf("hosts = %v", run.Hosts)
+	}
+	starts, err := run.Analysis.TaskStarts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service tasks (SOMA clients) also appear as tasks — Fig. 2's model —
+	// so the start markers include them on top of the application tasks.
+	started := map[string]bool{}
+	for _, st := range starts {
+		started[st.UID] = true
+	}
+	for _, rec := range run.Tasks {
+		if !started[rec.UID] {
+			t.Fatalf("application task %s has no start marker", rec.UID)
+		}
+	}
+	sawSpike := false
+	for _, host := range run.Hosts {
+		series, err := run.Analysis.CPUUtilSeries(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) < 5 {
+			t.Fatalf("host %s has %d samples", host, len(series))
+		}
+		for _, p := range series {
+			if p.Util > 80 {
+				sawSpike = true
+			}
+			if p.Util < 0 || p.Util > 100 {
+				t.Fatalf("util out of range: %v", p.Util)
+			}
+		}
+	}
+	if !sawSpike {
+		t.Fatal("no utilization spike observed on any node")
+	}
+}
+
+// TestFig8Shape: the timeline occupancy is a valid partition with a
+// bootstrap band at the start and a dominant run band mid-workflow.
+func TestFig8Shape(t *testing.T) {
+	for _, run := range []*OpenFOAMRun{getTuning(t), getOverload(t)} {
+		const buckets = 10
+		occ := run.Timeline.Occupancy(run.Makespan, buckets)
+		for b, m := range occ {
+			sum := 0.0
+			for _, v := range m {
+				sum += v
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("bucket %d fractions sum to %v", b, sum)
+			}
+		}
+		if occ[0][1] == 0 { // ResBootstrap
+			t.Error("no bootstrap band at workflow start")
+		}
+		u := run.Timeline.Utilization(run.Makespan)
+		if u < 0.3 || u > 1 {
+			t.Errorf("overall utilization %.2f implausible", u)
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	for _, r := range []Report{Table1(), Table2()} {
+		s := r.String()
+		if !strings.Contains(s, r.Title) || len(s) < 100 {
+			t.Errorf("report %s renders poorly:\n%s", r.ID, s)
+		}
+	}
+}
+
+func TestInvalidOpenFOAMConfig(t *testing.T) {
+	if _, err := RunOpenFOAM(OpenFOAMConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestObservabilityFidelity: the execution time recovered from the SOMA
+// workflow namespace must match the runtime's own measurement for every
+// task — monitoring through RPC loses nothing.
+func TestObservabilityFidelity(t *testing.T) {
+	run := getOverload(t)
+	for _, rec := range run.Tasks {
+		diff := rec.ExecTime - rec.GroundTruth
+		if diff < -1 || diff > 1 {
+			t.Fatalf("task %s: SOMA %.3f vs runtime %.3f", rec.UID, rec.ExecTime, rec.GroundTruth)
+		}
+	}
+}

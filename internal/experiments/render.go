@@ -1,0 +1,131 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3–4): the OpenFOAM tuning and overload workflows (Table 1,
+// Figs. 4–8) and the DeepDriveMD mini-app workflows (Table 2, Figs. 9–11,
+// plus the adaptive study). Each experiment runs the full stack — pilot,
+// SOMA service, monitor daemons, workload models — in simulated time, pulls
+// its results back out of the SOMA service exactly the way the paper's
+// analysis does, and renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+// Report is one rendered experiment: a title, free-text commentary binding
+// it to the paper, and the rendered body.
+type Report struct {
+	ID    string // "table1", "fig4", ...
+	Title string
+	Notes string
+	Body  string
+}
+
+// String renders the report for the terminal.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", strings.ToUpper(r.ID), r.Title)
+	if r.Notes != "" {
+		sb.WriteString(wrap(r.Notes, 78))
+		sb.WriteString("\n")
+	}
+	sb.WriteString(r.Body)
+	if !strings.HasSuffix(r.Body, "\n") {
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var sb strings.Builder
+	line := 0
+	for _, w := range words {
+		if line > 0 && line+1+len(w) > width {
+			sb.WriteString("\n")
+			line = 0
+		} else if line > 0 {
+			sb.WriteString(" ")
+			line++
+		}
+		sb.WriteString(w)
+		line += len(w)
+	}
+	return sb.String()
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// boxRow renders one stats.Summary as a boxplot-style text row.
+func boxRow(label string, s stats.Summary) []string {
+	return []string{
+		label,
+		fmt.Sprintf("%d", s.N),
+		fmt.Sprintf("%.1f", s.Min),
+		fmt.Sprintf("%.1f", s.Q1),
+		fmt.Sprintf("%.1f", s.Median),
+		fmt.Sprintf("%.1f", s.Q3),
+		fmt.Sprintf("%.1f", s.Max),
+		fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std),
+	}
+}
+
+var boxHeader = []string{"config", "n", "min", "q1", "median", "q3", "max", "mean±std"}
+
+// sparkline renders values as a unicode mini-chart for timeline figures.
+func sparkline(vals []float64, lo, hi float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	ticks := []rune(" ▁▂▃▄▅▆▇█")
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		sb.WriteRune(ticks[int(f*float64(len(ticks)-1))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllReportsRender regenerates every figure report once and checks the
+// rendered body carries the expected structure — the somabench smoke test.
+func TestAllReportsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report regeneration in -short mode")
+	}
+	cases := []struct {
+		id   string
+		run  func() (Report, error)
+		want []string
+	}{
+		{"fig4", Fig4, []string{"20 ranks", "164 ranks", "advisor suggestion"}},
+		{"fig5", Fig5, []string{"MPI_Recv", "MPI_Waitall", "load imbalance"}},
+		{"fig6", Fig6, []string{"20 ranks on 1 node", "41 ranks on"}},
+		{"fig7", Fig7, []string{"cn0000", "task starts", "util %"}},
+		{"fig8", Fig8, []string{"bootstrap", "schedule", "run", "idle", "core "}},
+		{"fig9", Fig9, []string{"cores/sim", "mean CPU util", "phase 6"}},
+		{"fig10", Fig10, []string{"shared", "exclusive", "16 ranks/ns"}},
+		{"adaptive", AdaptiveReport, []string{"advisor: train tasks", "phase 4"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			rep, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != tc.id {
+				t.Errorf("report id = %q", rep.ID)
+			}
+			out := rep.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", tc.id, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig11ReportTruncated(t *testing.T) {
+	rep, err := Fig11(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"baseline", "frequent-exclusive", "vs none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 output missing %q", want)
+		}
+	}
+	// The notes quote the paper's 64-512 sweep, so check the data rows only.
+	for _, line := range strings.Split(rep.Body, "\n") {
+		if strings.HasPrefix(line, "128") {
+			t.Errorf("max-nodes 64 should exclude the 128-node rows: %q", line)
+		}
+	}
+}
+
+func TestScalingBConfigsTruncation(t *testing.T) {
+	if got := len(ScalingBConfigs(0)); got != 20 {
+		t.Fatalf("full sweep = %d configs, want 20", got)
+	}
+	if got := len(ScalingBConfigs(128)); got != 10 {
+		t.Fatalf("128-node sweep = %d configs, want 10", got)
+	}
+	for _, cfg := range ScalingBConfigs(0) {
+		if cfg.Mode == ModeNone && cfg.SomaNodes != 0 {
+			t.Fatal("none mode must not allocate SOMA nodes")
+		}
+		if cfg.RanksPerNamespace != cfg.Pipelines {
+			t.Fatal("Scaling B keeps the rank:pipeline ratio at 1:1")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import "fmt"
+
+// Table1 reproduces the paper's Table 1: the OpenFOAM experiment summary.
+// The rows are the configuration this harness actually runs for the
+// Fig. 4–8 reproductions.
+func Table1() Report {
+	tuning, overload := TuningOpenFOAM(), OverloadOpenFOAM()
+	body := table(
+		[]string{"Experiment", "Tuning", "Overload"},
+		[][]string{
+			{"Number of Tasks",
+				fmt.Sprintf("%d", tuning.InstancesPerConfig*len(tuning.RankConfigs)),
+				fmt.Sprintf("%d", overload.InstancesPerConfig*len(overload.RankConfigs))},
+			{"Number of Nodes",
+				fmt.Sprintf("%d", tuning.AppNodes),
+				fmt.Sprintf("%d", overload.AppNodes)},
+			{"Number of MPI Ranks", "20, 41, 82, 164", "20, 41, 82, 164"},
+			{"Monitors", "proc, rp, tau", "proc, rp, tau"},
+			{"SOMA Ranks Per Namespace",
+				fmt.Sprintf("%d", tuning.RanksPerNamespace),
+				fmt.Sprintf("%d", overload.RanksPerNamespace)},
+		})
+	return Report{
+		ID:    "table1",
+		Title: "OpenFOAM Experiment Summary",
+		Notes: "Both runs allocate one extra node reserved for the RADICAL-Pilot " +
+			"agent and the SOMA service, as in the paper (§3.1).",
+		Body: body,
+	}
+}
+
+// ScalingAConfigs returns the Fig. 10 grid: 64 pipelines on 64 application
+// nodes with 1/2/4 SOMA nodes (16/32/64 SOMA ranks per namespace), in both
+// shared and exclusive configurations.
+func ScalingAConfigs() []DDMDConfig {
+	var out []DDMDConfig
+	ranks := []int{16, 32, 64}
+	nodes := []int{1, 2, 4}
+	for i := range ranks {
+		for _, mode := range []SOMAMode{ModeShared, ModeExclusive} {
+			out = append(out, DDMDConfig{
+				Phases: 1, Pipelines: 64, AppNodes: 64, SomaNodes: nodes[i],
+				CoresPerSim: 3, CoresPerTrain: 7, NumTrainTasks: 1,
+				RanksPerNamespace: ranks[i], MonitorIntervalSec: 60,
+				Mode: mode, Seed: uint64(100 + i), CompactHW: true,
+			})
+		}
+	}
+	return out
+}
+
+// ScalingBConfigs returns the Fig. 11 grid: 64–512 pipelines/nodes at a 1:1
+// SOMA-rank:pipeline ratio, in none/shared/exclusive plus the 10-second
+// "frequent" variants. maxNodes (0 = 512) truncates the sweep for quick
+// runs.
+func ScalingBConfigs(maxNodes int) []DDMDConfig {
+	if maxNodes <= 0 {
+		maxNodes = 512
+	}
+	scales := []struct{ app, soma int }{{64, 4}, {128, 7}, {256, 13}, {512, 25}}
+	var out []DDMDConfig
+	for si, sc := range scales {
+		if sc.app > maxNodes {
+			break
+		}
+		mk := func(mode SOMAMode, interval float64) DDMDConfig {
+			soma := sc.soma
+			if mode == ModeNone {
+				soma = 0
+			}
+			return DDMDConfig{
+				Phases: 1, Pipelines: sc.app, AppNodes: sc.app, SomaNodes: soma,
+				CoresPerSim: 3, CoresPerTrain: 7, NumTrainTasks: 1,
+				RanksPerNamespace: sc.app, MonitorIntervalSec: interval,
+				Mode: mode, Seed: uint64(200 + si), CompactHW: true,
+			}
+		}
+		out = append(out,
+			mk(ModeNone, 60),
+			mk(ModeShared, 60),
+			mk(ModeExclusive, 60),
+			mk(ModeShared, 10),
+			mk(ModeExclusive, 10),
+		)
+	}
+	return out
+}
+
+// Table2 reproduces the paper's Table 2: the DeepDriveMD mini-app
+// experiment summary.
+func Table2() Report {
+	body := table(
+		[]string{"Experiment", "Phases", "Pipelines", "App Nodes", "SOMA Nodes",
+			"Cores/Sim", "Train Tasks", "Cores/Train", "Ranks/NS", "Freq (s)"},
+		[][]string{
+			{"Tuning", "6", "1", "2", "1", "1,3,7", "1", "1,3,7", "1", "60"},
+			{"Adaptive", "4", "1", "2", "1", "6", "1,2,4,6", "1", "1", "60"},
+			{"Scaling A", "1", "64", "64", "1,2,4", "3", "1", "7", "16,32,64", "60"},
+			{"Scaling B", "1", "64,128,256,512", "64,128,256,512", "4,7,13,25",
+				"3", "1", "7", "64,128,256,512", "60,10"},
+		})
+	return Report{
+		ID:    "table2",
+		Title: "DeepDriveMD Mini-app Experiment Summary",
+		Notes: "The baseline workflow per phase is 12 simulation tasks and one " +
+			"task each for training, selection and agent; sim/train/agent use " +
+			"one GPU per task, selection is CPU-only (§3.2).",
+		Body: body,
+	}
+}

@@ -1,0 +1,551 @@
+// Package mercury implements the RPC engine SOMA is built on, in the spirit
+// of the Mochi/Mercury HPC microservice stack the paper uses. It provides:
+//
+//   - named RPC handlers registered on an Engine,
+//   - two transports behind one address scheme: "tcp://host:port" for real
+//     deployments (examples, cmd/somad) and "inproc://name" for simulated
+//     experiments and tests,
+//   - self-describing addresses that a service publishes so clients can
+//     connect (the paper's "RPC addresses publicly known within the
+//     workflow"),
+//   - concurrent request multiplexing on a single connection, mirroring
+//     Mercury's asynchronous operation model.
+//
+// The wire protocol is deliberately simple: every frame is length-prefixed,
+// carries a request id for multiplexing, and a status byte on responses so
+// handler errors propagate to the caller.
+package mercury
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one RPC. The input slice is owned by the handler; the
+// returned slice is copied to the wire.
+type Handler func(ctx context.Context, input []byte) ([]byte, error)
+
+// Errors returned by the engine and endpoints.
+var (
+	ErrUnknownRPC   = errors.New("mercury: unknown rpc name")
+	ErrClosed       = errors.New("mercury: engine closed")
+	ErrBadAddress   = errors.New("mercury: bad address")
+	ErrFrameTooBig  = errors.New("mercury: frame exceeds limit")
+	ErrRemoteFailed = errors.New("mercury: remote handler failed")
+)
+
+// MaxFrame bounds a single RPC payload (16 MiB), matching the bulk-transfer
+// threshold real Mercury deployments configure.
+const MaxFrame = 16 << 20
+
+// Stats counts engine activity; all fields are updated atomically and safe
+// to read concurrently. The overhead experiments read these.
+type Stats struct {
+	CallsServed   atomic.Int64
+	CallsIssued   atomic.Int64
+	BytesIn       atomic.Int64
+	BytesOut      atomic.Int64
+	HandlerErrors atomic.Int64
+}
+
+// Engine hosts RPC handlers and manages transports. A process typically has
+// one Engine per service or client role.
+type Engine struct {
+	mu        sync.RWMutex
+	handlers  map[string]Handler
+	listeners []net.Listener
+	addrs     []string
+	closed    bool
+	wg        sync.WaitGroup
+
+	// Stats is exported for observability of the observability system.
+	Stats Stats
+}
+
+// NewEngine returns an engine with no handlers registered.
+func NewEngine() *Engine {
+	return &Engine{handlers: map[string]Handler{}}
+}
+
+// Register installs a handler under name, replacing any previous handler.
+func (e *Engine) Register(name string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[name] = h
+}
+
+// Deregister removes a handler.
+func (e *Engine) Deregister(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.handlers, name)
+}
+
+func (e *Engine) handler(name string) (Handler, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.handlers[name]
+	return h, ok
+}
+
+// dispatch runs the named handler locally; used by both transports.
+func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byte, error) {
+	h, ok := e.handler(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
+	}
+	e.Stats.CallsServed.Add(1)
+	e.Stats.BytesIn.Add(int64(len(input)))
+	out, err := h(ctx, input)
+	if err != nil {
+		e.Stats.HandlerErrors.Add(1)
+		return nil, err
+	}
+	e.Stats.BytesOut.Add(int64(len(out)))
+	return out, nil
+}
+
+// Addrs returns every address the engine is currently reachable at.
+func (e *Engine) Addrs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.addrs...)
+}
+
+// Listen makes the engine reachable at addr and returns the concrete
+// address clients should use. For "tcp://host:0" the returned address has
+// the real port filled in; for "inproc://name" it is the address itself.
+func (e *Engine) Listen(addr string) (string, error) {
+	scheme, rest, err := splitAddr(addr)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return "", ErrClosed
+	}
+	e.mu.Unlock()
+	switch scheme {
+	case "inproc":
+		if err := registerInproc(rest, e); err != nil {
+			return "", err
+		}
+		e.mu.Lock()
+		e.addrs = append(e.addrs, addr)
+		e.mu.Unlock()
+		return addr, nil
+	case "tcp":
+		ln, err := net.Listen("tcp", rest)
+		if err != nil {
+			return "", err
+		}
+		concrete := "tcp://" + ln.Addr().String()
+		e.mu.Lock()
+		e.listeners = append(e.listeners, ln)
+		e.addrs = append(e.addrs, concrete)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.acceptLoop(ln)
+		return concrete, nil
+	default:
+		return "", fmt.Errorf("%w: scheme %q", ErrBadAddress, scheme)
+	}
+}
+
+// Close shuts the engine down: listeners stop, inproc registrations are
+// removed, and in-flight server goroutines are awaited.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	lns := e.listeners
+	addrs := e.addrs
+	e.listeners = nil
+	e.addrs = nil
+	e.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, a := range addrs {
+		if scheme, rest, err := splitAddr(a); err == nil && scheme == "inproc" {
+			deregisterInproc(rest, e)
+		}
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func splitAddr(addr string) (scheme, rest string, err error) {
+	i := strings.Index(addr, "://")
+	if i < 0 {
+		return "", "", fmt.Errorf("%w: %q", ErrBadAddress, addr)
+	}
+	scheme, rest = addr[:i], addr[i+3:]
+	if rest == "" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadAddress, addr)
+	}
+	return scheme, rest, nil
+}
+
+// ---------------------------------------------------------------------------
+// inproc transport: a process-wide registry of engines.
+
+var inprocMu sync.RWMutex
+var inprocRegistry = map[string]*Engine{}
+
+func registerInproc(name string, e *Engine) error {
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if _, exists := inprocRegistry[name]; exists {
+		return fmt.Errorf("mercury: inproc name %q already in use", name)
+	}
+	inprocRegistry[name] = e
+	return nil
+}
+
+func deregisterInproc(name string, e *Engine) {
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if inprocRegistry[name] == e {
+		delete(inprocRegistry, name)
+	}
+}
+
+func lookupInproc(name string) (*Engine, bool) {
+	inprocMu.RLock()
+	defer inprocMu.RUnlock()
+	e, ok := inprocRegistry[name]
+	return e, ok
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint: the client side.
+
+// Endpoint is a client handle to a remote (or in-process) engine. Endpoints
+// are safe for concurrent use; calls on one TCP endpoint are multiplexed on
+// a single connection.
+type Endpoint struct {
+	addr string
+
+	// inproc
+	local *Engine
+
+	// tcp
+	conn    net.Conn
+	writeMu sync.Mutex
+	pending struct {
+		sync.Mutex
+		m      map[uint64]chan rpcResponse
+		nextID uint64
+		closed bool
+		err    error
+	}
+
+	owner *Engine // for stats attribution; may be nil
+}
+
+type rpcResponse struct {
+	status  byte
+	payload []byte
+}
+
+// Lookup resolves addr into an Endpoint. The optional client engine (may be
+// nil) accumulates call statistics.
+func (e *Engine) Lookup(addr string) (*Endpoint, error) {
+	return lookup(addr, e)
+}
+
+// Lookup resolves addr without a client engine.
+func Lookup(addr string) (*Endpoint, error) { return lookup(addr, nil) }
+
+func lookup(addr string, owner *Engine) (*Endpoint, error) {
+	scheme, rest, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "inproc":
+		target, ok := lookupInproc(rest)
+		if !ok {
+			return nil, fmt.Errorf("mercury: no inproc engine named %q", rest)
+		}
+		return &Endpoint{addr: addr, local: target, owner: owner}, nil
+	case "tcp":
+		conn, err := net.Dial("tcp", rest)
+		if err != nil {
+			return nil, err
+		}
+		ep := &Endpoint{addr: addr, conn: conn, owner: owner}
+		ep.pending.m = map[uint64]chan rpcResponse{}
+		go ep.readLoop()
+		return ep, nil
+	default:
+		return nil, fmt.Errorf("%w: scheme %q", ErrBadAddress, scheme)
+	}
+}
+
+// Addr returns the address this endpoint was looked up with.
+func (ep *Endpoint) Addr() string { return ep.addr }
+
+// Call invokes the named RPC and waits for the response. ctx cancellation
+// abandons the wait (the response, if any, is discarded).
+func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte, error) {
+	if ep.owner != nil {
+		ep.owner.Stats.CallsIssued.Add(1)
+	}
+	if ep.local != nil {
+		out, err := ep.local.dispatch(ctx, name, input)
+		if err != nil {
+			// Mirror the TCP path: handler failures surface as ErrRemoteFailed.
+			if errors.Is(err, ErrUnknownRPC) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: %v", ErrRemoteFailed, err)
+		}
+		return out, nil
+	}
+	return ep.callTCP(ctx, name, input)
+}
+
+// Notify invokes the named RPC without waiting for its response — the
+// fire-and-forget path for high-frequency publishes where the caller
+// tolerates loss on failure (Mercury's one-way RPC). Errors are reported
+// only when the request cannot be sent at all.
+func (ep *Endpoint) Notify(name string, input []byte) error {
+	if ep.owner != nil {
+		ep.owner.Stats.CallsIssued.Add(1)
+	}
+	if ep.local != nil {
+		// In-process: dispatch directly, discarding result and error.
+		_, _ = ep.local.dispatch(context.Background(), name, input)
+		return nil
+	}
+	total := 8 + 2 + len(name) + len(input)
+	if total > MaxFrame {
+		return ErrFrameTooBig
+	}
+	ep.pending.Lock()
+	closed := ep.pending.closed
+	ep.pending.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	frame := make([]byte, 0, 4+total)
+	var hdr [14]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
+	// Request id 0 is reserved for notifications: no pending entry exists,
+	// so the response (still sent by the server) is dropped on arrival.
+	binary.LittleEndian.PutUint64(hdr[4:12], 0)
+	binary.LittleEndian.PutUint16(hdr[12:14], uint16(len(name)))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, name...)
+	frame = append(frame, input...)
+	ep.writeMu.Lock()
+	_, err := ep.conn.Write(frame)
+	ep.writeMu.Unlock()
+	return err
+}
+
+// Close releases the endpoint.
+func (ep *Endpoint) Close() error {
+	if ep.conn != nil {
+		return ep.conn.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TCP framing.
+//
+//	request : u32 len | u64 id | u16 nameLen | name | payload
+//	response: u32 len | u64 id | u8 status | payload
+//
+// status: 0 ok, 1 handler error (payload = message), 2 unknown rpc.
+
+const (
+	statusOK      = 0
+	statusErr     = 1
+	statusUnknown = 2
+)
+
+func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]byte, error) {
+	respCh := make(chan rpcResponse, 1)
+
+	ep.pending.Lock()
+	if ep.pending.closed {
+		err := ep.pending.err
+		ep.pending.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	ep.pending.nextID++
+	id := ep.pending.nextID
+	ep.pending.m[id] = respCh
+	ep.pending.Unlock()
+
+	defer func() {
+		ep.pending.Lock()
+		delete(ep.pending.m, id)
+		ep.pending.Unlock()
+	}()
+
+	frame := make([]byte, 0, 4+8+2+len(name)+len(input))
+	total := 8 + 2 + len(name) + len(input)
+	if total > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	var hdr [14]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint16(hdr[12:14], uint16(len(name)))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, name...)
+	frame = append(frame, input...)
+
+	ep.writeMu.Lock()
+	_, err := ep.conn.Write(frame)
+	ep.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case resp, ok := <-respCh:
+		if !ok {
+			return nil, ErrClosed
+		}
+		switch resp.status {
+		case statusOK:
+			return resp.payload, nil
+		case statusUnknown:
+			return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
+		default:
+			return nil, fmt.Errorf("%w: %s", ErrRemoteFailed, resp.payload)
+		}
+	}
+}
+
+func (ep *Endpoint) readLoop() {
+	br := bufio.NewReader(ep.conn)
+	var err error
+	for {
+		var lenBuf [4]byte
+		if _, err = io.ReadFull(br, lenBuf[:]); err != nil {
+			break
+		}
+		total := binary.LittleEndian.Uint32(lenBuf[:])
+		if total < 9 || total > MaxFrame {
+			err = ErrFrameTooBig
+			break
+		}
+		body := make([]byte, total)
+		if _, err = io.ReadFull(br, body); err != nil {
+			break
+		}
+		id := binary.LittleEndian.Uint64(body[0:8])
+		status := body[8]
+		payload := body[9:]
+		ep.pending.Lock()
+		ch := ep.pending.m[id]
+		ep.pending.Unlock()
+		if ch != nil {
+			ch <- rpcResponse{status: status, payload: payload}
+		}
+	}
+	// Fail every outstanding call.
+	ep.pending.Lock()
+	ep.pending.closed = true
+	ep.pending.err = err
+	for id, ch := range ep.pending.m {
+		close(ch)
+		delete(ep.pending.m, id)
+	}
+	ep.pending.Unlock()
+}
+
+func (e *Engine) acceptLoop(ln net.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+func (e *Engine) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		total := binary.LittleEndian.Uint32(lenBuf[:])
+		if total < 10 || total > MaxFrame {
+			return
+		}
+		body := make([]byte, total)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		id := binary.LittleEndian.Uint64(body[0:8])
+		nameLen := int(binary.LittleEndian.Uint16(body[8:10]))
+		if 10+nameLen > len(body) {
+			return
+		}
+		name := string(body[10 : 10+nameLen])
+		payload := body[10+nameLen:]
+
+		// Each request runs in its own goroutine so a slow handler does not
+		// stall the connection — Mercury's progress model.
+		handlerWG.Add(1)
+		go func() {
+			defer handlerWG.Done()
+			status := byte(statusOK)
+			out, err := e.dispatch(context.Background(), name, payload)
+			if err != nil {
+				if errors.Is(err, ErrUnknownRPC) {
+					status = statusUnknown
+					out = nil
+				} else {
+					status = statusErr
+					out = []byte(err.Error())
+				}
+			}
+			resp := make([]byte, 0, 4+8+1+len(out))
+			var hdr [13]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+len(out)))
+			binary.LittleEndian.PutUint64(hdr[4:12], id)
+			hdr[12] = status
+			resp = append(resp, hdr[:]...)
+			resp = append(resp, out...)
+			writeMu.Lock()
+			_, _ = conn.Write(resp)
+			writeMu.Unlock()
+		}()
+	}
+}

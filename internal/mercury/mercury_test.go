@@ -1,0 +1,423 @@
+package mercury
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := NewEngine()
+	e.Register("echo", func(_ context.Context, in []byte) ([]byte, error) {
+		return in, nil
+	})
+	e.Register("fail", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	e := echoEngine(t)
+	addr, err := e.Listen("inproc://test-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "inproc://test-echo" {
+		t.Fatalf("addr = %q", addr)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	out, err := ep.Call(context.Background(), "echo", []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	e := echoEngine(t)
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "tcp://127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("concrete addr = %q", addr)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	payload := bytes.Repeat([]byte("x"), 100_000)
+	out, err := ep.Call(context.Background(), "echo", payload)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("large call failed: %v (len %d)", err, len(out))
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	e := echoEngine(t)
+	for _, scheme := range []string{"inproc://err-prop", "tcp://127.0.0.1:0"} {
+		addr, err := e.Listen(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = ep.Call(context.Background(), "fail", nil)
+		if !errors.Is(err, ErrRemoteFailed) || !strings.Contains(err.Error(), "boom") {
+			t.Errorf("%s: err = %v, want ErrRemoteFailed with boom", scheme, err)
+		}
+		_, err = ep.Call(context.Background(), "no-such-rpc", nil)
+		if !errors.Is(err, ErrUnknownRPC) {
+			t.Errorf("%s: err = %v, want ErrUnknownRPC", scheme, err)
+		}
+		ep.Close()
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	e := NewEngine()
+	var inflight, peak atomic.Int32
+	e.Register("slow", func(_ context.Context, in []byte) ([]byte, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inflight.Add(-1)
+		return in, nil
+	})
+	defer e.Close()
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			out, err := ep.Call(context.Background(), "slow", msg)
+			if err == nil && !bytes.Equal(out, msg) {
+				err = fmt.Errorf("response mismatch: %q", out)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d; requests were serialized", peak.Load())
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e := NewEngine()
+	block := make(chan struct{})
+	e.Register("block", func(_ context.Context, _ []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer func() { close(block); e.Close() }()
+	addr, _ := e.Listen("tcp://127.0.0.1:0")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = ep.Call(ctx, "block", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestLookupFailures(t *testing.T) {
+	if _, err := Lookup("bogus"); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("no scheme: %v", err)
+	}
+	if _, err := Lookup("carrier://x"); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("bad scheme: %v", err)
+	}
+	if _, err := Lookup("inproc://nobody-home"); err == nil {
+		t.Error("lookup of unregistered inproc name succeeded")
+	}
+	if _, err := Lookup("tcp://127.0.0.1:1"); err == nil {
+		t.Error("dial of closed port succeeded")
+	}
+}
+
+func TestInprocNameCollision(t *testing.T) {
+	a := NewEngine()
+	defer a.Close()
+	b := NewEngine()
+	defer b.Close()
+	if _, err := a.Listen("inproc://dup-name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen("inproc://dup-name"); err == nil {
+		t.Fatal("duplicate inproc name accepted")
+	}
+	// After a closes, the name becomes free again.
+	a.Close()
+	if _, err := b.Listen("inproc://dup-name"); err != nil {
+		t.Fatalf("name not released after Close: %v", err)
+	}
+}
+
+func TestEngineCloseFailsPendingCalls(t *testing.T) {
+	e := NewEngine()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e.Register("block", func(_ context.Context, _ []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("late"), nil
+	})
+	addr, _ := e.Listen("tcp://127.0.0.1:0")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := ep.Call(context.Background(), "block", nil)
+		callErr <- err
+	}()
+	<-started
+	ep.Close() // drop the client connection while a call is pending
+	close(release)
+	select {
+	case err := <-callErr:
+		if err == nil {
+			t.Fatal("pending call returned nil after connection close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call never failed")
+	}
+	e.Close()
+}
+
+func TestListenAfterClose(t *testing.T) {
+	e := NewEngine()
+	e.Close()
+	if _, err := e.Listen("inproc://after-close"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := echoEngine(t)
+	addr, _ := e.Listen("inproc://stats-count")
+	client := NewEngine()
+	defer client.Close()
+	ep, err := client.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ep.Call(context.Background(), "echo", []byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _ = ep.Call(context.Background(), "fail", nil)
+	if got := e.Stats.CallsServed.Load(); got != 4 {
+		t.Errorf("CallsServed = %d want 4", got)
+	}
+	if got := e.Stats.HandlerErrors.Load(); got != 1 {
+		t.Errorf("HandlerErrors = %d want 1", got)
+	}
+	if got := client.Stats.CallsIssued.Load(); got != 4 {
+		t.Errorf("CallsIssued = %d want 4", got)
+	}
+	if got := e.Stats.BytesIn.Load(); got != 12 {
+		t.Errorf("BytesIn = %d want 12", got)
+	}
+}
+
+func TestFrameTooBig(t *testing.T) {
+	e := echoEngine(t)
+	addr, _ := e.Listen("tcp://127.0.0.1:0")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	huge := make([]byte, MaxFrame+1)
+	if _, err := ep.Call(context.Background(), "echo", huge); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestAddrsReporting(t *testing.T) {
+	e := echoEngine(t)
+	a1, _ := e.Listen("inproc://addrs-1")
+	a2, _ := e.Listen("tcp://127.0.0.1:0")
+	addrs := e.Addrs()
+	if len(addrs) != 2 || addrs[0] != a1 || addrs[1] != a2 {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+}
+
+func BenchmarkMercuryTransports(b *testing.B) {
+	payload := bytes.Repeat([]byte("m"), 1024)
+	for _, tc := range []struct{ name, addr string }{
+		{"inproc", "inproc://bench-inproc"},
+		{"tcp", "tcp://127.0.0.1:0"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := NewEngine()
+			e.Register("echo", func(_ context.Context, in []byte) ([]byte, error) { return in, nil })
+			addr, err := e.Listen(tc.addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			ep, err := Lookup(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ep.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ep.Call(context.Background(), "echo", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestNotifyDelivers(t *testing.T) {
+	e := NewEngine()
+	got := make(chan string, 10)
+	e.Register("log", func(_ context.Context, in []byte) ([]byte, error) {
+		got <- string(in)
+		return nil, nil
+	})
+	defer e.Close()
+	for _, scheme := range []string{"inproc://notify-t", "tcp://127.0.0.1:0"} {
+		addr, err := e.Listen(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Notify("log", []byte("hello "+scheme)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case msg := <-got:
+			if msg != "hello "+scheme {
+				t.Fatalf("got %q", msg)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s: notification never arrived", scheme)
+		}
+		ep.Close()
+	}
+}
+
+func TestNotifyDoesNotBreakCalls(t *testing.T) {
+	e := echoEngine(t)
+	addr, _ := e.Listen("tcp://127.0.0.1:0")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	// Interleave notifications (whose responses carry id 0 and must be
+	// dropped) with regular calls on the same connection.
+	for i := 0; i < 20; i++ {
+		if err := ep.Notify("echo", []byte("n")); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ep.Call(context.Background(), "echo", []byte(fmt.Sprintf("c%d", i)))
+		if err != nil || string(out) != fmt.Sprintf("c%d", i) {
+			t.Fatalf("call %d: %q, %v", i, out, err)
+		}
+	}
+}
+
+func TestNotifyErrors(t *testing.T) {
+	e := echoEngine(t)
+	addr, _ := e.Listen("tcp://127.0.0.1:0")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Notify("echo", make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize notify = %v", err)
+	}
+	ep.Close()
+	// After the connection is gone, Notify must fail rather than hang.
+	time.Sleep(10 * time.Millisecond)
+	if err := ep.Notify("echo", []byte("x")); err == nil {
+		t.Fatal("notify on closed endpoint succeeded")
+	}
+}
+
+func BenchmarkNotifyVsCall(b *testing.B) {
+	e := NewEngine()
+	e.Register("sink", func(_ context.Context, in []byte) ([]byte, error) { return nil, nil })
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	payload := bytes.Repeat([]byte("p"), 512)
+	b.Run("call", func(b *testing.B) {
+		ep, _ := Lookup(addr)
+		defer ep.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ep.Call(context.Background(), "sink", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("notify", func(b *testing.B) {
+		ep, _ := Lookup(addr)
+		defer ep.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ep.Notify("sink", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package pilot
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// BenchmarkSchedulerPolicies ablates packed vs spread placement: the same
+// 80-task heterogeneous workload on 10 nodes, reporting the makespan under
+// each policy (DESIGN.md §6).
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	run := func(spread bool) float64 {
+		eng := des.NewEngine()
+		a, err := NewAgent(AgentConfig{Runtime: eng, Nodes: summitNodes(10)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Start()
+		for i := 0; i < 80; i++ {
+			ranks := []int{20, 41, 82, 164}[i%4]
+			if _, err := a.Submit(TaskDescription{
+				Ranks: ranks, Spread: spread,
+				Duration: func(ExecContext) float64 { return 100 },
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng.Run()
+	}
+	for _, tc := range []struct {
+		name   string
+		spread bool
+	}{{"packed", false}, {"spread", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last float64
+			for i := 0; i < b.N; i++ {
+				last = run(tc.spread)
+			}
+			b.ReportMetric(last, "makespan_s")
+		})
+	}
+}
+
+// BenchmarkAgentThroughput measures task-processing throughput of the agent
+// loop itself: many tiny single-core tasks through the full state machine.
+func BenchmarkAgentThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := des.NewEngine()
+		a, err := NewAgent(AgentConfig{Runtime: eng, Nodes: summitNodes(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Start()
+		const tasks = 500
+		for j := 0; j < tasks; j++ {
+			if _, err := a.Submit(TaskDescription{
+				Ranks:    1,
+				Duration: func(ExecContext) float64 { return 1 },
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Run()
+		_, _, done, failed := a.Counts()
+		if done != tasks || failed != 0 {
+			b.Fatalf("done=%d failed=%d", done, failed)
+		}
+	}
+}
+
+// BenchmarkTryPlace measures the scheduler's placement cost at a Scaling
+// B-like node count.
+func BenchmarkTryPlace(b *testing.B) {
+	s := NewScheduler(summitNodes(512))
+	td := &TaskDescription{Ranks: 1, CoresPerRank: 3, GPUsPerRank: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uid := fmt.Sprintf("t%d", i)
+		p, ok := s.TryPlace(td, uid)
+		if !ok {
+			b.Fatal("placement failed")
+		}
+		s.Release(uid, p)
+	}
+}

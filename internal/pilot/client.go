@@ -1,0 +1,244 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/zmq"
+)
+
+// Session is the client-side entry point, mirroring RP's Session: it owns
+// the PilotManager and TaskManagers, a shared profile stream, and the
+// notification bus (RP's ZeroMQ coordination layer).
+type Session struct {
+	UID      string
+	Runtime  des.Runtime
+	Batch    *platform.BatchSystem
+	Profiler *Profiler
+	Bus      *zmq.PubSub
+
+	mu       sync.Mutex
+	pilotSeq int
+	closed   bool
+	pilots   []*Pilot
+}
+
+// NewSession creates a session against a batch system.
+func NewSession(rt des.Runtime, batch *platform.BatchSystem) *Session {
+	return &Session{
+		UID:      "session.0000",
+		Runtime:  rt,
+		Batch:    batch,
+		Profiler: NewProfiler(),
+		Bus:      zmq.NewPubSub(),
+	}
+}
+
+// PilotDescription is what a user requests from the PilotManager.
+type PilotDescription struct {
+	// Nodes is the whole-node count of the pilot job.
+	Nodes int
+	// Agent tuning knobs; zero values take AgentConfig defaults.
+	BootstrapSec     float64
+	SchedOverheadSec float64
+	Slowdown         float64
+	Seed             uint64
+}
+
+// Pilot is a granted pilot job with a live Agent on its allocation.
+type Pilot struct {
+	UID        string
+	Allocation *platform.Allocation
+	Agent      *Agent
+
+	session *Session
+	mu      sync.Mutex
+	final   State
+}
+
+// SubmitPilot queues a pilot job with the batch system (paper Fig. 1 step 1)
+// and bootstraps the Agent on the granted nodes (step 2). The PilotManager
+// role of RP is folded into the session, as it performs exactly this one
+// duty here.
+func (s *Session) SubmitPilot(pd PilotDescription) (*Pilot, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pilot: session closed")
+	}
+	uid := fmt.Sprintf("pilot.%04d", s.pilotSeq)
+	s.pilotSeq++
+	s.mu.Unlock()
+
+	now := s.Runtime.Now()
+	s.Profiler.RecordState(now, uid, PilotNew)
+	_ = s.Bus.Publish(uid, string(PilotNew))
+
+	alloc, err := s.Batch.Submit(pd.Nodes)
+	if err != nil {
+		s.Profiler.RecordState(now, uid, PilotFailed)
+		return nil, err
+	}
+	agent, err := NewAgent(AgentConfig{
+		Runtime:          s.Runtime,
+		Nodes:            alloc.Nodes,
+		Profiler:         s.Profiler,
+		Bus:              s.Bus,
+		BootstrapSec:     pd.BootstrapSec,
+		SchedOverheadSec: pd.SchedOverheadSec,
+		Slowdown:         pd.Slowdown,
+		Seed:             pd.Seed,
+	})
+	if err != nil {
+		s.Batch.Cancel(alloc)
+		return nil, err
+	}
+	p := &Pilot{UID: uid, Allocation: alloc, Agent: agent, session: s}
+	agent.Start()
+	s.Profiler.RecordState(s.Runtime.Now(), uid, PilotActive)
+	_ = s.Bus.Publish(uid, string(PilotActive))
+	s.mu.Lock()
+	s.pilots = append(s.pilots, p)
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Cancel stops the pilot's agent and returns its nodes to the batch system.
+func (p *Pilot) Cancel() {
+	p.mu.Lock()
+	if p.final != "" {
+		p.mu.Unlock()
+		return
+	}
+	p.final = PilotDone
+	p.mu.Unlock()
+	p.Agent.Stop()
+	p.session.Batch.Cancel(p.Allocation)
+	now := p.session.Runtime.Now()
+	p.session.Profiler.RecordState(now, p.UID, PilotDone)
+	_ = p.session.Bus.Publish(p.UID, string(PilotDone))
+}
+
+// Close cancels every pilot of the session.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pilots := append([]*Pilot(nil), s.pilots...)
+	s.mu.Unlock()
+	for _, p := range pilots {
+		p.Cancel()
+	}
+	s.Bus.Close()
+}
+
+// TaskManager is the client-side task front end: descriptions are pushed
+// into a zmq queue (RP's tmgr→agent staging queue) and drained into the
+// pilot's agent by a deferred event, so submission order is preserved and a
+// burst of submissions is one queue drain.
+type TaskManager struct {
+	UID     string
+	session *Session
+	pilot   *Pilot
+	queue   *zmq.Queue
+
+	mu     sync.Mutex
+	tasks  []*Task
+	byUID  map[string]*Task
+	tmSeq  int
+	closed bool
+}
+
+// NewTaskManager creates a manager bound to one pilot.
+func (s *Session) NewTaskManager(p *Pilot) *TaskManager {
+	s.mu.Lock()
+	uid := fmt.Sprintf("tmgr.%04d", s.pilotSeq)
+	s.mu.Unlock()
+	return &TaskManager{
+		UID:     uid,
+		session: s,
+		pilot:   p,
+		queue:   zmq.NewQueue("tmgr_staging_queue"),
+		byUID:   map[string]*Task{},
+	}
+}
+
+// Submit stages descriptions through the tmgr queue into the agent and
+// returns the created tasks in order. A validation failure rejects the
+// whole batch before anything is staged. Actual scheduling happens as the
+// runtime processes events: drive the DES engine in simulated mode, or
+// WaitAll in real mode.
+func (tm *TaskManager) Submit(tds []TaskDescription) ([]*Task, error) {
+	tm.mu.Lock()
+	if tm.closed {
+		tm.mu.Unlock()
+		return nil, fmt.Errorf("pilot: task manager closed")
+	}
+	tm.mu.Unlock()
+	for i := range tds {
+		if err := tds[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range tds {
+		if err := tm.queue.Push(tds[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Drain the staging queue into the agent, preserving order.
+	var out []*Task
+	for {
+		v, ok := tm.queue.TryPull()
+		if !ok {
+			break
+		}
+		t, err := tm.pilot.Agent.Submit(v.(TaskDescription))
+		if err != nil {
+			return out, err
+		}
+		tm.mu.Lock()
+		tm.tasks = append(tm.tasks, t)
+		tm.byUID[t.UID] = t
+		tm.mu.Unlock()
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Tasks returns every task submitted through this manager.
+func (tm *TaskManager) Tasks() []*Task {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return append([]*Task(nil), tm.tasks...)
+}
+
+// Get returns the task with the given UID.
+func (tm *TaskManager) Get(uid string) (*Task, bool) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	t, ok := tm.byUID[uid]
+	return t, ok
+}
+
+// WaitAll blocks until every submitted task reaches a final state (real
+// mode only; simulated runs drive the engine instead).
+func (tm *TaskManager) WaitAll() {
+	for _, t := range tm.Tasks() {
+		<-t.Done()
+	}
+}
+
+// Close shuts the staging queue.
+func (tm *TaskManager) Close() {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if !tm.closed {
+		tm.closed = true
+		tm.queue.Close()
+	}
+}

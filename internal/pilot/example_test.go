@@ -1,0 +1,57 @@
+package pilot_test
+
+import (
+	"fmt"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+// A pilot job end to end in simulated time: acquire nodes, bootstrap the
+// agent, run a task, inspect the profile.
+func ExampleSession() {
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(2, platform.Summit())
+	sess := pilot.NewSession(eng, platform.NewBatchSystem(cluster))
+
+	pl, _ := sess.SubmitPilot(pilot.PilotDescription{Nodes: 2})
+	tm := sess.NewTaskManager(pl)
+	tasks, _ := tm.Submit([]pilot.TaskDescription{{
+		Name:  "solver",
+		Ranks: 41,
+		Duration: func(pilot.ExecContext) float64 {
+			return 120 // simulated seconds
+		},
+	}})
+
+	eng.Run() // drive the simulation to completion
+	task := tasks[0]
+	fmt.Println(task.State(), "on", task.Placement().NodesSpanned(), "node(s)")
+	fmt.Printf("ran for %.0f simulated seconds\n", task.ExecTime())
+	// Output:
+	// DONE on 1 node(s)
+	// ran for 120 simulated seconds
+}
+
+// The same runtime drives wall-clock execution: swap the DES engine for a
+// RealRuntime and the identical component code runs live.
+func ExampleAgent_realTime() {
+	rt := des.NewRealRuntime()
+	defer rt.Shutdown()
+	cluster := platform.NewCluster(1, platform.Summit())
+	agent, _ := pilot.NewAgent(pilot.AgentConfig{
+		Runtime:      rt,
+		Nodes:        cluster.Nodes,
+		BootstrapSec: 0.005,
+	})
+	agent.Start()
+
+	task, _ := agent.Submit(pilot.TaskDescription{
+		Ranks:    4,
+		Duration: func(pilot.ExecContext) float64 { return 0.01 },
+	})
+	<-task.Done()
+	fmt.Println(task.State())
+	// Output: DONE
+}

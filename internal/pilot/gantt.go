@@ -1,0 +1,103 @@
+package pilot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GanttOptions controls Timeline.Gantt rendering.
+type GanttOptions struct {
+	// Width is the number of character columns for the time axis (default 80).
+	Width int
+	// MaxRows caps the number of core rows rendered; cores are sampled
+	// evenly when the allocation has more (default 40).
+	MaxRows int
+	// End is the time the axis spans; 0 means the last segment's end.
+	End float64
+}
+
+// ganttGlyphs maps each resource state to its rendering character —
+// mirroring Fig. 8's colour coding (light blue/purple/green/white).
+var ganttGlyphs = map[ResourceState]byte{
+	ResIdle:      '.',
+	ResBootstrap: 'b',
+	ResSchedule:  's',
+	ResRun:       '#',
+}
+
+// Gantt renders the timeline as one text row per core, with time on the
+// horizontal axis — the per-core view of Fig. 8. Later segments overwrite
+// earlier ones within a cell; scheduling marks win over runs in the same
+// cell so the purple band stays visible.
+func (tl *Timeline) Gantt(opt GanttOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 80
+	}
+	if opt.MaxRows <= 0 {
+		opt.MaxRows = 40
+	}
+	segs := tl.Segments()
+	end := opt.End
+	if end == 0 {
+		for _, s := range segs {
+			if s.To > end {
+				end = s.To
+			}
+		}
+	}
+	if end <= 0 || tl.cores == 0 {
+		return "(empty timeline)\n"
+	}
+
+	// Choose which cores to render.
+	rows := tl.cores
+	step := 1
+	if rows > opt.MaxRows {
+		step = (rows + opt.MaxRows - 1) / opt.MaxRows
+	}
+	selected := map[int]int{} // core -> row index
+	var coreIDs []int
+	for c := 0; c < tl.cores; c += step {
+		selected[c] = len(coreIDs)
+		coreIDs = append(coreIDs, c)
+	}
+
+	grid := make([][]byte, len(coreIDs))
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", opt.Width))
+	}
+	colOf := func(t float64) int {
+		c := int(t / end * float64(opt.Width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= opt.Width {
+			c = opt.Width - 1
+		}
+		return c
+	}
+	// Paint run/bootstrap first, then scheduling marks on top.
+	sort.SliceStable(segs, func(i, j int) bool {
+		return segs[i].State != ResSchedule && segs[j].State == ResSchedule
+	})
+	for _, s := range segs {
+		row, ok := selected[s.Core]
+		if !ok {
+			continue
+		}
+		from, to := colOf(s.From), colOf(s.To)
+		g := ganttGlyphs[s.State]
+		for c := from; c <= to; c++ {
+			grid[row][c] = g
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cores (every %d of %d) × time 0..%.0fs   b=bootstrap s=schedule #=run .=idle\n",
+		step, tl.cores, end)
+	for i, core := range coreIDs {
+		fmt.Fprintf(&sb, "core %4d |%s|\n", core, grid[i])
+	}
+	return sb.String()
+}

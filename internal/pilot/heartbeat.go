@@ -1,0 +1,119 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// Heartbeats: RP's client and agent exchange liveness signals so either
+// side can detect the other's death (an agent lost to a node failure, a
+// client lost to a login-node eviction). The Agent emits heartbeats on the
+// session bus; a PilotWatcher on the client side declares the pilot dead
+// when they stop arriving.
+
+// heartbeatTopic is the bus topic heartbeats are published on, suffixed by
+// the agent id.
+const heartbeatTopic = "pilot.heartbeat"
+
+// StartHeartbeats makes the agent publish a heartbeat every period seconds
+// until the agent stops. It returns a stop function (also invoked by
+// Agent.Stop).
+func (a *Agent) StartHeartbeats(period float64) (stop func()) {
+	if period <= 0 {
+		period = 5
+	}
+	a.mu.Lock()
+	if a.hbStop != nil {
+		prev := a.hbStop
+		a.mu.Unlock()
+		return prev
+	}
+	a.mu.Unlock()
+
+	var once sync.Once
+	var cancel func()
+	tick := func() bool {
+		a.mu.Lock()
+		stopped := a.stopped
+		a.mu.Unlock()
+		if stopped {
+			return false
+		}
+		now := a.cfg.Runtime.Now()
+		a.mu.Lock()
+		a.lastBeat = now
+		a.mu.Unlock()
+		a.publish(heartbeatTopic, fmt.Sprintf("%.7f", now))
+		return true
+	}
+	tick() // first beat immediately
+	cancel = des.EveryRT(a.cfg.Runtime, period, tick)
+	stopFn := func() { once.Do(cancel) }
+	a.mu.Lock()
+	a.hbStop = stopFn
+	a.mu.Unlock()
+	return stopFn
+}
+
+// LastHeartbeat returns the time of the most recent heartbeat (0 before the
+// first).
+func (a *Agent) LastHeartbeat() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastBeat
+}
+
+// PilotWatcher detects a dead agent: when no heartbeat lands within
+// timeout, onDead fires once and the watcher stops.
+type PilotWatcher struct {
+	mu    sync.Mutex
+	fired bool
+	stop  func()
+}
+
+// WatchPilot polls the pilot's agent heartbeat every checkPeriod seconds
+// and calls onDead once if the last beat is older than timeout. Returns the
+// watcher; Stop cancels it.
+func (s *Session) WatchPilot(p *Pilot, timeout, checkPeriod float64, onDead func()) *PilotWatcher {
+	if checkPeriod <= 0 {
+		checkPeriod = timeout / 3
+	}
+	if checkPeriod <= 0 {
+		checkPeriod = 1
+	}
+	w := &PilotWatcher{}
+	w.stop = des.EveryRT(s.Runtime, checkPeriod, func() bool {
+		last := p.Agent.LastHeartbeat()
+		if last == 0 {
+			return true // not started yet
+		}
+		if s.Runtime.Now()-last <= timeout {
+			return true
+		}
+		w.mu.Lock()
+		already := w.fired
+		w.fired = true
+		w.mu.Unlock()
+		if !already {
+			s.Profiler.RecordState(s.Runtime.Now(), p.UID, PilotFailed)
+			_ = s.Bus.Publish(p.UID, string(PilotFailed))
+			if onDead != nil {
+				onDead()
+			}
+		}
+		return false
+	})
+	return w
+}
+
+// Fired reports whether the watcher declared the pilot dead.
+func (w *PilotWatcher) Fired() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}
+
+// Stop cancels the watcher.
+func (w *PilotWatcher) Stop() { w.stop() }

@@ -1,0 +1,104 @@
+package pilot
+
+import (
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+func heartbeatFixture(t *testing.T) (*des.Engine, *Session, *Pilot) {
+	t.Helper()
+	eng := des.NewEngine()
+	batch := platform.NewBatchSystem(platform.NewCluster(1, platform.Summit()))
+	sess := NewSession(eng, batch)
+	p, err := sess.SubmitPilot(PilotDescription{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, sess, p
+}
+
+func TestHeartbeatsKeepPilotAlive(t *testing.T) {
+	eng, sess, p := heartbeatFixture(t)
+	p.Agent.StartHeartbeats(5)
+	dead := false
+	w := sess.WatchPilot(p, 15, 5, func() { dead = true })
+	defer w.Stop()
+
+	// Heartbeats flow on the bus; the pilot stays alive.
+	ch, cancel := sess.Bus.Subscribe("pilot.heartbeat")
+	defer cancel()
+	eng.RunUntil(100)
+	if dead || w.Fired() {
+		t.Fatal("watcher declared a healthy pilot dead")
+	}
+	if p.Agent.LastHeartbeat() < 90 {
+		t.Fatalf("last heartbeat = %v, want recent", p.Agent.LastHeartbeat())
+	}
+	beats := 0
+	for {
+		select {
+		case <-ch:
+			beats++
+			continue
+		default:
+		}
+		break
+	}
+	if beats < 15 {
+		t.Fatalf("beats = %d, want ~20 over 100 s at 5 s period", beats)
+	}
+}
+
+func TestWatcherDetectsDeadAgent(t *testing.T) {
+	eng, sess, p := heartbeatFixture(t)
+	p.Agent.StartHeartbeats(5)
+	dead := false
+	w := sess.WatchPilot(p, 15, 5, func() { dead = true })
+	defer w.Stop()
+
+	// Kill the agent at t=50: heartbeats stop, the watcher fires within
+	// one timeout + check period.
+	eng.At(50, func() { p.Agent.Stop() })
+	eng.RunUntil(200)
+	if !dead || !w.Fired() {
+		t.Fatal("watcher never detected the dead agent")
+	}
+	// The session profile records the failure.
+	sawFailed := false
+	for _, ev := range sess.Profiler.EntityEvents(p.UID) {
+		if ev.Name == "state" && ev.State == PilotFailed {
+			sawFailed = true
+		}
+	}
+	if !sawFailed {
+		t.Fatal("pilot failure not recorded in the session profile")
+	}
+}
+
+func TestWatcherFiresOnce(t *testing.T) {
+	eng, sess, p := heartbeatFixture(t)
+	p.Agent.StartHeartbeats(5)
+	fires := 0
+	sess.WatchPilot(p, 10, 5, func() { fires++ })
+	eng.At(30, func() { p.Agent.Stop() })
+	eng.RunUntil(500)
+	if fires != 1 {
+		t.Fatalf("onDead fired %d times", fires)
+	}
+}
+
+func TestStartHeartbeatsIdempotent(t *testing.T) {
+	eng, _, p := heartbeatFixture(t)
+	s1 := p.Agent.StartHeartbeats(5)
+	s2 := p.Agent.StartHeartbeats(5)
+	eng.RunUntil(20)
+	s1()
+	s2() // same underlying ticker; double stop must be safe
+	before := p.Agent.LastHeartbeat()
+	eng.RunUntil(100)
+	if p.Agent.LastHeartbeat() != before {
+		t.Fatal("heartbeats continued after stop")
+	}
+}

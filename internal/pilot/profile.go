@@ -1,0 +1,137 @@
+package pilot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one timestamped profile record — a state transition or an
+// execution event for an entity (task, pilot, agent). RP writes these to
+// per-component profile files; here they accumulate in a Profiler that the
+// SOMA RP monitor polls.
+type Event struct {
+	Time float64
+	// UID identifies the entity, e.g. "task.000012" or "pilot.0000".
+	UID string
+	// Name is the event name ("launch_start", ...) or "state" for a state
+	// transition.
+	Name string
+	// State is the new state for "state" events; otherwise empty.
+	State State
+}
+
+// String renders the event as one profile line.
+func (e Event) String() string {
+	if e.Name == "state" {
+		return fmt.Sprintf("%.7f,%s,state,%s", e.Time, e.UID, e.State)
+	}
+	return fmt.Sprintf("%.7f,%s,%s,", e.Time, e.UID, e.Name)
+}
+
+// Profiler accumulates events in arrival order. It is safe for concurrent
+// use. A monitor reads incrementally with Since; analyses read snapshots
+// with Events.
+type Profiler struct {
+	mu     sync.RWMutex
+	events []Event
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Record appends an event.
+func (p *Profiler) Record(ev Event) {
+	p.mu.Lock()
+	p.events = append(p.events, ev)
+	p.mu.Unlock()
+}
+
+// RecordState appends a state-transition event.
+func (p *Profiler) RecordState(t float64, uid string, s State) {
+	p.Record(Event{Time: t, UID: uid, Name: "state", State: s})
+}
+
+// RecordEvent appends a named execution event.
+func (p *Profiler) RecordEvent(t float64, uid, name string) {
+	p.Record(Event{Time: t, UID: uid, Name: name})
+}
+
+// Len returns the number of recorded events.
+func (p *Profiler) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.events)
+}
+
+// Events returns a snapshot of all events.
+func (p *Profiler) Events() []Event {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]Event(nil), p.events...)
+}
+
+// Since returns the events recorded at index >= cursor and the new cursor,
+// allowing a monitor to poll incrementally without re-reading history.
+func (p *Profiler) Since(cursor int) ([]Event, int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(p.events) {
+		return nil, len(p.events)
+	}
+	out := append([]Event(nil), p.events[cursor:]...)
+	return out, len(p.events)
+}
+
+// EntityEvents returns the events of one entity in time order.
+func (p *Profiler) EntityEvents(uid string) []Event {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []Event
+	for _, e := range p.events {
+		if e.UID == uid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders all events as profile-file lines, sorted by time (stable).
+func (p *Profiler) Dump() string {
+	evs := p.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	var sb strings.Builder
+	for _, e := range evs {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// StateDurations computes, for one entity, the time spent in each state
+// (from a state's entry to the next state's entry). The final state has
+// duration up to endTime when it is not terminal-at-zero.
+func (p *Profiler) StateDurations(uid string, endTime float64) map[State]float64 {
+	evs := p.EntityEvents(uid)
+	out := map[State]float64{}
+	var cur State
+	var curStart float64
+	have := false
+	for _, e := range evs {
+		if e.Name != "state" {
+			continue
+		}
+		if have {
+			out[cur] += e.Time - curStart
+		}
+		cur, curStart, have = e.State, e.Time, true
+	}
+	if have && !cur.Final() && endTime > curStart {
+		out[cur] += endTime - curStart
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package pilot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+// Property: for any random workload of valid tasks, every task reaches a
+// final state, no resources leak, the profile stream is consistent (each
+// task has exactly one terminal state event), and the timeline never books
+// more core-time than exists.
+func TestQuickAgentInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		eng := des.NewEngine()
+		nodes := summitNodes(1 + rng.Intn(4))
+		a, err := NewAgent(AgentConfig{Runtime: eng, Nodes: nodes, Seed: seed})
+		if err != nil {
+			return false
+		}
+		a.Start()
+		total := nodes[0].Spec.UsableCores() * len(nodes)
+
+		nTasks := 1 + rng.Intn(30)
+		var tasks []*Task
+		for i := 0; i < nTasks; i++ {
+			ranks := 1 + rng.Intn(total)
+			dur := 1 + rng.Float64()*200
+			td := TaskDescription{
+				Ranks:    ranks,
+				Spread:   rng.Intn(2) == 0,
+				Duration: func(ExecContext) float64 { return dur },
+			}
+			if rng.Intn(10) == 0 {
+				td.GPUsPerRank = 1
+				// GPU tasks must fit: cap ranks at the GPU count.
+				if g := len(nodes) * nodes[0].Spec.GPUs; td.Ranks > g {
+					td.Ranks = g
+				}
+			}
+			task, err := a.Submit(td)
+			if err != nil {
+				return false
+			}
+			tasks = append(tasks, task)
+		}
+		end := eng.Run()
+
+		for _, task := range tasks {
+			if task.State() != StateDone {
+				return false
+			}
+		}
+		if a.Scheduler().FreeCores() != total {
+			return false
+		}
+		if a.Scheduler().FreeGPUs() != len(nodes)*nodes[0].Spec.GPUs {
+			return false
+		}
+		// Exactly one terminal state per task in the profile stream.
+		terminal := map[string]int{}
+		for _, ev := range a.Profiler().Events() {
+			if ev.Name == "state" && ev.State.Final() {
+				terminal[ev.UID]++
+			}
+		}
+		for _, task := range tasks {
+			if terminal[task.UID] != 1 {
+				return false
+			}
+		}
+		// Timeline accounting stays within physical capacity.
+		if u := a.Timeline().Utilization(end); u < 0 || u > 1.0001 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheduler never double-books a core across any interleaving
+// of placements and releases.
+func TestQuickSchedulerNoDoubleBooking(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		s := NewScheduler(summitNodes(3))
+		type live struct {
+			uid string
+			p   Placement
+		}
+		var placed []live
+		owned := map[int]string{} // global core id -> uid
+		for op := 0; op < 60; op++ {
+			if rng.Intn(2) == 0 || len(placed) == 0 {
+				uid := string(rune('a'+op%26)) + string(rune('0'+op/26))
+				td := &TaskDescription{Ranks: 1 + rng.Intn(60), Spread: rng.Intn(2) == 0}
+				p, ok := s.TryPlace(td, uid)
+				if !ok {
+					continue
+				}
+				for _, id := range s.GlobalCoreIDs(p) {
+					if prev, taken := owned[id]; taken {
+						t.Logf("core %d owned by %s and %s", id, prev, uid)
+						return false
+					}
+					owned[id] = uid
+				}
+				placed = append(placed, live{uid: uid, p: p})
+			} else {
+				i := rng.Intn(len(placed))
+				l := placed[i]
+				s.Release(l.uid, l.p)
+				for _, id := range s.GlobalCoreIDs(l.p) {
+					delete(owned, id)
+				}
+				placed = append(placed[:i], placed[i+1:]...)
+			}
+		}
+		// Conservation.
+		return s.FreeCores() == 3*42-len(owned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package pilot
+
+import (
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+func summitNodes(n int) []*platform.Node {
+	c := platform.NewCluster(n, platform.Summit())
+	return c.Nodes
+}
+
+func TestPlacePackedSingleNode(t *testing.T) {
+	s := NewScheduler(summitNodes(4))
+	td := &TaskDescription{Ranks: 20}
+	p, ok := s.TryPlace(td, "t0")
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if p.NodesSpanned() != 1 || p.TotalCores() != 20 {
+		t.Fatalf("placement = %d nodes, %d cores", p.NodesSpanned(), p.TotalCores())
+	}
+	if p.Slices[0].NodeName != "cn0000" {
+		t.Fatalf("packed should use first node, got %s", p.Slices[0].NodeName)
+	}
+	if p.Contention != 0 {
+		t.Fatalf("contention on empty node = %v", p.Contention)
+	}
+}
+
+func TestPlaceMultiNode(t *testing.T) {
+	s := NewScheduler(summitNodes(4))
+	// 164 ranks at 42/node → 4 nodes (Table 1's largest config).
+	p, ok := s.TryPlace(&TaskDescription{Ranks: 164}, "big")
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if p.NodesSpanned() != 4 || p.TotalCores() != 164 {
+		t.Fatalf("spanned %d nodes, %d cores", p.NodesSpanned(), p.TotalCores())
+	}
+	if got := len(p.NodeNames()); got != 4 {
+		t.Fatalf("node names = %d", got)
+	}
+}
+
+func TestPlaceInsufficientResourcesClaimsNothing(t *testing.T) {
+	nodes := summitNodes(2)
+	s := NewScheduler(nodes)
+	if _, ok := s.TryPlace(&TaskDescription{Ranks: 85}, "huge"); ok {
+		t.Fatal("85 ranks should not fit on 84 cores")
+	}
+	for _, n := range nodes {
+		if n.FreeCores() != 42 {
+			t.Fatalf("failed placement leaked cores on %s", n.Name)
+		}
+	}
+}
+
+func TestPlaceGPUs(t *testing.T) {
+	s := NewScheduler(summitNodes(2))
+	// DDMD sim task: 1 rank, 3 cores, 1 GPU; 12 of them need both nodes'
+	// GPUs (6 per node).
+	for i := 0; i < 12; i++ {
+		td := &TaskDescription{Ranks: 1, CoresPerRank: 3, GPUsPerRank: 1}
+		p, ok := s.TryPlace(td, uidN(i))
+		if !ok {
+			t.Fatalf("sim task %d failed to place", i)
+		}
+		if p.TotalGPUs() != 1 {
+			t.Fatalf("task %d gpus = %d", i, p.TotalGPUs())
+		}
+	}
+	// 13th task: cores remain but GPUs are exhausted.
+	if _, ok := s.TryPlace(&TaskDescription{Ranks: 1, GPUsPerRank: 1}, "t13"); ok {
+		t.Fatal("GPU oversubscription accepted")
+	}
+	if s.FreeGPUs() != 0 {
+		t.Fatalf("free gpus = %d", s.FreeGPUs())
+	}
+	// CPU-only task still fits.
+	if _, ok := s.TryPlace(&TaskDescription{Ranks: 1}, "cpu"); !ok {
+		t.Fatal("CPU-only task should fit")
+	}
+}
+
+func uidN(i int) string { return "task." + string(rune('a'+i)) }
+
+func TestGPURequiresCoresOnSameNode(t *testing.T) {
+	nodes := summitNodes(2)
+	s := NewScheduler(nodes)
+	// Fill node 0's cores completely but leave its GPUs free.
+	nodes[0].AllocCores("filler", 42)
+	p, ok := s.TryPlace(&TaskDescription{Ranks: 1, GPUsPerRank: 1}, "t")
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if p.Slices[0].NodeID != 1 {
+		t.Fatal("rank should land where both core and GPU are free")
+	}
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	nodes := summitNodes(5)
+	s := NewScheduler(nodes)
+	td := &TaskDescription{Ranks: 20, Spread: true}
+	p, ok := s.TryPlace(td, "spread")
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if p.NodesSpanned() != 5 {
+		t.Fatalf("spread placement spanned %d nodes, want 5", p.NodesSpanned())
+	}
+	// Each node should hold 4 cores (20/5).
+	for _, sl := range p.Slices {
+		if len(sl.Cores) != 4 {
+			t.Fatalf("uneven spread: %v cores on %s", len(sl.Cores), sl.NodeName)
+		}
+	}
+}
+
+func TestContentionMeasured(t *testing.T) {
+	nodes := summitNodes(1)
+	nodes[0].AllocCores("other", 21) // half busy
+	s := NewScheduler(nodes)
+	p, ok := s.TryPlace(&TaskDescription{Ranks: 10}, "t")
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if p.Contention != 0.5 {
+		t.Fatalf("contention = %v want 0.5", p.Contention)
+	}
+}
+
+func TestReleaseFreesEverything(t *testing.T) {
+	s := NewScheduler(summitNodes(2))
+	td := &TaskDescription{Ranks: 60, GPUsPerRank: 0}
+	p, ok := s.TryPlace(td, "t")
+	if !ok {
+		t.Fatal("place failed")
+	}
+	if s.FreeCores() != 84-60 {
+		t.Fatalf("free = %d", s.FreeCores())
+	}
+	s.Release("t", p)
+	if s.FreeCores() != 84 {
+		t.Fatalf("after release free = %d", s.FreeCores())
+	}
+}
+
+func TestGlobalCoreIDs(t *testing.T) {
+	s := NewScheduler(summitNodes(3))
+	p, _ := s.TryPlace(&TaskDescription{Ranks: 50}, "t") // 42 on node0, 8 on node1
+	ids := s.GlobalCoreIDs(p)
+	if len(ids) != 50 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= 3*42 {
+			t.Fatalf("global id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate global id %d", id)
+		}
+		seen[id] = true
+	}
+	// Node 1's cores must start at offset 42.
+	if !seen[42] {
+		t.Fatal("expected core 42 (node 1, core 0) in use")
+	}
+}
+
+func TestDefaultsAppliedToDegenerateDescriptions(t *testing.T) {
+	s := NewScheduler(summitNodes(1))
+	p, ok := s.TryPlace(&TaskDescription{}, "zero") // 1 rank, 1 core
+	if !ok || p.TotalCores() != 1 {
+		t.Fatalf("zero-value description: %v cores, ok=%v", p.TotalCores(), ok)
+	}
+	p2, ok := s.TryPlace(&TaskDescription{Ranks: 2, GPUsPerRank: -1}, "neg")
+	if !ok || p2.TotalGPUs() != 0 {
+		t.Fatalf("negative gpus: %v", p2.TotalGPUs())
+	}
+}
+
+func TestTimelineOccupancy(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.AddRange([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0, 10, ResBootstrap, "agent")
+	tl.AddRange([]int{0, 1, 2, 3, 4}, 10, 20, ResRun, "t0")
+	occ := tl.Occupancy(20, 2)
+	if len(occ) != 2 {
+		t.Fatalf("buckets = %d", len(occ))
+	}
+	if occ[0][ResBootstrap] != 1.0 {
+		t.Fatalf("bucket0 bootstrap = %v", occ[0][ResBootstrap])
+	}
+	if occ[1][ResRun] != 0.5 || occ[1][ResIdle] != 0.5 {
+		t.Fatalf("bucket1 = %v", occ[1])
+	}
+	if u := tl.Utilization(20); u != 0.25 {
+		t.Fatalf("utilization = %v want 0.25", u)
+	}
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	tl := NewTimeline(4)
+	tl.Add(Segment{Core: 0, From: 5, To: 5, State: ResRun}) // zero-length ignored
+	tl.Add(Segment{Core: 0, From: 5, To: 3, State: ResRun}) // negative ignored
+	if len(tl.Segments()) != 0 {
+		t.Fatal("degenerate segments stored")
+	}
+	if tl.Occupancy(0, 5) != nil || tl.Occupancy(10, 0) != nil {
+		t.Fatal("degenerate occupancy should be nil")
+	}
+	if tl.Utilization(0) != 0 {
+		t.Fatal("zero-end utilization should be 0")
+	}
+	if tl.Cores() != 4 {
+		t.Fatal("cores accessor")
+	}
+	if ResRun.String() != "run" || ResourceState(9).String() != "unknown" {
+		t.Fatal("state names")
+	}
+}
+
+func TestTimelineSegmentsSorted(t *testing.T) {
+	tl := NewTimeline(3)
+	tl.Add(Segment{Core: 2, From: 0, To: 1, State: ResRun})
+	tl.Add(Segment{Core: 0, From: 5, To: 6, State: ResRun})
+	tl.Add(Segment{Core: 0, From: 1, To: 2, State: ResSchedule})
+	segs := tl.Segments()
+	if segs[0].Core != 0 || segs[0].From != 1 || segs[2].Core != 2 {
+		t.Fatalf("segments not sorted: %+v", segs)
+	}
+}

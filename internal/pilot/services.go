@@ -1,0 +1,148 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ServiceInfo is what a running service task advertises to the workflow:
+// its RPC address and lifecycle state. The paper requires exactly this —
+// "service tasks communicate their state to RP for the consumers of those
+// services to know where, when, and whether they are available" (§2.3.1).
+type ServiceInfo struct {
+	// UID is the service task's UID.
+	UID string
+	// Name is the service task's descriptive name ("soma.service").
+	Name string
+	// Address is the published RPC endpoint ("tcp://..." or "inproc://...").
+	Address string
+	// State mirrors the task state (EXECUTING while available).
+	State State
+}
+
+// Available reports whether consumers can use the service now.
+func (si ServiceInfo) Available() bool { return si.State == StateExecuting && si.Address != "" }
+
+// ServiceRegistry is the agent-side directory of service endpoints. Service
+// tasks publish their address once they are up; application tasks and
+// monitor clients look services up by name and can wait for availability.
+// It is exposed by the Agent and safe for concurrent use.
+type ServiceRegistry struct {
+	mu       sync.Mutex
+	byName   map[string]ServiceInfo
+	waiters  map[string][]chan ServiceInfo
+	notifyFn func(ServiceInfo) // optional bus hook
+}
+
+// NewServiceRegistry returns an empty registry.
+func NewServiceRegistry() *ServiceRegistry {
+	return &ServiceRegistry{
+		byName:  map[string]ServiceInfo{},
+		waiters: map[string][]chan ServiceInfo{},
+	}
+}
+
+// Advertise publishes (or updates) a service's info. Waiters blocked on the
+// name are released once the service is available.
+func (r *ServiceRegistry) Advertise(info ServiceInfo) {
+	r.mu.Lock()
+	r.byName[info.Name] = info
+	var release []chan ServiceInfo
+	if info.Available() {
+		release = r.waiters[info.Name]
+		delete(r.waiters, info.Name)
+	}
+	fn := r.notifyFn
+	r.mu.Unlock()
+	for _, ch := range release {
+		ch <- info
+	}
+	if fn != nil {
+		fn(info)
+	}
+}
+
+// Withdraw marks a service unavailable (shutdown path).
+func (r *ServiceRegistry) Withdraw(name string, state State) {
+	r.mu.Lock()
+	info, ok := r.byName[name]
+	if ok {
+		info.State = state
+		r.byName[name] = info
+	}
+	fn := r.notifyFn
+	r.mu.Unlock()
+	if ok && fn != nil {
+		fn(info)
+	}
+}
+
+// Lookup returns the current info for name.
+func (r *ServiceRegistry) Lookup(name string) (ServiceInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info, ok := r.byName[name]
+	return info, ok
+}
+
+// List returns every advertised service.
+func (r *ServiceRegistry) List() []ServiceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ServiceInfo, 0, len(r.byName))
+	for _, info := range r.byName {
+		out = append(out, info)
+	}
+	return out
+}
+
+// WaitCh returns a channel that receives the service info once the named
+// service is available. If it already is, the channel is immediately
+// ready. Intended for real-time mode; simulated code should use Lookup
+// after the service task's state transition.
+func (r *ServiceRegistry) WaitCh(name string) <-chan ServiceInfo {
+	ch := make(chan ServiceInfo, 1)
+	r.mu.Lock()
+	if info, ok := r.byName[name]; ok && info.Available() {
+		r.mu.Unlock()
+		ch <- info
+		return ch
+	}
+	r.waiters[name] = append(r.waiters[name], ch)
+	r.mu.Unlock()
+	return ch
+}
+
+// --- Agent integration -----------------------------------------------------
+
+// Services returns the agent's service registry.
+func (a *Agent) Services() *ServiceRegistry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.registry == nil {
+		a.registry = NewServiceRegistry()
+		bus := a.cfg.Bus
+		if bus != nil {
+			a.registry.notifyFn = func(info ServiceInfo) {
+				_ = bus.Publish("service."+info.Name, info)
+			}
+		}
+	}
+	return a.registry
+}
+
+// AdvertiseService records a running service task's RPC address in the
+// registry. It fails when the UID does not name a running service task —
+// only live services may advertise.
+func (a *Agent) AdvertiseService(uid, address string) error {
+	a.mu.Lock()
+	t, ok := a.services[uid]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pilot: %s is not a running service task", uid)
+	}
+	a.Services().Advertise(ServiceInfo{
+		UID: uid, Name: t.Description.Name, Address: address, State: t.State(),
+	})
+	return nil
+}

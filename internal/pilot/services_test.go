@@ -1,0 +1,179 @@
+package pilot
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/zmq"
+)
+
+func TestServiceRegistryAdvertiseLookup(t *testing.T) {
+	r := NewServiceRegistry()
+	if _, ok := r.Lookup("soma.service"); ok {
+		t.Fatal("empty registry returned a service")
+	}
+	r.Advertise(ServiceInfo{
+		UID: "task.000000", Name: "soma.service",
+		Address: "tcp://10.0.0.1:9900", State: StateExecuting,
+	})
+	info, ok := r.Lookup("soma.service")
+	if !ok || !info.Available() || info.Address != "tcp://10.0.0.1:9900" {
+		t.Fatalf("lookup = %+v, %v", info, ok)
+	}
+	if got := len(r.List()); got != 1 {
+		t.Fatalf("list = %d", got)
+	}
+	r.Withdraw("soma.service", StateCanceled)
+	info, ok = r.Lookup("soma.service")
+	if !ok || info.Available() {
+		t.Fatalf("withdrawn service still available: %+v", info)
+	}
+}
+
+func TestServiceRegistryWaitCh(t *testing.T) {
+	r := NewServiceRegistry()
+	ch := r.WaitCh("soma.service")
+	select {
+	case <-ch:
+		t.Fatal("wait released before advertisement")
+	default:
+	}
+	// Advertising a non-available state must not release waiters.
+	r.Advertise(ServiceInfo{Name: "soma.service", State: StateScheduled})
+	select {
+	case <-ch:
+		t.Fatal("wait released by non-available advertisement")
+	default:
+	}
+	r.Advertise(ServiceInfo{Name: "soma.service", Address: "inproc://x", State: StateExecuting})
+	select {
+	case info := <-ch:
+		if info.Address != "inproc://x" {
+			t.Fatalf("info = %+v", info)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never released")
+	}
+	// Already-available service releases immediately.
+	ch2 := r.WaitCh("soma.service")
+	select {
+	case <-ch2:
+	case <-time.After(time.Second):
+		t.Fatal("immediate wait did not release")
+	}
+}
+
+func TestAgentAdvertiseService(t *testing.T) {
+	eng := des.NewEngine()
+	bus := zmq.NewPubSub()
+	a, err := NewAgent(AgentConfig{Runtime: eng, Nodes: summitNodes(1), Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notify, cancel := bus.Subscribe("service.")
+	defer cancel()
+	a.Start()
+	svc, _ := a.Submit(TaskDescription{Name: "soma.service", Ranks: 4, Service: true})
+	app, _ := a.Submit(TaskDescription{Name: "app", Ranks: 1, Duration: fixedDur(5)})
+	eng.RunUntil(25) // service is executing
+
+	// Advertising an app task or unknown uid fails.
+	if err := a.AdvertiseService(app.UID, "tcp://x"); err == nil {
+		t.Fatal("app task advertised as service")
+	}
+	if err := a.AdvertiseService("task.999999", "tcp://x"); err == nil {
+		t.Fatal("unknown uid advertised")
+	}
+	if err := a.AdvertiseService(svc.UID, "inproc://soma-here"); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := a.Services().Lookup("soma.service")
+	if !ok || !info.Available() || info.UID != svc.UID {
+		t.Fatalf("registry info = %+v, %v", info, ok)
+	}
+	// The bus carries the advertisement.
+	select {
+	case m := <-notify:
+		if m.Topic != "service.soma.service" {
+			t.Fatalf("topic = %q", m.Topic)
+		}
+	default:
+		t.Fatal("no bus notification for advertisement")
+	}
+	// StopServices withdraws the registration.
+	a.StopServices()
+	info, _ = a.Services().Lookup("soma.service")
+	if info.Available() {
+		t.Fatal("service still available after StopServices")
+	}
+	if info.State != StateCanceled {
+		t.Fatalf("state = %s", info.State)
+	}
+	eng.Run()
+}
+
+func TestGanttRendering(t *testing.T) {
+	tl := NewTimeline(8)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tl.AddRange(all, 0, 10, ResBootstrap, "agent")
+	tl.AddRange([]int{0, 1}, 10, 12, ResSchedule, "t0")
+	tl.AddRange([]int{0, 1}, 12, 80, ResRun, "t0")
+	out := tl.Gantt(GanttOptions{Width: 40, MaxRows: 10, End: 100})
+	lines := len(out) - len([]byte(out))
+	_ = lines
+	for _, want := range []string{"core    0", "b", "#", "s", "=run"} {
+		if !containsStr(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Idle tail must be dots on every row.
+	if !containsStr(out, "....") {
+		t.Fatalf("no idle cells rendered:\n%s", out)
+	}
+	// Degenerate cases.
+	if out := NewTimeline(0).Gantt(GanttOptions{}); !containsStr(out, "empty") {
+		t.Fatalf("empty timeline = %q", out)
+	}
+}
+
+func TestGanttSamplesLargeAllocations(t *testing.T) {
+	tl := NewTimeline(420)
+	tl.AddRange([]int{0}, 0, 10, ResRun, "t")
+	out := tl.Gantt(GanttOptions{Width: 20, MaxRows: 10, End: 10})
+	rows := 0
+	for _, line := range splitLines(out) {
+		if containsStr(line, "core ") {
+			rows++
+		}
+	}
+	if rows == 0 || rows > 10 {
+		t.Fatalf("rendered %d rows, want 1..10", rows)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

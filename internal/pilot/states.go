@@ -1,0 +1,126 @@
+// Package pilot implements the pilot-paradigm workflow runtime the paper
+// integrates SOMA with — a Go analog of RADICAL-Pilot (RP). It provides the
+// two RP abstractions:
+//
+//   - Pilot: a placeholder job holding an allocation of compute nodes,
+//     acquired through the platform's batch system and bootstrapped into an
+//     Agent on those nodes.
+//   - Task: a unit of work (an executable with ranks/cores/GPUs, or a Go
+//     function) that the Agent schedules onto the pilot's resources without
+//     touching the machine's batch queue.
+//
+// Components mirror RP's architecture (paper Fig. 1): a client-side
+// PilotManager and TaskManager, and an Agent with Scheduler and Executor,
+// coordinated over internal/zmq queues. Every component is a state machine
+// whose timestamped transitions are recorded in a Profiler — the profile
+// stream the SOMA RP-monitor client consumes (paper Listing 1).
+//
+// The Agent runs against a des.Runtime, so identical code drives both the
+// simulated experiments (virtual time) and the live examples (wall time).
+package pilot
+
+import "fmt"
+
+// State is a lifecycle state of a task or pilot.
+type State string
+
+// Task states, matching RP's task state model: a task proceeds through NEW,
+// SCHEDULED, EXECUTING and DONE/FAILED (paper §2.3.2), with the
+// client/agent split made explicit.
+const (
+	// StateNew: the task exists in the TaskManager.
+	StateNew State = "NEW"
+	// StateTMGRScheduling: queued in the client-side scheduler.
+	StateTMGRScheduling State = "TMGR_SCHEDULING"
+	// StateStagingInput: input files are being staged to the resource
+	// ("after staging files when required", paper §2.1). Zero dwell when
+	// the task declares no input staging.
+	StateStagingInput State = "AGENT_STAGING_INPUT"
+	// StateAgentScheduling: queued in the agent scheduler, waiting for
+	// resources.
+	StateAgentScheduling State = "AGENT_SCHEDULING"
+	// StateScheduled: resources assigned, queued to an executor.
+	StateScheduled State = "SCHEDULED"
+	// StateExecuting: launched on the assigned resources.
+	StateExecuting State = "EXECUTING"
+	// StateStagingOutput: output files are being staged back; resources are
+	// still held. Zero dwell when the task declares no output staging.
+	StateStagingOutput State = "AGENT_STAGING_OUTPUT"
+	// StateDone: completed successfully.
+	StateDone State = "DONE"
+	// StateFailed: completed with an error.
+	StateFailed State = "FAILED"
+	// StateCanceled: stopped by the runtime (service tasks at shutdown).
+	StateCanceled State = "CANCELED"
+)
+
+// Pilot states.
+const (
+	PilotNew      State = "PMGR_LAUNCHING"
+	PilotActive   State = "PMGR_ACTIVE"
+	PilotDone     State = "PMGR_DONE"
+	PilotFailed   State = "PMGR_FAILED"
+	PilotCanceled State = "PMGR_CANCELED"
+)
+
+// Final reports whether s is a terminal task state.
+func (s State) Final() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled ||
+		s == PilotDone || s == PilotFailed || s == PilotCanceled
+}
+
+// taskOrder gives the legal forward ordering of task states.
+var taskOrder = map[State]int{
+	StateNew:             0,
+	StateTMGRScheduling:  1,
+	StateStagingInput:    2,
+	StateAgentScheduling: 3,
+	StateScheduled:       4,
+	StateExecuting:       5,
+	StateStagingOutput:   6,
+	StateDone:            7,
+	StateFailed:          7,
+	StateCanceled:        7,
+}
+
+// ValidTransition reports whether a task may move from to next. Any state
+// may jump to FAILED or CANCELED; otherwise transitions move strictly
+// forward through the pipeline.
+func ValidTransition(from, next State) bool {
+	if next == StateFailed || next == StateCanceled {
+		return !from.Final()
+	}
+	fo, ok1 := taskOrder[from]
+	no, ok2 := taskOrder[next]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return no == fo+1
+}
+
+// Events recorded inside the EXECUTING state, exactly the event names of the
+// paper's Listing 1.
+const (
+	EvLaunchStart = "launch_start"
+	EvExecStart   = "exec_start"
+	EvRankStart   = "rank_start"
+	EvRankStop    = "rank_stop"
+	EvExecStop    = "exec_stop"
+	EvLaunchStop  = "launch_stop"
+)
+
+// ExecutingEvents lists the Listing 1 events in order.
+var ExecutingEvents = []string{
+	EvLaunchStart, EvExecStart, EvRankStart, EvRankStop, EvExecStop, EvLaunchStop,
+}
+
+// ErrInvalidTransition is returned when a component attempts an illegal
+// state change.
+type ErrInvalidTransition struct {
+	UID        string
+	From, Next State
+}
+
+func (e *ErrInvalidTransition) Error() string {
+	return fmt.Sprintf("pilot: invalid transition %s -> %s for %s", e.From, e.Next, e.UID)
+}

@@ -1,0 +1,146 @@
+package pilot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidTransitions(t *testing.T) {
+	legal := [][2]State{
+		{StateNew, StateTMGRScheduling},
+		{StateTMGRScheduling, StateStagingInput},
+		{StateStagingInput, StateAgentScheduling},
+		{StateAgentScheduling, StateScheduled},
+		{StateScheduled, StateExecuting},
+		{StateExecuting, StateStagingOutput},
+		{StateStagingOutput, StateDone},
+		{StateExecuting, StateFailed},
+		{StateNew, StateCanceled},
+		{StateAgentScheduling, StateFailed},
+	}
+	for _, c := range legal {
+		if !ValidTransition(c[0], c[1]) {
+			t.Errorf("%s -> %s should be legal", c[0], c[1])
+		}
+	}
+	illegal := [][2]State{
+		{StateNew, StateExecuting},                  // skipping states
+		{StateTMGRScheduling, StateAgentScheduling}, // skipping input staging
+		{StateExecuting, StateDone},                 // skipping output staging
+		{StateExecuting, StateNew},                  // backwards
+		{StateDone, StateFailed},                    // out of a final state
+		{StateDone, StateCanceled},                  // out of a final state
+		{StateCanceled, StateExecuting},             // out of a final state
+		{StateNew, State("BOGUS")},                  // unknown
+		{State("BOGUS"), StateTMGRScheduling},       // unknown
+	}
+	for _, c := range illegal {
+		if ValidTransition(c[0], c[1]) {
+			t.Errorf("%s -> %s should be illegal", c[0], c[1])
+		}
+	}
+}
+
+func TestFinalStates(t *testing.T) {
+	for _, s := range []State{StateDone, StateFailed, StateCanceled, PilotDone, PilotFailed, PilotCanceled} {
+		if !s.Final() {
+			t.Errorf("%s should be final", s)
+		}
+	}
+	for _, s := range []State{StateNew, StateExecuting, PilotActive} {
+		if s.Final() {
+			t.Errorf("%s should not be final", s)
+		}
+	}
+}
+
+func TestExecutingEventsOrder(t *testing.T) {
+	want := []string{"launch_start", "exec_start", "rank_start", "rank_stop", "exec_stop", "launch_stop"}
+	if len(ExecutingEvents) != len(want) {
+		t.Fatalf("events = %v", ExecutingEvents)
+	}
+	for i, e := range ExecutingEvents {
+		if e != want[i] {
+			t.Errorf("event[%d] = %q want %q", i, e, want[i])
+		}
+	}
+}
+
+func TestErrInvalidTransitionMessage(t *testing.T) {
+	err := &ErrInvalidTransition{UID: "task.000001", From: StateDone, Next: StateExecuting}
+	msg := err.Error()
+	for _, frag := range []string{"task.000001", "DONE", "EXECUTING"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error message missing %q: %s", frag, msg)
+		}
+	}
+}
+
+func TestProfilerSinceAndDump(t *testing.T) {
+	p := NewProfiler()
+	p.RecordState(1.0, "task.000000", StateNew)
+	p.RecordEvent(2.0, "task.000000", EvLaunchStart)
+	evs, cur := p.Since(0)
+	if len(evs) != 2 || cur != 2 {
+		t.Fatalf("since(0) = %d events, cursor %d", len(evs), cur)
+	}
+	evs, cur = p.Since(cur)
+	if len(evs) != 0 || cur != 2 {
+		t.Fatalf("since(2) = %d events", len(evs))
+	}
+	p.RecordState(3.0, "task.000001", StateNew)
+	evs, cur = p.Since(cur)
+	if len(evs) != 1 || evs[0].UID != "task.000001" {
+		t.Fatalf("incremental read got %v", evs)
+	}
+	if cur != 3 || p.Len() != 3 {
+		t.Fatalf("cursor %d len %d", cur, p.Len())
+	}
+	evs, _ = p.Since(-5)
+	if len(evs) != 3 {
+		t.Fatal("negative cursor should read from start")
+	}
+	dump := p.Dump()
+	if !strings.Contains(dump, "launch_start") || !strings.Contains(dump, "state,NEW") {
+		t.Fatalf("dump = %q", dump)
+	}
+}
+
+func TestProfilerEntityEventsAndDurations(t *testing.T) {
+	p := NewProfiler()
+	p.RecordState(0, "task.0", StateNew)
+	p.RecordState(2, "task.0", StateTMGRScheduling)
+	p.RecordState(5, "task.0", StateAgentScheduling)
+	p.RecordState(5, "other", StateNew)
+	p.RecordState(9, "task.0", StateScheduled)
+	p.RecordState(10, "task.0", StateExecuting)
+	p.RecordState(25, "task.0", StateDone)
+
+	if got := len(p.EntityEvents("task.0")); got != 6 {
+		t.Fatalf("entity events = %d", got)
+	}
+	d := p.StateDurations("task.0", 100)
+	if d[StateNew] != 2 || d[StateTMGRScheduling] != 3 || d[StateAgentScheduling] != 4 ||
+		d[StateScheduled] != 1 || d[StateExecuting] != 15 {
+		t.Fatalf("durations = %v", d)
+	}
+	if _, ok := d[StateDone]; ok {
+		t.Fatal("final state should not accrue duration")
+	}
+	// Non-final tail accrues up to endTime.
+	d2 := p.StateDurations("other", 50)
+	if d2[StateNew] != 45 {
+		t.Fatalf("open-ended NEW duration = %v", d2[StateNew])
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 1698435412.606003, UID: "task.000000", Name: "launch_start"}
+	if !strings.Contains(e.String(), "task.000000,launch_start") {
+		t.Fatalf("event string = %q", e.String())
+	}
+	s := Event{Time: 1, UID: "t", Name: "state", State: StateDone}
+	if !strings.Contains(s.String(), "state,DONE") {
+		t.Fatalf("state string = %q", s.String())
+	}
+}

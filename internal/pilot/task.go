@@ -1,0 +1,244 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeSlice is the portion of one node assigned to a task: specific core
+// and GPU indices.
+type NodeSlice struct {
+	NodeID   int
+	NodeName string
+	Cores    []int
+	GPUs     []int
+}
+
+// Placement records where a task's ranks landed and how contended the
+// allocation was at launch, feeding the workload models.
+type Placement struct {
+	Slices []NodeSlice
+	// Contention is the fraction of the allocation's cores busy with other
+	// tasks at allocation time, in [0,1].
+	Contention float64
+	// OwnDensity is the task's average cores-per-spanned-node divided by
+	// the node core count, in [0,1] — 1 means the task fills every node it
+	// touches.
+	OwnDensity float64
+}
+
+// NodesSpanned returns how many distinct nodes hold at least one core or
+// GPU of the task.
+func (p Placement) NodesSpanned() int { return len(p.Slices) }
+
+// TotalCores returns the cores assigned across all slices.
+func (p Placement) TotalCores() int {
+	t := 0
+	for _, s := range p.Slices {
+		t += len(s.Cores)
+	}
+	return t
+}
+
+// TotalGPUs returns the GPUs assigned across all slices.
+func (p Placement) TotalGPUs() int {
+	t := 0
+	for _, s := range p.Slices {
+		t += len(s.GPUs)
+	}
+	return t
+}
+
+// NodeNames returns the spanned node names in slice order.
+func (p Placement) NodeNames() []string {
+	out := make([]string, len(p.Slices))
+	for i, s := range p.Slices {
+		out[i] = s.NodeName
+	}
+	return out
+}
+
+// ExecContext is what the executor hands a task's duration model or
+// function: where it runs and when it started.
+type ExecContext struct {
+	Task      *Task
+	Placement Placement
+	StartTime float64
+}
+
+// DurationFunc models a task's wall time given its actual placement
+// (simulated mode). The workload package supplies these.
+type DurationFunc func(ctx ExecContext) float64
+
+// FuncTask is a Go function executed in-process (real mode) — RP's RAPTOR
+// "function task" flavour.
+type FuncTask func(ctx ExecContext) error
+
+// TaskDescription is what a user submits — RP's TaskDescription.
+type TaskDescription struct {
+	// UID is assigned by the TaskManager when empty ("task.000042").
+	UID string
+	// Name is a free-form label (used by EnTK for stage/pipeline tags).
+	Name string
+	// Ranks is the number of MPI ranks (processes). Default 1.
+	Ranks int
+	// CoresPerRank is the physical cores per rank. Default 1.
+	CoresPerRank int
+	// GPUsPerRank is the GPUs per rank. Default 0.
+	GPUsPerRank int
+	// Duration models execution time in simulated runs. When nil and Func
+	// is nil, the task completes immediately.
+	Duration DurationFunc
+	// Func is an in-process function task (RAPTOR flavour), used by
+	// real-time runs. When both Duration and Func are set, Duration decides
+	// the simulated wall time and Func is invoked at completion.
+	Func FuncTask
+	// InputStagingSec and OutputStagingSec model file staging before
+	// scheduling and after execution (AGENT_STAGING_INPUT/OUTPUT states).
+	// Resources are held during output staging, as in RP.
+	InputStagingSec  float64
+	OutputStagingSec float64
+	// Service marks a long-running service task: scheduled before any
+	// application task, runs until the pilot shuts it down (paper §2.3.1).
+	Service bool
+	// CPUActivity is the busy fraction of the task's allocated cores for
+	// the hardware monitor, in (0,1]. Zero means "CPU-bound" (0.95).
+	CPUActivity float64
+	// Spread requests ranks be spread across nodes rather than packed.
+	Spread bool
+	// PinNode restricts placement to the named node ("" = any). Used for
+	// per-node monitor tasks and for pinning the SOMA service to its
+	// dedicated nodes.
+	PinNode string
+	// Tags carries arbitrary metadata into the workflow namespace.
+	Tags map[string]string
+	// OnComplete, when set, is invoked once the task reaches a final state
+	// (DONE, FAILED, or CANCELED). It runs on the runtime's event path, so
+	// it must not block; resubmitting follow-up work is the intended use
+	// (EnTK chains stages this way).
+	OnComplete func(t *Task)
+}
+
+// cores and gpus return the total resource needs.
+func (td *TaskDescription) cores() int {
+	r, c := td.Ranks, td.CoresPerRank
+	if r < 1 {
+		r = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	return r * c
+}
+
+func (td *TaskDescription) gpus() int {
+	r := td.Ranks
+	if r < 1 {
+		r = 1
+	}
+	if td.GPUsPerRank < 0 {
+		return 0
+	}
+	return r * td.GPUsPerRank
+}
+
+// Validate checks a description for obvious misconfiguration.
+func (td *TaskDescription) Validate() error {
+	if td.Ranks < 0 || td.CoresPerRank < 0 || td.GPUsPerRank < 0 {
+		return fmt.Errorf("pilot: negative resource request in task %q", td.Name)
+	}
+	if td.CPUActivity < 0 || td.CPUActivity > 1 {
+		return fmt.Errorf("pilot: CPUActivity %v out of [0,1] in task %q", td.CPUActivity, td.Name)
+	}
+	if td.InputStagingSec < 0 || td.OutputStagingSec < 0 {
+		return fmt.Errorf("pilot: negative staging time in task %q", td.Name)
+	}
+	return nil
+}
+
+// Task is a submitted task with live state. All fields are guarded by mu;
+// use the accessor methods.
+type Task struct {
+	Description TaskDescription
+	UID         string
+
+	mu        sync.Mutex
+	state     State
+	placement Placement
+	err       error
+	// times of interest, filled in as the task progresses
+	submitT, schedT, execT, doneT float64
+	done                          chan struct{}
+}
+
+func newTask(td TaskDescription, uid string, now float64) *Task {
+	return &Task{
+		Description: td,
+		UID:         uid,
+		state:       StateNew,
+		submitT:     now,
+		done:        make(chan struct{}),
+	}
+}
+
+// State returns the task's current state.
+func (t *Task) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Placement returns where the task ran (zero value before scheduling).
+func (t *Task) Placement() Placement {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.placement
+}
+
+// Err returns the task's failure cause, if any.
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Times returns (submit, scheduled, exec-start, done) timestamps; zero when
+// not yet reached.
+func (t *Task) Times() (submit, sched, exec, done float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.submitT, t.schedT, t.execT, t.doneT
+}
+
+// ExecTime returns the task's executing duration (done - exec start), or 0.
+func (t *Task) ExecTime() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.doneT > t.execT && t.execT > 0 {
+		return t.doneT - t.execT
+	}
+	return 0
+}
+
+// Done returns a channel closed when the task reaches a final state.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// setState transitions the task, returning an error on illegal moves.
+func (t *Task) setState(s State, now float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !ValidTransition(t.state, s) {
+		return &ErrInvalidTransition{UID: t.UID, From: t.state, Next: s}
+	}
+	t.state = s
+	switch s {
+	case StateScheduled:
+		t.schedT = now
+	case StateExecuting:
+		t.execT = now
+	case StateDone, StateFailed, StateCanceled:
+		t.doneT = now
+		close(t.done)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package pilot
+
+import (
+	"sort"
+	"sync"
+)
+
+// ResourceState classifies what a core is doing at an instant — the color
+// coding of the paper's Fig. 8: light blue = RP bootstrap, purple = task
+// scheduling, green = task running, white = unused.
+type ResourceState uint8
+
+// Core states in the utilization timeline.
+const (
+	ResIdle ResourceState = iota
+	ResBootstrap
+	ResSchedule
+	ResRun
+)
+
+var resNames = [...]string{"idle", "bootstrap", "schedule", "run"}
+
+// String returns the state name.
+func (r ResourceState) String() string {
+	if int(r) < len(resNames) {
+		return resNames[r]
+	}
+	return "unknown"
+}
+
+// Segment is one core's activity over a time interval.
+type Segment struct {
+	Core     int // global core index across the allocation
+	From, To float64
+	State    ResourceState
+	Owner    string // task uid for schedule/run segments
+}
+
+// Timeline records per-core activity segments for the whole pilot — the
+// data behind Fig. 8. The Agent appends segments as tasks are scheduled,
+// launched and completed. Safe for concurrent use.
+type Timeline struct {
+	mu       sync.Mutex
+	segments []Segment
+	cores    int
+}
+
+// NewTimeline creates a timeline for an allocation with the given total
+// usable core count.
+func NewTimeline(totalCores int) *Timeline {
+	return &Timeline{cores: totalCores}
+}
+
+// Cores returns the tracked core count.
+func (tl *Timeline) Cores() int { return tl.cores }
+
+// Add appends one segment. Zero-length or negative segments are ignored.
+func (tl *Timeline) Add(seg Segment) {
+	if seg.To <= seg.From {
+		return
+	}
+	tl.mu.Lock()
+	tl.segments = append(tl.segments, seg)
+	tl.mu.Unlock()
+}
+
+// AddRange appends one segment per core index in ids.
+func (tl *Timeline) AddRange(ids []int, from, to float64, st ResourceState, owner string) {
+	for _, c := range ids {
+		tl.Add(Segment{Core: c, From: from, To: to, State: st, Owner: owner})
+	}
+}
+
+// Segments returns a snapshot sorted by (core, from).
+func (tl *Timeline) Segments() []Segment {
+	tl.mu.Lock()
+	out := append([]Segment(nil), tl.segments...)
+	tl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Core != out[j].Core {
+			return out[i].Core < out[j].Core
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// Occupancy aggregates the timeline into buckets time slices covering
+// [0, end]: for each slice, the fraction of core-time in each state.
+// Core-time not covered by any segment counts as idle. This is the series
+// the Fig. 8 reproduction prints.
+func (tl *Timeline) Occupancy(end float64, buckets int) []map[ResourceState]float64 {
+	if buckets < 1 || end <= 0 || tl.cores == 0 {
+		return nil
+	}
+	width := end / float64(buckets)
+	out := make([]map[ResourceState]float64, buckets)
+	busy := make([]map[ResourceState]float64, buckets)
+	for i := range out {
+		out[i] = map[ResourceState]float64{}
+		busy[i] = map[ResourceState]float64{}
+	}
+	for _, seg := range tl.Segments() {
+		for b := 0; b < buckets; b++ {
+			lo, hi := width*float64(b), width*float64(b+1)
+			overlap := min(seg.To, hi) - max(seg.From, lo)
+			if overlap > 0 {
+				busy[b][seg.State] += overlap
+			}
+		}
+	}
+	capacity := width * float64(tl.cores)
+	for b := 0; b < buckets; b++ {
+		total := 0.0
+		for st, v := range busy[b] {
+			frac := v / capacity
+			out[b][st] = frac
+			total += frac
+		}
+		idle := 1 - total
+		if idle < 0 {
+			idle = 0
+		}
+		out[b][ResIdle] += idle
+	}
+	return out
+}
+
+// Utilization returns the overall fraction of core-time spent running tasks
+// over [0, end] — the "measure of RP scheduling optimization" in Fig. 8.
+func (tl *Timeline) Utilization(end float64) float64 {
+	if end <= 0 || tl.cores == 0 {
+		return 0
+	}
+	run := 0.0
+	for _, seg := range tl.Segments() {
+		if seg.State != ResRun {
+			continue
+		}
+		overlap := min(seg.To, end) - seg.From
+		if overlap > 0 {
+			run += overlap
+		}
+	}
+	return run / (end * float64(tl.cores))
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

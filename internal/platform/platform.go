@@ -1,0 +1,361 @@
+// Package platform models the HPC platform the paper's experiments run on.
+// The default profile mirrors Summit: 44 physical cores per node of which 2
+// are reserved for the system (42 usable), 6 GPUs per node, and hardware
+// multithreading off. A Cluster is a set of Nodes; a BatchSystem hands out
+// Allocations (the pilot job's node set); Nodes track per-core and per-GPU
+// occupancy so the scheduler, the synthetic /proc source, and the RP
+// utilization timeline all agree about what is busy.
+package platform
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeSpec describes one compute node's shape.
+type NodeSpec struct {
+	// PhysicalCores counts all cores; ReservedCores of them belong to the
+	// system and are never allocatable (Summit: 44 and 2).
+	PhysicalCores int
+	ReservedCores int
+	// GPUs per node (Summit: 6).
+	GPUs int
+	// MemMB is the usable RAM in MiB.
+	MemMB int
+}
+
+// UsableCores returns the cores a pilot may allocate.
+func (s NodeSpec) UsableCores() int { return s.PhysicalCores - s.ReservedCores }
+
+// Summit returns the node shape of the paper's testbed.
+func Summit() NodeSpec {
+	return NodeSpec{PhysicalCores: 44, ReservedCores: 2, GPUs: 6, MemMB: 512 * 1024}
+}
+
+// Node is one compute node. All occupancy methods are safe for concurrent
+// use (real-time mode runs executors in goroutines).
+type Node struct {
+	ID   int
+	Name string
+	Spec NodeSpec
+
+	mu sync.Mutex
+	// cores[i] holds the owner tag of usable core i ("" = free).
+	cores []string
+	// gpus[i] holds the owner tag of GPU i ("" = free).
+	gpus []string
+	// activity maps an owner tag to the busy fraction of its cores in
+	// [0,1]. GPU-bound tasks set a low value so the hardware monitor sees
+	// mostly idle cores even though they are allocated (paper Fig. 9).
+	activity map[string]float64
+	// freeCores/freeGPUs cache the free counts so scheduler feasibility
+	// checks are O(1) — they dominate large-scale placement scans.
+	freeCores int
+	freeGPUs  int
+}
+
+// DefaultActivity is the assumed busy fraction of an allocated core whose
+// owner never declared one (CPU-bound MPI ranks busy-wait near 100%).
+const DefaultActivity = 0.95
+
+// NewNode creates a node named like the paper's hostnames (cn####).
+func NewNode(id int, spec NodeSpec) *Node {
+	return &Node{
+		ID:        id,
+		Name:      fmt.Sprintf("cn%04d", id),
+		Spec:      spec,
+		cores:     make([]string, spec.UsableCores()),
+		gpus:      make([]string, spec.GPUs),
+		freeCores: spec.UsableCores(),
+		freeGPUs:  spec.GPUs,
+	}
+}
+
+// FreeCores returns the number of unallocated usable cores.
+func (n *Node) FreeCores() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeCores
+}
+
+// FreeGPUs returns the number of unallocated GPUs.
+func (n *Node) FreeGPUs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeGPUs
+}
+
+// BusyCores returns the number of allocated usable cores.
+func (n *Node) BusyCores() int { return n.Spec.UsableCores() - n.FreeCores() }
+
+// Fits reports whether the node currently has at least cores free cores and
+// gpus free GPUs, under a single lock acquisition (scheduler hot path).
+func (n *Node) Fits(cores, gpus int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeCores >= cores && n.freeGPUs >= gpus
+}
+
+// AllocCores claims count cores for owner, returning their indices. ok is
+// false (and nothing is claimed) when fewer than count are free.
+func (n *Node) AllocCores(owner string, count int) (ids []int, ok bool) {
+	if count <= 0 {
+		return nil, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, o := range n.cores {
+		if o == "" {
+			ids = append(ids, i)
+			if len(ids) == count {
+				break
+			}
+		}
+	}
+	if len(ids) < count {
+		return nil, false
+	}
+	for _, i := range ids {
+		n.cores[i] = owner
+	}
+	n.freeCores -= count
+	return ids, true
+}
+
+// AllocGPUs claims count GPUs for owner.
+func (n *Node) AllocGPUs(owner string, count int) (ids []int, ok bool) {
+	if count <= 0 {
+		return nil, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, o := range n.gpus {
+		if o == "" {
+			ids = append(ids, i)
+			if len(ids) == count {
+				break
+			}
+		}
+	}
+	if len(ids) < count {
+		return nil, false
+	}
+	for _, i := range ids {
+		n.gpus[i] = owner
+	}
+	n.freeGPUs -= count
+	return ids, true
+}
+
+// Release frees every core and GPU owned by owner and reports how many
+// cores were released.
+func (n *Node) Release(owner string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	freed := 0
+	for i, o := range n.cores {
+		if o == owner {
+			n.cores[i] = ""
+			freed++
+		}
+	}
+	n.freeCores += freed
+	for i, o := range n.gpus {
+		if o == owner {
+			n.gpus[i] = ""
+			n.freeGPUs++
+		}
+	}
+	delete(n.activity, owner)
+	return freed
+}
+
+// SetActivity declares how busy owner keeps its allocated cores, in [0,1].
+func (n *Node) SetActivity(owner string, frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.activity == nil {
+		n.activity = map[string]float64{}
+	}
+	n.activity[owner] = frac
+}
+
+// ActivityOf returns owner's declared core activity, defaulting to
+// DefaultActivity.
+func (n *Node) ActivityOf(owner string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f, ok := n.activity[owner]; ok {
+		return f
+	}
+	return DefaultActivity
+}
+
+// Owners returns the distinct owner tags currently holding cores or GPUs.
+func (n *Node) Owners() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range n.cores {
+		if o != "" && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	for _, o := range n.gpus {
+		if o != "" && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// CoreOwners returns a copy of the per-core owner tags.
+func (n *Node) CoreOwners() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.cores...)
+}
+
+// Utilization returns the busy fraction of usable cores in [0,1].
+func (n *Node) Utilization() float64 {
+	total := n.Spec.UsableCores()
+	if total == 0 {
+		return 0
+	}
+	return float64(n.BusyCores()) / float64(total)
+}
+
+// Cluster is a set of nodes sharing one spec.
+type Cluster struct {
+	Spec  NodeSpec
+	Nodes []*Node
+}
+
+// NewCluster builds n nodes with the given spec.
+func NewCluster(n int, spec NodeSpec) *Cluster {
+	c := &Cluster{Spec: spec}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, NewNode(i, spec))
+	}
+	return c
+}
+
+// Node returns the node with the given id, or nil.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.Nodes) {
+		return nil
+	}
+	return c.Nodes[id]
+}
+
+// ByName returns the node with the given hostname, or nil.
+func (c *Cluster) ByName(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalCores returns usable cores across the cluster.
+func (c *Cluster) TotalCores() int { return len(c.Nodes) * c.Spec.UsableCores() }
+
+// TotalGPUs returns GPUs across the cluster.
+func (c *Cluster) TotalGPUs() int { return len(c.Nodes) * c.Spec.GPUs }
+
+// Allocation is the node set granted to one batch job (the pilot job).
+type Allocation struct {
+	JobID int
+	Nodes []*Node
+}
+
+// TotalCores returns usable cores across the allocation.
+func (a *Allocation) TotalCores() int {
+	t := 0
+	for _, n := range a.Nodes {
+		t += n.Spec.UsableCores()
+	}
+	return t
+}
+
+// TotalGPUs returns GPUs across the allocation.
+func (a *Allocation) TotalGPUs() int {
+	t := 0
+	for _, n := range a.Nodes {
+		t += n.Spec.GPUs
+	}
+	return t
+}
+
+// BatchSystem grants whole-node allocations out of a cluster, standing in
+// for Summit's LSF. Jobs here are granted immediately when nodes are free —
+// queue wait time is outside the paper's measurements (its timings start at
+// pilot bootstrap).
+type BatchSystem struct {
+	mu        sync.Mutex
+	cluster   *Cluster
+	allocated map[int]bool // node id -> taken
+	nextJob   int
+}
+
+// NewBatchSystem wraps a cluster.
+func NewBatchSystem(c *Cluster) *BatchSystem {
+	return &BatchSystem{cluster: c, allocated: map[int]bool{}}
+}
+
+// Submit requests nodeCount whole nodes. It returns an error when the
+// cluster cannot satisfy the request.
+func (b *BatchSystem) Submit(nodeCount int) (*Allocation, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if nodeCount <= 0 {
+		return nil, fmt.Errorf("platform: invalid node count %d", nodeCount)
+	}
+	var nodes []*Node
+	for _, n := range b.cluster.Nodes {
+		if !b.allocated[n.ID] {
+			nodes = append(nodes, n)
+			if len(nodes) == nodeCount {
+				break
+			}
+		}
+	}
+	if len(nodes) < nodeCount {
+		return nil, fmt.Errorf("platform: %d nodes requested, %d free", nodeCount, len(nodes))
+	}
+	for _, n := range nodes {
+		b.allocated[n.ID] = true
+	}
+	b.nextJob++
+	return &Allocation{JobID: b.nextJob, Nodes: nodes}, nil
+}
+
+// Cancel returns an allocation's nodes to the pool and releases any
+// leftover core/GPU claims.
+func (b *BatchSystem) Cancel(a *Allocation) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, n := range a.Nodes {
+		delete(b.allocated, n.ID)
+		for _, owner := range n.Owners() {
+			n.Release(owner)
+		}
+	}
+}
+
+// FreeNodes reports how many nodes are currently unallocated.
+func (b *BatchSystem) FreeNodes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cluster.Nodes) - len(b.allocated)
+}

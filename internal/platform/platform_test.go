@@ -1,0 +1,248 @@
+package platform
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummitSpec(t *testing.T) {
+	s := Summit()
+	if s.PhysicalCores != 44 || s.ReservedCores != 2 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.UsableCores() != 42 {
+		t.Fatalf("usable = %d want 42", s.UsableCores())
+	}
+	if s.GPUs != 6 {
+		t.Fatalf("gpus = %d want 6", s.GPUs)
+	}
+}
+
+func TestNodeNaming(t *testing.T) {
+	n := NewNode(4302, Summit())
+	if n.Name != "cn4302" {
+		t.Fatalf("name = %q", n.Name)
+	}
+}
+
+func TestAllocReleaseCores(t *testing.T) {
+	n := NewNode(0, Summit())
+	ids, ok := n.AllocCores("task.000000", 20)
+	if !ok || len(ids) != 20 {
+		t.Fatalf("alloc = %v, %v", ids, ok)
+	}
+	if n.FreeCores() != 22 || n.BusyCores() != 20 {
+		t.Fatalf("free=%d busy=%d", n.FreeCores(), n.BusyCores())
+	}
+	// Over-allocation must fail atomically.
+	if _, ok := n.AllocCores("task.000001", 23); ok {
+		t.Fatal("over-allocation succeeded")
+	}
+	if n.FreeCores() != 22 {
+		t.Fatal("failed allocation leaked cores")
+	}
+	if freed := n.Release("task.000000"); freed != 20 {
+		t.Fatalf("released %d", freed)
+	}
+	if n.FreeCores() != 42 {
+		t.Fatal("release incomplete")
+	}
+	if n.Release("ghost") != 0 {
+		t.Fatal("releasing unknown owner freed cores")
+	}
+}
+
+func TestAllocGPUs(t *testing.T) {
+	n := NewNode(0, Summit())
+	if _, ok := n.AllocGPUs("t1", 6); !ok {
+		t.Fatal("full GPU alloc failed")
+	}
+	if n.FreeGPUs() != 0 {
+		t.Fatalf("free gpus = %d", n.FreeGPUs())
+	}
+	if _, ok := n.AllocGPUs("t2", 1); ok {
+		t.Fatal("oversubscribed GPU alloc succeeded")
+	}
+	n.Release("t1")
+	if n.FreeGPUs() != 6 {
+		t.Fatal("gpu release incomplete")
+	}
+}
+
+func TestZeroCountAllocSucceeds(t *testing.T) {
+	n := NewNode(0, Summit())
+	if ids, ok := n.AllocCores("t", 0); !ok || ids != nil {
+		t.Fatalf("zero alloc = %v, %v", ids, ok)
+	}
+	if _, ok := n.AllocGPUs("t", 0); !ok {
+		t.Fatal("zero gpu alloc failed")
+	}
+}
+
+func TestOwnersAndCoreOwners(t *testing.T) {
+	n := NewNode(0, Summit())
+	n.AllocCores("a", 2)
+	n.AllocCores("b", 1)
+	n.AllocGPUs("c", 1)
+	owners := n.Owners()
+	sort.Strings(owners)
+	if !reflect.DeepEqual(owners, []string{"a", "b", "c"}) {
+		t.Fatalf("owners = %v", owners)
+	}
+	co := n.CoreOwners()
+	if co[0] != "a" || co[1] != "a" || co[2] != "b" {
+		t.Fatalf("core owners = %v", co[:4])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	n := NewNode(0, Summit())
+	if n.Utilization() != 0 {
+		t.Fatal("fresh node utilization should be 0")
+	}
+	n.AllocCores("t", 21)
+	if u := n.Utilization(); u != 0.5 {
+		t.Fatalf("util = %v want 0.5", u)
+	}
+}
+
+func TestActivity(t *testing.T) {
+	n := NewNode(0, Summit())
+	if n.ActivityOf("unknown") != DefaultActivity {
+		t.Fatal("default activity wrong")
+	}
+	n.SetActivity("sim", 0.2)
+	if n.ActivityOf("sim") != 0.2 {
+		t.Fatal("SetActivity lost")
+	}
+	n.SetActivity("x", 1.5)
+	if n.ActivityOf("x") != 1 {
+		t.Fatal("activity not clamped high")
+	}
+	n.SetActivity("y", -1)
+	if n.ActivityOf("y") != 0 {
+		t.Fatal("activity not clamped low")
+	}
+	n.AllocCores("sim", 1)
+	n.Release("sim")
+	if n.ActivityOf("sim") != DefaultActivity {
+		t.Fatal("release should clear activity")
+	}
+}
+
+func TestClusterTotals(t *testing.T) {
+	c := NewCluster(10, Summit())
+	if c.TotalCores() != 420 || c.TotalGPUs() != 60 {
+		t.Fatalf("totals = %d cores %d gpus", c.TotalCores(), c.TotalGPUs())
+	}
+	if c.Node(3).Name != "cn0003" {
+		t.Fatal("Node(3) wrong")
+	}
+	if c.Node(-1) != nil || c.Node(10) != nil {
+		t.Fatal("out-of-range Node should be nil")
+	}
+	if c.ByName("cn0007") == nil || c.ByName("nope") != nil {
+		t.Fatal("ByName lookup wrong")
+	}
+}
+
+func TestBatchSubmitCancel(t *testing.T) {
+	c := NewCluster(11, Summit())
+	b := NewBatchSystem(c)
+	// Paper's overload run: 10 application nodes + 1 RP/SOMA node.
+	alloc, err := b.Submit(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Nodes) != 11 || alloc.TotalCores() != 462 || alloc.TotalGPUs() != 66 {
+		t.Fatalf("alloc = %d nodes %d cores", len(alloc.Nodes), alloc.TotalCores())
+	}
+	if b.FreeNodes() != 0 {
+		t.Fatalf("free = %d", b.FreeNodes())
+	}
+	if _, err := b.Submit(1); err == nil {
+		t.Fatal("over-subscription accepted")
+	}
+	// Cancel releases nodes and any leftover claims.
+	alloc.Nodes[0].AllocCores("leftover", 5)
+	b.Cancel(alloc)
+	if b.FreeNodes() != 11 {
+		t.Fatalf("free after cancel = %d", b.FreeNodes())
+	}
+	if alloc.Nodes[0].FreeCores() != 42 {
+		t.Fatal("cancel did not release leftover cores")
+	}
+}
+
+func TestBatchInvalidRequest(t *testing.T) {
+	b := NewBatchSystem(NewCluster(2, Summit()))
+	if _, err := b.Submit(0); err == nil {
+		t.Fatal("zero-node request accepted")
+	}
+	if _, err := b.Submit(-3); err == nil {
+		t.Fatal("negative request accepted")
+	}
+}
+
+func TestConcurrentAllocationNoDoubleBooking(t *testing.T) {
+	n := NewNode(0, Summit())
+	var wg sync.WaitGroup
+	granted := make([][]int, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ids, ok := n.AllocCores(fmt.Sprintf("t%d", i), 2); ok {
+				granted[i] = ids
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]int{}
+	grants := 0
+	for i, ids := range granted {
+		if ids == nil {
+			continue
+		}
+		grants++
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("core %d granted to both t%d and t%d", id, prev, i)
+			}
+			seen[id] = i
+		}
+	}
+	if grants != 21 { // 42 cores / 2 per request
+		t.Fatalf("grants = %d want 21", grants)
+	}
+}
+
+// Property: for any sequence of alloc/release pairs, free+busy == usable.
+func TestQuickConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		n := NewNode(0, Summit())
+		live := map[string]bool{}
+		for i, op := range ops {
+			owner := fmt.Sprintf("t%d", i%7)
+			if op%2 == 0 {
+				if _, ok := n.AllocCores(owner, int(op%11)); ok {
+					live[owner] = true
+				}
+			} else {
+				n.Release(owner)
+				delete(live, owner)
+			}
+			if n.FreeCores()+n.BusyCores() != 42 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

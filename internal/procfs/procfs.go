@@ -1,0 +1,398 @@
+// Package procfs captures the hardware-namespace data of the paper's
+// Listing 2: uptime, process count, available RAM, and per-CPU jiffy
+// counters, gathered "by reading /proc/".
+//
+// Two sources implement the same interface:
+//
+//   - RealSource reads the live Linux /proc of the machine the examples run
+//     on, exactly as the paper's hardware monitoring client does on each
+//     Summit compute node.
+//   - SyntheticSource fabricates samples for a simulated platform.Node,
+//     deriving CPU utilization from the node's actual core occupancy (plus
+//     noise), so the simulated Fig. 7/9 utilization plots reflect real
+//     scheduler behaviour.
+package procfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/platform"
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+// CPUStat holds one cpu line of /proc/stat (jiffies).
+type CPUStat struct {
+	Name                                           string
+	User, Nice, System, Idle, IOWait, IRQ, SoftIRQ uint64
+}
+
+// Total returns all jiffies in the sample.
+func (c CPUStat) Total() uint64 {
+	return c.User + c.Nice + c.System + c.Idle + c.IOWait + c.IRQ + c.SoftIRQ
+}
+
+// Busy returns the non-idle jiffies.
+func (c CPUStat) Busy() uint64 { return c.Total() - c.Idle - c.IOWait }
+
+// Sample is one hardware observation for one host — the fields of the
+// paper's PROC namespace data model.
+type Sample struct {
+	Host           string
+	Timestamp      float64
+	UptimeSec      float64
+	NumProcesses   int
+	AvailableRAMMB int64
+	// CPUs[0] is the aggregate "cpu" line; CPUs[1:] are per-core lines.
+	CPUs []CPUStat
+	// UtilPercent is overall CPU utilization over the sampling interval,
+	// computed by the Sampler from consecutive raw samples (or directly by
+	// the synthetic source).
+	UtilPercent float64
+}
+
+// ToConduit renders the sample in the Listing 2 layout:
+//
+//	PROC/<host>/<timestamp>/{Uptime, Num Processes, Available RAM, stat/cpuN}
+func (s *Sample) ToConduit() *conduit.Node {
+	n := conduit.NewNode()
+	base := fmt.Sprintf("PROC/%s/%.6f", s.Host, s.Timestamp)
+	n.SetFloat(base+"/Uptime", s.UptimeSec)
+	n.SetInt(base+"/Num Processes", int64(s.NumProcesses))
+	n.SetInt(base+"/Available RAM", s.AvailableRAMMB)
+	n.SetFloat(base+"/CPU Util", s.UtilPercent)
+	for _, c := range s.CPUs {
+		n.SetIntArray(base+"/stat/"+c.Name, []int64{
+			int64(c.User), int64(c.Nice), int64(c.System), int64(c.Idle),
+			int64(c.IOWait), int64(c.IRQ), int64(c.SoftIRQ),
+		})
+	}
+	return n
+}
+
+// SampleFromConduit parses one host/timestamp subtree back into a Sample;
+// the inverse of ToConduit for the analysis side.
+func SampleFromConduit(host string, ts float64, sub *conduit.Node) Sample {
+	s := Sample{Host: host, Timestamp: ts}
+	s.UptimeSec, _ = sub.Float("Uptime")
+	if v, ok := sub.Int("Num Processes"); ok {
+		s.NumProcesses = int(v)
+	}
+	s.AvailableRAMMB, _ = sub.Int("Available RAM")
+	s.UtilPercent, _ = sub.Float("CPU Util")
+	if statNode, ok := sub.Get("stat"); ok {
+		for _, name := range statNode.ChildNames() {
+			arr, ok := statNode.IntArray(name)
+			if !ok || len(arr) < 7 {
+				continue
+			}
+			s.CPUs = append(s.CPUs, CPUStat{
+				Name: name, User: uint64(arr[0]), Nice: uint64(arr[1]),
+				System: uint64(arr[2]), Idle: uint64(arr[3]),
+				IOWait: uint64(arr[4]), IRQ: uint64(arr[5]), SoftIRQ: uint64(arr[6]),
+			})
+		}
+	}
+	return s
+}
+
+// Source produces hardware samples for one host.
+type Source interface {
+	// Sample returns the current observation. The source fills every field
+	// except UtilPercent, which a Sampler derives from consecutive calls
+	// (synthetic sources may fill it directly).
+	Sample() (Sample, error)
+	// Hostname identifies the node being observed.
+	Hostname() string
+}
+
+// ---------------------------------------------------------------------------
+// Real /proc source.
+
+// RealSource reads the local machine's /proc tree.
+type RealSource struct {
+	root  string
+	host  string
+	clock des.Clock
+}
+
+// NewRealSource creates a source reading from /proc. A non-empty root
+// overrides the /proc path (tests point it at a fixture directory).
+func NewRealSource(root string, clock des.Clock) (*RealSource, error) {
+	if root == "" {
+		root = "/proc"
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "localhost"
+	}
+	if _, err := os.Stat(root); err != nil {
+		return nil, fmt.Errorf("procfs: %w", err)
+	}
+	return &RealSource{root: root, host: host, clock: clock}, nil
+}
+
+// Hostname returns the local hostname.
+func (r *RealSource) Hostname() string { return r.host }
+
+// Sample reads /proc/stat, /proc/meminfo and /proc/uptime.
+func (r *RealSource) Sample() (Sample, error) {
+	s := Sample{Host: r.host, Timestamp: r.clock.Now()}
+	if err := r.readStat(&s); err != nil {
+		return s, err
+	}
+	if err := r.readMeminfo(&s); err != nil {
+		return s, err
+	}
+	if err := r.readUptime(&s); err != nil {
+		return s, err
+	}
+	s.NumProcesses = r.countProcesses()
+	return s, nil
+}
+
+func (r *RealSource) readStat(s *Sample) error {
+	data, err := os.ReadFile(r.root + "/stat")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "cpu") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 8 {
+			continue
+		}
+		var vals [7]uint64
+		ok := true
+		for i := 0; i < 7; i++ {
+			v, err := strconv.ParseUint(fields[i+1], 10, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		s.CPUs = append(s.CPUs, CPUStat{
+			Name: fields[0], User: vals[0], Nice: vals[1], System: vals[2],
+			Idle: vals[3], IOWait: vals[4], IRQ: vals[5], SoftIRQ: vals[6],
+		})
+	}
+	if len(s.CPUs) == 0 {
+		return fmt.Errorf("procfs: no cpu lines in %s/stat", r.root)
+	}
+	return nil
+}
+
+func (r *RealSource) readMeminfo(s *Sample) error {
+	data, err := os.ReadFile(r.root + "/meminfo")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "MemAvailable:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				kb, err := strconv.ParseInt(fields[1], 10, 64)
+				if err == nil {
+					s.AvailableRAMMB = kb / 1024
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *RealSource) readUptime(s *Sample) error {
+	data, err := os.ReadFile(r.root + "/uptime")
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) >= 1 {
+		up, err := strconv.ParseFloat(fields[0], 64)
+		if err == nil {
+			s.UptimeSec = up
+		}
+	}
+	return nil
+}
+
+func (r *RealSource) countProcesses() int {
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return 0
+	}
+	count := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if name[0] >= '0' && name[0] <= '9' {
+			count++
+		}
+	}
+	return count
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic source for simulated nodes.
+
+// SyntheticSource fabricates /proc-shaped samples for a simulated node. CPU
+// utilization tracks the node's real core occupancy: each busy core
+// contributes ~95% of one core of utilization (plus noise), each free core
+// contributes background noise only — the paper's Fig. 7 spikes "as a rank
+// starts" fall out of this directly.
+type SyntheticSource struct {
+	node  *platform.Node
+	clock des.Clock
+	rng   *stats.RNG
+
+	bootTime float64
+	jiffies  []CPUStat // accumulated counters, advanced on each Sample
+	lastTime float64
+	compact  bool
+}
+
+// NewSyntheticSource observes the given simulated node.
+func NewSyntheticSource(node *platform.Node, clock des.Clock, seed uint64) *SyntheticSource {
+	usable := node.Spec.UsableCores()
+	src := &SyntheticSource{
+		node:  node,
+		clock: clock,
+		rng:   stats.NewRNG(seed ^ uint64(node.ID+1)),
+	}
+	src.jiffies = make([]CPUStat, usable+1)
+	src.jiffies[0].Name = "cpu"
+	for i := 1; i <= usable; i++ {
+		src.jiffies[i].Name = fmt.Sprintf("cpu%d", i-1)
+	}
+	return src
+}
+
+// Hostname returns the simulated node's name.
+func (s *SyntheticSource) Hostname() string { return s.node.Name }
+
+// SetCompact restricts samples to the aggregate "cpu" line, dropping the
+// per-core lines. Large-scale experiments use this to keep the hardware
+// namespace (hundreds of nodes × many samples) lean.
+func (s *SyntheticSource) SetCompact(v bool) { s.compact = v }
+
+// Sample fabricates the current observation.
+func (s *SyntheticSource) Sample() (Sample, error) {
+	now := s.clock.Now()
+	dt := now - s.lastTime
+	if dt < 0 {
+		dt = 0
+	}
+	s.lastTime = now
+
+	const hz = 100.0 // jiffies per second
+	owners := s.node.CoreOwners()
+	busyFrac := make([]float64, len(owners))
+	totalBusy := 0.0
+	for i, o := range owners {
+		if o != "" {
+			base := s.node.ActivityOf(o)
+			busyFrac[i] = clamp(base*(1+0.05*s.rng.Norm()), 0, 1)
+		} else {
+			busyFrac[i] = clamp(0.01+0.01*s.rng.Float64(), 0, 1)
+		}
+		totalBusy += busyFrac[i]
+	}
+
+	// Advance per-core jiffy counters.
+	for i := range owners {
+		j := &s.jiffies[i+1]
+		busyJ := uint64(busyFrac[i] * dt * hz)
+		idleJ := uint64((1 - busyFrac[i]) * dt * hz)
+		j.User += busyJ * 7 / 10
+		j.System += busyJ - busyJ*7/10
+		j.Idle += idleJ
+	}
+	agg := &s.jiffies[0]
+	agg.User, agg.System, agg.Idle = 0, 0, 0
+	for i := 1; i < len(s.jiffies); i++ {
+		agg.User += s.jiffies[i].User
+		agg.System += s.jiffies[i].System
+		agg.Idle += s.jiffies[i].Idle
+	}
+
+	util := 0.0
+	if len(owners) > 0 {
+		util = totalBusy / float64(len(owners)) * 100
+	}
+	ramUsed := int64(float64(s.node.Spec.MemMB) * (0.05 + 0.008*float64(s.node.BusyCores())))
+	procs := 3 + s.node.BusyCores() // system daemons + one process per busy core
+	ncpu := len(s.jiffies)
+	if s.compact {
+		ncpu = 1
+	}
+	cpus := make([]CPUStat, ncpu)
+	copy(cpus, s.jiffies[:ncpu])
+	return Sample{
+		Host:           s.node.Name,
+		Timestamp:      now,
+		UptimeSec:      s.bootTime + now,
+		NumProcesses:   procs,
+		AvailableRAMMB: int64(s.node.Spec.MemMB) - ramUsed,
+		CPUs:           cpus,
+		UtilPercent:    util,
+	}, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Sampler: turns consecutive raw samples into interval utilization.
+
+// Sampler wraps a Source and computes UtilPercent between consecutive
+// samples from the jiffy deltas (needed for the real source, whose counters
+// are cumulative).
+type Sampler struct {
+	src  Source
+	prev *Sample
+}
+
+// NewSampler wraps src.
+func NewSampler(src Source) *Sampler { return &Sampler{src: src} }
+
+// Hostname returns the underlying source's hostname.
+func (sm *Sampler) Hostname() string { return sm.src.Hostname() }
+
+// Sample returns the next observation with UtilPercent filled in. The first
+// call reports the source's own UtilPercent (synthetic) or 0 (real).
+func (sm *Sampler) Sample() (Sample, error) {
+	cur, err := sm.src.Sample()
+	if err != nil {
+		return cur, err
+	}
+	if sm.prev != nil && len(cur.CPUs) > 0 && len(sm.prev.CPUs) > 0 {
+		dTotal := int64(cur.CPUs[0].Total()) - int64(sm.prev.CPUs[0].Total())
+		dBusy := int64(cur.CPUs[0].Busy()) - int64(sm.prev.CPUs[0].Busy())
+		if dTotal > 0 && dBusy >= 0 {
+			cur.UtilPercent = float64(dBusy) / float64(dTotal) * 100
+		}
+	}
+	prev := cur
+	sm.prev = &prev
+	return cur, nil
+}

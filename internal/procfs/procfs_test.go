@@ -1,0 +1,248 @@
+package procfs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+// writeFixture creates a fake /proc tree for the real-source tests so they
+// do not depend on the host kernel.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	stat := `cpu  100 0 50 800 10 0 5 0 0 0
+cpu0 60 0 30 400 5 0 3 0 0 0
+cpu1 40 0 20 400 5 0 2 0 0 0
+intr 12345
+ctxt 67890
+`
+	mem := `MemTotal:       16384000 kB
+MemFree:         4096000 kB
+MemAvailable:    8192000 kB
+`
+	up := "49902.13 99000.00\n"
+	for name, content := range map[string]string{"stat": stat, "meminfo": mem, "uptime": up} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two fake PIDs and one non-PID dir.
+	for _, d := range []string{"123", "456", "sys"} {
+		if err := os.Mkdir(filepath.Join(dir, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRealSourceFixture(t *testing.T) {
+	dir := writeFixture(t)
+	src, err := NewRealSource(dir, des.NewRealClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := src.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CPUs) != 3 {
+		t.Fatalf("cpus = %d want 3 (agg + 2)", len(s.CPUs))
+	}
+	if s.CPUs[0].Name != "cpu" || s.CPUs[0].User != 100 || s.CPUs[0].Idle != 800 {
+		t.Fatalf("agg = %+v", s.CPUs[0])
+	}
+	if s.AvailableRAMMB != 8000 {
+		t.Fatalf("ram = %d want 8000", s.AvailableRAMMB)
+	}
+	if s.UptimeSec != 49902.13 {
+		t.Fatalf("uptime = %v", s.UptimeSec)
+	}
+	if s.NumProcesses != 2 {
+		t.Fatalf("procs = %d want 2", s.NumProcesses)
+	}
+}
+
+func TestRealSourceMissingDir(t *testing.T) {
+	if _, err := NewRealSource("/no/such/dir", des.NewRealClock()); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestRealSourceLiveProc(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("live /proc requires linux")
+	}
+	src, err := NewRealSource("", des.NewRealClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := src.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CPUs) < 2 || s.NumProcesses < 1 || s.UptimeSec <= 0 {
+		t.Fatalf("implausible live sample: %+v", s)
+	}
+}
+
+func TestCPUStatTotals(t *testing.T) {
+	c := CPUStat{User: 10, Nice: 1, System: 5, Idle: 80, IOWait: 2, IRQ: 1, SoftIRQ: 1}
+	if c.Total() != 100 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Busy() != 18 {
+		t.Fatalf("busy = %d", c.Busy())
+	}
+}
+
+func TestSamplerComputesIntervalUtil(t *testing.T) {
+	dir := writeFixture(t)
+	src, err := NewRealSource(dir, des.NewRealClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSampler(src)
+	if sm.Hostname() == "" {
+		t.Fatal("empty hostname")
+	}
+	if _, err := sm.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the counters: +100 busy, +100 idle jiffies → 50% util.
+	stat := `cpu  150 0 100 900 10 0 5 0 0 0
+cpu0 85 0 55 450 5 0 3 0 0 0
+cpu1 65 0 45 450 5 0 2 0 0 0
+`
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(stat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sm.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.UtilPercent < 49 || s2.UtilPercent > 51 {
+		t.Fatalf("util = %v want ~50", s2.UtilPercent)
+	}
+}
+
+func TestSyntheticTracksOccupancy(t *testing.T) {
+	eng := des.NewEngine()
+	node := platform.NewNode(7, platform.Summit())
+	src := NewSyntheticSource(node, eng, 42)
+	if src.Hostname() != "cn0007" {
+		t.Fatalf("host = %q", src.Hostname())
+	}
+
+	s0, err := src.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.UtilPercent > 5 {
+		t.Fatalf("idle node util = %v", s0.UtilPercent)
+	}
+
+	node.AllocCores("task.000000", 21) // half the node
+	eng.RunUntil(30)
+	s1, _ := src.Sample()
+	if s1.UtilPercent < 40 || s1.UtilPercent > 60 {
+		t.Fatalf("half-busy util = %v want ~47.5", s1.UtilPercent)
+	}
+	if s1.NumProcesses != 3+21 {
+		t.Fatalf("procs = %d", s1.NumProcesses)
+	}
+	if s1.AvailableRAMMB >= s0.AvailableRAMMB {
+		t.Fatal("RAM should shrink when busy")
+	}
+
+	// GPU-bound task with low declared activity keeps CPU util low.
+	node.Release("task.000000")
+	node.AllocCores("sim.0", 42)
+	node.SetActivity("sim.0", 0.2)
+	eng.RunUntil(60)
+	s2, _ := src.Sample()
+	if s2.UtilPercent < 10 || s2.UtilPercent > 30 {
+		t.Fatalf("gpu-bound util = %v want ~20", s2.UtilPercent)
+	}
+}
+
+func TestSyntheticJiffiesMonotone(t *testing.T) {
+	eng := des.NewEngine()
+	node := platform.NewNode(0, platform.Summit())
+	node.AllocCores("t", 10)
+	src := NewSyntheticSource(node, eng, 1)
+	var prev uint64
+	for i := 1; i <= 5; i++ {
+		eng.RunUntil(float64(i * 30))
+		s, err := src.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := s.CPUs[0].Total()
+		if tot < prev {
+			t.Fatalf("aggregate jiffies decreased: %d -> %d", prev, tot)
+		}
+		prev = tot
+		if len(s.CPUs) != 43 {
+			t.Fatalf("cpu lines = %d want 43", len(s.CPUs))
+		}
+	}
+}
+
+func TestConduitRoundTrip(t *testing.T) {
+	eng := des.NewEngine()
+	node := platform.NewNode(3, platform.Summit())
+	node.AllocCores("t", 5)
+	src := NewSyntheticSource(node, eng, 9)
+	eng.RunUntil(30)
+	s, _ := src.Sample()
+
+	n := s.ToConduit()
+	// Layout must match Listing 2: PROC/<host>/<ts>/...
+	hosts := n.Child("PROC").ChildNames()
+	if len(hosts) != 1 || hosts[0] != "cn0003" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	tsNames := n.Child("PROC").Child("cn0003").ChildNames()
+	if len(tsNames) != 1 {
+		t.Fatalf("timestamps = %v", tsNames)
+	}
+	sub, _ := n.Get("PROC/cn0003/" + tsNames[0])
+	back := SampleFromConduit("cn0003", s.Timestamp, sub)
+	if back.NumProcesses != s.NumProcesses ||
+		back.AvailableRAMMB != s.AvailableRAMMB ||
+		back.UptimeSec != s.UptimeSec ||
+		back.UtilPercent != s.UtilPercent {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+	}
+	if len(back.CPUs) != len(s.CPUs) {
+		t.Fatalf("cpu count %d vs %d", len(back.CPUs), len(s.CPUs))
+	}
+	if !strings.HasPrefix(back.CPUs[1].Name, "cpu") {
+		t.Fatalf("cpu name = %q", back.CPUs[1].Name)
+	}
+}
+
+func TestSampleFromConduitTolerant(t *testing.T) {
+	eng := des.NewEngine()
+	node := platform.NewNode(0, platform.Summit())
+	src := NewSyntheticSource(node, eng, 1)
+	s, _ := src.Sample()
+	n := s.ToConduit()
+	sub, _ := n.Get("PROC/cn0000")
+	tsName := sub.ChildNames()[0]
+	tsNode, _ := sub.Get(tsName)
+	tsNode.Remove("stat") // degraded publisher: no raw counters
+	back := SampleFromConduit("cn0000", 0, tsNode)
+	if len(back.CPUs) != 0 {
+		t.Fatal("missing stat should yield no CPUs")
+	}
+	if back.NumProcesses != s.NumProcesses {
+		t.Fatal("scalar fields should still parse")
+	}
+}

@@ -1,0 +1,106 @@
+// Package raptor is a compact analog of RP's RAPTOR subsystem, which the
+// paper cites as RP's vehicle for executing function tasks at very large
+// scale. A Master fans a batch of Go functions out over the pilot's
+// resources as pilot function-tasks and gathers their results.
+package raptor
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/pilot"
+)
+
+// Result pairs a function task with its outcome.
+type Result struct {
+	Index int
+	UID   string
+	Err   error
+}
+
+// Master submits function tasks to an agent and collects results.
+type Master struct {
+	agent *pilot.Agent
+
+	mu      sync.Mutex
+	results []Result
+	pending int
+	onDone  []func([]Result)
+}
+
+// NewMaster binds a master to a pilot agent.
+func NewMaster(agent *pilot.Agent) *Master {
+	return &Master{agent: agent}
+}
+
+// SubmitFunctions schedules each function as a single-core pilot task with
+// the given simulated duration per call (0 means instantaneous in simulated
+// time). It returns the created tasks; results arrive via OnDone or, in
+// real mode, after Wait.
+func (m *Master) SubmitFunctions(fns []func() error, durSec float64) ([]*pilot.Task, error) {
+	m.mu.Lock()
+	if m.pending > 0 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("raptor: batch already in flight")
+	}
+	m.pending = len(fns)
+	m.results = nil
+	m.mu.Unlock()
+	if len(fns) == 0 {
+		m.finish()
+		return nil, nil
+	}
+
+	tasks := make([]*pilot.Task, 0, len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		td := pilot.TaskDescription{
+			Name:  fmt.Sprintf("raptor.fn.%04d", i),
+			Ranks: 1,
+			Duration: func(pilot.ExecContext) float64 {
+				return durSec
+			},
+			Func: func(pilot.ExecContext) error { return fn() },
+			OnComplete: func(t *pilot.Task) {
+				m.mu.Lock()
+				m.results = append(m.results, Result{Index: i, UID: t.UID, Err: t.Err()})
+				m.pending--
+				last := m.pending == 0
+				m.mu.Unlock()
+				if last {
+					m.finish()
+				}
+			},
+		}
+		t, err := m.agent.Submit(td)
+		if err != nil {
+			return tasks, err
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// OnDone registers a callback for batch completion.
+func (m *Master) OnDone(fn func([]Result)) {
+	m.mu.Lock()
+	m.onDone = append(m.onDone, fn)
+	m.mu.Unlock()
+}
+
+// Results returns the collected results so far, ordered by completion.
+func (m *Master) Results() []Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Result(nil), m.results...)
+}
+
+func (m *Master) finish() {
+	m.mu.Lock()
+	fns := append([]func([]Result){}, m.onDone...)
+	res := append([]Result(nil), m.results...)
+	m.mu.Unlock()
+	for _, fn := range fns {
+		fn(res)
+	}
+}

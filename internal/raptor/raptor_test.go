@@ -1,0 +1,119 @@
+package raptor
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/pilot"
+	"github.com/hpcobs/gosoma/internal/platform"
+)
+
+func fixture(t *testing.T) (*des.Engine, *Master) {
+	t.Helper()
+	eng := des.NewEngine()
+	cluster := platform.NewCluster(1, platform.Summit())
+	agent, err := pilot.NewAgent(pilot.AgentConfig{Runtime: eng, Nodes: cluster.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	return eng, NewMaster(agent)
+}
+
+func TestFunctionFanOut(t *testing.T) {
+	eng, m := fixture(t)
+	ran := make([]bool, 100)
+	fns := make([]func() error, 100)
+	for i := range fns {
+		i := i
+		fns[i] = func() error { ran[i] = true; return nil }
+	}
+	var final []Result
+	m.OnDone(func(rs []Result) { final = rs })
+	tasks, err := m.SubmitFunctions(fns, 1.0)
+	if err != nil || len(tasks) != 100 {
+		t.Fatalf("submit: %v, %d tasks", err, len(tasks))
+	}
+	eng.Run()
+	if len(final) != 100 {
+		t.Fatalf("results = %d", len(final))
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("function %d never ran", i)
+		}
+	}
+	for _, r := range final {
+		if r.Err != nil {
+			t.Fatalf("fn %d err %v", r.Index, r.Err)
+		}
+	}
+}
+
+func TestErrorsCollected(t *testing.T) {
+	eng, m := fixture(t)
+	boom := errors.New("fn failed")
+	m.SubmitFunctions([]func() error{
+		func() error { return nil },
+		func() error { return boom },
+	}, 0.5)
+	eng.Run()
+	res := m.Results()
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	failures := 0
+	for _, r := range res {
+		if r.Err != nil {
+			failures++
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("wrong error: %v", r.Err)
+			}
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+}
+
+func TestBatchInFlightRejected(t *testing.T) {
+	eng, m := fixture(t)
+	m.SubmitFunctions([]func() error{func() error { return nil }}, 10)
+	if _, err := m.SubmitFunctions([]func() error{func() error { return nil }}, 1); err == nil {
+		t.Fatal("overlapping batch accepted")
+	}
+	eng.Run()
+	// After completion a new batch is fine.
+	if _, err := m.SubmitFunctions([]func() error{func() error { return nil }}, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}
+
+func TestEmptyBatchCompletesImmediately(t *testing.T) {
+	_, m := fixture(t)
+	fired := false
+	m.OnDone(func([]Result) { fired = true })
+	tasks, err := m.SubmitFunctions(nil, 1)
+	if err != nil || tasks != nil {
+		t.Fatalf("empty submit: %v %v", tasks, err)
+	}
+	if !fired {
+		t.Fatal("empty batch should fire OnDone")
+	}
+}
+
+func TestParallelismBoundedByCores(t *testing.T) {
+	eng, m := fixture(t) // 42 cores
+	fns := make([]func() error, 84)
+	for i := range fns {
+		fns[i] = func() error { return nil }
+	}
+	m.SubmitFunctions(fns, 10)
+	end := eng.Run()
+	// 84 single-core 10s functions on 42 cores = 2 waves ≈ bootstrap+2*(10+overheads).
+	if end < 40 || end > 60 {
+		t.Fatalf("makespan = %v, want two 10s waves after 20s bootstrap", end)
+	}
+}

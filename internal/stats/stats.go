@@ -1,0 +1,250 @@
+// Package stats provides the summary statistics the SOMA analysis layer and
+// the experiment harness report: means, deviations, percentiles, boxplot
+// summaries (Figs. 6, 10, 11 are box/violin plots), histograms, and a small
+// deterministic RNG wrapper for reproducible noise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the five-number summary plus mean and count — the data
+// behind one box in a boxplot figure.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		Q1:     Percentile(xs, 25),
+		Median: Median(xs),
+		Q3:     Percentile(xs, 75),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary in one compact row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+// IQR returns the interquartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// Histogram bins xs into n equal-width buckets spanning [min, max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram computes an n-bucket histogram of xs.
+func NewHistogram(xs []float64, n int) Histogram {
+	h := Histogram{Counts: make([]int, n)}
+	if len(xs) == 0 || n == 0 {
+		return h
+	}
+	h.Lo, h.Hi = Min(xs), Max(xs)
+	span := h.Hi - h.Lo
+	for _, x := range xs {
+		i := 0
+		if span > 0 {
+			i = int((x - h.Lo) / span * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Bar renders the histogram as ASCII rows for terminal reports.
+func (h Histogram) Bar(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	span := h.Hi - h.Lo
+	for i, c := range h.Counts {
+		lo := h.Lo + span*float64(i)/float64(len(h.Counts))
+		hi := h.Lo + span*float64(i+1)/float64(len(h.Counts))
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&sb, "[%10.2f,%10.2f) %-*s %d\n", lo, hi, width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic noise. A tiny SplitMix64/xorshift generator so experiments
+// are reproducible without importing math/rand state management everywhere.
+
+// RNG is a small deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. A zero seed is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw value (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(mu + sigma*N(0,1)) — the task-duration noise model
+// used throughout the workload package.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Jitter returns base scaled by a lognormal factor with the given coefficient
+// of variation: Jitter(base, 0.05) varies base by about ±5%.
+func (r *RNG) Jitter(base, cv float64) float64 {
+	if cv <= 0 {
+		return base
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	return base * r.LogNormal(-sigma*sigma/2, sigma)
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanSumVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Sum(xs) != 40 {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty aggregate should be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty min/max should be ±Inf")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+		{-5, 15}, {120, 50}, {10, 17},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s := Summarize(xs)
+	if s.N != 9 || s.Mean != 5 || s.Median != 5 || s.Min != 1 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 3 || s.Q3 != 7 || s.IQR() != 4 {
+		t.Fatalf("quartiles = %v %v", s.Q1, s.Q3)
+	}
+	str := s.String()
+	if !strings.Contains(str, "n=9") || !strings.Contains(str, "med=5.00") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost samples: %v", h.Counts)
+	}
+	if h.Counts[4] != 2 { // 8 and 9 (max goes into last bucket)
+		t.Fatalf("last bucket = %d: %v", h.Counts[4], h.Counts)
+	}
+	bar := h.Bar(20)
+	if !strings.Contains(bar, "#") {
+		t.Fatal("Bar output missing bars")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant input should land in bucket 0: %v", h.Counts)
+	}
+	h = NewHistogram(nil, 3)
+	for _, c := range h.Counts {
+		if c != 0 {
+			t.Fatal("empty input should give empty histogram")
+		}
+	}
+	_ = NewHistogram([]float64{1}, 0) // must not panic
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed should be remapped")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) never produced all values: %v", seen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 50_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	if m := Mean(xs); !almost(m, 0, 0.02) {
+		t.Errorf("norm mean = %v", m)
+	}
+	if s := StdDev(xs); !almost(s, 1, 0.02) {
+		t.Errorf("norm std = %v", s)
+	}
+}
+
+func TestJitterMeanPreserving(t *testing.T) {
+	r := NewRNG(13)
+	n := 50_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Jitter(100, 0.05)
+	}
+	if m := Mean(xs); !almost(m, 100, 0.5) {
+		t.Errorf("jitter mean = %v, want ~100", m)
+	}
+	if s := StdDev(xs); !almost(s, 5, 0.5) {
+		t.Errorf("jitter std = %v, want ~5", s)
+	}
+	if r.Jitter(50, 0) != 50 {
+		t.Error("cv=0 should return base exactly")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(uint64(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize is consistent: min ≤ q1 ≤ med ≤ q3 ≤ max and mean in range.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(uint64(seed))
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package tau
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+// PeriodicSampler publishes partial profiles while a task runs, the way the
+// paper's TAU plugin does ("samples the running application ... and
+// publishes the sampled performance profiles to the SOMA server" at the
+// monitoring frequency), rather than once at completion. Each tick it
+// scales the task's final per-rank breakdown by the fraction of the task's
+// lifetime elapsed so far — what cumulative sampling would have observed.
+type PeriodicSampler struct {
+	rt       des.Runtime
+	plugin   *Plugin
+	interval float64
+
+	mu      sync.Mutex
+	active  map[string]func() // task uid -> stop
+	reports int64
+}
+
+// NewPeriodicSampler creates a sampler publishing through plugin every
+// intervalSec.
+func NewPeriodicSampler(rt des.Runtime, plugin *Plugin, intervalSec float64) (*PeriodicSampler, error) {
+	if rt == nil || plugin == nil || intervalSec <= 0 {
+		return nil, fmt.Errorf("tau: PeriodicSampler requires runtime, plugin and positive interval")
+	}
+	return &PeriodicSampler{
+		rt: rt, plugin: plugin, interval: intervalSec,
+		active: map[string]func(){},
+	}, nil
+}
+
+// Attach starts sampling a task. finalProfiles is the task's full-lifetime
+// per-rank breakdown (from the workload model or real samples); startTime
+// and duration bound the task's execution. Sampling stops automatically
+// when the task's lifetime ends, or earlier via Detach.
+func (ps *PeriodicSampler) Attach(taskUID string, finalProfiles []Profile, startTime, duration float64) error {
+	if duration <= 0 || len(finalProfiles) == 0 {
+		return fmt.Errorf("tau: nothing to sample for %s", taskUID)
+	}
+	ps.mu.Lock()
+	if _, dup := ps.active[taskUID]; dup {
+		ps.mu.Unlock()
+		return fmt.Errorf("tau: %s already being sampled", taskUID)
+	}
+	ps.mu.Unlock()
+
+	stop := des.EveryRT(ps.rt, ps.interval, func() bool {
+		now := ps.rt.Now()
+		frac := (now - startTime) / duration
+		if frac <= 0 {
+			return true
+		}
+		done := false
+		if frac >= 1 {
+			frac = 1
+			done = true
+		}
+		partial := make([]Profile, len(finalProfiles))
+		for i, p := range finalProfiles {
+			scaled := Profile{TaskUID: p.TaskUID, Host: p.Host, Rank: p.Rank,
+				Seconds: make(map[string]float64, len(p.Seconds))}
+			for fn, v := range p.Seconds {
+				scaled.Seconds[fn] = v * frac
+			}
+			partial[i] = scaled
+		}
+		if err := ps.plugin.Report(partial); err == nil {
+			ps.mu.Lock()
+			ps.reports++
+			ps.mu.Unlock()
+		}
+		if done {
+			ps.mu.Lock()
+			delete(ps.active, taskUID)
+			ps.mu.Unlock()
+		}
+		return !done
+	})
+	ps.mu.Lock()
+	ps.active[taskUID] = stop
+	ps.mu.Unlock()
+	return nil
+}
+
+// Detach stops sampling a task early (failure/cancel paths).
+func (ps *PeriodicSampler) Detach(taskUID string) {
+	ps.mu.Lock()
+	stop := ps.active[taskUID]
+	delete(ps.active, taskUID)
+	ps.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Active returns how many tasks are currently being sampled.
+func (ps *PeriodicSampler) Active() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.active)
+}
+
+// Reports returns how many partial-profile publications succeeded.
+func (ps *PeriodicSampler) Reports() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.reports
+}
+
+// Close detaches every task.
+func (ps *PeriodicSampler) Close() {
+	ps.mu.Lock()
+	stops := make([]func(), 0, len(ps.active))
+	for uid, stop := range ps.active {
+		stops = append(stops, stop)
+		delete(ps.active, uid)
+	}
+	ps.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+}

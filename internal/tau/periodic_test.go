@@ -1,0 +1,101 @@
+package tau
+
+import (
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/des"
+)
+
+func TestPeriodicSamplerPublishesGrowingProfiles(t *testing.T) {
+	eng := des.NewEngine()
+	store := conduit.NewNode()
+	plugin := NewPlugin(func(n *conduit.Node) error {
+		store.Merge(n)
+		return nil
+	})
+	ps, err := NewPeriodicSampler(eng, plugin, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := []Profile{{
+		TaskUID: "task.000001", Host: "cn0001", Rank: 0,
+		Seconds: map[string]float64{"MPI_Recv": 40, ".TAU application": 60},
+	}}
+	if err := ps.Attach("task.000001", final, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Active() != 1 {
+		t.Fatalf("active = %d", ps.Active())
+	}
+
+	// Half way: cumulative sample should show half the final values.
+	eng.RunUntil(50)
+	if v, ok := store.Float("TAU/task.000001/cn0001/rank_00000/MPI_Recv"); !ok || v != 20 {
+		t.Fatalf("mid-run MPI_Recv = %v, %v", v, ok)
+	}
+	// After the task ends, the final values stand and sampling stops.
+	eng.RunUntil(200)
+	if v, _ := store.Float("TAU/task.000001/cn0001/rank_00000/MPI_Recv"); v != 40 {
+		t.Fatalf("final MPI_Recv = %v", v)
+	}
+	if ps.Active() != 0 {
+		t.Fatalf("sampler still active: %d", ps.Active())
+	}
+	if ps.Reports() < 10 {
+		t.Fatalf("reports = %d, want ~10 over the task lifetime", ps.Reports())
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("sampler leaked %d scheduled events", eng.Pending())
+	}
+}
+
+func TestPeriodicSamplerDetach(t *testing.T) {
+	eng := des.NewEngine()
+	plugin := NewPlugin(func(*conduit.Node) error { return nil })
+	ps, _ := NewPeriodicSampler(eng, plugin, 10)
+	final := sampleProfiles()[:1]
+	if err := ps.Attach("task.000000", final, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Attach("task.000000", final, 0, 1000); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	eng.RunUntil(35)
+	before := ps.Reports()
+	ps.Detach("task.000000")
+	eng.RunUntil(200)
+	if ps.Reports() != before {
+		t.Fatal("sampling continued after detach")
+	}
+	ps.Detach("task.000000") // idempotent
+	// Re-attach after detach is allowed.
+	if err := ps.Attach("task.000000", final, eng.Now(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+	if ps.Active() != 0 {
+		t.Fatal("close left active samplers")
+	}
+}
+
+func TestPeriodicSamplerValidation(t *testing.T) {
+	eng := des.NewEngine()
+	plugin := NewPlugin(func(*conduit.Node) error { return nil })
+	if _, err := NewPeriodicSampler(nil, plugin, 10); err == nil {
+		t.Fatal("nil runtime accepted")
+	}
+	if _, err := NewPeriodicSampler(eng, nil, 10); err == nil {
+		t.Fatal("nil plugin accepted")
+	}
+	if _, err := NewPeriodicSampler(eng, plugin, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	ps, _ := NewPeriodicSampler(eng, plugin, 10)
+	if err := ps.Attach("t", nil, 0, 100); err == nil {
+		t.Fatal("empty profiles accepted")
+	}
+	if err := ps.Attach("t", sampleProfiles(), 0, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package tau
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+func sampleProfiles() []Profile {
+	return []Profile{
+		{TaskUID: "task.000000", Host: "cn0001", Rank: 0, Seconds: map[string]float64{
+			"MPI_Recv": 40, "MPI_Waitall": 10, ".TAU application": 50}},
+		{TaskUID: "task.000000", Host: "cn0001", Rank: 1, Seconds: map[string]float64{
+			"MPI_Recv": 25, "MPI_Waitall": 25, ".TAU application": 50}},
+		{TaskUID: "task.000001", Host: "cn0002", Rank: 0, Seconds: map[string]float64{
+			"MPI_Recv": 5, ".TAU application": 95}},
+	}
+}
+
+func TestProfileTotals(t *testing.T) {
+	p := sampleProfiles()[0]
+	if p.Total() != 100 {
+		t.Fatalf("total = %v", p.Total())
+	}
+	if p.MPITime() != 50 {
+		t.Fatalf("mpi = %v", p.MPITime())
+	}
+}
+
+func TestConduitRoundTrip(t *testing.T) {
+	profs := sampleProfiles()
+	root := conduit.NewNode()
+	for i := range profs {
+		root.Merge(profs[i].ToConduit())
+	}
+	back := FromConduit(root)
+	if len(back) != 3 {
+		t.Fatalf("profiles = %d", len(back))
+	}
+	// Sorted by (uid, rank).
+	if back[0].TaskUID != "task.000000" || back[0].Rank != 0 ||
+		back[1].Rank != 1 || back[2].TaskUID != "task.000001" {
+		t.Fatalf("order = %+v", back)
+	}
+	for i, p := range back {
+		if p.Host == "" {
+			t.Fatalf("profile %d lost host tag", i)
+		}
+		if math.Abs(p.Total()-profs[i].Total()) > 1e-9 {
+			t.Fatalf("profile %d total %v vs %v", i, p.Total(), profs[i].Total())
+		}
+	}
+}
+
+func TestFromConduitIgnoresJunk(t *testing.T) {
+	root := conduit.NewNode()
+	root.SetFloat("TAU/task.0/cn0001/not_a_rank/MPI_Recv", 1)
+	root.SetString("TAU/task.0/cn0001/rank_00000/weird", "string leaf ignored")
+	root.SetFloat("TAU/task.0/cn0001/rank_00000/MPI_Recv", 2)
+	root.SetFloat("OTHER/x", 3)
+	profs := FromConduit(root)
+	if len(profs) != 1 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	if profs[0].Seconds["MPI_Recv"] != 2 || len(profs[0].Seconds) != 1 {
+		t.Fatalf("seconds = %v", profs[0].Seconds)
+	}
+	if FromConduit(conduit.NewNode()) != nil {
+		t.Fatal("empty tree should give nil")
+	}
+}
+
+func TestFunctionTotals(t *testing.T) {
+	tot := FunctionTotals(sampleProfiles())
+	if tot["MPI_Recv"] != 70 || tot[".TAU application"] != 195 {
+		t.Fatalf("totals = %v", tot)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	profs := sampleProfiles()
+	// task.000000 MPI_Recv: ranks {40, 25} → max/mean = 40/32.5.
+	got := LoadImbalance(profs, "task.000000", "MPI_Recv")
+	want := 40.0 / 32.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("imbalance = %v want %v", got, want)
+	}
+	if LoadImbalance(profs, "no.such.task", "MPI_Recv") != 0 {
+		t.Fatal("unknown task should give 0")
+	}
+	if LoadImbalance(profs, "task.000000", "no_such_fn") != 0 {
+		t.Fatal("zero-mean function should give 0")
+	}
+}
+
+func TestPluginPublishes(t *testing.T) {
+	var got *conduit.Node
+	pl := NewPlugin(func(n *conduit.Node) error { got = n; return nil })
+	if err := pl.Report(sampleProfiles()); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Published != 1 {
+		t.Fatalf("published = %d", pl.Published)
+	}
+	if got == nil {
+		t.Fatal("nothing published")
+	}
+	// The merged tree must contain both task uids with host tags.
+	if !got.Has("TAU/task.000000/cn0001/rank_00000/MPI_Recv") ||
+		!got.Has("TAU/task.000001/cn0002/rank_00000") {
+		t.Fatalf("published tree malformed:\n%s", got.Format())
+	}
+	// Empty report is a no-op.
+	if err := pl.Report(nil); err != nil || pl.Published != 1 {
+		t.Fatal("empty report should not publish")
+	}
+}
+
+func TestPluginPropagatesError(t *testing.T) {
+	pl := NewPlugin(func(*conduit.Node) error { return fmt.Errorf("rpc down") })
+	if err := pl.Report(sampleProfiles()); err == nil {
+		t.Fatal("publish error swallowed")
+	}
+	if pl.Published != 0 {
+		t.Fatal("failed publish counted")
+	}
+}

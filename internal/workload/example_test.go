@@ -1,0 +1,49 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"github.com/hpcobs/gosoma/internal/workload"
+)
+
+// The calibrated strong-scaling curve behind Fig. 4: steep gains to two
+// nodes, little beyond.
+func ExampleOpenFOAM_MeanExecTime() {
+	m := workload.DefaultOpenFOAM()
+	for _, ranks := range []int{20, 41, 82, 164} {
+		nodes := workload.MinNodesFor(ranks, 42)
+		fmt.Printf("%3d ranks on %d node(s): %5.1f s\n",
+			ranks, nodes, m.MeanExecTime(ranks, nodes))
+	}
+	// Output:
+	//  20 ranks on 1 node(s): 333.5 s
+	//  41 ranks on 1 node(s): 185.9 s
+	//  82 ranks on 2 node(s): 124.7 s
+	// 164 ranks on 4 node(s): 112.7 s
+}
+
+// GPU-bound DDMD stages barely react to CPU cores — the Fig. 9 mechanism.
+func ExampleDDMD_SimTime() {
+	m := workload.DefaultDDMD()
+	fmt.Printf("1 core: %.0f s, 7 cores: %.0f s\n", m.SimTime(1, nil), m.SimTime(7, nil))
+	fmt.Printf("sim stage CPU activity: %.0f%%\n",
+		m.CPUActivity(workload.StageSimulation)*100)
+	// Output:
+	// 1 core: 300 s, 7 cores: 270 s
+	// sim stage CPU activity: 20%
+}
+
+// The Fig. 11 overhead model: monitoring every 10 s costs ~1.4% at 64 nodes
+// and grows with scale; 60 s monitoring is near-free.
+func ExampleOverhead_SlowdownFactor() {
+	o := workload.DefaultOverhead()
+	for _, nodes := range []int{64, 512} {
+		f := o.SlowdownFactor(nodes, 10, 1)
+		fmt.Printf("%d nodes @10s: +%.1f%%\n", nodes, (f-1)*100)
+	}
+	fmt.Printf("64 nodes @60s: +%.2f%%\n", (o.SlowdownFactor(64, 60, 1)-1)*100)
+	// Output:
+	// 64 nodes @10s: +1.4%
+	// 512 nodes @10s: +4.0%
+	// 64 nodes @60s: +0.23%
+}

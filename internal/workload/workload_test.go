@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/stats"
+)
+
+// TestOpenFOAMStrongScalingShape pins the Fig. 4 shape: execution time drops
+// steeply from 20 to 82 ranks, then shows only limited benefit at 164 ranks
+// ("limited benefit to scaling the OpenFOAM tasks beyond two nodes").
+func TestOpenFOAMStrongScalingShape(t *testing.T) {
+	m := DefaultOpenFOAM()
+	cores := 42
+	times := map[int]float64{}
+	for _, r := range []int{20, 41, 82, 164} {
+		times[r] = m.MeanExecTime(r, MinNodesFor(r, cores))
+	}
+	if !(times[20] > times[41] && times[41] > times[82] && times[82] > times[164]) {
+		t.Fatalf("scaling not monotone: %v", times)
+	}
+	gain2082 := times[20] / times[82]
+	gain82164 := times[82] / times[164]
+	if gain2082 < 2 {
+		t.Errorf("20→82 speedup = %.2f, want substantial (>2x)", gain2082)
+	}
+	if gain82164 > 1.25 {
+		t.Errorf("82→164 speedup = %.2f, want limited (<1.25x)", gain82164)
+	}
+}
+
+func TestOpenFOAMContentionSlowsDown(t *testing.T) {
+	m := DefaultOpenFOAM()
+	free := m.ExecTime(20, Placement{NodesSpanned: 1, Contention: 0}, nil)
+	busy := m.ExecTime(20, Placement{NodesSpanned: 1, Contention: 0.8}, nil)
+	if busy <= free {
+		t.Fatalf("contention did not slow task: %v vs %v", busy, free)
+	}
+	ratio := busy / free
+	if ratio < 1.1 || ratio > 1.3 {
+		t.Errorf("contention ratio = %.3f, want ~1.2", ratio)
+	}
+}
+
+// TestOpenFOAMSpreadTradeoff pins the Fig. 6 mechanism: packing a task's
+// ranks onto one node contends for that node's memory bandwidth, so
+// spreading wins despite the cross-node communication penalty; at 41 ranks
+// the relative gain is smaller because communication grows with rank count.
+func TestOpenFOAMSpreadTradeoff(t *testing.T) {
+	m := DefaultOpenFOAM()
+	const coresPerNode = 42.0
+	gain := func(ranks int) float64 {
+		packed := m.ExecTime(ranks, Placement{
+			NodesSpanned: 1, OwnDensity: float64(ranks) / coresPerNode}, nil)
+		spread := m.ExecTime(ranks, Placement{
+			NodesSpanned: 5, OwnDensity: float64(ranks) / (5 * coresPerNode)}, nil)
+		return packed / spread
+	}
+	g20, g41 := gain(20), gain(41)
+	if g20 <= 1.02 {
+		t.Fatalf("spreading 20 ranks should help: gain %.3f", g20)
+	}
+	if g41 >= g20 {
+		t.Errorf("41-rank gain (%.3f) should be below 20-rank gain (%.3f)", g41, g20)
+	}
+}
+
+// TestOpenFOAMMemoryDensityEffect pins the saturating intra-node bandwidth
+// model directly.
+func TestOpenFOAMMemoryDensityEffect(t *testing.T) {
+	m := DefaultOpenFOAM()
+	lo := m.ExecTime(20, Placement{NodesSpanned: 1, OwnDensity: 0.1}, nil)
+	hi := m.ExecTime(20, Placement{NodesSpanned: 1, OwnDensity: 0.48}, nil)
+	sat := m.ExecTime(20, Placement{NodesSpanned: 1, OwnDensity: 0.95}, nil)
+	if hi <= lo {
+		t.Fatalf("denser packing should be slower: %v vs %v", hi, lo)
+	}
+	if sat != m.ExecTime(20, Placement{NodesSpanned: 1, OwnDensity: 0.5}, nil) {
+		t.Fatalf("density effect should saturate at MemSatDensity")
+	}
+	ratio := sat / lo
+	if ratio < 1.05 || ratio > 1.15 {
+		t.Errorf("max memory penalty = %.3f, want ~1.08", ratio)
+	}
+}
+
+func TestOpenFOAMNoiseReproducible(t *testing.T) {
+	m := DefaultOpenFOAM()
+	p := Placement{NodesSpanned: 1}
+	a := m.ExecTime(20, p, stats.NewRNG(5))
+	b := m.ExecTime(20, p, stats.NewRNG(5))
+	if a != b {
+		t.Fatal("same seed should give same time")
+	}
+	mean := m.MeanExecTime(20, 1)
+	if math.Abs(a-mean)/mean > 0.5 {
+		t.Fatalf("noisy sample %v too far from mean %v", a, mean)
+	}
+}
+
+func TestOpenFOAMDegenerateInputs(t *testing.T) {
+	m := DefaultOpenFOAM()
+	if m.ExecTime(0, Placement{}, nil) <= 0 {
+		t.Fatal("zero ranks should clamp, not blow up")
+	}
+	if m.ExecTime(20, Placement{NodesSpanned: 0, Contention: -3}, nil) <= 0 {
+		t.Fatal("degenerate placement should clamp")
+	}
+	over := m.ExecTime(20, Placement{NodesSpanned: 1, Contention: 9}, nil)
+	capped := m.ExecTime(20, Placement{NodesSpanned: 1, Contention: 1}, nil)
+	if over != capped {
+		t.Fatal("contention should clamp to 1")
+	}
+}
+
+func TestMinNodesFor(t *testing.T) {
+	cases := []struct{ ranks, cores, want int }{
+		{20, 42, 1}, {41, 42, 1}, {42, 42, 1}, {43, 42, 2},
+		{82, 42, 2}, {164, 42, 4}, {1, 42, 1}, {5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := MinNodesFor(c.ranks, c.cores); got != c.want {
+			t.Errorf("MinNodesFor(%d,%d) = %d want %d", c.ranks, c.cores, got, c.want)
+		}
+	}
+}
+
+// TestRankBreakdownShape pins Fig. 5: every rank spends a large portion of
+// time in MPI_Recv and MPI_Waitall, and the per-rank totals sum to the task
+// execution time.
+func TestRankBreakdownShape(t *testing.T) {
+	m := DefaultOpenFOAM()
+	const exec = 300.0
+	profs := m.RankBreakdown(20, exec, stats.NewRNG(3))
+	if len(profs) != 20 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	for _, p := range profs {
+		total := 0.0
+		for _, v := range p.Times {
+			if v < 0 {
+				t.Fatalf("rank %d negative time", p.Rank)
+			}
+			total += v
+		}
+		if math.Abs(total-exec) > 1e-6 {
+			t.Fatalf("rank %d total %.4f != exec %.4f", p.Rank, total, exec)
+		}
+		mpiShare := (p.Times["MPI_Recv"] + p.Times["MPI_Waitall"]) / exec
+		if mpiShare < 0.3 || mpiShare > 0.7 {
+			t.Errorf("rank %d Recv+Waitall share = %.2f, want dominant", p.Rank, mpiShare)
+		}
+	}
+	// Rank 0 coordinates: more Recv than the others on average.
+	others := 0.0
+	for _, p := range profs[1:] {
+		others += p.Times["MPI_Recv"]
+	}
+	others /= float64(len(profs) - 1)
+	if profs[0].Times["MPI_Recv"] <= others {
+		t.Errorf("rank 0 Recv %.2f should exceed others' mean %.2f",
+			profs[0].Times["MPI_Recv"], others)
+	}
+}
+
+func TestDDMDStageTimes(t *testing.T) {
+	m := DefaultDDMD()
+	// Core scaling of the simulation must be weak (paper: "the effect of
+	// using fewer CPU cores per task was minimal").
+	t1 := m.SimTime(1, nil)
+	t7 := m.SimTime(7, nil)
+	if t7 >= t1 {
+		t.Fatalf("more cores should not slow sim: %v vs %v", t7, t1)
+	}
+	if rel := (t1 - t7) / t1; rel > 0.15 {
+		t.Errorf("core effect = %.1f%%, want minimal (<15%%)", rel*100)
+	}
+	// Parallel training helps but has a reduce cost.
+	tr1 := m.TrainTime(1, 7, nil)
+	tr4 := m.TrainTime(4, 7, nil)
+	if tr4 >= tr1 {
+		t.Fatalf("parallel training should help: %v vs %v", tr4, tr1)
+	}
+	if tr4 < tr1/4 {
+		t.Fatalf("parallel training ignores MPI_Reduce cost: %v vs %v/4", tr4, tr1)
+	}
+	if m.SelectTime(nil) <= 0 || m.AgentTime(nil) <= 0 {
+		t.Fatal("stage times must be positive")
+	}
+}
+
+func TestDDMDStageDispatch(t *testing.T) {
+	m := DefaultDDMD()
+	if m.StageTime(StageSimulation, 3, 1, nil) != m.SimTime(3, nil) {
+		t.Error("sim dispatch")
+	}
+	if m.StageTime(StageTraining, 7, 4, nil) != m.TrainTime(4, 7, nil) {
+		t.Error("train dispatch")
+	}
+	if m.StageTime(StageSelection, 1, 1, nil) != m.SelectTime(nil) {
+		t.Error("select dispatch")
+	}
+	if m.StageTime(StageAgent, 1, 1, nil) != m.AgentTime(nil) {
+		t.Error("agent dispatch")
+	}
+}
+
+func TestDDMDStageMeta(t *testing.T) {
+	m := DefaultDDMD()
+	if m.TaskCount(StageSimulation, 1) != 12 {
+		t.Error("baseline sim tasks != 12")
+	}
+	if m.TaskCount(StageTraining, 4) != 4 || m.TaskCount(StageTraining, 0) != 1 {
+		t.Error("train task count")
+	}
+	if m.TaskCount(StageSelection, 9) != 1 || m.TaskCount(StageAgent, 9) != 1 {
+		t.Error("select/agent are single tasks")
+	}
+	if !m.UsesGPU(StageSimulation) || !m.UsesGPU(StageTraining) || !m.UsesGPU(StageAgent) {
+		t.Error("sim/train/agent use GPUs")
+	}
+	if m.UsesGPU(StageSelection) {
+		t.Error("selection is CPU-only")
+	}
+	for s, want := range map[DDMDStage]string{
+		StageSimulation: "simulation", StageTraining: "training",
+		StageSelection: "selection", StageAgent: "agent", DDMDStage(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("stage %d name %q", s, s.String())
+		}
+	}
+}
+
+// TestDDMDActivityLow pins Fig. 9's mechanism: GPU-bound stages keep CPU
+// activity low regardless of allocated cores.
+func TestDDMDActivityLow(t *testing.T) {
+	m := DefaultDDMD()
+	if a := m.CPUActivity(StageSimulation); a > 0.4 {
+		t.Errorf("sim activity = %v, want low", a)
+	}
+	if a := m.CPUActivity(StageTraining); a > 0.4 {
+		t.Errorf("train activity = %v, want low", a)
+	}
+	if a := m.CPUActivity(StageSelection); a < 0.7 {
+		t.Errorf("selection activity = %v, want high (CPU-only)", a)
+	}
+	if a := DefaultOpenFOAM().CPUActivity(); a < 0.9 {
+		t.Errorf("openfoam activity = %v, want ~busy-wait", a)
+	}
+}
+
+// TestOverheadMatchesFig11 pins the Scaling B overhead shape: ~1.4% at 64
+// nodes with 10 s publishing, growing to ~4-5% at 512 nodes; 60 s publishing
+// is well under 1%.
+func TestOverheadMatchesFig11(t *testing.T) {
+	o := DefaultOverhead()
+	pct := func(nodes int, interval float64) float64 {
+		return (o.SlowdownFactor(nodes, interval, 1) - 1) * 100
+	}
+	if p := pct(64, 10); math.Abs(p-1.4) > 0.2 {
+		t.Errorf("64-node frequent overhead = %.2f%%, want ~1.4%%", p)
+	}
+	p512 := pct(512, 10)
+	if p512 < 3.0 || p512 > 5.5 {
+		t.Errorf("512-node frequent overhead = %.2f%%, want 3-5.5%%", p512)
+	}
+	for _, nodes := range []int{64, 128, 256, 512} {
+		if p := pct(nodes, 60); p > 1.0 {
+			t.Errorf("%d-node 60s overhead = %.2f%%, want <1%%", nodes, p)
+		}
+	}
+	// Monotone in node count, inverse in interval.
+	if pct(128, 10) <= pct(64, 10) || pct(256, 10) <= pct(128, 10) {
+		t.Error("overhead should grow with node count")
+	}
+	if pct(64, 10) <= pct(64, 60) {
+		t.Error("overhead should grow with frequency")
+	}
+}
+
+func TestOverheadRatioWeak(t *testing.T) {
+	o := DefaultOverhead()
+	base := o.SlowdownFactor(64, 60, 1)
+	at8 := o.SlowdownFactor(64, 60, 8)
+	if at8 < base {
+		t.Fatal("higher pipeline:rank ratio should not reduce overhead")
+	}
+	// Paper Scaling A: "the ratio of SOMA ranks to pipelines does not have
+	// much effect" — 8:1 must change overhead by well under a percent.
+	if (at8-base)*100 > 0.5 {
+		t.Errorf("ratio effect = %.3f%%, want weak", (at8-base)*100)
+	}
+}
+
+func TestOverheadDegenerate(t *testing.T) {
+	o := DefaultOverhead()
+	if o.SlowdownFactor(0, 10, 1) != 1 || o.SlowdownFactor(64, 0, 1) != 1 {
+		t.Fatal("degenerate inputs should give factor 1")
+	}
+	if f := o.SlowdownFactor(64, 10, 0.5); f != o.SlowdownFactor(64, 10, 1) {
+		t.Fatal("sub-1 ratio should behave like 1")
+	}
+}

@@ -1,0 +1,185 @@
+package zmq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// Remote queue access. RP's subsystems "can execute locally or remotely,
+// communicating over TCP/IP and enabling multiple deployment scenarios"
+// (paper §2.1); this file provides that deployment path for queues: a Queue
+// served over a mercury engine, and a RemoteQueue client mirroring the
+// local API. Payloads must be JSON-serializable (the pilot's task
+// descriptions and control messages are).
+
+// RPC names used by queue serving.
+const (
+	rpcQueuePush = "zmq.queue.push"
+	rpcQueuePull = "zmq.queue.pull"
+	rpcQueueLen  = "zmq.queue.len"
+)
+
+type queueWire struct {
+	Queue   string          `json:"queue"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+type queuePullResp struct {
+	OK      bool            `json:"ok"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Serve exposes queues by name on a mercury engine. Multiple queues can be
+// served by one engine; remote clients address them by queue name.
+type Server struct {
+	queues map[string]*Queue
+}
+
+// NewServer registers the RPC handlers on the engine and returns a server
+// to which queues are attached.
+func NewServer(engine *mercury.Engine) *Server {
+	s := &Server{queues: map[string]*Queue{}}
+	engine.Register(rpcQueuePush, s.handlePush)
+	engine.Register(rpcQueuePull, s.handlePull)
+	engine.Register(rpcQueueLen, s.handleLen)
+	return s
+}
+
+// Attach makes q reachable by remote clients under its name.
+func (s *Server) Attach(q *Queue) { s.queues[q.Name()] = q }
+
+func (s *Server) queue(raw []byte) (*Queue, queueWire, error) {
+	var w queueWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, w, err
+	}
+	q, ok := s.queues[w.Queue]
+	if !ok {
+		return nil, w, fmt.Errorf("zmq: no queue named %q", w.Queue)
+	}
+	return q, w, nil
+}
+
+func (s *Server) handlePush(_ context.Context, raw []byte) ([]byte, error) {
+	q, w, err := s.queue(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Push(w.Payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (s *Server) handlePull(_ context.Context, raw []byte) ([]byte, error) {
+	q, _, err := s.queue(raw)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := q.TryPull()
+	resp := queuePullResp{OK: ok}
+	if ok {
+		switch payload := v.(type) {
+		case json.RawMessage:
+			resp.Payload = payload
+		case []byte:
+			resp.Payload = payload
+		default:
+			data, err := json.Marshal(payload)
+			if err != nil {
+				return nil, err
+			}
+			resp.Payload = data
+		}
+	}
+	return json.Marshal(resp)
+}
+
+func (s *Server) handleLen(_ context.Context, raw []byte) ([]byte, error) {
+	q, _, err := s.queue(raw)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(q.Len())
+}
+
+// RemoteQueue is the client side of a served queue. Pulls are non-blocking
+// polls (remote consumers poll at their own cadence; blocking semantics
+// over a network hop would couple failure domains).
+type RemoteQueue struct {
+	name string
+	ep   *mercury.Endpoint
+}
+
+// Dial connects to a queue served at addr under the given name.
+func Dial(addr, name string) (*RemoteQueue, error) {
+	ep, err := mercury.Lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteQueue{name: name, ep: ep}, nil
+}
+
+// Name returns the remote queue's name.
+func (rq *RemoteQueue) Name() string { return rq.name }
+
+// Push marshals v to JSON and enqueues it remotely.
+func (rq *RemoteQueue) Push(v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := json.Marshal(queueWire{Queue: rq.name, Payload: payload})
+	if err != nil {
+		return err
+	}
+	_, err = rq.ep.Call(context.Background(), rpcQueuePush, req)
+	return err
+}
+
+// TryPull dequeues one message into out (a pointer). ok reports whether a
+// message was available.
+func (rq *RemoteQueue) TryPull(out interface{}) (ok bool, err error) {
+	req, err := json.Marshal(queueWire{Queue: rq.name})
+	if err != nil {
+		return false, err
+	}
+	raw, err := rq.ep.Call(context.Background(), rpcQueuePull, req)
+	if err != nil {
+		return false, err
+	}
+	var resp queuePullResp
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return false, err
+	}
+	if !resp.OK {
+		return false, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Len returns the remote queue's current depth.
+func (rq *RemoteQueue) Len() (int, error) {
+	req, err := json.Marshal(queueWire{Queue: rq.name})
+	if err != nil {
+		return 0, err
+	}
+	raw, err := rq.ep.Call(context.Background(), rpcQueueLen, req)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	err = json.Unmarshal(raw, &n)
+	return n, err
+}
+
+// Close releases the connection.
+func (rq *RemoteQueue) Close() error { return rq.ep.Close() }

@@ -1,0 +1,119 @@
+package zmq
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+type testMsg struct {
+	UID   string `json:"uid"`
+	Ranks int    `json:"ranks"`
+}
+
+func servedQueue(t *testing.T, scheme string) (*Queue, *RemoteQueue) {
+	t.Helper()
+	engine := mercury.NewEngine()
+	t.Cleanup(func() { engine.Close() })
+	srv := NewServer(engine)
+	q := NewQueue("tmgr_staging_queue")
+	srv.Attach(q)
+	addr, err := engine.Listen(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := Dial(addr, "tmgr_staging_queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rq.Close() })
+	return q, rq
+}
+
+func TestRemoteQueuePushPullTCP(t *testing.T) {
+	q, rq := servedQueue(t, "tcp://127.0.0.1:0")
+	if rq.Name() != "tmgr_staging_queue" {
+		t.Fatalf("name = %q", rq.Name())
+	}
+	// Remote push → local pull.
+	if err := rq.Push(testMsg{UID: "task.000001", Ranks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.Pull()
+	if !ok {
+		t.Fatal("local pull failed")
+	}
+	var m testMsg
+	if err := json.Unmarshal(v.(json.RawMessage), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.UID != "task.000001" || m.Ranks != 20 {
+		t.Fatalf("message = %+v", m)
+	}
+	// Local push → remote pull.
+	if err := q.Push(testMsg{UID: "task.000002", Ranks: 41}); err != nil {
+		t.Fatal(err)
+	}
+	var out testMsg
+	ok, err := rq.TryPull(&out)
+	if err != nil || !ok || out.UID != "task.000002" {
+		t.Fatalf("remote pull = %+v, %v, %v", out, ok, err)
+	}
+	// Empty queue: remote TryPull reports no message.
+	ok, err = rq.TryPull(&out)
+	if err != nil || ok {
+		t.Fatalf("empty pull = %v, %v", ok, err)
+	}
+}
+
+func TestRemoteQueueLenAndOrder(t *testing.T) {
+	_, rq := servedQueue(t, "inproc://remote-queue-len")
+	for i := 0; i < 5; i++ {
+		if err := rq.Push(testMsg{Ranks: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := rq.Len(); err != nil || n != 5 {
+		t.Fatalf("len = %d, %v", n, err)
+	}
+	for i := 0; i < 5; i++ {
+		var m testMsg
+		ok, err := rq.TryPull(&m)
+		if err != nil || !ok || m.Ranks != i {
+			t.Fatalf("pull %d = %+v, %v, %v", i, m, ok, err)
+		}
+	}
+}
+
+func TestRemoteQueueUnknownName(t *testing.T) {
+	engine := mercury.NewEngine()
+	defer engine.Close()
+	NewServer(engine)
+	addr, _ := engine.Listen("inproc://remote-unknown")
+	rq, err := Dial(addr, "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rq.Close()
+	if err := rq.Push(testMsg{}); err == nil {
+		t.Fatal("push to unknown queue accepted")
+	}
+	if _, err := rq.TryPull(nil); err == nil {
+		t.Fatal("pull from unknown queue accepted")
+	}
+}
+
+func TestRemotePushToClosedQueue(t *testing.T) {
+	q, rq := servedQueue(t, "inproc://remote-closed")
+	q.Close()
+	if err := rq.Push(testMsg{}); err == nil {
+		t.Fatal("push to closed queue accepted")
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	if _, err := Dial("bogus", "q"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
