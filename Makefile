@@ -1,0 +1,30 @@
+# Build/verify entry points. `make verify` is the tier-1 gate (see
+# ROADMAP.md); `make bench` + `make benchdiff` guard the ingest hot path
+# against regressions (scripts/bench_baseline.json holds the reference).
+
+GO ?= go
+BENCH_COUNT ?= 5
+
+.PHONY: build test vet race bench benchdiff verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) test ./internal/core/ -run '^$$' \
+		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkSelectSnapshot$$' \
+		-benchmem -count $(BENCH_COUNT)
+
+benchdiff:
+	scripts/benchdiff.sh

@@ -92,8 +92,8 @@ func render(sb *strings.Builder, addr string, client *core.Client, analysis core
 		fmt.Fprintln(sb, "\nservice instances:")
 		for _, ns := range core.Namespaces {
 			if st, ok := stats[ns]; ok {
-				fmt.Fprintf(sb, "  %-12s ranks=%-3d publishes=%-8d leaves=%-9d bytes_in=%d\n",
-					ns, st.Ranks, st.Publishes, st.Leaves, st.BytesIn)
+				fmt.Fprintf(sb, "  %-12s ranks=%-3d stripes=%-2d publishes=%-8d leaves=%-9d bytes_in=%d\n",
+					ns, st.Ranks, st.Stripes, st.Publishes, st.Leaves, st.BytesIn)
 			}
 		}
 	}

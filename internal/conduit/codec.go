@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Binary wire format (little endian throughout):
@@ -40,8 +41,44 @@ const maxDecodeItems = 1 << 24
 // for RPC transport between SOMA clients and service instances.
 func (n *Node) EncodeBinary() []byte {
 	buf := make([]byte, 0, 64+n.NumLeaves()*16)
-	buf = append(buf, binMagic[:]...)
-	return n.encodeBinary(buf)
+	return n.AppendBinary(buf)
+}
+
+// AppendBinary appends the node's complete wire frame (magic header
+// included) to dst and returns the extended slice. It is the allocation-free
+// flavour of EncodeBinary for callers that manage their own buffers, e.g.
+// via GetEncodeBuffer.
+func (n *Node) AppendBinary(dst []byte) []byte {
+	dst = append(dst, binMagic[:]...)
+	return n.encodeBinary(dst)
+}
+
+// encBufPool recycles encode buffers across publishes; the hot publish path
+// would otherwise allocate one wire buffer per call.
+var encBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// maxPooledBuf bounds what goes back into the pool so one huge frame does
+// not pin memory forever.
+const maxPooledBuf = 1 << 16
+
+// GetEncodeBuffer returns a pooled zero-length buffer for AppendBinary.
+// Return it with PutEncodeBuffer once the encoded bytes are no longer
+// referenced (after the RPC call completes).
+func GetEncodeBuffer() *[]byte {
+	bp := encBufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutEncodeBuffer recycles a buffer obtained from GetEncodeBuffer. The
+// caller must not use the buffer afterwards.
+func PutEncodeBuffer(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		encBufPool.Put(bp)
+	}
 }
 
 func appendUvarint(buf []byte, v uint64) []byte {
@@ -75,7 +112,7 @@ func (n *Node) encodeBinary(buf []byte) []byte {
 		buf = appendUvarint(buf, uint64(len(n.order)))
 		for _, name := range n.order {
 			buf = appendString(buf, name)
-			buf = n.children[name].encodeBinary(buf)
+			buf = n.lookup(name).encodeBinary(buf)
 		}
 	case KindInt:
 		buf = appendVarint(buf, n.i)
@@ -106,6 +143,28 @@ func (n *Node) encodeBinary(buf []byte) []byte {
 type binReader struct {
 	data []byte
 	pos  int
+	// arena is a bump allocator for decoded nodes: one []Node chunk serves
+	// many *Node results, cutting decode allocations by the chunk size. The
+	// nodes escape into the decoded tree, so chunks are never reused — only
+	// the per-node allocation is amortized.
+	arena []Node
+}
+
+// arenaChunk is the node-arena chunk size; frames smaller than that are
+// bounded by their encoded size (every node costs at least 2 wire bytes).
+const arenaChunk = 64
+
+func (r *binReader) newNode() *Node {
+	if len(r.arena) == 0 {
+		n := arenaChunk
+		if rem := (len(r.data)-r.pos)/2 + 1; rem < n {
+			n = rem
+		}
+		r.arena = make([]Node, n)
+	}
+	nd := &r.arena[0]
+	r.arena = r.arena[1:]
+	return nd
 }
 
 func (r *binReader) u8() (byte, error) {
@@ -163,8 +222,8 @@ func DecodeBinary(data []byte) (*Node, error) {
 		data[2] != binMagic[2] || data[3] != binMagic[3] {
 		return nil, ErrBadMagic
 	}
-	r := &binReader{data: data, pos: 4}
-	n, err := decodeNode(r, 0)
+	r := binReader{data: data, pos: 4}
+	n, err := decodeNode(&r, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +244,8 @@ func decodeNode(r *binReader, depth int) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{kind: Kind(kb)}
+	n := r.newNode()
+	n.kind = Kind(kb)
 	switch n.kind {
 	case KindEmpty:
 	case KindObject:
@@ -272,9 +332,9 @@ func decodeNode(r *binReader, depth int) (*Node, error) {
 func (n *Node) jsonValue() interface{} {
 	switch n.kind {
 	case KindObject:
-		m := make(map[string]interface{}, len(n.children))
-		for name, c := range n.children {
-			m[name] = c.jsonValue()
+		m := make(map[string]interface{}, len(n.order))
+		for _, name := range n.order {
+			m[name] = n.lookup(name).jsonValue()
 		}
 		return m
 	case KindEmpty:

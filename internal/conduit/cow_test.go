@@ -1,0 +1,201 @@
+package conduit
+
+import (
+	"strconv"
+	"testing"
+)
+
+// mkTree builds a small host-style tree: base/<i>/{a,b} for i in [lo, hi).
+func mkTree(base string, lo, hi int) *Node {
+	n := NewNode()
+	for i := lo; i < hi; i++ {
+		p := base + "/" + strconv.Itoa(i)
+		n.SetInt(p+"/a", int64(i))
+		n.SetFloat(p+"/b", float64(i)/2)
+	}
+	return n
+}
+
+func TestMergeCOWMatchesMerge(t *testing.T) {
+	cases := []struct {
+		name     string
+		dst, src func() *Node
+	}{
+		{"disjoint", func() *Node { return mkTree("h0", 0, 4) }, func() *Node { return mkTree("h1", 0, 4) }},
+		{"overwrite", func() *Node { return mkTree("h0", 0, 8) }, func() *Node { return mkTree("h0", 2, 6) }},
+		{"extend", func() *Node { return mkTree("h0", 0, 4) }, func() *Node { return mkTree("h0", 4, 8) }},
+		{"leaf over object", func() *Node { return mkTree("h0", 0, 2) }, func() *Node {
+			n := NewNode()
+			n.SetString("h0/0", "gone")
+			return n
+		}},
+		{"object over leaf", func() *Node {
+			n := NewNode()
+			n.SetString("h0", "leaf")
+			return n
+		}, func() *Node { return mkTree("h0", 0, 2) }},
+		{"empty dst", func() *Node { return NewNode() }, func() *Node { return mkTree("h0", 0, 2) }},
+		{"empty src", func() *Node { return mkTree("h0", 0, 2) }, func() *Node { return NewNode() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, src := tc.dst(), tc.src()
+			before := dst.Clone()
+			want := dst.Clone()
+			want.Merge(src)
+			got := MergeCOW(dst, src)
+			if !got.Equal(want) {
+				t.Fatalf("MergeCOW disagrees with Merge:\ngot:\n%s\nwant:\n%s", got.Format(), want.Format())
+			}
+			if !dst.Equal(before) {
+				t.Fatalf("MergeCOW mutated dst:\n%s", dst.Format())
+			}
+		})
+	}
+}
+
+// TestMergeCOWChain drives many successive small merges onto a wide base so
+// the overlay machinery exercises both compaction paths (chain collapse and
+// full flatten), and checks the result stays equivalent to mutable Merge at
+// every step — including its serialized form, which pins child order.
+func TestMergeCOWChain(t *testing.T) {
+	snap := mkTree("host", 0, 64)
+	mutable := snap.Clone()
+	for step := 0; step < 200; step++ {
+		upd := mkTree("host", step%80, step%80+2)
+		prev := snap
+		prevCopy := prev.Clone()
+		snap = MergeCOW(snap, upd)
+		mutable.Merge(upd)
+		if !snap.Equal(mutable) {
+			t.Fatalf("step %d: snapshot diverged from Merge: %v", step, snap.Diff(mutable))
+		}
+		if !prev.Equal(prevCopy) {
+			t.Fatalf("step %d: MergeCOW mutated the previous snapshot", step)
+		}
+	}
+	gotBytes := snap.EncodeBinary()
+	wantBytes := mutable.EncodeBinary()
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("overlay snapshot serializes differently from the flat merge")
+	}
+	if n := snap.NumLeaves(); n != mutable.NumLeaves() {
+		t.Fatalf("NumLeaves = %d, want %d", n, mutable.NumLeaves())
+	}
+}
+
+// TestMergeCOWSharing verifies untouched subtrees are shared by reference,
+// not copied — the property that makes snapshot rebuilds O(delta).
+func TestMergeCOWSharing(t *testing.T) {
+	dst := mkTree("h0", 0, 4)
+	dst.Merge(mkTree("h1", 0, 4))
+	src := mkTree("h1", 4, 5)
+	out := MergeCOW(dst, src)
+	d, _ := dst.Get("h0")
+	o, _ := out.Get("h0")
+	if o != d {
+		t.Fatal("untouched subtree was copied instead of shared")
+	}
+	s, _ := src.Get("h1/4")
+	o4, _ := out.Get("h1/4")
+	if o4 != s {
+		t.Fatal("src-only subtree was copied instead of shared")
+	}
+}
+
+// TestOverlayMutationFlattens checks the mutating entry points materialize a
+// COW overlay before writing, so later writes never scribble on shared maps.
+func TestOverlayMutationFlattens(t *testing.T) {
+	dst := mkTree("host", 0, 32)
+	dstCopy := dst.Clone()
+	out := MergeCOW(dst, mkTree("host", 10, 12))
+
+	out.SetInt("extra/leaf", 7)
+	if v, ok := out.Int("extra/leaf"); !ok || v != 7 {
+		t.Fatal("write to overlay node lost")
+	}
+	if !out.Has("host/31/a") {
+		t.Fatal("flattened overlay lost base children")
+	}
+	if !dst.Equal(dstCopy) {
+		t.Fatal("mutating the overlay changed the base tree")
+	}
+
+	out2 := MergeCOW(dst, mkTree("host", 2, 4))
+	if !out2.Remove("host") {
+		t.Fatal("Remove on overlay node failed")
+	}
+	if out2.Has("host") {
+		t.Fatal("child still present after Remove")
+	}
+	if !dst.Has("host/0/a") || !dst.Equal(dstCopy) {
+		t.Fatal("Remove on the overlay changed the base tree")
+	}
+}
+
+func TestAttach(t *testing.T) {
+	child := mkTree("x", 0, 2)
+	n := NewNode()
+	n.SetInt("first", 1)
+	n.Attach("data", child)
+	if got := n.Child("data"); got != child {
+		t.Fatal("Attach copied instead of sharing")
+	}
+	if names := n.ChildNames(); len(names) != 2 || names[0] != "first" || names[1] != "data" {
+		t.Fatalf("ChildNames = %v", names)
+	}
+	// Replacing keeps the original order slot.
+	other := NewNode()
+	other.SetBool("ok", true)
+	n.Attach("data", other)
+	if got := n.Child("data"); got != other {
+		t.Fatal("Attach did not replace existing child")
+	}
+	if n.NumChildren() != 2 {
+		t.Fatalf("NumChildren = %d after replace", n.NumChildren())
+	}
+	// Attaching to a leaf converts it to an object, like Fetch does.
+	leaf := NewNode()
+	leaf.SetInt("", 5)
+	leaf.Attach("c", child)
+	if leaf.Kind() != KindObject || leaf.Child("c") != child {
+		t.Fatal("Attach on a leaf did not convert it to an object")
+	}
+}
+
+func TestAppendBinaryAndPool(t *testing.T) {
+	n := mkTree("host", 0, 16)
+	want := n.EncodeBinary()
+
+	bp := GetEncodeBuffer()
+	*bp = n.AppendBinary(*bp)
+	if string(*bp) != string(want) {
+		t.Fatal("AppendBinary differs from EncodeBinary")
+	}
+	dec, err := DecodeBinary(*bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(n) {
+		t.Fatal("round trip through pooled buffer failed")
+	}
+	PutEncodeBuffer(bp)
+
+	// Reused buffers must be reset to empty.
+	bp2 := GetEncodeBuffer()
+	if len(*bp2) != 0 {
+		t.Fatalf("pooled buffer not reset: len=%d", len(*bp2))
+	}
+	PutEncodeBuffer(bp2)
+
+	// Appending after existing content preserves the prefix.
+	buf := []byte("prefix")
+	buf = n.AppendBinary(buf)
+	if string(buf[:6]) != "prefix" {
+		t.Fatal("AppendBinary clobbered existing content")
+	}
+	dec2, err := DecodeBinary(buf[6:])
+	if err != nil || !dec2.Equal(n) {
+		t.Fatalf("decode after prefix failed: %v", err)
+	}
+}

@@ -71,6 +71,13 @@ type Node struct {
 	// deterministic serialization and for timeline-like layouts where the
 	// child names are timestamps appended in order.
 	order []string
+	// cowBase, when non-nil, is the shared base layer of a copy-on-write
+	// object node produced by MergeCOW: children then holds only this node's
+	// delta (additions and overrides of the base), while order covers base
+	// and delta names together in insertion order. Overlay nodes are
+	// immutable by contract; the mutating entry points (ensureChild, Attach,
+	// Remove) flatten them into plain nodes first.
+	cowBase *Node
 }
 
 // NewNode returns an empty node ready for use.
@@ -102,14 +109,39 @@ func (n *Node) setLeaf(k Kind) {
 	n.kind = k
 	n.children = nil
 	n.order = nil
+	n.cowBase = nil
+}
+
+// lookup resolves a direct child through the copy-on-write chain: the node's
+// own delta first, then each base layer. Plain nodes resolve in one map
+// probe; overlay chains are kept at most two layers deep by MergeCOW.
+func (n *Node) lookup(name string) *Node {
+	for cur := n; cur != nil; cur = cur.cowBase {
+		if c, ok := cur.children[name]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// flatten materializes a copy-on-write overlay node into a plain node,
+// resolving the base chain into one owned children map. A no-op on plain
+// nodes.
+func (n *Node) flatten() {
+	if n.cowBase == nil {
+		return
+	}
+	m := make(map[string]*Node, len(n.order))
+	for _, name := range n.order {
+		m[name] = n.lookup(name)
+	}
+	n.children = m
+	n.cowBase = nil
 }
 
 // Child returns the direct child with the given name, or nil.
 func (n *Node) Child(name string) *Node {
-	if n.children == nil {
-		return nil
-	}
-	return n.children[name]
+	return n.lookup(name)
 }
 
 // ensureChild returns the direct child with the given name, creating it (and
@@ -121,6 +153,7 @@ func (n *Node) ensureChild(name string) *Node {
 		n.kind = KindObject
 		n.i, n.f, n.s, n.b, n.ia, n.fa = 0, 0, "", false, nil, nil
 	}
+	n.flatten()
 	if n.children == nil {
 		n.children = make(map[string]*Node)
 	}
@@ -190,6 +223,7 @@ func (n *Node) Remove(path string) bool {
 		}
 	}
 	name := segs[len(segs)-1]
+	parent.flatten()
 	if parent.children == nil {
 		return false
 	}
@@ -347,11 +381,11 @@ func (n *Node) Clone() *Node {
 	if n.fa != nil {
 		out.fa = append([]float64(nil), n.fa...)
 	}
-	if n.children != nil {
-		out.children = make(map[string]*Node, len(n.children))
+	if n.children != nil || n.cowBase != nil {
+		out.children = make(map[string]*Node, len(n.order))
 		out.order = append([]string(nil), n.order...)
-		for name, c := range n.children {
-			out.children[name] = c.Clone()
+		for _, name := range n.order {
+			out.children[name] = n.lookup(name).Clone()
 		}
 	}
 	return out
@@ -375,8 +409,121 @@ func (n *Node) Merge(src *Node) {
 		return
 	}
 	for _, name := range src.order {
-		n.ensureChild(name).Merge(src.children[name])
+		n.ensureChild(name).Merge(src.lookup(name))
 	}
+}
+
+// Attach grafts child into n as the direct child with the given name,
+// replacing any existing child, without copying — the zero-copy counterpart
+// of Fetch(name).Merge(child). The child is shared by reference: the caller
+// must not mutate it afterwards. SOMA's hot paths use it to wrap published
+// trees in RPC envelopes and snapshot subtrees in responses.
+func (n *Node) Attach(name string, child *Node) {
+	if n.kind != KindObject {
+		n.kind = KindObject
+		n.i, n.f, n.s, n.b, n.ia, n.fa = 0, 0, "", false, nil, nil
+	}
+	n.flatten()
+	if n.children == nil {
+		n.children = make(map[string]*Node)
+	}
+	if _, ok := n.children[name]; !ok {
+		n.order = append(n.order, name)
+	}
+	n.children[name] = child
+}
+
+// Overlay bounds for MergeCOW. A chain deeper than cowMaxChain is collapsed
+// into a single delta over the flat base (so lookups stay a handful of map
+// probes); a delta holding more than max(cowFlattenMin, total/cowFlattenFrac)
+// entries is materialized into a flat map (so a delta never dwarfs the base
+// it shadows).
+const (
+	cowFlattenMin  = 16
+	cowFlattenFrac = 8
+	cowMaxChain    = 8
+)
+
+// compact enforces the overlay bounds on a freshly built MergeCOW node; n is
+// owned by the caller at this point, so rewriting it in place is safe.
+func (n *Node) compact() {
+	depth, deltaTotal := 0, 0
+	base := n
+	for base.cowBase != nil {
+		depth++
+		deltaTotal += len(base.children)
+		base = base.cowBase
+	}
+	if deltaTotal > cowFlattenMin && deltaTotal*cowFlattenFrac > len(n.order) {
+		n.flatten()
+		return
+	}
+	if depth <= cowMaxChain {
+		return
+	}
+	// Collapse the chain into one delta over the flat base: apply layers
+	// oldest-first so newer entries shadow older ones.
+	layers := make([]*Node, 0, depth)
+	for cur := n; cur.cowBase != nil; cur = cur.cowBase {
+		layers = append(layers, cur)
+	}
+	m := make(map[string]*Node, deltaTotal)
+	for i := len(layers) - 1; i >= 0; i-- {
+		for name, c := range layers[i].children {
+			m[name] = c
+		}
+	}
+	n.children = m
+	n.cowBase = base
+}
+
+// MergeCOW returns a tree with the same contents dst would have after
+// dst.Merge(src), without mutating dst: nodes along paths touched by src
+// become thin overlays (a small delta map layered over dst's node via
+// cowBase), everything untouched is shared by reference with dst, and
+// subtrees unique to src are shared by reference with src. Both inputs must
+// be treated as immutable afterwards. This is the copy-on-read primitive
+// behind the SOMA service's merge snapshots: building generation N+1 costs
+// O(paths touched by src), not O(fan-out of dst) — a 10k-child host node is
+// never recopied just because one sample under it changed.
+func MergeCOW(dst, src *Node) *Node {
+	if src == nil || src.kind == KindEmpty {
+		return dst
+	}
+	if dst == nil || dst.kind == KindEmpty {
+		return src
+	}
+	if src.kind != KindObject || dst.kind != KindObject {
+		// A leaf src overwrites whatever dst held; an object src merged onto
+		// a leaf dst drops the leaf value (Merge's re-shape-on-assignment
+		// semantics). Either way the result equals src, which can be shared.
+		return src
+	}
+	if len(dst.order) == 0 {
+		// Merging onto an empty object yields exactly src's contents.
+		return src
+	}
+	// dst's order is shared with its capacity pinned: appending a new name
+	// then reallocates instead of scribbling on the shared backing array.
+	// The new layer's delta holds only the children src touches — dst's own
+	// delta is layered behind it via the cowBase chain, never recopied.
+	out := &Node{
+		kind:     KindObject,
+		order:    dst.order[:len(dst.order):len(dst.order)],
+		cowBase:  dst,
+		children: make(map[string]*Node, len(src.order)),
+	}
+	for _, name := range src.order {
+		sc := src.lookup(name)
+		if existing := dst.lookup(name); existing != nil {
+			out.children[name] = MergeCOW(existing, sc)
+		} else {
+			out.children[name] = sc
+			out.order = append(out.order, name)
+		}
+	}
+	out.compact()
+	return out
 }
 
 // Walk visits every leaf in depth-first insertion order, calling fn with the
@@ -398,7 +545,7 @@ func (n *Node) walk(prefix string, fn func(string, *Node) bool) bool {
 		if prefix != "" {
 			p = prefix + "/" + name
 		}
-		if !n.children[name].walk(p, fn) {
+		if !n.lookup(name).walk(p, fn) {
 			return false
 		}
 	}
@@ -434,12 +581,12 @@ func (n *Node) Equal(other *Node) bool {
 	}
 	switch n.kind {
 	case KindObject:
-		if len(n.children) != len(other.children) {
+		if len(n.order) != len(other.order) {
 			return false
 		}
-		for name, c := range n.children {
-			oc, ok := other.children[name]
-			if !ok || !c.Equal(oc) {
+		for _, name := range n.order {
+			oc := other.lookup(name)
+			if oc == nil || !n.lookup(name).Equal(oc) {
 				return false
 			}
 		}
@@ -522,7 +669,7 @@ func (n *Node) format(sb *strings.Builder, depth int, name string) {
 			sb.WriteString("\n")
 		}
 		for _, cn := range n.order {
-			n.children[cn].format(sb, depth+1, cn)
+			n.lookup(cn).format(sb, depth+1, cn)
 		}
 	case KindEmpty:
 		sb.WriteString(" ~\n")

@@ -58,7 +58,7 @@ func (n *Node) selectWalk(prefix string, pattern []string, out *[]string) {
 		if prefix != "" {
 			p = prefix + "/" + name
 		}
-		n.children[name].selectWalk(p, pattern[1:], out)
+		n.lookup(name).selectWalk(p, pattern[1:], out)
 	}
 }
 

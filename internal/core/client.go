@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/mercury"
@@ -25,11 +26,12 @@ type Client struct {
 	// Errs receives asynchronous publish failures; nil unless async mode
 	// was enabled.
 	Errs chan error
-	// fireAndForget switches publishes to one-way notifications.
-	fireAndForget bool
+	// fireAndForget switches publishes to one-way notifications; atomic so
+	// the publish hot path never takes c.mu for it.
+	fireAndForget atomic.Bool
 
-	// Published counts successful publishes.
-	published int64
+	// published counts successful publishes.
+	published atomic.Int64
 }
 
 type publishReq struct {
@@ -113,37 +115,35 @@ func (c *Client) Publish(ns Namespace, n *conduit.Node) error {
 // per-iteration application instrumentation on hot paths. Composable with
 // EnableAsync (the background goroutine then sends notifications).
 func (c *Client) EnableFireAndForget() {
-	c.mu.Lock()
-	c.fireAndForget = true
-	c.mu.Unlock()
+	c.fireAndForget.Store(true)
 }
 
 func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
+	// Zero-copy envelope: the published tree is grafted under "data" by
+	// reference rather than deep-merged — callers handed it over at Publish
+	// and may not mutate it, so encoding can read it in place. The wire
+	// buffer is pooled; both transports finish with it before returning.
 	req := conduit.NewNode()
 	req.SetString("ns", string(ns))
-	req.Fetch("data").Merge(n)
-	c.mu.Lock()
-	oneway := c.fireAndForget
-	c.mu.Unlock()
+	req.Attach("data", n)
+	buf := conduit.GetEncodeBuffer()
+	*buf = req.AppendBinary(*buf)
 	var err error
-	if oneway {
-		err = c.ep.Notify(RPCPublish, req.EncodeBinary())
+	if c.fireAndForget.Load() {
+		err = c.ep.Notify(RPCPublish, *buf)
 	} else {
-		_, err = c.ep.Call(context.Background(), RPCPublish, req.EncodeBinary())
+		_, err = c.ep.Call(context.Background(), RPCPublish, *buf)
 	}
+	conduit.PutEncodeBuffer(buf)
 	if err == nil {
-		c.mu.Lock()
-		c.published++
-		c.mu.Unlock()
+		c.published.Add(1)
 	}
 	return err
 }
 
 // Published returns the number of successful publishes.
 func (c *Client) Published() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.published
+	return c.published.Load()
 }
 
 // Query fetches a deep copy of the merged subtree at path within ns.
@@ -182,6 +182,9 @@ func (c *Client) Stats() (map[Namespace]InstanceStats, error) {
 		st := InstanceStats{Namespace: Namespace(nsName)}
 		if v, ok := sub.Int("ranks"); ok {
 			st.Ranks = int(v)
+		}
+		if v, ok := sub.Int("stripes"); ok {
+			st.Stripes = int(v)
 		}
 		st.Publishes, _ = sub.Int("publishes")
 		st.Leaves, _ = sub.Int("leaves")

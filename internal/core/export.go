@@ -20,7 +20,8 @@ type Snapshot struct {
 }
 
 // Snapshot exports the service's current merged state. The returned trees
-// are deep copies. Snapshot works on a stopped service too — that is the
+// are immutable merge snapshots shared with the service — read them, don't
+// modify them. Snapshot works on a stopped service too — that is the
 // post-mortem path.
 func (s *Service) Snapshot() (*Snapshot, error) {
 	snap := &Snapshot{Namespaces: map[Namespace]*conduit.Node{}}

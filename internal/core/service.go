@@ -4,7 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/des"
@@ -15,14 +19,17 @@ import (
 type ServiceConfig struct {
 	// RanksPerNamespace is the number of service processes assigned to each
 	// namespace instance — the "SOMA Ranks Per Namespace" row of the
-	// paper's Tables 1 and 2. It scales each instance's modeled capacity;
-	// the Go implementation itself is concurrent regardless.
+	// paper's Tables 1 and 2. Each instance is sharded into that many lock
+	// stripes (capped at GOMAXPROCS), so more ranks means more concurrent
+	// publish capacity, exactly the knob the Scaling experiments turn.
 	RanksPerNamespace int
-	// Shared collapses all namespaces into a single instance with one lock
-	// (the ablation baseline for the per-namespace instance split).
+	// Shared collapses all namespaces into a single instance (the ablation
+	// baseline for the per-namespace instance split): all four namespaces
+	// then contend for one instance's stripes instead of each owning its
+	// own set.
 	Shared bool
-	// MaxRecords bounds each instance's publish history ring; 0 means the
-	// default (65536).
+	// MaxRecords bounds each instance's publish history ring, split evenly
+	// across its stripes; 0 means the default (65536).
 	MaxRecords int
 	// Clock stamps arrivals; defaults to a real clock.
 	Clock des.Clock
@@ -40,23 +47,45 @@ func (c *ServiceConfig) defaults() {
 	}
 }
 
+// stripeCount maps configured ranks onto lock stripes: one stripe per rank,
+// capped at GOMAXPROCS (more stripes than runnable threads only adds
+// footprint, not parallelism).
+func stripeCount(ranks int) int {
+	n := ranks
+	if maxp := runtime.GOMAXPROCS(0); n > maxp {
+		n = maxp
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // InstanceStats summarizes one namespace instance's activity.
 type InstanceStats struct {
 	Namespace Namespace
 	Ranks     int
+	Stripes   int
 	Publishes int64
-	Leaves    int64 // leaves currently in the merged tree
+	Leaves    int64 // leaves currently in the merged snapshot
 	BytesIn   int64
 	LastTime  float64
 }
 
-// instance is the storage and aggregation unit for one namespace.
-type instance struct {
-	ns    Namespace
-	ranks int
+// record is one raw publish as stored in a stripe's history ring. seq gives
+// the global arrival order within the instance (ring entries from different
+// stripes are re-interleaved by seq when history is read).
+type record struct {
+	time float64
+	seq  uint64
+	node *conduit.Node
+}
 
-	mu      sync.RWMutex
-	merged  *conduit.Node
+// stripe is one lock-striped shard of an instance: a publish appends here in
+// O(1) and never touches the merged tree.
+type stripe struct {
+	mu      sync.Mutex
+	pending []record // publishes not yet folded into the snapshot
 	history []record // ring buffer of raw publishes
 	head    int
 	count   int
@@ -65,69 +94,187 @@ type instance struct {
 	last    float64
 }
 
-type record struct {
-	time float64
-	node *conduit.Node
+// snapshot is an immutable, generation-stamped merged view of everything
+// published into an instance. Readers share it without copying; it is
+// replaced wholesale (copy-on-read) when stale.
+type snapshot struct {
+	gen  uint64
+	tree *conduit.Node
 }
 
-func newInstance(ns Namespace, ranks, maxRecords int) *instance {
-	return &instance{
-		ns:      ns,
-		ranks:   ranks,
-		merged:  conduit.NewNode(),
-		history: make([]record, maxRecords),
+// instance is the storage and aggregation unit for one namespace. Publishes
+// fan out across stripes; Query/Select/Stats read through a lazily rebuilt
+// merge snapshot.
+type instance struct {
+	ns      Namespace
+	ranks   int
+	stripes []*stripe
+
+	// rr round-robins publishes across stripes; seq stamps global arrival
+	// order; gen counts state changes (publishes and resets) and is bumped
+	// only after the change is visible in a stripe, so a snapshot stamped
+	// with gen G contains every change counted by G.
+	rr  atomic.Uint64
+	seq atomic.Uint64
+	gen atomic.Uint64
+
+	snap atomic.Pointer[snapshot]
+	// rebuildMu serializes snapshot rebuilds and resets; publishes never
+	// take it.
+	rebuildMu sync.Mutex
+}
+
+var emptySnapshot = snapshot{tree: conduit.NewNode()}
+
+func newInstance(ns Namespace, ranks, maxRecords, stripes int) *instance {
+	in := &instance{ns: ns, ranks: ranks, stripes: make([]*stripe, stripes)}
+	per := maxRecords / stripes
+	if per < 1 {
+		per = 1
 	}
+	for i := range in.stripes {
+		in.stripes[i] = &stripe{history: make([]record, per)}
+	}
+	in.snap.Store(&emptySnapshot)
+	return in
 }
 
+// publish is the O(1) ingest hot path: pick a stripe, append to its pending
+// batch and history ring under the stripe's lock, bump the generation. No
+// tree is merged here; merging is deferred to the next snapshot rebuild.
 func (in *instance) publish(now float64, n *conduit.Node, rawBytes int) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.merged.Merge(n)
-	in.history[in.head] = record{time: now, node: n}
-	in.head = (in.head + 1) % len(in.history)
-	if in.count < len(in.history) {
-		in.count++
+	seq := in.seq.Add(1)
+	st := in.stripes[int(in.rr.Add(1))%len(in.stripes)]
+	st.mu.Lock()
+	st.pending = append(st.pending, record{time: now, seq: seq, node: n})
+	st.history[st.head] = record{time: now, seq: seq, node: n}
+	st.head = (st.head + 1) % len(st.history)
+	if st.count < len(st.history) {
+		st.count++
 	}
-	in.pubs++
-	in.bytesIn += int64(rawBytes)
-	in.last = now
+	st.pubs++
+	st.bytesIn += int64(rawBytes)
+	st.last = now
+	st.mu.Unlock()
+	in.gen.Add(1)
 }
 
+// snapshotTree returns the instance's merged tree, rebuilding it
+// copy-on-read only when publishes (or a reset) have landed since the
+// cached generation. The returned tree is immutable and shared: repeated
+// queries against an unchanged instance cost two atomic loads.
+func (in *instance) snapshotTree() *conduit.Node {
+	s := in.snap.Load()
+	if s.gen == in.gen.Load() {
+		return s.tree
+	}
+	in.rebuildMu.Lock()
+	defer in.rebuildMu.Unlock()
+	// Capture the generation before draining: every change counted by g is
+	// already appended to a stripe, so the rebuilt tree contains it.
+	// Changes landing during the drain may also be folded in; they only
+	// cause one spurious (empty) rebuild later.
+	g := in.gen.Load()
+	s = in.snap.Load()
+	if s.gen == g {
+		return s.tree
+	}
+	var pend []record
+	for _, st := range in.stripes {
+		st.mu.Lock()
+		if len(st.pending) > 0 {
+			pend = append(pend, st.pending...)
+			st.pending = nil
+		}
+		st.mu.Unlock()
+	}
+	// Merge in global arrival order so last-writer-wins semantics on
+	// colliding leaf paths match the pre-sharded single-lock behaviour.
+	sort.Slice(pend, func(i, j int) bool { return pend[i].seq < pend[j].seq })
+	// Fold the batch into one small delta first, then graft it onto the
+	// snapshot with a single copy-on-write pass: the snapshot's wide
+	// fan-out nodes are copied once per rebuild, not once per publish.
+	var batch *conduit.Node
+	for _, r := range pend {
+		batch = conduit.MergeCOW(batch, r.node)
+	}
+	tree := conduit.MergeCOW(s.tree, batch)
+	in.snap.Store(&snapshot{gen: g, tree: tree})
+	return tree
+}
+
+// query returns the merged subtree at path. The result is part of the
+// immutable snapshot — shared, not cloned; callers must not modify it.
 func (in *instance) query(path string) *conduit.Node {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	sub, ok := in.merged.Get(path)
+	sub, ok := in.snapshotTree().Get(path)
 	if !ok {
 		return conduit.NewNode()
 	}
-	return sub.Clone()
+	return sub
 }
 
 func (in *instance) stats() InstanceStats {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	return InstanceStats{
+	out := InstanceStats{
 		Namespace: in.ns,
 		Ranks:     in.ranks,
-		Publishes: in.pubs,
-		Leaves:    int64(in.merged.NumLeaves()),
-		BytesIn:   in.bytesIn,
-		LastTime:  in.last,
+		Stripes:   len(in.stripes),
+		Leaves:    int64(in.snapshotTree().NumLeaves()),
 	}
-}
-
-// historySince returns raw publishes with time > after, oldest first.
-func (in *instance) historySince(after float64) []*conduit.Node {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	var out []*conduit.Node
-	for i := 0; i < in.count; i++ {
-		idx := (in.head - in.count + i + len(in.history)) % len(in.history)
-		if in.history[idx].time > after {
-			out = append(out, in.history[idx].node)
+	for _, st := range in.stripes {
+		st.mu.Lock()
+		out.Publishes += st.pubs
+		out.BytesIn += st.bytesIn
+		if st.last > out.LastTime {
+			out.LastTime = st.last
 		}
+		st.mu.Unlock()
 	}
 	return out
+}
+
+// historySince returns raw publishes with time > after in arrival order,
+// re-interleaving the per-stripe rings by sequence number.
+func (in *instance) historySince(after float64) ([]*conduit.Node, []float64) {
+	var recs []record
+	for _, st := range in.stripes {
+		st.mu.Lock()
+		for i := 0; i < st.count; i++ {
+			idx := (st.head - st.count + i + len(st.history)) % len(st.history)
+			if st.history[idx].time > after {
+				recs = append(recs, st.history[idx])
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	nodes := make([]*conduit.Node, len(recs))
+	times := make([]float64, len(recs))
+	for i, r := range recs {
+		nodes[i] = r.node
+		times[i] = r.time
+	}
+	return nodes, times
+}
+
+// reset discards merged state, pending batches and history, keeping the
+// publish counters.
+func (in *instance) reset() {
+	in.rebuildMu.Lock()
+	// Capture the generation before clearing: a publish overlapping the
+	// reset bumps gen past g, so the next read rebuilds and picks it up
+	// instead of leaving it stranded in a pending batch.
+	g := in.gen.Add(1)
+	for _, st := range in.stripes {
+		st.mu.Lock()
+		st.pending = nil
+		for i := range st.history {
+			st.history[i] = record{}
+		}
+		st.head, st.count = 0, 0
+		st.mu.Unlock()
+	}
+	in.snap.Store(&snapshot{gen: g, tree: conduit.NewNode()})
+	in.rebuildMu.Unlock()
 }
 
 // Service is the SOMA service task: N service processes split across one
@@ -156,7 +303,10 @@ const (
 var ErrServiceStopped = errors.New("soma: service stopped")
 
 // NewService builds a service with one instance per namespace (or one
-// shared instance when cfg.Shared).
+// shared instance when cfg.Shared). Per-namespace mode gets
+// 4×stripeCount(ranks) publish locks in total; shared mode gets
+// stripeCount(ranks) locks contended by all four namespaces — the ablation
+// gap of the paper's Tables 1–2, expressed as a stripe-count difference.
 func NewService(cfg ServiceConfig) *Service {
 	cfg.defaults()
 	s := &Service{
@@ -164,14 +314,15 @@ func NewService(cfg ServiceConfig) *Service {
 		engine:    mercury.NewEngine(),
 		instances: map[Namespace]*instance{},
 	}
+	stripes := stripeCount(cfg.RanksPerNamespace)
 	if cfg.Shared {
-		shared := newInstance("shared", cfg.RanksPerNamespace*len(Namespaces), cfg.MaxRecords)
+		shared := newInstance("shared", cfg.RanksPerNamespace*len(Namespaces), cfg.MaxRecords, stripes)
 		for _, ns := range Namespaces {
 			s.instances[ns] = shared
 		}
 	} else {
 		for _, ns := range Namespaces {
-			s.instances[ns] = newInstance(ns, cfg.RanksPerNamespace, cfg.MaxRecords)
+			s.instances[ns] = newInstance(ns, cfg.RanksPerNamespace, cfg.MaxRecords, stripes)
 		}
 	}
 	s.engine.Register(RPCPublish, s.handlePublish)
@@ -233,6 +384,8 @@ func (s *Service) instanceFor(ns Namespace) (*instance, error) {
 // Publish ingests a tree into a namespace directly (the local call path of
 // the client stub; also what the in-proc simulated experiments use after
 // RPC framing). rawBytes is the wire size for accounting (0 for local).
+// The tree is retained by reference: callers hand it over and must not
+// mutate it afterwards.
 func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
 	if s.Stopped() {
 		return ErrServiceStopped
@@ -245,7 +398,9 @@ func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
 	return nil
 }
 
-// Query returns a deep copy of the merged subtree at path within ns.
+// Query returns the merged subtree at path within ns. The result is a
+// shared, immutable snapshot — callers must not modify it. Repeated queries
+// between publishes return the same tree with no copying.
 func (s *Service) Query(ns Namespace, path string) (*conduit.Node, error) {
 	if s.Stopped() {
 		return nil, ErrServiceStopped
@@ -260,11 +415,15 @@ func (s *Service) Query(ns Namespace, path string) (*conduit.Node, error) {
 // History returns the raw publishes into ns newer than the given service
 // timestamp, oldest first.
 func (s *Service) History(ns Namespace, after float64) ([]*conduit.Node, error) {
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
 	in, err := s.instanceFor(ns)
 	if err != nil {
 		return nil, err
 	}
-	return in.historySince(after), nil
+	nodes, _ := in.historySince(after)
+	return nodes, nil
 }
 
 // Select returns the leaf paths in ns matching a '/'-separated glob
@@ -279,12 +438,11 @@ func (s *Service) Select(ns Namespace, pattern string) (paths []string, values m
 	if err != nil {
 		return nil, nil, err
 	}
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	paths = in.merged.Select(pattern)
+	tree := in.snapshotTree()
+	paths = tree.Select(pattern)
 	values = map[string]float64{}
 	for _, p := range paths {
-		if v, ok := in.merged.Float(p); ok {
+		if v, ok := tree.Float(p); ok {
 			values[p] = v
 		}
 	}
@@ -302,13 +460,7 @@ func (s *Service) ResetNamespace(ns Namespace) error {
 	if err != nil {
 		return err
 	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.merged = conduit.NewNode()
-	for i := range in.history {
-		in.history[i] = record{}
-	}
-	in.head, in.count = 0, 0
+	in.reset()
 	return nil
 }
 
@@ -333,6 +485,10 @@ func (s *Service) Stats() []InstanceStats {
 //	query   req : {ns: string, path: string}  → resp: {data: <tree>}
 //	stats   req : {}                          → resp: {<ns>/{publishes,leaves,...}}
 //	shutdown    : {}                          → resp: {}
+
+// okFrame is the constant empty-tree response frame shared by ack-only
+// handlers; responses are never mutated by callers.
+var okFrame = conduit.NewNode().EncodeBinary()
 
 func envelopeNS(req *conduit.Node) (Namespace, error) {
 	nsStr, ok := req.StringVal("ns")
@@ -362,7 +518,7 @@ func (s *Service) handlePublish(_ context.Context, payload []byte) ([]byte, erro
 	if err := s.Publish(ns, data, len(payload)); err != nil {
 		return nil, err
 	}
-	return conduit.NewNode().EncodeBinary(), nil
+	return okFrame, nil
 }
 
 func (s *Service) handleQuery(_ context.Context, payload []byte) ([]byte, error) {
@@ -379,8 +535,10 @@ func (s *Service) handleQuery(_ context.Context, payload []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	// Attach the immutable snapshot subtree instead of deep-merging it into
+	// the envelope: encoding only reads the tree.
 	resp := conduit.NewNode()
-	resp.Fetch("data").Merge(sub)
+	resp.Attach("data", sub)
 	return resp.EncodeBinary(), nil
 }
 
@@ -389,6 +547,7 @@ func (s *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
 	for _, st := range s.Stats() {
 		base := string(st.Namespace)
 		resp.SetInt(base+"/ranks", int64(st.Ranks))
+		resp.SetInt(base+"/stripes", int64(st.Stripes))
 		resp.SetInt(base+"/publishes", st.Publishes)
 		resp.SetInt(base+"/leaves", st.Leaves)
 		resp.SetInt(base+"/bytes_in", st.BytesIn)
@@ -401,7 +560,19 @@ func (s *Service) handleShutdown(_ context.Context, _ []byte) ([]byte, error) {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
-	return conduit.NewNode().EncodeBinary(), nil
+	return okFrame, nil
+}
+
+// appendMatchKey builds "matches/NNNNNN" without fmt: the select response
+// envelope is on the analysis hot path.
+func appendMatchKey(dst []byte, i int) []byte {
+	dst = append(dst, "matches/"...)
+	var tmp [20]byte
+	num := strconv.AppendInt(tmp[:0], int64(i), 10)
+	for pad := 6 - len(num); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, num...)
 }
 
 func (s *Service) handleSelect(_ context.Context, payload []byte) ([]byte, error) {
@@ -419,8 +590,9 @@ func (s *Service) handleSelect(_ context.Context, payload []byte) ([]byte, error
 		return nil, err
 	}
 	resp := conduit.NewNode()
+	var keyBuf [32]byte
 	for i, p := range paths {
-		base := fmt.Sprintf("matches/%06d", i)
+		base := string(appendMatchKey(keyBuf[:0], i))
 		resp.SetString(base+"/path", p)
 		if v, ok := values[p]; ok {
 			resp.SetFloat(base+"/value", v)
@@ -441,5 +613,5 @@ func (s *Service) handleReset(_ context.Context, payload []byte) ([]byte, error)
 	if err := s.ResetNamespace(ns); err != nil {
 		return nil, err
 	}
-	return conduit.NewNode().EncodeBinary(), nil
+	return okFrame, nil
 }

@@ -577,3 +577,86 @@ func TestAsyncCloseImmediatelyNoDeadlock(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentPublishQueryReset interleaves publishers, queriers, and
+// periodic namespace resets on ONE namespace — the snapshot-generation logic
+// has to stay coherent while publishes race a reset (run under -race). The
+// invariants checked: no error/deadlock/panic during the storm, and a fresh
+// publish after quiescing is immediately visible through Query.
+func TestConcurrentPublishQueryReset(t *testing.T) {
+	svc, _ := newTestService(t, ServiceConfig{RanksPerNamespace: 4})
+
+	const (
+		publishers = 4
+		rounds     = 200
+	)
+	var pubWG, resetWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			host := fmt.Sprintf("cn%04d", p)
+			for i := 0; i < rounds; i++ {
+				n := conduit.NewNode()
+				n.SetFloat(fmt.Sprintf("PROC/%s/%d.0/CPU Util", host, i), float64(i))
+				if err := svc.Publish(NSHardware, n, 64); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%7 == 0 {
+					sub, err := svc.Query(NSHardware, "PROC/"+host)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// The subtree is a shared immutable snapshot; walking it
+					// must be safe while publishes and resets race on.
+					sub.NumLeaves()
+				}
+			}
+		}(p)
+	}
+
+	resetWG.Add(1)
+	go func() {
+		defer resetWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := svc.ResetNamespace(NSHardware); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	pubWG.Wait()
+	close(stop)
+	resetWG.Wait()
+
+	// Post-quiesce: a fresh publish must be immediately visible (the snapshot
+	// generation catches up past all the resets).
+	final := conduit.NewNode()
+	final.SetFloat("PROC/final/1.0/CPU Util", 42)
+	if err := svc.Publish(NSHardware, final, 64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Query(NSHardware, "PROC/final/1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Float("CPU Util"); !ok || v != 42 {
+		t.Fatalf("post-reset publish not visible: %s", got.Format())
+	}
+	for _, st := range svc.Stats() {
+		if st.Namespace == NSHardware && st.Publishes == 0 {
+			t.Fatal("publish counters lost")
+		}
+	}
+}

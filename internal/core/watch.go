@@ -95,22 +95,14 @@ func (w *Watcher) Run(intervalSec float64, fn func(*conduit.Node)) (stop func(),
 }
 
 // historyWithTimes is the service-internal form of History that also
-// returns each record's ingest timestamp, for cursor advancement.
+// returns each record's ingest timestamp, for cursor advancement. Unlike
+// History it still answers on a stopped service, so watchers can drain the
+// tail after shutdown.
 func (s *Service) historyWithTimes(ns Namespace, after float64) ([]*conduit.Node, []float64, error) {
 	in, err := s.instanceFor(ns)
 	if err != nil {
 		return nil, nil, err
 	}
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	var nodes []*conduit.Node
-	var times []float64
-	for i := 0; i < in.count; i++ {
-		idx := (in.head - in.count + i + len(in.history)) % len(in.history)
-		if in.history[idx].time > after {
-			nodes = append(nodes, in.history[idx].node)
-			times = append(times, in.history[idx].time)
-		}
-	}
+	nodes, times := in.historySince(after)
 	return nodes, times, nil
 }

@@ -105,7 +105,12 @@ func EveryRT(rt Runtime, period float64, fn func() bool) (stop func()) {
 		}
 		mu.Unlock()
 	}
+	// The first arm must hold mu too: with a short period in real mode the
+	// timer can fire and re-arm (writing cancel under mu in tick) before
+	// this assignment lands.
+	mu.Lock()
 	cancel = rt.AfterFunc(period, tick)
+	mu.Unlock()
 	return func() {
 		mu.Lock()
 		stopped = true

@@ -29,9 +29,35 @@ import (
 	"sync/atomic"
 )
 
-// Handler processes one RPC. The input slice is owned by the handler; the
-// returned slice is copied to the wire.
+// Handler processes one RPC. The input slice is only valid for the duration
+// of the call — the transport recycles frame buffers, so handlers must copy
+// any bytes they retain. The returned slice is copied to the wire.
 type Handler func(ctx context.Context, input []byte) ([]byte, error)
+
+// framePool recycles request/response frame buffers on the TCP read/write
+// loops. Buffers above maxPooledFrame are left to the GC so one jumbo frame
+// does not pin memory.
+var framePool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const maxPooledFrame = 1 << 16
+
+func getFrame(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putFrame(bp *[]byte) {
+	if cap(*bp) <= maxPooledFrame {
+		framePool.Put(bp)
+	}
+}
 
 // Errors returned by the engine and endpoints.
 var (
@@ -343,7 +369,8 @@ func (ep *Endpoint) Notify(name string, input []byte) error {
 	if closed {
 		return ErrClosed
 	}
-	frame := make([]byte, 0, 4+total)
+	bp := getFrame(0)
+	frame := (*bp)[:0]
 	var hdr [14]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
 	// Request id 0 is reserved for notifications: no pending entry exists,
@@ -356,6 +383,8 @@ func (ep *Endpoint) Notify(name string, input []byte) error {
 	ep.writeMu.Lock()
 	_, err := ep.conn.Write(frame)
 	ep.writeMu.Unlock()
+	*bp = frame
+	putFrame(bp)
 	return err
 }
 
@@ -404,11 +433,12 @@ func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]b
 		ep.pending.Unlock()
 	}()
 
-	frame := make([]byte, 0, 4+8+2+len(name)+len(input))
 	total := 8 + 2 + len(name) + len(input)
 	if total > MaxFrame {
 		return nil, ErrFrameTooBig
 	}
+	bp := getFrame(0)
+	frame := (*bp)[:0]
 	var hdr [14]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
@@ -420,6 +450,8 @@ func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]b
 	ep.writeMu.Lock()
 	_, err := ep.conn.Write(frame)
 	ep.writeMu.Unlock()
+	*bp = frame
+	putFrame(bp)
 	if err != nil {
 		return nil, err
 	}
@@ -508,25 +540,31 @@ func (e *Engine) serveConn(conn net.Conn) {
 		if total < 10 || total > MaxFrame {
 			return
 		}
-		body := make([]byte, total)
+		bodyBP := getFrame(int(total))
+		body := *bodyBP
 		if _, err := io.ReadFull(br, body); err != nil {
+			putFrame(bodyBP)
 			return
 		}
 		id := binary.LittleEndian.Uint64(body[0:8])
 		nameLen := int(binary.LittleEndian.Uint16(body[8:10]))
 		if 10+nameLen > len(body) {
+			putFrame(bodyBP)
 			return
 		}
 		name := string(body[10 : 10+nameLen])
 		payload := body[10+nameLen:]
 
 		// Each request runs in its own goroutine so a slow handler does not
-		// stall the connection — Mercury's progress model.
+		// stall the connection — Mercury's progress model. The request body
+		// goes back to the frame pool once the handler returns (handlers may
+		// not retain their input, see Handler).
 		handlerWG.Add(1)
 		go func() {
 			defer handlerWG.Done()
 			status := byte(statusOK)
 			out, err := e.dispatch(context.Background(), name, payload)
+			putFrame(bodyBP)
 			if err != nil {
 				if errors.Is(err, ErrUnknownRPC) {
 					status = statusUnknown
@@ -536,7 +574,8 @@ func (e *Engine) serveConn(conn net.Conn) {
 					out = []byte(err.Error())
 				}
 			}
-			resp := make([]byte, 0, 4+8+1+len(out))
+			respBP := getFrame(0)
+			resp := (*respBP)[:0]
 			var hdr [13]byte
 			binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+len(out)))
 			binary.LittleEndian.PutUint64(hdr[4:12], id)
@@ -546,6 +585,8 @@ func (e *Engine) serveConn(conn net.Conn) {
 			writeMu.Lock()
 			_, _ = conn.Write(resp)
 			writeMu.Unlock()
+			*respBP = resp
+			putFrame(respBP)
 		}()
 	}
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# benchdiff.sh — guard the publish ingest hot path against regressions.
+#
+# Runs BenchmarkPublishIngest several times, takes the median ns/op, and
+# compares it against the committed reference in scripts/bench_baseline.json.
+# The check fails when the median exceeds baseline * allowed_regression.
+#
+# The baseline is machine-specific: absolute ns/op numbers move between
+# hosts, so the allowed_regression factor is generous and the baseline
+# should be refreshed (./scripts/benchdiff.sh --update) when benchmarking
+# on a new reference machine or after an intentional perf change.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=scripts/bench_baseline.json
+bench=BenchmarkPublishIngest
+count=${BENCH_COUNT:-5}
+
+median=$(go test ./internal/core/ -run '^$' -bench "${bench}\$" -count "$count" |
+	awk -v b="$bench" '$1 ~ "^"b {print $3}' | sort -n |
+	awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}')
+
+if [ -z "$median" ]; then
+	echo "benchdiff: no samples collected for $bench" >&2
+	exit 1
+fi
+
+if [ "${1:-}" = "--update" ]; then
+	pre=$(awk -F'[:,]' '/"pre_change_ns_per_op"/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline" 2>/dev/null || true)
+	cat >"$baseline" <<EOF
+{
+  "benchmark": "$bench",
+  "ns_per_op": $median,
+  "allowed_regression": 1.5,
+  "pre_change_ns_per_op": ${pre:-0},
+  "recorded": "$(date -u +%Y-%m-%d)"
+}
+EOF
+	echo "benchdiff: baseline updated to $median ns/op"
+	exit 0
+fi
+
+base=$(awk -F'[:,]' '/"ns_per_op"/ && !/pre_change/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline")
+factor=$(awk -F'[:,]' '/"allowed_regression"/ {gsub(/[^0-9.]/,"",$2); print $2}' "$baseline")
+pre=$(awk -F'[:,]' '/"pre_change_ns_per_op"/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline")
+
+limit=$(awk -v b="$base" -v f="$factor" 'BEGIN {printf "%.0f", b*f}')
+echo "benchdiff: $bench median ${median} ns/op (baseline ${base}, limit ${limit})"
+if [ -n "$pre" ] && [ "$pre" -gt 0 ]; then
+	awk -v p="$pre" -v m="$median" 'BEGIN {printf "benchdiff: %.2fx over the pre-sharding ingest pipeline (%d ns/op)\n", p/m, p}'
+fi
+
+if [ "$median" -gt "$limit" ]; then
+	echo "benchdiff: FAIL — median ${median} ns/op exceeds limit ${limit} ns/op" >&2
+	exit 1
+fi
+echo "benchdiff: OK"
