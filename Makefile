@@ -1,11 +1,13 @@
 # Build/verify entry points. `make verify` is the tier-1 gate (see
 # ROADMAP.md); `make bench` + `make benchdiff` guard the ingest hot path
-# against regressions (scripts/bench_baseline.json holds the reference).
+# against regressions (scripts/bench_baseline.json holds the reference), and
+# `make telemetry-overhead` checks that span tracing stays within its 5%
+# budget on the same hot path.
 
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race bench benchdiff verify
+.PHONY: build test vet race bench benchdiff telemetry-overhead verify
 
 build:
 	$(GO) build ./...
@@ -28,3 +30,6 @@ bench:
 
 benchdiff:
 	scripts/benchdiff.sh
+
+telemetry-overhead:
+	scripts/benchdiff.sh --telemetry

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	somactl -addr tcp://127.0.0.1:9900 stats
+//	somactl -addr ... telemetry
 //	somactl -addr ... query workflow RP/summary
 //	somactl -addr ... publish application 'FOM/task.000001/rate/12.5' 1.82e9
 //	somactl -addr ... shutdown
@@ -25,6 +26,9 @@ func usage() {
 
 commands:
   stats                           per-instance statistics
+  telemetry [-spans N]            service self-telemetry (latency percentiles,
+                                  gauges, counters, recent spans; N = span
+                                  rows, default 20, 0 = all)
   query <namespace> [path]        print the merged subtree
   select <namespace> <pattern>    glob over leaf paths (* = segment, ** = tail)
   publish <namespace> <path> <v>  publish one float leaf at path
@@ -68,6 +72,22 @@ func main() {
 			fmt.Printf("%-12s ranks=%d stripes=%d publishes=%d leaves=%d bytes_in=%d\n",
 				"shared", st.Ranks, st.Stripes, st.Publishes, st.Leaves, st.BytesIn)
 		}
+	case "telemetry":
+		spanRows := 20
+		if len(args) == 3 && args[1] == "-spans" {
+			spanRows, err = strconv.Atoi(args[2])
+			if err != nil {
+				fatal(fmt.Errorf("span count %q: %w", args[2], err))
+			}
+		} else if len(args) != 1 {
+			usage()
+		}
+		snap, err := client.Telemetry()
+		if err != nil {
+			fatal(err)
+		}
+		core.RenderTelemetry(os.Stdout, snap)
+		core.RenderSpans(os.Stdout, snap.Spans, spanRows)
 	case "query":
 		if len(args) < 2 {
 			usage()

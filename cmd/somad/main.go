@@ -6,6 +6,7 @@
 // Usage:
 //
 //	somad -listen tcp://0.0.0.0:9900 -ranks 4
+//	somad -listen ... -metrics :9091   # also serve /metrics (Prometheus text)
 //
 // The concrete address is printed on stdout (the service "makes its RPC
 // address publicly known within the workflow"); the process exits when a
@@ -16,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 	shared := flag.Bool("shared", false, "use one shared instance instead of one per namespace")
 	statsEvery := flag.Duration("stats-every", 0, "periodically log instance statistics (0 = off)")
 	dump := flag.String("dump", "", "write a JSON snapshot of all namespaces to this file on shutdown (post-mortem analysis)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-style text metrics at http://<addr>/metrics (e.g. :9091; empty = off)")
 	flag.Parse()
 
 	svc := core.NewService(core.ServiceConfig{
@@ -42,6 +46,22 @@ func main() {
 	}
 	fmt.Println(addr) // the published RPC address
 	log.Printf("somad: serving %d rank(s) per namespace at %s", *ranks, addr)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			telemetry.Default().WriteText(w)
+		})
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("somad: metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		log.Printf("somad: metrics at http://%s/metrics", *metricsAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -1,19 +1,26 @@
 // Command somatop is a live terminal view of a running SOMA service: it
 // polls the service at an interval and renders the workflow summary, task
-// throughput, per-node CPU utilization, and per-instance service counters —
+// throughput, per-node CPU utilization, per-instance service counters, and
+// the service's self-telemetry (RPC latency percentiles, queue depths) —
 // the operator's window into a monitored workflow.
+//
+// Transient query failures are warned about and retried on the next tick;
+// somatop only exits on SIGINT/SIGTERM (or after one snapshot with -once).
 //
 // Usage:
 //
 //	somatop -addr tcp://127.0.0.1:9900 -interval 1s
 //	somatop -addr ... -once                # single snapshot, no loop
+//	somatop -addr ... -telemetry=false     # hide the telemetry panel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/hpcobs/gosoma/internal/core"
@@ -23,78 +30,89 @@ func main() {
 	addr := flag.String("addr", "", "service address (tcp://host:port)")
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	once := flag.Bool("once", false, "print one snapshot and exit")
+	showTel := flag.Bool("telemetry", true, "show the service self-telemetry panel")
 	flag.Parse()
 	if *addr == "" {
-		fmt.Fprintln(os.Stderr, "usage: somatop -addr tcp://host:port [-interval 2s] [-once]")
+		fmt.Fprintln(os.Stderr, "usage: somatop -addr tcp://host:port [-interval 2s] [-once] [-telemetry=false]")
 		os.Exit(2)
 	}
 
-	client, err := core.Connect(*addr, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "somatop:", err)
-		os.Exit(1)
-	}
-	defer client.Close()
-	analysis := core.Analysis{Q: client}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
+	// The client is (re)established lazily: somatop may start before the
+	// service does, and a TCP endpoint does not survive a service restart,
+	// so every failure drops the connection and the next tick redials.
+	var client *core.Client
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+
+	failures := 0
 	for {
 		var sb strings.Builder
-		render(&sb, *addr, client, analysis)
-		if !*once {
-			// Clear screen between refreshes.
-			fmt.Print("\033[H\033[2J")
+		err := func() error {
+			if client == nil {
+				c, err := core.Connect(*addr, nil)
+				if err != nil {
+					return err
+				}
+				client = c
+			}
+			return refresh(&sb, *addr, client, core.Analysis{Q: client}, *showTel)
+		}()
+		if err != nil {
+			// Transient failures (service not up yet, restarting, network
+			// blip): warn and retry on the next tick rather than dying.
+			if client != nil {
+				client.Close()
+				client = nil
+			}
+			failures++
+			fmt.Fprintf(os.Stderr, "somatop: refresh failed (%d in a row): %v — retrying in %s\n",
+				failures, err, *interval)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			failures = 0
+			if !*once {
+				// Clear screen between refreshes.
+				fmt.Print("\033[H\033[2J")
+			}
+			fmt.Print(sb.String())
+			if *once {
+				return
+			}
 		}
-		fmt.Print(sb.String())
-		if *once {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "somatop: %s, exiting\n", sig)
 			return
+		case <-time.After(*interval):
 		}
-		time.Sleep(*interval)
 	}
 }
 
-func render(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis) {
+// refresh renders one full frame. An error means the service could not be
+// reached at all this tick; partial analysis failures degrade to omitted
+// panels inside core.RenderSummary.
+func refresh(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis, showTel bool) error {
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(sb, "SOMA %s — %s\n\n", addr, time.Now().Format(time.TimeOnly))
-
-	if series, err := analysis.WorkflowSeries(); err == nil && len(series) > 0 {
-		last := series[len(series)-1]
-		fmt.Fprintf(sb, "workflow   pending=%d running=%d done=%d failed=%d canceled=%d (%d snapshots)\n",
-			last.Pending, last.Running, last.Done, last.Failed, last.Canceled, len(series))
-		if tp, err := analysis.Throughput(); err == nil && tp > 0 {
-			fmt.Fprintf(sb, "throughput %.3f tasks/s\n", tp)
+	core.RenderSummary(sb, analysis, stats)
+	if showTel {
+		snap, err := client.Telemetry()
+		if err != nil {
+			return err
 		}
-		if qw, err := analysis.QueueWaitStats(); err == nil && qw.N > 0 {
-			fmt.Fprintf(sb, "queue wait mean=%.1fs max=%.1fs (n=%d)\n", qw.Mean, qw.Max, qw.N)
-		}
-	} else {
-		fmt.Fprintln(sb, "workflow   (no data)")
+		sb.WriteString("\n")
+		core.RenderTelemetry(sb, snap)
 	}
-
-	if hosts, err := analysis.Hosts(); err == nil && len(hosts) > 0 {
-		fmt.Fprintf(sb, "\nhardware   %d node(s):\n", len(hosts))
-		shown := hosts
-		if len(shown) > 12 {
-			shown = shown[:12]
-		}
-		for _, h := range shown {
-			if series, err := analysis.CPUUtilSeries(h); err == nil && len(series) > 0 {
-				last := series[len(series)-1]
-				bar := int(last.Util / 100 * 30)
-				fmt.Fprintf(sb, "  %-10s [%-30s] %5.1f%%\n",
-					h, strings.Repeat("|", bar), last.Util)
-			}
-		}
-		if len(hosts) > len(shown) {
-			fmt.Fprintf(sb, "  ... and %d more\n", len(hosts)-len(shown))
-		}
-	}
-
-	if stats, err := client.Stats(); err == nil {
-		fmt.Fprintln(sb, "\nservice instances:")
-		for _, ns := range core.Namespaces {
-			if st, ok := stats[ns]; ok {
-				fmt.Fprintf(sb, "  %-12s ranks=%-3d stripes=%-2d publishes=%-8d leaves=%-9d bytes_in=%d\n",
-					ns, st.Ranks, st.Stripes, st.Publishes, st.Leaves, st.BytesIn)
-			}
-		}
-	}
+	return nil
 }

@@ -118,6 +118,9 @@ func TestRealTimeEndToEndOverTCP(t *testing.T) {
 	}
 	stopRP()
 	stopHW()
+	// The client is async: the monitors' shutdown collections are queued to
+	// a background sender, so flush before querying what they published.
+	client.Flush()
 
 	// Everything must be observable through the RPC analysis layer.
 	analysis := core.Analysis{Q: client}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/mercury"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
 // Client is the SOMA client stub (paper §2.2.1): it exposes the monitoring
@@ -37,6 +38,9 @@ type Client struct {
 type publishReq struct {
 	ns   Namespace
 	node *conduit.Node
+	// flushed marks a Flush sentinel: the worker closes it instead of
+	// publishing, proving every earlier enqueued publish has been sent.
+	flushed chan struct{}
 }
 
 // Connect resolves the service address ("inproc://..." or "tcp://...") into
@@ -81,6 +85,10 @@ func (c *Client) EnableAsync(depth int) {
 	go func() {
 		defer c.wg.Done()
 		for req := range ch {
+			if req.flushed != nil {
+				close(req.flushed)
+				continue
+			}
 			if err := c.publishSync(req.ns, req.node); err != nil {
 				select {
 				case errs <- err:
@@ -109,6 +117,22 @@ func (c *Client) Publish(ns Namespace, n *conduit.Node) error {
 	return c.publishSync(ns, n)
 }
 
+// Flush blocks until every publish enqueued before the call has been sent.
+// A no-op in synchronous mode. Callers that queried data right after a
+// final async publish would otherwise race the background sender — e.g. a
+// monitor's shutdown collection followed by analysis over the same client.
+func (c *Client) Flush() {
+	c.mu.Lock()
+	async := c.async
+	c.mu.Unlock()
+	if async == nil {
+		return
+	}
+	done := make(chan struct{})
+	async <- publishReq{flushed: done}
+	<-done
+}
+
 // EnableFireAndForget switches Publish to one-way notifications: the client
 // never waits for the service's acknowledgment, trading delivery
 // confirmation for the lowest possible publish latency — the mode for
@@ -119,6 +143,10 @@ func (c *Client) EnableFireAndForget() {
 }
 
 func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
+	// Every publish is the root of a trace: the span's ids travel in the
+	// mercury frame header, so the service-side handler and stripe append
+	// record child spans of this one (client → wire → stripe append).
+	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.publish")
 	// Zero-copy envelope: the published tree is grafted under "data" by
 	// reference rather than deep-merged — callers handed it over at Publish
 	// and may not mutate it, so encoding can read it in place. The wire
@@ -130,11 +158,12 @@ func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
 	*buf = req.AppendBinary(*buf)
 	var err error
 	if c.fireAndForget.Load() {
-		err = c.ep.Notify(RPCPublish, *buf)
+		err = c.ep.Notify(ctx, RPCPublish, *buf)
 	} else {
-		_, err = c.ep.Call(context.Background(), RPCPublish, *buf)
+		_, err = c.ep.Call(ctx, RPCPublish, *buf)
 	}
 	conduit.PutEncodeBuffer(buf)
+	sp.End()
 	if err == nil {
 		c.published.Add(1)
 	}
@@ -148,10 +177,12 @@ func (c *Client) Published() int64 {
 
 // Query fetches a deep copy of the merged subtree at path within ns.
 func (c *Client) Query(ns Namespace, path string) (*conduit.Node, error) {
+	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
+	defer sp.End()
 	req := conduit.NewNode()
 	req.SetString("ns", string(ns))
 	req.SetString("path", path)
-	out, err := c.ep.Call(context.Background(), RPCQuery, req.EncodeBinary())
+	out, err := c.ep.Call(ctx, RPCQuery, req.EncodeBinary())
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +224,21 @@ func (c *Client) Stats() (map[Namespace]InstanceStats, error) {
 		stats[st.Namespace] = st
 	}
 	return stats, nil
+}
+
+// Telemetry fetches the service process's full telemetry registry snapshot
+// (RPC latency histograms, queue gauges, counters, recent spans) via the
+// soma.telemetry RPC.
+func (c *Client) Telemetry() (*telemetry.Snapshot, error) {
+	out, err := c.ep.Call(context.Background(), RPCTelemetry, conduit.NewNode().EncodeBinary())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTelemetry(resp), nil
 }
 
 // SelectMatch is one result of a pattern select.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
 // Ingest benchmarks: the service-side publish hot path the Scaling A/B
@@ -59,6 +61,41 @@ func BenchmarkPublishIngest(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			if err := lp.Publish(NSHardware, benchTree(host, seq.Add(1))); err != nil {
+				b.Fatal(err)
+			}
+			i++
+			if i%32 == 0 {
+				if _, err := svc.Query(NSHardware, "PROC/"+host); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkPublishIngestTraced is BenchmarkPublishIngest with every publish
+// wrapped in a root span, so the stripe append records a child span into the
+// telemetry ring. make telemetry-overhead (scripts/benchdiff.sh --telemetry)
+// compares it against the untraced benchmark and fails when tracing costs
+// more than 5% — the self-measured analog of the paper's overhead tables.
+func BenchmarkPublishIngestTraced(b *testing.B) {
+	const publishers = 8
+	svc := NewService(ServiceConfig{RanksPerNamespace: publishers})
+	defer svc.Close()
+
+	var seq atomic.Int64
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism((publishers + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		host := fmt.Sprintf("cn%04d", worker.Add(1))
+		i := 0
+		for pb.Next() {
+			ctx, sp := telemetry.StartSpan(context.Background(), "bench.publish")
+			err := svc.PublishCtx(ctx, NSHardware, benchTree(host, seq.Add(1)), 0)
+			sp.End()
+			if err != nil {
 				b.Fatal(err)
 			}
 			i++

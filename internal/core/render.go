@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Text rendering for the operator tools. cmd/somatop and cmd/somactl share
+// these panels; they live here (not in the commands) so the layout is
+// testable against a fake Querier and a hand-built telemetry snapshot.
+
+// maxHostRows bounds the per-host utilization listing so the panel stays
+// readable on large allocations.
+const maxHostRows = 12
+
+// RenderSummary writes the workflow / hardware / service-instance panels
+// somatop refreshes: latest workflow state counts, task throughput, queue
+// wait, per-host CPU utilization bars, and per-instance service counters.
+// Analysis errors degrade to omitted sections; stats may be nil.
+func RenderSummary(w io.Writer, a Analysis, stats map[Namespace]InstanceStats) {
+	if series, err := a.WorkflowSeries(); err == nil && len(series) > 0 {
+		last := series[len(series)-1]
+		fmt.Fprintf(w, "workflow   pending=%d running=%d done=%d failed=%d canceled=%d (%d snapshots)\n",
+			last.Pending, last.Running, last.Done, last.Failed, last.Canceled, len(series))
+		if tp, err := a.Throughput(); err == nil && tp > 0 {
+			fmt.Fprintf(w, "throughput %.3f tasks/s\n", tp)
+		}
+		if qw, err := a.QueueWaitStats(); err == nil && qw.N > 0 {
+			fmt.Fprintf(w, "queue wait mean=%.1fs max=%.1fs (n=%d)\n", qw.Mean, qw.Max, qw.N)
+		}
+	} else {
+		fmt.Fprintln(w, "workflow   (no data)")
+	}
+
+	if hosts, err := a.Hosts(); err == nil && len(hosts) > 0 {
+		fmt.Fprintf(w, "\nhardware   %d node(s):\n", len(hosts))
+		shown := hosts
+		if len(shown) > maxHostRows {
+			shown = shown[:maxHostRows]
+		}
+		for _, h := range shown {
+			if series, err := a.CPUUtilSeries(h); err == nil && len(series) > 0 {
+				last := series[len(series)-1]
+				bar := int(last.Util / 100 * 30)
+				fmt.Fprintf(w, "  %-10s [%-30s] %5.1f%%\n",
+					h, strings.Repeat("|", bar), last.Util)
+			}
+		}
+		if len(hosts) > len(shown) {
+			fmt.Fprintf(w, "  ... and %d more\n", len(hosts)-len(shown))
+		}
+	}
+
+	if len(stats) > 0 {
+		fmt.Fprintln(w, "\nservice instances:")
+		for _, ns := range Namespaces {
+			if st, ok := stats[ns]; ok {
+				fmt.Fprintf(w, "  %-12s ranks=%-3d stripes=%-2d publishes=%-8d leaves=%-9d bytes_in=%d\n",
+					ns, st.Ranks, st.Stripes, st.Publishes, st.Leaves, st.BytesIn)
+			}
+		}
+		if st, ok := stats["shared"]; ok {
+			fmt.Fprintf(w, "  %-12s ranks=%-3d stripes=%-2d publishes=%-8d leaves=%-9d bytes_in=%d\n",
+				"shared", st.Ranks, st.Stripes, st.Publishes, st.Leaves, st.BytesIn)
+		}
+	}
+}
+
+// RenderTelemetry writes the service's self-telemetry panel: latency
+// histograms (p50/p95/p99/max), gauges, and counters, each sorted by name.
+func RenderTelemetry(w io.Writer, snap *telemetry.Snapshot) {
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(w, "latency:")
+		for _, name := range telemetry.SortedNames(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(w, "  %-40s n=%-8d p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+				name, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range telemetry.SortedNames(snap.Gauges) {
+			fmt.Fprintf(w, "  %-40s %g\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range telemetry.SortedNames(snap.Counters) {
+			fmt.Fprintf(w, "  %-40s %d\n", name, snap.Counters[name])
+		}
+	}
+}
+
+// RenderSpans writes the newest limit spans (oldest of those first), one per
+// line with trace/span/parent ids in hex. limit <= 0 renders every span.
+func RenderSpans(w io.Writer, spans []telemetry.SpanSnapshot, limit int) {
+	if len(spans) == 0 {
+		return
+	}
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	fmt.Fprintln(w, "recent spans:")
+	for _, sp := range spans {
+		parent := strings.Repeat("-", 16)
+		if sp.Parent != 0 {
+			parent = fmt.Sprintf("%016x", sp.Parent)
+		}
+		fmt.Fprintf(w, "  trace=%016x span=%016x parent=%s %-28s %s\n",
+			sp.TraceID, sp.SpanID, parent, sp.Name, sp.Dur)
+	}
+}

@@ -9,10 +9,21 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/des"
 	"github.com/hpcobs/gosoma/internal/mercury"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Service-side telemetry: ingest and rebuild latency histograms, shared by
+// all service instances in the process (one somad serves one registry).
+var (
+	telPubLatency     = telemetry.Default().Histogram("core.publish.latency")
+	telQueryLatency   = telemetry.Default().Histogram("core.query.latency")
+	telRebuildLatency = telemetry.Default().Histogram("core.snapshot.rebuild.latency")
+	telPublishes      = telemetry.Default().Counter("core.publishes")
 )
 
 // ServiceConfig configures a SOMA service task.
@@ -179,6 +190,8 @@ func (in *instance) snapshotTree() *conduit.Node {
 	if s.gen == g {
 		return s.tree
 	}
+	rebuildStart := time.Now()
+	defer telRebuildLatency.ObserveSince(rebuildStart)
 	var pend []record
 	for _, st := range in.stripes {
 		st.mu.Lock()
@@ -291,12 +304,13 @@ type Service struct {
 
 // RPC handler names the service registers.
 const (
-	RPCPublish  = "soma.publish"
-	RPCQuery    = "soma.query"
-	RPCStats    = "soma.stats"
-	RPCShutdown = "soma.shutdown"
-	RPCReset    = "soma.reset"
-	RPCSelect   = "soma.select"
+	RPCPublish   = "soma.publish"
+	RPCQuery     = "soma.query"
+	RPCStats     = "soma.stats"
+	RPCShutdown  = "soma.shutdown"
+	RPCReset     = "soma.reset"
+	RPCSelect    = "soma.select"
+	RPCTelemetry = "soma.telemetry"
 )
 
 // ErrServiceStopped is returned for requests after shutdown.
@@ -331,6 +345,7 @@ func NewService(cfg ServiceConfig) *Service {
 	s.engine.Register(RPCShutdown, s.handleShutdown)
 	s.engine.Register(RPCReset, s.handleReset)
 	s.engine.Register(RPCSelect, s.handleSelect)
+	s.engine.Register(RPCTelemetry, s.handleTelemetry)
 	return s
 }
 
@@ -387,6 +402,15 @@ func (s *Service) instanceFor(ns Namespace) (*instance, error) {
 // The tree is retained by reference: callers hand it over and must not
 // mutate it afterwards.
 func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
+	return s.PublishCtx(context.Background(), ns, n, rawBytes)
+}
+
+// PublishCtx is Publish with trace propagation: when ctx carries an active
+// trace (an RPC publish whose client sent trace ids, or a caller that
+// started a span), the stripe append is recorded as a child span, so one
+// publish can be followed client → wire → stripe append. Untraced callers
+// pay one context lookup and a histogram observation.
+func (s *Service) PublishCtx(ctx context.Context, ns Namespace, n *conduit.Node, rawBytes int) error {
 	if s.Stopped() {
 		return ErrServiceStopped
 	}
@@ -394,7 +418,15 @@ func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
 	if err != nil {
 		return err
 	}
+	// The span shares the histogram's two clock reads, so tracing adds no
+	// extra time.Now on this hot path (see make telemetry-overhead).
+	start := time.Now()
+	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append", start)
 	in.publish(s.cfg.Clock.Now(), n, rawBytes)
+	end := time.Now()
+	telPubLatency.Observe(end.Sub(start))
+	telPublishes.Inc()
+	sp.EndAt(end)
 	return nil
 }
 
@@ -409,7 +441,10 @@ func (s *Service) Query(ns Namespace, path string) (*conduit.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return in.query(path), nil
+	start := time.Now()
+	sub := in.query(path)
+	telQueryLatency.ObserveSince(start)
+	return sub, nil
 }
 
 // History returns the raw publishes into ns newer than the given service
@@ -502,7 +537,12 @@ func envelopeNS(req *conduit.Node) (Namespace, error) {
 	return ns, nil
 }
 
-func (s *Service) handlePublish(_ context.Context, payload []byte) ([]byte, error) {
+func (s *Service) handlePublish(ctx context.Context, payload []byte) ([]byte, error) {
+	// The handler span joins the client's trace (mercury rebuilt the trace
+	// context from the frame header); the stripe append below becomes its
+	// child.
+	ctx, sp := telemetry.ChildSpan(ctx, "soma.publish.handler")
+	defer sp.End()
 	req, err := conduit.DecodeBinary(payload)
 	if err != nil {
 		return nil, err
@@ -515,13 +555,15 @@ func (s *Service) handlePublish(_ context.Context, payload []byte) ([]byte, erro
 	if !ok {
 		return nil, fmt.Errorf("soma: publish missing data")
 	}
-	if err := s.Publish(ns, data, len(payload)); err != nil {
+	if err := s.PublishCtx(ctx, ns, data, len(payload)); err != nil {
 		return nil, err
 	}
 	return okFrame, nil
 }
 
-func (s *Service) handleQuery(_ context.Context, payload []byte) ([]byte, error) {
+func (s *Service) handleQuery(ctx context.Context, payload []byte) ([]byte, error) {
+	sp := telemetry.LeafSpan(ctx, "soma.query.handler")
+	defer sp.End()
 	req, err := conduit.DecodeBinary(payload)
 	if err != nil {
 		return nil, err
@@ -542,7 +584,9 @@ func (s *Service) handleQuery(_ context.Context, payload []byte) ([]byte, error)
 	return resp.EncodeBinary(), nil
 }
 
-func (s *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
+func (s *Service) handleStats(ctx context.Context, _ []byte) ([]byte, error) {
+	sp := telemetry.LeafSpan(ctx, "soma.stats.handler")
+	defer sp.End()
 	resp := conduit.NewNode()
 	for _, st := range s.Stats() {
 		base := string(st.Namespace)
@@ -599,6 +643,13 @@ func (s *Service) handleSelect(_ context.Context, payload []byte) ([]byte, error
 		}
 	}
 	return resp.EncodeBinary(), nil
+}
+
+// handleTelemetry serves the process's full telemetry registry snapshot,
+// conduit-encoded — the RPC somatop's telemetry panel and `somactl
+// telemetry` consume.
+func (s *Service) handleTelemetry(_ context.Context, _ []byte) ([]byte, error) {
+	return EncodeTelemetry(telemetry.Default().Snapshot()).EncodeBinary(), nil
 }
 
 func (s *Service) handleReset(_ context.Context, payload []byte) ([]byte, error) {

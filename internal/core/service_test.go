@@ -274,6 +274,37 @@ func TestClientAsyncPublish(t *testing.T) {
 	}
 }
 
+func TestClientFlush(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Flush() // no-op in sync mode
+	c.EnableAsync(128)
+	for i := 0; i < 32; i++ {
+		n := conduit.NewNode()
+		n.SetInt(fmt.Sprintf("k%d", i), int64(i))
+		if err := c.Publish(NSApplication, n); err != nil {
+			t.Fatalf("async publish %d: %v", i, err)
+		}
+	}
+	// Flush must make every earlier publish visible without closing.
+	c.Flush()
+	got, err := svc.Query(NSApplication, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLeaves() != 32 {
+		t.Fatalf("leaves after Flush = %d want 32", got.NumLeaves())
+	}
+	// The client keeps working after a flush.
+	if err := c.Publish(NSApplication, conduit.NewNode()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestClientAsyncErrorsSurface(t *testing.T) {
 	_, addr := newTestService(t, ServiceConfig{})
 	c, _ := Connect(addr, nil)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Conduit encoding of a telemetry snapshot — the soma.telemetry RPC payload.
+// The service eats its own data model here too: the snapshot is an ordinary
+// Conduit tree, so any SOMA client (somatop, somactl, analyses) can consume
+// it with the tools it already has.
+//
+//	counters/<name>                      int
+//	gauges/<name>                        float
+//	hist/<name>/{count,sum_ns,max_ns,p50_ns,p95_ns,p99_ns}
+//	spans/NNNNNN/{trace,span,parent,name,start_ns,dur_ns}
+//
+// Span/trace ids are hex strings: they are full-range uint64s, which the
+// integer leaf type (int64) cannot carry.
+
+// EncodeTelemetry converts a registry snapshot into a Conduit tree.
+func EncodeTelemetry(snap *telemetry.Snapshot) *conduit.Node {
+	n := conduit.NewNode()
+	for name, v := range snap.Counters {
+		n.SetInt("counters/"+name, v)
+	}
+	for name, v := range snap.Gauges {
+		n.SetFloat("gauges/"+name, v)
+	}
+	for name, h := range snap.Histograms {
+		base := "hist/" + name
+		n.SetInt(base+"/count", int64(h.Count))
+		n.SetInt(base+"/sum_ns", int64(h.Sum))
+		n.SetInt(base+"/max_ns", int64(h.Max))
+		n.SetInt(base+"/p50_ns", int64(h.P50))
+		n.SetInt(base+"/p95_ns", int64(h.P95))
+		n.SetInt(base+"/p99_ns", int64(h.P99))
+	}
+	for i, sp := range snap.Spans {
+		base := fmt.Sprintf("spans/%06d", i)
+		n.SetString(base+"/trace", strconv.FormatUint(sp.TraceID, 16))
+		n.SetString(base+"/span", strconv.FormatUint(sp.SpanID, 16))
+		if sp.Parent != 0 {
+			n.SetString(base+"/parent", strconv.FormatUint(sp.Parent, 16))
+		}
+		n.SetString(base+"/name", sp.Name)
+		n.SetInt(base+"/start_ns", sp.Start.UnixNano())
+		n.SetInt(base+"/dur_ns", int64(sp.Dur))
+	}
+	return n
+}
+
+// DecodeTelemetry reconstructs a snapshot from its Conduit encoding.
+// Unknown or malformed entries are skipped — the decoder tolerates snapshots
+// from newer services.
+func DecodeTelemetry(n *conduit.Node) *telemetry.Snapshot {
+	snap := &telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{},
+	}
+	if sub, ok := n.Get("counters"); ok {
+		for _, name := range sub.ChildNames() {
+			if v, ok := sub.Int(name); ok {
+				snap.Counters[name] = v
+			}
+		}
+	}
+	if sub, ok := n.Get("gauges"); ok {
+		for _, name := range sub.ChildNames() {
+			if v, ok := sub.Float(name); ok {
+				snap.Gauges[name] = v
+			}
+		}
+	}
+	if sub, ok := n.Get("hist"); ok {
+		for _, name := range sub.ChildNames() {
+			h := sub.Child(name)
+			var hs telemetry.HistogramSnapshot
+			if v, ok := h.Int("count"); ok {
+				hs.Count = uint64(v)
+			}
+			if v, ok := h.Int("sum_ns"); ok {
+				hs.Sum = time.Duration(v)
+			}
+			if v, ok := h.Int("max_ns"); ok {
+				hs.Max = time.Duration(v)
+			}
+			if v, ok := h.Int("p50_ns"); ok {
+				hs.P50 = time.Duration(v)
+			}
+			if v, ok := h.Int("p95_ns"); ok {
+				hs.P95 = time.Duration(v)
+			}
+			if v, ok := h.Int("p99_ns"); ok {
+				hs.P99 = time.Duration(v)
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	if sub, ok := n.Get("spans"); ok {
+		for _, key := range sub.ChildNames() {
+			e := sub.Child(key)
+			var sp telemetry.SpanSnapshot
+			if s, ok := e.StringVal("trace"); ok {
+				sp.TraceID, _ = strconv.ParseUint(s, 16, 64)
+			}
+			if s, ok := e.StringVal("span"); ok {
+				sp.SpanID, _ = strconv.ParseUint(s, 16, 64)
+			}
+			if s, ok := e.StringVal("parent"); ok {
+				sp.Parent, _ = strconv.ParseUint(s, 16, 64)
+			}
+			sp.Name, _ = e.StringVal("name")
+			if v, ok := e.Int("start_ns"); ok {
+				sp.Start = time.Unix(0, v)
+			}
+			if v, ok := e.Int("dur_ns"); ok {
+				sp.Dur = time.Duration(v)
+			}
+			if sp.TraceID != 0 {
+				snap.Spans = append(snap.Spans, sp)
+			}
+		}
+	}
+	return snap
+}

@@ -12,8 +12,14 @@
 //     Mercury's asynchronous operation model.
 //
 // The wire protocol is deliberately simple: every frame is length-prefixed,
-// carries a request id for multiplexing, and a status byte on responses so
-// handler errors propagate to the caller.
+// carries a request id for multiplexing, an 8-byte trace id / 8-byte span id
+// pair for cross-process tracing (zero when the caller is untraced), and a
+// status byte on responses so handler errors propagate to the caller.
+//
+// The engine records its own behaviour into the process-wide telemetry
+// registry: per-handler server- and client-side latency histograms
+// ("mercury.server.latency.<rpc>" / "mercury.client.latency.<rpc>"),
+// in-flight gauges, and byte/call counters.
 package mercury
 
 import (
@@ -27,6 +33,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
 // Handler processes one RPC. The input slice is only valid for the duration
@@ -82,6 +91,44 @@ type Stats struct {
 	HandlerErrors atomic.Int64
 }
 
+// Process-wide telemetry. Per-engine attribution stays in Stats; the
+// registry aggregates across engines so one somad -metrics page (or the
+// soma.telemetry RPC) covers the whole process.
+var (
+	telCallsServed   = telemetry.Default().Counter("mercury.calls_served")
+	telCallsIssued   = telemetry.Default().Counter("mercury.calls_issued")
+	telBytesIn       = telemetry.Default().Counter("mercury.bytes_in")
+	telBytesOut      = telemetry.Default().Counter("mercury.bytes_out")
+	telHandlerErrors = telemetry.Default().Counter("mercury.handler_errors")
+	telServerInfl    = telemetry.Default().Gauge("mercury.server.inflight")
+	telClientInfl    = telemetry.Default().Gauge("mercury.client.inflight")
+)
+
+// Per-RPC latency histograms, cached so the hot path never concatenates a
+// metric name. The maps only ever grow by the number of distinct RPC names.
+var (
+	serverHists sync.Map // rpc name -> *telemetry.Histogram
+	clientHists sync.Map
+)
+
+func serverHist(name string) *telemetry.Histogram {
+	if h, ok := serverHists.Load(name); ok {
+		return h.(*telemetry.Histogram)
+	}
+	h := telemetry.Default().Histogram("mercury.server.latency." + name)
+	serverHists.Store(name, h)
+	return h
+}
+
+func clientHist(name string) *telemetry.Histogram {
+	if h, ok := clientHists.Load(name); ok {
+		return h.(*telemetry.Histogram)
+	}
+	h := telemetry.Default().Histogram("mercury.client.latency." + name)
+	clientHists.Store(name, h)
+	return h
+}
+
 // Engine hosts RPC handlers and manages transports. A process typically has
 // one Engine per service or client role.
 type Engine struct {
@@ -89,6 +136,7 @@ type Engine struct {
 	handlers  map[string]Handler
 	listeners []net.Listener
 	addrs     []string
+	endpoints []*Endpoint // endpoints created via e.Lookup, closed with the engine
 	closed    bool
 	wg        sync.WaitGroup
 
@@ -115,27 +163,42 @@ func (e *Engine) Deregister(name string) {
 	delete(e.handlers, name)
 }
 
-func (e *Engine) handler(name string) (Handler, bool) {
+func (e *Engine) handler(name string) (Handler, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, false, ErrClosed
+	}
 	h, ok := e.handlers[name]
-	return h, ok
+	return h, ok, nil
 }
 
-// dispatch runs the named handler locally; used by both transports.
+// dispatch runs the named handler locally; used by both transports. The
+// handler's wall time lands in the per-RPC server latency histogram.
 func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byte, error) {
-	h, ok := e.handler(name)
+	h, ok, err := e.handler(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w (engine closed before dispatching %q)", err, name)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
 	}
 	e.Stats.CallsServed.Add(1)
 	e.Stats.BytesIn.Add(int64(len(input)))
+	telCallsServed.Inc()
+	telBytesIn.Add(int64(len(input)))
+	telServerInfl.Inc()
+	start := time.Now()
 	out, err := h(ctx, input)
+	serverHist(name).ObserveSince(start)
+	telServerInfl.Dec()
 	if err != nil {
 		e.Stats.HandlerErrors.Add(1)
+		telHandlerErrors.Inc()
 		return nil, err
 	}
 	e.Stats.BytesOut.Add(int64(len(out)))
+	telBytesOut.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -188,7 +251,9 @@ func (e *Engine) Listen(addr string) (string, error) {
 }
 
 // Close shuts the engine down: listeners stop, inproc registrations are
-// removed, and in-flight server goroutines are awaited.
+// removed, endpoints obtained via Lookup are closed, and in-flight server
+// goroutines are awaited. New Calls on the engine's endpoints fail fast
+// with ErrClosed instead of racing the connection teardown.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -198,8 +263,10 @@ func (e *Engine) Close() error {
 	e.closed = true
 	lns := e.listeners
 	addrs := e.addrs
+	eps := e.endpoints
 	e.listeners = nil
 	e.addrs = nil
+	e.endpoints = nil
 	e.mu.Unlock()
 
 	for _, ln := range lns {
@@ -210,7 +277,29 @@ func (e *Engine) Close() error {
 			deregisterInproc(rest, e)
 		}
 	}
+	for _, ep := range eps {
+		ep.Close()
+	}
 	e.wg.Wait()
+	return nil
+}
+
+// isClosed reports whether Close has been called.
+func (e *Engine) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
+}
+
+// trackEndpoint records an endpoint created through e.Lookup so Close can
+// tear it down; it fails when the engine is already closed.
+func (e *Engine) trackEndpoint(ep *Endpoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.endpoints = append(e.endpoints, ep)
 	return nil
 }
 
@@ -302,41 +391,62 @@ func lookup(addr string, owner *Engine) (*Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ep *Endpoint
 	switch scheme {
 	case "inproc":
 		target, ok := lookupInproc(rest)
 		if !ok {
 			return nil, fmt.Errorf("mercury: no inproc engine named %q", rest)
 		}
-		return &Endpoint{addr: addr, local: target, owner: owner}, nil
+		ep = &Endpoint{addr: addr, local: target, owner: owner}
 	case "tcp":
 		conn, err := net.Dial("tcp", rest)
 		if err != nil {
 			return nil, err
 		}
-		ep := &Endpoint{addr: addr, conn: conn, owner: owner}
+		ep = &Endpoint{addr: addr, conn: conn, owner: owner}
 		ep.pending.m = map[uint64]chan rpcResponse{}
 		go ep.readLoop()
-		return ep, nil
 	default:
 		return nil, fmt.Errorf("%w: scheme %q", ErrBadAddress, scheme)
 	}
+	if owner != nil {
+		if err := owner.trackEndpoint(ep); err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("%w (lookup %q on a closed engine)", err, addr)
+		}
+	}
+	return ep, nil
 }
 
 // Addr returns the address this endpoint was looked up with.
 func (ep *Endpoint) Addr() string { return ep.addr }
 
 // Call invokes the named RPC and waits for the response. ctx cancellation
-// abandons the wait (the response, if any, is discarded).
+// abandons the wait (the response, if any, is discarded). When ctx carries a
+// telemetry trace context, its trace/span ids travel in the frame header so
+// the server-side handler span becomes a child of the caller's span. After
+// the owning engine's Close, Call fails fast with ErrClosed.
 func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte, error) {
 	if ep.owner != nil {
+		if ep.owner.isClosed() {
+			return nil, fmt.Errorf("%w (call %q rejected: owning engine closed)", ErrClosed, name)
+		}
 		ep.owner.Stats.CallsIssued.Add(1)
 	}
+	telCallsIssued.Inc()
+	telClientInfl.Inc()
+	start := time.Now()
+	defer func() {
+		clientHist(name).ObserveSince(start)
+		telClientInfl.Dec()
+	}()
 	if ep.local != nil {
 		out, err := ep.local.dispatch(ctx, name, input)
 		if err != nil {
-			// Mirror the TCP path: handler failures surface as ErrRemoteFailed.
-			if errors.Is(err, ErrUnknownRPC) {
+			// Mirror the TCP path: handler failures surface as
+			// ErrRemoteFailed; infrastructure errors keep their identity.
+			if errors.Is(err, ErrUnknownRPC) || errors.Is(err, ErrClosed) {
 				return nil, err
 			}
 			return nil, fmt.Errorf("%w: %v", ErrRemoteFailed, err)
@@ -349,17 +459,22 @@ func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte
 // Notify invokes the named RPC without waiting for its response — the
 // fire-and-forget path for high-frequency publishes where the caller
 // tolerates loss on failure (Mercury's one-way RPC). Errors are reported
-// only when the request cannot be sent at all.
-func (ep *Endpoint) Notify(name string, input []byte) error {
+// only when the request cannot be sent at all. Trace ids from ctx propagate
+// in the frame header exactly as in Call.
+func (ep *Endpoint) Notify(ctx context.Context, name string, input []byte) error {
 	if ep.owner != nil {
+		if ep.owner.isClosed() {
+			return fmt.Errorf("%w (notify %q rejected: owning engine closed)", ErrClosed, name)
+		}
 		ep.owner.Stats.CallsIssued.Add(1)
 	}
+	telCallsIssued.Inc()
 	if ep.local != nil {
 		// In-process: dispatch directly, discarding result and error.
-		_, _ = ep.local.dispatch(context.Background(), name, input)
+		_, _ = ep.local.dispatch(ctx, name, input)
 		return nil
 	}
-	total := 8 + 2 + len(name) + len(input)
+	total := reqHeaderLen + len(name) + len(input)
 	if total > MaxFrame {
 		return ErrFrameTooBig
 	}
@@ -370,15 +485,9 @@ func (ep *Endpoint) Notify(name string, input []byte) error {
 		return ErrClosed
 	}
 	bp := getFrame(0)
-	frame := (*bp)[:0]
-	var hdr [14]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
 	// Request id 0 is reserved for notifications: no pending entry exists,
 	// so the response (still sent by the server) is dropped on arrival.
-	binary.LittleEndian.PutUint64(hdr[4:12], 0)
-	binary.LittleEndian.PutUint16(hdr[12:14], uint16(len(name)))
-	frame = append(frame, hdr[:]...)
-	frame = append(frame, name...)
+	frame := appendRequestHeader((*bp)[:0], uint32(total), 0, telemetry.FromContext(ctx), name)
 	frame = append(frame, input...)
 	ep.writeMu.Lock()
 	_, err := ep.conn.Write(frame)
@@ -399,16 +508,37 @@ func (ep *Endpoint) Close() error {
 // ---------------------------------------------------------------------------
 // TCP framing.
 //
-//	request : u32 len | u64 id | u16 nameLen | name | payload
+//	request : u32 len | u64 id | u64 traceID | u64 spanID | u16 nameLen | name | payload
 //	response: u32 len | u64 id | u8 status | payload
 //
 // status: 0 ok, 1 handler error (payload = message), 2 unknown rpc.
+//
+// traceID/spanID are the caller's telemetry trace context (zero when the
+// caller is untraced); the server rebuilds it into the handler's context so
+// server-side spans join the caller's trace.
 
 const (
 	statusOK      = 0
 	statusErr     = 1
 	statusUnknown = 2
 )
+
+// reqHeaderLen is the request byte count after the u32 length prefix, before
+// the name: id (8) + traceID (8) + spanID (8) + nameLen (2).
+const reqHeaderLen = 26
+
+// appendRequestHeader appends the framed request header and name to dst.
+// total is the frame length after the u32 prefix.
+func appendRequestHeader(dst []byte, total uint32, id uint64, tc telemetry.TraceContext, name string) []byte {
+	var hdr [4 + reqHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], total)
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint64(hdr[12:20], tc.TraceID)
+	binary.LittleEndian.PutUint64(hdr[20:28], tc.SpanID)
+	binary.LittleEndian.PutUint16(hdr[28:30], uint16(len(name)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, name...)
+}
 
 func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]byte, error) {
 	respCh := make(chan rpcResponse, 1)
@@ -433,18 +563,12 @@ func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]b
 		ep.pending.Unlock()
 	}()
 
-	total := 8 + 2 + len(name) + len(input)
+	total := reqHeaderLen + len(name) + len(input)
 	if total > MaxFrame {
 		return nil, ErrFrameTooBig
 	}
 	bp := getFrame(0)
-	frame := (*bp)[:0]
-	var hdr [14]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
-	binary.LittleEndian.PutUint64(hdr[4:12], id)
-	binary.LittleEndian.PutUint16(hdr[12:14], uint16(len(name)))
-	frame = append(frame, hdr[:]...)
-	frame = append(frame, name...)
+	frame := appendRequestHeader((*bp)[:0], uint32(total), id, telemetry.FromContext(ctx), name)
 	frame = append(frame, input...)
 
 	ep.writeMu.Lock()
@@ -537,7 +661,7 @@ func (e *Engine) serveConn(conn net.Conn) {
 			return
 		}
 		total := binary.LittleEndian.Uint32(lenBuf[:])
-		if total < 10 || total > MaxFrame {
+		if total < reqHeaderLen || total > MaxFrame {
 			return
 		}
 		bodyBP := getFrame(int(total))
@@ -547,13 +671,17 @@ func (e *Engine) serveConn(conn net.Conn) {
 			return
 		}
 		id := binary.LittleEndian.Uint64(body[0:8])
-		nameLen := int(binary.LittleEndian.Uint16(body[8:10]))
-		if 10+nameLen > len(body) {
+		tc := telemetry.TraceContext{
+			TraceID: binary.LittleEndian.Uint64(body[8:16]),
+			SpanID:  binary.LittleEndian.Uint64(body[16:24]),
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[24:26]))
+		if reqHeaderLen+nameLen > len(body) {
 			putFrame(bodyBP)
 			return
 		}
-		name := string(body[10 : 10+nameLen])
-		payload := body[10+nameLen:]
+		name := string(body[reqHeaderLen : reqHeaderLen+nameLen])
+		payload := body[reqHeaderLen+nameLen:]
 
 		// Each request runs in its own goroutine so a slow handler does not
 		// stall the connection — Mercury's progress model. The request body
@@ -562,8 +690,12 @@ func (e *Engine) serveConn(conn net.Conn) {
 		handlerWG.Add(1)
 		go func() {
 			defer handlerWG.Done()
+			ctx := context.Background()
+			if tc.Valid() {
+				ctx = telemetry.ContextWith(ctx, tc)
+			}
 			status := byte(statusOK)
-			out, err := e.dispatch(context.Background(), name, payload)
+			out, err := e.dispatch(ctx, name, payload)
 			putFrame(bodyBP)
 			if err != nil {
 				if errors.Is(err, ErrUnknownRPC) {

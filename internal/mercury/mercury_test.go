@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -337,7 +338,7 @@ func TestNotifyDelivers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ep.Notify("log", []byte("hello "+scheme)); err != nil {
+		if err := ep.Notify(context.Background(), "log", []byte("hello "+scheme)); err != nil {
 			t.Fatal(err)
 		}
 		select {
@@ -363,7 +364,7 @@ func TestNotifyDoesNotBreakCalls(t *testing.T) {
 	// Interleave notifications (whose responses carry id 0 and must be
 	// dropped) with regular calls on the same connection.
 	for i := 0; i < 20; i++ {
-		if err := ep.Notify("echo", []byte("n")); err != nil {
+		if err := ep.Notify(context.Background(), "echo", []byte("n")); err != nil {
 			t.Fatal(err)
 		}
 		out, err := ep.Call(context.Background(), "echo", []byte(fmt.Sprintf("c%d", i)))
@@ -380,13 +381,13 @@ func TestNotifyErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ep.Notify("echo", make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+	if err := ep.Notify(context.Background(), "echo", make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
 		t.Fatalf("oversize notify = %v", err)
 	}
 	ep.Close()
 	// After the connection is gone, Notify must fail rather than hang.
 	time.Sleep(10 * time.Millisecond)
-	if err := ep.Notify("echo", []byte("x")); err == nil {
+	if err := ep.Notify(context.Background(), "echo", []byte("x")); err == nil {
 		t.Fatal("notify on closed endpoint succeeded")
 	}
 }
@@ -415,9 +416,120 @@ func BenchmarkNotifyVsCall(b *testing.B) {
 		defer ep.Close()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := ep.Notify("sink", payload); err != nil {
+			if err := ep.Notify(context.Background(), "sink", payload); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+func TestCallRejectedAfterEngineClose(t *testing.T) {
+	server := echoEngine(t)
+	for _, scheme := range []string{"inproc://close-reject", "tcp://127.0.0.1:0"} {
+		addr, err := server.Listen(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := NewEngine()
+		ep, err := client.Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: the endpoint works before Close.
+		if _, err := ep.Call(context.Background(), "echo", []byte("ok")); err != nil {
+			t.Fatalf("%s: pre-close call failed: %v", scheme, err)
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// New calls must fail fast with ErrClosed — no racing the teardown.
+		if _, err := ep.Call(context.Background(), "echo", []byte("late")); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s: call after engine close = %v, want ErrClosed", scheme, err)
+		}
+		if err := ep.Notify(context.Background(), "echo", []byte("late")); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s: notify after engine close = %v, want ErrClosed", scheme, err)
+		}
+		// A fresh Lookup on the closed engine is also rejected.
+		if _, err := client.Lookup(addr); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s: lookup on closed engine = %v, want ErrClosed", scheme, err)
+		}
+	}
+}
+
+func TestInprocDispatchAfterTargetClose(t *testing.T) {
+	server := NewEngine()
+	server.Register("echo", func(_ context.Context, in []byte) ([]byte, error) { return in, nil })
+	addr, err := server.Listen("inproc://target-close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Close()
+	if _, err := ep.Call(context.Background(), "echo", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call into closed inproc engine = %v, want ErrClosed", err)
+	}
+}
+
+func TestTracePropagation(t *testing.T) {
+	for _, scheme := range []string{"inproc://trace-prop", "tcp://127.0.0.1:0"} {
+		e := NewEngine()
+		seen := make(chan telemetry.TraceContext, 1)
+		e.Register("trace", func(ctx context.Context, _ []byte) ([]byte, error) {
+			seen <- telemetry.FromContext(ctx)
+			return nil, nil
+		})
+		addr, err := e.Listen(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, sp := telemetry.StartSpan(context.Background(), "client.op")
+		if _, err := ep.Call(ctx, "trace", nil); err != nil {
+			t.Fatal(err)
+		}
+		sp.End()
+		got := <-seen
+		want := sp.Context()
+		if got != want {
+			t.Errorf("%s: handler saw trace %+v, caller sent %+v", scheme, got, want)
+		}
+		// An untraced call carries no trace context.
+		if _, err := ep.Call(context.Background(), "trace", nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := <-seen; got.Valid() {
+			t.Errorf("%s: untraced call delivered trace %+v", scheme, got)
+		}
+		ep.Close()
+		e.Close()
+	}
+}
+
+func TestLatencyHistogramsRecorded(t *testing.T) {
+	e := echoEngine(t)
+	addr, _ := e.Listen("inproc://hist-record")
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	srvBefore := serverHist("echo").Count()
+	cliBefore := clientHist("echo").Count()
+	for i := 0; i < 3; i++ {
+		if _, err := ep.Call(context.Background(), "echo", []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := serverHist("echo").Count() - srvBefore; got != 3 {
+		t.Errorf("server histogram grew by %d, want 3", got)
+	}
+	if got := clientHist("echo").Count() - cliBefore; got != 3 {
+		t.Errorf("client histogram grew by %d, want 3", got)
+	}
 }

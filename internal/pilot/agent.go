@@ -3,11 +3,26 @@ package pilot
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/hpcobs/gosoma/internal/des"
 	"github.com/hpcobs/gosoma/internal/platform"
 	"github.com/hpcobs/gosoma/internal/stats"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 	"github.com/hpcobs/gosoma/internal/zmq"
+)
+
+// Scheduler self-telemetry. Placement latency is wall-clock time spent in
+// TryPlace (the real cost of the placement search, independent of the
+// simulated clock); the gauges track the allocation and queue the way the
+// paper's Fig. 8 resource bands do.
+var (
+	telPlaceLatency  = telemetry.Default().Histogram("pilot.sched.place.latency")
+	telSchedQueued   = telemetry.Default().Gauge("pilot.sched.queue.depth")
+	telSchedRunning  = telemetry.Default().Gauge("pilot.sched.running")
+	telSchedFreeCore = telemetry.Default().Gauge("pilot.sched.free_cores")
+	telSchedFreeGPU  = telemetry.Default().Gauge("pilot.sched.free_gpus")
+	telSchedCoreUtil = telemetry.Default().FloatGauge("pilot.sched.core_util")
 )
 
 // AgentConfig configures an Agent. Zero values select sensible defaults.
@@ -251,6 +266,28 @@ func (a *Agent) publish(topic, payload string) {
 	}
 }
 
+// tryPlace wraps Scheduler.TryPlace with a wall-clock latency observation.
+func (a *Agent) tryPlace(td *TaskDescription, uid string) (Placement, bool) {
+	start := time.Now()
+	p, ok := a.sched.TryPlace(td, uid)
+	telPlaceLatency.ObserveSince(start)
+	return p, ok
+}
+
+// updateSchedGauges refreshes the scheduler telemetry gauges; queued/running
+// come from the caller (read under a.mu), free resources from the scheduler.
+func (a *Agent) updateSchedGauges(queued, running int) {
+	telSchedQueued.Set(int64(queued))
+	telSchedRunning.Set(int64(running))
+	free := a.sched.FreeCores()
+	total := a.sched.TotalCores()
+	telSchedFreeCore.Set(int64(free))
+	telSchedFreeGPU.Set(int64(a.sched.FreeGPUs()))
+	if total > 0 {
+		telSchedCoreUtil.Set(float64(total-free) / float64(total))
+	}
+}
+
 // trySchedule places as many queued tasks as resources allow. Service
 // tasks always go first; application tasks wait until every submitted
 // service task is running (the paper's bootstrap ordering).
@@ -263,8 +300,10 @@ func (a *Agent) trySchedule() {
 		}
 		if len(a.svcQueue) == 0 && len(a.queue) == 0 {
 			quiet := len(a.running) == 0
+			running := len(a.running)
 			fns := append([]func(){}, a.onQuiescent...)
 			a.mu.Unlock()
+			a.updateSchedGauges(0, running)
 			if quiet {
 				for _, fn := range fns {
 					fn()
@@ -281,7 +320,7 @@ func (a *Agent) trySchedule() {
 		var p Placement
 		if len(a.svcQueue) > 0 {
 			cand := a.svcQueue[0]
-			if pl, ok := a.sched.TryPlace(&cand.Description, cand.UID); ok {
+			if pl, ok := a.tryPlace(&cand.Description, cand.UID); ok {
 				t, p = cand, pl
 				a.svcQueue = a.svcQueue[1:]
 			}
@@ -305,7 +344,7 @@ func (a *Agent) trySchedule() {
 				if failed[sh] {
 					continue
 				}
-				if pl, ok := a.sched.TryPlace(d, cand.UID); ok {
+				if pl, ok := a.tryPlace(d, cand.UID); ok {
 					t, p = cand, pl
 					a.queue = append(a.queue[:i], a.queue[i+1:]...)
 					break
@@ -313,12 +352,17 @@ func (a *Agent) trySchedule() {
 				failed[sh] = true
 			}
 		}
+		queued := len(a.svcQueue) + len(a.queue)
 		if t == nil {
+			running := len(a.running)
 			a.mu.Unlock()
+			a.updateSchedGauges(queued, running)
 			return // nothing fits until resources free up
 		}
 		a.running[t.UID] = t
+		running := len(a.running)
 		a.mu.Unlock()
+		a.updateSchedGauges(queued, running)
 		a.launch(t, p)
 	}
 }

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets. Bucket i counts
+// observations whose nanosecond duration has bit length i, i.e. durations in
+// [2^(i-1), 2^i); bucket 0 holds zero/negative durations. 64 buckets cover
+// every possible int64 duration, so no observation is ever out of range.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram: one atomic add per
+// observation, no locks, no allocation. Percentiles are reconstructed from
+// the bucket counts at read time with linear interpolation inside the
+// bucket, which is plenty for p50/p95/p99 dashboards (buckets are a factor
+// of two wide, so the reconstructed quantile is within 2x of the true one
+// and usually much closer).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	idx := 0
+	if ns > 0 {
+		idx = bits.Len64(uint64(ns))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile reconstructs the q-th quantile (0 < q <= 1) from the bucket
+// counts. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	// Copy the bucket counts first so the walk sees one consistent-enough
+	// view; the total is re-derived from the copy rather than h.count so
+	// rank never exceeds the copied mass.
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	max := h.maxNS.Load()
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(1) << i
+			// Linear interpolation by rank position within the bucket,
+			// clamped to the true max so reconstructed quantiles never
+			// exceed an observed value.
+			ns := lo + int64(float64(hi-lo)*float64(rank-cum)/float64(c))
+			if ns > max {
+				ns = max
+			}
+			return time.Duration(ns)
+		}
+		cum += c
+	}
+	return time.Duration(max)
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNS.Load()),
+		Max:   time.Duration(h.maxNS.Load()),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

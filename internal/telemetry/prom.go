@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus-style text exposition (the somad -metrics endpoint). The output
+// follows the text format conventions: one metric family per block, counters
+// and gauges as plain samples, histograms as summaries with quantile labels
+// plus _sum (seconds) and _count series. Metric names are prefixed with
+// "gosoma_" and sanitized to the allowed character set.
+
+// promName sanitizes a dotted registry name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("gosoma_"))
+	b.WriteString("gosoma_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteText writes the registry's current state in Prometheus text
+// exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	return snap.WriteText(w)
+}
+
+// WriteText writes the snapshot in Prometheus text exposition format.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, name := range SortedNames(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range SortedNames(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range SortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			pn,
+			pn, h.P50.Seconds(),
+			pn, h.P95.Seconds(),
+			pn, h.P99.Seconds(),
+			pn, h.Sum.Seconds(),
+			pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

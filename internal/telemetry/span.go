@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the 8-byte trace id / 8-byte span id pair that follows a
+// request across component boundaries. mercury carries it in every frame
+// header, so one publish can be followed client → wire → stripe append. A
+// zero TraceID means "no active trace".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether tc identifies an active trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+type traceCtxKey struct{}
+
+// ContextWith returns ctx carrying tc. Handlers receive such a context from
+// the mercury server loop when the caller sent trace ids.
+func ContextWith(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// FromContext extracts the active trace context, if any.
+func FromContext(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// idState seeds span/trace id generation; ids are splitmix64 outputs of an
+// atomic counter, so they are unique within a process and well-mixed across
+// processes started at different times.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// NewID returns a non-zero 8-byte id.
+func NewID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// Span is one timed operation within a trace. End records it into the
+// registry's recent-span ring. Spans are handed out by StartSpan, ChildSpan
+// and LeafSpan; a nil *Span is a valid no-op (End does nothing), which is
+// how untraced hot paths skip span overhead entirely. End releases the span
+// back to an internal pool: a span must not be touched after End.
+type Span struct {
+	reg    *Registry
+	name   string
+	tc     TraceContext
+	parent uint64
+	start  time.Time
+}
+
+// spanPool recycles Span structs so the traced hot path allocates nothing
+// per span (the ingest overhead budget is 5%; see make telemetry-overhead).
+var spanPool = sync.Pool{New: func() interface{} { return new(Span) }}
+
+// Context returns the span's trace context (for manual propagation).
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return s.tc
+}
+
+// End completes the span and records it. End on a nil or already-ended span
+// is a no-op.
+func (s *Span) End() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.EndAt(time.Now())
+}
+
+// EndAt is End with a caller-supplied end time, for hot paths that already
+// read the clock (clock reads are not free — ~75ns on virtualized hosts, so
+// sharing one read between a histogram observation and a span matters).
+func (s *Span) EndAt(now time.Time) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	reg := s.reg
+	s.reg = nil
+	reg.spans.record(SpanSnapshot{
+		TraceID: s.tc.TraceID,
+		SpanID:  s.tc.SpanID,
+		Parent:  s.parent,
+		Name:    s.name,
+		Start:   s.start,
+		Dur:     now.Sub(s.start),
+	})
+	spanPool.Put(s)
+}
+
+// StartSpan begins a span named name on the registry. When ctx already
+// carries a trace, the new span is a child of it; otherwise a fresh trace is
+// started. The returned context carries the new span's trace context.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	s := spanPool.Get().(*Span)
+	s.reg, s.name, s.start = r, name, time.Now()
+	if parent.Valid() {
+		s.tc = TraceContext{TraceID: parent.TraceID, SpanID: NewID()}
+		s.parent = parent.SpanID
+	} else {
+		s.tc = TraceContext{TraceID: NewID(), SpanID: NewID()}
+		s.parent = 0
+	}
+	return ContextWith(ctx, s.tc), s
+}
+
+// ChildSpan begins a span only when ctx already carries a trace; otherwise
+// it returns (ctx, nil) at the cost of a single context lookup. Hot paths
+// use this so untraced operations pay nothing for tracing support.
+func (r *Registry) ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := r.LeafSpan(ctx, name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWith(ctx, sp.tc), sp
+}
+
+// LeafSpan is ChildSpan without the derived context: for operations that
+// start no spans of their own, it skips the context allocation entirely.
+// Like ChildSpan it returns nil when ctx carries no active trace.
+func (r *Registry) LeafSpan(ctx context.Context, name string) *Span {
+	return r.LeafSpanAt(ctx, name, time.Now())
+}
+
+// LeafSpanAt is LeafSpan with a caller-supplied start time (see EndAt).
+func (r *Registry) LeafSpanAt(ctx context.Context, name string, start time.Time) *Span {
+	parent := FromContext(ctx)
+	if !parent.Valid() {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.reg, s.name, s.start = r, name, start
+	s.tc = TraceContext{TraceID: parent.TraceID, SpanID: NewID()}
+	s.parent = parent.SpanID
+	return s
+}
+
+// StartSpan begins a span on the Default registry.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return defaultRegistry.StartSpan(ctx, name)
+}
+
+// ChildSpan begins a child span on the Default registry when ctx is traced.
+func ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return defaultRegistry.ChildSpan(ctx, name)
+}
+
+// LeafSpan begins a context-free child span on the Default registry.
+func LeafSpan(ctx context.Context, name string) *Span {
+	return defaultRegistry.LeafSpan(ctx, name)
+}
+
+// LeafSpanAt begins a context-free child span with a supplied start time.
+func LeafSpanAt(ctx context.Context, name string, start time.Time) *Span {
+	return defaultRegistry.LeafSpanAt(ctx, name, start)
+}
+
+// SpanSnapshot is one completed span.
+type SpanSnapshot struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // parent span id; 0 for root spans
+	Name    string
+	Start   time.Time
+	Dur     time.Duration
+}
+
+// spanRingSize bounds the recent-span ring; completed spans overwrite the
+// oldest entry, so tracing memory is constant regardless of traffic. The
+// ring is sharded by span id (ids are splitmix-mixed, so the spread is
+// uniform) to keep concurrent End calls off one mutex; a global sequence
+// number preserves exact record order across shards.
+const (
+	spanRingSize  = 256
+	spanShards    = 4
+	spanShardSize = spanRingSize / spanShards
+)
+
+type spanEntry struct {
+	seq  uint64
+	span SpanSnapshot
+}
+
+type spanShard struct {
+	mu    sync.Mutex
+	buf   [spanShardSize]spanEntry
+	next  int
+	count int
+}
+
+type spanRing struct {
+	seq    atomic.Uint64
+	shards [spanShards]spanShard
+}
+
+func (sr *spanRing) record(s SpanSnapshot) {
+	seq := sr.seq.Add(1)
+	sh := &sr.shards[s.SpanID%spanShards]
+	sh.mu.Lock()
+	sh.buf[sh.next] = spanEntry{seq: seq, span: s}
+	sh.next = (sh.next + 1) % spanShardSize
+	if sh.count < spanShardSize {
+		sh.count++
+	}
+	sh.mu.Unlock()
+}
+
+// snapshot returns the retained spans in record order (oldest first).
+func (sr *spanRing) snapshot() []SpanSnapshot {
+	var entries []spanEntry
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.Lock()
+		start := (sh.next - sh.count + spanShardSize) % spanShardSize
+		for j := 0; j < sh.count; j++ {
+			entries = append(entries, sh.buf[(start+j)%spanShardSize])
+		}
+		sh.mu.Unlock()
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]SpanSnapshot, len(entries))
+	for i, e := range entries {
+		out[i] = e.span
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter is not get-or-create stable")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	fg := r.FloatGauge("a.util")
+	fg.Set(42.5)
+	if got := fg.Value(); got != 42.5 {
+		t.Fatalf("float gauge = %g, want 42.5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations around 1µs, 10 slow around 1ms: p50 must land in
+	// the fast band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Count)
+	}
+	if snap.P50 < 512*time.Nanosecond || snap.P50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", snap.P50)
+	}
+	if snap.P99 < 512*time.Microsecond || snap.P99 > 4*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", snap.P99)
+	}
+	if snap.Max < time.Millisecond {
+		t.Errorf("max = %v, want >= 1ms", snap.Max)
+	}
+	if mean := snap.Mean(); mean <= 0 {
+		t.Errorf("mean = %v, want > 0", mean)
+	}
+}
+
+func TestHistogramEmptyAndZero(t *testing.T) {
+	h := &Histogram{}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	h.Observe(0)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("zero-duration quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestSpanParentChild(t *testing.T) {
+	r := NewRegistry()
+	ctx, root := r.StartSpan(context.Background(), "client.publish")
+	if !root.Context().Valid() {
+		t.Fatal("root span has no trace context")
+	}
+	_, child := r.ChildSpan(ctx, "stripe.append")
+	if child == nil {
+		t.Fatal("ChildSpan returned nil under an active trace")
+	}
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Error("child span does not share the root's trace id")
+	}
+	child.End()
+	root.End()
+
+	spans := r.Snapshot().Spans
+	if len(spans) != 2 {
+		t.Fatalf("ring has %d spans, want 2", len(spans))
+	}
+	// Ring is oldest-first: the child ended first.
+	if spans[0].Name != "stripe.append" || spans[1].Name != "client.publish" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].SpanID {
+		t.Error("child's parent id does not match the root's span id")
+	}
+	if spans[1].Parent != 0 {
+		t.Error("root span has a parent")
+	}
+}
+
+func TestChildSpanNoopWithoutTrace(t *testing.T) {
+	r := NewRegistry()
+	ctx, sp := r.ChildSpan(context.Background(), "untraced")
+	if sp != nil {
+		t.Fatal("ChildSpan created a span without a parent trace")
+	}
+	sp.End() // must not panic on nil
+	if FromContext(ctx).Valid() {
+		t.Fatal("untraced context gained a trace id")
+	}
+	if got := len(r.Snapshot().Spans); got != 0 {
+		t.Fatalf("ring has %d spans, want 0", got)
+	}
+}
+
+func TestSpanRingOverwrite(t *testing.T) {
+	r := NewRegistry()
+	// Enough spans that every shard (ids spread uniformly) wraps its buffer.
+	for i := 0; i < 10*spanRingSize; i++ {
+		_, sp := r.StartSpan(context.Background(), "s")
+		sp.End()
+	}
+	if got := len(r.Snapshot().Spans); got != spanRingSize {
+		t.Fatalf("ring holds %d spans, want %d", got, spanRingSize)
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mercury.calls_served").Add(3)
+	r.Gauge("zmq.queue.sched.depth").Set(5)
+	r.Histogram("mercury.server.latency.soma.publish").Observe(2 * time.Microsecond)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gosoma_mercury_calls_served counter",
+		"gosoma_mercury_calls_served 3",
+		"gosoma_zmq_queue_sched_depth 5",
+		"gosoma_mercury_server_latency_soma_publish_seconds{quantile=\"0.5\"}",
+		"gosoma_mercury_server_latency_soma_publish_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

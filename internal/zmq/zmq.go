@@ -20,6 +20,18 @@ import (
 	"errors"
 	"strings"
 	"sync"
+
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Process-wide pub/sub telemetry; per-queue depth gauges are created per
+// queue name in NewQueue. Per-subscriber drop counts stay out of the
+// registry (their cardinality is unbounded) and are surfaced via
+// PubSub.Stats and the PubSub.Close return value instead.
+var (
+	telPubPublished = telemetry.Default().Counter("zmq.pubsub.published")
+	telPubDelivered = telemetry.Default().Counter("zmq.pubsub.delivered")
+	telPubDropped   = telemetry.Default().Counter("zmq.pubsub.dropped")
 )
 
 // ErrClosed is returned by operations on a closed socket.
@@ -40,16 +52,17 @@ type Message struct {
 
 // Queue is a named push/pull work queue.
 type Queue struct {
-	name string
-	mu   sync.Mutex
-	cond *sync.Cond
-	buf  []interface{}
-	done bool
+	name  string
+	mu    sync.Mutex
+	cond  *sync.Cond
+	buf   []interface{}
+	done  bool
+	depth *telemetry.Gauge // queue backpressure, by queue name
 }
 
 // NewQueue creates an unbounded push/pull queue.
 func NewQueue(name string) *Queue {
-	q := &Queue{name: name}
+	q := &Queue{name: name, depth: telemetry.Default().Gauge("zmq.queue." + name + ".depth")}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -66,6 +79,7 @@ func (q *Queue) Push(v interface{}) error {
 		return ErrClosed
 	}
 	q.buf = append(q.buf, v)
+	q.depth.Set(int64(len(q.buf)))
 	q.cond.Signal()
 	return nil
 }
@@ -83,6 +97,7 @@ func (q *Queue) Pull() (v interface{}, ok bool) {
 	}
 	v = q.buf[0]
 	q.buf = q.buf[1:]
+	q.depth.Set(int64(len(q.buf)))
 	return v, true
 }
 
@@ -95,6 +110,7 @@ func (q *Queue) TryPull() (v interface{}, ok bool) {
 	}
 	v = q.buf[0]
 	q.buf = q.buf[1:]
+	q.depth.Set(int64(len(q.buf)))
 	return v, true
 }
 
@@ -128,8 +144,18 @@ type PubSub struct {
 }
 
 type subscription struct {
-	prefix string
-	ch     chan Message
+	prefix  string
+	ch      chan Message
+	dropped int64 // messages discarded for this subscriber (guarded by PubSub.mu)
+}
+
+// SubStats describes one subscriber's standing at snapshot time: its topic
+// prefix, how many messages sit unconsumed in its buffer, and how many were
+// dropped because the buffer hit the high-water mark.
+type SubStats struct {
+	Prefix  string
+	Queued  int
+	Dropped int64
 }
 
 // NewPubSub creates a bus with the default high-water mark.
@@ -176,14 +202,18 @@ func (b *PubSub) Publish(topic string, payload interface{}) error {
 	if b.closed {
 		return ErrClosed
 	}
+	telPubPublished.Inc()
 	for _, sub := range b.subs {
 		if !strings.HasPrefix(topic, sub.prefix) {
 			continue
 		}
 		select {
 		case sub.ch <- msg:
+			telPubDelivered.Inc()
 		default:
+			sub.dropped++
 			b.dropped++
+			telPubDropped.Inc()
 		}
 	}
 	return nil
@@ -196,16 +226,37 @@ func (b *PubSub) Dropped() int64 {
 	return b.dropped
 }
 
-// Close shuts the bus down and closes all subscriber channels.
-func (b *PubSub) Close() {
+// Stats reports per-subscriber queue depth and drop counts for the live
+// subscriptions. Ordering is unspecified.
+func (b *PubSub) Stats() []SubStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.statsLocked()
+}
+
+func (b *PubSub) statsLocked() []SubStats {
+	out := make([]SubStats, 0, len(b.subs))
+	for _, sub := range b.subs {
+		out = append(out, SubStats{Prefix: sub.prefix, Queued: len(sub.ch), Dropped: sub.dropped})
+	}
+	return out
+}
+
+// Close shuts the bus down and closes all subscriber channels. It returns the
+// final per-subscriber stats so callers can log which subscribers fell behind
+// (Queued counts messages still in flight at close; subscribers may yet drain
+// them before seeing the channel close).
+func (b *PubSub) Close() []SubStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return
+		return nil
 	}
+	final := b.statsLocked()
 	b.closed = true
 	for id, sub := range b.subs {
 		close(sub.ch)
 		delete(b.subs, id)
 	}
+	return final
 }

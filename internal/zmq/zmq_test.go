@@ -179,6 +179,70 @@ func TestPubSubHighWaterDrops(t *testing.T) {
 	}
 }
 
+// TestPubSubPerSubscriberDropStats drives one subscriber past its high-water
+// mark while a second keeps up, and asserts the drops are attributed to the
+// slow subscriber — via Stats while the bus is live, and again via the Close
+// return value.
+func TestPubSubPerSubscriberDropStats(t *testing.T) {
+	b := NewPubSubHW(2)
+	slow, cancelSlow := b.Subscribe("task.")
+	defer cancelSlow()
+	fast, cancelFast := b.Subscribe("task.")
+	defer cancelFast()
+
+	const published = 6
+	for i := 0; i < published; i++ {
+		if err := b.Publish("task.x", i); err != nil {
+			t.Fatal(err)
+		}
+		// The fast subscriber drains as it goes; the slow one never reads.
+		<-fast
+	}
+
+	stats := b.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("Stats returned %d entries, want 2", len(stats))
+	}
+	var slowStats, fastStats *SubStats
+	for i := range stats {
+		switch {
+		case stats[i].Queued == 2:
+			slowStats = &stats[i]
+		case stats[i].Queued == 0:
+			fastStats = &stats[i]
+		}
+	}
+	if slowStats == nil || fastStats == nil {
+		t.Fatalf("could not identify slow/fast subscribers in %+v", stats)
+	}
+	if want := int64(published - 2); slowStats.Dropped != want {
+		t.Errorf("slow subscriber Dropped = %d, want %d", slowStats.Dropped, want)
+	}
+	if fastStats.Dropped != 0 {
+		t.Errorf("fast subscriber Dropped = %d, want 0", fastStats.Dropped)
+	}
+	if b.Dropped() != slowStats.Dropped {
+		t.Errorf("bus Dropped = %d, per-sub total = %d", b.Dropped(), slowStats.Dropped)
+	}
+
+	final := b.Close()
+	var totalDropped int64
+	for _, s := range final {
+		totalDropped += s.Dropped
+	}
+	if totalDropped != slowStats.Dropped {
+		t.Errorf("Close stats dropped total = %d, want %d", totalDropped, slowStats.Dropped)
+	}
+	// Drain the slow subscriber: its buffered messages survive the close.
+	n := 0
+	for range slow {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("slow subscriber drained %d buffered messages, want 2", n)
+	}
+}
+
 func TestPubSubClose(t *testing.T) {
 	b := NewPubSub()
 	ch, _ := b.Subscribe("")

@@ -1,9 +1,18 @@
 #!/bin/sh
 # benchdiff.sh — guard the publish ingest hot path against regressions.
 #
-# Runs BenchmarkPublishIngest several times, takes the median ns/op, and
-# compares it against the committed reference in scripts/bench_baseline.json.
-# The check fails when the median exceeds baseline * allowed_regression.
+# Default mode runs BenchmarkPublishIngest several times, takes the median
+# ns/op, and compares it against the committed reference in
+# scripts/bench_baseline.json. The check fails when the median exceeds
+# baseline * allowed_regression.
+#
+# --telemetry mode measures the cost of span tracing instead: each round
+# runs BenchmarkPublishIngest and BenchmarkPublishIngestTraced back to back
+# in ONE go test process and records the traced/untraced ratio; the check
+# fails when the median ratio exceeds max_traced_overhead (1.05 = 5%, the
+# budget from the paper's overhead tables). Pairing the runs inside one
+# process cancels the machine-state drift that dominates cross-invocation
+# comparisons, so the check is host-independent.
 #
 # The baseline is machine-specific: absolute ns/op numbers move between
 # hosts, so the allowed_regression factor is generous and the baseline
@@ -14,35 +23,83 @@ set -eu
 cd "$(dirname "$0")/.."
 baseline=scripts/bench_baseline.json
 bench=BenchmarkPublishIngest
+traced=BenchmarkPublishIngestTraced
 count=${BENCH_COUNT:-5}
 
-median=$(go test ./internal/core/ -run '^$' -bench "${bench}\$" -count "$count" |
-	awk -v b="$bench" '$1 ~ "^"b {print $3}' | sort -n |
-	awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}')
+# median_of <benchmark> — median ns/op over $count runs.
+median_of() {
+	go test ./internal/core/ -run '^$' -bench "$1\$" -count "$count" |
+		awk -v b="$1" '$1 ~ "^"b {print $3}' | sort -n |
+		awk '{v[NR]=$1} END {if (NR==0) exit 1; print v[int((NR+1)/2)]}'
+}
 
+# json_num <key> — numeric value of a top-level key in the baseline file.
+json_num() {
+	awk -F'[:,]' -v k="\"$1\"" '$0 ~ k {gsub(/[^0-9.]/, "", $2); print $2; exit}' "$baseline" 2>/dev/null || true
+}
+
+if [ "${1:-}" = "--telemetry" ]; then
+	ratios=""
+	i=0
+	while [ "$i" -lt "$count" ]; do
+		i=$((i + 1))
+		out=$(go test ./internal/core/ -run '^$' \
+			-bench "${bench}\$|${traced}\$" -count 3)
+		# Min of 3 in-process runs per side: the minimum is the least
+		# noise-contaminated estimate of a CPU-bound benchmark's true cost.
+		um=$(printf '%s\n' "$out" | awk -v b="$bench" '$1 == b || $1 ~ "^"b"-" {print $3}' |
+			sort -n | head -n 1)
+		tm=$(printf '%s\n' "$out" | awk -v b="$traced" '$1 == b || $1 ~ "^"b"-" {print $3}' |
+			sort -n | head -n 1)
+		if [ -z "$um" ] || [ -z "$tm" ]; then
+			echo "telemetry-overhead: round $i collected no samples" >&2
+			exit 1
+		fi
+		r=$(awk -v u="$um" -v t="$tm" 'BEGIN {printf "%.4f", t/u}')
+		echo "telemetry-overhead: round $i: untraced ${um} ns/op, traced ${tm} ns/op, ratio ${r}x"
+		ratios="$ratios $r"
+	done
+	maxov=$(json_num max_traced_overhead)
+	[ -n "$maxov" ] || maxov=1.05
+	median_ratio=$(printf '%s\n' $ratios | sort -n |
+		awk '{v[NR]=$1} END {print v[int((NR+1)/2)]}')
+	echo "telemetry-overhead: median ratio ${median_ratio}x (limit ${maxov}x)"
+	if awk -v r="$median_ratio" -v f="$maxov" 'BEGIN {exit (r > f) ? 0 : 1}'; then
+		echo "telemetry-overhead: FAIL — tracing costs more than the allowed overhead" >&2
+		exit 1
+	fi
+	echo "telemetry-overhead: OK"
+	exit 0
+fi
+
+median=$(median_of "$bench")
 if [ -z "$median" ]; then
 	echo "benchdiff: no samples collected for $bench" >&2
 	exit 1
 fi
 
 if [ "${1:-}" = "--update" ]; then
-	pre=$(awk -F'[:,]' '/"pre_change_ns_per_op"/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline" 2>/dev/null || true)
+	pre=$(json_num pre_change_ns_per_op)
+	tracedm=$(median_of "$traced")
 	cat >"$baseline" <<EOF
 {
   "benchmark": "$bench",
   "ns_per_op": $median,
   "allowed_regression": 1.5,
   "pre_change_ns_per_op": ${pre:-0},
+  "traced_benchmark": "$traced",
+  "traced_ns_per_op": ${tracedm:-0},
+  "max_traced_overhead": 1.05,
   "recorded": "$(date -u +%Y-%m-%d)"
 }
 EOF
-	echo "benchdiff: baseline updated to $median ns/op"
+	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0} ns/op)"
 	exit 0
 fi
 
-base=$(awk -F'[:,]' '/"ns_per_op"/ && !/pre_change/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline")
-factor=$(awk -F'[:,]' '/"allowed_regression"/ {gsub(/[^0-9.]/,"",$2); print $2}' "$baseline")
-pre=$(awk -F'[:,]' '/"pre_change_ns_per_op"/ {gsub(/[^0-9]/,"",$2); print $2}' "$baseline")
+base=$(json_num ns_per_op)
+factor=$(json_num allowed_regression)
+pre=$(json_num pre_change_ns_per_op)
 
 limit=$(awk -v b="$base" -v f="$factor" 'BEGIN {printf "%.0f", b*f}')
 echo "benchdiff: $bench median ${median} ns/op (baseline ${base}, limit ${limit})"
