@@ -7,7 +7,7 @@
 GO ?= go
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race bench benchdiff telemetry-overhead verify
+.PHONY: build test vet race bench benchdiff telemetry-overhead verify verify-stream
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,16 @@ race:
 
 verify: build vet test race
 
+# verify-stream hammers the race-sensitive streaming paths (subscriptions,
+# long-poll serving, rollups, alerts) repeatedly under the race detector.
+verify-stream:
+	$(GO) test ./internal/core/ ./internal/zmq/ ./internal/mercury/ \
+		-race -count=3 \
+		-run 'Subscribe|Watch|Stream|Series|Alert|Remote|Blocking|Flush|Fanout'
+
 bench:
 	$(GO) test ./internal/core/ -run '^$$' \
-		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkSelectSnapshot$$' \
+		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkSelectSnapshot$$|BenchmarkSeriesQuery$$|BenchmarkSubscribeFanout$$' \
 		-benchmem -count $(BENCH_COUNT)
 
 benchdiff:

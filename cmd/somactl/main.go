@@ -8,14 +8,20 @@
 //	somactl -addr ... telemetry
 //	somactl -addr ... query workflow RP/summary
 //	somactl -addr ... publish application 'FOM/task.000001/rate/12.5' 1.82e9
+//	somactl -addr ... watch -interval 2s hardware 'PROC/*/CPU Util'
+//	somactl -addr ... alert set cpu-hot hardware 'PROC/*/CPU Util' '>' 90 10 critical
 //	somactl -addr ... shutdown
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/core"
@@ -32,6 +38,13 @@ commands:
   query <namespace> [path]        print the merged subtree
   select <namespace> <pattern>    glob over leaf paths (* = segment, ** = tail)
   publish <namespace> <path> <v>  publish one float leaf at path
+  watch [-interval 2s] <namespace|soma.alerts|all> [pattern]
+                                  stream live updates (pushed; falls back to
+                                  polling at -interval if the service has no
+                                  update stream)
+  alert set <name> <namespace> <pattern> <op> <threshold> <window_sec> [severity]
+  alert rm <name>                 remove a threshold alert rule
+  alert list                      print rules and current standings
   reset <namespace>               discard a namespace's stored data
   shutdown                        ask the service to stop
 `)
@@ -146,6 +159,71 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		ival := fs.Duration("interval", 2*time.Second, "poll fallback interval")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		rest := fs.Args()
+		if len(rest) < 1 || len(rest) > 2 {
+			usage()
+		}
+		ns := core.Namespace(rest[0])
+		if rest[0] == "all" {
+			ns = ""
+		}
+		pattern := ""
+		if len(rest) == 2 {
+			pattern = rest[1]
+		}
+		watch(client, ns, pattern, *ival)
+	case "alert":
+		if len(args) < 2 {
+			usage()
+		}
+		switch args[1] {
+		case "set":
+			rest := args[2:]
+			if len(rest) < 6 || len(rest) > 7 {
+				usage()
+			}
+			threshold, err := strconv.ParseFloat(rest[4], 64)
+			if err != nil {
+				fatal(fmt.Errorf("threshold %q: %w", rest[4], err))
+			}
+			window, err := strconv.ParseFloat(rest[5], 64)
+			if err != nil {
+				fatal(fmt.Errorf("window %q: %w", rest[5], err))
+			}
+			rule := core.AlertRule{
+				Name: rest[0], NS: core.Namespace(rest[1]), Pattern: rest[2],
+				Op: rest[3], Threshold: threshold, WindowSec: window,
+			}
+			if len(rest) == 7 {
+				rule.Severity = rest[6]
+			}
+			if err := client.SetAlert(rule); err != nil {
+				fatal(err)
+			}
+			fmt.Println("ok")
+		case "rm":
+			if len(args) != 3 {
+				usage()
+			}
+			if err := client.RemoveAlert(args[2]); err != nil {
+				fatal(err)
+			}
+			fmt.Println("ok")
+		case "list":
+			rules, states, err := client.Alerts()
+			if err != nil {
+				fatal(err)
+			}
+			core.RenderAlerts(os.Stdout, rules, states)
+		default:
+			usage()
+		}
 	case "shutdown":
 		if err := client.Shutdown(); err != nil {
 			fatal(err)
@@ -153,6 +231,77 @@ func main() {
 		fmt.Println("shutdown requested")
 	default:
 		usage()
+	}
+}
+
+// watch streams live updates for a namespace (or the soma.alerts stream, or
+// every namespace with ns == ""). The push path subscribes over the
+// service's update bus; if the service has no stream support, watch
+// degrades to polling the merged tree every interval and printing the leaf
+// paths whose values changed.
+func watch(client *core.Client, ns core.Namespace, pattern string, interval time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	err := client.Watch(ctx, ns, pattern, func(u core.Update) error {
+		printUpdate(u)
+		return nil
+	})
+	if err == nil || ctx.Err() != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "somactl: streaming unavailable (%v), polling every %s\n", err, interval)
+	pollWatch(ctx, client, ns, pattern, interval)
+}
+
+func printUpdate(u core.Update) {
+	if u.Alert {
+		state, _ := u.Tree.StringVal("state")
+		rule, _ := u.Tree.StringVal("rule")
+		key, _ := u.Tree.StringVal("key")
+		sev, _ := u.Tree.StringVal("severity")
+		value, _ := u.Tree.Float("value")
+		threshold, _ := u.Tree.Float("threshold")
+		fmt.Printf("[%.3f] ALERT %-8s %s (%s) %s value=%.3f threshold=%g\n",
+			u.Time, state, rule, sev, key, value, threshold)
+		return
+	}
+	fmt.Printf("── %s t=%.3f dropped=%d\n", u.NS, u.Time, u.Dropped)
+	fmt.Print(u.Tree.Format())
+}
+
+// pollWatch is the no-stream fallback: query the merged tree every interval
+// and print leaves whose values changed since the previous poll.
+func pollWatch(ctx context.Context, client *core.Client, ns core.Namespace, pattern string, interval time.Duration) {
+	if ns == "" || ns == core.NSAlerts {
+		fatal(fmt.Errorf("poll fallback needs a concrete namespace (not %q)", ns))
+	}
+	if pattern == "" {
+		pattern = "**"
+	}
+	prev := map[string]float64{}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		matches, err := client.Select(ns, pattern)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somactl: poll failed: %v\n", err)
+		} else {
+			for _, m := range matches {
+				if !m.HasValue {
+					continue
+				}
+				if old, seen := prev[m.Path]; !seen || old != m.Value {
+					fmt.Printf("%s = %g\n", m.Path, m.Value)
+					prev[m.Path] = m.Value
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
 	}
 }
 

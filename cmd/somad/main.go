@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/des"
+	"github.com/hpcobs/gosoma/internal/procfs"
 	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 0, "periodically log instance statistics (0 = off)")
 	dump := flag.String("dump", "", "write a JSON snapshot of all namespaces to this file on shutdown (post-mortem analysis)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-style text metrics at http://<addr>/metrics (e.g. :9091; empty = off)")
+	hwmon := flag.Bool("hwmon", false, "sample the local /proc tree into the hardware namespace (live stream source)")
+	hwmonEvery := flag.Duration("hwmon-interval", 30*time.Second, "local /proc sampling period (with -hwmon)")
 	flag.Parse()
 
 	svc := core.NewService(core.ServiceConfig{
@@ -61,6 +65,31 @@ func main() {
 		}()
 		defer msrv.Close()
 		log.Printf("somad: metrics at http://%s/metrics", *metricsAddr)
+	}
+
+	// -hwmon turns somad itself into a hardware-namespace stream source: the
+	// local /proc tree is sampled on a wall-clock cadence and published
+	// in-process, so subscribers (somactl watch, somatop sparklines) see live
+	// node data without a separate monitor daemon.
+	if *hwmon {
+		rt := des.NewRealRuntime()
+		defer rt.Shutdown()
+		src, err := procfs.NewRealSource("", des.NewRealClock())
+		if err != nil {
+			log.Fatalf("somad: -hwmon: %v", err)
+		}
+		mon, err := core.NewHWMonitor(core.HWMonitorConfig{
+			Runtime:     rt,
+			Source:      procfs.NewSampler(src),
+			Pub:         core.LocalPublisher{Service: svc},
+			IntervalSec: hwmonEvery.Seconds(),
+		})
+		if err != nil {
+			log.Fatalf("somad: -hwmon: %v", err)
+		}
+		stopMon := mon.Start()
+		defer stopMon()
+		log.Printf("somad: sampling local /proc every %s into the hardware namespace", *hwmonEvery)
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -31,9 +31,10 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	showTel := flag.Bool("telemetry", true, "show the service self-telemetry panel")
+	seriesPat := flag.String("series", "PROC/*/CPU Util", "rollup series key pattern for the sparkline panel (empty = off)")
 	flag.Parse()
 	if *addr == "" {
-		fmt.Fprintln(os.Stderr, "usage: somatop -addr tcp://host:port [-interval 2s] [-once] [-telemetry=false]")
+		fmt.Fprintln(os.Stderr, "usage: somatop -addr tcp://host:port [-interval 2s] [-once] [-telemetry=false] [-series <pattern>]")
 		os.Exit(2)
 	}
 
@@ -61,7 +62,7 @@ func main() {
 				}
 				client = c
 			}
-			return refresh(&sb, *addr, client, core.Analysis{Q: client}, *showTel)
+			return refresh(&sb, *addr, client, core.Analysis{Q: client}, *showTel, *seriesPat)
 		}()
 		if err != nil {
 			// Transient failures (service not up yet, restarting, network
@@ -99,13 +100,15 @@ func main() {
 // refresh renders one full frame. An error means the service could not be
 // reached at all this tick; partial analysis failures degrade to omitted
 // panels inside core.RenderSummary.
-func refresh(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis, showTel bool) error {
+func refresh(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis, showTel bool, seriesPat string) error {
 	stats, err := client.Stats()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(sb, "SOMA %s — %s\n\n", addr, time.Now().Format(time.TimeOnly))
 	core.RenderSummary(sb, analysis, stats)
+	renderSeriesPanel(sb, client, seriesPat)
+	renderAlertsPanel(sb, client)
 	if showTel {
 		snap, err := client.Telemetry()
 		if err != nil {
@@ -115,4 +118,49 @@ func refresh(sb *strings.Builder, addr string, client *core.Client, analysis cor
 		core.RenderTelemetry(sb, snap)
 	}
 	return nil
+}
+
+// maxSparkRows bounds the sparkline panel on large allocations.
+const maxSparkRows = 12
+
+// renderSeriesPanel queries the hardware namespace's rollup series matching
+// pattern and renders one sparkline per key. Services without rollup support
+// (or with no matching series yet) degrade to an omitted panel.
+func renderSeriesPanel(sb *strings.Builder, client *core.Client, pattern string) {
+	if pattern == "" {
+		return
+	}
+	keys, err := client.SeriesKeys(core.NSHardware, pattern)
+	if err != nil || len(keys) == 0 {
+		return
+	}
+	hidden := 0
+	if len(keys) > maxSparkRows {
+		hidden = len(keys) - maxSparkRows
+		keys = keys[:maxSparkRows]
+	}
+	series := make([]core.Series, 0, len(keys))
+	for _, key := range keys {
+		se, err := client.Series(core.NSHardware, key, core.Level1s, 0)
+		if err == nil {
+			series = append(series, se)
+		}
+	}
+	sb.WriteString("\n")
+	core.RenderSeriesSparklines(sb, fmt.Sprintf("series (%s, 1s buckets):", pattern), series)
+	if hidden > 0 {
+		fmt.Fprintf(sb, "  ... and %d more\n", hidden)
+	}
+}
+
+// renderAlertsPanel lists threshold-alert rules and standings. Services
+// without alert support degrade to an omitted panel; an empty rule set is
+// omitted too (unlike somactl alert list, which prints the placeholder).
+func renderAlertsPanel(sb *strings.Builder, client *core.Client) {
+	rules, states, err := client.Alerts()
+	if err != nil || len(rules) == 0 {
+		return
+	}
+	sb.WriteString("\n")
+	core.RenderAlerts(sb, rules, states)
 }

@@ -179,11 +179,28 @@ func splitPath(path string) []string {
 	return segs
 }
 
+// nextSeg iterates path segments without allocating: it returns the first
+// non-empty segment and the remainder. seg is "" only when path is
+// exhausted.
+func nextSeg(path string) (seg, rest string) {
+	for path != "" {
+		i := strings.IndexByte(path, '/')
+		if i < 0 {
+			return path, ""
+		}
+		seg, path = path[:i], path[i+1:]
+		if seg != "" {
+			return seg, path
+		}
+	}
+	return "", ""
+}
+
 // Fetch returns the node at path, creating intermediate object nodes as
 // needed. Fetch with an empty path returns n itself.
 func (n *Node) Fetch(path string) *Node {
 	cur := n
-	for _, seg := range splitPath(path) {
+	for seg, rest := nextSeg(path); seg != ""; seg, rest = nextSeg(rest) {
 		cur = cur.ensureChild(seg)
 	}
 	return cur
@@ -193,7 +210,7 @@ func (n *Node) Fetch(path string) *Node {
 // any path segment is missing.
 func (n *Node) Get(path string) (node *Node, ok bool) {
 	cur := n
-	for _, seg := range splitPath(path) {
+	for seg, rest := nextSeg(path); seg != ""; seg, rest = nextSeg(rest) {
 		cur = cur.Child(seg)
 		if cur == nil {
 			return nil, false
@@ -530,24 +547,39 @@ func MergeCOW(dst, src *Node) *Node {
 // '/'-joined path from n and the leaf node. Returning false from fn stops
 // the walk early.
 func (n *Node) Walk(fn func(path string, leaf *Node) bool) {
-	n.walk("", fn)
+	n.WalkBytes(func(p []byte, leaf *Node) bool { return fn(string(p), leaf) })
 }
 
-func (n *Node) walk(prefix string, fn func(string, *Node) bool) bool {
+// WalkBytes is Walk without the per-leaf string allocation: path aliases an
+// internal buffer that is overwritten as the traversal advances, so callers
+// must copy it if they retain it beyond the callback.
+func (n *Node) WalkBytes(fn func(path []byte, leaf *Node) bool) {
 	if n.kind != KindObject {
-		if n.kind == KindEmpty && prefix == "" {
-			return true
+		if n.kind != KindEmpty {
+			fn(nil, n)
 		}
-		return fn(prefix, n)
+		return
 	}
+	buf := make([]byte, 0, 64)
+	n.walk(buf, fn)
+}
+
+func (n *Node) walk(buf []byte, fn func([]byte, *Node) bool) bool {
 	for _, name := range n.order {
-		p := name
-		if prefix != "" {
-			p = prefix + "/" + name
+		mark := len(buf)
+		if mark > 0 {
+			buf = append(buf, '/')
 		}
-		if !n.lookup(name).walk(p, fn) {
+		buf = append(buf, name...)
+		c := n.lookup(name)
+		if c.kind == KindObject {
+			if !c.walk(buf, fn) {
+				return false
+			}
+		} else if !fn(buf, c) {
 			return false
 		}
+		buf = buf[:mark]
 	}
 	return true
 }

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Threshold alert evaluator: declarative rules (metric pattern, predicate,
+// window, severity) judged against the rollup windows at publish time. A
+// rule transitions to firing when the windowed mean of a matching series
+// crosses its threshold, and back to resolved when it recedes; both
+// transitions are published on the reserved soma.alerts stream so watchers
+// see them without polling. Between transitions the evaluator is silent —
+// the current standing is queryable via soma.alert.list.
+//
+// Cost discipline: with no rules installed the publish path pays one atomic
+// load and skips everything else; with rules, only the series keys touched
+// by the publish at hand are (re-)evaluated.
+
+var (
+	telAlertsFiring      = telemetry.Default().Gauge("core.alerts.firing")
+	telAlertsTransitions = telemetry.Default().Counter("core.alerts.transitions")
+)
+
+// DefaultAlertSeverity is used when a rule does not name one.
+const DefaultAlertSeverity = "warning"
+
+// AlertRule is one declarative threshold rule. A rule watches every series
+// of NS whose key matches Pattern and fires when the mean over the trailing
+// WindowSec seconds satisfies "value Op Threshold".
+type AlertRule struct {
+	Name      string // unique rule name
+	NS        Namespace
+	Pattern   string // series-key glob: '*' one segment, '**' any tail
+	Op        string // one of > < >= <=
+	Threshold float64
+	WindowSec float64 // trailing window width; min 1 (one rollup bucket)
+	Severity  string  // free-form label carried on transitions (default "warning")
+}
+
+func (r *AlertRule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("soma: alert rule missing name")
+	}
+	if !r.NS.Valid() {
+		return &ErrUnknownNamespace{NS: r.NS}
+	}
+	if r.Pattern == "" {
+		return fmt.Errorf("soma: alert rule %q missing pattern", r.Name)
+	}
+	switch r.Op {
+	case ">", "<", ">=", "<=":
+	default:
+		return fmt.Errorf("soma: alert rule %q has unknown op %q", r.Name, r.Op)
+	}
+	if r.WindowSec < 1 {
+		r.WindowSec = 1
+	}
+	if r.Severity == "" {
+		r.Severity = DefaultAlertSeverity
+	}
+	return nil
+}
+
+func (r *AlertRule) eval(v float64) bool {
+	switch r.Op {
+	case ">":
+		return v > r.Threshold
+	case "<":
+		return v < r.Threshold
+	case ">=":
+		return v >= r.Threshold
+	default:
+		return v <= r.Threshold
+	}
+}
+
+// AlertState is the current standing of one (rule, series) pair.
+type AlertState struct {
+	Rule     string
+	NS       Namespace
+	Key      string
+	Severity string
+	Firing   bool
+	Value    float64 // windowed mean at the last transition or evaluation
+	Since    float64 // service time of the last transition
+}
+
+type alertState struct {
+	firing bool
+	value  float64
+	since  float64
+}
+
+// alertEngine holds the rule set and per-(rule, series) state for one
+// service.
+type alertEngine struct {
+	// nrules mirrors len(rules) so the publish hot path can skip evaluation
+	// without taking the lock.
+	nrules atomic.Int64
+
+	mu     sync.Mutex
+	rules  map[string]*AlertRule
+	states map[string]map[string]*alertState // rule name → series key → state
+
+	// notify publishes a transition tree onto the update bus under the
+	// reserved alerts stream; set by the owning Service.
+	notify func(ns Namespace, tree *conduit.Node)
+}
+
+func newAlertEngine(notify func(Namespace, *conduit.Node)) *alertEngine {
+	return &alertEngine{
+		rules:  map[string]*AlertRule{},
+		states: map[string]map[string]*alertState{},
+		notify: notify,
+	}
+}
+
+// active reports whether any rules are installed (lock-free).
+func (e *alertEngine) active() bool { return e.nrules.Load() > 0 }
+
+// set installs or replaces a rule. Replacing clears the rule's firing state
+// (its predicate may have changed meaning).
+func (e *alertEngine) set(r AlertRule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.states[r.Name]; ok {
+		for range firingOf(old) {
+			telAlertsFiring.Dec()
+		}
+	}
+	e.rules[r.Name] = &r
+	e.states[r.Name] = map[string]*alertState{}
+	e.nrules.Store(int64(len(e.rules)))
+	return nil
+}
+
+// remove deletes a rule and its state; it reports whether the rule existed.
+func (e *alertEngine) remove(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.rules[name]; !ok {
+		return false
+	}
+	for range firingOf(e.states[name]) {
+		telAlertsFiring.Dec()
+	}
+	delete(e.rules, name)
+	delete(e.states, name)
+	e.nrules.Store(int64(len(e.rules)))
+	return true
+}
+
+func firingOf(m map[string]*alertState) []string {
+	var out []string
+	for k, st := range m {
+		if st.firing {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// list returns the rule set and the per-series standings, both sorted.
+func (e *alertEngine) list() ([]AlertRule, []AlertState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rules := make([]AlertRule, 0, len(e.rules))
+	for _, r := range e.rules {
+		rules = append(rules, *r)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+	var states []AlertState
+	for name, m := range e.states {
+		r := e.rules[name]
+		for key, st := range m {
+			states = append(states, AlertState{
+				Rule: name, NS: r.NS, Key: key, Severity: r.Severity,
+				Firing: st.firing, Value: st.value, Since: st.since,
+			})
+		}
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].Rule != states[j].Rule {
+			return states[i].Rule < states[j].Rule
+		}
+		return states[i].Key < states[j].Key
+	})
+	return rules, states
+}
+
+// evaluate re-judges every rule of ns against the series keys a publish just
+// touched. now is the newest sample time of the publish; the rule window is
+// [now-WindowSec, now]. Transitions are published via notify.
+func (e *alertEngine) evaluate(ns Namespace, store *seriesStore, keys []string, now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, r := range e.rules {
+		if r.NS != ns {
+			continue
+		}
+		for _, key := range keys {
+			if !matchSeriesKey(r.Pattern, key) {
+				continue
+			}
+			agg, ok := store.window(key, now-r.WindowSec, now)
+			if !ok {
+				continue
+			}
+			firing := r.eval(agg.Mean)
+			m := e.states[name]
+			st, seen := m[key]
+			if !seen {
+				st = &alertState{since: now}
+				m[key] = st
+			}
+			st.value = agg.Mean
+			if seen && firing == st.firing {
+				continue
+			}
+			if !seen && !firing {
+				continue // first sight, healthy: record standing silently
+			}
+			st.firing = firing
+			st.since = now
+			telAlertsTransitions.Inc()
+			if firing {
+				telAlertsFiring.Inc()
+			} else {
+				telAlertsFiring.Dec()
+			}
+			if e.notify != nil {
+				e.notify(ns, alertTransitionTree(r, key, firing, agg.Mean, now))
+			}
+		}
+	}
+}
+
+// alertTransitionTree builds the conduit tree published on the soma.alerts
+// stream for one firing/resolved transition.
+func alertTransitionTree(r *AlertRule, key string, firing bool, value, now float64) *conduit.Node {
+	tr := conduit.NewNode()
+	tr.SetString("rule", r.Name)
+	tr.SetString("key", key)
+	tr.SetString("ns", string(r.NS))
+	tr.SetString("severity", r.Severity)
+	if firing {
+		tr.SetString("state", "firing")
+	} else {
+		tr.SetString("state", "resolved")
+	}
+	tr.SetFloat("value", value)
+	tr.SetFloat("threshold", r.Threshold)
+	tr.SetFloat("window", r.WindowSec)
+	tr.SetFloat("time", now)
+	return tr
+}
+
+// ---------------------------------------------------------------------------
+// Service surface.
+
+// SetAlert installs (or replaces) a threshold alert rule.
+func (s *Service) SetAlert(r AlertRule) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	if _, err := s.instanceFor(r.NS); err != nil {
+		return err
+	}
+	return s.alerts.set(r)
+}
+
+// RemoveAlert deletes a rule by name.
+func (s *Service) RemoveAlert(name string) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	if !s.alerts.remove(name) {
+		return fmt.Errorf("soma: no alert rule named %q", name)
+	}
+	return nil
+}
+
+// Alerts returns the installed rules and current per-series standings.
+func (s *Service) Alerts() ([]AlertRule, []AlertState) {
+	return s.alerts.list()
+}
+
+// ---------------------------------------------------------------------------
+// RPC surface.
+//
+//	alert.set req : {ns, name, pattern, op, threshold, window, severity} → {}
+//	alert.rm  req : {name}                                               → {}
+//	alert.list    : {} → {rules/<name>/..., states/NNNNNN/...}
+
+func (s *Service) handleAlertSet(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	var r AlertRule
+	r.NS = ns
+	r.Name, _ = req.StringVal("name")
+	r.Pattern, _ = req.StringVal("pattern")
+	r.Op, _ = req.StringVal("op")
+	r.Threshold, _ = req.Float("threshold")
+	r.WindowSec, _ = req.Float("window")
+	r.Severity, _ = req.StringVal("severity")
+	if err := s.SetAlert(r); err != nil {
+		return nil, err
+	}
+	return okFrame, nil
+}
+
+func (s *Service) handleAlertRemove(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	name, _ := req.StringVal("name")
+	if err := s.RemoveAlert(name); err != nil {
+		return nil, err
+	}
+	return okFrame, nil
+}
+
+func (s *Service) handleAlertList(_ context.Context, _ []byte) ([]byte, error) {
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	rules, states := s.Alerts()
+	resp := conduit.NewNode()
+	for _, r := range rules {
+		base := "rules/" + r.Name
+		resp.SetString(base+"/ns", string(r.NS))
+		resp.SetString(base+"/pattern", r.Pattern)
+		resp.SetString(base+"/op", r.Op)
+		resp.SetFloat(base+"/threshold", r.Threshold)
+		resp.SetFloat(base+"/window", r.WindowSec)
+		resp.SetString(base+"/severity", r.Severity)
+	}
+	for i, st := range states {
+		base := fmt.Sprintf("states/%06d", i)
+		resp.SetString(base+"/rule", st.Rule)
+		resp.SetString(base+"/ns", string(st.NS))
+		resp.SetString(base+"/key", st.Key)
+		resp.SetString(base+"/severity", st.Severity)
+		if st.Firing {
+			resp.SetString(base+"/state", "firing")
+		} else {
+			resp.SetString(base+"/state", "ok")
+		}
+		resp.SetFloat(base+"/value", st.Value)
+		resp.SetFloat(base+"/since", st.Since)
+	}
+	return resp.EncodeBinary(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Client surface.
+
+// SetAlert installs (or replaces) a threshold alert rule on the service.
+func (c *Client) SetAlert(r AlertRule) error {
+	req := conduit.NewNode()
+	req.SetString("ns", string(r.NS))
+	req.SetString("name", r.Name)
+	req.SetString("pattern", r.Pattern)
+	req.SetString("op", r.Op)
+	req.SetFloat("threshold", r.Threshold)
+	req.SetFloat("window", r.WindowSec)
+	req.SetString("severity", r.Severity)
+	_, err := c.ep.Call(context.Background(), RPCAlertSet, req.EncodeBinary())
+	return err
+}
+
+// RemoveAlert deletes a rule by name.
+func (c *Client) RemoveAlert(name string) error {
+	req := conduit.NewNode()
+	req.SetString("name", name)
+	_, err := c.ep.Call(context.Background(), RPCAlertRemove, req.EncodeBinary())
+	return err
+}
+
+// Alerts fetches the service's installed rules and per-series standings.
+func (c *Client) Alerts() ([]AlertRule, []AlertState, error) {
+	out, err := c.ep.Call(context.Background(), RPCAlertList, conduit.NewNode().EncodeBinary())
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rules []AlertRule
+	if rn, ok := resp.Get("rules"); ok {
+		for _, name := range rn.ChildNames() {
+			sub := rn.Child(name)
+			r := AlertRule{Name: name}
+			if v, ok := sub.StringVal("ns"); ok {
+				r.NS = Namespace(v)
+			}
+			r.Pattern, _ = sub.StringVal("pattern")
+			r.Op, _ = sub.StringVal("op")
+			r.Threshold, _ = sub.Float("threshold")
+			r.WindowSec, _ = sub.Float("window")
+			r.Severity, _ = sub.StringVal("severity")
+			rules = append(rules, r)
+		}
+	}
+	var states []AlertState
+	if sn, ok := resp.Get("states"); ok {
+		for _, name := range sn.ChildNames() {
+			sub := sn.Child(name)
+			st := AlertState{}
+			st.Rule, _ = sub.StringVal("rule")
+			if v, ok := sub.StringVal("ns"); ok {
+				st.NS = Namespace(v)
+			}
+			st.Key, _ = sub.StringVal("key")
+			st.Severity, _ = sub.StringVal("severity")
+			if v, ok := sub.StringVal("state"); ok {
+				st.Firing = v == "firing"
+			}
+			st.Value, _ = sub.Float("value")
+			st.Since, _ = sub.Float("since")
+			states = append(states, st)
+		}
+	}
+	return rules, states, nil
+}

@@ -20,6 +20,10 @@ import (
 // tree after publishing it.
 type Client struct {
 	ep *mercury.Endpoint
+	// addr and engine remember how the endpoint was resolved so
+	// subscriptions can redial after a connection loss (see subscribe.go).
+	addr   string
+	engine *mercury.Engine
 
 	mu    sync.Mutex
 	async chan publishReq
@@ -38,9 +42,11 @@ type Client struct {
 type publishReq struct {
 	ns   Namespace
 	node *conduit.Node
-	// flushed marks a Flush sentinel: the worker closes it instead of
-	// publishing, proving every earlier enqueued publish has been sent.
-	flushed chan struct{}
+	// flushed marks a Flush sentinel: the worker answers on it instead of
+	// publishing, proving every earlier enqueued publish has been sent, and
+	// reports the first error among them (buffered so the worker never
+	// blocks on an abandoned Flush).
+	flushed chan error
 }
 
 // Connect resolves the service address ("inproc://..." or "tcp://...") into
@@ -58,7 +64,7 @@ func Connect(addr string, engine *mercury.Engine) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soma: connect %s: %w", addr, err)
 	}
-	return &Client{ep: ep}, nil
+	return &Client{ep: ep, addr: addr, engine: engine}, nil
 }
 
 // EnableAsync switches Publish to buffered asynchronous mode: publishes are
@@ -84,12 +90,21 @@ func (c *Client) EnableAsync(depth int) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
+		// pendErr is the first publish failure since the last Flush; a
+		// Flush sentinel collects and clears it, so callers learn when
+		// queued publishes died (e.g. the service stopped underneath them)
+		// even if nothing reads c.Errs.
+		var pendErr error
 		for req := range ch {
 			if req.flushed != nil {
-				close(req.flushed)
+				req.flushed <- pendErr
+				pendErr = nil
 				continue
 			}
 			if err := c.publishSync(req.ns, req.node); err != nil {
+				if pendErr == nil {
+					pendErr = err
+				}
 				select {
 				case errs <- err:
 				default:
@@ -117,20 +132,23 @@ func (c *Client) Publish(ns Namespace, n *conduit.Node) error {
 	return c.publishSync(ns, n)
 }
 
-// Flush blocks until every publish enqueued before the call has been sent.
-// A no-op in synchronous mode. Callers that queried data right after a
-// final async publish would otherwise race the background sender — e.g. a
-// monitor's shutdown collection followed by analysis over the same client.
-func (c *Client) Flush() {
+// Flush blocks until every publish enqueued before the call has been sent,
+// and returns the first error those publishes hit (e.g. ErrServiceStopped
+// when the service shut down while they were queued) — a silent drain would
+// let a monitor's final batch vanish unnoticed. A no-op in synchronous
+// mode. Callers that queried data right after a final async publish would
+// otherwise race the background sender — e.g. a monitor's shutdown
+// collection followed by analysis over the same client.
+func (c *Client) Flush() error {
 	c.mu.Lock()
 	async := c.async
 	c.mu.Unlock()
 	if async == nil {
-		return
+		return nil
 	}
-	done := make(chan struct{})
+	done := make(chan error, 1)
 	async <- publishReq{flushed: done}
-	<-done
+	return <-done
 }
 
 // EnableFireAndForget switches Publish to one-way notifications: the client

@@ -97,6 +97,11 @@ func (m *RPMonitor) Ticks() (ticks, errs int64) {
 	return m.ticks, m.errs
 }
 
+// Interval returns the monitor's publish cadence in seconds. Collectors are
+// stream sources: each tick's publish is fanned out to live subscribers, so
+// the cadence bounds how stale a subscriber's view can be.
+func (m *RPMonitor) Interval() float64 { return m.cfg.IntervalSec }
+
 // Collect performs one gather-summarize-publish cycle. It is exported so
 // simulated experiments and tests can force a cycle deterministically.
 func (m *RPMonitor) Collect() {
@@ -241,6 +246,9 @@ func (m *HWMonitor) Ticks() (ticks, errs int64) {
 	defer m.mu.Unlock()
 	return m.ticks, m.errs
 }
+
+// Interval returns the sampling cadence in seconds (see RPMonitor.Interval).
+func (m *HWMonitor) Interval() float64 { return m.cfg.IntervalSec }
 
 // Collect performs one sample-and-publish cycle.
 func (m *HWMonitor) Collect() {

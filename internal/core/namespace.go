@@ -36,6 +36,12 @@ const (
 	NSApplication Namespace = "application"
 )
 
+// NSAlerts is the reserved stream name for threshold-alert transitions. It
+// is not a storage namespace — nothing can be published into it (Valid stays
+// false) — but Client.Subscribe accepts it to follow firing/resolved events
+// from every namespace's alert rules.
+const NSAlerts Namespace = "soma.alerts"
+
 // Namespaces lists all four in the paper's order.
 var Namespaces = []Namespace{NSWorkflow, NSHardware, NSPerformance, NSApplication}
 

@@ -94,6 +94,81 @@ func RenderTelemetry(w io.Writer, snap *telemetry.Snapshot) {
 	}
 }
 
+// RenderAlerts writes the threshold-alert panel: the installed rules, then
+// one line per (rule, series) standing with firing rows first-class visible.
+func RenderAlerts(w io.Writer, rules []AlertRule, states []AlertState) {
+	if len(rules) == 0 {
+		fmt.Fprintln(w, "alerts:    (no rules)")
+		return
+	}
+	fmt.Fprintln(w, "alerts:")
+	for _, r := range rules {
+		fmt.Fprintf(w, "  rule %-16s %s %s %s %g window=%gs severity=%s\n",
+			r.Name, r.NS, r.Pattern, r.Op, r.Threshold, r.WindowSec, r.Severity)
+	}
+	for _, st := range states {
+		label := "ok"
+		if st.Firing {
+			label = "FIRING"
+		}
+		fmt.Fprintf(w, "  %-6s %-16s %-32s value=%.3f since=%.3f\n",
+			label, st.Rule, st.Key, st.Value, st.Since)
+	}
+}
+
+// sparkRunes is the 8-level bar strip used for series sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode bar strip scaled to their min/max
+// range, keeping the newest width values (width <= 0 keeps all). A flat
+// series renders at the lowest level.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > 0 && len(values) > width {
+		values = values[len(values)-width:]
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// RenderSeriesSparklines writes one sparkline row per series from its 1s
+// bucket means, with the latest value and the bucket count.
+func RenderSeriesSparklines(w io.Writer, title string, series []Series) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for _, se := range series {
+		if len(se.Bucket) == 0 {
+			continue
+		}
+		means := make([]float64, len(se.Bucket))
+		for i, b := range se.Bucket {
+			means[i] = b.Mean
+		}
+		fmt.Fprintf(w, "  %-32s %s %10.2f (%d pts)\n",
+			se.Key, Sparkline(means, 40), means[len(means)-1], len(se.Bucket))
+	}
+}
+
 // RenderSpans writes the newest limit spans (oldest of those first), one per
 // line with trace/span/parent ids in hex. limit <= 0 renders every span.
 func RenderSpans(w io.Writer, spans []telemetry.SpanSnapshot, limit int) {

@@ -132,3 +132,77 @@ func TestRenderSpansLimit(t *testing.T) {
 		t.Errorf("parent id not rendered:\n%s", got)
 	}
 }
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	// A monotone ramp spans the rune range, lowest to highest.
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// A flat series renders at the lowest level.
+	if got := Sparkline([]float64{5, 5, 5}, 0); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	// Width keeps the newest values.
+	if got := Sparkline([]float64{9, 9, 0, 7}, 2); got != "▁█" {
+		t.Errorf("windowed = %q", got)
+	}
+}
+
+func TestRenderAlertsGolden(t *testing.T) {
+	var sb strings.Builder
+	RenderAlerts(&sb, nil, nil)
+	if sb.String() != "alerts:    (no rules)\n" {
+		t.Errorf("empty alerts = %q", sb.String())
+	}
+
+	sb.Reset()
+	rules := []AlertRule{{
+		Name: "cpu-hot", NS: NSHardware, Pattern: "PROC/*/CPU Util",
+		Op: ">", Threshold: 90, WindowSec: 10, Severity: "critical",
+	}}
+	states := []AlertState{
+		{Rule: "cpu-hot", NS: NSHardware, Key: "PROC/cn01/CPU Util", Severity: "critical", Firing: true, Value: 97.5, Since: 12.25},
+		{Rule: "cpu-hot", NS: NSHardware, Key: "PROC/cn02/CPU Util", Severity: "critical", Firing: false, Value: 40, Since: 1},
+	}
+	RenderAlerts(&sb, rules, states)
+	want := `alerts:
+  rule cpu-hot          hardware PROC/*/CPU Util > 90 window=10s severity=critical
+  FIRING cpu-hot          PROC/cn01/CPU Util               value=97.500 since=12.250
+  ok     cpu-hot          PROC/cn02/CPU Util               value=40.000 since=1.000
+`
+	if got := sb.String(); got != want {
+		t.Errorf("RenderAlerts mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderSeriesSparklines(t *testing.T) {
+	var sb strings.Builder
+	RenderSeriesSparklines(&sb, "series:", nil)
+	if sb.String() != "" {
+		t.Errorf("empty series rendered %q", sb.String())
+	}
+	series := []Series{
+		{Key: "PROC/cn01/CPU Util", Level: Level1s, Bucket: []SeriesBucket{
+			{Start: 0, Mean: 10, Count: 4}, {Start: 1, Mean: 90, Count: 4},
+		}},
+		{Key: "no-buckets", Level: Level1s},
+	}
+	RenderSeriesSparklines(&sb, "series:", series)
+	got := sb.String()
+	if !strings.HasPrefix(got, "series:\n") {
+		t.Errorf("missing title:\n%s", got)
+	}
+	if !strings.Contains(got, "PROC/cn01/CPU Util") || !strings.Contains(got, "▁█") {
+		t.Errorf("sparkline row missing:\n%s", got)
+	}
+	if strings.Contains(got, "no-buckets") {
+		t.Errorf("bucketless series rendered:\n%s", got)
+	}
+	if lines := strings.Count(got, "\n"); lines != 2 {
+		t.Errorf("rendered %d lines:\n%s", lines, got)
+	}
+}

@@ -1,0 +1,652 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Windowed rollup engine: per-namespace time-series buckets populated at
+// publish time, off the stripe append. Every numeric leaf of a published
+// tree becomes one sample of a series; consecutive samples of the same
+// series are downsampled into 1 s and 10 s min/max/mean/count buckets held
+// in fixed-size rings, so somatop can render sparklines (and the alert
+// evaluator can judge windows) without ever re-merging publish history.
+//
+// Series identity: the paper's layouts embed the sample timestamp in the
+// leaf path (PROC/<host>/<ts>/CPU Util, RP/summary/<ts>/running), which
+// would make every publish a brand-new path. The rollup folds timestamp
+// segments out: any path segment that parses as a float is treated as the
+// sample time and removed from the series key, so
+//
+//	PROC/cn01/123.500000/CPU Util  →  key "PROC/cn01/CPU Util", t=123.5
+//
+// and successive samples land in the same series. Leaves without a
+// timestamp segment are stamped with the publish arrival time.
+
+// Rollup ring geometry. Retention = capacity × bucket width: ~8.5 min of 1 s
+// buckets, ~85 min of 10 s buckets, plus the newest rawCap raw points.
+const (
+	rawCap = 512
+	b1Cap  = 512
+	b10Cap = 512
+
+	// defaultMaxSeries bounds distinct series per namespace instance; leaves
+	// beyond the cap are skipped and counted (core.series.dropped).
+	defaultMaxSeries = 8192
+
+	// seriesShards spreads series of one instance across locks so concurrent
+	// publishers (stripes) rarely contend.
+	seriesShards = 16
+)
+
+var (
+	telSeriesPoints  = telemetry.Default().Counter("core.series.points")
+	telSeriesDropped = telemetry.Default().Counter("core.series.dropped")
+)
+
+// SeriesLevel selects a rollup resolution.
+type SeriesLevel string
+
+// The three levels of the raw → 1s → 10s downsampling cascade.
+const (
+	LevelRaw SeriesLevel = "raw"
+	Level1s  SeriesLevel = "1s"
+	Level10s SeriesLevel = "10s"
+)
+
+func (l SeriesLevel) valid() bool {
+	return l == LevelRaw || l == Level1s || l == Level10s
+}
+
+func (l SeriesLevel) width() float64 {
+	if l == Level10s {
+		return 10
+	}
+	return 1
+}
+
+// SeriesPoint is one raw sample.
+type SeriesPoint struct {
+	Time  float64
+	Value float64
+}
+
+// SeriesBucket is one downsampled window.
+type SeriesBucket struct {
+	Start float64 // window start (inclusive)
+	Min   float64
+	Max   float64
+	Mean  float64
+	Count int64
+}
+
+type rawRing struct {
+	pts  [rawCap]SeriesPoint
+	head int // next write slot
+	n    int
+}
+
+func (r *rawRing) push(p SeriesPoint) {
+	r.pts[r.head] = p
+	r.head = (r.head + 1) % rawCap
+	if r.n < rawCap {
+		r.n++
+	}
+}
+
+// bucket is one rollup window; start < 0 marks an empty slot.
+type bucket struct {
+	start    int64
+	min, max float64
+	sum      float64
+	count    int64
+}
+
+type bucketRing struct {
+	width int64
+	slots []bucket
+}
+
+func newBucketRing(width int64, cap_ int) bucketRing {
+	slots := make([]bucket, cap_)
+	for i := range slots {
+		slots[i].start = -1
+	}
+	return bucketRing{width: width, slots: slots}
+}
+
+// add folds one sample into its window. Slots are addressed by
+// (start/width) mod cap, with the stored start disambiguating generations:
+// a newer window evicts the slot, an older (late) sample is dropped.
+func (br *bucketRing) add(t, v float64) {
+	start := int64(math.Floor(t/float64(br.width))) * br.width
+	slot := &br.slots[int((start/br.width)%int64(len(br.slots)))]
+	switch {
+	case slot.start == start:
+		if v < slot.min {
+			slot.min = v
+		}
+		if v > slot.max {
+			slot.max = v
+		}
+		slot.sum += v
+		slot.count++
+	case slot.start < start:
+		*slot = bucket{start: start, min: v, max: v, sum: v, count: 1}
+	default:
+		// Late sample whose window was already evicted by the ring: drop.
+	}
+}
+
+// collect returns the non-empty buckets with Start >= after, oldest first.
+func (br *bucketRing) collect(after float64) []SeriesBucket {
+	out := make([]SeriesBucket, 0, 64)
+	for i := range br.slots {
+		b := &br.slots[i]
+		if b.start < 0 || float64(b.start) < after || b.count == 0 {
+			continue
+		}
+		out = append(out, SeriesBucket{
+			Start: float64(b.start), Min: b.min, Max: b.max,
+			Mean: b.sum / float64(b.count), Count: b.count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// series is one metric's rollup state. Guarded by its shard's lock.
+type series struct {
+	raw rawRing
+	b1  bucketRing
+	b10 bucketRing
+}
+
+func newSeries() *series {
+	return &series{b1: newBucketRing(1, b1Cap), b10: newBucketRing(10, b10Cap)}
+}
+
+type seriesShard struct {
+	mu sync.Mutex
+	m  map[string]*series
+}
+
+// seriesStore holds every series of one namespace instance.
+type seriesStore struct {
+	maxSeries int
+	count     int // total series across shards; guarded by countMu
+	countMu   sync.Mutex
+	shards    [seriesShards]seriesShard
+}
+
+func newSeriesStore(maxSeries int) *seriesStore {
+	if maxSeries <= 0 {
+		maxSeries = defaultMaxSeries
+	}
+	st := &seriesStore{maxSeries: maxSeries}
+	for i := range st.shards {
+		st.shards[i].m = map[string]*series{}
+	}
+	return st
+}
+
+// fnv1a hashes the series key onto a shard.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func fnv1aBytes(s []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// observe folds one sample into its series, creating the series on first
+// sight (up to the cap). key may alias a transient buffer: it is only
+// copied when a new series is created.
+func (st *seriesStore) observe(key []byte, t, v float64) {
+	sh := &st.shards[fnv1aBytes(key)%seriesShards]
+	sh.mu.Lock()
+	se, ok := sh.m[string(key)] // no alloc: map lookup special case
+	if !ok {
+		st.countMu.Lock()
+		if st.count >= st.maxSeries {
+			st.countMu.Unlock()
+			sh.mu.Unlock()
+			telSeriesDropped.Inc()
+			return
+		}
+		st.count++
+		st.countMu.Unlock()
+		se = newSeries()
+		sh.m[string(key)] = se
+	}
+	se.raw.push(SeriesPoint{Time: t, Value: v})
+	se.b1.add(t, v)
+	se.b10.add(t, v)
+	sh.mu.Unlock()
+	telSeriesPoints.Inc()
+}
+
+// splitSeriesPath derives (key, sampleTime) from one leaf path: the last
+// fully numeric segment is the sample timestamp and is folded out of the
+// key; fallback stamps the sample with the publish arrival time.
+func splitSeriesPath(path string, arrival float64) (string, float64) {
+	key, t, _ := splitSeriesPathBytes([]byte(path), arrival, nil)
+	return string(key), t
+}
+
+// splitSeriesPathBytes is the allocation-free core of splitSeriesPath for
+// the ingest hot path: key aliases either path or scratch (grown and
+// returned for reuse), so it is transient like the walk buffer it comes
+// from.
+func splitSeriesPathBytes(path []byte, arrival float64, scratch []byte) (key []byte, t float64, _ []byte) {
+	t = arrival
+	found := -1 // byte offset of the timestamp segment
+	end := len(path)
+	// Scan segments right to left so the innermost timestamp wins. The
+	// leading-byte check keeps ParseFloat (whose failure allocates an
+	// error) off the hot path for ordinary metric-name segments.
+	for end > 0 {
+		begin := bytes.LastIndexByte(path[:end], '/') + 1
+		seg := path[begin:end]
+		if len(seg) > 0 && (seg[0] == '-' || seg[0] == '+' || seg[0] == '.' || (seg[0] >= '0' && seg[0] <= '9')) {
+			if v, err := strconv.ParseFloat(string(seg), 64); err == nil {
+				t = v
+				found = begin
+				break
+			}
+		}
+		end = begin - 1
+	}
+	if found < 0 {
+		return path, t, scratch
+	}
+	segEnd := end
+	switch {
+	case found == 0:
+		if segEnd < len(path) {
+			return path[segEnd+1:], t, scratch
+		}
+		return nil, t, scratch
+	case segEnd >= len(path):
+		return path[:found-1], t, scratch
+	default:
+		scratch = append(scratch[:0], path[:found-1]...)
+		scratch = append(scratch, path[segEnd:]...)
+		return scratch, t, scratch
+	}
+}
+
+// ingest walks the published tree's numeric leaves into the store and
+// returns the series keys that were updated (for alert evaluation); keys is
+// nil when the caller passes collect=false. The walk, the key derivation
+// and the store lookup all reuse buffers — the steady-state publish path
+// allocates nothing here.
+func (st *seriesStore) ingest(arrival float64, n *conduit.Node, collect bool) (keys []string, maxT float64) {
+	maxT = arrival
+	var scratch []byte
+	n.WalkBytes(func(path []byte, leaf *conduit.Node) bool {
+		var v float64
+		switch leaf.Kind() {
+		case conduit.KindFloat:
+			v, _ = leaf.Float("")
+		case conduit.KindInt:
+			iv, _ := leaf.Int("")
+			v = float64(iv)
+		default:
+			return true
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		var key []byte
+		var t float64
+		key, t, scratch = splitSeriesPathBytes(path, arrival, scratch)
+		if len(key) == 0 {
+			return true
+		}
+		st.observe(key, t, v)
+		if t > maxT {
+			maxT = t
+		}
+		if collect {
+			keys = append(keys, string(key))
+		}
+		return true
+	})
+	return keys, maxT
+}
+
+// query returns one series' data at the requested level. Raw level fills
+// Points; bucket levels fill Buckets.
+func (st *seriesStore) query(key string, level SeriesLevel, after float64) (pts []SeriesPoint, buckets []SeriesBucket, ok bool) {
+	sh := &st.shards[fnv1a(key)%seriesShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	se, found := sh.m[key]
+	if !found {
+		return nil, nil, false
+	}
+	switch level {
+	case LevelRaw:
+		pts = make([]SeriesPoint, 0, se.raw.n)
+		for i := 0; i < se.raw.n; i++ {
+			p := se.raw.pts[(se.raw.head-se.raw.n+i+rawCap)%rawCap]
+			if p.Time >= after {
+				pts = append(pts, p)
+			}
+		}
+		return pts, nil, true
+	case Level10s:
+		return nil, se.b10.collect(after), true
+	default:
+		return nil, se.b1.collect(after), true
+	}
+}
+
+// window aggregates the 1 s buckets of [from, to] into one min/max/mean —
+// the alert evaluator's view of a rule window.
+func (st *seriesStore) window(key string, from, to float64) (SeriesBucket, bool) {
+	_, buckets, ok := st.query(key, Level1s, from)
+	if !ok || len(buckets) == 0 {
+		return SeriesBucket{}, false
+	}
+	agg := SeriesBucket{Start: from, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, b := range buckets {
+		if b.Start > to {
+			continue
+		}
+		if b.Min < agg.Min {
+			agg.Min = b.Min
+		}
+		if b.Max > agg.Max {
+			agg.Max = b.Max
+		}
+		sum += b.Mean * float64(b.Count)
+		agg.Count += b.Count
+	}
+	if agg.Count == 0 {
+		return SeriesBucket{}, false
+	}
+	agg.Mean = sum / float64(agg.Count)
+	return agg, true
+}
+
+// keysMatching returns the sorted series keys matching a '/'-separated glob
+// ('*' = one segment, '**' = any tail); "" or "**" matches everything.
+func (st *seriesStore) keysMatching(pattern string) []string {
+	var out []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if pattern == "" || matchSeriesKey(pattern, k) {
+				out = append(out, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reset discards every series (phase boundaries, mirroring ResetNamespace).
+func (st *seriesStore) reset() {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n := len(sh.m)
+		sh.m = map[string]*series{}
+		sh.mu.Unlock()
+		st.countMu.Lock()
+		st.count -= n
+		st.countMu.Unlock()
+	}
+}
+
+// matchSeriesKey implements the same glob semantics as conduit's Select
+// over an already-flattened key: '*' matches exactly one segment, '**'
+// matches any (possibly empty) tail.
+func matchSeriesKey(pattern, key string) bool {
+	return matchSegs(strings.Split(pattern, "/"), strings.Split(key, "/"))
+}
+
+func matchSegs(pat, segs []string) bool {
+	for len(pat) > 0 {
+		p := pat[0]
+		if p == "**" {
+			if len(pat) == 1 {
+				return true
+			}
+			for i := 0; i <= len(segs); i++ {
+				if matchSegs(pat[1:], segs[i:]) {
+					return true
+				}
+			}
+			return false
+		}
+		if len(segs) == 0 {
+			return false
+		}
+		if p != "*" && p != segs[0] {
+			return false
+		}
+		pat, segs = pat[1:], segs[1:]
+	}
+	return len(segs) == 0
+}
+
+// ---------------------------------------------------------------------------
+// Service surface.
+
+// Series is one rollup query result as the client sees it.
+type Series struct {
+	Key    string
+	Level  SeriesLevel
+	Points []SeriesPoint  // raw level
+	Bucket []SeriesBucket // 1s / 10s levels
+}
+
+// ErrNoSeries reports a query for a series key that has no data.
+var ErrNoSeries = fmt.Errorf("soma: no such series")
+
+func (s *Service) seriesStoreFor(ns Namespace) (*seriesStore, error) {
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	if in.rollup == nil {
+		return nil, fmt.Errorf("soma: rollups disabled")
+	}
+	return in.rollup, nil
+}
+
+// QuerySeries returns the rollup data for one series key of a namespace at
+// the requested level, with Start/Time >= after.
+func (s *Service) QuerySeries(ns Namespace, key string, level SeriesLevel, after float64) (Series, error) {
+	if !level.valid() {
+		return Series{}, fmt.Errorf("soma: unknown series level %q", level)
+	}
+	st, err := s.seriesStoreFor(ns)
+	if err != nil {
+		return Series{}, err
+	}
+	pts, buckets, ok := st.query(key, level, after)
+	if !ok {
+		return Series{}, fmt.Errorf("%w: %s/%s", ErrNoSeries, ns, key)
+	}
+	return Series{Key: key, Level: level, Points: pts, Bucket: buckets}, nil
+}
+
+// SeriesKeys lists the series keys of a namespace matching a glob pattern
+// ("" = all), sorted.
+func (s *Service) SeriesKeys(ns Namespace, pattern string) ([]string, error) {
+	st, err := s.seriesStoreFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	return st.keysMatching(pattern), nil
+}
+
+// ---------------------------------------------------------------------------
+// RPC surface.
+//
+//	series req : {ns, key, level, after}        → resp: {key, level, times[], min[], max[], mean[], count[]}
+//	             {ns, pattern}                  → resp: {keys[...]}
+
+func (s *Service) handleSeries(_ context.Context, payload []byte) ([]byte, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	resp := conduit.NewNode()
+	if key, ok := req.StringVal("key"); ok {
+		level := Level1s
+		if lv, ok := req.StringVal("level"); ok && lv != "" {
+			level = SeriesLevel(lv)
+		}
+		after, _ := req.Float("after")
+		se, err := s.QuerySeries(ns, key, level, after)
+		if err != nil {
+			return nil, err
+		}
+		resp.SetString("key", se.Key)
+		resp.SetString("level", string(se.Level))
+		if level == LevelRaw {
+			times := make([]float64, len(se.Points))
+			vals := make([]float64, len(se.Points))
+			for i, p := range se.Points {
+				times[i], vals[i] = p.Time, p.Value
+			}
+			resp.SetFloatArray("times", times)
+			resp.SetFloatArray("values", vals)
+			return resp.EncodeBinary(), nil
+		}
+		times := make([]float64, len(se.Bucket))
+		mins := make([]float64, len(se.Bucket))
+		maxs := make([]float64, len(se.Bucket))
+		means := make([]float64, len(se.Bucket))
+		counts := make([]int64, len(se.Bucket))
+		for i, b := range se.Bucket {
+			times[i], mins[i], maxs[i], means[i], counts[i] = b.Start, b.Min, b.Max, b.Mean, b.Count
+		}
+		resp.SetFloatArray("times", times)
+		resp.SetFloatArray("min", mins)
+		resp.SetFloatArray("max", maxs)
+		resp.SetFloatArray("mean", means)
+		resp.SetIntArray("count", counts)
+		return resp.EncodeBinary(), nil
+	}
+	pattern, _ := req.StringVal("pattern")
+	keys, err := s.SeriesKeys(ns, pattern)
+	if err != nil {
+		return nil, err
+	}
+	var keyBuf [32]byte
+	for i, k := range keys {
+		resp.SetString(string(appendMatchKey(keyBuf[:0], i)), k)
+	}
+	return resp.EncodeBinary(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Client surface.
+
+// Series fetches one series' rollup data via soma.series: raw points, or
+// 1s/10s min/max/mean/count buckets, with Time/Start >= after.
+func (c *Client) Series(ns Namespace, key string, level SeriesLevel, after float64) (Series, error) {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("key", key)
+	req.SetString("level", string(level))
+	req.SetFloat("after", after)
+	out, err := c.ep.Call(context.Background(), RPCSeries, req.EncodeBinary())
+	if err != nil {
+		return Series{}, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return Series{}, err
+	}
+	se := Series{}
+	se.Key, _ = resp.StringVal("key")
+	if lv, ok := resp.StringVal("level"); ok {
+		se.Level = SeriesLevel(lv)
+	}
+	times, _ := resp.FloatArray("times")
+	if se.Level == LevelRaw {
+		values, _ := resp.FloatArray("values")
+		for i := range times {
+			if i < len(values) {
+				se.Points = append(se.Points, SeriesPoint{Time: times[i], Value: values[i]})
+			}
+		}
+		return se, nil
+	}
+	mins, _ := resp.FloatArray("min")
+	maxs, _ := resp.FloatArray("max")
+	means, _ := resp.FloatArray("mean")
+	counts, _ := resp.IntArray("count")
+	for i := range times {
+		if i >= len(mins) || i >= len(maxs) || i >= len(means) || i >= len(counts) {
+			break
+		}
+		se.Bucket = append(se.Bucket, SeriesBucket{
+			Start: times[i], Min: mins[i], Max: maxs[i], Mean: means[i], Count: counts[i],
+		})
+	}
+	return se, nil
+}
+
+// SeriesKeys lists a namespace's rollup series keys matching a glob pattern
+// ("" = all), sorted.
+func (c *Client) SeriesKeys(ns Namespace, pattern string) ([]string, error) {
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("pattern", pattern)
+	out, err := c.ep.Call(context.Background(), RPCSeries, req.EncodeBinary())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	matches, ok := resp.Get("matches")
+	if !ok {
+		return nil, nil
+	}
+	var keys []string
+	for _, name := range matches.ChildNames() {
+		if k, ok := matches.StringVal(name); ok {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}

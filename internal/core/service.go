@@ -15,6 +15,7 @@ import (
 	"github.com/hpcobs/gosoma/internal/des"
 	"github.com/hpcobs/gosoma/internal/mercury"
 	"github.com/hpcobs/gosoma/internal/telemetry"
+	"github.com/hpcobs/gosoma/internal/zmq"
 )
 
 // Service-side telemetry: ingest and rebuild latency histograms, shared by
@@ -44,6 +45,16 @@ type ServiceConfig struct {
 	MaxRecords int
 	// Clock stamps arrivals; defaults to a real clock.
 	Clock des.Clock
+	// SubscriberHighWater bounds each update-bus subscriber's buffered
+	// message count before the service starts dropping for that subscriber;
+	// 0 means zmq.DefaultHighWater.
+	SubscriberHighWater int
+	// DisableRollups turns off the windowed series rollups (and with them
+	// soma.series and threshold-alert evaluation).
+	DisableRollups bool
+	// RollupMaxSeries caps distinct rollup series per namespace instance;
+	// 0 means the default (8192).
+	RollupMaxSeries int
 }
 
 func (c *ServiceConfig) defaults() {
@@ -133,6 +144,10 @@ type instance struct {
 	// rebuildMu serializes snapshot rebuilds and resets; publishes never
 	// take it.
 	rebuildMu sync.Mutex
+
+	// rollup holds the instance's windowed time-series buckets (see
+	// series.go); nil when rollups are disabled.
+	rollup *seriesStore
 }
 
 var emptySnapshot = snapshot{tree: conduit.NewNode()}
@@ -288,6 +303,9 @@ func (in *instance) reset() {
 	}
 	in.snap.Store(&snapshot{gen: g, tree: conduit.NewNode()})
 	in.rebuildMu.Unlock()
+	if in.rollup != nil {
+		in.rollup.reset()
+	}
 }
 
 // Service is the SOMA service task: N service processes split across one
@@ -296,6 +314,11 @@ type Service struct {
 	cfg       ServiceConfig
 	engine    *mercury.Engine
 	instances map[Namespace]*instance
+
+	// bus fans publishes and alert transitions out to subscribers; it is
+	// served remotely through the engine under UpdatesBusName.
+	bus    *zmq.PubSub
+	alerts *alertEngine
 
 	mu      sync.Mutex
 	addrs   []string
@@ -311,6 +334,11 @@ const (
 	RPCReset     = "soma.reset"
 	RPCSelect    = "soma.select"
 	RPCTelemetry = "soma.telemetry"
+
+	RPCSeries      = "soma.series"
+	RPCAlertSet    = "soma.alert.set"
+	RPCAlertList   = "soma.alert.list"
+	RPCAlertRemove = "soma.alert.rm"
 )
 
 // ErrServiceStopped is returned for requests after shutdown.
@@ -339,6 +367,22 @@ func NewService(cfg ServiceConfig) *Service {
 			s.instances[ns] = newInstance(ns, cfg.RanksPerNamespace, cfg.MaxRecords, stripes)
 		}
 	}
+	if !cfg.DisableRollups {
+		if cfg.Shared {
+			s.instances[NSWorkflow].rollup = newSeriesStore(cfg.RollupMaxSeries)
+		} else {
+			for _, ns := range Namespaces {
+				s.instances[ns].rollup = newSeriesStore(cfg.RollupMaxSeries)
+			}
+		}
+	}
+	hw := cfg.SubscriberHighWater
+	if hw <= 0 {
+		hw = zmq.DefaultHighWater
+	}
+	s.bus = zmq.NewPubSubHW(hw)
+	s.alerts = newAlertEngine(s.publishAlertStream)
+	zmq.NewServer(s.engine).AttachBus(UpdatesBusName, s.bus)
 	s.engine.Register(RPCPublish, s.handlePublish)
 	s.engine.Register(RPCQuery, s.handleQuery)
 	s.engine.Register(RPCStats, s.handleStats)
@@ -346,6 +390,10 @@ func NewService(cfg ServiceConfig) *Service {
 	s.engine.Register(RPCReset, s.handleReset)
 	s.engine.Register(RPCSelect, s.handleSelect)
 	s.engine.Register(RPCTelemetry, s.handleTelemetry)
+	s.engine.Register(RPCSeries, s.handleSeries)
+	s.engine.Register(RPCAlertSet, s.handleAlertSet)
+	s.engine.Register(RPCAlertList, s.handleAlertList)
+	s.engine.Register(RPCAlertRemove, s.handleAlertRemove)
 	return s
 }
 
@@ -373,12 +421,17 @@ func (s *Service) Addrs() []string {
 // Engine exposes the underlying RPC engine (stats, tests).
 func (s *Service) Engine() *mercury.Engine { return s.engine }
 
-// Close shuts the service down.
+// Close shuts the service down: the engine close wakes any long-polling
+// subscribers, then the update bus closes their channels.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
-	return s.engine.Close()
+	err := s.engine.Close()
+	if s.bus != nil {
+		s.bus.Close()
+	}
+	return err
 }
 
 // Stopped reports whether shutdown was requested.
@@ -420,13 +473,24 @@ func (s *Service) PublishCtx(ctx context.Context, ns Namespace, n *conduit.Node,
 	}
 	// The span shares the histogram's two clock reads, so tracing adds no
 	// extra time.Now on this hot path (see make telemetry-overhead).
+	now := s.cfg.Clock.Now()
 	start := time.Now()
 	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append", start)
-	in.publish(s.cfg.Clock.Now(), n, rawBytes)
+	in.publish(now, n, rawBytes)
 	end := time.Now()
 	telPubLatency.Observe(end.Sub(start))
 	telPublishes.Inc()
 	sp.EndAt(end)
+	// Stream side of the ingest: fold the publish into the rollup buckets,
+	// re-judge any alert rules its series touch, and fan it out to live
+	// subscribers. Each stage short-circuits to an atomic check when unused.
+	if in.rollup != nil {
+		keys, maxT := in.rollup.ingest(now, n, s.alerts.active())
+		if len(keys) > 0 {
+			s.alerts.evaluate(ns, in.rollup, keys, maxT)
+		}
+	}
+	s.fanOut(now, ns, n)
 	return nil
 }
 

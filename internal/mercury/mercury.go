@@ -129,16 +129,30 @@ func clientHist(name string) *telemetry.Histogram {
 	return h
 }
 
+// registration is one installed handler plus its dispatch flavour.
+type registration struct {
+	h Handler
+	// blocking marks long-poll handlers (RegisterBlocking): they run with a
+	// context cancelled at engine Close and stay out of the per-RPC server
+	// latency histograms, which would otherwise be dominated by intentional
+	// waiting.
+	blocking bool
+}
+
 // Engine hosts RPC handlers and manages transports. A process typically has
 // one Engine per service or client role.
 type Engine struct {
 	mu        sync.RWMutex
-	handlers  map[string]Handler
+	handlers  map[string]registration
 	listeners []net.Listener
 	addrs     []string
 	endpoints []*Endpoint // endpoints created via e.Lookup, closed with the engine
-	closed    bool
-	wg        sync.WaitGroup
+	// conns tracks accepted server-side connections so Close can sever them;
+	// otherwise shutdown would wait for every client to hang up first.
+	conns   map[net.Conn]struct{}
+	closed  bool
+	closeCh chan struct{} // closed in Close; wakes blocking handlers
+	wg      sync.WaitGroup
 
 	// Stats is exported for observability of the observability system.
 	Stats Stats
@@ -146,14 +160,29 @@ type Engine struct {
 
 // NewEngine returns an engine with no handlers registered.
 func NewEngine() *Engine {
-	return &Engine{handlers: map[string]Handler{}}
+	return &Engine{
+		handlers: map[string]registration{},
+		conns:    map[net.Conn]struct{}{},
+		closeCh:  make(chan struct{}),
+	}
 }
 
 // Register installs a handler under name, replacing any previous handler.
 func (e *Engine) Register(name string, h Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.handlers[name] = h
+	e.handlers[name] = registration{h: h}
+}
+
+// RegisterBlocking installs a handler that is expected to block — long-poll
+// receives, streaming waits. Its context is cancelled when the engine closes
+// (so shutdown never waits out a poll timeout), and its wall time is excluded
+// from the server latency histograms (a long-poll's dwell is intentional
+// waiting, not service latency). Counters and in-flight gauges still apply.
+func (e *Engine) RegisterBlocking(name string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[name] = registration{h: h, blocking: true}
 }
 
 // Deregister removes a handler.
@@ -163,20 +192,40 @@ func (e *Engine) Deregister(name string) {
 	delete(e.handlers, name)
 }
 
-func (e *Engine) handler(name string) (Handler, bool, error) {
+func (e *Engine) handler(name string) (registration, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		return nil, false, ErrClosed
+		return registration{}, false, ErrClosed
 	}
 	h, ok := e.handlers[name]
 	return h, ok, nil
 }
 
+// cancelOnClose derives a context that is cancelled when the engine closes.
+// The returned release must be called when the handler returns; it reclaims
+// the watcher goroutine.
+func (e *Engine) cancelOnClose(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-e.closeCh:
+			cancel()
+		case <-done:
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() {
+		cancel()
+		close(done)
+	}
+}
+
 // dispatch runs the named handler locally; used by both transports. The
 // handler's wall time lands in the per-RPC server latency histogram.
 func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byte, error) {
-	h, ok, err := e.handler(name)
+	reg, ok, err := e.handler(name)
 	if err != nil {
 		return nil, fmt.Errorf("%w (engine closed before dispatching %q)", err, name)
 	}
@@ -188,9 +237,17 @@ func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byt
 	telCallsServed.Inc()
 	telBytesIn.Add(int64(len(input)))
 	telServerInfl.Inc()
-	start := time.Now()
-	out, err := h(ctx, input)
-	serverHist(name).ObserveSince(start)
+	var out []byte
+	if reg.blocking {
+		var release func()
+		ctx, release = e.cancelOnClose(ctx)
+		out, err = reg.h(ctx, input)
+		release()
+	} else {
+		start := time.Now()
+		out, err = reg.h(ctx, input)
+		serverHist(name).ObserveSince(start)
+	}
 	telServerInfl.Dec()
 	if err != nil {
 		e.Stats.HandlerErrors.Add(1)
@@ -261,9 +318,14 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.closeCh) // wake blocking handlers before awaiting them
 	lns := e.listeners
 	addrs := e.addrs
 	eps := e.endpoints
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
 	e.listeners = nil
 	e.addrs = nil
 	e.endpoints = nil
@@ -271,6 +333,12 @@ func (e *Engine) Close() error {
 
 	for _, ln := range lns {
 		ln.Close()
+	}
+	// Sever accepted connections: their serve loops are parked in reads that
+	// only a close will interrupt, and shutdown must not wait for clients to
+	// hang up on their own.
+	for _, c := range conns {
+		c.Close()
 	}
 	for _, a := range addrs {
 		if scheme, rest, err := splitAddr(a); err == nil && scheme == "inproc" {
@@ -651,6 +719,18 @@ func (e *Engine) acceptLoop(ln net.Listener) {
 func (e *Engine) serveConn(conn net.Conn) {
 	defer e.wg.Done()
 	defer conn.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.conns[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
 	br := bufio.NewReader(conn)
 	var writeMu sync.Mutex
 	var handlerWG sync.WaitGroup

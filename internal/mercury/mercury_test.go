@@ -533,3 +533,107 @@ func TestLatencyHistogramsRecorded(t *testing.T) {
 		t.Errorf("client histogram grew by %d, want 3", got)
 	}
 }
+
+func TestBlockingHandlerCancelledOnClose(t *testing.T) {
+	// A blocking (long-poll) handler parks on its context; engine Close must
+	// cancel it and complete promptly instead of waiting out the poll.
+	e := NewEngine()
+	entered := make(chan struct{})
+	e.RegisterBlocking("park", func(ctx context.Context, _ []byte) ([]byte, error) {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			return []byte("cancelled"), nil
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("poll timeout")
+		}
+	})
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	type result struct {
+		out []byte
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		out, err := ep.Call(context.Background(), "park", nil)
+		res <- result{out, err}
+	}()
+	<-entered
+
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close waited on a parked blocking handler")
+	}
+	// The parked call either returned its cancellation response or lost the
+	// connection — it must not still be hanging.
+	select {
+	case <-res:
+	case <-time.After(5 * time.Second):
+		t.Fatal("call still parked after Close")
+	}
+}
+
+func TestBlockingHandlerNormalReturn(t *testing.T) {
+	// Outside shutdown, a blocking handler behaves like any other.
+	e := NewEngine()
+	defer e.Close()
+	e.RegisterBlocking("quick", func(_ context.Context, in []byte) ([]byte, error) {
+		return in, nil
+	})
+	addr, err := e.Listen("inproc://blocking-normal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	out, err := ep.Call(context.Background(), "quick", []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+}
+
+func TestCloseSeversIdleConnections(t *testing.T) {
+	// Close must not wait for connected-but-idle clients to hang up.
+	e := NewEngine()
+	e.Register("echo", func(_ context.Context, in []byte) ([]byte, error) { return in, nil })
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Call(context.Background(), "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close waited for an idle client connection")
+	}
+}

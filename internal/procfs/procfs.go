@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
 	"github.com/hpcobs/gosoma/internal/des"
@@ -114,10 +115,18 @@ type Source interface {
 // Real /proc source.
 
 // RealSource reads the local machine's /proc tree.
+//
+// Parsing is tolerant by design: /proc contents vary across kernels and can
+// be read mid-update (truncated lines, partial files), and a monitor that
+// dies on one malformed line silences a whole node. Malformed or truncated
+// entries are skipped and counted (ParseSkips); only file-level read
+// failures surface as errors.
 type RealSource struct {
 	root  string
 	host  string
 	clock des.Clock
+	// skips counts malformed /proc entries tolerated since creation.
+	skips atomic.Int64
 }
 
 // NewRealSource creates a source reading from /proc. A non-empty root
@@ -138,6 +147,11 @@ func NewRealSource(root string, clock des.Clock) (*RealSource, error) {
 
 // Hostname returns the local hostname.
 func (r *RealSource) Hostname() string { return r.host }
+
+// ParseSkips reports how many malformed /proc entries (truncated cpu lines,
+// non-numeric counters, garbage uptime, missing meminfo fields) have been
+// skipped since the source was created.
+func (r *RealSource) ParseSkips() int64 { return r.skips.Load() }
 
 // Sample reads /proc/stat, /proc/meminfo and /proc/uptime.
 func (r *RealSource) Sample() (Sample, error) {
@@ -164,8 +178,12 @@ func (r *RealSource) readStat(s *Sample) error {
 		if !strings.HasPrefix(line, "cpu") {
 			continue
 		}
+		// Truncated (a read racing the kernel's update) or otherwise
+		// malformed cpu lines are skipped and counted, never fatal: one bad
+		// line must not cost the node its sample.
 		fields := strings.Fields(line)
 		if len(fields) < 8 {
+			r.skips.Add(1)
 			continue
 		}
 		var vals [7]uint64
@@ -179,6 +197,7 @@ func (r *RealSource) readStat(s *Sample) error {
 			vals[i] = v
 		}
 		if !ok {
+			r.skips.Add(1)
 			continue
 		}
 		s.CPUs = append(s.CPUs, CPUStat{
@@ -186,8 +205,10 @@ func (r *RealSource) readStat(s *Sample) error {
 			Idle: vals[3], IOWait: vals[4], IRQ: vals[5], SoftIRQ: vals[6],
 		})
 	}
+	// Zero usable cpu lines (wholly corrupt stat) still yields a sample —
+	// the other fields may be fine — but counts as a skip.
 	if len(s.CPUs) == 0 {
-		return fmt.Errorf("procfs: no cpu lines in %s/stat", r.root)
+		r.skips.Add(1)
 	}
 	return nil
 }
@@ -202,13 +223,18 @@ func (r *RealSource) readMeminfo(s *Sample) error {
 			fields := strings.Fields(line)
 			if len(fields) >= 2 {
 				kb, err := strconv.ParseInt(fields[1], 10, 64)
-				if err == nil {
+				if err == nil && kb >= 0 {
 					s.AvailableRAMMB = kb / 1024
+					return nil
 				}
 			}
+			// Truncated or non-numeric MemAvailable: keep the zero value.
+			r.skips.Add(1)
 			return nil
 		}
 	}
+	// No MemAvailable at all (older kernels): tolerated, counted.
+	r.skips.Add(1)
 	return nil
 }
 
@@ -220,10 +246,13 @@ func (r *RealSource) readUptime(s *Sample) error {
 	fields := strings.Fields(string(data))
 	if len(fields) >= 1 {
 		up, err := strconv.ParseFloat(fields[0], 64)
-		if err == nil {
+		if err == nil && up >= 0 {
 			s.UptimeSec = up
+			return nil
 		}
 	}
+	// Empty or garbage uptime file: keep the zero value.
+	r.skips.Add(1)
 	return nil
 }
 

@@ -228,6 +228,152 @@ func TestConduitRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRealSourceCorruptProc drives the real source through malformed and
+// truncated /proc contents: every case must yield a sample (never an error),
+// skipping and counting the bad entries while still parsing whatever is
+// intact. A monitor must not lose a node to one garbled line.
+func TestRealSourceCorruptProc(t *testing.T) {
+	const goodMem = "MemTotal: 16384000 kB\nMemAvailable: 8192000 kB\n"
+	const goodUp = "100.5 200.0\n"
+	cases := []struct {
+		name          string
+		stat, mem, up string
+		wantCPUs      int
+		wantRAM       int64
+		wantUptime    float64
+		wantSkips     int64
+	}{
+		{
+			name: "truncated cpu line",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\ncpu0 60 0 30\n",
+			mem:  goodMem, up: goodUp,
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "non-numeric jiffies",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\ncpu0 sixty 0 30 400 5 0 3 0 0 0\n",
+			mem:  goodMem, up: goodUp,
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "negative jiffies",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\ncpu0 -60 0 30 400 5 0 3 0 0 0\n",
+			mem:  goodMem, up: goodUp,
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "empty stat",
+			stat: "", mem: goodMem, up: goodUp,
+			wantCPUs: 0, wantRAM: 8000, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "stat without cpu lines",
+			stat: "intr 12345\nctxt 67890\n", mem: goodMem, up: goodUp,
+			wantCPUs: 0, wantRAM: 8000, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "missing MemAvailable",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  "MemTotal: 16384000 kB\nMemFree: 4096000 kB\n", up: goodUp,
+			wantCPUs: 1, wantRAM: 0, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "non-numeric MemAvailable",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  "MemAvailable: lots kB\n", up: goodUp,
+			wantCPUs: 1, wantRAM: 0, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "truncated MemAvailable line",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  "MemAvailable:", up: goodUp,
+			wantCPUs: 1, wantRAM: 0, wantUptime: 100.5, wantSkips: 1,
+		},
+		{
+			name: "garbage uptime",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  goodMem, up: "not-a-number\n",
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 0, wantSkips: 1,
+		},
+		{
+			name: "empty uptime",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  goodMem, up: "",
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 0, wantSkips: 1,
+		},
+		{
+			name: "negative uptime",
+			stat: "cpu  100 0 50 800 10 0 5 0 0 0\n",
+			mem:  goodMem, up: "-3.5 1.0\n",
+			wantCPUs: 1, wantRAM: 8000, wantUptime: 0, wantSkips: 1,
+		},
+		{
+			name: "everything corrupt",
+			stat: "cpu garbage\n", mem: "MemAvailable: ??? kB\n", up: "x\n",
+			wantCPUs: 0, wantRAM: 0, wantUptime: 0, wantSkips: 4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			files := map[string]string{"stat": tc.stat, "meminfo": tc.mem, "uptime": tc.up}
+			for name, content := range files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			src, err := NewRealSource(dir, des.NewRealClock())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := src.Sample()
+			if err != nil {
+				t.Fatalf("corrupt /proc must not error: %v", err)
+			}
+			if len(s.CPUs) != tc.wantCPUs {
+				t.Errorf("cpus = %d want %d", len(s.CPUs), tc.wantCPUs)
+			}
+			if s.AvailableRAMMB != tc.wantRAM {
+				t.Errorf("ram = %d want %d", s.AvailableRAMMB, tc.wantRAM)
+			}
+			if s.UptimeSec != tc.wantUptime {
+				t.Errorf("uptime = %v want %v", s.UptimeSec, tc.wantUptime)
+			}
+			if got := src.ParseSkips(); got != tc.wantSkips {
+				t.Errorf("skips = %d want %d", got, tc.wantSkips)
+			}
+		})
+	}
+}
+
+// TestRealSourceSkipsAccumulate verifies the skip counter is cumulative
+// across samples (monitors report it as a health metric).
+func TestRealSourceSkipsAccumulate(t *testing.T) {
+	dir := writeFixture(t)
+	src, err := NewRealSource(dir, des.NewRealClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if src.ParseSkips() != 0 {
+		t.Fatalf("clean fixture produced %d skips", src.ParseSkips())
+	}
+	bad := "cpu  100 0 50 800 10 0 5 0 0 0\ncpu0 trunc\n"
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := src.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.ParseSkips() != 3 {
+		t.Fatalf("skips = %d want 3", src.ParseSkips())
+	}
+}
+
 func TestSampleFromConduitTolerant(t *testing.T) {
 	eng := des.NewEngine()
 	node := platform.NewNode(0, platform.Summit())

@@ -99,6 +99,11 @@ func (ps *PeriodicSampler) Detach(taskUID string) {
 	}
 }
 
+// Interval returns the sampling cadence in seconds. The sampler is a stream
+// source: each report's publish is fanned out to live performance-namespace
+// subscribers at this cadence.
+func (ps *PeriodicSampler) Interval() float64 { return ps.interval }
+
 // Active returns how many tasks are currently being sampled.
 func (ps *PeriodicSampler) Active() int {
 	ps.mu.Lock()

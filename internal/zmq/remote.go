@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"github.com/hpcobs/gosoma/internal/mercury"
 )
@@ -32,16 +33,21 @@ type queuePullResp struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
-// Serve exposes queues by name on a mercury engine. Multiple queues can be
-// served by one engine; remote clients address them by queue name.
+// Serve exposes queues (and pub/sub buses, see remotepubsub.go) by name on
+// a mercury engine. Multiple queues can be served by one engine; remote
+// clients address them by queue name.
 type Server struct {
+	engine *mercury.Engine
 	queues map[string]*Queue
+
+	busMu sync.Mutex
+	buses map[string]*servedBus
 }
 
 // NewServer registers the RPC handlers on the engine and returns a server
 // to which queues are attached.
 func NewServer(engine *mercury.Engine) *Server {
-	s := &Server{queues: map[string]*Queue{}}
+	s := &Server{engine: engine, queues: map[string]*Queue{}}
 	engine.Register(rpcQueuePush, s.handlePush)
 	engine.Register(rpcQueuePull, s.handlePull)
 	engine.Register(rpcQueueLen, s.handleLen)

@@ -1,0 +1,321 @@
+package zmq
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// servedBusSetup starts an engine serving bus under the given name and
+// returns the concrete address.
+func servedBusSetup(t *testing.T, scheme, name string, bus *PubSub, expiry time.Duration) string {
+	t.Helper()
+	engine := mercury.NewEngine()
+	t.Cleanup(func() { engine.Close() })
+	srv := NewServer(engine)
+	if expiry > 0 {
+		srv.AttachBusExpiry(name, bus, expiry)
+	} else {
+		srv.AttachBus(name, bus)
+	}
+	addr, err := engine.Listen(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestRemotePubSubDeliveryTCP(t *testing.T) {
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "tcp://127.0.0.1:0", "updates", bus, 0)
+
+	rs, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	// Prefix filtering happens server-side: only ns/* topics arrive.
+	bus.Publish("ns/hardware", map[string]int{"v": 1})
+	bus.Publish("alerts/hardware", map[string]int{"v": 2})
+	bus.Publish("ns/workflow", map[string]int{"v": 3})
+
+	var got []Message
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < 2 && time.Now().Before(deadline) {
+		msgs, _, err := rs.Recv(context.Background(), 16, 200*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, msgs...)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d messages, want 2 (ns/ only)", len(got))
+	}
+	if got[0].Topic != "ns/hardware" || got[1].Topic != "ns/workflow" {
+		t.Fatalf("topics = %q, %q", got[0].Topic, got[1].Topic)
+	}
+	var payload struct {
+		V int `json:"v"`
+	}
+	if err := json.Unmarshal(got[0].Payload.(json.RawMessage), &payload); err != nil || payload.V != 1 {
+		t.Fatalf("payload = %+v, %v", payload, err)
+	}
+}
+
+func TestRemotePubSubPushLatency(t *testing.T) {
+	// Push semantics: a parked Recv returns as soon as a publish lands, well
+	// before its wait window elapses.
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "inproc://pubsub-push", "updates", bus, 0)
+	rs, err := DialSub(addr, "updates", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		bus.Publish("ns/hardware", 42)
+	}()
+	start := time.Now()
+	msgs, _, err := rs.Recv(context.Background(), 1, 10*time.Second)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("recv = %d msgs, %v", len(msgs), err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("recv took %s; long-poll did not wake on publish", elapsed)
+	}
+}
+
+func TestRemoteSubHighWaterDrops(t *testing.T) {
+	// A slow remote consumer loses messages to the high-water mark, and the
+	// reported drop count plus delivered count stays consistent with what was
+	// published.
+	const hw, published = 4, 20
+	bus := NewPubSubHW(hw)
+	defer bus.Close()
+	addr := servedBusSetup(t, "inproc://pubsub-drops", "updates", bus, 0)
+	rs, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	for i := 0; i < published; i++ {
+		bus.Publish("ns/hardware", i)
+	}
+
+	received := 0
+	var dropped int64
+	for {
+		msgs, d, err := rs.Recv(context.Background(), 64, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped = d
+		if len(msgs) == 0 {
+			break
+		}
+		received += len(msgs)
+	}
+	if received != hw {
+		t.Fatalf("received %d, want the high-water %d", received, hw)
+	}
+	if dropped != published-hw {
+		t.Fatalf("dropped = %d, want %d", dropped, published-hw)
+	}
+	// The server-side bus accounting agrees with what the client saw.
+	if bus.Dropped() != dropped {
+		t.Fatalf("bus.Dropped() = %d, client saw %d", bus.Dropped(), dropped)
+	}
+}
+
+func TestRemoteSubDisconnectReconnect(t *testing.T) {
+	// A subscriber that goes away (Close) is removed from the bus; a new dial
+	// re-establishes delivery with fresh drop accounting.
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "tcp://127.0.0.1:0", "updates", bus, 0)
+
+	rs1, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bus.Subscribers(); n != 1 {
+		t.Fatalf("subscribers after dial = %d", n)
+	}
+	if err := rs1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := bus.Subscribers(); n != 0 {
+		t.Fatalf("subscribers after close = %d; server kept a dead subscriber", n)
+	}
+	// Receiving on the closed subscription's ID fails rather than hanging.
+	if _, _, err := rs1.Recv(context.Background(), 1, 10*time.Millisecond); err == nil {
+		t.Fatal("recv on unsubscribed ID succeeded")
+	}
+
+	rs2, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	bus.Publish("ns/hardware", 7)
+	msgs, dropped, err := rs2.Recv(context.Background(), 8, 2*time.Second)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("recv after reconnect = %d msgs, %v", len(msgs), err)
+	}
+	if dropped != 0 {
+		t.Fatalf("fresh subscription reports %d drops", dropped)
+	}
+}
+
+func TestRemoteSubLeaseExpiry(t *testing.T) {
+	// A subscriber that stops polling (crashed without unsubscribe) is
+	// reclaimed after the lease expiry; the sweep runs on other pub/sub
+	// traffic so no janitor goroutine is involved.
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "inproc://pubsub-expiry", "updates", bus, 20*time.Millisecond)
+
+	dead, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bus.Subscribers(); n != 1 {
+		t.Fatalf("subscribers = %d", n)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Any handler triggers the sweep — here a new subscription.
+	live, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if n := bus.Subscribers(); n != 1 {
+		t.Fatalf("subscribers after sweep = %d, want 1 (dead lease reclaimed)", n)
+	}
+	if _, _, err := dead.Recv(context.Background(), 1, 10*time.Millisecond); err == nil {
+		t.Fatal("expired subscription still serviced")
+	}
+	dead.ep.Close()
+}
+
+func TestRemoteSubClosedBus(t *testing.T) {
+	bus := NewPubSub()
+	addr := servedBusSetup(t, "inproc://pubsub-closed", "updates", bus, 0)
+	rs, err := DialSub(addr, "updates", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Close()
+	if _, _, err := rs.Recv(context.Background(), 1, 50*time.Millisecond); err != ErrClosed {
+		t.Fatalf("recv on closed bus = %v, want ErrClosed", err)
+	}
+	rs.ep.Close()
+}
+
+func TestRemoteSubUnknownBus(t *testing.T) {
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "inproc://pubsub-unknown", "updates", bus, 0)
+	if _, err := DialSub(addr, "nobody", ""); err == nil {
+		t.Fatal("subscribe to unknown bus accepted")
+	}
+}
+
+func TestRemoteSubEngineCloseUnblocksRecv(t *testing.T) {
+	// A parked long-poll must not stall engine shutdown, and the waiting
+	// client gets an error rather than hanging.
+	bus := NewPubSub()
+	defer bus.Close()
+	engine := mercury.NewEngine()
+	srv := NewServer(engine)
+	srv.AttachBus("updates", bus)
+	addr, err := engine.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DialSub(addr, "updates", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.ep.Close()
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, _, err := rs.Recv(context.Background(), 1, 30*time.Second)
+		recvErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the recv park server-side
+
+	closed := make(chan struct{})
+	go func() {
+		engine.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine.Close stalled behind a parked long-poll")
+	}
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			// The parked handler may win the race and flush a graceful
+			// empty batch before the connection is severed; the next
+			// receive must then fail.
+			if _, _, err := rs.Recv(context.Background(), 1, time.Second); err == nil {
+				t.Fatal("recv keeps succeeding after engine close")
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv still parked after engine close")
+	}
+}
+
+func TestRemoteSubNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		bus := NewPubSub()
+		engine := mercury.NewEngine()
+		srv := NewServer(engine)
+		srv.AttachBus("updates", bus)
+		addr, err := engine.Listen("tcp://127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DialSub(addr, "updates", "ns/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Publish("ns/hardware", i)
+		if _, _, err := rs.Recv(context.Background(), 8, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rs.Close()
+		bus.Close()
+		engine.Close()
+	}
+
+	// Give exited goroutines a moment to be reaped before counting.
+	var after int
+	for attempt := 0; attempt < 50; attempt++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d across subscribe cycles", before, after)
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hpcobs/gosoma/internal/telemetry"
 )
@@ -141,6 +142,9 @@ type PubSub struct {
 	highWater int
 	closed    bool
 	dropped   int64
+	// nsubs mirrors len(subs) atomically so publishers can skip payload
+	// construction without taking the bus lock (see Subscribers).
+	nsubs atomic.Int64
 }
 
 type subscription struct {
@@ -173,25 +177,46 @@ func NewPubSubHW(hw int) *PubSub {
 // subscribes to everything). cancel removes the subscription and closes the
 // channel.
 func (b *PubSub) Subscribe(prefix string) (ch <-chan Message, cancel func()) {
+	ch, cancel, _ = b.SubscribeWithStats(prefix)
+	return ch, cancel
+}
+
+// SubscribeWithStats is Subscribe plus a stats accessor for this one
+// subscription — the per-subscriber drop accounting of Stats, addressable
+// without scanning the whole bus. Remote subscription serving reports these
+// counts back to the network subscriber.
+func (b *PubSub) SubscribeWithStats(prefix string) (ch <-chan Message, cancel func(), stats func() SubStats) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	id := b.nextID
 	b.nextID++
 	sub := &subscription{prefix: prefix, ch: make(chan Message, b.highWater)}
+	stats = func() SubStats {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return SubStats{Prefix: sub.prefix, Queued: len(sub.ch), Dropped: sub.dropped}
+	}
 	if b.closed {
 		close(sub.ch)
-		return sub.ch, func() {}
+		return sub.ch, func() {}, stats
 	}
 	b.subs[id] = sub
+	b.nsubs.Store(int64(len(b.subs)))
 	return sub.ch, func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		if s, ok := b.subs[id]; ok {
 			delete(b.subs, id)
+			b.nsubs.Store(int64(len(b.subs)))
 			close(s.ch)
 		}
-	}
+	}, stats
 }
+
+// Subscribers reports the current subscription count without locking the
+// bus; publishers use it to skip message construction entirely when nobody
+// is listening.
+func (b *PubSub) Subscribers() int { return int(b.nsubs.Load()) }
 
 // Publish fans msg out to every matching subscriber. Full subscribers drop
 // the message (counted in Dropped) instead of blocking the publisher.
@@ -258,5 +283,6 @@ func (b *PubSub) Close() []SubStats {
 		close(sub.ch)
 		delete(b.subs, id)
 	}
+	b.nsubs.Store(0)
 	return final
 }

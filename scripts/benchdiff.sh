@@ -24,6 +24,8 @@ cd "$(dirname "$0")/.."
 baseline=scripts/bench_baseline.json
 bench=BenchmarkPublishIngest
 traced=BenchmarkPublishIngestTraced
+series=BenchmarkSeriesQuery
+fanout=BenchmarkSubscribeFanout
 count=${BENCH_COUNT:-5}
 
 # median_of <benchmark> — median ns/op over $count runs.
@@ -81,6 +83,8 @@ fi
 if [ "${1:-}" = "--update" ]; then
 	pre=$(json_num pre_change_ns_per_op)
 	tracedm=$(median_of "$traced")
+	seriesm=$(median_of "$series")
+	fanoutm=$(median_of "$fanout")
 	cat >"$baseline" <<EOF
 {
   "benchmark": "$bench",
@@ -90,10 +94,15 @@ if [ "${1:-}" = "--update" ]; then
   "traced_benchmark": "$traced",
   "traced_ns_per_op": ${tracedm:-0},
   "max_traced_overhead": 1.05,
+  "series_query_benchmark": "$series",
+  "series_query_ns_per_op": ${seriesm:-0},
+  "subscribe_fanout_benchmark": "$fanout",
+  "subscribe_fanout_ns_per_op": ${fanoutm:-0},
+  "stream_allowed_regression": 2.0,
   "recorded": "$(date -u +%Y-%m-%d)"
 }
 EOF
-	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0} ns/op)"
+	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0} ns/op)"
 	exit 0
 fi
 
@@ -111,4 +120,29 @@ if [ "$median" -gt "$limit" ]; then
 	echo "benchdiff: FAIL — median ${median} ns/op exceeds limit ${limit} ns/op" >&2
 	exit 1
 fi
+
+# Streaming guards: rollup query and subscriber fan-out, gated by their own
+# (more generous) factor. Skipped when the baseline predates them.
+sfactor=$(json_num stream_allowed_regression)
+check_stream() {
+	name=$1
+	base=$(json_num "$2")
+	if [ -z "$base" ] || [ "$base" = "0" ] || [ -z "$sfactor" ]; then
+		return 0
+	fi
+	m=$(median_of "$name")
+	if [ -z "$m" ]; then
+		echo "benchdiff: no samples collected for $name" >&2
+		exit 1
+	fi
+	slimit=$(awk -v b="$base" -v f="$sfactor" 'BEGIN {printf "%.0f", b*f}')
+	echo "benchdiff: $name median ${m} ns/op (baseline ${base}, limit ${slimit})"
+	if [ "$m" -gt "$slimit" ]; then
+		echo "benchdiff: FAIL — $name median ${m} ns/op exceeds limit ${slimit} ns/op" >&2
+		exit 1
+	fi
+}
+check_stream "$series" series_query_ns_per_op
+check_stream "$fanout" subscribe_fanout_ns_per_op
+
 echo "benchdiff: OK"
