@@ -160,6 +160,24 @@ func (e *alertEngine) remove(name string) bool {
 	return true
 }
 
+// resetNamespace drops the per-series standings of every rule watching ns,
+// keeping the rules themselves. Called on ResetNamespace: the rollup series
+// backing the standings are gone, so a firing alert would otherwise stay
+// firing forever (evaluate only revisits keys touched by new publishes).
+func (e *alertEngine) resetNamespace(ns Namespace) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, r := range e.rules {
+		if r.NS != ns {
+			continue
+		}
+		for range firingOf(e.states[name]) {
+			telAlertsFiring.Dec()
+		}
+		e.states[name] = map[string]*alertState{}
+	}
+}
+
 func firingOf(m map[string]*alertState) []string {
 	var out []string
 	for k, st := range m {

@@ -25,7 +25,8 @@ import (
 // leaf path (PROC/<host>/<ts>/CPU Util, RP/summary/<ts>/running), which
 // would make every publish a brand-new path. The rollup folds timestamp
 // segments out: any path segment that parses as a float is treated as the
-// sample time and removed from the series key, so
+// sample time and removed from the series key (when it is a plausible
+// timestamp: non-negative, at most maxSeriesTime), so
 //
 //	PROC/cn01/123.500000/CPU Util  →  key "PROC/cn01/CPU Util", t=123.5
 //
@@ -46,6 +47,13 @@ const (
 	// seriesShards spreads series of one instance across locks so concurrent
 	// publishers (stripes) rarely contend.
 	seriesShards = 16
+
+	// maxSeriesTime bounds sample timestamps accepted into the rollup rings.
+	// Values outside [0, maxSeriesTime] cannot be real sample times (client
+	// clocks are epoch- or run-relative seconds) and would overflow the
+	// int64 bucket arithmetic; paths carrying them are stamped with the
+	// arrival time instead.
+	maxSeriesTime = 1e15
 )
 
 var (
@@ -128,8 +136,12 @@ func newBucketRing(width int64, cap_ int) bucketRing {
 // (start/width) mod cap, with the stored start disambiguating generations:
 // a newer window evicts the slot, an older (late) sample is dropped.
 func (br *bucketRing) add(t, v float64) {
+	if !(t >= 0 && t <= maxSeriesTime) { // also rejects NaN
+		return
+	}
 	start := int64(math.Floor(t/float64(br.width))) * br.width
-	slot := &br.slots[int((start/br.width)%int64(len(br.slots)))]
+	n := int64(len(br.slots))
+	slot := &br.slots[int(((start/br.width)%n+n)%n)]
 	switch {
 	case slot.start == start:
 		if v < slot.min {
@@ -267,8 +279,11 @@ func splitSeriesPathBytes(path []byte, arrival float64, scratch []byte) (key []b
 	for end > 0 {
 		begin := bytes.LastIndexByte(path[:end], '/') + 1
 		seg := path[begin:end]
-		if len(seg) > 0 && (seg[0] == '-' || seg[0] == '+' || seg[0] == '.' || (seg[0] >= '0' && seg[0] <= '9')) {
-			if v, err := strconv.ParseFloat(string(seg), 64); err == nil {
+		if len(seg) > 0 && (seg[0] == '.' || (seg[0] >= '0' && seg[0] <= '9')) {
+			// Only plausible timestamps fold out: a numeric segment that is
+			// negative or absurdly large ("-5", "1e30") stays in the key, so
+			// hostile paths cannot smuggle ring-breaking values into t.
+			if v, err := strconv.ParseFloat(string(seg), 64); err == nil && v >= 0 && v <= maxSeriesTime {
 				t = v
 				found = begin
 				break

@@ -560,6 +560,16 @@ func (s *Service) ResetNamespace(ns Namespace) error {
 		return err
 	}
 	in.reset()
+	// The rollup series behind alert standings are gone too; drop them so
+	// firing alerts do not outlive the data that justified them. A shared
+	// instance holds every namespace's series, so the reset reaches all.
+	if s.cfg.Shared {
+		for _, other := range Namespaces {
+			s.alerts.resetNamespace(other)
+		}
+	} else {
+		s.alerts.resetNamespace(ns)
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -51,6 +52,12 @@ func TestSplitSeriesPath(t *testing.T) {
 		{"load/3.25", "load", 3.25},
 		// A path that is only a timestamp yields no key.
 		{"7.5", "", 7.5},
+		// Implausible timestamps stay in the key: negative or absurdly large
+		// numeric segments must not reach the bucket rings (they used to
+		// panic the publish path via negative / overflowed slot indexes).
+		{"metrics/-5/foo", "metrics/-5/foo", 99},
+		{"a/1e30/b", "a/1e30/b", 99},
+		{"A/-5/B/2.5/C", "A/-5/B/C", 2.5},
 	}
 	for _, tc := range cases {
 		key, ts := splitSeriesPath(tc.path, 99)
@@ -112,6 +119,48 @@ func TestBucketRingDownsample(t *testing.T) {
 		if b.Start == 10 && (b.Count != 1 || b.Min != 99) {
 			t.Fatalf("evicting sample mis-bucketed: %+v", b)
 		}
+	}
+}
+
+func TestBucketRingHostileTimestamps(t *testing.T) {
+	// Defense in depth below the path parsing: samples with timestamps that
+	// cannot be real (negative, beyond maxSeriesTime, NaN, ±Inf) are dropped
+	// instead of indexing out of the ring.
+	br := newBucketRing(1, 8)
+	for _, bad := range []float64{-5, -0.001, 1e30, math.MaxFloat64, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		br.add(bad, 1)
+	}
+	if got := br.collect(0); len(got) != 0 {
+		t.Fatalf("hostile timestamps created buckets: %+v", got)
+	}
+	br.add(2.5, 7)
+	got := br.collect(0)
+	if len(got) != 1 || got[0].Start != 2 {
+		t.Fatalf("sane sample after hostile ones: %+v", got)
+	}
+}
+
+func TestPublishHostileTimestampPathNoPanic(t *testing.T) {
+	// Regression: a client publish with a leaf path like "metrics/-5/foo"
+	// used to produce a negative slot index and panic the whole service
+	// (mercury dispatch has no recover). The segment now stays in the key
+	// and the sample is stamped with the arrival time.
+	clk := &fakeClock{}
+	clk.set(42)
+	svc, _ := newTestService(t, ServiceConfig{Clock: clk})
+	for _, path := range []string{"metrics/-5/foo", "metrics/1e30/foo", "metrics/-0.5"} {
+		n := conduit.NewNode()
+		n.SetFloat(path, 1)
+		if err := svc.Publish(NSHardware, n, 0); err != nil {
+			t.Fatalf("publish %q: %v", path, err)
+		}
+	}
+	se, err := svc.QuerySeries(NSHardware, "metrics/-5/foo", LevelRaw, 0)
+	if err != nil {
+		t.Fatalf("hostile-path series not arrival-stamped: %v", err)
+	}
+	if len(se.Points) != 1 || se.Points[0].Time != 42 {
+		t.Fatalf("points = %+v, want one sample at arrival time 42", se.Points)
 	}
 }
 
@@ -380,8 +429,75 @@ func TestAlertFiringResolvedTransitions(t *testing.T) {
 	}
 }
 
+func TestResetClearsAlertStandings(t *testing.T) {
+	// Regression: instance.reset() cleared the rollup store but left the
+	// alert engine's standings, so an alert firing at reset time stayed
+	// firing forever (evaluate only revisits keys touched by new publishes).
+	clk := &fakeClock{}
+	svc, _ := newTestService(t, ServiceConfig{Clock: clk})
+	rule := AlertRule{
+		Name: "cpu-hot", NS: NSHardware, Pattern: "PROC/*/CPU Util",
+		Op: ">", Threshold: 80, WindowSec: 2,
+	}
+	if err := svc.SetAlert(rule); err != nil {
+		t.Fatal(err)
+	}
+	publish := func(ts, v float64) {
+		clk.set(ts)
+		n := conduit.NewNode()
+		n.SetFloat(fmt.Sprintf("PROC/cn01/%.6f/CPU Util", ts), v)
+		if err := svc.Publish(NSHardware, n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish(1, 95)
+	publish(2, 97)
+	_, states := svc.Alerts()
+	if len(states) != 1 || !states[0].Firing {
+		t.Fatalf("standing before reset = %+v", states)
+	}
+	if err := svc.ResetNamespace(NSHardware); err != nil {
+		t.Fatal(err)
+	}
+	rules, states := svc.Alerts()
+	if len(rules) != 1 {
+		t.Fatalf("reset removed the rule itself: %+v", rules)
+	}
+	if len(states) != 0 {
+		t.Fatalf("standings survived reset: %+v", states)
+	}
+	// The rule still works against fresh post-reset data.
+	publish(10, 95)
+	publish(11, 97)
+	_, states = svc.Alerts()
+	if len(states) != 1 || !states[0].Firing {
+		t.Fatalf("standing after reset + refire = %+v", states)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Subscriptions.
+
+func TestTopicPrefixDelimited(t *testing.T) {
+	// The bus matches subscriptions by raw string prefix, so per-namespace
+	// topics must end in a delimiter: without it a namespace would also
+	// receive any future namespace whose name it prefixes.
+	p, err := topicPrefix(NSHardware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "ns/hardware/" {
+		t.Fatalf("topicPrefix(hardware) = %q, want trailing delimiter", p)
+	}
+	if strings.HasPrefix("ns/hardware2/", p) {
+		t.Fatalf("prefix %q cross-matches a prefixed namespace's topic", p)
+	}
+	for ns, want := range map[Namespace]string{"": "ns/", NSAlerts: "alerts/"} {
+		if got, err := topicPrefix(ns); err != nil || got != want {
+			t.Fatalf("topicPrefix(%q) = %q, %v; want %q", ns, got, err, want)
+		}
+	}
+}
 
 func TestSubscribePushE2ETCP(t *testing.T) {
 	svc := NewService(ServiceConfig{})

@@ -17,9 +17,11 @@ import (
 // Live namespace subscriptions: every publish is fanned out over the
 // service's update bus (a zmq.PubSub served remotely through the engine, see
 // zmq/remotepubsub.go), so clients receive incremental updates pushed to
-// them instead of polling Query. Topics are "ns/<namespace>" for publishes
-// and "alerts/<namespace>" for threshold-alert transitions; the reserved
-// NSAlerts pseudo-namespace subscribes to the latter.
+// them instead of polling Query. Topics are "ns/<namespace>/" for publishes
+// and "alerts/<namespace>/" for threshold-alert transitions (the trailing
+// delimiter keeps the bus's prefix match segment-exact, so no namespace can
+// shadow another whose name it prefixes); the reserved NSAlerts
+// pseudo-namespace subscribes to the latter.
 //
 // Backpressure: fan-out is fire-and-forget with per-subscriber high-water
 // buffers — a slow subscriber drops (counted, reported on every receive via
@@ -43,7 +45,7 @@ func topicPrefix(ns Namespace) (string, error) {
 	case ns == NSAlerts:
 		return "alerts/", nil
 	case ns.Valid():
-		return "ns/" + string(ns), nil
+		return "ns/" + string(ns) + "/", nil
 	}
 	return "", &ErrUnknownNamespace{NS: ns}
 }
@@ -63,7 +65,7 @@ func (s *Service) fanOut(now float64, ns Namespace, n *conduit.Node) {
 		return
 	}
 	start := time.Now()
-	s.bus.Publish("ns/"+string(ns), updateWire{NS: string(ns), T: now, Data: n.EncodeBinary()})
+	s.bus.Publish("ns/"+string(ns)+"/", updateWire{NS: string(ns), T: now, Data: n.EncodeBinary()})
 	telPushLatency.ObserveSince(start)
 }
 
@@ -74,7 +76,7 @@ func (s *Service) publishAlertStream(ns Namespace, tree *conduit.Node) {
 		return
 	}
 	t, _ := tree.Float("time")
-	s.bus.Publish("alerts/"+string(ns), updateWire{NS: string(ns), T: t, Data: tree.EncodeBinary()})
+	s.bus.Publish("alerts/"+string(ns)+"/", updateWire{NS: string(ns), T: t, Data: tree.EncodeBinary()})
 }
 
 // SubscribeLocal registers an in-process subscription on the update bus (ns

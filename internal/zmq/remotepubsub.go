@@ -198,8 +198,10 @@ func (s *Server) handleRecv(ctx context.Context, raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Refresh the calling subscription's own lease before sweeping: a
+	// subscriber whose gap between recv calls just exceeded the expiry must
+	// not reap itself on the way in.
 	now := time.Now()
-	sb.sweep(now)
 	sb.mu.Lock()
 	st, ok := sb.subs[w.ID]
 	if ok {
@@ -207,6 +209,7 @@ func (s *Server) handleRecv(ctx context.Context, raw []byte) ([]byte, error) {
 		st.inRecv++
 	}
 	sb.mu.Unlock()
+	sb.sweep(now)
 	if !ok {
 		return nil, fmt.Errorf("zmq: no subscription %d on bus %q", w.ID, w.Bus)
 	}

@@ -209,6 +209,32 @@ func TestRemoteSubLeaseExpiry(t *testing.T) {
 	dead.ep.Close()
 }
 
+func TestRemoteSubRecvAfterIdleGapKeepsLease(t *testing.T) {
+	// Regression: handleRecv used to sweep before refreshing the caller's own
+	// lastSeen, so a subscriber whose gap between recv calls just exceeded
+	// the expiry reaped its own still-live lease and got "no subscription".
+	// The receive must refresh the lease first and deliver normally.
+	bus := NewPubSub()
+	defer bus.Close()
+	addr := servedBusSetup(t, "inproc://pubsub-idle-gap", "updates", bus, 20*time.Millisecond)
+
+	rs, err := DialSub(addr, "updates", "ns/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	time.Sleep(50 * time.Millisecond) // idle past the lease expiry
+
+	bus.Publish("ns/hardware", 9)
+	msgs, _, err := rs.Recv(context.Background(), 8, 2*time.Second)
+	if err != nil {
+		t.Fatalf("recv after idle gap reaped its own lease: %v", err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("recv after idle gap = %d msgs, want 1", len(msgs))
+	}
+}
+
 func TestRemoteSubClosedBus(t *testing.T) {
 	bus := NewPubSub()
 	addr := servedBusSetup(t, "inproc://pubsub-closed", "updates", bus, 0)
