@@ -2,12 +2,15 @@
 # ROADMAP.md); `make bench` + `make benchdiff` guard the ingest hot path
 # against regressions (scripts/bench_baseline.json holds the reference), and
 # `make telemetry-overhead` checks that span tracing stays within its 5%
-# budget on the same hot path.
+# budget on the same hot path. `make chaos` soaks the integration workload
+# under seeded fault injection (internal/faults) and asserts zero loss and
+# zero deadlock; `make lint` is the gofmt/vet formatting gate CI runs.
 
 GO ?= go
+GOFMT ?= gofmt
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race bench benchdiff telemetry-overhead verify verify-stream
+.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos
 
 build:
 	$(GO) build ./...
@@ -21,7 +24,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+# lint fails when any tracked Go file is not gofmt-clean, then vets. The
+# chaos build tag is vetted explicitly so tag-gated files stay checked.
+lint:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) vet -tags chaos .
+
+verify: build vet lint test race
 
 # verify-stream hammers the race-sensitive streaming paths (subscriptions,
 # long-poll serving, rollups, alerts) repeatedly under the race detector.
@@ -40,3 +55,8 @@ benchdiff:
 
 telemetry-overhead:
 	scripts/benchdiff.sh --telemetry
+
+# chaos runs the seeded fault-injection soak 3× under the race detector;
+# the schedules are deterministic per seed, so a pass is reproducible.
+chaos:
+	$(GO) test -race -tags chaos -count=3 -timeout 10m -run 'TestChaos' .

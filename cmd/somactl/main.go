@@ -46,6 +46,8 @@ commands:
   alert rm <name>                 remove a threshold alert rule
   alert list                      print rules and current standings
   reset <namespace>               discard a namespace's stored data
+  health                          service liveness + degradation report
+                                  (uptime, shed calls, breaker state)
   shutdown                        ask the service to stop
 `)
 	os.Exit(2)
@@ -223,6 +225,12 @@ func main() {
 			core.RenderAlerts(os.Stdout, rules, states)
 		default:
 			usage()
+		}
+	case "health":
+		h, herr := client.Health()
+		core.RenderHealth(os.Stdout, h)
+		if herr != nil || h.Status != "ok" {
+			os.Exit(1)
 		}
 	case "shutdown":
 		if err := client.Shutdown(); err != nil {

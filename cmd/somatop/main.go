@@ -107,6 +107,7 @@ func refresh(sb *strings.Builder, addr string, client *core.Client, analysis cor
 	}
 	fmt.Fprintf(sb, "SOMA %s — %s\n\n", addr, time.Now().Format(time.TimeOnly))
 	core.RenderSummary(sb, analysis, stats)
+	renderHealthPanel(sb, client)
 	renderSeriesPanel(sb, client, seriesPat)
 	renderAlertsPanel(sb, client)
 	if showTel {
@@ -118,6 +119,18 @@ func refresh(sb *strings.Builder, addr string, client *core.Client, analysis cor
 		core.RenderTelemetry(sb, snap)
 	}
 	return nil
+}
+
+// renderHealthPanel shows the soma.health report: service uptime, shed
+// calls, and the client's breaker/degradation state. Services without the
+// health RPC (older builds) degrade to an omitted panel.
+func renderHealthPanel(sb *strings.Builder, client *core.Client) {
+	h, err := client.Health()
+	if err != nil {
+		return
+	}
+	sb.WriteString("\n")
+	core.RenderHealth(sb, h)
 }
 
 // maxSparkRows bounds the sparkline panel on large allocations.

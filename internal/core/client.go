@@ -20,10 +20,15 @@ import (
 // tree after publishing it.
 type Client struct {
 	ep *mercury.Endpoint
-	// addr and engine remember how the endpoint was resolved so
+	// addr, engine and policy remember how the endpoint was resolved so
 	// subscriptions can redial after a connection loss (see subscribe.go).
 	addr   string
 	engine *mercury.Engine
+	policy *mercury.CallPolicy
+
+	// spill is the graceful-degradation buffer (nil until EnableSpill); see
+	// spill.go.
+	spill atomic.Pointer[spillState]
 
 	mu    sync.Mutex
 	async chan publishReq
@@ -52,19 +57,27 @@ type publishReq struct {
 // Connect resolves the service address ("inproc://..." or "tcp://...") into
 // a client. The optional engine (may be nil) accounts client-side RPC stats.
 func Connect(addr string, engine *mercury.Engine) (*Client, error) {
+	return ConnectPolicy(addr, engine, nil)
+}
+
+// ConnectPolicy is Connect with an explicit mercury call policy (timeouts,
+// retries, circuit breaker); nil keeps the default. The policy survives
+// reconnects — subscription redials and spill redelivery resolve new
+// endpoints under the same policy.
+func ConnectPolicy(addr string, engine *mercury.Engine, p *mercury.CallPolicy) (*Client, error) {
 	var (
 		ep  *mercury.Endpoint
 		err error
 	)
 	if engine != nil {
-		ep, err = engine.Lookup(addr)
+		ep, err = engine.LookupPolicy(addr, p)
 	} else {
-		ep, err = mercury.Lookup(addr)
+		ep, err = mercury.LookupPolicy(addr, p)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("soma: connect %s: %w", addr, err)
 	}
-	return &Client{ep: ep, addr: addr, engine: engine}, nil
+	return &Client{ep: ep, addr: addr, engine: engine, policy: p}, nil
 }
 
 // EnableAsync switches Publish to buffered asynchronous mode: publishes are
@@ -160,7 +173,43 @@ func (c *Client) EnableFireAndForget() {
 	c.fireAndForget.Store(true)
 }
 
+// publishSync sends one publish, degrading into the spill buffer (when
+// enabled) on transient transport failures — and routing behind any entries
+// already buffered, so redelivery preserves publish order.
 func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
+	if sp := c.spill.Load(); sp != nil && sp.pending() > 0 {
+		if sp.add(ns, n) {
+			return nil
+		}
+	}
+	err := c.sendPublish(ns, n)
+	if err == nil {
+		return nil
+	}
+	if sp := c.spill.Load(); sp != nil && mercury.IsTransient(err) {
+		if sp.add(ns, n) {
+			return nil
+		}
+	}
+	return err
+}
+
+// reportAsyncError offers err on Errs without blocking (async mode only).
+func (c *Client) reportAsyncError(err error) {
+	c.mu.Lock()
+	errs := c.Errs
+	c.mu.Unlock()
+	if errs == nil {
+		return
+	}
+	select {
+	case errs <- err:
+	default:
+	}
+}
+
+// sendPublish performs the wire publish with no degradation handling.
+func (c *Client) sendPublish(ns Namespace, n *conduit.Node) error {
 	// Every publish is the root of a trace: the span's ids travel in the
 	// mercury frame header, so the service-side handler and stripe append
 	// record child spans of this one (client → wire → stripe append).
@@ -312,7 +361,9 @@ func (c *Client) Shutdown() error {
 	return err
 }
 
-// Close flushes the async queue (if any) and releases the endpoint.
+// Close flushes the async queue (if any), stops spill redelivery, and
+// releases the endpoint. Buffered spill entries are NOT delivered — call
+// DrainSpill first when they must not be lost.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	async := c.async
@@ -321,6 +372,9 @@ func (c *Client) Close() error {
 	if async != nil {
 		close(async)
 		c.wg.Wait()
+	}
+	if sp := c.spill.Load(); sp != nil {
+		sp.shutdown()
 	}
 	return c.ep.Close()
 }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// A spill-enabled client must absorb publishes across a service restart and
+// redeliver every one of them once the service is back.
+func TestSpillRidesOutServiceRestart(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.EnableSpill(64)
+
+	pub := func(path string, v float64) {
+		n := conduit.NewNode()
+		n.SetFloat(path, v)
+		if err := client.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %s: %v", path, err)
+		}
+	}
+	pub("before/outage", 1)
+
+	svc.Close()
+	// These publishes hit a dead service: the client degrades instead of
+	// erroring, and buffers them for redelivery.
+	pub("during/outage/a", 2)
+	pub("during/outage/b", 3)
+	if !client.Degraded() {
+		t.Fatal("client not degraded while the service is down")
+	}
+	if st := client.Spill(); st.Buffered != 2 || st.Spilled != 2 {
+		t.Fatalf("spill stats = %+v, want 2 buffered / 2 spilled", st)
+	}
+
+	svc2 := NewService(ServiceConfig{})
+	if _, err := svc2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer svc2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := client.DrainSpill(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if client.Degraded() {
+		t.Fatal("client still degraded after drain")
+	}
+	st := client.Spill()
+	if st.Redelivered != 2 || st.Dropped != 0 {
+		t.Fatalf("spill stats after drain = %+v, want 2 redelivered / 0 dropped", st)
+	}
+	// The buffered publishes made it into the restarted service's tree.
+	tree, err := svc2.Query(NSWorkflow, "during/outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Float("a"); !ok || v != 2 {
+		t.Fatalf("redelivered leaf a = %v (%v)", v, ok)
+	}
+	if v, ok := tree.Float("b"); !ok || v != 3 {
+		t.Fatalf("redelivered leaf b = %v (%v)", v, ok)
+	}
+}
+
+// A full spill buffer evicts the oldest entry (newer monitoring data wins).
+func TestSpillOverflowDropsOldest(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.EnableSpill(2)
+	svc.Close()
+
+	for i := 0; i < 3; i++ {
+		n := conduit.NewNode()
+		n.SetInt("leaf", int64(i))
+		if err := client.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	st := client.Spill()
+	if st.Buffered != 2 || st.Spilled != 3 || st.Dropped != 1 {
+		t.Fatalf("spill stats = %+v, want buffered=2 spilled=3 dropped=1", st)
+	}
+}
+
+// soma.health must report service liveness and keep serving the client-side
+// half when the service is gone.
+func TestHealthReport(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.EnableSpill(8)
+
+	n := conduit.NewNode()
+	n.SetFloat("x", 1)
+	if err := client.Publish(NSWorkflow, n); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.Publishes != 1 {
+		t.Fatalf("publishes = %d, want 1", h.Publishes)
+	}
+	if h.UptimeSec < 0 {
+		t.Fatalf("uptime = %v", h.UptimeSec)
+	}
+	if h.Breaker != "disabled" {
+		t.Fatalf("breaker = %q, want disabled under the default policy", h.Breaker)
+	}
+	if !h.Spill.Enabled || h.Degraded {
+		t.Fatalf("spill half wrong: %+v", h)
+	}
+
+	// A shut-down (but still listening) service reports "stopped".
+	if err := client.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	h, err = client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "stopped" {
+		t.Fatalf("status = %q, want stopped", h.Status)
+	}
+
+	// A dead service still yields the local half, marked unreachable.
+	svc.Close()
+	h, err = client.Health()
+	if err == nil {
+		t.Fatal("health against a closed service reported no error")
+	}
+	if h.Status != "unreachable" || h.Err == "" {
+		t.Fatalf("report = %+v, want unreachable with an error", h)
+	}
+	if h.Breaker == "" || !h.Spill.Enabled {
+		t.Fatalf("local half missing from unreachable report: %+v", h)
+	}
+
+	var sb strings.Builder
+	RenderHealth(&sb, h)
+	if !strings.Contains(sb.String(), "unreachable") {
+		t.Fatalf("rendered health missing status: %q", sb.String())
+	}
+}

@@ -55,6 +55,10 @@ type ServiceConfig struct {
 	// RollupMaxSeries caps distinct rollup series per namespace instance;
 	// 0 means the default (8192).
 	RollupMaxSeries int
+	// EngineOptions is passed through to the service's mercury engine —
+	// chaos tests use it to install a fault-injection transport
+	// (mercury.WithInjector).
+	EngineOptions []mercury.Option
 }
 
 func (c *ServiceConfig) defaults() {
@@ -320,6 +324,9 @@ type Service struct {
 	bus    *zmq.PubSub
 	alerts *alertEngine
 
+	// started stamps service construction for soma.health's uptime.
+	started time.Time
+
 	mu      sync.Mutex
 	addrs   []string
 	stopped bool
@@ -353,8 +360,9 @@ func NewService(cfg ServiceConfig) *Service {
 	cfg.defaults()
 	s := &Service{
 		cfg:       cfg,
-		engine:    mercury.NewEngine(),
+		engine:    mercury.NewEngine(cfg.EngineOptions...),
 		instances: map[Namespace]*instance{},
+		started:   time.Now(),
 	}
 	stripes := stripeCount(cfg.RanksPerNamespace)
 	if cfg.Shared {
@@ -390,6 +398,7 @@ func NewService(cfg ServiceConfig) *Service {
 	s.engine.Register(RPCReset, s.handleReset)
 	s.engine.Register(RPCSelect, s.handleSelect)
 	s.engine.Register(RPCTelemetry, s.handleTelemetry)
+	s.engine.Register(RPCHealth, s.handleHealth)
 	s.engine.Register(RPCSeries, s.handleSeries)
 	s.engine.Register(RPCAlertSet, s.handleAlertSet)
 	s.engine.Register(RPCAlertList, s.handleAlertList)

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Publish spill: graceful degradation for the client stub. When the service
+// is unreachable (severed connection, open breaker, attempt timeout) a
+// spill-enabled client absorbs publishes into a bounded in-memory buffer and
+// a background loop redelivers them — oldest first, on the shared
+// backoff schedule — once the service heals. Monitoring data keeps flowing
+// through restarts and network blips instead of erroring back into the
+// instrumented component, which has no better recourse than dropping it.
+//
+// Only transient transport failures spill (mercury.IsTransient); definitive
+// server verdicts (handler error, unknown RPC, stopped service) drop the
+// entry and surface on Errs as usual — redelivering those would loop forever.
+// When the buffer is full the OLDEST entry is dropped (counted): under
+// merge's last-writer-wins semantics newer monitoring data supersedes older.
+
+var (
+	telSpillDepth       = telemetry.Default().Gauge("core.client.spill.depth")
+	telSpillTotal       = telemetry.Default().Counter("core.client.spill.buffered_total")
+	telSpillRedelivered = telemetry.Default().Counter("core.client.spill.redelivered")
+	telSpillDropped     = telemetry.Default().Counter("core.client.spill.dropped")
+)
+
+// DefaultSpillCapacity bounds the spill buffer when EnableSpill is given no
+// explicit capacity.
+const DefaultSpillCapacity = 1024
+
+// SpillStats is a point-in-time view of a client's spill buffer.
+type SpillStats struct {
+	Enabled     bool
+	Buffered    int // entries currently awaiting redelivery
+	Capacity    int
+	Spilled     int64 // entries that ever entered the buffer
+	Redelivered int64
+	Dropped     int64 // overflow evictions + definitive redelivery failures
+}
+
+type spillEntry struct {
+	ns   Namespace
+	node *conduit.Node
+}
+
+type spillState struct {
+	c   *Client
+	max int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []spillEntry
+
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+
+	spilled, redelivered, dropped int64
+}
+
+// EnableSpill switches the client into graceful-degradation mode: publishes
+// that fail with a transient transport error are buffered (up to capacity
+// entries; <1 = DefaultSpillCapacity) and redelivered in order by a
+// background loop once the service is reachable again. Call DrainSpill
+// before Close to guarantee buffered entries were delivered.
+func (c *Client) EnableSpill(capacity int) {
+	if capacity < 1 {
+		capacity = DefaultSpillCapacity
+	}
+	sp := &spillState{
+		c:    c,
+		max:  capacity,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	sp.cond = sync.NewCond(&sp.mu)
+	if !c.spill.CompareAndSwap(nil, sp) {
+		return // already enabled
+	}
+	go sp.redeliverLoop()
+}
+
+// Spill returns the spill buffer's current statistics (zero value when spill
+// was never enabled).
+func (c *Client) Spill() SpillStats {
+	sp := c.spill.Load()
+	if sp == nil {
+		return SpillStats{}
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return SpillStats{
+		Enabled:     true,
+		Buffered:    len(sp.buf),
+		Capacity:    sp.max,
+		Spilled:     sp.spilled,
+		Redelivered: sp.redelivered,
+		Dropped:     sp.dropped,
+	}
+}
+
+// Degraded reports whether the client is currently operating in degraded
+// mode (publishes buffered locally awaiting redelivery).
+func (c *Client) Degraded() bool {
+	sp := c.spill.Load()
+	if sp == nil {
+		return false
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.buf) > 0
+}
+
+// DrainSpill blocks until every buffered publish has been redelivered (or
+// dropped), or ctx expires — in which case it reports how many entries were
+// still stranded. Call it before Close when buffered data must not be lost.
+func (c *Client) DrainSpill(ctx context.Context) error {
+	sp := c.spill.Load()
+	if sp == nil {
+		return nil
+	}
+	stopWatch := context.AfterFunc(ctx, func() {
+		sp.mu.Lock()
+		sp.cond.Broadcast()
+		sp.mu.Unlock()
+	})
+	defer stopWatch()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for len(sp.buf) > 0 && !sp.closed {
+		if ctx.Err() != nil {
+			return fmt.Errorf("soma: spill drain: %d entries still buffered: %w", len(sp.buf), ctx.Err())
+		}
+		sp.cond.Wait()
+	}
+	return nil
+}
+
+// add buffers one publish, evicting the oldest entry when full. Reports
+// false when the spill has been shut down (the caller surfaces the original
+// error instead).
+func (sp *spillState) add(ns Namespace, n *conduit.Node) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return false
+	}
+	if len(sp.buf) >= sp.max {
+		copy(sp.buf, sp.buf[1:])
+		sp.buf = sp.buf[:len(sp.buf)-1]
+		sp.dropped++
+		telSpillDropped.Inc()
+		telSpillDepth.Dec()
+	}
+	sp.buf = append(sp.buf, spillEntry{ns: ns, node: n})
+	sp.spilled++
+	telSpillTotal.Inc()
+	telSpillDepth.Inc()
+	sp.cond.Broadcast()
+	return true
+}
+
+// pending reports the current buffer depth (ordering check on the publish
+// path: while entries wait, new publishes must queue behind them).
+func (sp *spillState) pending() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.buf)
+}
+
+// pop removes the head entry after a redelivery attempt resolved it.
+func (sp *spillState) pop(redelivered bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.buf) == 0 {
+		return
+	}
+	copy(sp.buf, sp.buf[1:])
+	sp.buf = sp.buf[:len(sp.buf)-1]
+	if redelivered {
+		sp.redelivered++
+		telSpillRedelivered.Inc()
+	} else {
+		sp.dropped++
+		telSpillDropped.Inc()
+	}
+	telSpillDepth.Dec()
+	sp.cond.Broadcast()
+}
+
+// shutdown stops the redelivery loop. Entries still buffered stay counted in
+// Buffered (callers wanting zero loss drain first).
+func (sp *spillState) shutdown() {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.closed = true
+	sp.cond.Broadcast()
+	sp.mu.Unlock()
+	close(sp.stop)
+	<-sp.done
+}
+
+// redeliverLoop retries the buffer head on the shared backoff schedule:
+// success or a definitive verdict pops it (the latter also surfaces on
+// Errs); transient failures back off and try again.
+func (sp *spillState) redeliverLoop() {
+	defer close(sp.done)
+	bo := mercury.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	attempt := 0
+	for {
+		sp.mu.Lock()
+		for len(sp.buf) == 0 && !sp.closed {
+			sp.cond.Wait()
+		}
+		if sp.closed {
+			sp.mu.Unlock()
+			return
+		}
+		e := sp.buf[0]
+		sp.mu.Unlock()
+
+		err := sp.c.sendPublish(e.ns, e.node)
+		switch {
+		case err == nil:
+			sp.pop(true)
+			attempt = 0
+		case !mercury.IsTransient(err):
+			sp.pop(false)
+			sp.c.reportAsyncError(fmt.Errorf("soma: spill redelivery dropped: %w", err))
+			attempt = 0
+		default:
+			t := time.NewTimer(bo.Delay(attempt))
+			attempt++
+			select {
+			case <-sp.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+	}
+}

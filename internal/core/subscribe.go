@@ -214,12 +214,15 @@ func (c *Client) subscribeLoop(ctx context.Context, sub *Subscription, ch chan<-
 			if ctx.Err() != nil {
 				return
 			}
-			// Connection lost or bus closed: redial and resubscribe.
+			// Connection lost or bus closed: redial and resubscribe on the
+			// shared backoff policy (exponential with full jitter, so a
+			// fleet of subscribers does not redial a healing service in
+			// lockstep).
 			droppedBase += droppedLease
 			droppedLease = 0
 			rs = nil
-			backoff := 100 * time.Millisecond
-			for rs == nil {
+			bo := mercury.Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+			for attempt := 0; rs == nil; attempt++ {
 				if ownEP != nil {
 					ownEP.Close()
 					ownEP = nil
@@ -231,13 +234,8 @@ func (c *Client) subscribeLoop(ctx context.Context, sub *Subscription, ch chan<-
 					}
 					ep.Close()
 				}
-				select {
-				case <-ctx.Done():
+				if bo.Sleep(ctx, attempt) != nil {
 					return
-				case <-time.After(backoff):
-				}
-				if backoff < 5*time.Second {
-					backoff *= 2
 				}
 			}
 			continue
@@ -263,15 +261,15 @@ func (c *Client) subscribeLoop(ctx context.Context, sub *Subscription, ch chan<-
 }
 
 // redial re-resolves the service address the client was connected with
-// (through the same engine, when one was supplied).
+// (through the same engine and call policy, when supplied).
 func (c *Client) redial() (*mercury.Endpoint, error) {
 	if c.addr == "" {
 		return nil, fmt.Errorf("soma: client has no redial address")
 	}
 	if c.engine != nil {
-		return c.engine.Lookup(c.addr)
+		return c.engine.LookupPolicy(c.addr, c.policy)
 	}
-	return mercury.Lookup(c.addr)
+	return mercury.LookupPolicy(c.addr, c.policy)
 }
 
 // Watch subscribes and invokes fn for every pushed update until the context

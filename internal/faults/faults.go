@@ -1,0 +1,269 @@
+// Package faults is a deterministic fault-injection transport for the
+// mercury RPC layer: it wraps the engine's TCP connections (and inproc call
+// path) and, under seeded-PRNG control, delays, drops, severs, corrupts or
+// black-holes individual frames and connections.
+//
+// The point is to make the resilience layer (mercury.CallPolicy retries and
+// breakers, the core client's publish spill, the subscribe redial loop)
+// testable under the failure modes that dominate long-lived HPC workflow
+// deployments — transient connection loss, slow or overloaded service
+// instances, lost messages — without ever touching a real network fault.
+// Enable it with mercury.WithInjector:
+//
+//	tr := faults.New(faults.Config{Seed: 42, DropProb: 0.05, SeverProb: 0.01})
+//	engine := mercury.NewEngine(mercury.WithInjector(tr))
+//
+// Every frame written on a wrapped connection draws one decision from the
+// transport's seeded PRNG, so a given seed yields the same fault schedule
+// (the assignment of faults onto frames depends on goroutine interleaving,
+// which is why chaos tests assert outcome invariants — zero loss, zero
+// deadlock — rather than exact schedules). Faults only ever subtract
+// delivery: the transport never fabricates frames, so any corruption a peer
+// observes traces back to a counted injection here.
+//
+// mercury writes exactly one frame per Write call on both the request and
+// response paths, so per-Write decisions are per-frame decisions.
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// Config sets the per-frame fault probabilities (evaluated in the order
+// listed; the first match wins) and the PRNG seed. All probabilities are in
+// [0, 1]; zero disables that fault.
+type Config struct {
+	// Seed initializes the decision PRNG; the same seed replays the same
+	// decision sequence.
+	Seed int64
+
+	// SeverProb closes the connection mid-frame: the peer sees EOF, every
+	// call in flight on it fails.
+	SeverProb float64
+	// CorruptProb mangles the frame's length prefix into an over-limit
+	// value, making the peer reject the stream and drop the connection —
+	// the "corrupt length frame" failure of a misbehaving NIC or a
+	// half-written buffer.
+	CorruptProb float64
+	// BlackholeProb silently swallows this frame and every later frame on
+	// the connection while keeping it open — the slow-death failure mode a
+	// plain disconnect never exercises.
+	BlackholeProb float64
+	// DropProb silently swallows just this frame.
+	DropProb float64
+	// DelayProb stalls the frame for a uniform duration in
+	// [DelayMin, DelayMax] before writing it through.
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+
+	// Budget, when positive, caps the total number of injected faults;
+	// after it is spent the transport passes everything through untouched.
+	// Chaos tests use it to guarantee the system is eventually allowed to
+	// heal.
+	Budget int64
+}
+
+// Counters tallies injected faults by kind; read them via Transport.Stats.
+type Counters struct {
+	Delays     int64
+	Drops      int64
+	Severs     int64
+	Corrupts   int64
+	Blackholes int64
+}
+
+// Transport implements mercury.Injector. One Transport may be shared by
+// several engines; its decision stream and budget are global across them.
+type Transport struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	enabled   atomic.Bool
+	remaining atomic.Int64 // <0 = unlimited
+
+	delays     atomic.Int64
+	drops      atomic.Int64
+	severs     atomic.Int64
+	corrupts   atomic.Int64
+	blackholes atomic.Int64
+}
+
+// New builds a transport from cfg. It starts enabled.
+func New(cfg Config) *Transport {
+	t := &Transport{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Budget > 0 {
+		t.remaining.Store(cfg.Budget)
+	} else {
+		t.remaining.Store(-1)
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled turns injection on or off; disabled, the transport passes
+// everything through (wrapped connections included). Chaos tests disable it
+// to let the system heal before asserting zero loss.
+func (t *Transport) SetEnabled(v bool) { t.enabled.Store(v) }
+
+// Stats returns the faults injected so far.
+func (t *Transport) Stats() Counters {
+	return Counters{
+		Delays:     t.delays.Load(),
+		Drops:      t.drops.Load(),
+		Severs:     t.severs.Load(),
+		Corrupts:   t.corrupts.Load(),
+		Blackholes: t.blackholes.Load(),
+	}
+}
+
+// kind is one decision drawn from the PRNG.
+type kind int
+
+const (
+	kindNone kind = iota
+	kindSever
+	kindCorrupt
+	kindBlackhole
+	kindDrop
+	kindDelay
+)
+
+// decide draws the next decision (and delay duration) from the seeded PRNG.
+func (t *Transport) decide() (kind, time.Duration) {
+	if !t.enabled.Load() {
+		return kindNone, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// One uniform draw per frame keeps the decision stream aligned with the
+	// frame stream regardless of which probabilities are set.
+	u := t.rng.Float64()
+	var k kind
+	switch {
+	case u < t.cfg.SeverProb:
+		k = kindSever
+	case u < t.cfg.SeverProb+t.cfg.CorruptProb:
+		k = kindCorrupt
+	case u < t.cfg.SeverProb+t.cfg.CorruptProb+t.cfg.BlackholeProb:
+		k = kindBlackhole
+	case u < t.cfg.SeverProb+t.cfg.CorruptProb+t.cfg.BlackholeProb+t.cfg.DropProb:
+		k = kindDrop
+	case u < t.cfg.SeverProb+t.cfg.CorruptProb+t.cfg.BlackholeProb+t.cfg.DropProb+t.cfg.DelayProb:
+		k = kindDelay
+	default:
+		return kindNone, 0
+	}
+	var d time.Duration
+	if k == kindDelay {
+		span := t.cfg.DelayMax - t.cfg.DelayMin
+		d = t.cfg.DelayMin
+		if span > 0 {
+			d += time.Duration(t.rng.Int63n(int64(span) + 1))
+		}
+	}
+	// Spend budget only on actual injections.
+	for {
+		rem := t.remaining.Load()
+		if rem < 0 {
+			break // unlimited
+		}
+		if rem == 0 {
+			return kindNone, 0
+		}
+		if t.remaining.CompareAndSwap(rem, rem-1) {
+			break
+		}
+	}
+	return k, d
+}
+
+func (t *Transport) count(k kind) {
+	switch k {
+	case kindDelay:
+		t.delays.Add(1)
+	case kindDrop:
+		t.drops.Add(1)
+	case kindSever:
+		t.severs.Add(1)
+	case kindCorrupt:
+		t.corrupts.Add(1)
+	case kindBlackhole:
+		t.blackholes.Add(1)
+	}
+}
+
+// WrapConn implements mercury.Injector: frames written through the returned
+// connection are subject to injected faults. Reads pass through (a faulted
+// response is modelled as a fault on the server's write of it).
+func (t *Transport) WrapConn(conn net.Conn, client bool) net.Conn {
+	return &faultConn{Conn: conn, t: t}
+}
+
+// InprocCall implements mercury.Injector for the in-process transport:
+// sever and corrupt have no inproc analogue and map onto drop (the caller
+// blocks until its context expires, as it would on a lost frame).
+func (t *Transport) InprocCall(rpc string) mercury.InjectedFault {
+	k, d := t.decide()
+	t.count(k)
+	switch k {
+	case kindDelay:
+		return mercury.InjectedFault{Delay: d}
+	case kindNone:
+		return mercury.InjectedFault{}
+	default:
+		return mercury.InjectedFault{Drop: true}
+	}
+}
+
+// faultConn applies write-side fault decisions to one connection.
+type faultConn struct {
+	net.Conn
+	t          *Transport
+	blackholed atomic.Bool
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.blackholed.Load() && c.t.enabled.Load() {
+		return len(b), nil
+	}
+	k, d := c.t.decide()
+	c.t.count(k)
+	switch k {
+	case kindNone:
+		return c.Conn.Write(b)
+	case kindDelay:
+		time.Sleep(d)
+		return c.Conn.Write(b)
+	case kindDrop:
+		return len(b), nil
+	case kindBlackhole:
+		c.blackholed.Store(true)
+		return len(b), nil
+	case kindCorrupt:
+		// Mangle the length prefix into an over-limit value: the peer
+		// rejects the frame and drops the connection. Corrupt a copy — the
+		// caller's buffer is pooled and reused.
+		if len(b) >= 4 {
+			mangled := make([]byte, len(b))
+			copy(mangled, b)
+			mangled[0], mangled[1], mangled[2], mangled[3] = 0xff, 0xff, 0xff, 0xff
+			if _, err := c.Conn.Write(mangled); err != nil {
+				return 0, err
+			}
+			return len(b), nil
+		}
+		return c.Conn.Write(b)
+	default: // kindSever
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+}

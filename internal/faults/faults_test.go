@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// Two transports with the same seed must draw the same decision sequence —
+// the determinism contract the chaos soak's seeded schedules rest on.
+func TestSeededDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 1234, SeverProb: 0.1, CorruptProb: 0.1, BlackholeProb: 0.1,
+		DropProb: 0.2, DelayProb: 0.3, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond,
+	}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		ka, da := a.decide()
+		kb, db := b.decide()
+		if ka != kb || da != db {
+			t.Fatalf("decision %d diverged: (%v,%v) vs (%v,%v)", i, ka, da, kb, db)
+		}
+	}
+	diff := New(Config{Seed: 99, SeverProb: 0.5, DropProb: 0.5})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		ka, _ := a.decide()
+		kd, _ := diff.decide()
+		if ka == kd {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced an identical 1000-decision sequence")
+	}
+}
+
+// echoService starts a TCP engine with an injector and returns its address.
+func echoService(t *testing.T, tr *Transport) (string, *mercury.Engine) {
+	t.Helper()
+	e := mercury.NewEngine(mercury.WithInjector(tr))
+	e.Register("echo", func(_ context.Context, in []byte) ([]byte, error) {
+		out := make([]byte, len(in))
+		copy(out, in)
+		return out, nil
+	})
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return addr, e
+}
+
+func retryPolicy() *mercury.CallPolicy {
+	return &mercury.CallPolicy{
+		ConnectTimeout: 2 * time.Second,
+		AttemptTimeout: 200 * time.Millisecond,
+		MaxRetries:     8,
+		Backoff:        mercury.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Idempotent:     func(string) bool { return true },
+	}
+}
+
+// A budgeted run of each fault kind must heal: the retry policy rides
+// through exactly Budget injections and the call still completes.
+func TestBudgetedFaultsHeal(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		count func(Counters) int64
+	}{
+		{"sever", Config{Seed: 7, SeverProb: 1, Budget: 2}, func(c Counters) int64 { return c.Severs }},
+		{"corrupt", Config{Seed: 7, CorruptProb: 1, Budget: 2}, func(c Counters) int64 { return c.Corrupts }},
+		{"drop", Config{Seed: 7, DropProb: 1, Budget: 2}, func(c Counters) int64 { return c.Drops }},
+		{"blackhole", Config{Seed: 7, BlackholeProb: 1, Budget: 1}, func(c Counters) int64 { return c.Blackholes }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr := New(tc.cfg)
+			addr, _ := echoService(t, tr)
+			ep, err := mercury.LookupPolicy(addr, retryPolicy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ep.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			out, err := ep.Call(ctx, "echo", []byte("persist"))
+			if err != nil {
+				t.Fatalf("call through %s faults never healed: %v", tc.name, err)
+			}
+			if string(out) != "persist" {
+				t.Fatalf("out = %q", out)
+			}
+			if got := tc.count(tr.Stats()); got != tc.cfg.Budget {
+				t.Fatalf("%s injections = %d, want the full budget %d", tc.name, got, tc.cfg.Budget)
+			}
+		})
+	}
+}
+
+// SetEnabled(false) must make a hostile transport fully transparent.
+func TestDisableRestoresCleanTransport(t *testing.T) {
+	tr := New(Config{Seed: 3, DropProb: 1})
+	tr.SetEnabled(false)
+	addr, _ := echoService(t, tr)
+	ep, err := mercury.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := ep.Call(context.Background(), "echo", []byte("x")); err != nil {
+			t.Fatalf("call %d through disabled transport: %v", i, err)
+		}
+	}
+	if st := tr.Stats(); st != (Counters{}) {
+		t.Fatalf("disabled transport injected faults: %+v", st)
+	}
+}
+
+// Inproc injection: a dropped call blocks until the caller's context dies
+// and the handler never fires; after the budget is spent, calls succeed.
+func TestInprocDropBlackholesCall(t *testing.T) {
+	tr := New(Config{Seed: 11, DropProb: 1, Budget: 1})
+	e := mercury.NewEngine(mercury.WithInjector(tr))
+	var fired atomic.Int64
+	e.Register("ping", func(_ context.Context, _ []byte) ([]byte, error) {
+		fired.Add(1)
+		return nil, nil
+	})
+	if _, err := e.Listen("inproc://faults-inproc-drop"); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ep, err := mercury.Lookup("inproc://faults-inproc-drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := ep.Call(ctx, "ping", nil); err == nil {
+		t.Fatal("dropped inproc call succeeded")
+	}
+	if fired.Load() != 0 {
+		t.Fatal("dropped inproc call fired the handler")
+	}
+	// Budget spent: the next call goes through.
+	if _, err := ep.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatalf("post-budget call: %v", err)
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("handler fired %d times, want 1", fired.Load())
+	}
+}
+
+// Delays must stall the frame but deliver it.
+func TestDelayDelivers(t *testing.T) {
+	tr := New(Config{Seed: 5, DelayProb: 1, DelayMin: 30 * time.Millisecond, DelayMax: 30 * time.Millisecond, Budget: 1})
+	addr, _ := echoService(t, tr)
+	ep, err := mercury.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	start := time.Now()
+	if _, err := ep.Call(context.Background(), "echo", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("delayed call completed in %v, want >= ~30ms", el)
+	}
+	if tr.Stats().Delays != 1 {
+		t.Fatalf("delays = %d, want 1", tr.Stats().Delays)
+	}
+}

@@ -89,6 +89,10 @@ type Stats struct {
 	BytesIn       atomic.Int64
 	BytesOut      atomic.Int64
 	HandlerErrors atomic.Int64
+	// ShedExpired counts calls whose propagated deadline had already passed
+	// at dispatch time: the handler was skipped and the caller (long gone)
+	// got ErrExpired. Load shedding for servers drowning in abandoned work.
+	ShedExpired atomic.Int64
 }
 
 // Process-wide telemetry. Per-engine attribution stays in Stats; the
@@ -139,6 +143,37 @@ type registration struct {
 	blocking bool
 }
 
+// InjectedFault is one fault decision for an in-process call (the inproc
+// analogue of a connection-level fault; see internal/faults).
+type InjectedFault struct {
+	// Delay stalls the call before dispatch.
+	Delay time.Duration
+	// Drop black-holes the call: it blocks until the caller's context is
+	// done and the handler never fires — the inproc equivalent of a request
+	// frame lost on the wire.
+	Drop bool
+}
+
+// Injector intercepts an engine's transports for deterministic fault
+// injection (internal/faults implements it). WrapConn wraps every TCP
+// connection the engine accepts (client=false) and every connection dialed
+// by endpoints the engine owns (client=true); InprocCall is consulted by
+// clients calling into the engine over the inproc transport.
+type Injector interface {
+	WrapConn(conn net.Conn, client bool) net.Conn
+	InprocCall(rpc string) InjectedFault
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithInjector enables fault injection on the engine's transports — tests
+// and the chaos soak run every workload through it; production engines never
+// set one.
+func WithInjector(in Injector) Option {
+	return func(e *Engine) { e.injector = in }
+}
+
 // Engine hosts RPC handlers and manages transports. A process typically has
 // one Engine per service or client role.
 type Engine struct {
@@ -154,17 +189,24 @@ type Engine struct {
 	closeCh chan struct{} // closed in Close; wakes blocking handlers
 	wg      sync.WaitGroup
 
+	// injector, when set, intercepts transports for fault injection.
+	injector Injector
+
 	// Stats is exported for observability of the observability system.
 	Stats Stats
 }
 
 // NewEngine returns an engine with no handlers registered.
-func NewEngine() *Engine {
-	return &Engine{
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
 		handlers: map[string]registration{},
 		conns:    map[net.Conn]struct{}{},
 		closeCh:  make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Register installs a handler under name, replacing any previous handler.
@@ -223,7 +265,11 @@ func (e *Engine) cancelOnClose(ctx context.Context) (context.Context, func()) {
 }
 
 // dispatch runs the named handler locally; used by both transports. The
-// handler's wall time lands in the per-RPC server latency histogram.
+// handler's wall time lands in the per-RPC server latency histogram. A call
+// whose context deadline has already passed is shed without dispatching —
+// the caller gave up, running the handler would be pure waste (the TCP
+// transport carries the caller's deadline in the frame header precisely so
+// this check sees it).
 func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byte, error) {
 	reg, ok, err := e.handler(name)
 	if err != nil {
@@ -231,6 +277,11 @@ func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byt
 	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
+	}
+	if !reg.blocking && ctx.Err() != nil {
+		e.Stats.ShedExpired.Add(1)
+		telShedExpired.Inc()
+		return nil, fmt.Errorf("%w (%q shed before dispatch)", ErrExpired, name)
 	}
 	e.Stats.CallsServed.Add(1)
 	e.Stats.BytesIn.Add(int64(len(input)))
@@ -419,7 +470,10 @@ func lookupInproc(name string) (*Engine, bool) {
 
 // Endpoint is a client handle to a remote (or in-process) engine. Endpoints
 // are safe for concurrent use; calls on one TCP endpoint are multiplexed on
-// a single connection.
+// a single connection (the current session). When the session's connection
+// is lost the endpoint redials lazily on the next call, so one endpoint
+// survives service restarts and transient network failures — the resilience
+// behaviour (timeouts, retries, breaker) is governed by its CallPolicy.
 type Endpoint struct {
 	addr string
 
@@ -427,17 +481,15 @@ type Endpoint struct {
 	local *Engine
 
 	// tcp
-	conn    net.Conn
-	writeMu sync.Mutex
-	pending struct {
-		sync.Mutex
-		m      map[uint64]chan rpcResponse
-		nextID uint64
-		closed bool
-		err    error
-	}
+	raw    string // host:port to (re)dial
+	sessMu sync.Mutex
+	sess   *tcpSession
+	closed atomic.Bool
 
-	owner *Engine // for stats attribution; may be nil
+	policy atomic.Pointer[CallPolicy]
+	brk    breaker
+
+	owner *Engine // for stats attribution and client-side injection; may be nil
 }
 
 type rpcResponse struct {
@@ -445,19 +497,95 @@ type rpcResponse struct {
 	payload []byte
 }
 
+// tcpSession is one live connection with its multiplexing state. A session
+// is immutable once dead; the endpoint replaces it wholesale on redial, so
+// in-flight calls on the old session fail without racing new ones.
+type tcpSession struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pend    map[uint64]chan rpcResponse
+	nextID  uint64
+	dead    bool
+	lastErr error
+}
+
+func newTCPSession(conn net.Conn) *tcpSession {
+	return &tcpSession{conn: conn, pend: map[uint64]chan rpcResponse{}}
+}
+
+// register allocates a request id and its response channel; it fails when
+// the session has already died.
+func (s *tcpSession) register() (uint64, chan rpcResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		err := s.lastErr
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, nil, err
+	}
+	s.nextID++
+	id := s.nextID
+	ch := make(chan rpcResponse, 1)
+	s.pend[id] = ch
+	return id, ch, nil
+}
+
+func (s *tcpSession) unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.pend, id)
+	s.mu.Unlock()
+}
+
+// fail marks the session dead, closes its connection and fails every
+// pending call. Idempotent.
+func (s *tcpSession) fail(err error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.lastErr = err
+	for id, ch := range s.pend {
+		close(ch)
+		delete(s.pend, id)
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
 // Lookup resolves addr into an Endpoint. The optional client engine (may be
 // nil) accumulates call statistics.
 func (e *Engine) Lookup(addr string) (*Endpoint, error) {
-	return lookup(addr, e)
+	return lookup(addr, e, nil)
+}
+
+// LookupPolicy resolves addr with an explicit call policy (the policy also
+// governs the initial dial's connect timeout).
+func (e *Engine) LookupPolicy(addr string, p *CallPolicy) (*Endpoint, error) {
+	return lookup(addr, e, p)
 }
 
 // Lookup resolves addr without a client engine.
-func Lookup(addr string) (*Endpoint, error) { return lookup(addr, nil) }
+func Lookup(addr string) (*Endpoint, error) { return lookup(addr, nil, nil) }
 
-func lookup(addr string, owner *Engine) (*Endpoint, error) {
+// LookupPolicy resolves addr without a client engine, with an explicit call
+// policy.
+func LookupPolicy(addr string, p *CallPolicy) (*Endpoint, error) {
+	return lookup(addr, nil, p)
+}
+
+func lookup(addr string, owner *Engine, policy *CallPolicy) (*Endpoint, error) {
 	scheme, rest, err := splitAddr(addr)
 	if err != nil {
 		return nil, err
+	}
+	if policy == nil {
+		policy = DefaultPolicy()
 	}
 	var ep *Endpoint
 	switch scheme {
@@ -467,14 +595,16 @@ func lookup(addr string, owner *Engine) (*Endpoint, error) {
 			return nil, fmt.Errorf("mercury: no inproc engine named %q", rest)
 		}
 		ep = &Endpoint{addr: addr, local: target, owner: owner}
+		ep.policy.Store(policy)
 	case "tcp":
-		conn, err := net.Dial("tcp", rest)
-		if err != nil {
+		ep = &Endpoint{addr: addr, raw: rest, owner: owner}
+		ep.policy.Store(policy)
+		// Dial eagerly so an unreachable service fails at Lookup, not at the
+		// first call — services publish their RPC addresses, and a bad one
+		// should be reported where it was resolved.
+		if _, err := ep.session(context.Background()); err != nil {
 			return nil, err
 		}
-		ep = &Endpoint{addr: addr, conn: conn, owner: owner}
-		ep.pending.m = map[uint64]chan rpcResponse{}
-		go ep.readLoop()
 	default:
 		return nil, fmt.Errorf("%w: scheme %q", ErrBadAddress, scheme)
 	}
@@ -487,14 +617,81 @@ func lookup(addr string, owner *Engine) (*Endpoint, error) {
 	return ep, nil
 }
 
+// SetPolicy replaces the endpoint's call policy (applies to subsequent
+// calls; a nil policy resets to DefaultPolicy).
+func (ep *Endpoint) SetPolicy(p *CallPolicy) {
+	if p == nil {
+		p = DefaultPolicy()
+	}
+	ep.policy.Store(p)
+}
+
+// Policy returns the endpoint's current call policy.
+func (ep *Endpoint) Policy() *CallPolicy { return ep.policy.Load() }
+
+// BreakerState reports the endpoint's circuit-breaker state: "disabled",
+// "closed", "open" or "half-open".
+func (ep *Endpoint) BreakerState() string { return ep.brk.stateName(ep.policy.Load()) }
+
+// session returns the current live session, dialing a new one (bounded by
+// the policy's connect timeout and ctx) when none exists. The dial happens
+// under sessMu so concurrent calls share one redial instead of racing.
+func (ep *Endpoint) session(ctx context.Context) (*tcpSession, error) {
+	ep.sessMu.Lock()
+	defer ep.sessMu.Unlock()
+	if ep.closed.Load() {
+		return nil, ErrClosed
+	}
+	if s := ep.sess; s != nil {
+		s.mu.Lock()
+		dead := s.dead
+		s.mu.Unlock()
+		if !dead {
+			return s, nil
+		}
+		ep.sess = nil
+	}
+	d := net.Dialer{Timeout: ep.policy.Load().connectTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", ep.raw)
+	if err != nil {
+		return nil, err
+	}
+	if ep.owner != nil && ep.owner.injector != nil {
+		conn = ep.owner.injector.WrapConn(conn, true)
+	}
+	s := newTCPSession(conn)
+	ep.sess = s
+	go ep.readLoop(s)
+	return s, nil
+}
+
+// dropSession discards s as the endpoint's current session (if it still is)
+// and fails it, severing the connection.
+func (ep *Endpoint) dropSession(s *tcpSession, err error) {
+	ep.sessMu.Lock()
+	if ep.sess == s {
+		ep.sess = nil
+	}
+	ep.sessMu.Unlock()
+	s.fail(err)
+}
+
 // Addr returns the address this endpoint was looked up with.
 func (ep *Endpoint) Addr() string { return ep.addr }
 
 // Call invokes the named RPC and waits for the response. ctx cancellation
 // abandons the wait (the response, if any, is discarded). When ctx carries a
 // telemetry trace context, its trace/span ids travel in the frame header so
-// the server-side handler span becomes a child of the caller's span. After
-// the owning engine's Close, Call fails fast with ErrClosed.
+// the server-side handler span becomes a child of the caller's span; the
+// attempt's deadline travels alongside them so the server can shed work
+// whose caller already gave up. After the owning engine's Close, Call fails
+// fast with ErrClosed.
+//
+// Resilience is governed by the endpoint's CallPolicy: a default call
+// timeout when ctx carries no deadline, bounded per-attempt budgets,
+// retries with backoff for idempotent RPCs (connect-stage failures retry
+// for every RPC — the request provably never left), and a circuit breaker
+// failing fast while the endpoint is down.
 func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte, error) {
 	if ep.owner != nil {
 		if ep.owner.isClosed() {
@@ -510,11 +707,23 @@ func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte
 		telClientInfl.Dec()
 	}()
 	if ep.local != nil {
+		if p := ep.policy.Load(); p != nil && p.CallTimeout > 0 {
+			if _, has := ctx.Deadline(); !has {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, p.CallTimeout)
+				defer cancel()
+			}
+		}
+		if inj := ep.local.injector; inj != nil {
+			if err := applyInprocFault(ctx, inj.InprocCall(name)); err != nil {
+				return nil, err
+			}
+		}
 		out, err := ep.local.dispatch(ctx, name, input)
 		if err != nil {
 			// Mirror the TCP path: handler failures surface as
 			// ErrRemoteFailed; infrastructure errors keep their identity.
-			if errors.Is(err, ErrUnknownRPC) || errors.Is(err, ErrClosed) {
+			if errors.Is(err, ErrUnknownRPC) || errors.Is(err, ErrClosed) || errors.Is(err, ErrExpired) {
 				return nil, err
 			}
 			return nil, fmt.Errorf("%w: %v", ErrRemoteFailed, err)
@@ -522,6 +731,25 @@ func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte
 		return out, nil
 	}
 	return ep.callTCP(ctx, name, input)
+}
+
+// applyInprocFault stalls or black-holes an in-process call per the
+// engine's injector decision.
+func applyInprocFault(ctx context.Context, f InjectedFault) error {
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if f.Drop {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Notify invokes the named RPC without waiting for its response — the
@@ -538,6 +766,15 @@ func (ep *Endpoint) Notify(ctx context.Context, name string, input []byte) error
 	}
 	telCallsIssued.Inc()
 	if ep.local != nil {
+		if inj := ep.local.injector; inj != nil {
+			f := inj.InprocCall(name)
+			if f.Drop {
+				return nil // one-way: the loss is silent by contract
+			}
+			if err := applyInprocFault(ctx, f); err != nil {
+				return nil
+			}
+		}
 		// In-process: dispatch directly, discarding result and error.
 		_, _ = ep.local.dispatch(ctx, name, input)
 		return nil
@@ -546,29 +783,36 @@ func (ep *Endpoint) Notify(ctx context.Context, name string, input []byte) error
 	if total > MaxFrame {
 		return ErrFrameTooBig
 	}
-	ep.pending.Lock()
-	closed := ep.pending.closed
-	ep.pending.Unlock()
-	if closed {
-		return ErrClosed
+	s, err := ep.session(ctx)
+	if err != nil {
+		return err
 	}
 	bp := getFrame(0)
 	// Request id 0 is reserved for notifications: no pending entry exists,
 	// so the response (still sent by the server) is dropped on arrival.
-	frame := appendRequestHeader((*bp)[:0], uint32(total), 0, telemetry.FromContext(ctx), name)
+	frame := appendRequestHeader((*bp)[:0], uint32(total), 0, telemetry.FromContext(ctx), deadlineNanos(ctx), name)
 	frame = append(frame, input...)
-	ep.writeMu.Lock()
-	_, err := ep.conn.Write(frame)
-	ep.writeMu.Unlock()
+	s.writeMu.Lock()
+	_, err = s.conn.Write(frame)
+	s.writeMu.Unlock()
 	*bp = frame
 	putFrame(bp)
+	if err != nil {
+		ep.dropSession(s, err)
+	}
 	return err
 }
 
-// Close releases the endpoint.
+// Close releases the endpoint; subsequent calls fail with ErrClosed (no
+// redial).
 func (ep *Endpoint) Close() error {
-	if ep.conn != nil {
-		return ep.conn.Close()
+	ep.closed.Store(true)
+	ep.sessMu.Lock()
+	s := ep.sess
+	ep.sess = nil
+	ep.sessMu.Unlock()
+	if s != nil {
+		s.fail(ErrClosed)
 	}
 	return nil
 }
@@ -576,98 +820,182 @@ func (ep *Endpoint) Close() error {
 // ---------------------------------------------------------------------------
 // TCP framing.
 //
-//	request : u32 len | u64 id | u64 traceID | u64 spanID | u16 nameLen | name | payload
+//	request : u32 len | u64 id | u64 traceID | u64 spanID | u64 deadline | u16 nameLen | name | payload
 //	response: u32 len | u64 id | u8 status | payload
 //
-// status: 0 ok, 1 handler error (payload = message), 2 unknown rpc.
+// status: 0 ok, 1 handler error (payload = message), 2 unknown rpc,
+// 3 expired (the deadline had passed; the handler was never dispatched).
 //
 // traceID/spanID are the caller's telemetry trace context (zero when the
 // caller is untraced); the server rebuilds it into the handler's context so
-// server-side spans join the caller's trace.
+// server-side spans join the caller's trace. deadline is the attempt's
+// context deadline in Unix nanoseconds (0 = none): the server installs it
+// on the handler's context and sheds the call outright when it has already
+// passed — work whose caller gave up is answered with status 3 instead of
+// being executed. Deadlines assume the clocks on both ends agree to within
+// the RPC timeout, which holds for the single-machine and
+// NTP-synchronized-cluster deployments this repo targets.
 
 const (
 	statusOK      = 0
 	statusErr     = 1
 	statusUnknown = 2
+	statusExpired = 3
 )
 
 // reqHeaderLen is the request byte count after the u32 length prefix, before
-// the name: id (8) + traceID (8) + spanID (8) + nameLen (2).
-const reqHeaderLen = 26
+// the name: id (8) + traceID (8) + spanID (8) + deadline (8) + nameLen (2).
+const reqHeaderLen = 34
+
+// deadlineNanos extracts ctx's deadline as Unix nanoseconds for the frame
+// header (0 when ctx has none).
+func deadlineNanos(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return 0
+}
 
 // appendRequestHeader appends the framed request header and name to dst.
 // total is the frame length after the u32 prefix.
-func appendRequestHeader(dst []byte, total uint32, id uint64, tc telemetry.TraceContext, name string) []byte {
+func appendRequestHeader(dst []byte, total uint32, id uint64, tc telemetry.TraceContext, deadline int64, name string) []byte {
 	var hdr [4 + reqHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], total)
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
 	binary.LittleEndian.PutUint64(hdr[12:20], tc.TraceID)
 	binary.LittleEndian.PutUint64(hdr[20:28], tc.SpanID)
-	binary.LittleEndian.PutUint16(hdr[28:30], uint16(len(name)))
+	binary.LittleEndian.PutUint64(hdr[28:36], uint64(deadline))
+	binary.LittleEndian.PutUint16(hdr[36:38], uint16(len(name)))
 	dst = append(dst, hdr[:]...)
 	return append(dst, name...)
 }
 
+// callTCP drives the retry/breaker state machine around attemptTCP.
 func (ep *Endpoint) callTCP(ctx context.Context, name string, input []byte) ([]byte, error) {
-	respCh := make(chan rpcResponse, 1)
-
-	ep.pending.Lock()
-	if ep.pending.closed {
-		err := ep.pending.err
-		ep.pending.Unlock()
-		if err == nil {
-			err = ErrClosed
+	p := ep.policy.Load()
+	if p.CallTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.CallTimeout)
+			defer cancel()
 		}
-		return nil, err
 	}
-	ep.pending.nextID++
-	id := ep.pending.nextID
-	ep.pending.m[id] = respCh
-	ep.pending.Unlock()
-
-	defer func() {
-		ep.pending.Lock()
-		delete(ep.pending.m, id)
-		ep.pending.Unlock()
-	}()
-
 	total := reqHeaderLen + len(name) + len(input)
 	if total > MaxFrame {
 		return nil, ErrFrameTooBig
 	}
-	bp := getFrame(0)
-	frame := appendRequestHeader((*bp)[:0], uint32(total), id, telemetry.FromContext(ctx), name)
-	frame = append(frame, input...)
-
-	ep.writeMu.Lock()
-	_, err := ep.conn.Write(frame)
-	ep.writeMu.Unlock()
-	*bp = frame
-	putFrame(bp)
-	if err != nil {
-		return nil, err
-	}
-
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case resp, ok := <-respCh:
-		if !ok {
-			return nil, ErrClosed
+	idem := p.idempotent(name)
+	for attempt := 0; ; attempt++ {
+		if err := ep.brk.allow(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		switch resp.status {
-		case statusOK:
-			return resp.payload, nil
-		case statusUnknown:
-			return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
-		default:
-			return nil, fmt.Errorf("%w: %s", ErrRemoteFailed, resp.payload)
+		out, sent, err := ep.attemptTCP(ctx, p, name, input, total)
+		switch {
+		case err == nil:
+			ep.brk.success()
+			return out, nil
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// The caller's context ended: neither a server verdict nor
+			// evidence the endpoint is down — no breaker movement, no retry.
+			return nil, err
+		case errors.Is(err, ErrRemoteFailed) || errors.Is(err, ErrUnknownRPC) || errors.Is(err, ErrExpired):
+			// The server responded: the transport is healthy.
+			ep.brk.success()
+			return nil, err
+		}
+		// Transport-level failure (dial error, severed connection, attempt
+		// timeout): count it and retry when the policy allows. A request
+		// that may have reached the server is only re-sent for idempotent
+		// RPCs.
+		ep.brk.failure(p)
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if attempt >= p.MaxRetries || (sent && !idem) {
+			return nil, err
+		}
+		telRetries.Inc()
+		if serr := p.Backoff.Sleep(ctx, attempt); serr != nil {
+			return nil, err
 		}
 	}
 }
 
-func (ep *Endpoint) readLoop() {
-	br := bufio.NewReader(ep.conn)
+// attemptTCP performs one send/receive round. sent reports whether the
+// request reached the write stage (and so may have fired server-side).
+func (ep *Endpoint) attemptTCP(ctx context.Context, p *CallPolicy, name string, input []byte, total int) (out []byte, sent bool, err error) {
+	s, err := ep.session(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	actx := ctx
+	if p.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		defer cancel()
+	}
+	id, respCh, err := s.register()
+	if err != nil {
+		// The session died between lookup and registration; provably unsent.
+		ep.dropSession(s, err)
+		return nil, false, err
+	}
+	defer s.unregister(id)
+
+	bp := getFrame(0)
+	frame := appendRequestHeader((*bp)[:0], uint32(total), id, telemetry.FromContext(ctx), deadlineNanos(actx), name)
+	frame = append(frame, input...)
+	sent = true
+	s.writeMu.Lock()
+	_, werr := s.conn.Write(frame)
+	s.writeMu.Unlock()
+	*bp = frame
+	putFrame(bp)
+	if werr != nil {
+		ep.dropSession(s, werr)
+		return nil, true, werr
+	}
+
+	select {
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			return nil, true, ctx.Err()
+		}
+		// The attempt budget expired while the call as a whole is still
+		// live: the frame (or its response) is black-holed somewhere. Drop
+		// the connection — a fresh attempt gets a fresh one.
+		err := fmt.Errorf("%w (%q after %s)", ErrAttemptTimeout, name, p.AttemptTimeout)
+		ep.dropSession(s, err)
+		return nil, true, err
+	case resp, ok := <-respCh:
+		if !ok {
+			// Session failed underneath us (connection severed).
+			s.mu.Lock()
+			ferr := s.lastErr
+			s.mu.Unlock()
+			if ferr == nil {
+				ferr = ErrClosed
+			}
+			return nil, true, ferr
+		}
+		switch resp.status {
+		case statusOK:
+			return resp.payload, true, nil
+		case statusUnknown:
+			return nil, true, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
+		case statusExpired:
+			return nil, true, fmt.Errorf("%w (%q shed by server)", ErrExpired, name)
+		default:
+			return nil, true, fmt.Errorf("%w: %s", ErrRemoteFailed, resp.payload)
+		}
+	}
+}
+
+// readLoop pumps responses for one session; when the connection dies it
+// fails the session (and every call pending on it) and detaches it from
+// the endpoint so the next call redials.
+func (ep *Endpoint) readLoop(s *tcpSession) {
+	br := bufio.NewReader(s.conn)
 	var err error
 	for {
 		var lenBuf [4]byte
@@ -686,22 +1014,14 @@ func (ep *Endpoint) readLoop() {
 		id := binary.LittleEndian.Uint64(body[0:8])
 		status := body[8]
 		payload := body[9:]
-		ep.pending.Lock()
-		ch := ep.pending.m[id]
-		ep.pending.Unlock()
+		s.mu.Lock()
+		ch := s.pend[id]
+		s.mu.Unlock()
 		if ch != nil {
 			ch <- rpcResponse{status: status, payload: payload}
 		}
 	}
-	// Fail every outstanding call.
-	ep.pending.Lock()
-	ep.pending.closed = true
-	ep.pending.err = err
-	for id, ch := range ep.pending.m {
-		close(ch)
-		delete(ep.pending.m, id)
-	}
-	ep.pending.Unlock()
+	ep.dropSession(s, err)
 }
 
 func (e *Engine) acceptLoop(ln net.Listener) {
@@ -718,6 +1038,9 @@ func (e *Engine) acceptLoop(ln net.Listener) {
 
 func (e *Engine) serveConn(conn net.Conn) {
 	defer e.wg.Done()
+	if e.injector != nil {
+		conn = e.injector.WrapConn(conn, false)
+	}
 	defer conn.Close()
 	e.mu.Lock()
 	if e.closed {
@@ -755,7 +1078,8 @@ func (e *Engine) serveConn(conn net.Conn) {
 			TraceID: binary.LittleEndian.Uint64(body[8:16]),
 			SpanID:  binary.LittleEndian.Uint64(body[16:24]),
 		}
-		nameLen := int(binary.LittleEndian.Uint16(body[24:26]))
+		deadline := int64(binary.LittleEndian.Uint64(body[24:32]))
+		nameLen := int(binary.LittleEndian.Uint16(body[32:34]))
 		if reqHeaderLen+nameLen > len(body) {
 			putFrame(bodyBP)
 			return
@@ -774,14 +1098,25 @@ func (e *Engine) serveConn(conn net.Conn) {
 			if tc.Valid() {
 				ctx = telemetry.ContextWith(ctx, tc)
 			}
+			// Install the caller's propagated deadline; dispatch sheds the
+			// call (statusExpired) when it has already passed.
+			if deadline != 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, time.Unix(0, deadline))
+				defer cancel()
+			}
 			status := byte(statusOK)
 			out, err := e.dispatch(ctx, name, payload)
 			putFrame(bodyBP)
 			if err != nil {
-				if errors.Is(err, ErrUnknownRPC) {
+				switch {
+				case errors.Is(err, ErrUnknownRPC):
 					status = statusUnknown
 					out = nil
-				} else {
+				case errors.Is(err, ErrExpired):
+					status = statusExpired
+					out = nil
+				default:
 					status = statusErr
 					out = []byte(err.Error())
 				}

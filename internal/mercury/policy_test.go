@@ -1,0 +1,381 @@
+package mercury
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// The dial must be bounded by the policy's connect timeout: a non-routable
+// address fails at Lookup within the budget instead of hanging in the
+// kernel's SYN retransmission schedule. 100::1 is the RFC 6666 discard-only
+// prefix: environments with an IPv6 route black-hole the SYN (exercising the
+// timeout); environments without one fail immediately — bounded either way.
+// (IPv4 TEST-NET addresses are unusable here: CI sandboxes often run a
+// transparent proxy that accepts every IPv4 connect.)
+func TestConnectTimeoutNonRoutable(t *testing.T) {
+	start := time.Now()
+	_, err := LookupPolicy("tcp://[100::1]:9", &CallPolicy{ConnectTimeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("lookup of a non-routable address succeeded")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("dial took %v, want ~300ms connect timeout", el)
+	}
+}
+
+func TestBackoffCapAndJitter(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if c := b.Cap(i); c != w*time.Millisecond {
+			t.Fatalf("Cap(%d) = %v, want %v", i, c, w*time.Millisecond)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if d := b.Delay(3); d < 0 || d > 80*time.Millisecond {
+			t.Fatalf("Delay(3) = %v outside [0, 80ms]", d)
+		}
+	}
+}
+
+// dropRespInjector swallows the first N server-side response writes,
+// simulating responses lost in flight after the handler has run.
+type dropRespInjector struct{ remaining atomic.Int64 }
+
+func (i *dropRespInjector) WrapConn(conn net.Conn, client bool) net.Conn {
+	if client {
+		return conn
+	}
+	return &dropRespConn{Conn: conn, i: i}
+}
+
+func (i *dropRespInjector) InprocCall(string) InjectedFault { return InjectedFault{} }
+
+type dropRespConn struct {
+	net.Conn
+	i *dropRespInjector
+}
+
+func (c *dropRespConn) Write(b []byte) (int, error) {
+	for {
+		rem := c.i.remaining.Load()
+		if rem <= 0 {
+			return c.Conn.Write(b)
+		}
+		if c.i.remaining.CompareAndSwap(rem, rem-1) {
+			return len(b), nil
+		}
+	}
+}
+
+func lostResponseService(t *testing.T, drops int64) (string, *atomic.Int64) {
+	t.Helper()
+	inj := &dropRespInjector{}
+	inj.remaining.Store(drops)
+	e := NewEngine(WithInjector(inj))
+	var fired atomic.Int64
+	e.Register("mutate", func(_ context.Context, _ []byte) ([]byte, error) {
+		fired.Add(1)
+		return []byte("done"), nil
+	})
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return addr, &fired
+}
+
+// A request that reached the server but whose response was lost must NOT be
+// retried when the RPC is not declared idempotent: the handler fires exactly
+// once and the caller gets the transport error.
+func TestRetryNeverRefiresNonIdempotent(t *testing.T) {
+	addr, fired := lostResponseService(t, 1)
+	ep, err := LookupPolicy(addr, &CallPolicy{
+		AttemptTimeout: 150 * time.Millisecond,
+		MaxRetries:     3,
+		Backoff:        Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		// Idempotent nil: nothing may be re-sent once it was written.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	_, err = ep.Call(context.Background(), "mutate", []byte("x"))
+	if err == nil {
+		t.Fatal("call with a dropped response reported success")
+	}
+	if !errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("err = %v, want ErrAttemptTimeout", err)
+	}
+	// Give any (incorrect) in-flight retry a chance to land before counting.
+	time.Sleep(50 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("non-idempotent handler fired %d times, want exactly 1", n)
+	}
+}
+
+// The same lost-response failure IS retried when the RPC is declared
+// idempotent, and the retry succeeds.
+func TestRetryRefiresIdempotent(t *testing.T) {
+	addr, fired := lostResponseService(t, 1)
+	ep, err := LookupPolicy(addr, &CallPolicy{
+		AttemptTimeout: 150 * time.Millisecond,
+		MaxRetries:     3,
+		Backoff:        Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		Idempotent:     IdempotentSet("mutate"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	out, err := ep.Call(context.Background(), "mutate", []byte("x"))
+	if err != nil {
+		t.Fatalf("idempotent retry never recovered: %v", err)
+	}
+	if string(out) != "done" {
+		t.Fatalf("out = %q", out)
+	}
+	if n := fired.Load(); n != 2 {
+		t.Fatalf("handler fired %d times, want 2 (original + one retry)", n)
+	}
+}
+
+// Half-open must admit exactly one probe no matter how many callers race for
+// it. Run with -race (make verify does).
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	p := &CallPolicy{FailureThreshold: 1, OpenFor: 30 * time.Millisecond}
+	var b breaker
+	b.failure(p)
+	if err := b.allow(p); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+
+	const callers = 64
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.allow(p); err == nil {
+				admitted.Add(1)
+			} else if errors.Is(err, ErrBreakerOpen) {
+				rejected.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 1 || rejected.Load() != callers-1 {
+		t.Fatalf("half-open admitted %d / rejected %d, want exactly 1 / %d",
+			admitted.Load(), rejected.Load(), callers-1)
+	}
+
+	// Probe fails: straight back to open, still failing fast.
+	b.failure(p)
+	if err := b.allow(p); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted a call: %v", err)
+	}
+	// Probe succeeds after the next window: breaker closes for everyone.
+	time.Sleep(40 * time.Millisecond)
+	if err := b.allow(p); err != nil {
+		t.Fatalf("half-open rejected its single probe: %v", err)
+	}
+	b.success()
+	for i := 0; i < 4; i++ {
+		if err := b.allow(p); err != nil {
+			t.Fatalf("closed breaker rejected a call: %v", err)
+		}
+	}
+}
+
+// End-to-end breaker: consecutive transport failures open it (fast-fail
+// without touching the network), and a restarted service is readmitted via a
+// half-open probe.
+func TestBreakerEndToEnd(t *testing.T) {
+	e := NewEngine()
+	e.Register("ping", func(_ context.Context, in []byte) ([]byte, error) { return in, nil })
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := LookupPolicy(addr, &CallPolicy{
+		ConnectTimeout:   time.Second,
+		FailureThreshold: 2,
+		OpenFor:          200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Call(context.Background(), "ping", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	e.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := ep.Call(context.Background(), "ping", nil); err == nil {
+			t.Fatalf("call %d to a closed service succeeded", i)
+		}
+	}
+	if st := ep.BreakerState(); st != "open" {
+		t.Fatalf("breaker state = %q after threshold failures, want open", st)
+	}
+	if _, err := ep.Call(context.Background(), "ping", nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker did not fast-fail: %v", err)
+	}
+
+	// Restart the service on the same address; after OpenFor the probe call
+	// goes through and closes the breaker.
+	e2 := NewEngine()
+	e2.Register("ping", func(_ context.Context, in []byte) ([]byte, error) { return in, nil })
+	if _, err := e2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer e2.Close()
+	time.Sleep(250 * time.Millisecond)
+	out, err := ep.Call(context.Background(), "ping", []byte("back"))
+	if err != nil {
+		t.Fatalf("probe call after restart: %v", err)
+	}
+	if string(out) != "back" {
+		t.Fatalf("out = %q", out)
+	}
+	if st := ep.BreakerState(); st != "closed" {
+		t.Fatalf("breaker state = %q after successful probe, want closed", st)
+	}
+}
+
+// A frame carrying an already-expired deadline must be shed by the server
+// before dispatch: the handler never fires and the caller gets
+// statusExpired. Drives the wire directly so the client's own deadline check
+// cannot mask the server-side path.
+func TestServerShedsExpiredDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired atomic.Int64
+	e.Register("work", func(_ context.Context, _ []byte) ([]byte, error) {
+		fired.Add(1)
+		return nil, nil
+	})
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(addr, "tcp://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	name := "work"
+	expired := time.Now().Add(-time.Second).UnixNano()
+	frame := appendRequestHeader(nil, uint32(reqHeaderLen+len(name)), 7, telemetry.TraceContext{}, expired, name)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatalf("read response length: %v", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatalf("read response body: %v", err)
+	}
+	if id := binary.LittleEndian.Uint64(body[0:8]); id != 7 {
+		t.Fatalf("response id = %d, want 7", id)
+	}
+	if status := body[8]; status != statusExpired {
+		t.Fatalf("response status = %d, want statusExpired (%d)", status, statusExpired)
+	}
+	if fired.Load() != 0 {
+		t.Fatal("expired call fired the handler")
+	}
+	if n := e.Stats.ShedExpired.Load(); n != 1 {
+		t.Fatalf("Stats.ShedExpired = %d, want 1", n)
+	}
+
+	// A live deadline on the same connection dispatches normally.
+	live := time.Now().Add(5 * time.Second).UnixNano()
+	frame = appendRequestHeader(nil, uint32(reqHeaderLen+len(name)), 8, telemetry.TraceContext{}, live, name)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	body = make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	if status := body[8]; status != statusOK {
+		t.Fatalf("live-deadline status = %d, want statusOK", status)
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("handler fired %d times, want 1", fired.Load())
+	}
+}
+
+// IsTransient draws the line degraded-mode layers (publish spill) depend
+// on: transport failures buffer, definitive server verdicts drop.
+func TestIsTransientClassification(t *testing.T) {
+	transient := []error{
+		ErrBreakerOpen, ErrAttemptTimeout, ErrClosed,
+		net.ErrClosed, io.EOF, context.DeadlineExceeded,
+	}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	definitive := []error{
+		nil, ErrRemoteFailed, ErrUnknownRPC, ErrFrameTooBig, ErrExpired,
+		context.Canceled,
+	}
+	for _, err := range definitive {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+// A caller whose context dies mid-call gets the context error back; the wait
+// is bounded by the caller, not the server.
+func TestCallDeadlineSurfaced(t *testing.T) {
+	e := NewEngine()
+	gate := make(chan struct{})
+	e.Register("slow", func(ctx context.Context, _ []byte) ([]byte, error) {
+		<-gate
+		return nil, nil
+	})
+	addr, err := e.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	defer close(gate)
+	ep, err := Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := ep.Call(ctx, "slow", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

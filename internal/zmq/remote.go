@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/hpcobs/gosoma/internal/mercury"
 )
@@ -120,9 +121,24 @@ type RemoteQueue struct {
 	ep   *mercury.Endpoint
 }
 
-// Dial connects to a queue served at addr under the given name.
+// Dial connects to a queue served at addr under the given name, with a
+// resilient default policy: bounded connects and a couple of backed-off
+// retries. Only zmq.queue.len is re-sent once a request may have reached the
+// server — a replayed push would duplicate a task description, a replayed
+// pull would lose one — so push/pull retries cover the connect stage only.
 func Dial(addr, name string) (*RemoteQueue, error) {
-	ep, err := mercury.Lookup(addr)
+	return DialPolicy(addr, name, &mercury.CallPolicy{
+		ConnectTimeout: 5 * time.Second,
+		MaxRetries:     2,
+		Backoff:        mercury.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+		Idempotent:     mercury.IdempotentSet(rpcQueueLen),
+	})
+}
+
+// DialPolicy is Dial with an explicit mercury call policy (nil = default
+// policy: bounded connects, no retries).
+func DialPolicy(addr, name string, p *mercury.CallPolicy) (*RemoteQueue, error) {
+	ep, err := mercury.LookupPolicy(addr, p)
 	if err != nil {
 		return nil, err
 	}

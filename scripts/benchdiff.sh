@@ -18,6 +18,14 @@
 # hosts, so the allowed_regression factor is generous and the baseline
 # should be refreshed (./scripts/benchdiff.sh --update) when benchmarking
 # on a new reference machine or after an intentional perf change.
+#
+# Environment:
+#   BENCH_COUNT  runs per median (default 5). Noisy shared CI runners
+#                should raise this; quick local checks can lower it.
+#
+# Every verdict is also emitted as one machine-readable line the CI
+# workflow greps out of the job log:
+#   BENCHDIFF_SUMMARY mode=<ingest|stream|telemetry> ... result=<pass|fail>
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +35,19 @@ traced=BenchmarkPublishIngestTraced
 series=BenchmarkSeriesQuery
 fanout=BenchmarkSubscribeFanout
 count=${BENCH_COUNT:-5}
+
+# Everything except --update compares against the committed baseline; fail
+# up front with an actionable message when it is absent (fresh clone with the
+# file deleted, or a CI cache restored wrong) instead of an awk parse error.
+mode=ingest
+[ "${1:-}" = "--telemetry" ] && mode=telemetry
+
+if [ "${1:-}" != "--update" ] && [ ! -f "$baseline" ]; then
+	echo "benchdiff: baseline file $baseline is missing." >&2
+	echo "benchdiff: run './scripts/benchdiff.sh --update' on the reference machine and commit it." >&2
+	echo "BENCHDIFF_SUMMARY mode=$mode result=fail reason=missing_baseline"
+	exit 1
+fi
 
 # median_of <benchmark> — median ns/op over $count runs.
 median_of() {
@@ -46,8 +67,8 @@ if [ "${1:-}" = "--telemetry" ]; then
 	while [ "$i" -lt "$count" ]; do
 		i=$((i + 1))
 		out=$(go test ./internal/core/ -run '^$' \
-			-bench "${bench}\$|${traced}\$" -count 3)
-		# Min of 3 in-process runs per side: the minimum is the least
+			-bench "${bench}\$|${traced}\$" -count 5)
+		# Min of 5 in-process runs per side: the minimum is the least
 		# noise-contaminated estimate of a CPU-bound benchmark's true cost.
 		um=$(printf '%s\n' "$out" | awk -v b="$bench" '$1 == b || $1 ~ "^"b"-" {print $3}' |
 			sort -n | head -n 1)
@@ -68,9 +89,11 @@ if [ "${1:-}" = "--telemetry" ]; then
 	echo "telemetry-overhead: median ratio ${median_ratio}x (limit ${maxov}x)"
 	if awk -v r="$median_ratio" -v f="$maxov" 'BEGIN {exit (r > f) ? 0 : 1}'; then
 		echo "telemetry-overhead: FAIL — tracing costs more than the allowed overhead" >&2
+		echo "BENCHDIFF_SUMMARY mode=telemetry median_ratio=$median_ratio limit=$maxov result=fail"
 		exit 1
 	fi
 	echo "telemetry-overhead: OK"
+	echo "BENCHDIFF_SUMMARY mode=telemetry median_ratio=$median_ratio limit=$maxov result=pass"
 	exit 0
 fi
 
@@ -118,8 +141,10 @@ fi
 
 if [ "$median" -gt "$limit" ]; then
 	echo "benchdiff: FAIL — median ${median} ns/op exceeds limit ${limit} ns/op" >&2
+	echo "BENCHDIFF_SUMMARY mode=ingest benchmark=$bench median_ns_per_op=$median baseline_ns_per_op=$base limit_ns_per_op=$limit result=fail"
 	exit 1
 fi
+echo "BENCHDIFF_SUMMARY mode=ingest benchmark=$bench median_ns_per_op=$median baseline_ns_per_op=$base limit_ns_per_op=$limit result=pass"
 
 # Streaming guards: rollup query and subscriber fan-out, gated by their own
 # (more generous) factor. Skipped when the baseline predates them.
@@ -139,8 +164,10 @@ check_stream() {
 	echo "benchdiff: $name median ${m} ns/op (baseline ${base}, limit ${slimit})"
 	if [ "$m" -gt "$slimit" ]; then
 		echo "benchdiff: FAIL — $name median ${m} ns/op exceeds limit ${slimit} ns/op" >&2
+		echo "BENCHDIFF_SUMMARY mode=stream benchmark=$name median_ns_per_op=$m baseline_ns_per_op=$base limit_ns_per_op=$slimit result=fail"
 		exit 1
 	fi
+	echo "BENCHDIFF_SUMMARY mode=stream benchmark=$name median_ns_per_op=$m baseline_ns_per_op=$base limit_ns_per_op=$slimit result=pass"
 }
 check_stream "$series" series_query_ns_per_op
 check_stream "$fanout" subscribe_fanout_ns_per_op
