@@ -278,8 +278,10 @@ func printUpdate(u core.Update) {
 	fmt.Print(u.Tree.Format())
 }
 
-// pollWatch is the no-stream fallback: query the merged tree every interval
-// and print leaves whose values changed since the previous poll.
+// pollWatch is the no-stream fallback: poll the namespace with a delta
+// query every interval and print leaves whose values changed since the
+// previous poll. Unchanged ticks cost a ~30-byte frame and skip the diff
+// entirely; the glob pattern is evaluated locally against the returned tree.
 func pollWatch(ctx context.Context, client *core.Client, ns core.Namespace, pattern string, interval time.Duration) {
 	if ns == "" || ns == core.NSAlerts {
 		fatal(fmt.Errorf("poll fallback needs a concrete namespace (not %q)", ns))
@@ -291,17 +293,18 @@ func pollWatch(ctx context.Context, client *core.Client, ns core.Namespace, patt
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
-		matches, err := client.Select(ns, pattern)
+		tree, changed, err := client.QueryDelta(ns, "")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "somactl: poll failed: %v\n", err)
-		} else {
-			for _, m := range matches {
-				if !m.HasValue {
+		} else if changed {
+			for _, p := range tree.Select(pattern) {
+				v, ok := tree.Float(p)
+				if !ok {
 					continue
 				}
-				if old, seen := prev[m.Path]; !seen || old != m.Value {
-					fmt.Printf("%s = %g\n", m.Path, m.Value)
-					prev[m.Path] = m.Value
+				if old, seen := prev[p]; !seen || old != v {
+					fmt.Printf("%s = %g\n", p, v)
+					prev[p] = v
 				}
 			}
 		}

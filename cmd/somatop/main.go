@@ -118,7 +118,26 @@ func refresh(sb *strings.Builder, addr string, client *core.Client, analysis cor
 		sb.WriteString("\n")
 		core.RenderTelemetry(sb, snap)
 	}
+	// Delta-poll footer: the analysis panels above poll through the client's
+	// generation memo, so steady-state refreshes collapse to tiny frames —
+	// show how much wire traffic that has saved so far.
+	if ds := client.DeltaStats(); ds.Unchanged > 0 {
+		fmt.Fprintf(sb, "\ndelta polls: %d unchanged, %s saved on the wire\n",
+			ds.Unchanged, formatBytes(ds.BytesSaved))
+	}
 	return nil
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // renderHealthPanel shows the soma.health report: service uptime, shed

@@ -53,6 +53,22 @@ func (n *Node) AppendBinary(dst []byte) []byte {
 	return n.encodeBinary(dst)
 }
 
+// EncodeBinaryStable serializes the subtree like EncodeBinary but builds the
+// frame in a pooled scratch buffer and returns an exact-size owned copy.
+// EncodeBinary pre-sizes its allocation with an O(leaves) NumLeaves walk and
+// typically over- or under-shoots; this flavour walks the tree once and the
+// returned slice wastes no capacity — the shape wanted for frames that are
+// retained (snapshot caches), where slack capacity would be pinned for the
+// snapshot's lifetime.
+func (n *Node) EncodeBinaryStable() []byte {
+	bp := GetEncodeBuffer()
+	*bp = n.AppendBinary(*bp)
+	out := make([]byte, len(*bp))
+	copy(out, *bp)
+	PutEncodeBuffer(bp)
+	return out
+}
+
 // encBufPool recycles encode buffers across publishes; the hot publish path
 // would otherwise allocate one wire buffer per call.
 var encBufPool = sync.Pool{New: func() interface{} {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,33 @@ type Client struct {
 
 	// published counts successful publishes.
 	published atomic.Int64
+
+	// delta is the per-endpoint generation memo behind QueryDelta: the last
+	// full response per (ns, path) with the (epoch, gen) stamp the service
+	// sent alongside it. When a later poll's stamp still matches, the service
+	// answers with a tiny "unchanged" frame and the memoized tree is reused.
+	deltaMu sync.Mutex
+	delta   map[string]*deltaMemo
+	// noDelta latches when the service reports soma.query.delta as unknown
+	// (an older server); all later QueryDelta calls fall back to plain
+	// queries without re-probing.
+	noDelta atomic.Bool
+	// Delta accounting for DeltaStats: polls answered "unchanged" and the
+	// wire bytes those answers saved versus re-sending the memoized frame.
+	deltaUnchanged  atomic.Int64
+	deltaBytesSaved atomic.Int64
 }
+
+// deltaMemo is one (ns, path) entry of the client's generation memo.
+type deltaMemo struct {
+	epoch, gen int64
+	tree       *conduit.Node
+	frameLen   int // encoded size of the full response, for bytes-saved accounting
+}
+
+// maxDeltaMemos bounds the generation memo; queries for paths beyond the cap
+// still work, they just never get the tiny-frame fast path.
+const maxDeltaMemos = 256
 
 type publishReq struct {
 	ns   Namespace
@@ -242,14 +269,119 @@ func (c *Client) Published() int64 {
 	return c.published.Load()
 }
 
-// Query fetches a deep copy of the merged subtree at path within ns.
+// Query fetches the merged subtree at path within ns. The returned tree is
+// shared and read-only: repeated queries against an unchanged namespace are
+// answered by a tiny delta frame and return the same memoized tree, so
+// callers must not modify it. Mutating callers should clone first.
 func (c *Client) Query(ns Namespace, path string) (*conduit.Node, error) {
+	tree, _, err := c.QueryDelta(ns, path)
+	return tree, err
+}
+
+// QueryDelta is Query with change detection: the poll carries the memoized
+// (epoch, gen) stamp via soma.query.delta, and changed reports whether the
+// namespace moved since the previous call for the same (ns, path). When
+// changed is false the returned tree is the memoized previous result and the
+// poll cost a ~30-byte frame instead of the full tree. Against servers
+// predating the delta RPC it degrades to a plain query (changed always
+// true).
+func (c *Client) QueryDelta(ns Namespace, path string) (tree *conduit.Node, changed bool, err error) {
+	if c.noDelta.Load() {
+		tree, err = c.queryPlain(ns, path)
+		return tree, true, err
+	}
+	key := string(ns) + "\x00" + path
+	c.deltaMu.Lock()
+	memo := c.delta[key]
+	c.deltaMu.Unlock()
 	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
 	defer sp.End()
 	req := conduit.NewNode()
 	req.SetString("ns", string(ns))
 	req.SetString("path", path)
-	out, err := c.ep.Call(ctx, RPCQuery, req.EncodeBinary())
+	if memo != nil {
+		req.SetInt("epoch", memo.epoch)
+		req.SetInt("gen", memo.gen)
+	}
+	buf := conduit.GetEncodeBuffer()
+	*buf = req.AppendBinary(*buf)
+	out, err := c.ep.Call(ctx, RPCQueryDelta, *buf)
+	conduit.PutEncodeBuffer(buf)
+	if err != nil {
+		if errors.Is(err, mercury.ErrUnknownRPC) {
+			c.noDelta.Store(true)
+			tree, err = c.queryPlain(ns, path)
+			return tree, true, err
+		}
+		return nil, false, err
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return nil, false, err
+	}
+	epoch, _ := resp.Int("epoch")
+	gen, _ := resp.Int("gen")
+	if unch, _ := resp.Bool("unchanged"); unch {
+		// The stamp the service matched is the one this call sent, so the
+		// memo pointer read above is exactly the state the service holds.
+		if memo != nil && memo.epoch == epoch && memo.gen == gen {
+			c.deltaUnchanged.Add(1)
+			if saved := memo.frameLen - len(out); saved > 0 {
+				c.deltaBytesSaved.Add(int64(saved))
+			}
+			return memo.tree, false, nil
+		}
+		// Defensive: an "unchanged" for a stamp this client no longer holds;
+		// resync with a plain query rather than trust it.
+		tree, err = c.queryPlain(ns, path)
+		return tree, true, err
+	}
+	data, ok := resp.Get("data")
+	if !ok {
+		data = conduit.NewNode()
+	}
+	if epoch != 0 {
+		c.deltaMu.Lock()
+		if c.delta == nil {
+			c.delta = make(map[string]*deltaMemo, 4)
+		}
+		if _, exists := c.delta[key]; exists || len(c.delta) < maxDeltaMemos {
+			c.delta[key] = &deltaMemo{epoch: epoch, gen: gen, tree: data, frameLen: len(out)}
+		}
+		c.deltaMu.Unlock()
+	}
+	return data, true, nil
+}
+
+// DeltaStatsSnapshot summarizes the client's delta-query savings.
+type DeltaStatsSnapshot struct {
+	// Unchanged counts polls the service answered with the tiny
+	// "unchanged" frame.
+	Unchanged int64
+	// BytesSaved totals the wire bytes avoided by those answers versus
+	// re-sending the memoized full frames.
+	BytesSaved int64
+}
+
+// DeltaStats reports how much poll traffic delta queries have collapsed.
+func (c *Client) DeltaStats() DeltaStatsSnapshot {
+	return DeltaStatsSnapshot{
+		Unchanged:  c.deltaUnchanged.Load(),
+		BytesSaved: c.deltaBytesSaved.Load(),
+	}
+}
+
+// queryPlain is the pre-delta wire query: always fetches the full tree.
+func (c *Client) queryPlain(ns Namespace, path string) (*conduit.Node, error) {
+	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
+	defer sp.End()
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("path", path)
+	buf := conduit.GetEncodeBuffer()
+	*buf = req.AppendBinary(*buf)
+	out, err := c.ep.Call(ctx, RPCQuery, *buf)
+	conduit.PutEncodeBuffer(buf)
 	if err != nil {
 		return nil, err
 	}

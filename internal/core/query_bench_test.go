@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// Query-path benchmarks: the read side the high fan-in deployments stress
+// (every monitor UI tick and analysis probe is a query). BenchmarkQueryHot
+// is the headline number for the encoded-snapshot cache — scripts/
+// benchdiff.sh gates it at 0 allocs/op and at a >=5x speedup over
+// BenchmarkQueryEncodeNoCache, the pre-cache path shape, measured live in
+// the same process so the ratio is host-independent.
+
+// benchQueryService builds a service with a realistically sized hardware
+// tree: hosts × 16 samples × 8 metrics.
+func benchQueryService(b *testing.B, hosts int) *Service {
+	b.Helper()
+	svc := NewService(ServiceConfig{})
+	lp := LocalPublisher{Service: svc}
+	for h := 0; h < hosts; h++ {
+		for s := 0; s < 16; s++ {
+			if err := lp.Publish(NSHardware, benchTree(fmt.Sprintf("cn%04d", h), int64(s))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Prime the snapshot and the encoded-frame cache.
+	if _, err := svc.QueryEncoded(NSHardware, "PROC"); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkQueryHot measures a repeat query against an unchanged namespace:
+// the encoded frame is served from the snapshot's cache — two atomic loads
+// and an RLock'd map probe, zero tree walk, zero allocation.
+func BenchmarkQueryHot(b *testing.B) {
+	svc := benchQueryService(b, 16)
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := svc.QueryEncoded(NSHardware, "PROC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkQueryEncodeNoCache reproduces the pre-cache query path: walk the
+// snapshot to the subtree and encode it per request. benchdiff.sh divides
+// this by BenchmarkQueryHot for the >=5x speedup gate.
+func BenchmarkQueryEncodeNoCache(b *testing.B) {
+	svc := benchQueryService(b, 16)
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := svc.Query(NSHardware, "PROC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp := conduit.NewNode()
+		resp.Attach("data", sub)
+		if frame := resp.EncodeBinary(); len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkQueryDelta measures the steady-state delta poll: the client's
+// stamp matches, so the service answers with the cached tiny unchanged
+// frame.
+func BenchmarkQueryDelta(b *testing.B) {
+	svc := benchQueryService(b, 16)
+	defer svc.Close()
+	full, err := svc.QueryEncoded(NSHardware, "PROC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := conduit.DecodeBinary(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	epoch, _ := env.Int("epoch")
+	gen, _ := env.Int("gen")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := svc.QueryDeltaEncoded(NSHardware, "PROC", uint64(epoch), uint64(gen))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) >= len(full) {
+			b.Fatal("delta frame not smaller than full frame")
+		}
+	}
+}
+
+// BenchmarkSnapshotRebuild measures the cold path the cache cannot help: a
+// large pending batch across many dirty stripes folded into the snapshot.
+// The batch exceeds the parallel-merge thresholds, so this exercises the
+// bounded worker-pool fold.
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	const hosts = 64
+	svc := NewService(ServiceConfig{RanksPerNamespace: 8})
+	defer svc.Close()
+	in := svc.instances[NSHardware]
+	trees := make([]*conduit.Node, hosts*8)
+	for i := range trees {
+		trees[i] = benchTree(fmt.Sprintf("cn%04d", i%hosts), int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range trees {
+			in.publish(float64(i), tr, 0)
+		}
+		if sn := in.currentSnapshot(); sn.tree.NumLeaves() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// sameBytes reports whether two frames are the identical backing array —
+// the zero-allocation cache-hit property, stronger than equal content.
+func sameBytes(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func publishLeaf(t *testing.T, svc *Service, ns Namespace, path string, v float64) {
+	t.Helper()
+	n := conduit.NewNode()
+	n.SetFloat(path, v)
+	if err := svc.Publish(ns, n, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryEncodedCache is the hit/miss/invalidation table for the
+// encoded-snapshot cache behind soma.query and soma.select.
+func TestQueryEncodedCache(t *testing.T) {
+	steps := []struct {
+		name string
+		// mutate changes the namespace between the two frames (nil = repeat
+		// query against unchanged state).
+		mutate   func(svc *Service)
+		wantSame bool
+	}{
+		{"repeat query hits", nil, true},
+		{"publish invalidates", func(svc *Service) {
+			publishLeaf(t, svc, NSHardware, "PROC/cn0001/util", 99)
+		}, false},
+		{"reset invalidates", func(svc *Service) {
+			if err := svc.ResetNamespace(NSHardware); err != nil {
+				t.Fatal(err)
+			}
+		}, false},
+		{"other namespace does not invalidate", func(svc *Service) {
+			publishLeaf(t, svc, NSWorkflow, "RP/x", 1)
+		}, true},
+	}
+	for _, tc := range steps {
+		t.Run(tc.name, func(t *testing.T) {
+			svc, _ := newTestService(t, ServiceConfig{})
+			publishLeaf(t, svc, NSHardware, "PROC/cn0001/util", 42)
+			f1, err := svc.QueryEncoded(NSHardware, "PROC")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.mutate != nil {
+				tc.mutate(svc)
+			}
+			f2, err := svc.QueryEncoded(NSHardware, "PROC")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sameBytes(f1, f2); got != tc.wantSame {
+				t.Fatalf("sameBytes = %v, want %v", got, tc.wantSame)
+			}
+		})
+	}
+}
+
+// TestQueryEncodedFrameShape checks the wire envelope: {epoch, gen, data}
+// with a nonzero epoch and the queried subtree under data, and that distinct
+// paths get distinct cached frames.
+func TestQueryEncodedFrameShape(t *testing.T) {
+	svc, _ := newTestService(t, ServiceConfig{})
+	publishLeaf(t, svc, NSHardware, "PROC/cn0001/util", 42)
+	frame, err := svc.QueryEncoded(NSHardware, "PROC/cn0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conduit.DecodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch, ok := resp.Int("epoch"); !ok || epoch == 0 {
+		t.Fatalf("epoch = %d, %v; want nonzero", epoch, ok)
+	}
+	if _, ok := resp.Int("gen"); !ok {
+		t.Fatal("gen missing")
+	}
+	data, ok := resp.Get("data")
+	if !ok {
+		t.Fatal("data missing")
+	}
+	if v, _ := data.Float("util"); v != 42 {
+		t.Fatalf("data/util = %g", v)
+	}
+	other, _ := svc.QueryEncoded(NSHardware, "")
+	if sameBytes(frame, other) {
+		t.Fatal("distinct paths shared a cached frame")
+	}
+}
+
+// TestStatsCacheRefreshes guards against the stats frame cache serving a
+// frame that predates a publish: the stamp key must move with the instance.
+func TestStatsCacheRefreshes(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	publishLeaf(t, svc, NSWorkflow, "RP/x", 1)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[NSWorkflow].Publishes != 1 {
+		t.Fatalf("publishes = %d, want 1", st[NSWorkflow].Publishes)
+	}
+	// Served from cache the second time (same stamps) — content identical.
+	st2, _ := c.Stats()
+	if st2[NSWorkflow].Publishes != 1 {
+		t.Fatalf("cached publishes = %d", st2[NSWorkflow].Publishes)
+	}
+	publishLeaf(t, svc, NSWorkflow, "RP/y", 2)
+	st3, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3[NSWorkflow].Publishes != 2 {
+		t.Fatalf("post-publish publishes = %d, want 2", st3[NSWorkflow].Publishes)
+	}
+}
+
+// TestQueryDeltaUnchanged drives the delta protocol end to end over RPC:
+// first poll full, repeat poll unchanged (memoized tree reused), next
+// publish full again — and the unchanged frame is ≥10× smaller than the
+// full frame it stands in for.
+func TestQueryDeltaUnchanged(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A realistically sized tree: 64 hosts × 2 metrics.
+	big := conduit.NewNode()
+	for i := 0; i < 64; i++ {
+		big.SetFloat(fmt.Sprintf("PROC/cn%04d/CPU Util", i), float64(i))
+		big.SetFloat(fmt.Sprintf("PROC/cn%04d/Mem Used", i), float64(i*2))
+	}
+	if err := svc.Publish(NSHardware, big, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	tr1, changed, err := c.QueryDelta(NSHardware, "PROC")
+	if err != nil || !changed {
+		t.Fatalf("first poll: changed=%v err=%v, want full response", changed, err)
+	}
+	tr2, changed, err := c.QueryDelta(NSHardware, "PROC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("repeat poll reported changed")
+	}
+	if tr1 != tr2 {
+		t.Fatal("unchanged poll did not reuse the memoized tree")
+	}
+	ds := c.DeltaStats()
+	if ds.Unchanged != 1 || ds.BytesSaved <= 0 {
+		t.Fatalf("delta stats = %+v", ds)
+	}
+
+	publishLeaf(t, svc, NSHardware, "PROC/cn0000/CPU Util", 77)
+	tr3, changed, err := c.QueryDelta(NSHardware, "PROC")
+	if err != nil || !changed {
+		t.Fatalf("post-publish poll: changed=%v err=%v", changed, err)
+	}
+	if v, _ := tr3.Float("cn0000/CPU Util"); v != 77 {
+		t.Fatalf("post-publish value = %g", v)
+	}
+
+	// Wire-size ratio: the unchanged frame must be at least 10× smaller than
+	// the full frame (the ISSUE's bytes-on-wire acceptance bound).
+	full, err := svc.QueryEncoded(NSHardware, "PROC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := conduit.DecodeBinary(full)
+	epoch, _ := env.Int("epoch")
+	gen, _ := env.Int("gen")
+	unch, err := svc.QueryDeltaEncoded(NSHardware, "PROC", uint64(epoch), uint64(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := conduit.DecodeBinary(unch); u != nil {
+		if flag, _ := u.Bool("unchanged"); !flag {
+			t.Fatal("matching stamp did not answer unchanged")
+		}
+	}
+	if len(full) < 10*len(unch) {
+		t.Fatalf("bytes reduction %d/%d < 10x", len(full), len(unch))
+	}
+}
+
+// TestQueryDeltaZeroStampNeverMatches: a client with no memo presents
+// (0, 0); the service must send the full tree even when nothing changed.
+func TestQueryDeltaZeroStampNeverMatches(t *testing.T) {
+	svc, _ := newTestService(t, ServiceConfig{})
+	publishLeaf(t, svc, NSWorkflow, "RP/x", 1)
+	frame, err := svc.QueryDeltaEncoded(NSWorkflow, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := conduit.DecodeBinary(frame)
+	if flag, _ := resp.Bool("unchanged"); flag {
+		t.Fatal("zero stamp answered unchanged")
+	}
+	if _, ok := resp.Get("data"); !ok {
+		t.Fatal("zero stamp response missing data")
+	}
+}
+
+// TestQueryDeltaReconnect restarts the service under the same TCP address:
+// the new process draws a fresh epoch, so the client's memo from the old
+// lineage must resync with a full response even though the new instance can
+// reach the same generation number — never report unchanged across a
+// restart.
+func TestQueryDeltaReconnect(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries are idempotent: let the endpoint retry through the redial so
+	// the first poll after the restart lands instead of surfacing EOF.
+	c, err := ConnectPolicy(addr, nil, &mercury.CallPolicy{
+		MaxRetries: 3,
+		Idempotent: func(string) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	publishLeaf(t, svc, NSWorkflow, "RP/phase", 1)
+	if _, changed, err := c.QueryDelta(NSWorkflow, ""); err != nil || !changed {
+		t.Fatalf("prime poll: changed=%v err=%v", changed, err)
+	}
+	if _, changed, _ := c.QueryDelta(NSWorkflow, ""); changed {
+		t.Fatal("repeat poll reported changed")
+	}
+	svc.Close()
+
+	// Same address, same publish count: without the reset-epoch the restarted
+	// service would reach the same generation and falsely answer unchanged.
+	svc2 := NewService(ServiceConfig{})
+	if _, err := svc2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer svc2.Close()
+	publishLeaf(t, svc2, NSWorkflow, "RP/phase", 2)
+	tree, changed, err := c.QueryDelta(NSWorkflow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("poll after restart reported unchanged — stale memo served")
+	}
+	if v, _ := tree.Float("RP/phase"); v != 2 {
+		t.Fatalf("post-restart tree = %g, want the new service's data", v)
+	}
+}
+
+// TestQueryDeltaFallbackOldServer points the client at an engine that only
+// serves the legacy soma.query RPC: QueryDelta must degrade to plain queries
+// (changed always true) after one ErrUnknownRPC probe, not fail.
+func TestQueryDeltaFallbackOldServer(t *testing.T) {
+	eng := mercury.NewEngine()
+	legacy := conduit.NewNode()
+	legacy.SetFloat("x", 7)
+	eng.Register(RPCQuery, func(_ context.Context, payload []byte) ([]byte, error) {
+		resp := conduit.NewNode()
+		resp.Attach("data", legacy)
+		return resp.EncodeBinary(), nil
+	})
+	addr, err := eng.Listen(fmt.Sprintf("inproc://legacy-%s", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		tree, changed, err := c.QueryDelta(NSWorkflow, "")
+		if err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		if !changed {
+			t.Fatalf("poll %d: legacy fallback reported unchanged", i)
+		}
+		if v, _ := tree.Float("x"); v != 7 {
+			t.Fatalf("poll %d: tree = %g", i, v)
+		}
+	}
+	if !c.noDelta.Load() {
+		t.Fatal("fallback did not latch")
+	}
+}
+
+// TestQueryCacheResetRace hammers publish + encoded query + reset
+// concurrently; under -race this is the regression test for the mid-flight
+// reset satellite (stamps are written under rebuildMu, frames hang off
+// immutable snapshots). The invariant checked after the storm: a final
+// publish is visible through the cached path.
+func TestQueryCacheResetRace(t *testing.T) {
+	svc, _ := newTestService(t, ServiceConfig{RanksPerNamespace: 4})
+	var wg sync.WaitGroup
+	stopCh := make(chan struct{})
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			publishLeaf(t, svc, NSHardware, "PROC/cn0001/util", float64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			if _, err := svc.QueryEncoded(NSHardware, "PROC"); err != nil {
+				return
+			}
+			if _, err := svc.QueryDeltaEncoded(NSHardware, "PROC", 0, 0); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := svc.ResetNamespace(NSHardware); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if _, err := svc.QueryEncoded(NSHardware, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+	publishLeaf(t, svc, NSHardware, "PROC/final", 123)
+	frame, err := svc.QueryEncoded(NSHardware, "PROC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := conduit.DecodeBinary(frame)
+	data, _ := resp.Get("data")
+	if v, _ := data.Float("final"); v != 123 {
+		t.Fatalf("final publish not visible through the cache: %g", v)
+	}
+}
+
+// TestQueryDeltaStreamSoak is the concurrent publish+query+reset soak run
+// repeatedly under -race by make verify-stream: a delta-polling client must
+// never observe a tree older than the last state it already saw for the
+// same lineage (values only move forward between resets).
+func TestQueryDeltaStreamSoak(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{RanksPerNamespace: 4})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			publishLeaf(t, svc, NSWorkflow, "RP/counter", float64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := svc.ResetNamespace(NSWorkflow); err != nil {
+				return
+			}
+		}
+	}()
+	// The monotonic check is per observed lineage: a reset may legally move
+	// the value backwards, but then the tree must come from a full response
+	// (changed=true) — an "unchanged" answer repeating the memo can never go
+	// backwards.
+	var last float64
+	for i := 0; i < 1000; i++ {
+		tree, changed, err := c.QueryDelta(NSWorkflow, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := tree.Float("RP/counter")
+		if !changed && v != last {
+			t.Fatalf("unchanged poll moved the tree: %g -> %g", last, v)
+		}
+		last = v
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestFoldRecordsParallelEquivalence checks that the chunked parallel fold
+// produces the same merged tree as the sequential fold, including
+// last-writer-wins on colliding leaf paths.
+func TestFoldRecordsParallelEquivalence(t *testing.T) {
+	var pend []record
+	seq := uint64(0)
+	// 400 records across 40 keys: each key written 10 times with increasing
+	// values, so the fold order decides the surviving value.
+	for round := 0; round < 10; round++ {
+		for k := 0; k < 40; k++ {
+			seq++
+			n := conduit.NewNode()
+			n.SetFloat(fmt.Sprintf("PROC/cn%04d/util", k), float64(round*1000+k))
+			n.SetInt(fmt.Sprintf("PROC/cn%04d/round", k), int64(round))
+			pend = append(pend, record{seq: seq, node: n})
+		}
+	}
+	// dirty=1 forces the sequential path; dirty=8 the parallel one.
+	sequential := foldRecords(pend, 1)
+	parallel := foldRecords(pend, mergeParallelStripes+4)
+	if got, want := parallel.Format(), sequential.Format(); got != want {
+		t.Fatalf("parallel fold diverged from sequential fold:\n--- parallel\n%s\n--- sequential\n%s", got, want)
+	}
+	// Last writer (round 9) won.
+	if v, _ := parallel.Float("PROC/cn0003/util"); v != 9003 {
+		t.Fatalf("last-writer-wins violated: %g", v)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
 	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
@@ -528,17 +529,20 @@ func (s *Service) SeriesKeys(ns Namespace, pattern string) ([]string, error) {
 //	series req : {ns, key, level, after}        → resp: {key, level, times[], min[], max[], mean[], count[]}
 //	             {ns, pattern}                  → resp: {keys[...]}
 
-func (s *Service) handleSeries(_ context.Context, payload []byte) ([]byte, error) {
+// handleSeries answers over a pooled encode buffer (ownedFrame): series
+// responses carry per-request bucket arrays, so they are rebuilt every call
+// but no longer allocate a fresh wire buffer each time.
+func (s *Service) handleSeries(_ context.Context, payload []byte) (mercury.Response, error) {
 	req, err := conduit.DecodeBinary(payload)
 	if err != nil {
-		return nil, err
+		return mercury.Response{}, err
 	}
 	ns, err := envelopeNS(req)
 	if err != nil {
-		return nil, err
+		return mercury.Response{}, err
 	}
 	if s.Stopped() {
-		return nil, ErrServiceStopped
+		return mercury.Response{}, ErrServiceStopped
 	}
 	resp := conduit.NewNode()
 	if key, ok := req.StringVal("key"); ok {
@@ -549,7 +553,7 @@ func (s *Service) handleSeries(_ context.Context, payload []byte) ([]byte, error
 		after, _ := req.Float("after")
 		se, err := s.QuerySeries(ns, key, level, after)
 		if err != nil {
-			return nil, err
+			return mercury.Response{}, err
 		}
 		resp.SetString("key", se.Key)
 		resp.SetString("level", string(se.Level))
@@ -561,7 +565,7 @@ func (s *Service) handleSeries(_ context.Context, payload []byte) ([]byte, error
 			}
 			resp.SetFloatArray("times", times)
 			resp.SetFloatArray("values", vals)
-			return resp.EncodeBinary(), nil
+			return ownedFrame(resp)
 		}
 		times := make([]float64, len(se.Bucket))
 		mins := make([]float64, len(se.Bucket))
@@ -576,18 +580,18 @@ func (s *Service) handleSeries(_ context.Context, payload []byte) ([]byte, error
 		resp.SetFloatArray("max", maxs)
 		resp.SetFloatArray("mean", means)
 		resp.SetIntArray("count", counts)
-		return resp.EncodeBinary(), nil
+		return ownedFrame(resp)
 	}
 	pattern, _ := req.StringVal("pattern")
 	keys, err := s.SeriesKeys(ns, pattern)
 	if err != nil {
-		return nil, err
+		return mercury.Response{}, err
 	}
 	var keyBuf [32]byte
 	for i, k := range keys {
 		resp.SetString(string(appendMatchKey(keyBuf[:0], i)), k)
 	}
-	return resp.EncodeBinary(), nil
+	return ownedFrame(resp)
 }
 
 // ---------------------------------------------------------------------------

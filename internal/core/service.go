@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"strconv"
@@ -25,6 +26,14 @@ var (
 	telQueryLatency   = telemetry.Default().Histogram("core.query.latency")
 	telRebuildLatency = telemetry.Default().Histogram("core.snapshot.rebuild.latency")
 	telPublishes      = telemetry.Default().Counter("core.publishes")
+
+	// Query fast-path accounting: encoded-frame cache hits/misses across
+	// query, select and stats serving, delta polls answered "unchanged", and
+	// the wire bytes those tiny answers saved against the full frame.
+	telQueryCacheHits   = telemetry.Default().Counter("core.query.cache_hits")
+	telQueryCacheMisses = telemetry.Default().Counter("core.query.cache_misses")
+	telDeltaUnchanged   = telemetry.Default().Counter("core.query.delta_unchanged")
+	telDeltaBytesSaved  = telemetry.Default().Counter("core.query.delta_bytes_saved")
 )
 
 // ServiceConfig configures a SOMA service task.
@@ -123,9 +132,80 @@ type stripe struct {
 // snapshot is an immutable, generation-stamped merged view of everything
 // published into an instance. Readers share it without copying; it is
 // replaced wholesale (copy-on-read) when stale.
+//
+// The (epoch, gen) pair is the snapshot's identity stamp on the wire: gen
+// counts state changes within one instance lifetime, epoch is drawn at
+// random when the instance is built and redrawn on every reset. A client
+// that presents a matching stamp provably holds this exact state — equal
+// stamps cannot span a reset (the epoch changed) or a service restart (a
+// fresh process draws a fresh epoch), which is what makes the delta-query
+// "unchanged" answer safe.
 type snapshot struct {
-	gen  uint64
-	tree *conduit.Node
+	epoch uint64
+	gen   uint64
+	tree  *conduit.Node
+
+	// enc caches encoded RPC response frames built against this snapshot's
+	// tree, keyed by request shape (query path / select pattern / the delta
+	// "unchanged" frame). The cache lives and dies with the snapshot, so
+	// invalidation is the generation bump that replaces the snapshot — no
+	// separate bookkeeping. Entries are immutable once stored: handlers hand
+	// them to the transport by reference.
+	encMu sync.RWMutex
+	enc   map[frameKey][]byte
+}
+
+// frameKey names one cached response frame: kind 'q' (query, key = path),
+// 's' (select, key = pattern) or 'u' (the delta "unchanged" frame).
+type frameKey struct {
+	kind byte
+	key  string
+}
+
+// Frame-cache bounds: a snapshot caches at most maxCachedFrames distinct
+// frames (beyond that, extra request shapes are rebuilt per call), and
+// frames larger than maxCachedFrameBytes are never cached — snapshots churn
+// with every publish burst, and pinning megabyte frames per generation
+// would trade the allocation win for memory pressure.
+const (
+	maxCachedFrames     = 512
+	maxCachedFrameBytes = 1 << 20
+)
+
+// cached returns the frame stored under k, or nil.
+func (s *snapshot) cached(k frameKey) []byte {
+	s.encMu.RLock()
+	f := s.enc[k]
+	s.encMu.RUnlock()
+	return f
+}
+
+// store caches frame under k and returns the canonical copy: when a racing
+// builder already stored one, the first frame wins so all callers serve the
+// same bytes.
+func (s *snapshot) store(k frameKey, frame []byte) []byte {
+	if len(frame) > maxCachedFrameBytes {
+		return frame
+	}
+	s.encMu.Lock()
+	defer s.encMu.Unlock()
+	if prior := s.enc[k]; prior != nil {
+		return prior
+	}
+	if s.enc == nil {
+		s.enc = make(map[frameKey][]byte, 8)
+	}
+	if len(s.enc) < maxCachedFrames {
+		s.enc[k] = frame
+	}
+	return frame
+}
+
+// newEpoch draws a reset-epoch: uniformly random, truncated to 63 bits so
+// it survives the wire's signed varint, and never zero — a client that has
+// no memo yet presents (0, 0), which must never match.
+func newEpoch() uint64 {
+	return rand.Uint64()>>1 | 1
 }
 
 // instance is the storage and aggregation unit for one namespace. Publishes
@@ -143,6 +223,10 @@ type instance struct {
 	rr  atomic.Uint64
 	seq atomic.Uint64
 	gen atomic.Uint64
+	// epoch is the reset-epoch half of the snapshot stamp; it is only
+	// written under rebuildMu (resets), so a rebuild holding that lock reads
+	// a value consistent with the gen it stamps.
+	epoch atomic.Uint64
 
 	snap atomic.Pointer[snapshot]
 	// rebuildMu serializes snapshot rebuilds and resets; publishes never
@@ -154,8 +238,6 @@ type instance struct {
 	rollup *seriesStore
 }
 
-var emptySnapshot = snapshot{tree: conduit.NewNode()}
-
 func newInstance(ns Namespace, ranks, maxRecords, stripes int) *instance {
 	in := &instance{ns: ns, ranks: ranks, stripes: make([]*stripe, stripes)}
 	per := maxRecords / stripes
@@ -165,7 +247,8 @@ func newInstance(ns Namespace, ranks, maxRecords, stripes int) *instance {
 	for i := range in.stripes {
 		in.stripes[i] = &stripe{history: make([]record, per)}
 	}
-	in.snap.Store(&emptySnapshot)
+	in.epoch.Store(newEpoch())
+	in.snap.Store(&snapshot{epoch: in.epoch.Load(), tree: conduit.NewNode()})
 	return in
 }
 
@@ -189,14 +272,21 @@ func (in *instance) publish(now float64, n *conduit.Node, rawBytes int) {
 	in.gen.Add(1)
 }
 
-// snapshotTree returns the instance's merged tree, rebuilding it
-// copy-on-read only when publishes (or a reset) have landed since the
-// cached generation. The returned tree is immutable and shared: repeated
-// queries against an unchanged instance cost two atomic loads.
+// snapshotTree returns the instance's merged tree; see currentSnapshot.
 func (in *instance) snapshotTree() *conduit.Node {
+	return in.currentSnapshot().tree
+}
+
+// currentSnapshot returns the instance's up-to-date snapshot, rebuilding it
+// copy-on-read only when publishes (or a reset) have landed since the
+// cached generation. The returned snapshot is immutable and shared:
+// repeated queries against an unchanged instance cost two atomic loads, and
+// its (epoch, gen) stamp is consistent — both are read under rebuildMu, the
+// lock resets hold while changing them.
+func (in *instance) currentSnapshot() *snapshot {
 	s := in.snap.Load()
 	if s.gen == in.gen.Load() {
-		return s.tree
+		return s
 	}
 	in.rebuildMu.Lock()
 	defer in.rebuildMu.Unlock()
@@ -207,14 +297,16 @@ func (in *instance) snapshotTree() *conduit.Node {
 	g := in.gen.Load()
 	s = in.snap.Load()
 	if s.gen == g {
-		return s.tree
+		return s
 	}
 	rebuildStart := time.Now()
 	defer telRebuildLatency.ObserveSince(rebuildStart)
 	var pend []record
+	dirty := 0
 	for _, st := range in.stripes {
 		st.mu.Lock()
 		if len(st.pending) > 0 {
+			dirty++
 			pend = append(pend, st.pending...)
 			st.pending = nil
 		}
@@ -226,13 +318,75 @@ func (in *instance) snapshotTree() *conduit.Node {
 	// Fold the batch into one small delta first, then graft it onto the
 	// snapshot with a single copy-on-write pass: the snapshot's wide
 	// fan-out nodes are copied once per rebuild, not once per publish.
-	var batch *conduit.Node
-	for _, r := range pend {
-		batch = conduit.MergeCOW(batch, r.node)
-	}
+	batch := foldRecords(pend, dirty)
 	tree := conduit.MergeCOW(s.tree, batch)
-	in.snap.Store(&snapshot{gen: g, tree: tree})
-	return tree
+	next := &snapshot{epoch: in.epoch.Load(), gen: g, tree: tree}
+	in.snap.Store(next)
+	return next
+}
+
+// Parallel-merge thresholds: a rebuild folds its drained batch with a
+// bounded worker pool only when more than mergeParallelStripes stripes
+// contributed (fewer means publish concurrency was low and the batch is
+// probably small) AND the batch holds at least mergeParallelMinRecords
+// records (goroutine startup costs more than folding a few dozen trees).
+const (
+	mergeParallelStripes    = 4
+	mergeParallelMinRecords = 256
+	mergeMaxWorkers         = 8
+)
+
+// foldRecords merges the seq-sorted drained batch into one delta tree.
+// Small batches fold sequentially. Large ones are split into contiguous
+// seq-ranges, folded into per-worker partial trees concurrently, and the
+// partials are combined in seq order — later ranges override earlier ones,
+// preserving last-writer-wins on colliding leaf paths exactly like the
+// sequential fold (chunked folding can differ from a strictly record-by-
+// record merge only where a path flips between leaf and object across the
+// batch, the same caveat batch folding itself already carries).
+func foldRecords(pend []record, dirty int) *conduit.Node {
+	if dirty <= mergeParallelStripes || len(pend) < mergeParallelMinRecords {
+		var batch *conduit.Node
+		for _, r := range pend {
+			batch = conduit.MergeCOW(batch, r.node)
+		}
+		return batch
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > mergeMaxWorkers {
+		workers = mergeMaxWorkers
+	}
+	if workers > dirty {
+		workers = dirty
+	}
+	chunk := (len(pend) + workers - 1) / workers
+	partials := make([]*conduit.Node, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pend) {
+			hi = len(pend)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, recs []record) {
+			defer wg.Done()
+			var part *conduit.Node
+			for _, r := range recs {
+				part = conduit.MergeCOW(part, r.node)
+			}
+			partials[w] = part
+		}(w, pend[lo:hi])
+	}
+	wg.Wait()
+	var batch *conduit.Node
+	for _, part := range partials {
+		batch = conduit.MergeCOW(batch, part)
+	}
+	return batch
 }
 
 // query returns the merged subtree at path. The result is part of the
@@ -243,6 +397,72 @@ func (in *instance) query(path string) *conduit.Node {
 		return conduit.NewNode()
 	}
 	return sub
+}
+
+// queryFrame returns the wire-ready soma.query response frame for path:
+// {epoch, gen, data: <subtree>}. A repeat query against an unchanged
+// instance is the hot path — two atomic loads, one RLock'd map probe, zero
+// tree walk, zero allocation.
+func (in *instance) queryFrame(path string) []byte {
+	return in.queryFrameAt(in.currentSnapshot(), path)
+}
+
+func (in *instance) queryFrameAt(s *snapshot, path string) []byte {
+	k := frameKey{kind: 'q', key: path}
+	if f := s.cached(k); f != nil {
+		telQueryCacheHits.Inc()
+		return f
+	}
+	telQueryCacheMisses.Inc()
+	sub, ok := s.tree.Get(path)
+	if !ok {
+		sub = conduit.NewNode()
+	}
+	resp := conduit.NewNode()
+	resp.SetInt("epoch", int64(s.epoch))
+	resp.SetInt("gen", int64(s.gen))
+	// Attach the immutable snapshot subtree instead of deep-merging it into
+	// the envelope: encoding only reads the tree.
+	resp.Attach("data", sub)
+	return s.store(k, resp.EncodeBinaryStable())
+}
+
+// selectFrame returns the wire-ready soma.select response frame for
+// pattern, cached against the snapshot exactly like queryFrame.
+func (in *instance) selectFrame(pattern string) []byte {
+	s := in.currentSnapshot()
+	k := frameKey{kind: 's', key: pattern}
+	if f := s.cached(k); f != nil {
+		telQueryCacheHits.Inc()
+		return f
+	}
+	telQueryCacheMisses.Inc()
+	paths := s.tree.Select(pattern)
+	resp := conduit.NewNode()
+	var keyBuf [32]byte
+	for i, p := range paths {
+		base := string(appendMatchKey(keyBuf[:0], i))
+		resp.SetString(base+"/path", p)
+		if v, ok := s.tree.Float(p); ok {
+			resp.SetFloat(base+"/value", v)
+		}
+	}
+	return s.store(k, resp.EncodeBinaryStable())
+}
+
+// unchangedFrame returns the tiny {epoch, gen, unchanged: true} frame the
+// delta query answers with when the client's stamp matches; built once per
+// snapshot.
+func (s *snapshot) unchangedFrame() []byte {
+	k := frameKey{kind: 'u'}
+	if f := s.cached(k); f != nil {
+		return f
+	}
+	resp := conduit.NewNode()
+	resp.SetInt("epoch", int64(s.epoch))
+	resp.SetInt("gen", int64(s.gen))
+	resp.SetBool("unchanged", true)
+	return s.store(k, resp.EncodeBinaryStable())
 }
 
 func (in *instance) stats() InstanceStats {
@@ -296,6 +516,12 @@ func (in *instance) reset() {
 	// reset bumps gen past g, so the next read rebuilds and picks it up
 	// instead of leaving it stranded in a pending batch.
 	g := in.gen.Add(1)
+	// Redraw the reset-epoch so stamps handed out before the reset can
+	// never match stamps after it — a delta poll or a client's generation
+	// memo from the old lineage always gets a full response, even if the
+	// gen counter were to collide. Written under rebuildMu so concurrent
+	// rebuilds stamp a consistent (epoch, gen) pair.
+	in.epoch.Store(newEpoch())
 	for _, st := range in.stripes {
 		st.mu.Lock()
 		st.pending = nil
@@ -305,7 +531,7 @@ func (in *instance) reset() {
 		st.head, st.count = 0, 0
 		st.mu.Unlock()
 	}
-	in.snap.Store(&snapshot{gen: g, tree: conduit.NewNode()})
+	in.snap.Store(&snapshot{epoch: in.epoch.Load(), gen: g, tree: conduit.NewNode()})
 	in.rebuildMu.Unlock()
 	if in.rollup != nil {
 		in.rollup.reset()
@@ -327,9 +553,22 @@ type Service struct {
 	// started stamps service construction for soma.health's uptime.
 	started time.Time
 
+	// statsFrame caches the encoded soma.stats response, keyed by the
+	// (epoch, gen) stamps of every instance at build time; any publish or
+	// reset changes a stamp and the next request rebuilds. See handleStats.
+	statsFrame atomic.Pointer[statsCache]
+
 	mu      sync.Mutex
 	addrs   []string
 	stopped bool
+}
+
+// statsCache pairs an encoded soma.stats frame with the instance stamps it
+// was built against. Stale entries never match current stamps, so races
+// between capture and encode self-heal on the next request.
+type statsCache struct {
+	stamps []uint64 // (epoch, gen) per instance, in Stats() order
+	frame  []byte
 }
 
 // RPC handler names the service registers.
@@ -341,6 +580,11 @@ const (
 	RPCReset     = "soma.reset"
 	RPCSelect    = "soma.select"
 	RPCTelemetry = "soma.telemetry"
+	// RPCQueryDelta is the generation-aware query: the request carries the
+	// client's last-seen (epoch, gen) stamp and the service answers with a
+	// tiny {epoch, gen, unchanged: true} frame when the stamp still matches,
+	// or the full {epoch, gen, data} frame otherwise.
+	RPCQueryDelta = "soma.query.delta"
 
 	RPCSeries      = "soma.series"
 	RPCAlertSet    = "soma.alert.set"
@@ -393,13 +637,14 @@ func NewService(cfg ServiceConfig) *Service {
 	zmq.NewServer(s.engine).AttachBus(UpdatesBusName, s.bus)
 	s.engine.Register(RPCPublish, s.handlePublish)
 	s.engine.Register(RPCQuery, s.handleQuery)
+	s.engine.Register(RPCQueryDelta, s.handleQueryDelta)
 	s.engine.Register(RPCStats, s.handleStats)
 	s.engine.Register(RPCShutdown, s.handleShutdown)
 	s.engine.Register(RPCReset, s.handleReset)
 	s.engine.Register(RPCSelect, s.handleSelect)
-	s.engine.Register(RPCTelemetry, s.handleTelemetry)
+	s.engine.RegisterOwned(RPCTelemetry, s.handleTelemetry)
 	s.engine.Register(RPCHealth, s.handleHealth)
-	s.engine.Register(RPCSeries, s.handleSeries)
+	s.engine.RegisterOwned(RPCSeries, s.handleSeries)
 	s.engine.Register(RPCAlertSet, s.handleAlertSet)
 	s.engine.Register(RPCAlertList, s.handleAlertList)
 	s.engine.Register(RPCAlertRemove, s.handleAlertRemove)
@@ -518,6 +763,56 @@ func (s *Service) Query(ns Namespace, path string) (*conduit.Node, error) {
 	sub := in.query(path)
 	telQueryLatency.ObserveSince(start)
 	return sub, nil
+}
+
+// QueryEncoded returns the wire-ready soma.query response frame for path
+// within ns: {epoch, gen, data: <subtree>}, pre-encoded and cached against
+// the namespace's current snapshot. Repeat queries against an unchanged
+// namespace return the same byte slice with zero tree walk and zero
+// allocation. Callers (and the transport) must treat the frame as immutable.
+func (s *Service) QueryEncoded(ns Namespace, path string) ([]byte, error) {
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	f := in.queryFrame(path)
+	telQueryLatency.ObserveSince(start)
+	return f, nil
+}
+
+// QueryDeltaEncoded answers a generation-aware query: when the caller's
+// (epoch, gen) stamp matches the namespace's current snapshot it returns the
+// tiny {epoch, gen, unchanged: true} frame; otherwise the full query frame.
+// A zero epoch (no memo yet) never matches.
+func (s *Service) QueryDeltaEncoded(ns Namespace, path string, epoch, gen uint64) ([]byte, error) {
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer telQueryLatency.ObserveSince(start)
+	sn := in.currentSnapshot()
+	if epoch != 0 && epoch == sn.epoch && gen == sn.gen {
+		f := sn.unchangedFrame()
+		telDeltaUnchanged.Inc()
+		// Account the wire bytes this tiny answer saved against the full
+		// frame, when the full frame is already cached (it is, for any
+		// steady-state poller that received it last tick).
+		if full := sn.cached(frameKey{kind: 'q', key: path}); full != nil {
+			if saved := len(full) - len(f); saved > 0 {
+				telDeltaBytesSaved.Add(int64(saved))
+			}
+		}
+		return f, nil
+	}
+	return in.queryFrameAt(sn, path), nil
 }
 
 // History returns the raw publishes into ns newer than the given service
@@ -656,20 +951,66 @@ func (s *Service) handleQuery(ctx context.Context, payload []byte) ([]byte, erro
 		return nil, err
 	}
 	path, _ := req.StringVal("path")
-	sub, err := s.Query(ns, path)
+	// Serve the cached encoded frame: {epoch, gen, data}. Clients predating
+	// the delta protocol only read "data" and ignore the stamp fields.
+	return s.QueryEncoded(ns, path)
+}
+
+// handleQueryDelta serves soma.query.delta: the request carries the client's
+// last-seen stamp as {ns, path, epoch: i64, gen: i64}; see QueryDeltaEncoded.
+func (s *Service) handleQueryDelta(ctx context.Context, payload []byte) ([]byte, error) {
+	sp := telemetry.LeafSpan(ctx, "soma.query.delta.handler")
+	defer sp.End()
+	req, err := conduit.DecodeBinary(payload)
 	if err != nil {
 		return nil, err
 	}
-	// Attach the immutable snapshot subtree instead of deep-merging it into
-	// the envelope: encoding only reads the tree.
-	resp := conduit.NewNode()
-	resp.Attach("data", sub)
-	return resp.EncodeBinary(), nil
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	path, _ := req.StringVal("path")
+	epoch, _ := req.Int("epoch")
+	gen, _ := req.Int("gen")
+	return s.QueryDeltaEncoded(ns, path, uint64(epoch), uint64(gen))
+}
+
+// statsStamps captures every instance's current (epoch, gen) stamp in
+// Stats() order — the statsFrame cache key.
+func (s *Service) statsStamps() []uint64 {
+	if s.cfg.Shared {
+		sn := s.instances[NSWorkflow].currentSnapshot()
+		return []uint64{sn.epoch, sn.gen}
+	}
+	out := make([]uint64, 0, 2*len(Namespaces))
+	for _, ns := range Namespaces {
+		sn := s.instances[ns].currentSnapshot()
+		out = append(out, sn.epoch, sn.gen)
+	}
+	return out
+}
+
+func stampsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Service) handleStats(ctx context.Context, _ []byte) ([]byte, error) {
 	sp := telemetry.LeafSpan(ctx, "soma.stats.handler")
 	defer sp.End()
+	stamps := s.statsStamps()
+	if c := s.statsFrame.Load(); c != nil && stampsEqual(c.stamps, stamps) {
+		telQueryCacheHits.Inc()
+		return c.frame, nil
+	}
+	telQueryCacheMisses.Inc()
 	resp := conduit.NewNode()
 	for _, st := range s.Stats() {
 		base := string(st.Namespace)
@@ -680,7 +1021,12 @@ func (s *Service) handleStats(ctx context.Context, _ []byte) ([]byte, error) {
 		resp.SetInt(base+"/bytes_in", st.BytesIn)
 		resp.SetFloat(base+"/last_time", st.LastTime)
 	}
-	return resp.EncodeBinary(), nil
+	// A publish between statsStamps() and here makes this frame carry data
+	// newer than its stamp; that only causes one extra rebuild next request,
+	// never a stale hit (the stamp it would need to match is already gone).
+	frame := resp.EncodeBinaryStable()
+	s.statsFrame.Store(&statsCache{stamps: stamps, frame: frame})
+	return frame, nil
 }
 
 func (s *Service) handleShutdown(_ context.Context, _ []byte) ([]byte, error) {
@@ -712,27 +1058,36 @@ func (s *Service) handleSelect(_ context.Context, payload []byte) ([]byte, error
 		return nil, err
 	}
 	pattern, _ := req.StringVal("pattern")
-	paths, values, err := s.Select(ns, pattern)
+	if s.Stopped() {
+		return nil, ErrServiceStopped
+	}
+	in, err := s.instanceFor(ns)
 	if err != nil {
 		return nil, err
 	}
-	resp := conduit.NewNode()
-	var keyBuf [32]byte
-	for i, p := range paths {
-		base := string(appendMatchKey(keyBuf[:0], i))
-		resp.SetString(base+"/path", p)
-		if v, ok := values[p]; ok {
-			resp.SetFloat(base+"/value", v)
-		}
-	}
-	return resp.EncodeBinary(), nil
+	// Serve the cached encoded match list for this (snapshot, pattern).
+	return in.selectFrame(pattern), nil
+}
+
+// ownedFrame encodes resp into a pooled buffer and wraps it as an owned
+// mercury response; the transport calls Release once the frame is written,
+// recycling the buffer instead of allocating one per request.
+func ownedFrame(resp *conduit.Node) (mercury.Response, error) {
+	bp := conduit.GetEncodeBuffer()
+	*bp = resp.AppendBinary(*bp)
+	return mercury.Response{
+		Payload: *bp,
+		Release: func() { conduit.PutEncodeBuffer(bp) },
+	}, nil
 }
 
 // handleTelemetry serves the process's full telemetry registry snapshot,
 // conduit-encoded — the RPC somatop's telemetry panel and `somactl
-// telemetry` consume.
-func (s *Service) handleTelemetry(_ context.Context, _ []byte) ([]byte, error) {
-	return EncodeTelemetry(telemetry.Default().Snapshot()).EncodeBinary(), nil
+// telemetry` consume. The snapshot changes on every scrape (latency
+// histograms move), so instead of caching it encodes into a pooled buffer
+// released after the transport writes the frame.
+func (s *Service) handleTelemetry(_ context.Context, _ []byte) (mercury.Response, error) {
+	return ownedFrame(EncodeTelemetry(telemetry.Default().Snapshot()))
 }
 
 func (s *Service) handleReset(_ context.Context, payload []byte) ([]byte, error) {

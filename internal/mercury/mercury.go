@@ -40,8 +40,30 @@ import (
 
 // Handler processes one RPC. The input slice is only valid for the duration
 // of the call — the transport recycles frame buffers, so handlers must copy
-// any bytes they retain. The returned slice is copied to the wire.
+// any bytes they retain. The returned slice may be written to the wire after
+// the handler returns (large responses are sent zero-copy), so it must stay
+// immutable until the engine is done with it: return either a freshly built
+// buffer or a long-lived frame that is never mutated in place (e.g. a
+// snapshot cache entry that is replaced, not overwritten). Handlers that
+// encode into pooled buffers should use RegisterOwned instead, so the buffer
+// can be recycled once the frame is written.
 type Handler func(ctx context.Context, input []byte) ([]byte, error)
+
+// Response is an RPC reply whose backing buffer the handler wants back.
+type Response struct {
+	// Payload is the reply bytes; the transport treats it exactly like a
+	// Handler's return value.
+	Payload []byte
+	// Release, when non-nil, is called exactly once after the transport has
+	// finished with Payload — on TCP after the response frame is written, on
+	// the inproc transport after the caller's copy is taken. Handlers use it
+	// to return pooled encode buffers.
+	Release func()
+}
+
+// OwnedHandler is a Handler flavour whose response travels with a release
+// hook (see Response); install with RegisterOwned.
+type OwnedHandler func(ctx context.Context, input []byte) (Response, error)
 
 // framePool recycles request/response frame buffers on the TCP read/write
 // loops. Buffers above maxPooledFrame are left to the GC so one jumbo frame
@@ -52,6 +74,11 @@ var framePool = sync.Pool{New: func() interface{} {
 }}
 
 const maxPooledFrame = 1 << 16
+
+// zeroCopyMinFrame is the response size above which the TCP transport sends
+// the handler's payload with a vector write instead of copying it into a
+// pooled frame. Below it the copy is cheaper than the extra iovec setup.
+const zeroCopyMinFrame = 2048
 
 func getFrame(n int) *[]byte {
 	bp := framePool.Get().(*[]byte)
@@ -136,6 +163,9 @@ func clientHist(name string) *telemetry.Histogram {
 // registration is one installed handler plus its dispatch flavour.
 type registration struct {
 	h Handler
+	// owned, when set instead of h, is an OwnedHandler whose response buffer
+	// is recycled after the frame is written.
+	owned OwnedHandler
 	// blocking marks long-poll handlers (RegisterBlocking): they run with a
 	// context cancelled at engine Close and stay out of the per-RPC server
 	// latency histograms, which would otherwise be dominated by intentional
@@ -216,6 +246,16 @@ func (e *Engine) Register(name string, h Handler) {
 	e.handlers[name] = registration{h: h}
 }
 
+// RegisterOwned installs an OwnedHandler: its Response.Release hook fires
+// once the transport has finished with the payload, so the handler can
+// encode into a pooled buffer instead of allocating a fresh response per
+// request.
+func (e *Engine) RegisterOwned(name string, h OwnedHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[name] = registration{owned: h}
+}
+
 // RegisterBlocking installs a handler that is expected to block — long-poll
 // receives, streaming waits. Its context is cancelled when the engine closes
 // (so shutdown never waits out a poll timeout), and its wall time is excluded
@@ -270,44 +310,56 @@ func (e *Engine) cancelOnClose(ctx context.Context) (context.Context, func()) {
 // the caller gave up, running the handler would be pure waste (the TCP
 // transport carries the caller's deadline in the frame header precisely so
 // this check sees it).
-func (e *Engine) dispatch(ctx context.Context, name string, input []byte) ([]byte, error) {
+//
+// release is non-nil when the handler was installed with RegisterOwned; the
+// transport must call it exactly once when it is done with out.
+func (e *Engine) dispatch(ctx context.Context, name string, input []byte) (out []byte, release func(), err error) {
 	reg, ok, err := e.handler(name)
 	if err != nil {
-		return nil, fmt.Errorf("%w (engine closed before dispatching %q)", err, name)
+		return nil, nil, fmt.Errorf("%w (engine closed before dispatching %q)", err, name)
 	}
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownRPC, name)
 	}
 	if !reg.blocking && ctx.Err() != nil {
 		e.Stats.ShedExpired.Add(1)
 		telShedExpired.Inc()
-		return nil, fmt.Errorf("%w (%q shed before dispatch)", ErrExpired, name)
+		return nil, nil, fmt.Errorf("%w (%q shed before dispatch)", ErrExpired, name)
 	}
 	e.Stats.CallsServed.Add(1)
 	e.Stats.BytesIn.Add(int64(len(input)))
 	telCallsServed.Inc()
 	telBytesIn.Add(int64(len(input)))
 	telServerInfl.Inc()
-	var out []byte
-	if reg.blocking {
-		var release func()
-		ctx, release = e.cancelOnClose(ctx)
+	switch {
+	case reg.blocking:
+		var done func()
+		ctx, done = e.cancelOnClose(ctx)
 		out, err = reg.h(ctx, input)
-		release()
-	} else {
+		done()
+	case reg.owned != nil:
+		start := time.Now()
+		var resp Response
+		resp, err = reg.owned(ctx, input)
+		serverHist(name).ObserveSince(start)
+		out, release = resp.Payload, resp.Release
+	default:
 		start := time.Now()
 		out, err = reg.h(ctx, input)
 		serverHist(name).ObserveSince(start)
 	}
 	telServerInfl.Dec()
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		e.Stats.HandlerErrors.Add(1)
 		telHandlerErrors.Inc()
-		return nil, err
+		return nil, nil, err
 	}
 	e.Stats.BytesOut.Add(int64(len(out)))
 	telBytesOut.Add(int64(len(out)))
-	return out, nil
+	return out, release, nil
 }
 
 // Addrs returns every address the engine is currently reachable at.
@@ -719,7 +771,7 @@ func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte
 				return nil, err
 			}
 		}
-		out, err := ep.local.dispatch(ctx, name, input)
+		out, release, err := ep.local.dispatch(ctx, name, input)
 		if err != nil {
 			// Mirror the TCP path: handler failures surface as
 			// ErrRemoteFailed; infrastructure errors keep their identity.
@@ -727,6 +779,14 @@ func (ep *Endpoint) Call(ctx context.Context, name string, input []byte) ([]byte
 				return nil, err
 			}
 			return nil, fmt.Errorf("%w: %v", ErrRemoteFailed, err)
+		}
+		if release != nil {
+			// The handler wants its buffer back; hand the caller a copy —
+			// the same ownership transfer the TCP transport's read performs.
+			cp := make([]byte, len(out))
+			copy(cp, out)
+			release()
+			out = cp
 		}
 		return out, nil
 	}
@@ -776,7 +836,10 @@ func (ep *Endpoint) Notify(ctx context.Context, name string, input []byte) error
 			}
 		}
 		// In-process: dispatch directly, discarding result and error.
-		_, _ = ep.local.dispatch(ctx, name, input)
+		_, release, _ := ep.local.dispatch(ctx, name, input)
+		if release != nil {
+			release()
+		}
 		return nil
 	}
 	total := reqHeaderLen + len(name) + len(input)
@@ -1106,7 +1169,7 @@ func (e *Engine) serveConn(conn net.Conn) {
 				defer cancel()
 			}
 			status := byte(statusOK)
-			out, err := e.dispatch(ctx, name, payload)
+			out, release, err := e.dispatch(ctx, name, payload)
 			putFrame(bodyBP)
 			if err != nil {
 				switch {
@@ -1121,19 +1184,35 @@ func (e *Engine) serveConn(conn net.Conn) {
 					out = []byte(err.Error())
 				}
 			}
-			respBP := getFrame(0)
-			resp := (*respBP)[:0]
 			var hdr [13]byte
 			binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+len(out)))
 			binary.LittleEndian.PutUint64(hdr[4:12], id)
 			hdr[12] = status
-			resp = append(resp, hdr[:]...)
-			resp = append(resp, out...)
-			writeMu.Lock()
-			_, _ = conn.Write(resp)
-			writeMu.Unlock()
-			*respBP = resp
-			putFrame(respBP)
+			if len(out) >= zeroCopyMinFrame && e.injector == nil {
+				// Large responses go out as a header+payload vector write:
+				// the handler-owned bytes (typically a snapshot-cache frame)
+				// reach the socket without being copied into a pooled frame
+				// first. Injected transports are excluded — fault injectors
+				// model "one Write call = one frame", and a vector write on
+				// a wrapped conn degrades to two Writes, splitting the frame
+				// across fault decisions.
+				bufs := net.Buffers{hdr[:], out}
+				writeMu.Lock()
+				_, _ = bufs.WriteTo(conn)
+				writeMu.Unlock()
+			} else {
+				respBP := getFrame(0)
+				resp := append((*respBP)[:0], hdr[:]...)
+				resp = append(resp, out...)
+				writeMu.Lock()
+				_, _ = conn.Write(resp)
+				writeMu.Unlock()
+				*respBP = resp
+				putFrame(respBP)
+			}
+			if release != nil {
+				release()
+			}
 		}()
 	}
 }
