@@ -10,7 +10,7 @@ GO ?= go
 GOFMT ?= gofmt
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos
+.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,7 @@ verify-stream:
 
 bench:
 	$(GO) test ./internal/core/ -run '^$$' \
-		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkSelectSnapshot$$|BenchmarkSeriesQuery$$|BenchmarkSubscribeFanout$$|BenchmarkQueryHot$$|BenchmarkQueryEncodeNoCache$$|BenchmarkQueryDelta$$|BenchmarkSnapshotRebuild$$' \
+		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkPublishBatch$$|BenchmarkSelectSnapshot$$|BenchmarkSeriesQuery$$|BenchmarkSubscribeFanout$$|BenchmarkQueryHot$$|BenchmarkQueryEncodeNoCache$$|BenchmarkQueryDelta$$|BenchmarkSnapshotRebuild$$' \
 		-benchmem -count $(BENCH_COUNT)
 
 benchdiff:
@@ -60,3 +60,18 @@ telemetry-overhead:
 # the schedules are deterministic per seed, so a pass is reproducible.
 chaos:
 	$(GO) test -race -tags chaos -count=3 -timeout 10m -run 'TestChaos' .
+
+# load is the full-scale wire-batching experiment: 100k logical publishers
+# coalesced over 8 connections, gated on sustaining a million acknowledged
+# publishes/sec with exact loss accounting (see DESIGN.md §4g). load-smoke
+# is the same harness at CI scale — 1k publishers for 2s, no rate floor,
+# still asserting zero loss.
+load:
+	$(GO) build -o bin/somabench ./cmd/somabench
+	bin/somabench load -publishers 100000 -conns 8 -duration 8s \
+		-batch-leaves 4096 -batch-bytes 262144 -query-interval 1s \
+		-min-rate 1000000 -json
+
+load-smoke:
+	$(GO) build -o bin/somabench ./cmd/somabench
+	bin/somabench load -publishers 1000 -conns 4 -duration 2s -json

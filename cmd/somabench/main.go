@@ -53,10 +53,15 @@ func registry() []expEntry {
 }
 
 func main() {
+	// `somabench load` is its own experiment with its own flags: a live
+	// publish-throughput run rather than a regenerated paper figure.
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		os.Exit(runLoad(os.Args[2:]))
+	}
 	list := flag.Bool("list", false, "list available experiments and exit")
 	maxNodes := flag.Int("max-nodes", 0, "truncate the Scaling B sweep (0 = full 512)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: somabench [-list] [-max-nodes N] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: somabench [-list] [-max-nodes N] <experiment>... | load [-help] | all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

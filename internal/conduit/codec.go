@@ -164,6 +164,18 @@ type binReader struct {
 	// nodes escape into the decoded tree, so chunks are never reused — only
 	// the per-node allocation is amortized.
 	arena []Node
+	// strArena, when non-empty, is one string copy of data: str() then
+	// returns substrings instead of allocating per name/value. Batch decode
+	// enables it (hundreds of entries per frame make the single copy pay
+	// for itself many times over); the decoded strings keep the arena alive,
+	// which is fine for batch trees — their strings share the frame's
+	// lifetime anyway, and merged-tree map keys are only retained for paths
+	// seen for the first time.
+	strArena string
+	// ordArena bump-allocates the per-object child-order slices. Each carve
+	// is capped at its exact count, so a later append on a decoded node
+	// reallocates instead of clobbering a neighbour's carve.
+	ordArena []string
 }
 
 // arenaChunk is the node-arena chunk size; frames smaller than that are
@@ -218,9 +230,28 @@ func (r *binReader) str() (string, error) {
 	if uint64(len(r.data)-r.pos) < ln {
 		return "", ErrTruncated
 	}
-	s := string(r.data[r.pos : r.pos+int(ln)])
+	var s string
+	if r.strArena != "" {
+		s = r.strArena[r.pos : r.pos+int(ln)]
+	} else {
+		s = string(r.data[r.pos : r.pos+int(ln)])
+	}
 	r.pos += int(ln)
 	return s, nil
+}
+
+// newOrder carves an exactly-capped child-order slice from the order arena.
+func (r *binReader) newOrder(count int) []string {
+	if len(r.ordArena) < count {
+		n := arenaChunk * 2
+		if n < count {
+			n = count
+		}
+		r.ordArena = make([]string, n)
+	}
+	s := r.ordArena[0:0:count]
+	r.ordArena = r.ordArena[count:]
+	return s
 }
 
 func (r *binReader) f64() (float64, error) {
@@ -274,7 +305,7 @@ func decodeNode(r *binReader, depth int) (*Node, error) {
 		}
 		if count > 0 {
 			n.children = make(map[string]*Node, count)
-			n.order = make([]string, 0, count)
+			n.order = r.newOrder(int(count))
 		}
 		for i := uint64(0); i < count; i++ {
 			name, err := r.str()
@@ -285,10 +316,16 @@ func decodeNode(r *binReader, depth int) (*Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, dup := n.children[name]; !dup {
+			// A duplicate name in one encoded object merges into the earlier
+			// child (leaves still overwrite), matching the wire-merge path —
+			// honest encoders never emit duplicates, but a hostile frame
+			// must mean the same thing on every ingest path.
+			if prev, dup := n.children[name]; dup {
+				prev.Merge(c)
+			} else {
 				n.order = append(n.order, name)
+				n.children[name] = c
 			}
-			n.children[name] = c
 		}
 	case KindInt:
 		if n.i, err = r.varint(); err != nil {
@@ -340,6 +377,472 @@ func decodeNode(r *binReader, depth int) (*Node, error) {
 		return nil, fmt.Errorf("conduit: unknown kind %d", kb)
 	}
 	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch frames: many (namespace, tree) publishes in one wire frame.
+//
+//	batch := 'C' 'D' 'B' 1 { entry }*
+//	entry := nsLen(uvarint) ns-bytes treeLen(u32 LE) tree-frame
+//
+// where tree-frame is a complete standard frame (its own 'CDT1' magic plus
+// one node). The entry count is implicit — decode runs to the end of the
+// frame, so a zero-entry batch is just the 4-byte magic. The explicit
+// treeLen lets the decoder verify each entry consumed exactly its declared
+// bytes, so a corrupt tree cannot silently bleed into the next entry.
+
+var batchMagic = [4]byte{'C', 'D', 'B', 1}
+
+// BatchEntry is one decoded (namespace, tree) element of a batch frame.
+// Consecutive entries with equal namespaces share one NS string.
+type BatchEntry struct {
+	NS   string
+	Tree *Node
+}
+
+// AppendBatchHeader starts a batch frame: it appends the batch magic to dst.
+func AppendBatchHeader(dst []byte) []byte {
+	return append(dst, batchMagic[:]...)
+}
+
+// IsBatchFrame reports whether data starts with the batch magic.
+func IsBatchFrame(data []byte) bool {
+	return len(data) >= 4 && data[0] == batchMagic[0] && data[1] == batchMagic[1] &&
+		data[2] == batchMagic[2] && data[3] == batchMagic[3]
+}
+
+// AppendBatchEntry appends one (namespace, tree) entry to a batch frame
+// started with AppendBatchHeader. The tree's length field is backfilled
+// after encoding, so the tree is walked exactly once.
+func AppendBatchEntry(dst []byte, ns string, n *Node) []byte {
+	dst = appendString(dst, ns)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = n.AppendBinary(dst)
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// AppendBatchEntryEncoded appends one (namespace, tree) entry whose tree is
+// already encoded (EncodeBinary output). The bytes are copied verbatim, so a
+// publisher with a fixed tree shape can encode once and append the cached
+// frame on every publish. The caller is responsible for enc being a valid
+// tree frame (see ValidateBinary); the server re-validates on ingest.
+func AppendBatchEntryEncoded(dst []byte, ns string, enc []byte) []byte {
+	dst = appendString(dst, ns)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(enc)))
+	dst = append(dst, l[:]...)
+	return append(dst, enc...)
+}
+
+// DecodeBatch parses a batch frame into its entries in wire order. All
+// entries decode through one shared node arena, and a run of entries with
+// the same namespace reuses a single NS string, so decoding a batch of N
+// same-namespace publishes costs far less than N DecodeBinary calls.
+func DecodeBatch(data []byte) ([]BatchEntry, error) {
+	if !IsBatchFrame(data) {
+		return nil, ErrBadMagic
+	}
+	// One string copy of the frame serves every decoded name and value as a
+	// substring — the dominant decode allocation at batch entry counts.
+	r := binReader{data: data, pos: 4, strArena: string(data)}
+	var entries []BatchEntry
+	var lastNSBytes []byte
+	var lastNS string
+	for r.pos < len(data) {
+		nsLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(data)-r.pos) < nsLen {
+			return nil, ErrTruncated
+		}
+		nsBytes := data[r.pos : r.pos+int(nsLen)]
+		r.pos += int(nsLen)
+		if lastNSBytes == nil || !bytes.Equal(nsBytes, lastNSBytes) {
+			lastNS = string(nsBytes)
+			lastNSBytes = nsBytes
+		}
+		if len(data)-r.pos < 4 {
+			return nil, ErrTruncated
+		}
+		treeLen := int(binary.LittleEndian.Uint32(data[r.pos:]))
+		r.pos += 4
+		if len(data)-r.pos < treeLen {
+			return nil, ErrTruncated
+		}
+		end := r.pos + treeLen
+		if treeLen < 4 || !bytes.Equal(data[r.pos:r.pos+4], binMagic[:]) {
+			return nil, ErrBadMagic
+		}
+		r.pos += 4
+		n, err := decodeNode(&r, 0)
+		if err != nil {
+			return nil, err
+		}
+		if r.pos != end {
+			return nil, fmt.Errorf("conduit: batch entry length mismatch: %d bytes unconsumed", end-r.pos)
+		}
+		entries = append(entries, BatchEntry{NS: lastNS, Tree: n})
+	}
+	return entries, nil
+}
+
+// ForEachBatchEntry walks a batch frame's entry framing without decoding
+// any tree: fn receives each entry's namespace bytes and its complete tree
+// frame (magic included) as subslices of data, in wire order. Entry framing
+// (lengths, tree magic) is verified; tree *structure* is not — pair with
+// ValidateBinary when the bytes will be retained and decoded later. This is
+// the allocation-free half of the server's raw batch ingest.
+func ForEachBatchEntry(data []byte, fn func(ns, enc []byte) error) error {
+	if !IsBatchFrame(data) {
+		return ErrBadMagic
+	}
+	pos := 4
+	for pos < len(data) {
+		nsLen, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return ErrTruncated
+		}
+		pos += k
+		if uint64(len(data)-pos) < nsLen {
+			return ErrTruncated
+		}
+		ns := data[pos : pos+int(nsLen)]
+		pos += int(nsLen)
+		if len(data)-pos < 4 {
+			return ErrTruncated
+		}
+		treeLen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if len(data)-pos < treeLen {
+			return ErrTruncated
+		}
+		if treeLen < 4 || !bytes.Equal(data[pos:pos+4], binMagic[:]) {
+			return ErrBadMagic
+		}
+		if err := fn(ns, data[pos:pos+treeLen]); err != nil {
+			return err
+		}
+		pos += treeLen
+	}
+	return nil
+}
+
+// ValidateBinary structurally verifies a standard tree frame — every kind
+// tag, count, and length lands inside the frame and nothing trails — without
+// building a single node. A frame that validates is guaranteed to decode
+// (and MergeBinaryInto) without error, which is what lets the service defer
+// tree materialization on ingest and still reject hostile input at the door.
+func ValidateBinary(data []byte) error {
+	if len(data) < 4 || data[0] != binMagic[0] || data[1] != binMagic[1] ||
+		data[2] != binMagic[2] || data[3] != binMagic[3] {
+		return ErrBadMagic
+	}
+	r := binReader{data: data, pos: 4}
+	if err := validateNode(&r, 0); err != nil {
+		return err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("conduit: %d trailing bytes", len(data)-r.pos)
+	}
+	return nil
+}
+
+// strSkip advances past a length-prefixed string without materializing it.
+func (r *binReader) strSkip() error {
+	ln, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if uint64(len(r.data)-r.pos) < ln {
+		return ErrTruncated
+	}
+	r.pos += int(ln)
+	return nil
+}
+
+// validateNode is decodeNode's walk with construction stripped out.
+func validateNode(r *binReader, depth int) error {
+	if depth > maxDepth {
+		return errors.New("conduit: tree too deep")
+	}
+	kb, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch Kind(kb) {
+	case KindEmpty:
+	case KindObject:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: child count %d too large", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			if err := r.strSkip(); err != nil {
+				return err
+			}
+			if err := validateNode(r, depth+1); err != nil {
+				return err
+			}
+		}
+	case KindInt:
+		if _, err := r.varint(); err != nil {
+			return err
+		}
+	case KindFloat:
+		if len(r.data)-r.pos < 8 {
+			return ErrTruncated
+		}
+		r.pos += 8
+	case KindString:
+		if err := r.strSkip(); err != nil {
+			return err
+		}
+	case KindBool:
+		if _, err := r.u8(); err != nil {
+			return err
+		}
+	case KindIntArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: array count %d too large", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			if _, err := r.varint(); err != nil {
+				return err
+			}
+		}
+	case KindFloatArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: array count %d too large", count)
+		}
+		if uint64(len(r.data)-r.pos) < count*8 {
+			return ErrTruncated
+		}
+		r.pos += int(count) * 8
+	default:
+		return fmt.Errorf("conduit: unknown kind %d", kb)
+	}
+	return nil
+}
+
+// MergeBinaryInto merges an encoded tree frame into dst, producing exactly
+// the state dst.Merge(decodedTree) would, without materializing the source
+// tree: leaves are written straight from the wire walk, and the only
+// allocations are for paths dst has never seen (plus owned copies of string
+// and array values). dst must be a private, fully caller-owned tree — the
+// service's snapshot-rebuild fold accumulator, never a shared snapshot.
+// Callers should ValidateBinary the frame first: on a malformed frame the
+// merge errors out part-way with already-walked paths applied.
+func MergeBinaryInto(dst *Node, data []byte) error {
+	return MergeBinaryIntoCached(dst, data, nil)
+}
+
+// mergeCacheDepth bounds how many tree levels the resolution memo covers;
+// deeper levels fall back to the map lookup.
+const mergeCacheDepth = 8
+
+// MergeCache carries child-resolution memory across consecutive
+// MergeBinaryIntoCached calls folding many frames into one accumulator.
+// Monitors publish sensor by sensor, so successive frames usually share
+// their ancestor path; the memo turns each shared level's map lookup into
+// a pointer-and-name compare. Per depth it remembers the last (parent,
+// child name) resolution; entries are invalidated when a cached subtree is
+// overwritten by a leaf (object→scalar reshape), and callers must Reset
+// the cache whenever they mutate the accumulator outside
+// MergeBinaryIntoCached. The accumulator must be a plain owned tree (built
+// by NewNode/Merge/MergeBinaryInto), never a copy-on-write overlay.
+type MergeCache struct {
+	parent [mergeCacheDepth]*Node
+	name   [mergeCacheDepth]string
+	child  [mergeCacheDepth]*Node
+}
+
+// Reset forgets every memoized resolution; required after any mutation of
+// the accumulator that did not go through MergeBinaryIntoCached.
+func (mc *MergeCache) Reset() { *mc = MergeCache{} }
+
+// invalidateFrom drops memoized resolutions at depth d and deeper — called
+// when the node at depth d is demoted from object to leaf, orphaning the
+// subtree those entries point into.
+func (mc *MergeCache) invalidateFrom(d int) {
+	if d < 0 {
+		d = 0
+	}
+	for i := d; i < mergeCacheDepth; i++ {
+		mc.parent[i] = nil
+		mc.name[i] = ""
+		mc.child[i] = nil
+	}
+}
+
+// MergeBinaryIntoCached is MergeBinaryInto with a resolution memo shared
+// across calls (see MergeCache); mc may be nil.
+func MergeBinaryIntoCached(dst *Node, data []byte, mc *MergeCache) error {
+	if len(data) < 4 || data[0] != binMagic[0] || data[1] != binMagic[1] ||
+		data[2] != binMagic[2] || data[3] != binMagic[3] {
+		return ErrBadMagic
+	}
+	r := binReader{data: data, pos: 4}
+	if err := mergeNode(&r, dst, 0, mc); err != nil {
+		return err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("conduit: %d trailing bytes", len(data)-r.pos)
+	}
+	return nil
+}
+
+// mergeNode replays one encoded node onto dst with Merge's semantics:
+// objects recurse child-by-child (creating children on first sight, exactly
+// like ensureChild), scalars overwrite whatever dst held, and an empty
+// source leaves dst untouched. When a leaf overwrites an object, memoized
+// resolutions into the orphaned subtree (this depth and deeper) are
+// dropped.
+func mergeNode(r *binReader, dst *Node, depth int, mc *MergeCache) error {
+	if depth > maxDepth {
+		return errors.New("conduit: tree too deep")
+	}
+	kb, err := r.u8()
+	if err != nil {
+		return err
+	}
+	k := Kind(kb)
+	if k != KindObject && k != KindEmpty && mc != nil && dst.kind == KindObject {
+		mc.invalidateFrom(depth)
+	}
+	switch k {
+	case KindEmpty:
+	case KindObject:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: child count %d too large", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			ln, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if uint64(len(r.data)-r.pos) < ln {
+				return ErrTruncated
+			}
+			nameB := r.data[r.pos : r.pos+int(ln)]
+			r.pos += int(ln)
+			// The depth memo first: consecutive single-leaf frames usually
+			// share their ancestor path, making this a pointer compare
+			// instead of a map probe into a wide fan-out level.
+			if mc != nil && depth < mergeCacheDepth &&
+				mc.parent[depth] == dst && mc.name[depth] == string(nameB) {
+				if err := mergeNode(r, mc.child[depth], depth+1, mc); err != nil {
+					return err
+				}
+				continue
+			}
+			// Inline ensureChild with a byte-slice key: the map probe on the
+			// hot repeated-path case allocates nothing.
+			if dst.kind != KindObject {
+				dst.kind = KindObject
+				dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, 0, "", false, nil, nil
+			}
+			dst.flatten()
+			if dst.children == nil {
+				dst.children = make(map[string]*Node)
+			}
+			c, ok := dst.children[string(nameB)]
+			if !ok {
+				c = &Node{}
+				name := string(nameB)
+				dst.children[name] = c
+				dst.order = append(dst.order, name)
+			}
+			if mc != nil && depth < mergeCacheDepth {
+				mc.parent[depth] = dst
+				mc.name[depth] = string(nameB) // copy on memo refresh only
+				mc.child[depth] = c
+			}
+			if err := mergeNode(r, c, depth+1, mc); err != nil {
+				return err
+			}
+		}
+	case KindInt:
+		v, err := r.varint()
+		if err != nil {
+			return err
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = v, 0, "", false, nil, nil
+	case KindFloat:
+		v, err := r.f64()
+		if err != nil {
+			return err
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, v, "", false, nil, nil
+	case KindString:
+		v, err := r.str()
+		if err != nil {
+			return err
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, 0, v, false, nil, nil
+	case KindBool:
+		bv, err := r.u8()
+		if err != nil {
+			return err
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, 0, "", bv != 0, nil, nil
+	case KindIntArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: array count %d too large", count)
+		}
+		ia := make([]int64, count)
+		for i := range ia {
+			if ia[i], err = r.varint(); err != nil {
+				return err
+			}
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, 0, "", false, ia, nil
+	case KindFloatArray:
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if count > maxDecodeItems {
+			return fmt.Errorf("conduit: array count %d too large", count)
+		}
+		fa := make([]float64, count)
+		for i := range fa {
+			if fa[i], err = r.f64(); err != nil {
+				return err
+			}
+		}
+		dst.setLeaf(k)
+		dst.i, dst.f, dst.s, dst.b, dst.ia, dst.fa = 0, 0, "", false, nil, fa
+	default:
+		return fmt.Errorf("conduit: unknown kind %d", kb)
+	}
+	return nil
 }
 
 // jsonValue converts the subtree into the natural encoding/json value shape:

@@ -1,0 +1,116 @@
+package conduit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatch feeds arbitrary bytes through the batch decoder. The
+// decoder must never panic, and anything it accepts must re-encode to a
+// frame that decodes to the same entries (the decode → encode → decode
+// fixpoint).
+func FuzzDecodeBatch(f *testing.F) {
+	// Valid frames: empty batch, one entry, a multi-namespace run.
+	f.Add(AppendBatchHeader(nil))
+	one := AppendBatchEntry(AppendBatchHeader(nil), "workflow", sampleTree(1))
+	f.Add(one)
+	multi := AppendBatchHeader(nil)
+	for i, ns := range []string{"workflow", "workflow", "hardware", "performance"} {
+		multi = AppendBatchEntry(multi, ns, sampleTree(i))
+	}
+	f.Add(multi)
+	// Reshape seed: one path flips object→leaf→object across entries, the
+	// sequence the cached wire-merge must invalidate its memo through.
+	reshape := AppendBatchHeader(nil)
+	ra := NewNode()
+	ra.SetInt("m/x/y", 1)
+	rb := NewNode()
+	rb.SetString("m/x", "flat")
+	rc := NewNode()
+	rc.SetInt("m/x/z", 2)
+	for _, n := range []*Node{ra, rb, rc} {
+		reshape = AppendBatchEntry(reshape, "workflow", n)
+	}
+	f.Add(reshape)
+	// Hostile seeds: truncations, corrupt length, corrupt magic.
+	f.Add(multi[:len(multi)-3])
+	f.Add(multi[:7])
+	corrupt := append([]byte(nil), one...)
+	corrupt[6] = 0xFF
+	f.Add(corrupt)
+	badMagic := append([]byte(nil), one...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeBatch(data)
+		scanned := 0
+		// Cumulative accumulators across the frame's entries: the cached
+		// wire-merge must agree with tree Merge even when entries reshape
+		// paths the cache has memoized (object→leaf→object flips are the
+		// stale-pointer hunting ground).
+		accCached, accPlain := NewNode(), NewNode()
+		var mc MergeCache
+		scanErr := ForEachBatchEntry(data, func(ns, enc []byte) error {
+			// Anything the full decoder accepts, the validating scan must
+			// accept too — the raw ingest path depends on that agreement.
+			if err == nil {
+				if scanned >= len(entries) {
+					t.Fatalf("scan found more entries than DecodeBatch (%d)", len(entries))
+				}
+				if string(ns) != entries[scanned].NS {
+					t.Fatalf("entry %d ns: scan %q vs decode %q", scanned, ns, entries[scanned].NS)
+				}
+				if verr := ValidateBinary(enc); verr != nil {
+					t.Fatalf("entry %d validated false negative: %v", scanned, verr)
+				}
+				merged := NewNode()
+				if merr := MergeBinaryInto(merged, enc); merr != nil {
+					t.Fatalf("entry %d wire-merge failed on validated bytes: %v", scanned, merr)
+				}
+				want := NewNode()
+				want.Merge(entries[scanned].Tree)
+				if !bytes.Equal(merged.EncodeBinary(), want.EncodeBinary()) {
+					t.Fatalf("entry %d: MergeBinaryInto differs from Merge of decoded tree", scanned)
+				}
+				if merr := MergeBinaryIntoCached(accCached, enc, &mc); merr != nil {
+					t.Fatalf("entry %d cached wire-merge failed on validated bytes: %v", scanned, merr)
+				}
+				accPlain.Merge(entries[scanned].Tree)
+				if !bytes.Equal(accCached.EncodeBinary(), accPlain.EncodeBinary()) {
+					t.Fatalf("entry %d: cumulative cached wire-merge diverged from Merge", scanned)
+				}
+			}
+			scanned++
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		if scanErr != nil {
+			t.Fatalf("scan rejected a frame DecodeBatch accepted: %v", scanErr)
+		}
+		if scanned != len(entries) {
+			t.Fatalf("scan found %d entries, decode found %d", scanned, len(entries))
+		}
+		re := AppendBatchHeader(nil)
+		for _, e := range entries {
+			re = AppendBatchEntry(re, e.NS, e.Tree)
+		}
+		again, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("re-decode entry count %d, want %d", len(again), len(entries))
+		}
+		for i := range again {
+			if again[i].NS != entries[i].NS {
+				t.Fatalf("entry %d ns changed: %q vs %q", i, again[i].NS, entries[i].NS)
+			}
+			if !bytes.Equal(again[i].Tree.EncodeBinary(), entries[i].Tree.EncodeBinary()) {
+				t.Fatalf("entry %d tree changed across re-encode", i)
+			}
+		}
+	})
+}

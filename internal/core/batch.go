@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Client-side publish coalescing: many logical publishes packed into one
+// soma.publish.batch wire frame. A coalescer encodes each publish into the
+// pending batch frame inline (no per-entry deferred work) and a flusher
+// goroutine ships the frame when it reaches the byte budget, the leaf
+// count, or the age bound — whichever trips first. One round-trip then
+// acknowledges hundreds of publishes, which is what lets a single TCP
+// connection carry tens of thousands of logical publishers.
+//
+// Ordering: entries leave in append order. flush swaps the pending buffer
+// under sendMu, so appends never wait on the wire, while batch N+1 cannot
+// overtake batch N. When entries spill (transient failure), subsequent
+// batches route into the spill buffer behind them until redelivery drains
+// it, preserving per-client publish order end to end.
+
+var (
+	telBatchFlushes = telemetry.Default().Counter("core.client.batch.flushes")
+	telBatchLeaves  = telemetry.Default().Counter("core.client.batch.leaves")
+	// telBatchAck measures enqueue→acknowledgement for the OLDEST entry of
+	// each flushed batch: queue dwell plus wire round-trip.
+	telBatchAck = telemetry.Default().Histogram("core.client.publish.ack.latency")
+)
+
+// BatchConfig tunes a client's publish coalescer; zero values select the
+// defaults noted on each field.
+type BatchConfig struct {
+	// MaxBytes flushes the pending batch when its encoded frame reaches
+	// this size (default 64 KiB — large enough to amortize the round-trip,
+	// small enough to stay pooled by the transport).
+	MaxBytes int
+	// MaxLeaves flushes after this many coalesced publishes (default 512).
+	MaxLeaves int
+	// MaxAge bounds how long an entry may sit unflushed (default 1ms); the
+	// tail-latency knob for sparse publishers.
+	MaxAge time.Duration
+}
+
+func (cfg *BatchConfig) defaults() {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 10
+	}
+	if cfg.MaxLeaves <= 0 {
+		cfg.MaxLeaves = 512
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = time.Millisecond
+	}
+}
+
+// batchOverfill bounds how far past the flush thresholds the pending buffer
+// may grow while a flush is in flight before appends start failing —
+// the coalescer's equivalent of "async publish queue full".
+const batchOverfill = 4
+
+// batchRef remembers one coalesced publish alongside its encoded bytes, so
+// a failed flush can fall back to per-entry delivery or the spill buffer.
+// Exactly one of node (Publish) and enc (PublishEncoded) is set.
+type batchRef struct {
+	ns   Namespace
+	node *conduit.Node
+	enc  []byte
+}
+
+// tree materializes the publish as a node — the cold-path shape the
+// per-entry fallback and the spill buffer work in.
+func (r *batchRef) tree() *conduit.Node {
+	if r.node != nil {
+		return r.node
+	}
+	n, err := conduit.DecodeBinary(r.enc)
+	if err != nil {
+		// Unreachable: enc was validated before it entered the coalescer.
+		return conduit.NewNode()
+	}
+	return n
+}
+
+type coalescer struct {
+	c   *Client
+	cfg BatchConfig
+
+	mu      sync.Mutex
+	buf     []byte // pending batch frame (header + encoded entries)
+	refs    []batchRef
+	firstAt time.Time // append time of the oldest pending entry
+	pendErr error     // first flush failure since the last Flush
+	closed  bool
+
+	// sendMu serializes flushes: the buffer swap and the wire send happen
+	// under it, so batches depart in swap order while appends (under mu
+	// only) never block on the network.
+	sendMu    sync.Mutex
+	spareBuf  []byte // previous batch's buffer, recycled for the next swap
+	spareRefs []batchRef
+
+	kick     chan struct{}
+	ageTimer *time.Timer
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// EnableBatch switches the client's publishes into coalescing mode: they
+// are packed into soma.publish.batch frames flushed by size, count or age
+// (see BatchConfig). Composes with EnableAsync (the worker feeds the
+// coalescer) and EnableSpill (a failed batch spills entry-by-entry and
+// redelivers in batches). Against a server predating the batch RPC the
+// client falls back to per-entry publishes after the first flush.
+func (c *Client) EnableBatch(cfg BatchConfig) {
+	cfg.defaults()
+	co := &coalescer{
+		c:        c,
+		cfg:      cfg,
+		buf:      conduit.AppendBatchHeader(nil),
+		kick:     make(chan struct{}, 1),
+		ageTimer: time.NewTimer(cfg.MaxAge),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if !c.coal.CompareAndSwap(nil, co) {
+		return // already enabled
+	}
+	go co.run()
+}
+
+// append encodes one publish into the pending batch. Exactly one of n and
+// enc is set (enc is a pre-encoded tree frame, copied verbatim). When the
+// buffer has outgrown the overfill bound it applies backpressure: the
+// caller helps flush inline (serialized behind the flusher on sendMu) and
+// retries, so a publisher outrunning the wire slows to the wire's pace
+// instead of erroring — the synchronous-publish contract.
+func (co *coalescer) append(ns Namespace, n *conduit.Node, enc []byte) error {
+retry:
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		ref := batchRef{ns: ns, node: n, enc: enc}
+		return co.c.publishDirect(ns, ref.tree())
+	}
+	if len(co.refs) >= co.cfg.MaxLeaves*batchOverfill || len(co.buf) >= co.cfg.MaxBytes*batchOverfill {
+		co.mu.Unlock()
+		co.flush()
+		goto retry
+	}
+	if len(co.refs) == 0 {
+		co.firstAt = time.Now()
+		co.ageTimer.Reset(co.cfg.MaxAge)
+	}
+	if n != nil {
+		co.buf = conduit.AppendBatchEntry(co.buf, string(ns), n)
+	} else {
+		co.buf = conduit.AppendBatchEntryEncoded(co.buf, string(ns), enc)
+	}
+	co.refs = append(co.refs, batchRef{ns: ns, node: n, enc: enc})
+	full := len(co.refs) >= co.cfg.MaxLeaves || len(co.buf) >= co.cfg.MaxBytes
+	co.mu.Unlock()
+	if full {
+		select {
+		case co.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// run is the flusher goroutine: size/count kicks and the age timer both
+// land here; stop triggers a final drain.
+func (co *coalescer) run() {
+	defer close(co.done)
+	for {
+		select {
+		case <-co.stop:
+			co.flush()
+			return
+		case <-co.kick:
+			co.flush()
+		case <-co.ageTimer.C:
+			co.flush()
+		}
+	}
+}
+
+// flush ships the pending batch, if any. Safe to call from any goroutine;
+// sendMu keeps concurrent flushes ordered.
+func (co *coalescer) flush() {
+	co.sendMu.Lock()
+	defer co.sendMu.Unlock()
+	co.mu.Lock()
+	if len(co.refs) == 0 {
+		co.mu.Unlock()
+		return
+	}
+	buf, refs, firstAt := co.buf, co.refs, co.firstAt
+	co.buf = conduit.AppendBatchHeader(co.spareBuf[:0])
+	co.refs = co.spareRefs[:0]
+	co.mu.Unlock()
+
+	err := co.c.sendBatch(buf, refs)
+
+	// The transport is done with buf once sendBatch returns (Call and
+	// Notify copy into their own frame); recycle it for the next swap.
+	co.spareBuf = buf[:0]
+	co.spareRefs = refs[:0]
+	if err != nil {
+		co.mu.Lock()
+		if co.pendErr == nil {
+			co.pendErr = err
+		}
+		co.mu.Unlock()
+		co.c.reportAsyncError(err)
+		return
+	}
+	telBatchFlushes.Inc()
+	telBatchLeaves.Add(int64(len(refs)))
+	telBatchAck.ObserveSince(firstAt)
+}
+
+// flushNow drains the pending batch synchronously and returns the first
+// flush failure since the last call (Client.Flush's batch half).
+func (co *coalescer) flushNow() error {
+	co.flush()
+	co.mu.Lock()
+	err := co.pendErr
+	co.pendErr = nil
+	co.mu.Unlock()
+	return err
+}
+
+// shutdown stops accepting entries, flushes what is pending and reclaims
+// the flusher goroutine.
+func (co *coalescer) shutdown() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	co.mu.Unlock()
+	close(co.stop)
+	<-co.done
+	co.ageTimer.Stop()
+}
+
+// sendBatch delivers one encoded batch frame covering refs, degrading
+// exactly like the single-publish path: entries route behind a non-empty
+// spill buffer, transient transport failures spill entry-by-entry, and an
+// old server without the batch RPC latches the per-entry fallback.
+// Successful delivery counts every leaf in Published at acknowledgement.
+func (c *Client) sendBatch(frame []byte, refs []batchRef) error {
+	if sp := c.spill.Load(); sp != nil && sp.pending() > 0 {
+		if spillRefs(sp, refs) {
+			return nil
+		}
+	}
+	if c.noBatch.Load() {
+		return c.sendBatchFallback(refs)
+	}
+	err := c.sendBatchWire(frame, len(refs))
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, mercury.ErrUnknownRPC) {
+		// Older server: replay this batch entry-by-entry; future publishes
+		// bypass the coalescer entirely (see publishSync).
+		return c.sendBatchFallback(refs)
+	}
+	if sp := c.spill.Load(); sp != nil && mercury.IsTransient(err) {
+		if spillRefs(sp, refs) {
+			return nil
+		}
+	}
+	return err
+}
+
+// sendBatchWire performs the raw batch RPC with no degradation handling;
+// on success every covered leaf is counted at acknowledgement. Spill
+// redelivery uses it directly so a failed redelivery never re-spills.
+func (c *Client) sendBatchWire(frame []byte, leaves int) error {
+	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.publish.batch")
+	var err error
+	if c.fireAndForget.Load() {
+		err = c.ep.Notify(ctx, RPCPublishBatch, frame)
+	} else {
+		_, err = c.ep.Call(ctx, RPCPublishBatch, frame)
+	}
+	sp.End()
+	if err == nil {
+		c.published.Add(int64(leaves))
+		return nil
+	}
+	if errors.Is(err, mercury.ErrUnknownRPC) {
+		c.noBatch.Store(true)
+	}
+	return err
+}
+
+// sendBatchFallback replays a batch's entries through the per-entry wire
+// path, in order, returning the first failure (later entries still get
+// their delivery attempt, mirroring the async worker's semantics).
+func (c *Client) sendBatchFallback(refs []batchRef) error {
+	var first error
+	for _, r := range refs {
+		if err := c.publishDirect(r.ns, r.tree()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// spillRefs buffers a batch's entries into the spill buffer in order.
+// Reports false when the spill rejected an entry (shut down) — entries
+// already buffered stay buffered, the caller surfaces the original error.
+func spillRefs(sp *spillState, refs []batchRef) bool {
+	for _, r := range refs {
+		if !sp.add(r.ns, r.tree()) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// Publishes coalesced into batches must land on the server in publish order,
+// including across flush boundaries: with MaxLeaves=4 a run of 50 publishes
+// spans many batch frames, and the merged history must still be monotonic.
+func TestBatchOrderingAcrossFlushBoundaries(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 4, MaxAge: time.Hour}) // only count flushes
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		n := conduit.NewNode()
+		n.SetInt("order/seq", int64(i))
+		if err := c.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := c.Published(); got != total {
+		t.Fatalf("Published() = %d, want %d", got, total)
+	}
+
+	// Last writer wins in the merged tree.
+	tree, err := svc.Query(NSWorkflow, "order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Int("seq"); !ok || v != total-1 {
+		t.Fatalf("merged seq = %d (%v), want %d", v, ok, total-1)
+	}
+	// And the raw history preserves publish order across every flush boundary.
+	hist, err := svc.History(NSWorkflow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != total {
+		t.Fatalf("history has %d records, want %d", len(hist), total)
+	}
+	for i, rec := range hist {
+		if v, ok := rec.Int("order/seq"); !ok || v != int64(i) {
+			t.Fatalf("history[%d] seq = %d (%v), want %d", i, v, ok, i)
+		}
+	}
+}
+
+// One batch frame may interleave several namespaces; the server's run
+// grouping must route every entry to its own instance.
+func TestBatchMixedNamespaces(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 512, MaxAge: time.Hour})
+
+	namespaces := []Namespace{NSHardware, NSWorkflow, NSHardware, NSApplication, NSWorkflow}
+	for i, ns := range namespaces {
+		n := conduit.NewNode()
+		n.SetInt(fmt.Sprintf("mixed/e%d", i), int64(i*10))
+		if err := c.Publish(ns, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i, ns := range namespaces {
+		tree, err := svc.Query(ns, "mixed")
+		if err != nil {
+			t.Fatalf("query %s: %v", ns, err)
+		}
+		if v, ok := tree.Int(fmt.Sprintf("e%d", i)); !ok || v != int64(i*10) {
+			t.Fatalf("%s mixed/e%d = %d (%v), want %d", ns, i, v, ok, i*10)
+		}
+	}
+	// All five entries ride batch frames, each acknowledged exactly once.
+	if got := c.Published(); got != int64(len(namespaces)) {
+		t.Fatalf("Published() = %d, want %d", got, len(namespaces))
+	}
+}
+
+// A batch containing an unknown namespace must be rejected atomically:
+// nothing lands, nothing is counted as published.
+func TestBatchUnknownNamespaceRejectedAtomically(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 512, MaxAge: time.Hour})
+
+	good := conduit.NewNode()
+	good.SetInt("atomic/ok", 1)
+	if err := c.Publish(NSWorkflow, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := conduit.NewNode()
+	bad.SetInt("atomic/bad", 2)
+	if err := c.Publish(Namespace("bogus"), bad); err != nil {
+		t.Fatal(err) // coalesced: the rejection surfaces at flush
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush of a batch with a bogus namespace reported success")
+	}
+	if hist, err := svc.History(NSWorkflow, 0); err != nil || len(hist) != 0 {
+		t.Fatalf("atomically-rejected batch leaked %d records into the service (err=%v)", len(hist), err)
+	}
+	if got := c.Published(); got != 0 {
+		t.Fatalf("Published() = %d after a rejected batch, want 0", got)
+	}
+}
+
+// Published must count at send-acknowledgement, exactly once per leaf, when
+// async submission feeds the coalescer.
+func TestPublishedCountsAtAckWithAsyncAndBatch(t *testing.T) {
+	_, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableAsync(256)
+	c.EnableBatch(BatchConfig{MaxLeaves: 16, MaxAge: time.Millisecond})
+
+	const total = 100
+	for i := 0; i < total; i++ {
+		n := conduit.NewNode()
+		n.SetInt("ack/count", int64(i))
+		if err := c.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := c.Published(); got != total {
+		t.Fatalf("Published() = %d after flush, want exactly %d", got, total)
+	}
+}
+
+// Against a server that predates soma.publish.batch the client must latch
+// the per-entry fallback after the first flush — data still lands, every
+// publish is acknowledged and counted once.
+func TestBatchFallbackAgainstOldServer(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	svc.Engine().Deregister(RPCPublishBatch) // simulate a pre-batch server
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 8, MaxAge: time.Hour})
+
+	const total = 20
+	for i := 0; i < total; i++ {
+		n := conduit.NewNode()
+		n.SetInt("fallback/seq", int64(i))
+		if err := c.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if !c.noBatch.Load() {
+		t.Fatal("client did not latch the no-batch fallback against an old server")
+	}
+	if got := c.Published(); got != total {
+		t.Fatalf("Published() = %d, want %d", got, total)
+	}
+	hist, err := svc.History(NSWorkflow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != total {
+		t.Fatalf("old server received %d publishes, want %d", len(hist), total)
+	}
+	for i, rec := range hist {
+		if v, ok := rec.Int("fallback/seq"); !ok || v != int64(i) {
+			t.Fatalf("history[%d] seq = %d (%v), want %d", i, v, ok, i)
+		}
+	}
+	// Latched: later publishes bypass the coalescer entirely.
+	n := conduit.NewNode()
+	n.SetInt("fallback/late", 1)
+	if err := c.Publish(NSWorkflow, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Published(); got != total+1 {
+		t.Fatalf("Published() = %d after latched publish, want %d", got, total+1)
+	}
+}
+
+// A batching + spilling client must ride out a service restart with zero
+// loss: entries buffered during the outage redeliver (in batch frames) in
+// order once the service is back, and Published converges on the exact
+// publish count.
+func TestSpillDrainsThroughBatchRedelivery(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 8, MaxAge: time.Millisecond})
+	c.EnableSpill(256)
+
+	pub := func(i int) {
+		n := conduit.NewNode()
+		n.SetInt("restart/seq", int64(i))
+		if err := c.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	const before, during = 10, 30
+	for i := 0; i < before; i++ {
+		pub(i)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush before outage: %v", err)
+	}
+
+	svc.Close()
+	for i := before; i < before+during; i++ {
+		pub(i)
+	}
+	// Outage publishes flush into transient failures and spill per entry.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Spill().Buffered < during {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d outage publishes spilled", c.Spill().Buffered, during)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.Degraded() {
+		t.Fatal("client not degraded during outage")
+	}
+
+	svc2 := NewService(ServiceConfig{})
+	if _, err := svc2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer svc2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := c.DrainSpill(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := c.Spill()
+	if st.Redelivered != during || st.Dropped != 0 {
+		t.Fatalf("spill stats after drain = %+v, want %d redelivered / 0 dropped", st, during)
+	}
+	if got := c.Published(); got != before+during {
+		t.Fatalf("Published() = %d, want %d (zero loss, exactly-once counting)", got, before+during)
+	}
+	// The restarted service received every outage publish, in order.
+	hist, err := svc2.History(NSWorkflow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != during {
+		t.Fatalf("restarted service has %d records, want %d", len(hist), during)
+	}
+	for i, rec := range hist {
+		if v, ok := rec.Int("restart/seq"); !ok || v != int64(before+i) {
+			t.Fatalf("history[%d] seq = %d (%v), want %d", i, v, ok, before+i)
+		}
+	}
+}
+
+// With rollups disabled and no subscribers the server takes the decode-free
+// ingest path: batch entries are validated and stored as wire bytes, folded
+// straight into snapshots, and only decoded lazily for History. Results must
+// be indistinguishable from the materializing path.
+func TestBatchRawIngestPath(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{DisableRollups: true})
+	if svc.treesNeeded() {
+		t.Fatal("rollups disabled with no subscribers should select the raw ingest path")
+	}
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 512, MaxAge: time.Hour})
+
+	// Overlapping paths across publishes exercise the wire-merge fold: the
+	// second write must overwrite the scalar, and sibling leaves must
+	// accumulate, exactly as tree Merge would.
+	const total = 40
+	for i := 0; i < total; i++ {
+		n := conduit.NewNode()
+		n.SetInt("raw/seq", int64(i))
+		n.SetFloat(fmt.Sprintf("raw/load/cn%02d", i%8), float64(i))
+		n.SetString("raw/state", "ok")
+		n.SetIntArray("raw/hist", []int64{int64(i), int64(i + 1)})
+		if err := c.Publish(NSHardware, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := c.Published(); got != total {
+		t.Fatalf("Published() = %d, want %d", got, total)
+	}
+
+	// Query folds the raw records into the snapshot without materializing.
+	tree, err := svc.Query(NSHardware, "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Int("seq"); !ok || v != total-1 {
+		t.Fatalf("merged seq = %d (%v), want %d", v, ok, total-1)
+	}
+	for h := 0; h < 8; h++ {
+		want := float64(total - 8 + h)
+		if v, ok := tree.Float(fmt.Sprintf("load/cn%02d", (total-8+h)%8)); !ok || v != want {
+			t.Fatalf("load/cn%02d = %v (%v), want %v", (total-8+h)%8, v, ok, want)
+		}
+	}
+	if s, ok := tree.StringVal("state"); !ok || s != "ok" {
+		t.Fatalf("state = %q (%v), want ok", s, ok)
+	}
+
+	// History decodes the stored wire bytes lazily, preserving order.
+	hist, err := svc.History(NSHardware, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != total {
+		t.Fatalf("history has %d records, want %d", len(hist), total)
+	}
+	for i, rec := range hist {
+		if v, ok := rec.Int("raw/seq"); !ok || v != int64(i) {
+			t.Fatalf("history[%d] seq = %d (%v), want %d", i, v, ok, i)
+		}
+		if ia, ok := rec.IntArray("raw/hist"); !ok || len(ia) != 2 || ia[0] != int64(i) {
+			t.Fatalf("history[%d] hist = %v (%v)", i, ia, ok)
+		}
+	}
+
+	// Stats accounting runs on the raw path too.
+	for _, st := range svc.Stats() {
+		if st.Namespace != NSHardware {
+			continue
+		}
+		if st.Publishes != total {
+			t.Fatalf("stats publishes = %d, want %d", st.Publishes, total)
+		}
+		if st.BytesIn == 0 {
+			t.Fatal("stats bytes_in = 0 on the raw path")
+		}
+	}
+}
+
+// The raw ingest path must reject a batch atomically on validation failure:
+// an unknown namespace or a structurally corrupt entry anywhere in the frame
+// means no entry lands.
+func TestBatchRawIngestRejectsAtomically(t *testing.T) {
+	svc, _ := newTestService(t, ServiceConfig{DisableRollups: true})
+
+	good := conduit.NewNode()
+	good.SetInt("atomic/ok", 1)
+
+	// Unknown namespace after a valid entry.
+	frame := conduit.AppendBatchHeader(nil)
+	frame = conduit.AppendBatchEntry(frame, string(NSWorkflow), good)
+	frame = conduit.AppendBatchEntry(frame, "bogus", good)
+	if err := svc.publishBatchFrame(context.Background(), frame); err == nil {
+		t.Fatal("batch with unknown namespace accepted on the raw path")
+	}
+
+	// Structurally corrupt tree bytes after a valid entry: flip the root kind
+	// byte of the second entry's tree to an unknown kind.
+	frame = conduit.AppendBatchHeader(nil)
+	frame = conduit.AppendBatchEntry(frame, string(NSWorkflow), good)
+	mark := len(frame)
+	frame = conduit.AppendBatchEntry(frame, string(NSWorkflow), good)
+	// Entry layout: uvarint nsLen, ns, u32 treeLen, 4-byte tree magic, kind.
+	kindOff := mark + 1 + len(NSWorkflow) + 4 + 4
+	frame[kindOff] = 0xEE
+	if err := svc.publishBatchFrame(context.Background(), frame); err == nil {
+		t.Fatal("batch with corrupt tree bytes accepted on the raw path")
+	}
+
+	if hist, err := svc.History(NSWorkflow, 0); err != nil || len(hist) != 0 {
+		t.Fatalf("rejected raw batch leaked %d records (err=%v)", len(hist), err)
+	}
+}

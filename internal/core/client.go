@@ -31,6 +31,13 @@ type Client struct {
 	// spill.go.
 	spill atomic.Pointer[spillState]
 
+	// coal is the publish coalescer (nil until EnableBatch); see batch.go.
+	coal atomic.Pointer[coalescer]
+	// noBatch latches when the service reports soma.publish.batch as
+	// unknown (an older server); publishes then bypass the coalescer and go
+	// per-entry, mirroring the noDelta latch below.
+	noBatch atomic.Bool
+
 	mu    sync.Mutex
 	async chan publishReq
 	wg    sync.WaitGroup
@@ -43,6 +50,15 @@ type Client struct {
 
 	// published counts successful publishes.
 	published atomic.Int64
+
+	// encSeen memoizes frames PublishEncoded has already validated, keyed
+	// by first-byte pointer → frame length. A cached-payload publisher
+	// re-sends the same immutable slices millions of times; validating
+	// each slice once instead of per call takes ValidateBinary off the
+	// hot path. Sound because the PublishEncoded contract forbids mutating
+	// enc after the call. Bounded: reset wholesale past encSeenMax entries.
+	encMu   sync.Mutex
+	encSeen map[*byte]int
 
 	// delta is the per-endpoint generation memo behind QueryDelta: the last
 	// full response per (ns, path) with the (epoch, gen) stamp the service
@@ -172,23 +188,35 @@ func (c *Client) Publish(ns Namespace, n *conduit.Node) error {
 	return c.publishSync(ns, n)
 }
 
-// Flush blocks until every publish enqueued before the call has been sent,
-// and returns the first error those publishes hit (e.g. ErrServiceStopped
-// when the service shut down while they were queued) — a silent drain would
-// let a monitor's final batch vanish unnoticed. A no-op in synchronous
-// mode. Callers that queried data right after a final async publish would
+// Flush blocks until every publish enqueued before the call has been sent
+// — draining the async queue and then the batch coalescer — and returns the
+// first error those publishes hit (e.g. ErrServiceStopped when the service
+// shut down while they were queued) — a silent drain would let a monitor's
+// final batch vanish unnoticed. A no-op in synchronous unbatched mode.
+// Callers that queried data right after a final async publish would
 // otherwise race the background sender — e.g. a monitor's shutdown
 // collection followed by analysis over the same client.
 func (c *Client) Flush() error {
 	c.mu.Lock()
 	async := c.async
 	c.mu.Unlock()
-	if async == nil {
-		return nil
+	var asyncErr error
+	if async != nil {
+		done := make(chan error, 1)
+		async <- publishReq{flushed: done}
+		asyncErr = <-done
 	}
-	done := make(chan error, 1)
-	async <- publishReq{flushed: done}
-	return <-done
+	// Drain the coalescer second: the async worker feeds it, so every
+	// publish enqueued before this call is now in the batch buffer (or
+	// already on the wire) and the synchronous flush covers it.
+	var batchErr error
+	if co := c.coal.Load(); co != nil {
+		batchErr = co.flushNow()
+	}
+	if asyncErr != nil {
+		return asyncErr
+	}
+	return batchErr
 }
 
 // EnableFireAndForget switches Publish to one-way notifications: the client
@@ -200,10 +228,74 @@ func (c *Client) EnableFireAndForget() {
 	c.fireAndForget.Store(true)
 }
 
-// publishSync sends one publish, degrading into the spill buffer (when
-// enabled) on transient transport failures — and routing behind any entries
-// already buffered, so redelivery preserves publish order.
+// publishSync sends one publish: through the coalescer when batching is
+// enabled (and the server speaks the batch RPC), otherwise directly.
 func (c *Client) publishSync(ns Namespace, n *conduit.Node) error {
+	if co := c.coal.Load(); co != nil && !c.noBatch.Load() {
+		return co.append(ns, n, nil)
+	}
+	return c.publishDirect(ns, n)
+}
+
+// PublishEncoded sends a pre-encoded tree (Node.EncodeBinary output). A
+// high-rate publisher whose tree shape is fixed encodes once and republishes
+// the cached bytes, skipping the per-publish encode walk — and, because
+// cached frames are flat byte slices, keeping the publisher's working set
+// free of pointer-rich trees the garbage collector would have to trace.
+// The frame is validated up front; the coalescer retains enc by reference
+// until the batch is acknowledged, so the caller must not mutate it.
+// Without batching enabled (or against a server predating the batch RPC)
+// the frame is decoded and follows the ordinary per-entry path.
+func (c *Client) PublishEncoded(ns Namespace, enc []byte) error {
+	if err := c.validateEncoded(enc); err != nil {
+		return err
+	}
+	if co := c.coal.Load(); co != nil && !c.noBatch.Load() {
+		return co.append(ns, nil, enc)
+	}
+	n, err := conduit.DecodeBinary(enc)
+	if err != nil {
+		return err
+	}
+	return c.publishDirect(ns, n)
+}
+
+// encSeenMax bounds the validated-frame memo; past it the memo is dropped
+// wholesale (entries also pin their frames, so the bound caps retained
+// payload bytes too).
+const encSeenMax = 1 << 17
+
+// validateEncoded checks a PublishEncoded frame, consulting the memo of
+// slices this client has already validated so repeat sends of a cached
+// payload skip the wire-format walk.
+func (c *Client) validateEncoded(enc []byte) error {
+	if len(enc) == 0 {
+		return conduit.ValidateBinary(enc)
+	}
+	k := &enc[0]
+	c.encMu.Lock()
+	n, ok := c.encSeen[k]
+	c.encMu.Unlock()
+	if ok && n == len(enc) {
+		return nil
+	}
+	if err := conduit.ValidateBinary(enc); err != nil {
+		return err
+	}
+	c.encMu.Lock()
+	if c.encSeen == nil || len(c.encSeen) >= encSeenMax {
+		c.encSeen = make(map[*byte]int)
+	}
+	c.encSeen[k] = len(enc)
+	c.encMu.Unlock()
+	return nil
+}
+
+// publishDirect sends one per-entry publish, degrading into the spill
+// buffer (when enabled) on transient transport failures — and routing
+// behind any entries already buffered, so redelivery preserves publish
+// order.
+func (c *Client) publishDirect(ns Namespace, n *conduit.Node) error {
 	if sp := c.spill.Load(); sp != nil && sp.pending() > 0 {
 		if sp.add(ns, n) {
 			return nil
@@ -264,7 +356,12 @@ func (c *Client) sendPublish(ns Namespace, n *conduit.Node) error {
 	return err
 }
 
-// Published returns the number of successful publishes.
+// Published returns the number of acknowledged publishes. Leaves are
+// counted at send-acknowledgement, not at enqueue: an async or batched
+// publish only counts once the service's ack (or the one-way send, in
+// fire-and-forget mode) confirms it left, and a spilled entry counts
+// exactly once, at successful redelivery. After Flush (and DrainSpill, when
+// spill is enabled) the count equals the publishes the service accepted.
 func (c *Client) Published() int64 {
 	return c.published.Load()
 }
@@ -504,6 +601,11 @@ func (c *Client) Close() error {
 	if async != nil {
 		close(async)
 		c.wg.Wait()
+	}
+	// Stop the coalescer (final flush) before tearing the endpoint down so
+	// buffered entries get their delivery attempt.
+	if co := c.coal.Load(); co != nil {
+		co.shutdown()
 	}
 	if sp := c.spill.Load(); sp != nil {
 		sp.shutdown()

@@ -186,3 +186,57 @@ func BenchmarkSelectSnapshot(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPublishBatch measures the coalesced publish path end to end: a
+// client with EnableBatch pushing single-leaf trees through the inproc RPC
+// into the service's batch ingest. One op is one logical publish, so
+// 1e9/ns_per_op is the sustained publishes/sec a single connection carries —
+// the number scripts/benchdiff.sh gates against min_batch_publishes_per_sec.
+func BenchmarkPublishBatch(b *testing.B) {
+	// High-rate ingest configuration: a short history ring keeps the live
+	// heap (retained decoded trees) small so GC scan cost doesn't grow with
+	// the run, and rollups are off — the load harness's default shape.
+	svc := NewService(ServiceConfig{MaxRecords: 4096, DisableRollups: true})
+	addr, err := svc.Listen("inproc://bench-publish-batch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	c, err := Connect(addr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{})
+
+	// A window of pre-built single-leaf payloads (the per-interval sample a
+	// fleet of small publishers would send), reused so the benchmark times
+	// the publish pipeline, not payload construction.
+	nodes := make([]*conduit.Node, benchWindow)
+	for i := range nodes {
+		n := conduit.NewNode()
+		n.SetFloat(fmt.Sprintf("LOAD/cn%04d/load", i), float64(i))
+		nodes[i] = n
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Publish(NSHardware, nodes[i%benchWindow]); err != nil {
+			b.Fatal(err)
+		}
+		// Fold pending records periodically, as a live deployment's monitor
+		// queries would: steady-state throughput includes merge cost and
+		// keeps the pending list (and so GC scan work) bounded.
+		if i%4096 == 4095 {
+			if _, err := svc.Query(NSHardware, "LOAD/cn0000"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if got := c.Published(); got != int64(b.N) {
+		b.Fatalf("Published() = %d, want %d", got, b.N)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -26,6 +27,10 @@ var (
 	telQueryLatency   = telemetry.Default().Histogram("core.query.latency")
 	telRebuildLatency = telemetry.Default().Histogram("core.snapshot.rebuild.latency")
 	telPublishes      = telemetry.Default().Counter("core.publishes")
+	// Batch ingest accounting: one frame / one latency observation per batch,
+	// while telPublishes still counts every leaf publish inside it.
+	telBatchLatency = telemetry.Default().Histogram("core.publish.batch.latency")
+	telBatchFrames  = telemetry.Default().Counter("core.publish.batch.frames")
 
 	// Query fast-path accounting: encoded-frame cache hits/misses across
 	// query, select and stats serving, delta polls answered "unchanged", and
@@ -109,11 +114,32 @@ type InstanceStats struct {
 
 // record is one raw publish as stored in a stripe's history ring. seq gives
 // the global arrival order within the instance (ring entries from different
-// stripes are re-interleaved by seq when history is read).
+// stripes are re-interleaved by seq when history is read). Exactly one of
+// node and enc is set: the raw batch ingest path stores the entry's
+// validated wire bytes (subslices of one shared frame copy) instead of a
+// materialized tree, deferring decode to the fold or a history read —
+// thousands of pending single-leaf publishes then cost the garbage
+// collector a handful of flat byte buffers instead of a map-and-string
+// forest.
 type record struct {
 	time float64
 	seq  uint64
 	node *conduit.Node
+	enc  []byte
+}
+
+// tree returns the record's publish tree, decoding lazily on the raw path.
+// enc was ValidateBinary'd at ingest, so decode failure is impossible; a
+// zero record decodes to nil.
+func (r *record) tree() *conduit.Node {
+	if r.node != nil || r.enc == nil {
+		return r.node
+	}
+	n, err := conduit.DecodeBinary(r.enc)
+	if err != nil {
+		return conduit.NewNode() // unreachable: enc is pre-validated
+	}
+	return n
 }
 
 // stripe is one lock-striped shard of an instance: a publish appends here in
@@ -232,6 +258,10 @@ type instance struct {
 	// rebuildMu serializes snapshot rebuilds and resets; publishes never
 	// take it.
 	rebuildMu sync.Mutex
+	// foldScratch is the previous rebuild's drained-record buffer, recycled
+	// (under rebuildMu) so steady-state rebuilds stop allocating fold
+	// batches; see currentSnapshot.
+	foldScratch []record
 
 	// rollup holds the instance's windowed time-series buckets (see
 	// series.go); nil when rollups are disabled.
@@ -250,6 +280,61 @@ func newInstance(ns Namespace, ranks, maxRecords, stripes int) *instance {
 	in.epoch.Store(newEpoch())
 	in.snap.Store(&snapshot{epoch: in.epoch.Load(), tree: conduit.NewNode()})
 	return in
+}
+
+// publishBatch appends a run of same-namespace publishes under a SINGLE
+// stripe-lock acquisition — the server half of wire batching. Sequence
+// numbers are taken inside the lock so the run occupies a contiguous seq
+// range and later merges preserve the batch's internal order; the
+// generation bumps once, after every record is visible, so a snapshot
+// stamped with the new gen contains the whole run.
+func (in *instance) publishBatch(now float64, entries []conduit.BatchEntry, rawBytes int) {
+	if len(entries) == 0 {
+		return
+	}
+	st := in.stripes[int(in.rr.Add(1))%len(in.stripes)]
+	st.mu.Lock()
+	for k := range entries {
+		rec := record{time: now, seq: in.seq.Add(1), node: entries[k].Tree}
+		st.pending = append(st.pending, rec)
+		st.history[st.head] = rec
+		st.head = (st.head + 1) % len(st.history)
+		if st.count < len(st.history) {
+			st.count++
+		}
+	}
+	st.pubs += int64(len(entries))
+	st.bytesIn += int64(rawBytes)
+	st.last = now
+	st.mu.Unlock()
+	in.gen.Add(uint64(len(entries)))
+}
+
+// publishBatchRaw is publishBatch for pre-validated wire entries: records
+// carry the encoded bytes (subslices of one retained frame copy) and no
+// tree is built at all — the fold and history reads decode lazily. This is
+// the 1M-publishes/sec ingest shape: per entry it costs two ring stores and
+// a seq bump under one stripe lock held once for the whole run.
+func (in *instance) publishBatchRaw(now float64, encs [][]byte, rawBytes int) {
+	if len(encs) == 0 {
+		return
+	}
+	st := in.stripes[int(in.rr.Add(1))%len(in.stripes)]
+	st.mu.Lock()
+	for _, enc := range encs {
+		rec := record{time: now, seq: in.seq.Add(1), enc: enc}
+		st.pending = append(st.pending, rec)
+		st.history[st.head] = rec
+		st.head = (st.head + 1) % len(st.history)
+		if st.count < len(st.history) {
+			st.count++
+		}
+	}
+	st.pubs += int64(len(encs))
+	st.bytesIn += int64(rawBytes)
+	st.last = now
+	st.mu.Unlock()
+	in.gen.Add(uint64(len(encs)))
 }
 
 // publish is the O(1) ingest hot path: pick a stripe, append to its pending
@@ -301,20 +386,48 @@ func (in *instance) currentSnapshot() *snapshot {
 	}
 	rebuildStart := time.Now()
 	defer telRebuildLatency.ObserveSince(rebuildStart)
-	var pend []record
+	// At sustained batch-ingest rates a rebuild drains hundreds of
+	// thousands of records, so the drain avoids per-record work wherever it
+	// can: the first dirty stripe's pending slice is stolen wholesale (a
+	// swap, no copy — with one hot stripe, the single-core and single-
+	// publisher shapes, that is the entire drain), later stripes append-
+	// copy, and the drained buffer is recycled through foldScratch for the
+	// next rebuild. Vacated slices keep their capacity unless a spike grew
+	// them past pendingKeepCap. Stale records past a recycled slice's
+	// length pin their batch frames until overwritten — a window bounded by
+	// one rebuild interval, far cheaper than memclr'ing tens of megabytes
+	// of drained records on every rebuild.
+	scratch := in.foldScratch[:0]
+	in.foldScratch = nil
+	pend := scratch
 	dirty := 0
 	for _, st := range in.stripes {
 		st.mu.Lock()
-		if len(st.pending) > 0 {
-			dirty++
+		if len(st.pending) == 0 {
+			st.mu.Unlock()
+			continue
+		}
+		dirty++
+		if dirty == 1 {
+			pend, st.pending = st.pending, scratch
+		} else {
 			pend = append(pend, st.pending...)
-			st.pending = nil
+			if cap(st.pending) > pendingKeepCap {
+				st.pending = nil
+			} else {
+				st.pending = st.pending[:0]
+			}
 		}
 		st.mu.Unlock()
 	}
-	// Merge in global arrival order so last-writer-wins semantics on
-	// colliding leaf paths match the pre-sharded single-lock behaviour.
-	sort.Slice(pend, func(i, j int) bool { return pend[i].seq < pend[j].seq })
+	if dirty > 1 {
+		// Merge in global arrival order so last-writer-wins semantics on
+		// colliding leaf paths match the pre-sharded single-lock behaviour.
+		// One stripe's records are already seq-ordered — appended under the
+		// stripe lock with a monotonic stamp — so a single-stripe drain
+		// skips the sort.
+		sort.Slice(pend, func(i, j int) bool { return pend[i].seq < pend[j].seq })
+	}
 	// Fold the batch into one small delta first, then graft it onto the
 	// snapshot with a single copy-on-write pass: the snapshot's wide
 	// fan-out nodes are copied once per rebuild, not once per publish.
@@ -322,8 +435,21 @@ func (in *instance) currentSnapshot() *snapshot {
 	tree := conduit.MergeCOW(s.tree, batch)
 	next := &snapshot{epoch: in.epoch.Load(), gen: g, tree: tree}
 	in.snap.Store(next)
+	if cap(pend) <= pendingKeepCap {
+		in.foldScratch = pend[:0]
+	}
 	return next
 }
+
+// pendingKeepCap bounds the record capacity a stripe's pending slice (and
+// the rebuild's drain buffer) may retain between rebuilds: large enough
+// that a full second of million-publish/sec ingest between query folds
+// recycles without reallocating (past the cap every rebuild regrows the
+// slice from zero — repeated doubling, large-alloc zeroing, and copy were
+// a fifth of the profile), small enough (records are 56 bytes, so the cap
+// is ~120MB) that an idle instance isn't sitting on an unbounded spike's
+// memory forever.
+const pendingKeepCap = 1 << 21
 
 // Parallel-merge thresholds: a rebuild folds its drained batch with a
 // bounded worker pool only when more than mergeParallelStripes stripes
@@ -344,11 +470,21 @@ const (
 // sequential fold (chunked folding can differ from a strictly record-by-
 // record merge only where a path flips between leaf and object across the
 // batch, the same caveat batch folding itself already carries).
+//
+// The accumulator is a plain mutable tree fed by Merge (which copies record
+// subtrees, never aliases them), not a MergeCOW overlay chain: the batch
+// tree is private until it is grafted onto the snapshot, so per-record CoW
+// bookkeeping is pure overhead — and at high-rate single-leaf ingest the
+// overlay chains it builds made folding a drained batch quadratic.
 func foldRecords(pend []record, dirty int) *conduit.Node {
 	if dirty <= mergeParallelStripes || len(pend) < mergeParallelMinRecords {
-		var batch *conduit.Node
+		if len(pend) == 0 {
+			return nil
+		}
+		batch := conduit.NewNode()
+		var mc conduit.MergeCache
 		for _, r := range pend {
-			batch = conduit.MergeCOW(batch, r.node)
+			foldRecord(batch, &r, &mc)
 		}
 		return batch
 	}
@@ -374,9 +510,10 @@ func foldRecords(pend []record, dirty int) *conduit.Node {
 		wg.Add(1)
 		go func(w int, recs []record) {
 			defer wg.Done()
-			var part *conduit.Node
+			part := conduit.NewNode()
+			var mc conduit.MergeCache
 			for _, r := range recs {
-				part = conduit.MergeCOW(part, r.node)
+				foldRecord(part, &r, &mc)
 			}
 			partials[w] = part
 		}(w, pend[lo:hi])
@@ -384,9 +521,28 @@ func foldRecords(pend []record, dirty int) *conduit.Node {
 	wg.Wait()
 	var batch *conduit.Node
 	for _, part := range partials {
-		batch = conduit.MergeCOW(batch, part)
+		if batch == nil {
+			batch = part // partials are private; the first seeds the accumulator
+			continue
+		}
+		batch.Merge(part)
 	}
 	return batch
+}
+
+// foldRecord merges one pending record into the private fold accumulator:
+// decoded records through Merge, raw records straight from their wire bytes
+// with no intermediate tree. The merge cache memoizes shared ancestor paths
+// across consecutive raw records; a Merge mutates the accumulator behind
+// the cache's back, so it resets the memo.
+func foldRecord(batch *conduit.Node, r *record, mc *conduit.MergeCache) {
+	if r.enc != nil {
+		// enc was validated at ingest; an error here is unreachable.
+		_ = conduit.MergeBinaryIntoCached(batch, r.enc, mc)
+		return
+	}
+	mc.Reset()
+	batch.Merge(r.node)
 }
 
 // query returns the merged subtree at path. The result is part of the
@@ -502,7 +658,7 @@ func (in *instance) historySince(after float64) ([]*conduit.Node, []float64) {
 	nodes := make([]*conduit.Node, len(recs))
 	times := make([]float64, len(recs))
 	for i, r := range recs {
-		nodes[i] = r.node
+		nodes[i] = r.tree()
 		times[i] = r.time
 	}
 	return nodes, times
@@ -573,13 +729,18 @@ type statsCache struct {
 
 // RPC handler names the service registers.
 const (
-	RPCPublish   = "soma.publish"
-	RPCQuery     = "soma.query"
-	RPCStats     = "soma.stats"
-	RPCShutdown  = "soma.shutdown"
-	RPCReset     = "soma.reset"
-	RPCSelect    = "soma.select"
-	RPCTelemetry = "soma.telemetry"
+	RPCPublish = "soma.publish"
+	// RPCPublishBatch carries many (namespace, tree) publishes in one
+	// conduit batch frame (see conduit.DecodeBatch); the service applies
+	// them in wire order with one stripe-lock acquisition and one
+	// rollup/alert pass per consecutive same-namespace run.
+	RPCPublishBatch = "soma.publish.batch"
+	RPCQuery        = "soma.query"
+	RPCStats        = "soma.stats"
+	RPCShutdown     = "soma.shutdown"
+	RPCReset        = "soma.reset"
+	RPCSelect       = "soma.select"
+	RPCTelemetry    = "soma.telemetry"
 	// RPCQueryDelta is the generation-aware query: the request carries the
 	// client's last-seen (epoch, gen) stamp and the service answers with a
 	// tiny {epoch, gen, unchanged: true} frame when the stamp still matches,
@@ -636,6 +797,7 @@ func NewService(cfg ServiceConfig) *Service {
 	s.alerts = newAlertEngine(s.publishAlertStream)
 	zmq.NewServer(s.engine).AttachBus(UpdatesBusName, s.bus)
 	s.engine.Register(RPCPublish, s.handlePublish)
+	s.engine.Register(RPCPublishBatch, s.handlePublishBatch)
 	s.engine.Register(RPCQuery, s.handleQuery)
 	s.engine.Register(RPCQueryDelta, s.handleQueryDelta)
 	s.engine.Register(RPCStats, s.handleStats)
@@ -745,6 +907,82 @@ func (s *Service) PublishCtx(ctx context.Context, ns Namespace, n *conduit.Node,
 		}
 	}
 	s.fanOut(now, ns, n)
+	return nil
+}
+
+// PublishBatch ingests a decoded batch of publishes in wire order; see
+// PublishBatchCtx.
+func (s *Service) PublishBatch(entries []conduit.BatchEntry, rawBytes int) error {
+	return s.PublishBatchCtx(context.Background(), entries, rawBytes)
+}
+
+// PublishBatchCtx applies one wire batch. Entries land in wire order, but
+// the per-publish work is amortized per consecutive same-namespace run: one
+// stripe-lock acquisition, one generation bump, and one rollup/alert pass
+// per run instead of per leaf. Every entry's namespace is validated before
+// any is applied, so a batch is ingested atomically or rejected whole —
+// a half-applied batch would leave the client's Published() accounting
+// unreconcilable. Trees are retained by reference, exactly like Publish.
+func (s *Service) PublishBatchCtx(ctx context.Context, entries []conduit.BatchEntry, rawBytes int) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	for i := range entries {
+		ns := Namespace(entries[i].NS)
+		if _, ok := s.instances[ns]; !ok {
+			return &ErrUnknownNamespace{NS: ns}
+		}
+	}
+	now := s.cfg.Clock.Now()
+	start := time.Now()
+	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append.batch", start)
+	// Wire size is split evenly across entries for per-instance accounting;
+	// the remainder is charged to the first run.
+	perEntry := rawBytes / len(entries)
+	extra := rawBytes - perEntry*len(entries)
+	for i := 0; i < len(entries); {
+		j := i + 1
+		for j < len(entries) && entries[j].NS == entries[i].NS {
+			j++
+		}
+		run := entries[i:j]
+		ns := Namespace(run[0].NS)
+		in := s.instances[ns]
+		in.publishBatch(now, run, perEntry*len(run)+extra)
+		extra = 0
+		// Stream side, once per run: fold every tree into the rollup
+		// buckets, then re-judge alert rules over the union of touched
+		// series keys in a single evaluation pass.
+		if in.rollup != nil {
+			var keys []string
+			var maxT float64
+			collect := s.alerts.active()
+			for _, e := range run {
+				ks, mt := in.rollup.ingest(now, e.Tree, collect)
+				keys = append(keys, ks...)
+				if mt > maxT {
+					maxT = mt
+				}
+			}
+			if len(keys) > 0 {
+				s.alerts.evaluate(ns, in.rollup, keys, maxT)
+			}
+		}
+		if s.bus != nil && s.bus.Subscribers() > 0 {
+			for _, e := range run {
+				s.fanOut(now, ns, e.Tree)
+			}
+		}
+		i = j
+	}
+	end := time.Now()
+	telBatchLatency.Observe(end.Sub(start))
+	telBatchFrames.Inc()
+	telPublishes.Add(int64(len(entries)))
+	sp.EndAt(end)
 	return nil
 }
 
@@ -937,6 +1175,110 @@ func (s *Service) handlePublish(ctx context.Context, payload []byte) ([]byte, er
 		return nil, err
 	}
 	return okFrame, nil
+}
+
+// handlePublishBatch serves soma.publish.batch: the payload is a conduit
+// batch frame (no {ns, data} envelope per entry — the namespace rides in
+// the batch entry itself). When nothing downstream needs materialized trees
+// it takes the raw path — validate, retain bytes, decode lazily at fold
+// time — which is what carries the harness past 10^6 publishes/sec.
+func (s *Service) handlePublishBatch(ctx context.Context, payload []byte) ([]byte, error) {
+	ctx, sp := telemetry.ChildSpan(ctx, "soma.publish.batch.handler")
+	defer sp.End()
+	if !s.treesNeeded() {
+		if err := s.publishBatchFrame(ctx, payload); err != nil {
+			return nil, err
+		}
+		return okFrame, nil
+	}
+	entries, err := conduit.DecodeBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.PublishBatchCtx(ctx, entries, len(payload)); err != nil {
+		return nil, err
+	}
+	return okFrame, nil
+}
+
+// treesNeeded reports whether batch ingest must materialize publish trees
+// inline: rollups fold every tree into series buckets and live subscribers
+// receive them, so either forces the decoded path. With rollups disabled
+// and no subscribers, ingest can retain validated wire bytes instead.
+func (s *Service) treesNeeded() bool {
+	if !s.cfg.DisableRollups {
+		return true
+	}
+	return s.bus != nil && s.bus.Subscribers() > 0
+}
+
+// publishBatchFrame is the decode-free batch ingest: every entry's framing,
+// namespace, and tree structure is verified up front (the batch is applied
+// atomically or rejected whole, like PublishBatchCtx), then one private
+// copy of the frame is retained and per-namespace runs of entry subslices
+// are appended as raw records. No publish tree is built here; the next
+// snapshot rebuild folds the bytes straight into its accumulator and
+// history reads decode on demand.
+func (s *Service) publishBatchFrame(ctx context.Context, frame []byte) error {
+	if s.Stopped() {
+		return ErrServiceStopped
+	}
+	count := 0
+	if err := conduit.ForEachBatchEntry(frame, func(ns, enc []byte) error {
+		if _, ok := s.instances[Namespace(ns)]; !ok {
+			return &ErrUnknownNamespace{NS: Namespace(ns)}
+		}
+		if err := conduit.ValidateBinary(enc); err != nil {
+			return err
+		}
+		count++
+		return nil
+	}); err != nil {
+		return err
+	}
+	if count == 0 {
+		return nil
+	}
+	now := s.cfg.Clock.Now()
+	start := time.Now()
+	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append.batch", start)
+	// Records outlive the engine's pooled request buffer: retain one
+	// private copy of the frame and subslice every entry out of it.
+	buf := append([]byte(nil), frame...)
+	perEntry := len(frame) / count
+	extra := len(frame) - perEntry*count
+	var (
+		runNS []byte
+		runIn *instance
+	)
+	encs := make([][]byte, 0, count)
+	emit := func() {
+		if runIn == nil || len(encs) == 0 {
+			return
+		}
+		// publishBatchRaw copies the slice's elements into records before
+		// returning, so encs can be reused for the next run.
+		runIn.publishBatchRaw(now, encs, perEntry*len(encs)+extra)
+		extra = 0
+		encs = encs[:0]
+	}
+	// Framing was verified by the scan above; this pass cannot fail.
+	_ = conduit.ForEachBatchEntry(buf, func(ns, enc []byte) error {
+		if runIn == nil || !bytes.Equal(ns, runNS) {
+			emit()
+			runNS = ns
+			runIn = s.instances[Namespace(ns)]
+		}
+		encs = append(encs, enc)
+		return nil
+	})
+	emit()
+	end := time.Now()
+	telBatchLatency.Observe(end.Sub(start))
+	telBatchFrames.Inc()
+	telPublishes.Add(int64(count))
+	sp.EndAt(end)
+	return nil
 }
 
 func (s *Service) handleQuery(ctx context.Context, payload []byte) ([]byte, error) {

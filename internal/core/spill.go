@@ -58,6 +58,10 @@ type spillState struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	buf  []spillEntry
+	// headSeq counts every head removal (pop or overflow eviction) ever
+	// performed, so a redelivery that peeked a group can tell how many of
+	// those entries an overlapping eviction already removed (see popGroup).
+	headSeq uint64
 
 	closed bool
 	stop   chan struct{}
@@ -156,6 +160,7 @@ func (sp *spillState) add(ns Namespace, n *conduit.Node) bool {
 	if len(sp.buf) >= sp.max {
 		copy(sp.buf, sp.buf[1:])
 		sp.buf = sp.buf[:len(sp.buf)-1]
+		sp.headSeq++
 		sp.dropped++
 		telSpillDropped.Inc()
 		telSpillDepth.Dec()
@@ -185,6 +190,7 @@ func (sp *spillState) pop(redelivered bool) {
 	}
 	copy(sp.buf, sp.buf[1:])
 	sp.buf = sp.buf[:len(sp.buf)-1]
+	sp.headSeq++
 	if redelivered {
 		sp.redelivered++
 		telSpillRedelivered.Inc()
@@ -193,6 +199,45 @@ func (sp *spillState) pop(redelivered bool) {
 		telSpillDropped.Inc()
 	}
 	telSpillDepth.Dec()
+	sp.cond.Broadcast()
+}
+
+// peekGroup copies up to max head entries for a batched redelivery attempt,
+// with the head sequence at peek time (popGroup's reference point).
+func (sp *spillState) peekGroup(max int) ([]spillEntry, uint64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	n := len(sp.buf)
+	if n > max {
+		n = max
+	}
+	group := make([]spillEntry, n)
+	copy(group, sp.buf[:n])
+	return group, sp.headSeq
+}
+
+// popGroup removes the first n of the entries peeked at baseSeq after their
+// batched redelivery succeeded. Entries an overflow eviction removed while
+// the batch was in flight are skipped — they are gone from the buffer
+// already (and were double-counted as dropped; delivery still happened
+// exactly once, the stats are the only casualty of that race).
+func (sp *spillState) popGroup(baseSeq uint64, n int) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	skip := int(sp.headSeq - baseSeq)
+	if skip >= n {
+		return
+	}
+	n -= skip
+	if n > len(sp.buf) {
+		n = len(sp.buf)
+	}
+	copy(sp.buf, sp.buf[n:])
+	sp.buf = sp.buf[:len(sp.buf)-n]
+	sp.headSeq += uint64(n)
+	sp.redelivered += int64(n)
+	telSpillRedelivered.Add(int64(n))
+	telSpillDepth.Add(int64(-n))
 	sp.cond.Broadcast()
 }
 
@@ -211,9 +256,13 @@ func (sp *spillState) shutdown() {
 	<-sp.done
 }
 
-// redeliverLoop retries the buffer head on the shared backoff schedule:
-// success or a definitive verdict pops it (the latter also surfaces on
-// Errs); transient failures back off and try again.
+// redeliverLoop retries buffered entries on the shared backoff schedule.
+// When the client has a working batch coalescer, groups of head entries are
+// re-encoded into one batch frame and redelivered in a single round-trip —
+// spill-drain-through-the-coalescer-encoding; otherwise (or to isolate a
+// poisoned entry after a definitive batch failure) it falls back to head-
+// at-a-time delivery: success or a definitive verdict pops the head (the
+// latter also surfaces on Errs); transient failures back off and try again.
 func (sp *spillState) redeliverLoop() {
 	defer close(sp.done)
 	bo := mercury.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
@@ -226,6 +275,44 @@ func (sp *spillState) redeliverLoop() {
 		if sp.closed {
 			sp.mu.Unlock()
 			return
+		}
+		depth := len(sp.buf)
+		sp.mu.Unlock()
+
+		if co := sp.c.coal.Load(); co != nil && !sp.c.noBatch.Load() && depth > 1 {
+			group, base := sp.peekGroup(co.cfg.MaxLeaves)
+			frame := conduit.AppendBatchHeader(nil)
+			for _, e := range group {
+				frame = conduit.AppendBatchEntry(frame, string(e.ns), e.node)
+			}
+			// sendBatchWire, not sendBatch: a redelivery failure must leave
+			// the entries where they are, never re-spill them.
+			err := sp.c.sendBatchWire(frame, len(group))
+			if err == nil {
+				sp.popGroup(base, len(group))
+				attempt = 0
+				continue
+			}
+			if mercury.IsTransient(err) {
+				t := time.NewTimer(bo.Delay(attempt))
+				attempt++
+				select {
+				case <-sp.stop:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				continue
+			}
+			// Definitive batch rejection (e.g. one poisoned entry failing
+			// the whole frame, or an old server): fall through to the
+			// per-entry path below to make progress entry by entry.
+		}
+
+		sp.mu.Lock()
+		if len(sp.buf) == 0 {
+			sp.mu.Unlock()
+			continue
 		}
 		e := sp.buf[0]
 		sp.mu.Unlock()

@@ -549,22 +549,128 @@ type rpcResponse struct {
 	payload []byte
 }
 
+// sessionWriteQueue bounds the frames queued to a session's writer
+// goroutine; a full queue blocks the enqueuing caller, which is the natural
+// backpressure for pipelined senders.
+const sessionWriteQueue = 256
+
+// maxGatherFrames caps how many queued frames one vector write gathers.
+const maxGatherFrames = 64
+
 // tcpSession is one live connection with its multiplexing state. A session
 // is immutable once dead; the endpoint replaces it wholesale on redial, so
 // in-flight calls on the old session fail without racing new ones.
+//
+// All writes go through a dedicated writer goroutine: senders enqueue
+// encoded frames and the writer drains the queue with gathered vector
+// writes, so many pipelined requests share one syscall. Responses are
+// matched back to callers by the request id in the frame header (the pend
+// map), so out-of-order completion is fine.
 type tcpSession struct {
 	conn    net.Conn
-	writeMu sync.Mutex
+	writeCh chan *[]byte
+	// perFrame downgrades the writer to one Write call per frame: fault
+	// injectors model "one Write = one frame", and a gathered write would
+	// bundle many frames into a single fault decision.
+	perFrame bool
 
 	mu      sync.Mutex
 	pend    map[uint64]chan rpcResponse
 	nextID  uint64
 	dead    bool
+	deadCh  chan struct{} // closed by fail; unblocks queued writers
 	lastErr error
 }
 
-func newTCPSession(conn net.Conn) *tcpSession {
-	return &tcpSession{conn: conn, pend: map[uint64]chan rpcResponse{}}
+func newTCPSession(conn net.Conn, perFrame bool) *tcpSession {
+	s := &tcpSession{
+		conn:     conn,
+		writeCh:  make(chan *[]byte, sessionWriteQueue),
+		perFrame: perFrame,
+		pend:     map[uint64]chan rpcResponse{},
+		deadCh:   make(chan struct{}),
+	}
+	go s.writeLoop()
+	return s
+}
+
+// enqueueWrite hands one pooled frame to the writer goroutine. Ownership
+// transfers: the writer recycles the buffer after the wire write (or on
+// teardown). An error means the frame provably never entered the queue.
+func (s *tcpSession) enqueueWrite(bp *[]byte) error {
+	select {
+	case s.writeCh <- bp:
+		return nil
+	case <-s.deadCh:
+		putFrame(bp)
+		s.mu.Lock()
+		err := s.lastErr
+		s.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+}
+
+// writeLoop is the session's writer goroutine: it gathers queued frames and
+// flushes them with a single vector write (or one Write per frame on
+// injected connections). A write error fails the session — pending calls
+// learn via their closed response channels and the policy layer retries.
+func (s *tcpSession) writeLoop() {
+	scratch := make([]*[]byte, 0, maxGatherFrames)
+	vecBacking := make([][]byte, maxGatherFrames)
+	for {
+		select {
+		case bp := <-s.writeCh:
+			scratch = append(scratch[:0], bp)
+		gather:
+			for len(scratch) < maxGatherFrames {
+				select {
+				case next := <-s.writeCh:
+					scratch = append(scratch, next)
+				default:
+					break gather
+				}
+			}
+			var err error
+			switch {
+			case s.perFrame:
+				for _, fb := range scratch {
+					if _, err = s.conn.Write(*fb); err != nil {
+						break
+					}
+				}
+			case len(scratch) == 1:
+				_, err = s.conn.Write(*scratch[0])
+			default:
+				// net.Buffers.WriteTo consumes the vector in place, so it is
+				// rebuilt from the reusable backing array each round.
+				vec := net.Buffers(vecBacking[:len(scratch)])
+				for i, fb := range scratch {
+					vec[i] = *fb
+				}
+				_, err = vec.WriteTo(s.conn)
+			}
+			for _, fb := range scratch {
+				putFrame(fb)
+			}
+			if err != nil {
+				s.fail(err)
+			}
+		case <-s.deadCh:
+			// Drain whatever raced in and exit; callers of those frames see
+			// the session failure through their response channels.
+			for {
+				select {
+				case bp := <-s.writeCh:
+					putFrame(bp)
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // register allocates a request id and its response channel; it fails when
@@ -602,6 +708,7 @@ func (s *tcpSession) fail(err error) {
 	}
 	s.dead = true
 	s.lastErr = err
+	close(s.deadCh) // wakes queued writers and stops the writer goroutine
 	for id, ch := range s.pend {
 		close(ch)
 		delete(s.pend, id)
@@ -708,10 +815,12 @@ func (ep *Endpoint) session(ctx context.Context) (*tcpSession, error) {
 	if err != nil {
 		return nil, err
 	}
+	perFrame := false
 	if ep.owner != nil && ep.owner.injector != nil {
 		conn = ep.owner.injector.WrapConn(conn, true)
+		perFrame = true
 	}
-	s := newTCPSession(conn)
+	s := newTCPSession(conn, perFrame)
 	ep.sess = s
 	go ep.readLoop(s)
 	return s, nil
@@ -855,15 +964,12 @@ func (ep *Endpoint) Notify(ctx context.Context, name string, input []byte) error
 	// so the response (still sent by the server) is dropped on arrival.
 	frame := appendRequestHeader((*bp)[:0], uint32(total), 0, telemetry.FromContext(ctx), deadlineNanos(ctx), name)
 	frame = append(frame, input...)
-	s.writeMu.Lock()
-	_, err = s.conn.Write(frame)
-	s.writeMu.Unlock()
 	*bp = frame
-	putFrame(bp)
-	if err != nil {
+	if err := s.enqueueWrite(bp); err != nil {
 		ep.dropSession(s, err)
+		return err
 	}
-	return err
+	return nil
 }
 
 // Close releases the endpoint; subsequent calls fail with ErrClosed (no
@@ -1008,16 +1114,14 @@ func (ep *Endpoint) attemptTCP(ctx context.Context, p *CallPolicy, name string, 
 	bp := getFrame(0)
 	frame := appendRequestHeader((*bp)[:0], uint32(total), id, telemetry.FromContext(ctx), deadlineNanos(actx), name)
 	frame = append(frame, input...)
-	sent = true
-	s.writeMu.Lock()
-	_, werr := s.conn.Write(frame)
-	s.writeMu.Unlock()
 	*bp = frame
-	putFrame(bp)
-	if werr != nil {
+	if werr := s.enqueueWrite(bp); werr != nil {
+		// The frame provably never entered the write queue: unsent, so even
+		// non-idempotent RPCs may retry.
 		ep.dropSession(s, werr)
-		return nil, true, werr
+		return nil, false, werr
 	}
+	sent = true
 
 	select {
 	case <-actx.Done():
@@ -1099,6 +1203,123 @@ func (e *Engine) acceptLoop(ln net.Listener) {
 	}
 }
 
+// srvResponse is one response frame queued to a connection's writer
+// goroutine. frame is a pooled buffer holding the 13-byte header (and, for
+// small responses, the payload copy); payload, when non-nil, is
+// handler-owned bytes written after *frame without copying. release is the
+// handler's buffer-return hook, fired once the frame has been written (or
+// discarded on teardown).
+type srvResponse struct {
+	frame   *[]byte
+	payload []byte
+	release func()
+}
+
+// connWriter serializes response writes for one server connection: handlers
+// enqueue frames and the writer goroutine gathers them into vector writes,
+// so a burst of pipelined responses shares one syscall. Responses complete
+// in handler-finish order, not request order — the client demuxes by id.
+type connWriter struct {
+	conn net.Conn
+	// perFrame: one Write call per frame (fault-injected transports model
+	// per-Write fault decisions; see writeLoop on the client side).
+	perFrame bool
+	ch       chan srvResponse
+	done     chan struct{}
+}
+
+func newConnWriter(conn net.Conn, perFrame bool) *connWriter {
+	w := &connWriter{
+		conn:     conn,
+		perFrame: perFrame,
+		ch:       make(chan srvResponse, sessionWriteQueue),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *connWriter) loop() {
+	defer close(w.done)
+	pend := make([]srvResponse, 0, maxGatherFrames)
+	vecBacking := make([][]byte, 0, 2*maxGatherFrames)
+	failed := false
+	for {
+		resp, ok := <-w.ch
+		if !ok {
+			return
+		}
+		pend = append(pend[:0], resp)
+	gather:
+		for len(pend) < maxGatherFrames {
+			select {
+			case next, ok := <-w.ch:
+				if !ok {
+					break gather
+				}
+				pend = append(pend, next)
+			default:
+				break gather
+			}
+		}
+		if !failed {
+			var err error
+			if w.perFrame {
+				for _, r := range pend {
+					if r.payload == nil {
+						_, err = w.conn.Write(*r.frame)
+					} else {
+						// Header+payload must still reach the wire as ONE
+						// Write: copy into a pooled frame rather than degrade
+						// to two fault decisions.
+						fb := getFrame(0)
+						joined := append((*fb)[:0], *r.frame...)
+						joined = append(joined, r.payload...)
+						_, err = w.conn.Write(joined)
+						*fb = joined
+						putFrame(fb)
+					}
+					if err != nil {
+						break
+					}
+				}
+			} else {
+				vec := net.Buffers(vecBacking[:0])
+				for _, r := range pend {
+					vec = append(vec, *r.frame)
+					if r.payload != nil {
+						vec = append(vec, r.payload)
+					}
+				}
+				_, err = vec.WriteTo(w.conn)
+			}
+			if err != nil {
+				// The write side is broken; close the conn so the read loop
+				// exits too. Later frames are drained and discarded.
+				failed = true
+				w.conn.Close()
+			}
+		}
+		for _, r := range pend {
+			putFrame(r.frame)
+			if r.release != nil {
+				r.release()
+			}
+		}
+	}
+}
+
+// send enqueues one response; blocks when the writer is saturated
+// (backpressure on handler goroutines).
+func (w *connWriter) send(r srvResponse) { w.ch <- r }
+
+// close stops the writer after the queue drains; callers must guarantee no
+// concurrent send (serveConn waits for all handlers first).
+func (w *connWriter) close() {
+	close(w.ch)
+	<-w.done
+}
+
 func (e *Engine) serveConn(conn net.Conn) {
 	defer e.wg.Done()
 	if e.injector != nil {
@@ -1118,7 +1339,10 @@ func (e *Engine) serveConn(conn net.Conn) {
 		e.mu.Unlock()
 	}()
 	br := bufio.NewReader(conn)
-	var writeMu sync.Mutex
+	w := newConnWriter(conn, e.injector != nil)
+	// Defer order (LIFO): wait for handlers to finish enqueueing, THEN close
+	// the writer — it drains every queued response before exiting.
+	defer w.close()
 	var handlerWG sync.WaitGroup
 	defer handlerWG.Wait()
 	for {
@@ -1170,7 +1394,9 @@ func (e *Engine) serveConn(conn net.Conn) {
 			}
 			status := byte(statusOK)
 			out, release, err := e.dispatch(ctx, name, payload)
-			putFrame(bodyBP)
+			// bodyBP is NOT recycled yet: a handler may legally return (a
+			// slice of) its input, so the request buffer must stay alive
+			// until the response bytes have been copied or written.
 			if err != nil {
 				switch {
 				case errors.Is(err, ErrUnknownRPC):
@@ -1188,30 +1414,29 @@ func (e *Engine) serveConn(conn net.Conn) {
 			binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+len(out)))
 			binary.LittleEndian.PutUint64(hdr[4:12], id)
 			hdr[12] = status
-			if len(out) >= zeroCopyMinFrame && e.injector == nil {
-				// Large responses go out as a header+payload vector write:
-				// the handler-owned bytes (typically a snapshot-cache frame)
+			if len(out) >= zeroCopyMinFrame {
+				// Large responses go out as a header+payload pair: the
+				// handler-owned bytes (typically a snapshot-cache frame)
 				// reach the socket without being copied into a pooled frame
-				// first. Injected transports are excluded — fault injectors
-				// model "one Write call = one frame", and a vector write on
-				// a wrapped conn degrades to two Writes, splitting the frame
-				// across fault decisions.
-				bufs := net.Buffers{hdr[:], out}
-				writeMu.Lock()
-				_, _ = bufs.WriteTo(conn)
-				writeMu.Unlock()
+				// first. The writer gathers the pair into its vector write
+				// (or re-joins them into one Write on injected transports)
+				// and fires release afterwards.
+				hb := getFrame(0)
+				*hb = append((*hb)[:0], hdr[:]...)
+				rel := release
+				w.send(srvResponse{frame: hb, payload: out, release: func() {
+					putFrame(bodyBP) // out may alias the request body
+					if rel != nil {
+						rel()
+					}
+				}})
 			} else {
 				respBP := getFrame(0)
 				resp := append((*respBP)[:0], hdr[:]...)
 				resp = append(resp, out...)
-				writeMu.Lock()
-				_, _ = conn.Write(resp)
-				writeMu.Unlock()
 				*respBP = resp
-				putFrame(respBP)
-			}
-			if release != nil {
-				release()
+				putFrame(bodyBP) // response copied; the request body is free
+				w.send(srvResponse{frame: respBP, release: release})
 			}
 		}()
 	}

@@ -38,6 +38,7 @@ qhot=BenchmarkQueryHot
 qnocache=BenchmarkQueryEncodeNoCache
 qdelta=BenchmarkQueryDelta
 qrebuild=BenchmarkSnapshotRebuild
+batch=BenchmarkPublishBatch
 count=${BENCH_COUNT:-5}
 
 # Everything except --update compares against the committed baseline; fail
@@ -115,6 +116,7 @@ if [ "${1:-}" = "--update" ]; then
 	qhotm=$(median_of "$qhot")
 	qdeltam=$(median_of "$qdelta")
 	qrebuildm=$(median_of "$qrebuild")
+	batchm=$(median_of "$batch")
 	cat >"$baseline" <<EOF
 {
   "benchmark": "$bench",
@@ -137,10 +139,14 @@ if [ "${1:-}" = "--update" ]; then
   "snapshot_rebuild_ns_per_op": ${qrebuildm:-0},
   "query_allowed_regression": 2.0,
   "min_query_speedup": 5,
+  "publish_batch_benchmark": "$batch",
+  "publish_batch_ns_per_op": ${batchm:-0},
+  "batch_allowed_regression": 2.0,
+  "min_batch_publishes_per_sec": 500000,
   "recorded": "$(date -u +%Y-%m-%d)"
 }
 EOF
-	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0} ns/op)"
+	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0}, batch ${batchm:-0} ns/op)"
 	exit 0
 fi
 
@@ -254,5 +260,37 @@ if [ "$hotallocs" != "0" ] || [ "$deltaallocs" != "0" ]; then
 	exit 1
 fi
 echo "BENCHDIFF_SUMMARY mode=query-speedup speedup=$speedup min=$minspeed hot_allocs=$hotallocs delta_allocs=$deltaallocs result=pass"
+
+# Coalesced-publish throughput gate: BenchmarkPublishBatch times one logical
+# publish through the wire-batched pipeline end to end, so 1e9/ns_per_op is
+# the sustained publishes/sec one connection carries. Two checks: a relative
+# regression limit against the committed baseline, and an absolute floor
+# (min_batch_publishes_per_sec — the load-harness SLO derated for CI noise).
+# Skipped when the baseline predates the batch pipeline.
+bbase=$(json_num publish_batch_ns_per_op)
+bfactor=$(json_num batch_allowed_regression)
+bfloor=$(json_num min_batch_publishes_per_sec)
+if [ -n "$bbase" ] && [ "$bbase" != "0" ] && [ -n "$bfactor" ]; then
+	bm=$(median_of "$batch")
+	if [ -z "$bm" ]; then
+		echo "benchdiff: no samples collected for $batch" >&2
+		exit 1
+	fi
+	[ -n "$bfloor" ] || bfloor=500000
+	blimit=$(awk -v b="$bbase" -v f="$bfactor" 'BEGIN {printf "%.0f", b*f}')
+	rate=$(awk -v m="$bm" 'BEGIN {printf "%.0f", 1e9/m}')
+	echo "benchdiff: $batch median ${bm} ns/op = ${rate} publishes/sec (limit ${blimit} ns/op, floor ${bfloor}/sec)"
+	if awk -v m="$bm" -v l="$blimit" 'BEGIN {exit (m > l) ? 0 : 1}'; then
+		echo "benchdiff: FAIL — $batch median ${bm} ns/op exceeds limit ${blimit} ns/op" >&2
+		echo "BENCHDIFF_SUMMARY mode=batch benchmark=$batch median_ns_per_op=$bm publishes_per_sec=$rate limit_ns_per_op=$blimit floor_per_sec=$bfloor result=fail"
+		exit 1
+	fi
+	if awk -v r="$rate" -v f="$bfloor" 'BEGIN {exit (r < f) ? 0 : 1}'; then
+		echo "benchdiff: FAIL — batched publish rate ${rate}/sec is below the ${bfloor}/sec floor" >&2
+		echo "BENCHDIFF_SUMMARY mode=batch benchmark=$batch median_ns_per_op=$bm publishes_per_sec=$rate limit_ns_per_op=$blimit floor_per_sec=$bfloor result=fail"
+		exit 1
+	fi
+	echo "BENCHDIFF_SUMMARY mode=batch benchmark=$batch median_ns_per_op=$bm publishes_per_sec=$rate limit_ns_per_op=$blimit floor_per_sec=$bfloor result=pass"
+fi
 
 echo "benchdiff: OK"
