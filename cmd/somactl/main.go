@@ -45,6 +45,14 @@ commands:
   alert set <name> <namespace> <pattern> <op> <threshold> <window_sec> [severity]
   alert rm <name>                 remove a threshold alert rule
   alert list                      print rules and current standings
+  trace [-slow] [-n N]            list traces kept by the tail sampler
+                                  (-slow orders by duration; N rows, default 20)
+  trace <trace_id>                render one trace as a waterfall (id as
+                                  printed by trace/telemetry, hex)
+  profile -cpu <dur>              capture a CPU profile from the live service
+  profile -kind <heap|goroutine|allocs|block|mutex>
+                                  capture a snapshot profile; pprof bytes go
+                                  to stdout: somactl profile -cpu 5s > cpu.pb.gz
   reset <namespace>               discard a namespace's stored data
   health                          service liveness + degradation report
                                   (uptime, shed calls, breaker state)
@@ -225,6 +233,58 @@ func main() {
 			core.RenderAlerts(os.Stdout, rules, states)
 		default:
 			usage()
+		}
+	case "trace":
+		// With a hex trace id: fetch and render that trace's waterfall.
+		// Without: list what the tail sampler kept.
+		if len(args) >= 2 && args[1] != "" && args[1][0] != '-' {
+			id, err := strconv.ParseUint(args[1], 16, 64)
+			if err != nil {
+				fatal(fmt.Errorf("trace id %q: %w", args[1], err))
+			}
+			tr, err := client.Trace(id)
+			if err != nil {
+				fatal(err)
+			}
+			core.RenderTraceWaterfall(os.Stdout, tr, 0)
+			return
+		}
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		slow := fs.Bool("slow", false, "order by root duration (slowest first)")
+		n := fs.Int("n", 20, "rows")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		sums, err := client.Traces(*n, *slow)
+		if err != nil {
+			fatal(err)
+		}
+		core.RenderTraceList(os.Stdout, sums)
+	case "profile":
+		fs := flag.NewFlagSet("profile", flag.ExitOnError)
+		cpu := fs.Duration("cpu", 0, "capture a CPU profile for this duration")
+		kind := fs.String("kind", "", "snapshot profile kind (heap, goroutine, allocs, block, mutex)")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		k, dur := *kind, time.Duration(0)
+		if *cpu > 0 {
+			k, dur = "cpu", *cpu
+		}
+		if k == "" {
+			usage()
+		}
+		p, err := client.Profile(k, dur)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(p.Data); err != nil {
+			fatal(err)
+		}
+		if p.Kind == "cpu" {
+			fmt.Fprintf(os.Stderr, "somactl: %s profile, %d bytes, sampled %s\n", p.Kind, len(p.Data), p.Duration.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(os.Stderr, "somactl: %s profile, %d bytes\n", p.Kind, len(p.Data))
 		}
 	case "health":
 		h, herr := client.Health()

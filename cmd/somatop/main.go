@@ -31,6 +31,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	showTel := flag.Bool("telemetry", true, "show the service self-telemetry panel")
+	traceRows := flag.Int("traces", 5, "slowest kept traces to list (0 = hide the panel)")
 	seriesPat := flag.String("series", "PROC/*/CPU Util", "rollup series key pattern for the sparkline panel (empty = off)")
 	flag.Parse()
 	if *addr == "" {
@@ -62,7 +63,7 @@ func main() {
 				}
 				client = c
 			}
-			return refresh(&sb, *addr, client, core.Analysis{Q: client}, *showTel, *seriesPat)
+			return refresh(&sb, *addr, client, core.Analysis{Q: client}, *showTel, *traceRows, *seriesPat)
 		}()
 		if err != nil {
 			// Transient failures (service not up yet, restarting, network
@@ -100,7 +101,7 @@ func main() {
 // refresh renders one full frame. An error means the service could not be
 // reached at all this tick; partial analysis failures degrade to omitted
 // panels inside core.RenderSummary.
-func refresh(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis, showTel bool, seriesPat string) error {
+func refresh(sb *strings.Builder, addr string, client *core.Client, analysis core.Analysis, showTel bool, traceRows int, seriesPat string) error {
 	stats, err := client.Stats()
 	if err != nil {
 		return err
@@ -118,6 +119,7 @@ func refresh(sb *strings.Builder, addr string, client *core.Client, analysis cor
 		sb.WriteString("\n")
 		core.RenderTelemetry(sb, snap)
 	}
+	renderTracesPanel(sb, client, traceRows)
 	// Delta-poll footer: the analysis panels above poll through the client's
 	// generation memo, so steady-state refreshes collapse to tiny frames —
 	// show how much wire traffic that has saved so far.
@@ -183,6 +185,22 @@ func renderSeriesPanel(sb *strings.Builder, client *core.Client, pattern string)
 	if hidden > 0 {
 		fmt.Fprintf(sb, "  ... and %d more\n", hidden)
 	}
+}
+
+// renderTracesPanel lists the slowest traces the service's tail sampler
+// kept — the "what is the p99 actually doing" panel. Drill into any row with
+// `somactl trace <id>`. Services without the trace RPCs (older builds)
+// degrade to an omitted panel.
+func renderTracesPanel(sb *strings.Builder, client *core.Client, rows int) {
+	if rows <= 0 {
+		return
+	}
+	sums, err := client.Traces(rows, true)
+	if err != nil || len(sums) == 0 {
+		return
+	}
+	sb.WriteString("\n")
+	core.RenderTraceList(sb, sums)
 }
 
 // renderAlertsPanel lists threshold-alert rules and standings. Services

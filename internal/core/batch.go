@@ -31,6 +31,24 @@ var (
 	// telBatchAck measures enqueue→acknowledgement for the OLDEST entry of
 	// each flushed batch: queue dwell plus wire round-trip.
 	telBatchAck = telemetry.Default().Histogram("core.client.publish.ack.latency")
+	// Flush-cause breakdown: which threshold shipped each batch. A byte/leaf
+	// dominated mix means the coalescer is running at capacity; an
+	// age-dominated mix means sparse publishers are paying MaxAge of latency
+	// for little amortization.
+	telBatchFlushBytes  = telemetry.Default().Counter("core.client.batch.flush.bytes")
+	telBatchFlushLeaves = telemetry.Default().Counter("core.client.batch.flush.leaves")
+	telBatchFlushAge    = telemetry.Default().Counter("core.client.batch.flush.age")
+	// telBatchBackpressure counts appends that hit the overfill bound and had
+	// to flush inline and retry — publishers outrunning the wire.
+	telBatchBackpressure = telemetry.Default().Counter("core.client.batch.backpressure")
+)
+
+// Flush causes, attributed per shipped batch (see flushFor).
+const (
+	flushCauseNone = iota
+	flushCauseBytes
+	flushCauseLeaves
+	flushCauseAge
 )
 
 // BatchConfig tunes a client's publish coalescer; zero values select the
@@ -96,6 +114,7 @@ type coalescer struct {
 	refs    []batchRef
 	firstAt time.Time // append time of the oldest pending entry
 	pendErr error     // first flush failure since the last Flush
+	cause   int       // which threshold filled the pending batch (flushCause*)
 	closed  bool
 
 	// sendMu serializes flushes: the buffer swap and the wire send happen
@@ -150,6 +169,7 @@ retry:
 	}
 	if len(co.refs) >= co.cfg.MaxLeaves*batchOverfill || len(co.buf) >= co.cfg.MaxBytes*batchOverfill {
 		co.mu.Unlock()
+		telBatchBackpressure.Inc()
 		co.flush()
 		goto retry
 	}
@@ -164,6 +184,13 @@ retry:
 	}
 	co.refs = append(co.refs, batchRef{ns: ns, node: n, enc: enc})
 	full := len(co.refs) >= co.cfg.MaxLeaves || len(co.buf) >= co.cfg.MaxBytes
+	if full && co.cause == flushCauseNone {
+		if len(co.refs) >= co.cfg.MaxLeaves {
+			co.cause = flushCauseLeaves
+		} else {
+			co.cause = flushCauseBytes
+		}
+	}
 	co.mu.Unlock()
 	if full {
 		select {
@@ -186,14 +213,19 @@ func (co *coalescer) run() {
 		case <-co.kick:
 			co.flush()
 		case <-co.ageTimer.C:
-			co.flush()
+			co.flushFor(flushCauseAge)
 		}
 	}
 }
 
 // flush ships the pending batch, if any. Safe to call from any goroutine;
 // sendMu keeps concurrent flushes ordered.
-func (co *coalescer) flush() {
+func (co *coalescer) flush() { co.flushFor(flushCauseNone) }
+
+// flushFor is flush with the caller's trigger attribution. A byte/leaf cause
+// recorded at append time wins over the caller's reason (the thresholds are
+// what actually filled the batch); reason covers the age-timer path.
+func (co *coalescer) flushFor(reason int) {
 	co.sendMu.Lock()
 	defer co.sendMu.Unlock()
 	co.mu.Lock()
@@ -202,9 +234,14 @@ func (co *coalescer) flush() {
 		return
 	}
 	buf, refs, firstAt := co.buf, co.refs, co.firstAt
+	cause := co.cause
+	co.cause = flushCauseNone
 	co.buf = conduit.AppendBatchHeader(co.spareBuf[:0])
 	co.refs = co.spareRefs[:0]
 	co.mu.Unlock()
+	if cause == flushCauseNone {
+		cause = reason
+	}
 
 	err := co.c.sendBatch(buf, refs)
 
@@ -224,6 +261,14 @@ func (co *coalescer) flush() {
 	telBatchFlushes.Inc()
 	telBatchLeaves.Add(int64(len(refs)))
 	telBatchAck.ObserveSince(firstAt)
+	switch cause {
+	case flushCauseBytes:
+		telBatchFlushBytes.Inc()
+	case flushCauseLeaves:
+		telBatchFlushLeaves.Inc()
+	case flushCauseAge:
+		telBatchFlushAge.Inc()
+	}
 }
 
 // flushNow drains the pending batch synchronously and returns the first
@@ -293,6 +338,9 @@ func (c *Client) sendBatchWire(frame []byte, leaves int) error {
 		err = c.ep.Notify(ctx, RPCPublishBatch, frame)
 	} else {
 		_, err = c.ep.Call(ctx, RPCPublishBatch, frame)
+	}
+	if err != nil {
+		sp.Fail()
 	}
 	sp.End()
 	if err == nil {

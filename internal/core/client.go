@@ -349,6 +349,11 @@ func (c *Client) sendPublish(ns Namespace, n *conduit.Node) error {
 		_, err = c.ep.Call(ctx, RPCPublish, *buf)
 	}
 	conduit.PutEncodeBuffer(buf)
+	if err != nil {
+		// A failed publish is an error trace: the tail sampler always keeps
+		// those, so the failure is inspectable via soma.trace.get afterwards.
+		sp.Fail()
+	}
 	sp.End()
 	if err == nil {
 		c.published.Add(1)
@@ -392,7 +397,12 @@ func (c *Client) QueryDelta(ns Namespace, path string) (tree *conduit.Node, chan
 	memo := c.delta[key]
 	c.deltaMu.Unlock()
 	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
-	defer sp.End()
+	defer func() {
+		if err != nil {
+			sp.Fail()
+		}
+		sp.End()
+	}()
 	req := conduit.NewNode()
 	req.SetString("ns", string(ns))
 	req.SetString("path", path)
@@ -469,9 +479,14 @@ func (c *Client) DeltaStats() DeltaStatsSnapshot {
 }
 
 // queryPlain is the pre-delta wire query: always fetches the full tree.
-func (c *Client) queryPlain(ns Namespace, path string) (*conduit.Node, error) {
+func (c *Client) queryPlain(ns Namespace, path string) (tree *conduit.Node, err error) {
 	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
-	defer sp.End()
+	defer func() {
+		if err != nil {
+			sp.Fail()
+		}
+		sp.End()
+	}()
 	req := conduit.NewNode()
 	req.SetString("ns", string(ns))
 	req.SetString("path", path)

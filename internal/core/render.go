@@ -169,6 +169,124 @@ func RenderSeriesSparklines(w io.Writer, title string, series []Series) {
 	}
 }
 
+// RenderTraceList writes one line per kept trace summary: id, root span
+// name, duration, span count, keep reason, and an ERR flag for error traces.
+// The somatop traces panel and `somactl trace` (without an id) share it.
+func RenderTraceList(w io.Writer, sums []telemetry.TraceSummary) {
+	if len(sums) == 0 {
+		fmt.Fprintln(w, "traces:    (none kept)")
+		return
+	}
+	fmt.Fprintln(w, "kept traces:")
+	for _, s := range sums {
+		flag := ""
+		if s.Err {
+			flag = "  ERR"
+		}
+		fmt.Fprintf(w, "  %016x  %-32s %12s %4d spans  %-6s%s\n",
+			s.TraceID, s.Root, s.Dur, s.Spans, s.Reason, flag)
+	}
+}
+
+// waterfallWidth is the default timeline width (characters) of the trace
+// waterfall.
+const waterfallWidth = 48
+
+// spanDepth computes a span's nesting depth by walking its parent chain.
+// Spans whose parent left the trace (remote parents, capped traces) sit at
+// depth 0; the walk is bounded so a corrupt parent cycle cannot hang it.
+func spanDepth(byID map[uint64]telemetry.SpanSnapshot, sp telemetry.SpanSnapshot) int {
+	depth := 0
+	for sp.Parent != 0 && depth < 16 {
+		p, ok := byID[sp.Parent]
+		if !ok {
+			break
+		}
+		depth++
+		sp = p
+	}
+	return depth
+}
+
+// RenderTraceWaterfall writes a cross-process trace as a waterfall: one row
+// per span, indented by parent depth, with a bar showing where the span sat
+// inside the trace window. For a batched publish the rows read top to
+// bottom as client publish → coalescer flush → wire → batch stripe append,
+// with the server-side rows carrying the coalesced-entry count (×N).
+// width <= 0 selects the default timeline width.
+func RenderTraceWaterfall(w io.Writer, tr telemetry.Trace, width int) {
+	if width <= 0 {
+		width = waterfallWidth
+	}
+	fmt.Fprintf(w, "trace %016x  root=%s  dur=%s  spans=%d  kept=%s",
+		tr.TraceID, tr.Root, tr.Dur, len(tr.Spans), tr.Reason)
+	if tr.Err {
+		fmt.Fprint(w, "  ERR")
+	}
+	fmt.Fprintln(w)
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(w, "  (%d more spans dropped by the per-trace cap)\n", tr.DroppedSpans)
+	}
+	if len(tr.Spans) == 0 {
+		return
+	}
+
+	// The timeline window spans the earliest start to the latest end; spans
+	// from different processes land here on their own clocks, so the window
+	// is computed, not assumed to equal the root span.
+	min, max := tr.Spans[0].Start, tr.Spans[0].Start.Add(tr.Spans[0].Dur)
+	for _, sp := range tr.Spans[1:] {
+		if sp.Start.Before(min) {
+			min = sp.Start
+		}
+		if end := sp.Start.Add(sp.Dur); end.After(max) {
+			max = end
+		}
+	}
+	window := max.Sub(min)
+	if window <= 0 {
+		window = 1
+	}
+
+	byID := make(map[uint64]telemetry.SpanSnapshot, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.SpanID] = sp
+	}
+	nameCol := 0
+	for _, sp := range tr.Spans {
+		if n := 2*spanDepth(byID, sp) + len(sp.Name); n > nameCol {
+			nameCol = n
+		}
+	}
+	if nameCol > 48 {
+		nameCol = 48
+	}
+
+	for _, sp := range tr.Spans {
+		off := int(int64(width) * int64(sp.Start.Sub(min)) / int64(window))
+		bar := int(int64(width) * int64(sp.Dur) / int64(window))
+		if bar < 1 {
+			bar = 1
+		}
+		if off > width-1 {
+			off = width - 1
+		}
+		if off+bar > width {
+			bar = width - off
+		}
+		lane := strings.Repeat(" ", off) + strings.Repeat("#", bar) + strings.Repeat(" ", width-off-bar)
+		label := strings.Repeat("  ", spanDepth(byID, sp)) + sp.Name
+		fmt.Fprintf(w, "  %-*s %12s  [%s]", nameCol, label, sp.Dur, lane)
+		if sp.Count > 0 {
+			fmt.Fprintf(w, " x%d", sp.Count)
+		}
+		if sp.Err {
+			fmt.Fprint(w, " ERR")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 // RenderSpans writes the newest limit spans (oldest of those first), one per
 // line with trace/span/parent ids in hex. limit <= 0 renders every span.
 func RenderSpans(w io.Writer, spans []telemetry.SpanSnapshot, limit int) {

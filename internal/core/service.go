@@ -714,6 +714,12 @@ type Service struct {
 	// reset changes a stamp and the next request rebuilds. See handleStats.
 	statsFrame atomic.Pointer[statsCache]
 
+	// profileBusy serializes soma.profile captures: runtime/pprof allows a
+	// single active CPU profile per process, and even snapshot profiles are
+	// expensive enough that concurrent captures would be their own overhead
+	// problem. See handleProfile.
+	profileBusy atomic.Bool
+
 	mu      sync.Mutex
 	addrs   []string
 	stopped bool
@@ -810,6 +816,11 @@ func NewService(cfg ServiceConfig) *Service {
 	s.engine.Register(RPCAlertSet, s.handleAlertSet)
 	s.engine.Register(RPCAlertList, s.handleAlertList)
 	s.engine.Register(RPCAlertRemove, s.handleAlertRemove)
+	s.engine.RegisterOwned(RPCTraceList, s.handleTraceList)
+	s.engine.RegisterOwned(RPCTraceGet, s.handleTraceGet)
+	// Blocking: a CPU capture occupies the handler for its whole sampling
+	// window. Never mark soma.profile idempotent — see IdempotentRPCs.
+	s.engine.RegisterBlocking(RPCProfile, s.handleProfile)
 	return s
 }
 
@@ -892,9 +903,12 @@ func (s *Service) PublishCtx(ctx context.Context, ns Namespace, n *conduit.Node,
 	now := s.cfg.Clock.Now()
 	start := time.Now()
 	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append", start)
+	tid := sp.Context().TraceID // before EndAt: the span is pooled after it
 	in.publish(now, n, rawBytes)
 	end := time.Now()
-	telPubLatency.Observe(end.Sub(start))
+	// ObserveTrace stamps the latency bucket with this trace id, so a p99
+	// exemplar in soma.telemetry links straight to a kept trace.
+	telPubLatency.ObserveTrace(end.Sub(start), tid)
 	telPublishes.Inc()
 	sp.EndAt(end)
 	// Stream side of the ingest: fold the publish into the rollup buckets,
@@ -939,6 +953,8 @@ func (s *Service) PublishBatchCtx(ctx context.Context, entries []conduit.BatchEn
 	now := s.cfg.Clock.Now()
 	start := time.Now()
 	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append.batch", start)
+	sp.SetCount(int64(len(entries))) // waterfall shows how many publishes this append covered
+	tid := sp.Context().TraceID
 	// Wire size is split evenly across entries for per-instance accounting;
 	// the remainder is charged to the first run.
 	perEntry := rawBytes / len(entries)
@@ -979,7 +995,7 @@ func (s *Service) PublishBatchCtx(ctx context.Context, entries []conduit.BatchEn
 		i = j
 	}
 	end := time.Now()
-	telBatchLatency.Observe(end.Sub(start))
+	telBatchLatency.ObserveTrace(end.Sub(start), tid)
 	telBatchFrames.Inc()
 	telPublishes.Add(int64(len(entries)))
 	sp.EndAt(end)
@@ -1242,6 +1258,8 @@ func (s *Service) publishBatchFrame(ctx context.Context, frame []byte) error {
 	now := s.cfg.Clock.Now()
 	start := time.Now()
 	sp := telemetry.LeafSpanAt(ctx, "core.stripe.append.batch", start)
+	sp.SetCount(int64(count))
+	tid := sp.Context().TraceID
 	// Records outlive the engine's pooled request buffer: retain one
 	// private copy of the frame and subslice every entry out of it.
 	buf := append([]byte(nil), frame...)
@@ -1274,7 +1292,7 @@ func (s *Service) publishBatchFrame(ctx context.Context, frame []byte) error {
 	})
 	emit()
 	end := time.Now()
-	telBatchLatency.Observe(end.Sub(start))
+	telBatchLatency.ObserveTrace(end.Sub(start), tid)
 	telBatchFrames.Inc()
 	telPublishes.Add(int64(count))
 	sp.EndAt(end)

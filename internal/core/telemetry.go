@@ -17,7 +17,8 @@ import (
 //	counters/<name>                      int
 //	gauges/<name>                        float
 //	hist/<name>/{count,sum_ns,max_ns,p50_ns,p95_ns,p99_ns}
-//	spans/NNNNNN/{trace,span,parent,name,start_ns,dur_ns}
+//	hist/<name>/exemplars/NNN/{le_ns,trace}
+//	spans/NNNNNN/{trace,span,parent,name,start_ns,dur_ns,count,err}
 //
 // Span/trace ids are hex strings: they are full-range uint64s, which the
 // integer leaf type (int64) cannot carry.
@@ -39,17 +40,16 @@ func EncodeTelemetry(snap *telemetry.Snapshot) *conduit.Node {
 		n.SetInt(base+"/p50_ns", int64(h.P50))
 		n.SetInt(base+"/p95_ns", int64(h.P95))
 		n.SetInt(base+"/p99_ns", int64(h.P99))
+		// Exemplars link each populated latency bucket to the last trace that
+		// landed in it — the jumping-off point into soma.trace.get.
+		for i, ex := range h.Exemplars {
+			eb := fmt.Sprintf("%s/exemplars/%03d", base, i)
+			n.SetInt(eb+"/le_ns", int64(ex.Ceil))
+			n.SetString(eb+"/trace", strconv.FormatUint(ex.TraceID, 16))
+		}
 	}
 	for i, sp := range snap.Spans {
-		base := fmt.Sprintf("spans/%06d", i)
-		n.SetString(base+"/trace", strconv.FormatUint(sp.TraceID, 16))
-		n.SetString(base+"/span", strconv.FormatUint(sp.SpanID, 16))
-		if sp.Parent != 0 {
-			n.SetString(base+"/parent", strconv.FormatUint(sp.Parent, 16))
-		}
-		n.SetString(base+"/name", sp.Name)
-		n.SetInt(base+"/start_ns", sp.Start.UnixNano())
-		n.SetInt(base+"/dur_ns", int64(sp.Dur))
+		encodeSpan(n, fmt.Sprintf("spans/%06d", i), sp)
 	}
 	return n
 }
@@ -99,30 +99,27 @@ func DecodeTelemetry(n *conduit.Node) *telemetry.Snapshot {
 			if v, ok := h.Int("p99_ns"); ok {
 				hs.P99 = time.Duration(v)
 			}
+			if exs, ok := h.Get("exemplars"); ok {
+				for _, ek := range exs.ChildNames() {
+					e := exs.Child(ek)
+					var ex telemetry.BucketExemplar
+					if v, ok := e.Int("le_ns"); ok {
+						ex.Ceil = time.Duration(v)
+					}
+					if s, ok := e.StringVal("trace"); ok {
+						ex.TraceID, _ = strconv.ParseUint(s, 16, 64)
+					}
+					if ex.TraceID != 0 {
+						hs.Exemplars = append(hs.Exemplars, ex)
+					}
+				}
+			}
 			snap.Histograms[name] = hs
 		}
 	}
 	if sub, ok := n.Get("spans"); ok {
 		for _, key := range sub.ChildNames() {
-			e := sub.Child(key)
-			var sp telemetry.SpanSnapshot
-			if s, ok := e.StringVal("trace"); ok {
-				sp.TraceID, _ = strconv.ParseUint(s, 16, 64)
-			}
-			if s, ok := e.StringVal("span"); ok {
-				sp.SpanID, _ = strconv.ParseUint(s, 16, 64)
-			}
-			if s, ok := e.StringVal("parent"); ok {
-				sp.Parent, _ = strconv.ParseUint(s, 16, 64)
-			}
-			sp.Name, _ = e.StringVal("name")
-			if v, ok := e.Int("start_ns"); ok {
-				sp.Start = time.Unix(0, v)
-			}
-			if v, ok := e.Int("dur_ns"); ok {
-				sp.Dur = time.Duration(v)
-			}
-			if sp.TraceID != 0 {
+			if sp := decodeSpan(sub.Child(key)); sp.TraceID != 0 {
 				snap.Spans = append(snap.Spans, sp)
 			}
 		}

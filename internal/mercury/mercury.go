@@ -133,6 +133,10 @@ var (
 	telHandlerErrors = telemetry.Default().Counter("mercury.handler_errors")
 	telServerInfl    = telemetry.Default().Gauge("mercury.server.inflight")
 	telClientInfl    = telemetry.Default().Gauge("mercury.client.inflight")
+	// telPipelineDepth tracks requests in flight on pipelined client
+	// connections (registered in a session's pend map, response not yet
+	// demuxed) — the wire-side queue depth the PR 6 multiplexing created.
+	telPipelineDepth = telemetry.Default().Gauge("mercury.client.pipeline.depth")
 )
 
 // Per-RPC latency histograms, cached so the hot path never concatenates a
@@ -331,6 +335,8 @@ func (e *Engine) dispatch(ctx context.Context, name string, input []byte) (out [
 	telCallsServed.Inc()
 	telBytesIn.Add(int64(len(input)))
 	telServerInfl.Inc()
+	tc := telemetry.FromContext(ctx)
+	var start time.Time
 	switch {
 	case reg.blocking:
 		var done func()
@@ -338,15 +344,15 @@ func (e *Engine) dispatch(ctx context.Context, name string, input []byte) (out [
 		out, err = reg.h(ctx, input)
 		done()
 	case reg.owned != nil:
-		start := time.Now()
+		start = time.Now()
 		var resp Response
 		resp, err = reg.owned(ctx, input)
-		serverHist(name).ObserveSince(start)
+		serverHist(name).ObserveTrace(time.Since(start), tc.TraceID)
 		out, release = resp.Payload, resp.Release
 	default:
-		start := time.Now()
+		start = time.Now()
 		out, err = reg.h(ctx, input)
-		serverHist(name).ObserveSince(start)
+		serverHist(name).ObserveTrace(time.Since(start), tc.TraceID)
 	}
 	telServerInfl.Dec()
 	if err != nil {
@@ -355,6 +361,16 @@ func (e *Engine) dispatch(ctx context.Context, name string, input []byte) (out [
 		}
 		e.Stats.HandlerErrors.Add(1)
 		telHandlerErrors.Inc()
+		// Propagate the failure into the trace: handlers that errored
+		// before starting (or without marking) their own spans would
+		// otherwise leave the server-side trace portion looking healthy,
+		// and the tail sampler keeps error traces unconditionally.
+		if tc.Valid() && !reg.blocking {
+			if sp := telemetry.LeafSpanAt(ctx, "mercury.server.error."+name, start); sp != nil {
+				sp.Fail()
+				sp.End()
+			}
+		}
 		return nil, nil, err
 	}
 	e.Stats.BytesOut.Add(int64(len(out)))
@@ -689,12 +705,16 @@ func (s *tcpSession) register() (uint64, chan rpcResponse, error) {
 	id := s.nextID
 	ch := make(chan rpcResponse, 1)
 	s.pend[id] = ch
+	telPipelineDepth.Inc()
 	return id, ch, nil
 }
 
 func (s *tcpSession) unregister(id uint64) {
 	s.mu.Lock()
-	delete(s.pend, id)
+	if _, ok := s.pend[id]; ok {
+		delete(s.pend, id)
+		telPipelineDepth.Dec()
+	}
 	s.mu.Unlock()
 }
 
@@ -709,6 +729,7 @@ func (s *tcpSession) fail(err error) {
 	s.dead = true
 	s.lastErr = err
 	close(s.deadCh) // wakes queued writers and stops the writer goroutine
+	telPipelineDepth.Add(-int64(len(s.pend)))
 	for id, ch := range s.pend {
 		close(ch)
 		delete(s.pend, id)
@@ -1383,7 +1404,11 @@ func (e *Engine) serveConn(conn net.Conn) {
 			defer handlerWG.Done()
 			ctx := context.Background()
 			if tc.Valid() {
-				ctx = telemetry.ContextWith(ctx, tc)
+				// Remote marking: the first span a handler starts under this
+				// context becomes the process-local root that closes this
+				// process's portion of the cross-process trace (see
+				// telemetry.TraceStore).
+				ctx = telemetry.ContextWithRemote(ctx, tc)
 			}
 			// Install the caller's propagated deadline; dispatch sheds the
 			// call (statusExpired) when it has already passed.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -23,16 +24,25 @@ type Histogram struct {
 	count   atomic.Uint64
 	sumNS   atomic.Int64
 	maxNS   atomic.Int64
+	// exemplars[i] holds the TraceID of the most recent traced observation
+	// that landed in bucket i — the link from a latency percentile back to
+	// a kept trace (see TraceStore). One relaxed atomic store per traced
+	// observation; untraced observations never touch it.
+	exemplars [histBuckets]atomic.Uint64
+}
+
+// bucketIdx maps a nanosecond duration onto its log2 bucket.
+func bucketIdx(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
-	idx := 0
-	if ns > 0 {
-		idx = bits.Len64(uint64(ns))
-	}
-	h.buckets[idx].Add(1)
+	h.buckets[bucketIdx(ns)].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(ns)
 	for {
@@ -40,6 +50,16 @@ func (h *Histogram) Observe(d time.Duration) {
 		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
 			break
 		}
+	}
+}
+
+// ObserveTrace is Observe plus an exemplar: when traceID is non-zero it is
+// remembered as the duration bucket's most recent trace, so dashboards can
+// jump from "the p99 bucket" to a concrete kept trace (soma.trace.get).
+func (h *Histogram) ObserveTrace(d time.Duration, traceID uint64) {
+	h.Observe(d)
+	if traceID != 0 {
+		h.exemplars[bucketIdx(int64(d))].Store(traceID)
 	}
 }
 
@@ -100,6 +120,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(max)
 }
 
+// BucketExemplar links one occupied latency bucket to the most recent
+// TraceID observed in it.
+type BucketExemplar struct {
+	// Ceil is the bucket's exclusive upper bound (2^i ns).
+	Ceil    time.Duration
+	TraceID uint64
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count uint64
@@ -108,6 +136,9 @@ type HistogramSnapshot struct {
 	P50   time.Duration
 	P95   time.Duration
 	P99   time.Duration
+	// Exemplars lists, ascending by bucket, the most recent TraceID per
+	// occupied bucket (only buckets that saw a traced observation appear).
+	Exemplars []BucketExemplar
 }
 
 // Mean returns the average observed duration.
@@ -120,7 +151,7 @@ func (s HistogramSnapshot) Mean() time.Duration {
 
 // Snapshot summarizes the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	return HistogramSnapshot{
+	snap := HistogramSnapshot{
 		Count: h.count.Load(),
 		Sum:   time.Duration(h.sumNS.Load()),
 		Max:   time.Duration(h.maxNS.Load()),
@@ -128,4 +159,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	for i := 1; i < histBuckets; i++ {
+		if id := h.exemplars[i].Load(); id != 0 {
+			ceil := time.Duration(math.MaxInt64)
+			if i < 63 {
+				ceil = time.Duration(int64(1) << i)
+			}
+			snap.Exemplars = append(snap.Exemplars, BucketExemplar{Ceil: ceil, TraceID: id})
+		}
+	}
+	return snap
 }

@@ -63,6 +63,16 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			pn, h.Count); err != nil {
 			return err
 		}
+		// Exemplars link latency buckets to kept traces (soma.trace.get).
+		// The classic text format has no exemplar syntax, so they ride in
+		// comment lines (ignored by any conforming parser) in the shape
+		// OpenMetrics uses: bucket ceiling plus a trace_id label.
+		for _, ex := range h.Exemplars {
+			if _, err := fmt.Fprintf(w, "# EXEMPLAR %s{le=\"%g\"} trace_id=\"%016x\"\n",
+				pn, ex.Ceil.Seconds(), ex.TraceID); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

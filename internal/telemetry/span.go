@@ -22,16 +22,39 @@ func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
 
 type traceCtxKey struct{}
 
-// ContextWith returns ctx carrying tc. Handlers receive such a context from
-// the mercury server loop when the caller sent trace ids.
+// ctxTrace is the context payload: the trace ids plus whether they arrived
+// from another process (an RPC server rebuilding them from a frame header).
+// The remote flag makes the first span started under such a context a
+// *process-local root* — the span that closes this process's portion of a
+// cross-process trace in the trace store (see TraceStore).
+type ctxTrace struct {
+	tc     TraceContext
+	remote bool
+}
+
+// ContextWith returns ctx carrying tc.
 func ContextWith(ctx context.Context, tc TraceContext) context.Context {
-	return context.WithValue(ctx, traceCtxKey{}, tc)
+	return context.WithValue(ctx, traceCtxKey{}, ctxTrace{tc: tc})
+}
+
+// ContextWithRemote returns ctx carrying tc received from another process
+// (the mercury server loop uses this when a frame header carried trace ids).
+// The first span started under the returned context is marked as this
+// process's local root; contexts derived from that span (ChildSpan) clear
+// the flag again.
+func ContextWithRemote(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, ctxTrace{tc: tc, remote: true})
 }
 
 // FromContext extracts the active trace context, if any.
 func FromContext(ctx context.Context) TraceContext {
-	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
-	return tc
+	v, _ := ctx.Value(traceCtxKey{}).(ctxTrace)
+	return v.tc
+}
+
+func fromContextFull(ctx context.Context) ctxTrace {
+	v, _ := ctx.Value(traceCtxKey{}).(ctxTrace)
+	return v
 }
 
 // idState seeds span/trace id generation; ids are splitmix64 outputs of an
@@ -56,16 +79,23 @@ func NewID() uint64 {
 }
 
 // Span is one timed operation within a trace. End records it into the
-// registry's recent-span ring. Spans are handed out by StartSpan, ChildSpan
-// and LeafSpan; a nil *Span is a valid no-op (End does nothing), which is
-// how untraced hot paths skip span overhead entirely. End releases the span
-// back to an internal pool: a span must not be touched after End.
+// registry's recent-span ring (and trace store, when configured). Spans are
+// handed out by StartSpan, ChildSpan and LeafSpan; a nil *Span is a valid
+// no-op (End does nothing), which is how untraced hot paths skip span
+// overhead entirely. End releases the span back to an internal pool: a span
+// must not be touched after End.
 type Span struct {
 	reg    *Registry
 	name   string
 	tc     TraceContext
 	parent uint64
 	start  time.Time
+	count  int64
+	err    bool
+	// local marks a process-local root: the first span started under a
+	// trace context that arrived from another process. Its End closes this
+	// process's portion of the trace in the trace store.
+	local bool
 }
 
 // spanPool recycles Span structs so the traced hot path allocates nothing
@@ -78,6 +108,24 @@ func (s *Span) Context() TraceContext {
 		return TraceContext{}
 	}
 	return s.tc
+}
+
+// Fail marks the span (and therefore its trace) as failed. The trace store
+// always keeps error traces, so calling Fail before End guarantees the
+// trace survives sampling. No-op on a nil span.
+func (s *Span) Fail() {
+	if s != nil {
+		s.err = true
+	}
+}
+
+// SetCount attaches a unit count to the span (batch ingest records how many
+// coalesced publishes a stripe append covered). Rendered by the waterfall
+// view; zero means "not set". No-op on a nil span.
+func (s *Span) SetCount(n int64) {
+	if s != nil {
+		s.count = n
+	}
 }
 
 // End completes the span and records it. End on a nil or already-ended span
@@ -98,27 +146,36 @@ func (s *Span) EndAt(now time.Time) {
 	}
 	reg := s.reg
 	s.reg = nil
-	reg.spans.record(SpanSnapshot{
+	snap := SpanSnapshot{
 		TraceID: s.tc.TraceID,
 		SpanID:  s.tc.SpanID,
 		Parent:  s.parent,
 		Name:    s.name,
 		Start:   s.start,
 		Dur:     now.Sub(s.start),
-	})
+		Count:   s.count,
+		Err:     s.err,
+	}
+	local := s.local
 	spanPool.Put(s)
+	reg.spans.Load().record(snap)
+	if ts := reg.traces.Load(); ts != nil {
+		ts.record(snap, local)
+	}
 }
 
 // StartSpan begins a span named name on the registry. When ctx already
 // carries a trace, the new span is a child of it; otherwise a fresh trace is
 // started. The returned context carries the new span's trace context.
 func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	parent := FromContext(ctx)
+	parent := fromContextFull(ctx)
 	s := spanPool.Get().(*Span)
 	s.reg, s.name, s.start = r, name, time.Now()
-	if parent.Valid() {
-		s.tc = TraceContext{TraceID: parent.TraceID, SpanID: NewID()}
-		s.parent = parent.SpanID
+	s.count, s.err, s.local = 0, false, false
+	if parent.tc.Valid() {
+		s.tc = TraceContext{TraceID: parent.tc.TraceID, SpanID: NewID()}
+		s.parent = parent.tc.SpanID
+		s.local = parent.remote
 	} else {
 		s.tc = TraceContext{TraceID: NewID(), SpanID: NewID()}
 		s.parent = 0
@@ -146,14 +203,16 @@ func (r *Registry) LeafSpan(ctx context.Context, name string) *Span {
 
 // LeafSpanAt is LeafSpan with a caller-supplied start time (see EndAt).
 func (r *Registry) LeafSpanAt(ctx context.Context, name string, start time.Time) *Span {
-	parent := FromContext(ctx)
-	if !parent.Valid() {
+	parent := fromContextFull(ctx)
+	if !parent.tc.Valid() {
 		return nil
 	}
 	s := spanPool.Get().(*Span)
 	s.reg, s.name, s.start = r, name, start
-	s.tc = TraceContext{TraceID: parent.TraceID, SpanID: NewID()}
-	s.parent = parent.SpanID
+	s.count, s.err = 0, false
+	s.tc = TraceContext{TraceID: parent.tc.TraceID, SpanID: NewID()}
+	s.parent = parent.tc.SpanID
+	s.local = parent.remote
 	return s
 }
 
@@ -185,17 +244,19 @@ type SpanSnapshot struct {
 	Name    string
 	Start   time.Time
 	Dur     time.Duration
+	Count   int64 // optional unit count (batch entries); 0 = not set
+	Err     bool  // the operation failed
 }
 
-// spanRingSize bounds the recent-span ring; completed spans overwrite the
-// oldest entry, so tracing memory is constant regardless of traffic. The
-// ring is sharded by span id (ids are splitmix-mixed, so the spread is
-// uniform) to keep concurrent End calls off one mutex; a global sequence
-// number preserves exact record order across shards.
+// spanRingSize is the default recent-span ring capacity; Options /
+// Registry.Configure resizes it (somad -span-ring). Completed spans
+// overwrite the oldest entry, so tracing memory is constant regardless of
+// traffic. The ring is sharded by span id (ids are splitmix-mixed, so the
+// spread is uniform) to keep concurrent End calls off one mutex; a global
+// sequence number preserves exact record order across shards.
 const (
-	spanRingSize  = 256
-	spanShards    = 4
-	spanShardSize = spanRingSize / spanShards
+	spanRingSize = 256
+	spanShards   = 4
 )
 
 type spanEntry struct {
@@ -205,7 +266,7 @@ type spanEntry struct {
 
 type spanShard struct {
 	mu    sync.Mutex
-	buf   [spanShardSize]spanEntry
+	buf   []spanEntry
 	next  int
 	count int
 }
@@ -215,13 +276,27 @@ type spanRing struct {
 	shards [spanShards]spanShard
 }
 
+// newSpanRing builds a ring holding ~capacity spans split across the shards
+// (rounded up to a multiple of spanShards, minimum one per shard).
+func newSpanRing(capacity int) *spanRing {
+	per := (capacity + spanShards - 1) / spanShards
+	if per < 1 {
+		per = 1
+	}
+	sr := &spanRing{}
+	for i := range sr.shards {
+		sr.shards[i].buf = make([]spanEntry, per)
+	}
+	return sr
+}
+
 func (sr *spanRing) record(s SpanSnapshot) {
 	seq := sr.seq.Add(1)
 	sh := &sr.shards[s.SpanID%spanShards]
 	sh.mu.Lock()
 	sh.buf[sh.next] = spanEntry{seq: seq, span: s}
-	sh.next = (sh.next + 1) % spanShardSize
-	if sh.count < spanShardSize {
+	sh.next = (sh.next + 1) % len(sh.buf)
+	if sh.count < len(sh.buf) {
 		sh.count++
 	}
 	sh.mu.Unlock()
@@ -233,9 +308,10 @@ func (sr *spanRing) snapshot() []SpanSnapshot {
 	for i := range sr.shards {
 		sh := &sr.shards[i]
 		sh.mu.Lock()
-		start := (sh.next - sh.count + spanShardSize) % spanShardSize
+		n := len(sh.buf)
+		start := (sh.next - sh.count + n) % n
 		for j := 0; j < sh.count; j++ {
-			entries = append(entries, sh.buf[(start+j)%spanShardSize])
+			entries = append(entries, sh.buf[(start+j)%n])
 		}
 		sh.mu.Unlock()
 	}

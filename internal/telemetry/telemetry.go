@@ -77,21 +77,61 @@ type Registry struct {
 	fgauge  map[string]*FloatGauge
 	hist    map[string]*Histogram
 
-	spans spanRing
+	// spans is the recent-span ring (default capacity 256, resizable via
+	// Configure); traces, when non-nil, is the tail-sampling trace store
+	// fed by every Span.End. Both are swapped atomically so hot-path span
+	// completion never takes the registry lock.
+	spans  atomic.Pointer[spanRing]
+	traces atomic.Pointer[TraceStore]
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry (default span ring, no trace
+// store — Configure installs one).
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counter: map[string]*Counter{},
 		gauge:   map[string]*Gauge{},
 		fgauge:  map[string]*FloatGauge{},
 		hist:    map[string]*Histogram{},
 	}
+	r.spans.Store(newSpanRing(spanRingSize))
+	return r
 }
 
+// Options reconfigures a registry's tracing machinery (Registry.Configure).
+type Options struct {
+	// SpanRingCapacity resizes the recent-span ring; the ring restarts
+	// empty. <= 0 keeps the current capacity.
+	SpanRingCapacity int
+	// TraceStore, when non-nil, installs a trace store built from these
+	// options, replacing any existing store (which restarts sampling
+	// state). See TraceStoreOptions for the zero-value defaults.
+	TraceStore *TraceStoreOptions
+}
+
+// Configure applies opts. Safe to call at any time; spans completing
+// concurrently land in either the old or new ring/store.
+func (r *Registry) Configure(opts Options) {
+	if opts.SpanRingCapacity > 0 {
+		r.spans.Store(newSpanRing(opts.SpanRingCapacity))
+	}
+	if opts.TraceStore != nil {
+		r.traces.Store(newTraceStore(*opts.TraceStore, r))
+	}
+}
+
+// Traces returns the registry's trace store, or nil when none is
+// configured.
+func (r *Registry) Traces() *TraceStore { return r.traces.Load() }
+
 // defaultRegistry is the process-wide registry every layer records into.
+// It ships with a default-bounded trace store, so any process that starts
+// spans can answer soma.trace.* queries without configuration.
 var defaultRegistry = NewRegistry()
+
+func init() {
+	defaultRegistry.Configure(Options{TraceStore: &TraceStoreOptions{}})
+}
 
 // Default returns the process-wide registry.
 func Default() *Registry { return defaultRegistry }
@@ -195,7 +235,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		out.Histograms[name] = h.Snapshot()
 	}
 	r.mu.RUnlock()
-	out.Spans = r.spans.snapshot()
+	out.Spans = r.spans.Load().snapshot()
 	return out
 }
 

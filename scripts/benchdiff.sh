@@ -12,7 +12,12 @@
 # fails when the median ratio exceeds max_traced_overhead (1.05 = 5%, the
 # budget from the paper's overhead tables). Pairing the runs inside one
 # process cancels the machine-state drift that dominates cross-invocation
-# comparisons, so the check is host-independent.
+# comparisons, so the check is host-independent. The Default registry ships
+# with the tail-sampling trace store always on, so the traced side includes
+# trace assembly + the tail-sampler keep/drop decision — the 5% gate runs
+# with sampling enabled, not against a stripped-down tracer. The mode also
+# gates the sampler hot path in isolation (BenchmarkTraceTailSampler vs
+# tail_sampler_ns_per_op in the baseline).
 #
 # The baseline is machine-specific: absolute ns/op numbers move between
 # hosts, so the allowed_regression factor is generous and the baseline
@@ -39,6 +44,7 @@ qnocache=BenchmarkQueryEncodeNoCache
 qdelta=BenchmarkQueryDelta
 qrebuild=BenchmarkSnapshotRebuild
 batch=BenchmarkPublishBatch
+sampler=BenchmarkTraceTailSampler
 count=${BENCH_COUNT:-5}
 
 # Everything except --update compares against the committed baseline; fail
@@ -99,6 +105,25 @@ if [ "${1:-}" = "--telemetry" ]; then
 	fi
 	echo "telemetry-overhead: OK"
 	echo "BENCHDIFF_SUMMARY mode=telemetry median_ratio=$median_ratio limit=$maxov result=pass"
+	# Sampler hot-path gate: root-span start→end against a default-bounded
+	# trace store, in isolation. Skipped when the baseline predates it.
+	sbase=$(json_num tail_sampler_ns_per_op)
+	sfactor=$(json_num sampler_allowed_regression)
+	if [ -n "$sbase" ] && [ "$sbase" != "0" ] && [ -n "$sfactor" ]; then
+		sm=$(median_of "$sampler")
+		if [ -z "$sm" ]; then
+			echo "telemetry-overhead: no samples collected for $sampler" >&2
+			exit 1
+		fi
+		slimit=$(awk -v b="$sbase" -v f="$sfactor" 'BEGIN {printf "%.0f", b*f}')
+		echo "telemetry-overhead: $sampler median ${sm} ns/op (baseline ${sbase}, limit ${slimit})"
+		if awk -v m="$sm" -v l="$slimit" 'BEGIN {exit (m > l) ? 0 : 1}'; then
+			echo "telemetry-overhead: FAIL — $sampler median ${sm} ns/op exceeds limit ${slimit} ns/op" >&2
+			echo "BENCHDIFF_SUMMARY mode=sampler benchmark=$sampler median_ns_per_op=$sm baseline_ns_per_op=$sbase limit_ns_per_op=$slimit result=fail"
+			exit 1
+		fi
+		echo "BENCHDIFF_SUMMARY mode=sampler benchmark=$sampler median_ns_per_op=$sm baseline_ns_per_op=$sbase limit_ns_per_op=$slimit result=pass"
+	fi
 	exit 0
 fi
 
@@ -117,6 +142,7 @@ if [ "${1:-}" = "--update" ]; then
 	qdeltam=$(median_of "$qdelta")
 	qrebuildm=$(median_of "$qrebuild")
 	batchm=$(median_of "$batch")
+	samplerm=$(median_of "$sampler")
 	cat >"$baseline" <<EOF
 {
   "benchmark": "$bench",
@@ -143,10 +169,13 @@ if [ "${1:-}" = "--update" ]; then
   "publish_batch_ns_per_op": ${batchm:-0},
   "batch_allowed_regression": 2.0,
   "min_batch_publishes_per_sec": 500000,
+  "tail_sampler_benchmark": "$sampler",
+  "tail_sampler_ns_per_op": ${samplerm:-0},
+  "sampler_allowed_regression": 2.0,
   "recorded": "$(date -u +%Y-%m-%d)"
 }
 EOF
-	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0}, batch ${batchm:-0} ns/op)"
+	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0}, batch ${batchm:-0}, sampler ${samplerm:-0} ns/op)"
 	exit 0
 fi
 
