@@ -10,7 +10,7 @@ GO ?= go
 GOFMT ?= gofmt
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke
+.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke gateway-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,20 @@ load:
 load-smoke:
 	$(GO) build -o bin/somabench ./cmd/somabench
 	bin/somabench load -publishers 1000 -conns 4 -duration 2s -json
+
+# gateway-smoke boots somad + somagate, drives the JSON API and dashboard
+# with curl, publishes via `somabench pub`, and holds a live WebSocket
+# through one somad restart — asserting zero HTTP-availability loss, drops
+# accounted in-stream, 429 under burst, and no leaked goroutines.
+gateway-smoke:
+	scripts/gateway_smoke.sh
+
+# fuzz-smoke runs each fuzz target briefly against its corpus plus fresh
+# inputs: the binary batch decoder, the conduit JSON codec round-trip, and
+# the WebSocket frame decoder (hostile wire input). One `go test -fuzz`
+# invocation per target — the fuzzer accepts only a single match.
+FUZZ_TIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/conduit/ -run '^$$' -fuzz 'FuzzDecodeBatch$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/conduit/ -run '^$$' -fuzz 'FuzzJSONRoundTrip$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/gateway/ -run '^$$' -fuzz 'FuzzWSFrame$$' -fuzztime $(FUZZ_TIME)

@@ -58,6 +58,14 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "load" {
 		os.Exit(runLoad(os.Args[2:]))
 	}
+	// `somabench ws` probes a somagate WebSocket stream (gateway-smoke CI).
+	if len(os.Args) > 1 && os.Args[1] == "ws" {
+		os.Exit(runWS(os.Args[2:]))
+	}
+	// `somabench pub` publishes steady traffic at an external somad.
+	if len(os.Args) > 1 && os.Args[1] == "pub" {
+		os.Exit(runPub(os.Args[2:]))
+	}
 	list := flag.Bool("list", false, "list available experiments and exit")
 	maxNodes := flag.Int("max-nodes", 0, "truncate the Scaling B sweep (0 = full 512)")
 	flag.Usage = func() {

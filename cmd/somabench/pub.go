@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+)
+
+// pubReport is the JSON summary `somabench pub` prints.
+type pubReport struct {
+	Addr      string  `json:"addr"`
+	NS        string  `json:"ns"`
+	Paths     int     `json:"paths"`
+	Rounds    int     `json:"rounds"`
+	Published int64   `json:"published"`
+	Failed    int64   `json:"failed"`
+	DurSec    float64 `json:"dur_sec"`
+}
+
+// runPub implements `somabench pub`: a steady publisher against an
+// EXTERNAL somad (unlike `somabench load`, which boots its own in-process
+// service). The gateway-smoke job uses it to put real traffic — trees,
+// series points, query-cache invalidations — behind the HTTP surface it
+// probes.
+func runPub(args []string) int {
+	fs := flag.NewFlagSet("somabench pub", flag.ExitOnError)
+	addr := fs.String("addr", "", "somad RPC address (tcp://host:port), required")
+	ns := fs.String("ns", "hardware", "namespace to publish into")
+	paths := fs.Int("paths", 8, "distinct leaf paths per round")
+	rounds := fs.Int("rounds", 20, "publish rounds")
+	every := fs.Duration("every", 100*time.Millisecond, "delay between rounds")
+	fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "somabench pub: -addr is required")
+		return 2
+	}
+	cli, err := core.Connect(*addr, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somabench pub: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+
+	rep := pubReport{Addr: *addr, NS: *ns, Paths: *paths, Rounds: *rounds}
+	start := time.Now()
+	for r := 0; r < *rounds; r++ {
+		n := conduit.NewNode()
+		for p := 0; p < *paths; p++ {
+			// A wave per path: visibly moving sparklines, deterministic data.
+			v := 50 + 40*math.Sin(float64(r)/3+float64(p))
+			n.SetFloat(fmt.Sprintf("PROC/cn%02d/CPU Util", p), v)
+		}
+		if err := cli.Publish(core.Namespace(*ns), n); err != nil {
+			rep.Failed++
+		} else {
+			rep.Published++
+		}
+		if r < *rounds-1 {
+			time.Sleep(*every)
+		}
+	}
+	rep.DurSec = time.Since(start).Seconds()
+
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "somabench pub: %d/%d publishes failed\n", rep.Failed, rep.Failed+rep.Published)
+		return 1
+	}
+	return 0
+}

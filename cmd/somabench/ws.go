@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/gateway"
+)
+
+// wsReport is the JSON summary `somabench ws` prints: what a live
+// dashboard would have experienced over the probe window. The
+// gateway-smoke CI job holds one of these across a somad restart and
+// asserts messages kept arriving and every loss was accounted.
+type wsReport struct {
+	URL              string  `json:"url"`
+	DurationSec      float64 `json:"duration_sec"`
+	Messages         int64   `json:"messages"`
+	Pings            int64   `json:"pings"`
+	DroppedWS        int64   `json:"dropped_ws"`
+	DroppedUpstream  int64   `json:"dropped_upstream"`
+	LongestGapSec    float64 `json:"longest_gap_sec"`
+	DisconnectClosed bool    `json:"disconnect_closed"`
+}
+
+// wsMessage mirrors the gateway's per-update JSON envelope (drop counters
+// only; the tree is ignored).
+type wsMessage struct {
+	DroppedWS       int64 `json:"dropped_ws"`
+	DroppedUpstream int64 `json:"dropped_upstream"`
+}
+
+// runWS implements `somabench ws -url ws://host:port/ws?ns=... -for 30s`:
+// subscribe like a browser, answer pings, count messages and accounted
+// drops, and report the longest silence (a gap longer than the upstream
+// restart window would mean the gateway's resubscribe machinery failed).
+func runWS(args []string) int {
+	fs := flag.NewFlagSet("somabench ws", flag.ExitOnError)
+	url := fs.String("url", "", "gateway WebSocket URL (ws://host:port/ws?ns=...), required")
+	dur := fs.Duration("for", 30*time.Second, "how long to hold the subscription")
+	minMsgs := fs.Int64("min-messages", 0, "exit nonzero unless at least this many messages arrived")
+	fs.Parse(args)
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "somabench ws: -url is required")
+		return 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	conn, err := gateway.Dial(ctx, *url)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somabench ws: %v\n", err)
+		return 1
+	}
+	defer conn.Close()
+
+	rep := wsReport{URL: *url}
+	start := time.Now()
+	deadline := start.Add(*dur)
+	lastMsg := start
+	for time.Now().Before(deadline) {
+		conn.SetReadDeadline(deadline.Add(time.Second))
+		op, payload, err := conn.ReadMessage()
+		if err != nil {
+			// Read deadline past the probe window is the normal way out on
+			// a quiet stream; anything earlier is a torn connection.
+			rep.DisconnectClosed = time.Now().Before(deadline)
+			break
+		}
+		switch op {
+		case gateway.OpPing:
+			rep.Pings++
+			if err := conn.WriteMessage(gateway.OpPong, payload); err != nil {
+				rep.DisconnectClosed = true
+			}
+		case gateway.OpClose:
+			rep.DisconnectClosed = true
+		case gateway.OpText:
+			rep.Messages++
+			if gap := time.Since(lastMsg).Seconds(); gap > rep.LongestGapSec {
+				rep.LongestGapSec = gap
+			}
+			lastMsg = time.Now()
+			var m wsMessage
+			if json.Unmarshal(payload, &m) == nil {
+				rep.DroppedWS = m.DroppedWS
+				rep.DroppedUpstream = m.DroppedUpstream
+			}
+		}
+		if rep.DisconnectClosed {
+			break
+		}
+	}
+	rep.DurationSec = time.Since(start).Seconds()
+
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if rep.DisconnectClosed {
+		fmt.Fprintln(os.Stderr, "somabench ws: connection torn before the probe window ended")
+		return 1
+	}
+	if rep.Messages < *minMsgs {
+		fmt.Fprintf(os.Stderr, "somabench ws: %d messages < required %d\n", rep.Messages, *minMsgs)
+		return 1
+	}
+	return 0
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -70,10 +71,25 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			// Buffer the exposition so an encode failure can still become
+			// a clean 500 instead of a torn 200.
+			var buf bytes.Buffer
+			if err := telemetry.Default().WriteText(&buf); err != nil {
+				http.Error(w, "metrics encoding failed", http.StatusInternalServerError)
+				return
+			}
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			telemetry.Default().WriteText(w)
+			w.Write(buf.Bytes())
 		})
-		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		msrv := &http.Server{
+			Addr:    *metricsAddr,
+			Handler: mux,
+			// Bound every phase of a scrape so a slowloris client can't
+			// park a goroutine forever.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      30 * time.Second,
+		}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("somad: metrics server: %v", err)

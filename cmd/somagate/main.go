@@ -1,0 +1,81 @@
+// Command somagate bridges a SOMA service to the web: JSON over HTTP for
+// the query/series/alert/telemetry/trace RPCs, live soma.updates and
+// soma.alerts streams over WebSocket, and an embedded dashboard at / — the
+// observability surface for everyone who doesn't have a terminal on the
+// cluster.
+//
+// Usage:
+//
+//	somagate -upstream tcp://127.0.0.1:9900 -listen :8080
+//
+// The concrete HTTP address is printed on stdout (same contract as somad's
+// RPC address). The gateway tolerates upstream restarts: HTTP requests
+// redial lazily, WebSocket subscriptions resubscribe with backoff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/gateway"
+)
+
+func main() {
+	upstream := flag.String("upstream", "", "somad RPC address (tcp://host:port), required")
+	listen := flag.String("listen", "127.0.0.1:0", "HTTP listen address (host:port)")
+	rate := flag.Float64("rate", gateway.DefaultRatePerSec, "per-client request rate limit (req/s; negative = off)")
+	burst := flag.Int("burst", gateway.DefaultBurst, "per-client burst allowance")
+	ping := flag.Duration("ping", gateway.DefaultPingInterval, "WebSocket ping interval")
+	flag.Parse()
+
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "somagate: -upstream is required")
+		os.Exit(2)
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Upstream:     *upstream,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		PingInterval: *ping,
+	})
+	if err != nil {
+		log.Fatalf("somagate: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("somagate: listen %s: %v", *listen, err)
+	}
+	srv := &http.Server{
+		Handler: g.Handler(),
+		// Write timeout stays off: WebSocket connections are long-lived
+		// hijacked streams with their own per-frame deadlines.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	fmt.Printf("http://%s\n", ln.Addr()) // the published HTTP address
+	log.Printf("somagate: serving %s -> %s", ln.Addr(), *upstream)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("somagate: %s, shutting down", sig)
+	case err := <-done:
+		log.Printf("somagate: server: %v", err)
+	}
+	srv.Close()
+	g.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 )
@@ -871,13 +872,19 @@ func (n *Node) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON parses plain JSON into the node. JSON numbers become floats
-// unless they are integral, in which case they become int64 leaves.
+// unless they are integral, in which case they become int64 leaves. The
+// input must be exactly one JSON document: trailing non-whitespace after
+// the first value is an error, not silently ignored — this is a wire
+// boundary, and "parses the prefix" is how smuggled payloads hide.
 func (n *Node) UnmarshalJSON(data []byte) error {
 	var v interface{}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
 	if err := dec.Decode(&v); err != nil {
 		return err
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("conduit: trailing data after JSON document (next token %v, err %v)", tok, err)
 	}
 	*n = Node{}
 	return n.fromJSONValue(v)

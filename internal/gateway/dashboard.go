@@ -1,0 +1,24 @@
+package gateway
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// The dashboard is a static, dependency-free page compiled into the binary
+// — somagate is one file to copy onto a login node, and the dashboard it
+// serves is the one it was built with.
+//
+//go:embed static
+var staticFS embed.FS
+
+// dashboard serves the embedded live dashboard at /.
+func (g *Gateway) dashboard() http.Handler {
+	sub, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		// Unreachable unless the embed directive is broken at build time.
+		panic(err)
+	}
+	return http.FileServerFS(sub)
+}

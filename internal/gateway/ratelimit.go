@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client host gets Burst
+// tokens refilled at Rate tokens/second. It protects the gateway's upstream
+// (one somad serves many browsers) rather than metering bandwidth, so the
+// key is the remote host, not host:port — a reloading browser churns source
+// ports but is still one client.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-host table; beyond it the whole table is
+// dropped (the same wholesale-reset idiom as the client's delta memo) —
+// a momentary free pass beats an unbounded map under address churn.
+const maxBuckets = 4096
+
+func newRateLimiter(ratePerSec float64, burst int) *rateLimiter {
+	if ratePerSec <= 0 {
+		return nil // disabled
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    ratePerSec,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for the client behind remoteAddr, reporting
+// whether the request may proceed. A nil limiter allows everything.
+func (rl *rateLimiter) allow(remoteAddr string, now time.Time) bool {
+	if rl == nil {
+		return true
+	}
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[host]
+	if b == nil {
+		if len(rl.buckets) >= maxBuckets {
+			rl.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[host] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

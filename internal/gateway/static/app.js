@@ -1,0 +1,228 @@
+/* SOMA live dashboard. No frameworks: fetch for the JSON API, one
+ * WebSocket per stream (updates + alerts), inline SVG sparklines. */
+"use strict";
+
+const $ = (id) => document.getElementById(id);
+
+/* ---------- theme toggle (data-theme beats prefers-color-scheme) ------ */
+$("theme").addEventListener("click", () => {
+  const root = document.documentElement;
+  const dark = matchMedia("(prefers-color-scheme: dark)").matches;
+  const cur = root.dataset.theme || (dark ? "dark" : "light");
+  root.dataset.theme = cur === "dark" ? "light" : "dark";
+});
+
+/* ---------- formatting ------------------------------------------------ */
+function compact(n) {
+  if (n === null || n === undefined || Number.isNaN(n)) return "—";
+  const abs = Math.abs(n);
+  if (abs >= 1e9) return (n / 1e9).toFixed(1) + "B";
+  if (abs >= 1e6) return (n / 1e6).toFixed(1) + "M";
+  if (abs >= 1e4) return (n / 1e3).toFixed(1) + "k";
+  if (Number.isInteger(n)) return String(n);
+  return abs >= 100 ? n.toFixed(0) : n.toFixed(2);
+}
+function clock(t) {
+  return new Date(t).toTimeString().slice(0, 8);
+}
+
+/* ---------- health + stats tiles -------------------------------------- */
+const STATUS_ICON = { ok: "✓", stopped: "⏸", unreachable: "✕", unknown: "…" };
+let lastPublishes = null, lastPublishTime = null;
+
+async function pollHealth() {
+  try {
+    const h = await (await fetch("/api/health")).json();
+    const st = STATUS_ICON[h.status] ? h.status : "unknown";
+    const el = $("health-status");
+    el.dataset.status = st;
+    el.textContent = STATUS_ICON[st] + " " + st;
+    $("health-sub").textContent =
+      "breaker " + (h.breaker || "?") + (h.degraded ? " · spilling" : "");
+    $("stat-calls").textContent = compact(h.calls_served);
+    $("stat-uptime").textContent = h.uptime_sec
+      ? "up " + compact(h.uptime_sec) + "s" : "";
+    $("stat-ws").textContent = compact(h.ws_active);
+  } catch {
+    const el = $("health-status");
+    el.dataset.status = "unknown";
+    el.textContent = "… gateway unreachable";
+  }
+}
+
+async function pollStats() {
+  try {
+    const s = await (await fetch("/api/stats")).json();
+    let pubs = 0;
+    for (const ns of s.namespaces) pubs += ns.publishes;
+    $("stat-publishes").textContent = compact(pubs);
+    const now = Date.now();
+    if (lastPublishes !== null && now > lastPublishTime) {
+      const rate = (pubs - lastPublishes) / ((now - lastPublishTime) / 1000);
+      $("stat-publishes-rate").textContent = compact(rate) + "/s";
+    }
+    lastPublishes = pubs; lastPublishTime = now;
+  } catch { /* next poll retries */ }
+}
+
+/* ---------- sparklines ------------------------------------------------ */
+const MAX_SPARKS = 6;
+const sparkEls = new Map(); // key -> {root, poly, value}
+
+function sparkTile(key) {
+  const root = document.createElement("article");
+  root.className = "spark";
+  root.innerHTML =
+    '<span class="spark-key"></span>' +
+    '<div class="spark-row"><span class="spark-value">—</span>' +
+    '<svg viewBox="0 0 120 36" preserveAspectRatio="none" role="img">' +
+    '<line class="base" x1="0" y1="35" x2="120" y2="35"></line>' +
+    '<polyline points=""></polyline></svg></div>';
+  root.querySelector(".spark-key").textContent = key;
+  root.querySelector("svg").setAttribute("aria-label", "sparkline for " + key);
+  $("sparklines").appendChild(root);
+  return {
+    root,
+    poly: root.querySelector("polyline"),
+    value: root.querySelector(".spark-value"),
+  };
+}
+
+function drawSpark(el, values) {
+  if (!values.length) return;
+  const lo = Math.min(...values), hi = Math.max(...values);
+  const span = hi - lo || 1;
+  const step = values.length > 1 ? 120 / (values.length - 1) : 0;
+  el.poly.setAttribute("points", values.map((v, i) =>
+    (i * step).toFixed(1) + "," + (33 - ((v - lo) / span) * 30).toFixed(1)
+  ).join(" "));
+  el.value.textContent = compact(values[values.length - 1]);
+}
+
+function seriesNamespaces() {
+  const ns = $("ns").value;
+  return ns && ns !== "soma.alerts"
+    ? [ns] : ["workflow", "hardware", "performance", "application"];
+}
+
+async function pollSeries() {
+  const spaces = seriesNamespaces();
+  const found = [];
+  for (const ns of spaces) {
+    try {
+      const r = await (await fetch("/api/series?ns=" + ns)).json();
+      for (const key of r.keys) {
+        found.push([ns, key]);
+        if (found.length >= MAX_SPARKS) break;
+      }
+    } catch { /* namespace may be empty */ }
+    if (found.length >= MAX_SPARKS) break;
+  }
+  if (found.length) $("series-empty")?.remove();
+  for (const [ns, key] of found) {
+    const id = ns + "/" + key;
+    let el = sparkEls.get(id);
+    if (!el) { el = sparkTile(id); sparkEls.set(id, el); }
+    try {
+      const s = await (await fetch(
+        "/api/series?ns=" + ns + "&key=" + encodeURIComponent(key) + "&level=1s"
+      )).json();
+      drawSpark(el, s.buckets.slice(-40).map((b) => b.mean));
+    } catch { /* keep the last drawing */ }
+  }
+}
+
+/* ---------- feeds ----------------------------------------------------- */
+function feedItem(list, cls, t, ns, msg, drops) {
+  const li = document.createElement("li");
+  if (cls) li.className = cls;
+  li.innerHTML = '<span class="t"></span><span class="ns"></span>' +
+    '<span class="msg"></span><span class="drop"></span>';
+  li.querySelector(".t").textContent = t;
+  li.querySelector(".ns").textContent = ns;
+  li.querySelector(".msg").textContent = msg;
+  if (drops > 0) li.querySelector(".drop").textContent = "▲ " + drops + " lost";
+  list.querySelector(".empty")?.remove();
+  list.prepend(li);
+  while (list.children.length > 50) list.lastChild.remove();
+}
+
+function leafSummary(data) {
+  if (data === null || typeof data !== "object") return String(data);
+  const keys = Object.keys(data);
+  const head = keys.slice(0, 3).map((k) => {
+    const v = data[k];
+    return k + "=" + (typeof v === "object" ? "…" : compact(Number(v)));
+  });
+  return head.join("  ") + (keys.length > 3 ? "  +" + (keys.length - 3) : "");
+}
+
+/* ---------- websockets ------------------------------------------------ */
+let updatesWS = null;
+
+function wsURL(params) {
+  const proto = location.protocol === "https:" ? "wss://" : "ws://";
+  return proto + location.host + "/ws" + params;
+}
+
+function connect(params, onMsg, onState) {
+  let ws = null, retry = 250, closed = false;
+  function dial() {
+    if (closed) return;
+    ws = new WebSocket(wsURL(params));
+    ws.onopen = () => { retry = 250; onState?.(true); };
+    ws.onmessage = (ev) => {
+      try { onMsg(JSON.parse(ev.data)); } catch { /* skip bad frame */ }
+    };
+    ws.onclose = () => {
+      onState?.(false);
+      if (!closed) setTimeout(dial, retry = Math.min(retry * 2, 5000));
+    };
+  }
+  dial();
+  return { close() { closed = true; ws?.close(); } };
+}
+
+let wsDroppedTotal = 0, lastDropped = 0;
+
+function connectUpdates() {
+  updatesWS?.close();
+  const ns = $("ns").value;
+  const params = ns ? "?ns=" + encodeURIComponent(ns) : "";
+  $("updates-sub").textContent = "over WebSocket · " + (ns || "all namespaces");
+  lastDropped = 0;
+  updatesWS = connect(params, (u) => {
+    if (u.dropped > lastDropped) {
+      wsDroppedTotal += u.dropped - lastDropped;
+      $("stat-dropped").textContent = wsDroppedTotal + " updates dropped here";
+    }
+    const delta = u.dropped - lastDropped;
+    lastDropped = u.dropped;
+    feedItem($("updates"), u.alert ? "firing" : "",
+      clock(Date.now()), u.ns, leafSummary(u.data), delta);
+  }, (up) => {
+    const pill = $("link");
+    pill.dataset.state = up ? "live" : "down";
+    pill.textContent = up ? "● live" : "● reconnecting";
+  });
+}
+
+connect("?ns=soma.alerts", (u) => {
+  const firing = !!u.alert;
+  feedItem($("alerts"), firing ? "firing" : "cleared", clock(Date.now()),
+    u.ns, (firing ? "⚠ firing  " : "✓ cleared  ") + leafSummary(u.data), 0);
+});
+
+$("ns").addEventListener("change", () => {
+  for (const el of sparkEls.values()) el.root.remove();
+  sparkEls.clear();
+  connectUpdates();
+  pollSeries();
+});
+
+/* ---------- go -------------------------------------------------------- */
+connectUpdates();
+pollHealth(); pollStats(); pollSeries();
+setInterval(pollHealth, 2000);
+setInterval(pollStats, 2000);
+setInterval(pollSeries, 3000);

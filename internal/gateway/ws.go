@@ -1,0 +1,494 @@
+// Package gateway bridges a SOMA service's mercury RPC surface to
+// web-native protocols: JSON over HTTP for the query/series/alert/telemetry
+// RPCs and RFC 6455 WebSocket push for the soma.updates / soma.alerts
+// subscription streams, plus a small embedded live dashboard. somatop is a
+// terminal for one operator; the gateway is the same observability for
+// anyone with a browser.
+//
+// This file is the hand-rolled, stdlib-only WebSocket layer: the server
+// handshake (Hijack + Sec-WebSocket-Accept), a client dial (for the smoke
+// probe and tests), and the frame codec. The codec is deliberately split so
+// the pure parser (DecodeFrame) can be fuzzed with hostile inputs, in the
+// spirit of conduit's FuzzDecodeBatch: it must never panic, never
+// over-read, and reject every frame the RFC rejects (reserved bits,
+// non-minimal lengths, oversized or fragmented control frames, the wrong
+// masking for the connection's role).
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	OpContinuation = 0x0
+	OpText         = 0x1
+	OpBinary       = 0x2
+	OpClose        = 0x8
+	OpPing         = 0x9
+	OpPong         = 0xA
+)
+
+// Close status codes the gateway uses (RFC 6455 §7.4.1).
+const (
+	CloseNormal        = 1000
+	CloseGoingAway     = 1001
+	CloseProtocolError = 1002
+	CloseTooLarge      = 1009
+)
+
+// DefaultMaxPayload bounds a single frame's payload. Client→gateway frames
+// are tiny (control frames and the occasional text command), but the bound
+// is what keeps a hostile 2^63-byte length header from turning into an
+// allocation.
+const DefaultMaxPayload = 1 << 20
+
+// wsGUID is the protocol-mandated accept-key suffix (RFC 6455 §1.3).
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Frame is one decoded WebSocket frame.
+type Frame struct {
+	Fin     bool
+	Opcode  byte
+	Masked  bool
+	Payload []byte
+}
+
+// Frame-codec errors. ErrFrameShort means the buffer ends mid-frame (a
+// streaming reader should read more); everything else is a hard protocol
+// violation that fails the connection.
+var (
+	ErrFrameShort   = errors.New("ws: truncated frame")
+	ErrFrameInvalid = errors.New("ws: protocol violation")
+)
+
+func frameErr(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrFrameInvalid, fmt.Sprintf(format, args...))
+}
+
+// DecodeFrame parses exactly one frame from the front of buf and returns it
+// with the number of bytes consumed. requireMask enforces the role rule: a
+// server requires every client frame masked, a client requires every server
+// frame unmasked — both directions are hard errors, not warnings, because a
+// role-confused peer is indistinguishable from an injection attempt.
+// maxPayload (≤0 means DefaultMaxPayload) bounds the declared payload
+// length before any allocation happens. The returned payload is a fresh,
+// unmasked copy; buf is never aliased or modified.
+func DecodeFrame(buf []byte, requireMask bool, maxPayload int) (Frame, int, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(buf) < 2 {
+		return Frame{}, 0, ErrFrameShort
+	}
+	b0, b1 := buf[0], buf[1]
+	f := Frame{Fin: b0&0x80 != 0, Opcode: b0 & 0x0F, Masked: b1&0x80 != 0}
+	if b0&0x70 != 0 {
+		return Frame{}, 0, frameErr("reserved bits set (0x%02x)", b0&0x70)
+	}
+	switch f.Opcode {
+	case OpContinuation, OpText, OpBinary, OpClose, OpPing, OpPong:
+	default:
+		return Frame{}, 0, frameErr("unknown opcode 0x%x", f.Opcode)
+	}
+	length := uint64(b1 & 0x7F)
+	n := 2
+	switch length {
+	case 126:
+		if len(buf) < n+2 {
+			return Frame{}, 0, ErrFrameShort
+		}
+		length = uint64(binary.BigEndian.Uint16(buf[n:]))
+		n += 2
+		if length < 126 {
+			return Frame{}, 0, frameErr("non-minimal 16-bit length %d", length)
+		}
+	case 127:
+		if len(buf) < n+8 {
+			return Frame{}, 0, ErrFrameShort
+		}
+		length = binary.BigEndian.Uint64(buf[n:])
+		n += 8
+		if length&(1<<63) != 0 {
+			return Frame{}, 0, frameErr("64-bit length high bit set")
+		}
+		if length < 1<<16 {
+			return Frame{}, 0, frameErr("non-minimal 64-bit length %d", length)
+		}
+	}
+	if f.Opcode >= OpClose {
+		// Control frames ride inside fragmented messages, so they must be
+		// whole (FIN) and small enough to never themselves fragment.
+		if !f.Fin {
+			return Frame{}, 0, frameErr("fragmented control frame")
+		}
+		if length > 125 {
+			return Frame{}, 0, frameErr("control frame payload %d > 125", length)
+		}
+	}
+	if length > uint64(maxPayload) {
+		return Frame{}, 0, frameErr("payload %d exceeds limit %d", length, maxPayload)
+	}
+	if f.Masked != requireMask {
+		if requireMask {
+			return Frame{}, 0, frameErr("unmasked client frame")
+		}
+		return Frame{}, 0, frameErr("masked server frame")
+	}
+	var key [4]byte
+	if f.Masked {
+		if len(buf) < n+4 {
+			return Frame{}, 0, ErrFrameShort
+		}
+		copy(key[:], buf[n:])
+		n += 4
+	}
+	if uint64(len(buf)-n) < length {
+		return Frame{}, 0, ErrFrameShort
+	}
+	f.Payload = make([]byte, length)
+	copy(f.Payload, buf[n:n+int(length)])
+	if f.Masked {
+		maskBytes(f.Payload, key, 0)
+	}
+	n += int(length)
+	return f, n, nil
+}
+
+// AppendFrame encodes f onto dst. When mask is true (client role) the
+// payload is masked with a random key; f.Payload itself is never modified.
+func AppendFrame(dst []byte, f Frame, mask bool) []byte {
+	b0 := f.Opcode & 0x0F
+	if f.Fin {
+		b0 |= 0x80
+	}
+	dst = append(dst, b0)
+	maskBit := byte(0)
+	if mask {
+		maskBit = 0x80
+	}
+	n := len(f.Payload)
+	switch {
+	case n <= 125:
+		dst = append(dst, maskBit|byte(n))
+	case n <= 0xFFFF:
+		dst = append(dst, maskBit|126, byte(n>>8), byte(n))
+	default:
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		dst = append(dst, maskBit|127)
+		dst = append(dst, ext[:]...)
+	}
+	if !mask {
+		return append(dst, f.Payload...)
+	}
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], rand.Uint32())
+	dst = append(dst, key[:]...)
+	start := len(dst)
+	dst = append(dst, f.Payload...)
+	maskBytes(dst[start:], key, 0)
+	return dst
+}
+
+// maskBytes XORs b with the repeating 4-byte key, starting at key offset
+// pos, and returns the next offset.
+func maskBytes(b []byte, key [4]byte, pos int) int {
+	for i := range b {
+		b[i] ^= key[pos&3]
+		pos++
+	}
+	return pos
+}
+
+// computeAccept derives the Sec-WebSocket-Accept token for a handshake key.
+func computeAccept(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// headerHasToken reports whether a comma-separated header value contains
+// token (case-insensitive) — Connection headers legally carry lists.
+func headerHasToken(value, token string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Conn is one WebSocket connection after the handshake. Reads and writes
+// are independently safe for one reader plus concurrent writers (writes are
+// serialized by an internal mutex); the gateway runs one reader and one
+// writer goroutine per socket.
+type Conn struct {
+	raw        net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	client     bool // this side is the client: mask writes, require unmasked reads
+	maxPayload int
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// Accept upgrades an HTTP request to a WebSocket (server role): it
+// validates the RFC 6455 handshake headers, hijacks the connection, and
+// writes the 101 response. On failure the HTTP error has already been
+// written and the returned error says why.
+func Accept(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	fail := func(code int, why string) (*Conn, error) {
+		http.Error(w, why, code)
+		return nil, fmt.Errorf("ws: handshake: %s", why)
+	}
+	if r.Method != http.MethodGet {
+		return fail(http.StatusMethodNotAllowed, "websocket handshake requires GET")
+	}
+	if !headerHasToken(r.Header.Get("Connection"), "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return fail(http.StatusBadRequest, "not a websocket upgrade")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		return fail(http.StatusBadRequest, "unsupported websocket version")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return fail(http.StatusBadRequest, "missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return fail(http.StatusInternalServerError, "connection cannot be hijacked")
+	}
+	raw, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + computeAccept(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ws: write handshake: %w", err)
+	}
+	if err := brw.Flush(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ws: flush handshake: %w", err)
+	}
+	return &Conn{raw: raw, br: brw.Reader, bw: brw.Writer, maxPayload: DefaultMaxPayload}, nil
+}
+
+// Dial opens a client WebSocket to a ws:// URL (the smoke probe and tests;
+// the gateway itself only serves). The context bounds the dial and
+// handshake.
+func Dial(ctx context.Context, rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", rawURL, err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("ws: dial %s: only ws:// is supported", rawURL)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", rawURL, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		raw.SetDeadline(dl)
+	}
+	var keyBytes [16]byte // math/rand: the nonce guards proxies, not secrets
+	binary.BigEndian.PutUint64(keyBytes[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(keyBytes[8:], rand.Uint64())
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := raw.Write([]byte(req)); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ws: handshake write: %w", err)
+	}
+	br := bufio.NewReader(raw)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ws: handshake read: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		raw.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != computeAccept(key) {
+		raw.Close()
+		return nil, fmt.Errorf("ws: handshake accept mismatch")
+	}
+	raw.SetDeadline(time.Time{})
+	return &Conn{
+		raw: raw, br: br, bw: bufio.NewWriter(raw),
+		client: true, maxPayload: DefaultMaxPayload,
+	}, nil
+}
+
+// SetReadDeadline bounds the next frame read — the socket's liveness lease.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds subsequent frame writes.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// Close tears the underlying connection down without a closing handshake.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// ReadFrame reads and validates the next frame, assembling fragmented data
+// messages is the caller's concern (see ReadMessage). It buffers the frame
+// header first so hostile lengths are rejected before any payload
+// allocation.
+func (c *Conn) ReadFrame() (Frame, error) {
+	var hdr [14]byte // max header: 2 + 8 (ext len) + 4 (mask key)
+	if _, err := io.ReadFull(c.br, hdr[:2]); err != nil {
+		return Frame{}, err
+	}
+	n := 2
+	switch hdr[1] & 0x7F {
+	case 126:
+		n += 2
+	case 127:
+		n += 8
+	}
+	if hdr[1]&0x80 != 0 {
+		n += 4
+	}
+	if _, err := io.ReadFull(c.br, hdr[2:n]); err != nil {
+		return Frame{}, errShortRead(err)
+	}
+	// Parse the header alone first (zero-length payload view): every
+	// structural rule is checked before the payload is read or allocated.
+	f, consumed, err := DecodeFrame(hdr[:n], !c.client, c.maxPayload)
+	if err == nil {
+		return f, nil // zero-payload frame, fully decoded
+	}
+	if !errors.Is(err, ErrFrameShort) {
+		return Frame{}, err
+	}
+	// Header valid but payload pending: recompute the declared length and
+	// stream it in.
+	length := int(hdr[1] & 0x7F)
+	off := 2
+	switch length {
+	case 126:
+		length = int(binary.BigEndian.Uint16(hdr[2:]))
+		off += 2
+	case 127:
+		length = int(binary.BigEndian.Uint64(hdr[2:]))
+		off += 8
+	}
+	_ = consumed
+	f = Frame{Fin: hdr[0]&0x80 != 0, Opcode: hdr[0] & 0x0F, Masked: hdr[1]&0x80 != 0}
+	var key [4]byte
+	if f.Masked {
+		copy(key[:], hdr[off:off+4])
+	}
+	f.Payload = make([]byte, length)
+	if _, err := io.ReadFull(c.br, f.Payload); err != nil {
+		return Frame{}, errShortRead(err)
+	}
+	if f.Masked {
+		maskBytes(f.Payload, key, 0)
+	}
+	return f, nil
+}
+
+// errShortRead maps a mid-frame EOF onto ErrUnexpectedEOF so callers can
+// tell a clean close (EOF between frames) from a torn one.
+func errShortRead(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadMessage reads the next complete message: control frames (ping, pong,
+// close) are returned immediately as single frames; fragmented data
+// messages are assembled up to the payload limit.
+func (c *Conn) ReadMessage() (opcode byte, payload []byte, err error) {
+	var (
+		assembling bool
+		op         byte
+		buf        []byte
+	)
+	for {
+		f, err := c.ReadFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case f.Opcode >= OpClose:
+			return f.Opcode, f.Payload, nil
+		case f.Opcode == OpContinuation:
+			if !assembling {
+				return 0, nil, frameErr("continuation without a started message")
+			}
+			if len(buf)+len(f.Payload) > c.maxPayload {
+				return 0, nil, frameErr("fragmented message exceeds limit %d", c.maxPayload)
+			}
+			buf = append(buf, f.Payload...)
+			if f.Fin {
+				return op, buf, nil
+			}
+		default: // text or binary
+			if assembling {
+				return 0, nil, frameErr("new data frame inside a fragmented message")
+			}
+			if f.Fin {
+				return f.Opcode, f.Payload, nil
+			}
+			assembling, op, buf = true, f.Opcode, append([]byte(nil), f.Payload...)
+		}
+	}
+}
+
+// WriteMessage writes one unfragmented message frame.
+func (c *Conn) WriteMessage(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = AppendFrame(c.wbuf[:0], Frame{Fin: true, Opcode: opcode, Payload: payload}, c.client)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// WriteClose sends a closing handshake frame with a status code and reason.
+func (c *Conn) WriteClose(code uint16, reason string) error {
+	if len(reason) > 123 {
+		reason = reason[:123]
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload, code)
+	copy(payload[2:], reason)
+	return c.WriteMessage(OpClose, payload)
+}

@@ -1,0 +1,225 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip: AppendFrame → DecodeFrame is the identity for both
+// roles across the length-encoding breakpoints.
+func TestFrameRoundTrip(t *testing.T) {
+	sizes := []int{0, 1, 125, 126, 127, 65535, 65536, 70000}
+	for _, masked := range []bool{false, true} {
+		for _, size := range sizes {
+			payload := bytes.Repeat([]byte{0xAB}, size)
+			f := Frame{Fin: true, Opcode: OpText, Payload: payload}
+			buf := AppendFrame(nil, f, masked)
+			got, n, err := DecodeFrame(buf, masked, 0)
+			if err != nil {
+				t.Fatalf("masked=%v size=%d: %v", masked, size, err)
+			}
+			if n != len(buf) {
+				t.Fatalf("masked=%v size=%d: consumed %d of %d", masked, size, n, len(buf))
+			}
+			if !got.Fin || got.Opcode != OpText || !bytes.Equal(got.Payload, payload) {
+				t.Fatalf("masked=%v size=%d: frame mangled", masked, size)
+			}
+			// A partial buffer is "short", never a protocol error.
+			for cut := 1; cut < len(buf) && cut < 20; cut++ {
+				if _, _, err := DecodeFrame(buf[:len(buf)-cut], masked, 0); !errors.Is(err, ErrFrameShort) {
+					t.Fatalf("masked=%v size=%d cut=%d: want ErrFrameShort, got %v", masked, size, cut, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameViolations is the hostile-input table: every RFC 6455 rule the
+// decoder enforces, one crafted frame each.
+func TestFrameViolations(t *testing.T) {
+	mask := []byte{1, 2, 3, 4}
+	cases := []struct {
+		name        string
+		buf         []byte
+		requireMask bool
+		want        string
+	}{
+		{"rsv1 set", []byte{0xC1, 0x80, 1, 2, 3, 4}, true, "reserved"},
+		{"rsv3 set", []byte{0x91, 0x80, 1, 2, 3, 4}, true, "reserved"},
+		{"unknown opcode 3", []byte{0x83, 0x80, 1, 2, 3, 4}, true, "opcode"},
+		{"unknown opcode 15", []byte{0x8F, 0x80, 1, 2, 3, 4}, true, "opcode"},
+		{"unmasked client frame", []byte{0x81, 0x00}, true, "unmasked"},
+		{"masked server frame", append([]byte{0x81, 0x80}, mask...), false, "masked"},
+		{"fragmented ping", append([]byte{0x09, 0x80}, mask...), true, "fragmented control"},
+		{"oversized close", func() []byte {
+			b := []byte{0x88, 0x80 | 126, 0x00, 126}
+			return append(b, mask...)
+		}(), true, "control frame payload"},
+		{"non-minimal 16-bit length", append([]byte{0x81, 0x80 | 126, 0x00, 0x7D}, mask...), true, "non-minimal"},
+		{"non-minimal 64-bit length", append([]byte{0x81, 0x80 | 127, 0, 0, 0, 0, 0, 0, 0, 5}, mask...), true, "non-minimal"},
+		{"64-bit length high bit", append([]byte{0x81, 0x80 | 127, 0x80, 0, 0, 0, 0, 0, 0, 0}, mask...), true, "high bit"},
+		{"payload over limit", func() []byte {
+			b := []byte{0x81, 0x80 | 127}
+			var ext [8]byte
+			binary.BigEndian.PutUint64(ext[:], uint64(DefaultMaxPayload)+1)
+			return append(append(b, ext[:]...), mask...)
+		}(), true, "exceeds limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeFrame(tc.buf, tc.requireMask, 0)
+			if !errors.Is(err, ErrFrameInvalid) {
+				t.Fatalf("want ErrFrameInvalid, got %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHandshake drives Accept/Dial against each other through a real HTTP
+// server and pushes one message each way, control frames included.
+func TestHandshake(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Accept(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			op, payload, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			switch op {
+			case OpText:
+				if err := conn.WriteMessage(OpText, append([]byte("echo:"), payload...)); err != nil {
+					return
+				}
+			case OpPing:
+				if err := conn.WriteMessage(OpPong, payload); err != nil {
+					return
+				}
+			case OpClose:
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Dial(ctx, "ws"+strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := conn.WriteMessage(OpText, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := conn.ReadMessage()
+	if err != nil || op != OpText || string(payload) != "echo:hello" {
+		t.Fatalf("echo: op=%d payload=%q err=%v", op, payload, err)
+	}
+	if err := conn.WriteMessage(OpPing, []byte("lease")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err = conn.ReadMessage()
+	if err != nil || op != OpPong || string(payload) != "lease" {
+		t.Fatalf("pong: op=%d payload=%q err=%v", op, payload, err)
+	}
+}
+
+// TestHandshakeRejects pins the handshake's failure modes as plain HTTP
+// errors (no hijack, no torn socket).
+func TestHandshakeRejects(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Accept(w, r)
+	}))
+	defer srv.Close()
+
+	get := func(mod func(*http.Request)) int {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		req.Header.Set("Connection", "Upgrade")
+		req.Header.Set("Upgrade", "websocket")
+		req.Header.Set("Sec-WebSocket-Version", "13")
+		req.Header.Set("Sec-WebSocket-Key", "AAAAAAAAAAAAAAAAAAAAAA==")
+		mod(req)
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(func(r *http.Request) { r.Method = http.MethodPost }); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST upgrade: got %d", code)
+	}
+	if code := get(func(r *http.Request) { r.Header.Del("Upgrade") }); code != http.StatusBadRequest {
+		t.Errorf("missing Upgrade: got %d", code)
+	}
+	if code := get(func(r *http.Request) { r.Header.Set("Sec-WebSocket-Version", "8") }); code != http.StatusBadRequest {
+		t.Errorf("old version: got %d", code)
+	}
+	if code := get(func(r *http.Request) { r.Header.Del("Sec-WebSocket-Key") }); code != http.StatusBadRequest {
+		t.Errorf("missing key: got %d", code)
+	}
+}
+
+// FuzzWSFrame feeds arbitrary bytes to the frame decoder under both role
+// rules. It must never panic or over-consume, and any accepted frame must
+// survive encode → decode unchanged (the same fixpoint property
+// FuzzDecodeBatch pins for the batch codec).
+func FuzzWSFrame(f *testing.F) {
+	// Valid seeds, both roles, across the length breakpoints.
+	for _, masked := range []bool{false, true} {
+		f.Add(AppendFrame(nil, Frame{Fin: true, Opcode: OpText, Payload: []byte("hi")}, masked))
+		f.Add(AppendFrame(nil, Frame{Fin: false, Opcode: OpBinary, Payload: bytes.Repeat([]byte{7}, 126)}, masked))
+		f.Add(AppendFrame(nil, Frame{Fin: true, Opcode: OpPing, Payload: bytes.Repeat([]byte{1}, 125)}, masked))
+		f.Add(AppendFrame(nil, Frame{Fin: true, Opcode: OpClose, Payload: []byte{0x03, 0xE8}}, masked))
+		f.Add(AppendFrame(nil, Frame{Fin: true, Opcode: OpText, Payload: bytes.Repeat([]byte{2}, 65536)}, masked))
+	}
+	// Hostile seeds: the violation table's shapes.
+	f.Add([]byte{0xC1, 0x80, 1, 2, 3, 4})
+	f.Add([]byte{0x81, 0x80 | 127, 0x80, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0x81, 0x80 | 126, 0x00, 0x7D, 1, 2, 3, 4})
+	f.Add([]byte{0x09, 0x80, 1, 2, 3, 4})
+	f.Add([]byte{0x88, 0x80 | 126, 0x00, 126, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, requireMask := range []bool{false, true} {
+			frame, n, err := DecodeFrame(data, requireMask, 0)
+			if err != nil {
+				if !errors.Is(err, ErrFrameShort) && !errors.Is(err, ErrFrameInvalid) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				continue
+			}
+			if n < 2 || n > len(data) {
+				t.Fatalf("consumed %d of %d", n, len(data))
+			}
+			// Fixpoint: re-encode in the accepted role, decode, compare.
+			re := AppendFrame(nil, frame, requireMask)
+			back, m, err := DecodeFrame(re, requireMask, 0)
+			if err != nil {
+				t.Fatalf("re-decode of accepted frame failed: %v", err)
+			}
+			if m != len(re) {
+				t.Fatalf("re-decode consumed %d of %d", m, len(re))
+			}
+			if back.Fin != frame.Fin || back.Opcode != frame.Opcode || !bytes.Equal(back.Payload, frame.Payload) {
+				t.Fatalf("round-trip mangled frame: %+v vs %+v", frame, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+)
+
+// wsUpdateJSON is one pushed update on the wire. The three drop counters
+// make loss first-class in the stream itself: dropped_upstream is the
+// subscription's server-side high-water loss, dropped_ws is what this
+// socket shed because the browser read too slowly, dropped is their sum —
+// a dashboard can render "N updates lost" without a side channel.
+type wsUpdateJSON struct {
+	NS              core.Namespace `json:"ns"`
+	Time            float64        `json:"time"`
+	Alert           bool           `json:"alert,omitempty"`
+	Data            *conduit.Node  `json:"data"`
+	DroppedUpstream int64          `json:"dropped_upstream"`
+	DroppedWS       int64          `json:"dropped_ws"`
+	Dropped         int64          `json:"dropped"`
+}
+
+// handleWS upgrades GET /ws?ns=<ns|soma.alerts|empty>&pattern=<glob> and
+// bridges one upstream subscription onto the socket. Each socket gets its
+// own core.Subscription, so it rides the machinery PR 5 built: a
+// server-side lease with high-water drop accounting, and redial +
+// resubscribe through the shared Backoff when somad restarts.
+func (g *Gateway) handleWS(w http.ResponseWriter, r *http.Request) {
+	ns, err := parseNS(r, true)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	pattern := r.URL.Query().Get("pattern")
+	// Subscribe before upgrading: a service without an update bus should
+	// fail as a plain HTTP error the client can read, not a torn socket.
+	sub, err := g.client.Subscribe(g.ctx, ns, pattern)
+	if err != nil {
+		g.fail(w, http.StatusBadGateway, err)
+		return
+	}
+	conn, err := Accept(w, r)
+	if err != nil {
+		sub.Close()
+		return
+	}
+	g.wsAccepted.Inc()
+	g.wsActive.Inc()
+	g.wg.Add(1)
+	go g.serveWS(conn, sub)
+}
+
+// serveWS runs one socket: a pump goroutine marshals updates into a
+// bounded queue (dropping, never blocking, when the reader is slow), a
+// reader goroutine enforces the liveness lease and answers pings, and the
+// writer loop below drains the queue and pings on an interval. The session
+// ends when the client goes away, the lease expires, or the gateway
+// closes; the upstream subscription is torn down with it.
+func (g *Gateway) serveWS(conn *Conn, sub *core.Subscription) {
+	defer g.wg.Done()
+	defer g.wsActive.Dec()
+
+	send := make(chan []byte, g.sendBuffer)
+	var droppedWS atomic.Int64
+
+	// Pump: upstream updates → bounded queue. The non-blocking send is the
+	// drop-don't-block rule at the gateway tier: one stalled browser sheds
+	// its own updates instead of stalling the subscription (and with it the
+	// upstream long-poll lease).
+	go func() {
+		for u := range sub.C {
+			dws := droppedWS.Load()
+			msg, err := json.Marshal(wsUpdateJSON{
+				NS:              u.NS,
+				Time:            u.Time,
+				Alert:           u.Alert,
+				Data:            u.Tree,
+				DroppedUpstream: u.Dropped,
+				DroppedWS:       dws,
+				Dropped:         u.Dropped + dws,
+			})
+			if err != nil {
+				continue
+			}
+			select {
+			case send <- msg:
+			default:
+				droppedWS.Add(1)
+				g.wsDropped.Inc()
+			}
+		}
+	}()
+
+	// Reader: the socket's lease. Every received frame renews the read
+	// deadline; a client that answers neither data nor pings for
+	// PingInterval+PongTimeout expires and is reaped.
+	readerGone := make(chan struct{})
+	go func() {
+		defer close(readerGone)
+		for {
+			conn.SetReadDeadline(time.Now().Add(g.pingInterval + g.pongTimeout))
+			op, payload, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			switch op {
+			case OpPing:
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if conn.WriteMessage(OpPong, payload) != nil {
+					return
+				}
+			case OpClose:
+				return
+			}
+			// Pongs and client data frames need no reply; reading them
+			// already renewed the lease.
+		}
+	}()
+
+	ping := time.NewTicker(g.pingInterval)
+	defer ping.Stop()
+	defer conn.Close()
+	defer sub.Close()
+	for {
+		select {
+		case msg := <-send:
+			conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := conn.WriteMessage(OpText, msg); err != nil {
+				return
+			}
+			g.wsMessages.Inc()
+		case <-ping.C:
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if err := conn.WriteMessage(OpPing, nil); err != nil {
+				return
+			}
+		case <-readerGone:
+			return
+		case <-g.ctx.Done():
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			conn.WriteClose(CloseGoingAway, "gateway shutting down")
+			return
+		}
+	}
+}

@@ -29,6 +29,41 @@ func promName(name string) string {
 	return b.String()
 }
 
+// helpByPrefix maps dotted-name prefixes to HELP text. Longest matching
+// prefix wins; registry names are grouped by subsystem, so a handful of
+// prefixes covers every metric without per-metric bookkeeping.
+var helpByPrefix = []struct{ prefix, help string }{
+	{"core.publish", "SOMA publish-path activity on this process."},
+	{"core.query", "SOMA query-path activity, including snapshot-cache effectiveness."},
+	{"core.subscribe", "SOMA update-bus subscription activity."},
+	{"core.alerts", "Threshold-alert evaluation on the service."},
+	{"core.series", "Time-series rollup store activity."},
+	{"core.spill", "Client-side disk spill while the service is unreachable."},
+	{"core.", "SOMA service/client internals."},
+	{"mercury.", "Mercury RPC engine activity (calls, retries, breakers)."},
+	{"zmq.", "Wire transport activity (framing, batching, connections)."},
+	{"pilot.", "Pilot runtime scheduling activity."},
+	{"gateway.http", "HTTP gateway request handling per route."},
+	{"gateway.query", "HTTP gateway query-response cache effectiveness."},
+	{"gateway.ws", "HTTP gateway WebSocket sessions and drop accounting."},
+	{"gateway.process", "HTTP gateway process-level self-observation."},
+	{"gateway.", "HTTP/WebSocket gateway internals."},
+	{"telemetry.traces", "Tail-sampling trace store activity."},
+	{"telemetry.", "Telemetry subsystem internals."},
+}
+
+// promHelp derives HELP text for a registry name from its subsystem prefix.
+func promHelp(name string) string {
+	best := "gosoma metric (no subsystem description registered)."
+	bestLen := -1
+	for _, e := range helpByPrefix {
+		if len(e.prefix) > bestLen && strings.HasPrefix(name, e.prefix) {
+			best, bestLen = e.help, len(e.prefix)
+		}
+	}
+	return best
+}
+
 // WriteText writes the registry's current state in Prometheus text
 // exposition format.
 func (r *Registry) WriteText(w io.Writer) error {
@@ -40,13 +75,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 func (s *Snapshot) WriteText(w io.Writer) error {
 	for _, name := range SortedNames(s.Counters) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, promHelp(name), pn, pn, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range SortedNames(s.Gauges) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			pn, promHelp(name), pn, pn, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -54,7 +91,8 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		h := s.Histograms[name]
 		pn := promName(name) + "_seconds"
 		if _, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			"# HELP %s %s\n# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			pn, promHelp(name),
 			pn,
 			pn, h.P50.Seconds(),
 			pn, h.P95.Seconds(),
