@@ -10,7 +10,7 @@ GO ?= go
 GOFMT ?= gofmt
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke gateway-smoke fuzz-smoke
+.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke gateway-smoke fuzz-smoke scenario scenarios
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,12 @@ lint:
 verify: build vet lint test race
 
 # verify-stream hammers the race-sensitive streaming paths (subscriptions,
-# long-poll serving, rollups, alerts) repeatedly under the race detector.
+# long-poll serving, rollups, alerts) repeatedly under the race detector,
+# plus the in-process fleet scenarios (kill/restart, fault timelines).
 verify-stream:
-	$(GO) test ./internal/core/ ./internal/zmq/ ./internal/mercury/ \
+	$(GO) test ./internal/core/ ./internal/zmq/ ./internal/mercury/ ./internal/scenario/ \
 		-race -count=3 \
-		-run 'Subscribe|Watch|Stream|Series|Alert|Remote|Blocking|Flush|Fanout'
+		-run 'Subscribe|Watch|Stream|Series|Alert|Remote|Blocking|Flush|Fanout|Scenario'
 
 bench:
 	$(GO) test ./internal/core/ -run '^$$' \
@@ -82,6 +83,20 @@ load-smoke:
 # accounted in-stream, 429 under burst, and no leaked goroutines.
 gateway-smoke:
 	scripts/gateway_smoke.sh
+
+# scenario runs one declarative scenario (make scenario S=kill-restart)
+# against real somad child processes; scenarios runs the whole library and
+# fails if any verdict comes back red (the CI scenario matrix runs one
+# scenario per job via the same entry points). SCENARIO_FLAGS passes extra
+# somasim flags, e.g. SCENARIO_FLAGS=-inproc or SCENARIO_FLAGS='-seed 7'.
+scenario:
+	@test -n "$(S)" || { echo "usage: make scenario S=<name>  (see scenarios/)" >&2; exit 2; }
+	$(GO) build -o bin/somad ./cmd/somad
+	$(GO) build -o bin/somasim ./cmd/somasim
+	bin/somasim run $(SCENARIO_FLAGS) scenarios/$(S).yaml
+
+scenarios:
+	scripts/scenarios.sh
 
 # fuzz-smoke runs each fuzz target briefly against its corpus plus fresh
 # inputs: the binary batch decoder, the conduit JSON codec round-trip, and

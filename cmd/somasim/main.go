@@ -1,0 +1,119 @@
+// Command somasim runs declarative SOMA scenarios: YAML fleet declarations,
+// scripted fault timelines, and assertions judged against a live fleet
+// (internal/scenario). It is the entry point behind make scenario / make
+// scenarios and the CI scenario matrix.
+//
+// Usage:
+//
+//	somasim run scenarios/kill-restart.yaml            # somad child processes
+//	somasim run -inproc scenarios/kill-restart.yaml    # in-process services
+//	somasim run -seed 7 -somad bin/somad FILE          # pinned fault schedule
+//	somasim validate scenarios/*.yaml                  # schema check only
+//
+// run prints the human timeline to stderr and exactly one machine-readable
+// line to stdout — SCENARIO_VERDICT {json} — then exits 0 when every
+// assertion passed, 1 when any failed, 2 on harness errors (unparseable
+// scenario, fleet would not boot). validate never starts a fleet and exits
+// 1 if any file is malformed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		os.Exit(runCmd(os.Args[2:]))
+	case "validate":
+		os.Exit(validateCmd(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "somasim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  somasim run [-inproc] [-somad PATH] [-seed N] [-settle D] FILE
+  somasim validate FILE...
+`)
+}
+
+func runCmd(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	inproc := fs.Bool("inproc", false, "run instances in-process instead of spawning somad")
+	somad := fs.String("somad", "bin/somad", "somad binary for process mode")
+	seed := fs.Int64("seed", 0, "override the scenario's fault seed (0 = use the file's)")
+	settle := fs.Duration("settle", 10*time.Second, "post-timeline settle window")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "somasim run: exactly one scenario file required")
+		return 2
+	}
+	path := fs.Arg(0)
+
+	sc, err := scenario.ParseFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somasim: %s: %v\n", path, err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := scenario.Options{
+		SomadPath: *somad,
+		Seed:      *seed,
+		Settle:    *settle,
+		Log:       os.Stderr,
+	}
+	if *inproc {
+		opts.Mode = scenario.ModeInproc
+	}
+	v, err := scenario.Run(ctx, sc, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somasim: %v\n", err)
+		return 2
+	}
+	out, _ := json.Marshal(v)
+	fmt.Printf("SCENARIO_VERDICT %s\n", out)
+	if !v.Pass {
+		return 1
+	}
+	return 0
+}
+
+func validateCmd(args []string) int {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "somasim validate: at least one scenario file required")
+		return 2
+	}
+	code := 0
+	for _, path := range fs.Args() {
+		sc, err := scenario.ParseFile(path)
+		if !scenario.WriteValidation(os.Stdout, path, sc, err) {
+			code = 1
+		}
+	}
+	return code
+}

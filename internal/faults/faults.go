@@ -114,6 +114,24 @@ func New(cfg Config) *Transport {
 // to let the system heal before asserting zero loss.
 func (t *Transport) SetEnabled(v bool) { t.enabled.Store(v) }
 
+// Reconfigure swaps the probability/delay/budget configuration while keeping
+// the seeded decision PRNG (and therefore the decision stream) intact, so a
+// scripted fault timeline — mild drops at t=1s, a sever storm at t=3s —
+// stays reproducible from the one seed the transport was built with. The
+// new budget replaces whatever remained of the old one; cfg.Seed is
+// ignored. Enablement is not touched — pair with SetEnabled.
+func (t *Transport) Reconfigure(cfg Config) {
+	t.mu.Lock()
+	cfg.Seed = t.cfg.Seed
+	t.cfg = cfg
+	t.mu.Unlock()
+	if cfg.Budget > 0 {
+		t.remaining.Store(cfg.Budget)
+	} else {
+		t.remaining.Store(-1)
+	}
+}
+
 // Stats returns the faults injected so far.
 func (t *Transport) Stats() Counters {
 	return Counters{

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"context"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -179,3 +180,42 @@ func TestDelayDelivers(t *testing.T) {
 		t.Fatalf("delays = %d, want 1", tr.Stats().Delays)
 	}
 }
+
+// Reconfigure swaps fault kinds and budget mid-run without touching
+// enablement, so a scripted timeline can move from one storm to another
+// deterministically.
+func TestReconfigureSwapsKindsAndBudget(t *testing.T) {
+	tr := New(Config{Seed: 9, DropProb: 1, Budget: 2})
+	// Spend the drop budget.
+	c := tr.WrapConn(nopConn{}, true)
+	for i := 0; i < 4; i++ {
+		c.Write([]byte("xxxx"))
+	}
+	st := tr.Stats()
+	if st.Drops != 2 {
+		t.Fatalf("drops = %d, want 2 (budget)", st.Drops)
+	}
+	// Swap to delays with a fresh budget; drops must stop, delays start.
+	tr.Reconfigure(Config{DelayProb: 1, DelayMin: time.Millisecond, DelayMax: time.Millisecond, Budget: 3})
+	for i := 0; i < 5; i++ {
+		c.Write([]byte("xxxx"))
+	}
+	st = tr.Stats()
+	if st.Drops != 2 || st.Delays != 3 {
+		t.Fatalf("after reconfigure: %+v, want drops=2 delays=3", st)
+	}
+	// Disabled stays disabled across a reconfigure.
+	tr.SetEnabled(false)
+	tr.Reconfigure(Config{DropProb: 1, Budget: 10})
+	c.Write([]byte("xxxx"))
+	if got := tr.Stats().Drops; got != 2 {
+		t.Fatalf("disabled transport injected (drops=%d)", got)
+	}
+}
+
+// nopConn is a sink connection for exercising write-side decisions without
+// a real network peer.
+type nopConn struct{ net.Conn }
+
+func (nopConn) Write(b []byte) (int, error) { return len(b), nil }
+func (nopConn) Close() error                { return nil }

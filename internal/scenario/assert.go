@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// eval judges one assertion against the settled fleet. It runs after the
+// settle window: faults are healed, pumps stopped, state quiescent.
+func (r *runner) eval(a *Assertion) AssertionResult {
+	switch a.Type {
+	case AssertHealth:
+		return r.evalHealth(a)
+	case AssertZeroLoss:
+		return r.evalLedger(a, false)
+	case AssertGroundTruth:
+		return r.evalLedger(a, true)
+	case AssertFired, AssertResolved:
+		return r.evalAlert(a)
+	case AssertMaxDropped:
+		return r.evalMaxDropped(a)
+	}
+	return AssertionResult{Type: a.Type, Pass: false, Detail: "unknown assertion type"}
+}
+
+func (r *runner) evalHealth(a *Assertion) AssertionResult {
+	res := AssertionResult{Type: a.Type, Target: a.Instance}
+	in := r.instances[a.Instance]
+	rep, err := in.util.Health()
+	status := rep.Status
+	if err != nil && status == "" {
+		status = "unreachable"
+	}
+	res.Pass = status == a.Expect
+	res.Detail = fmt.Sprintf("status=%s (want %s)", status, a.Expect)
+	if err != nil && a.Expect != "unreachable" {
+		res.Detail += fmt.Sprintf(": %v", err)
+	}
+	return res
+}
+
+// evalLedger checks the acknowledged-publish ledger against the service's
+// merged state. zero_loss (full=false) demands every publish the service
+// acknowledged since the instance's last restart is present with its exact
+// value — an in-memory service legitimately forgets across a restart, so
+// the ledger cutoff is the restart-completion time, but an ack issued after
+// that is a durability promise for the rest of the run. ground truth
+// (full=true) additionally demands the converse: every leaf the service
+// reports under the workload's subtree must be one the workload issued,
+// with the issued value (acked or not — a publish whose ack was eaten by a
+// fault may still have landed, and that is not an error).
+func (r *runner) evalLedger(a *Assertion, full bool) AssertionResult {
+	res := AssertionResult{Type: a.Type, Target: a.Workload}
+	var checked, missing, mismatched, foreign int
+	var firstBad string
+
+	for _, name := range r.workloadNames() {
+		if a.Workload != "" && name != a.Workload {
+			continue
+		}
+		w := r.workloads[name]
+		if w.spec.Layout != LayoutDistinct {
+			continue // validation restricts ledger assertions to distinct layouts
+		}
+		in := r.instances[w.spec.Instance]
+		cutoff := in.restartedAt()
+		issued, acks := w.ledger()
+		root := w.spec.Prefix + "/" + w.spec.Name
+
+		var tree *conduit.Node
+		err := retryOp(context.Background(), 5, func() error {
+			var qerr error
+			tree, qerr = in.util.Query(w.spec.NS, root)
+			return qerr
+		})
+		if err != nil {
+			res.Detail = fmt.Sprintf("query %s/%s: %v", w.spec.NS, root, err)
+			return res
+		}
+
+		for _, ack := range acks {
+			if ack.at <= cutoff {
+				continue // acknowledged by a pre-restart incarnation
+			}
+			checked++
+			rel := strings.TrimPrefix(ack.path, root+"/")
+			got, ok := tree.Float(rel)
+			switch {
+			case !ok:
+				missing++
+				if firstBad == "" {
+					firstBad = ack.path
+				}
+			case got != ack.val:
+				mismatched++
+				if firstBad == "" {
+					firstBad = fmt.Sprintf("%s=%g (want %g)", ack.path, got, ack.val)
+				}
+			}
+		}
+
+		if full {
+			tree.Walk(func(p string, leaf *conduit.Node) bool {
+				want, ok := issued[root+"/"+p]
+				if !ok {
+					foreign++
+					if firstBad == "" {
+						firstBad = "foreign leaf " + root + "/" + p
+					}
+					return true
+				}
+				if got, lok := leaf.Float(""); !lok || got != want {
+					foreign++
+					if firstBad == "" {
+						firstBad = fmt.Sprintf("leaf %s/%s diverges from issued value %g", root, p, want)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	res.Pass = missing == 0 && mismatched == 0 && foreign == 0 && checked > 0
+	res.Detail = fmt.Sprintf("%d acked checked, %d missing, %d mismatched", checked, missing, mismatched)
+	if full {
+		res.Detail += fmt.Sprintf(", %d foreign", foreign)
+	}
+	if checked == 0 {
+		res.Detail += " (no acked publishes to check)"
+	}
+	if firstBad != "" {
+		res.Detail += "; first: " + firstBad
+	}
+	return res
+}
+
+func (r *runner) evalAlert(a *Assertion) AssertionResult {
+	res := AssertionResult{Type: a.Type, Target: a.Rule}
+	var (
+		at   time.Duration
+		seen bool
+		verb string
+	)
+	if a.Type == AssertFired {
+		at, seen = r.obs.firedAt(a.Rule)
+		verb = "fired"
+	} else {
+		at, seen = r.obs.resolvedAt(a.Rule)
+		verb = "resolved"
+	}
+	switch {
+	case !seen:
+		res.Detail = fmt.Sprintf("alert %s never observed %s", a.Rule, verb)
+	case a.By > 0 && at > a.By:
+		res.Detail = fmt.Sprintf("alert %s %s at t=%.3fs, after the %.3fs deadline", a.Rule, verb, at.Seconds(), a.By.Seconds())
+	default:
+		res.Pass = true
+		res.Detail = fmt.Sprintf("alert %s %s at t=%.3fs", a.Rule, verb, at.Seconds())
+	}
+	return res
+}
+
+func (r *runner) evalMaxDropped(a *Assertion) AssertionResult {
+	res := AssertionResult{Type: a.Type}
+	var total int64
+	r.subsMu.Lock()
+	for _, sg := range r.subs {
+		total += sg.droppedTotal()
+	}
+	r.subsMu.Unlock()
+	res.Pass = total <= a.Budget
+	res.Detail = fmt.Sprintf("%d subscriber updates dropped (budget %d)", total, a.Budget)
+	return res
+}
+
+// evalNoLeak runs after teardown: everything the scenario opened is closed,
+// so the goroutine count must fall back to near its pre-run baseline.
+// Polled because engine readers and subscription loops unwind asynchronously.
+func (r *runner) evalNoLeak(a *Assertion) AssertionResult {
+	res := AssertionResult{Type: a.Type}
+	limit := r.baseGoros + int(a.Budget)
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > limit && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	res.Pass = n <= limit
+	res.Detail = fmt.Sprintf("%d goroutines after teardown (baseline %d, budget +%d)", n, r.baseGoros, a.Budget)
+	return res
+}
+
+// workloadNames returns workload names in declaration order so assertion
+// details are deterministic.
+func (r *runner) workloadNames() []string {
+	names := make([]string, 0, len(r.workloads))
+	for _, w := range r.sc.Fleet.Workloads {
+		if _, ok := r.workloads[w.Name]; ok {
+			names = append(names, w.Name)
+		}
+	}
+	return names
+}

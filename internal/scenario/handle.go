@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/mercury"
+
+	"context"
+)
+
+// ---------------------------------------------------------------------------
+// In-process instances: a real core.Service on a real TCP port, restartable
+// on the same address — the fast, race-detector-friendly fleet.
+
+type inprocHandle struct {
+	cfg  core.ServiceConfig
+	mu   sync.Mutex
+	svc  *core.Service
+	bind string // concrete tcp://host:port, stable across restarts
+	up   bool
+}
+
+func startInproc(spec Instance, engineOpts []mercury.Option) (*inprocHandle, error) {
+	h := &inprocHandle{cfg: core.ServiceConfig{
+		RanksPerNamespace: spec.Ranks,
+		EngineOptions:     engineOpts,
+	}}
+	h.svc = core.NewService(h.cfg)
+	addr, err := h.svc.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		h.svc.Close()
+		return nil, err
+	}
+	h.bind = addr
+	h.up = true
+	return h, nil
+}
+
+func (h *inprocHandle) addr() string { return h.bind }
+
+func (h *inprocHandle) kill() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return fmt.Errorf("instance already down")
+	}
+	h.up = false
+	return h.svc.Close()
+}
+
+func (h *inprocHandle) restart() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up {
+		return fmt.Errorf("instance already up")
+	}
+	svc := core.NewService(h.cfg)
+	// The freed port can linger briefly; retry the rebind for up to ~2s.
+	var err error
+	for i := 0; i < 20; i++ {
+		if _, err = svc.Listen(h.bind); err == nil {
+			h.svc = svc
+			h.up = true
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	svc.Close()
+	return fmt.Errorf("rebind %s: %w", h.bind, err)
+}
+
+func (h *inprocHandle) close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return nil
+	}
+	h.up = false
+	return h.svc.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Child-process instances: one somad per instance, killed with a real
+// signal and restarted on the same port — the deployment-shaped fleet.
+
+type procHandle struct {
+	somad string
+	ranks int
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	bind string // concrete tcp://127.0.0.1:port after first boot
+	up   bool
+}
+
+func startProc(ctx context.Context, somad string, spec Instance) (*procHandle, error) {
+	h := &procHandle{somad: somad, ranks: spec.Ranks}
+	addr, err := h.spawn(ctx, "tcp://127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h.bind = addr
+	h.up = true
+	return h, nil
+}
+
+// spawn starts somad at listen and returns the concrete address it printed.
+func (h *procHandle) spawn(ctx context.Context, listen string) (string, error) {
+	cmd := exec.Command(h.somad, "-listen", listen, "-ranks", strconv.Itoa(h.ranks))
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", fmt.Errorf("start %s: %w", h.somad, err)
+	}
+	// somad prints its concrete RPC address as the first stdout line; the
+	// rest of the stream is drained so the child never blocks on a full
+	// pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			addrCh <- sc.Text()
+		}
+		for sc.Scan() {
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return "", fmt.Errorf("%s printed no address", h.somad)
+		}
+		h.cmd = cmd
+		return addr, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", fmt.Errorf("%s did not print an address within 10s", h.somad)
+	case <-ctx.Done():
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", ctx.Err()
+	}
+}
+
+func (h *procHandle) addr() string { return h.bind }
+
+func (h *procHandle) kill() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return fmt.Errorf("instance already down")
+	}
+	h.up = false
+	h.cmd.Process.Kill()
+	h.cmd.Wait()
+	return nil
+}
+
+func (h *procHandle) restart() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up {
+		return fmt.Errorf("instance already up")
+	}
+	// Same port, so clients and subscribers redial back to the address the
+	// fleet already knows.
+	var err error
+	for i := 0; i < 20; i++ {
+		var addr string
+		addr, err = h.spawn(context.Background(), h.bind)
+		if err == nil {
+			h.bind = addr
+			h.up = true
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("respawn on %s: %w", h.bind, err)
+}
+
+func (h *procHandle) close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return nil
+	}
+	h.up = false
+	h.cmd.Process.Kill()
+	h.cmd.Wait()
+	return nil
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// minimal is a smallest-valid scenario the hostile tables mutate.
+const minimal = `name: t
+duration: 2s
+fleet:
+  instances:
+    - name: alpha
+  workloads:
+    - name: w
+      instance: alpha
+      ns: workflow
+      rate: 10
+`
+
+func TestScenarioParseMinimal(t *testing.T) {
+	sc, err := Parse([]byte(minimal))
+	if err != nil {
+		t.Fatalf("parse minimal: %v", err)
+	}
+	if sc.Name != "t" || sc.Duration != 2*time.Second || sc.Seed != 1 {
+		t.Fatalf("unexpected scenario header: %+v", sc)
+	}
+	w := sc.Fleet.Workloads[0]
+	if w.Prefix != "sim" || w.Layout != LayoutDistinct || w.Leaves != 16 || w.Value != "seq" || w.Timestamps != TimestampsNone {
+		t.Fatalf("workload defaults not applied: %+v", w)
+	}
+}
+
+// TestScenarioParseHostile feeds the parser and validator deliberately
+// malformed documents; every one must be rejected with a message naming the
+// problem (and usually the line), and none may panic.
+func TestScenarioParseHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"empty document", "", "empty document"},
+		{"unknown top-level key", "name: t\nbogus: 1\nduration: 2s\nfleet:\n  instances:\n    - name: a\n", `unknown scenario key "bogus"`},
+		{"unknown workload key", strings.Replace(minimal, "      rate: 10\n", "      rate: 10\n      surprise: 1\n", 1), `unknown workload key "surprise"`},
+		{"tab indentation", "name: t\nduration: 2s\nfleet:\n\tinstances: x\n", "tab in indentation"},
+		{"duplicate key", "name: t\nname: u\nduration: 2s\n", `duplicate key "name"`},
+		{"flow syntax", "name: t\nduration: 2s\nfleet: {instances: []}\n", "flow syntax"},
+		{"anchor", "name: &x t\nduration: 2s\n", "anchors/aliases"},
+		{"block scalar", "name: |\n  t\nduration: 2s\n", "block scalars"},
+		{"bare dash item", "name: t\nduration: 2s\nfleet:\n  instances:\n    -\n", "bare '-' list item"},
+		{"missing space after colon", "name:t\nduration: 2s\n", "missing space after ':'"},
+		{"unterminated quote", "name: \"t\nduration: 2s\n", "unterminated double-quoted string"},
+		{"missing fleet", "name: t\nduration: 2s\n", `missing required section "fleet"`},
+		{"empty fleet", "name: t\nduration: 2s\nfleet:\n  instances: []\n", "flow syntax"},
+		{"no instances", "name: t\nduration: 2s\nfleet:\n  workloads:\n    - name: w\n      instance: a\n      ns: workflow\n      rate: 1\n", "empty fleet"},
+		{"zero duration", "name: t\nfleet:\n  instances:\n    - name: a\n", "duration must be positive"},
+		{"overflow duration", strings.Replace(minimal, "duration: 2s", "duration: 2562048h", 1), "bad duration"},
+		{"duration past cap", strings.Replace(minimal, "duration: 2s", "duration: 20m", 1), "exceeds the 10m0s cap"},
+		{"negative event at", minimal + "timeline:\n  - at: -1s\n    action: heal\n", "negative or missing at:"},
+		{"event past duration", minimal + "timeline:\n  - at: 10s\n    action: heal\n", "past the scenario duration"},
+		{"duplicate instance", "name: t\nduration: 2s\nfleet:\n  instances:\n    - name: a\n    - name: a\n", `duplicate instance name "a"`},
+		{"kill undeclared instance", minimal + "timeline:\n  - at: 1s\n    action: kill\n    target: ghost\n", `references undeclared instance "ghost"`},
+		{"pause undeclared workload", minimal + "timeline:\n  - at: 1s\n    action: pause\n    target: ghost\n", `references undeclared workload "ghost"`},
+		{"workload on undeclared instance", strings.Replace(minimal, "instance: alpha", "instance: ghost", 1), `references undeclared instance "ghost"`},
+		{"unknown namespace", strings.Replace(minimal, "ns: workflow", "ns: cosmic", 1), `unknown namespace "cosmic"`},
+		{"unknown action", minimal + "timeline:\n  - at: 1s\n    action: explode\n", `unknown action "explode"`},
+		{"fault with no kinds", minimal + "timeline:\n  - at: 1s\n    action: inject_fault\n", "no fault kind has a positive probability"},
+		{"fault probability over one", minimal + "timeline:\n  - at: 1s\n    action: inject_fault\n    drop: 0.9\n    sever: 0.9\n", "probabilities sum to"},
+		{"fault probability negative", minimal + "timeline:\n  - at: 1s\n    action: inject_fault\n    drop: -0.5\n", "probabilities must be in [0, 1]"},
+		{"bad alert op", minimal + "timeline:\n  - at: 1s\n    action: alert_set\n    name: r\n    ns: workflow\n    pattern: \"a/**\"\n    op: \"!=\"\n", "op must be one of"},
+		{"assert unknown type", minimal + "assertions:\n  - type: vibes\n", `unknown assertion type "vibes"`},
+		{"assert undeclared rule", minimal + "assertions:\n  - type: alert_fired\n    rule: ghost\n", `references rule "ghost" that no alert_set event installs`},
+		{"zero_loss on rotate workload", strings.Replace(minimal, "      rate: 10\n", "      rate: 10\n      layout: rotate\n", 1) + "assertions:\n  - type: zero_loss\n    workload: w\n", "requires a distinct-layout workload"},
+		{"subscriber count zero", minimal + "  subscribers:\n    - name: s\n      instance: alpha\n      ns: workflow\n      count: 0\n", "count must be in [1, 10000]"},
+		{"bad rate", strings.Replace(minimal, "rate: 10", "rate: 1000001", 1), "rate must be in"},
+		{"non-numeric value", strings.Replace(minimal, "      rate: 10\n", "      rate: 10\n      value: banana\n", 1), `value must be "seq" or a number`},
+		{"hostile timestamps typo", strings.Replace(minimal, "      rate: 10\n", "      rate: 10\n      timestamps: hostile!\n", 1), "unknown timestamps mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parse accepted malformed input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioValidateGolden pins the exact `somasim validate` rendering for
+// one valid and one invalid fixture (run with -update-golden to rewrite).
+func TestScenarioValidateGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, name := range []string{"golden-valid.yaml", "golden-invalid.yaml"} {
+		path := filepath.Join("testdata", name)
+		sc, err := ParseFile(path)
+		WriteValidation(&buf, path, sc, err)
+	}
+	goldenPath := filepath.Join("testdata", "validate.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("validate output diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestScenarioLibraryValid keeps every shipped scenario loadable — a library
+// file that stops parsing should fail here, not in the CI matrix.
+func TestScenarioLibraryValid(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".yaml" {
+			continue
+		}
+		n++
+		if _, err := ParseFile(filepath.Join(dir, e.Name())); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if n < 6 {
+		t.Errorf("scenario library has %d files, want at least 6", n)
+	}
+}

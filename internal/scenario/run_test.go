@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func runFile(t *testing.T, path string) *Verdict {
+	t.Helper()
+	sc, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	v, err := Run(ctx, sc, Options{Mode: ModeInproc, Log: testLogWriter{t}, Settle: 15 * time.Second})
+	if err != nil {
+		t.Fatalf("run %s: %v", path, err)
+	}
+	return v
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func assertion(t *testing.T, v *Verdict, typ string) AssertionResult {
+	t.Helper()
+	for _, a := range v.Assertions {
+		if a.Type == typ {
+			return a
+		}
+	}
+	t.Fatalf("verdict has no %s assertion: %+v", typ, v.Assertions)
+	return AssertionResult{}
+}
+
+// TestScenarioKillRestartInproc is the end-to-end engine test: the shipped
+// kill-restart scenario (live subscribers, alert fire -> resolve round-trip,
+// instance kill and same-port restart) must come back green, with the
+// zero-loss ledger checked against post-restart acknowledgements and the
+// alert resolution observed before the kill wipes the rules.
+func TestScenarioKillRestartInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet scenario")
+	}
+	v := runFile(t, filepath.Join("..", "..", "scenarios", "kill-restart.yaml"))
+	if !v.Pass {
+		t.Fatalf("kill-restart verdict failed: %+v", v)
+	}
+	if len(v.EventErrors) != 0 {
+		t.Fatalf("event errors: %v", v.EventErrors)
+	}
+	zl := assertion(t, v, AssertZeroLoss)
+	if !zl.Pass {
+		t.Errorf("zero_loss failed: %s", zl.Detail)
+	}
+	res := assertion(t, v, AssertResolved)
+	if !res.Pass {
+		t.Errorf("alert_resolved failed: %s", res.Detail)
+	}
+	if v.Acked == 0 || v.Updates == 0 {
+		t.Errorf("scenario moved no traffic: acked=%d updates=%d", v.Acked, v.Updates)
+	}
+}
+
+// TestScenarioBrokenAssertGoesRed proves the harness can fail: a fixture
+// asserting an alert that can never fire must produce pass=false with the
+// alert_fired clause as the culprit, while its satisfiable zero_loss clause
+// still passes. A scenario engine whose verdicts cannot go red proves
+// nothing when they are green.
+func TestScenarioBrokenAssertGoesRed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet scenario")
+	}
+	v := runFile(t, filepath.Join("testdata", "broken-assert.yaml"))
+	if v.Pass {
+		t.Fatalf("broken-assert verdict passed; the harness cannot fail")
+	}
+	fired := assertion(t, v, AssertFired)
+	if fired.Pass {
+		t.Errorf("alert_fired passed for a rule that can never fire: %s", fired.Detail)
+	}
+	zl := assertion(t, v, AssertZeroLoss)
+	if !zl.Pass {
+		t.Errorf("zero_loss should still pass in the broken fixture: %s", zl.Detail)
+	}
+}
+
+// TestScenarioSeedDeterminism pins the reproducibility contract: two runs of
+// the partition scenario with the same seed must inject the identical fault
+// schedule (same decision stream, same budget spend).
+func TestScenarioSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet scenario")
+	}
+	path := filepath.Join("..", "..", "scenarios", "partition.yaml")
+	a := runFile(t, path)
+	b := runFile(t, path)
+	if a.Faults != b.Faults {
+		t.Errorf("same seed produced different fault schedules: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if !a.Pass || !b.Pass {
+		t.Errorf("partition runs failed: %v / %v", a.Pass, b.Pass)
+	}
+}

@@ -1,0 +1,499 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/faults"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// Mode selects how fleet instances are realized.
+type Mode int
+
+const (
+	// ModeProc spawns one somad child process per instance — the full
+	// cross-process deployment shape (make scenario, the CI matrix).
+	ModeProc Mode = iota
+	// ModeInproc runs instances as in-process core.Services listening on
+	// real TCP ports — same wire, same client stack, no process spawn, so
+	// scenarios run fast and under the race detector (go test, -inproc).
+	ModeInproc
+)
+
+func (m Mode) String() string {
+	if m == ModeInproc {
+		return "inproc"
+	}
+	return "proc"
+}
+
+// Options configures one Run.
+type Options struct {
+	Mode Mode
+	// SomadPath locates the somad binary for ModeProc (default "somad" on
+	// PATH; make scenario passes bin/somad).
+	SomadPath string
+	// Seed overrides the scenario's seed when non-zero — the -seed flag.
+	Seed int64
+	// Log receives the human timeline log (nil = discard).
+	Log io.Writer
+	// Settle bounds the post-timeline grace period in which in-flight
+	// retries may still complete and teardown must finish (default 10s).
+	Settle time.Duration
+}
+
+// Verdict is the machine-readable outcome of one run, emitted by somasim as
+// a single SCENARIO_VERDICT JSON line.
+type Verdict struct {
+	Scenario    string            `json:"scenario"`
+	Mode        string            `json:"mode"`
+	Seed        int64             `json:"seed"`
+	Pass        bool              `json:"pass"`
+	DurationSec float64           `json:"duration_sec"`
+	Attempted   int64             `json:"publishes_attempted"`
+	Acked       int64             `json:"publishes_acked"`
+	BurstAcked  int64             `json:"burst_acked"`
+	Updates     int64             `json:"subscriber_updates"`
+	Dropped     int64             `json:"subscriber_drops"`
+	Faults      faults.Counters   `json:"faults"`
+	EventErrors []string          `json:"event_errors,omitempty"`
+	Assertions  []AssertionResult `json:"assertions"`
+}
+
+// AssertionResult is one assertion's verdict.
+type AssertionResult struct {
+	Type   string `json:"type"`
+	Target string `json:"target,omitempty"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// runner holds the live state of one scenario run.
+type runner struct {
+	sc    *Scenario
+	opts  Options
+	seed  int64
+	log   io.Writer
+	logMu sync.Mutex
+
+	// tr is the one seeded fault transport: inject_fault events reconfigure
+	// it, heal (and end-of-run auto-heal) disables it. In inproc mode it
+	// also wraps the services' accepted connections, so faults hit both
+	// directions of the wire exactly as in make chaos.
+	tr *faults.Transport
+	// faultEngine carries workload/subscriber/burst traffic through the
+	// injector; cleanEngine carries the harness's own measurement traffic
+	// (health probes, alert polling, ground-truth queries) so a verdict is
+	// never an artifact of a faulted measurement.
+	faultEngine *mercury.Engine
+	cleanEngine *mercury.Engine
+
+	instances map[string]*instanceRT
+	order     []string // instance boot order (fleet file order)
+	workloads map[string]*workloadRT
+	subsMu    sync.Mutex
+	subs      []*subGroupRT
+	obs       *alertObserver
+
+	start     time.Time
+	stopIssue chan struct{} // closed at end of timeline: no new publishes
+	settleCtx context.Context
+
+	wg sync.WaitGroup // workload pumps
+
+	evMu      sync.Mutex
+	evErrs    []string
+	burstWG   sync.WaitGroup
+	burstAck  int64 // guarded by evMu
+	burstTry  int64
+	baseGoros int
+}
+
+// instanceRT is one fleet instance at runtime.
+type instanceRT struct {
+	spec Instance
+	h    handle
+	util *core.Client // clean-engine utility client (alert ops, queries)
+
+	mu          sync.Mutex
+	lastRestart time.Duration // scenario time the latest restart completed; 0 = never
+}
+
+func (in *instanceRT) restartedAt() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.lastRestart
+}
+
+// handle abstracts an instance's lifecycle across the two modes.
+type handle interface {
+	addr() string
+	kill() error
+	restart() error
+	close() error
+}
+
+// simPolicy is the call policy every scenario client runs under: bounded
+// attempts, retries over everything (scenario publishes are idempotent by
+// construction — distinct leaves, or constant rotate values), and a breaker
+// that fails fast through a kill window and re-probes its way back.
+func simPolicy() *mercury.CallPolicy {
+	return &mercury.CallPolicy{
+		ConnectTimeout:   2 * time.Second,
+		AttemptTimeout:   500 * time.Millisecond,
+		MaxRetries:       4,
+		Backoff:          mercury.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+		Idempotent:       func(string) bool { return true },
+		FailureThreshold: 8,
+		OpenFor:          100 * time.Millisecond,
+	}
+}
+
+// Run executes sc and returns its verdict. The error return is reserved for
+// harness failures (fleet would not boot, context cancelled); assertion
+// failures are reported in the verdict, not the error.
+func Run(ctx context.Context, sc *Scenario, opts Options) (*Verdict, error) {
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if opts.Settle <= 0 {
+		opts.Settle = 10 * time.Second
+	}
+	if opts.SomadPath == "" {
+		opts.SomadPath = "somad"
+	}
+	seed := sc.Seed
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+
+	r := &runner{
+		sc:        sc,
+		opts:      opts,
+		seed:      seed,
+		log:       opts.Log,
+		instances: map[string]*instanceRT{},
+		workloads: map[string]*workloadRT{},
+		stopIssue: make(chan struct{}),
+		baseGoros: runtime.NumGoroutine(),
+	}
+	r.tr = faults.New(faults.Config{Seed: seed})
+	r.tr.SetEnabled(false)
+	r.faultEngine = mercury.NewEngine(mercury.WithInjector(r.tr))
+	r.cleanEngine = mercury.NewEngine()
+
+	v := &Verdict{Scenario: sc.Name, Mode: opts.Mode.String(), Seed: seed}
+	runStart := time.Now()
+
+	if err := r.boot(ctx); err != nil {
+		r.teardown()
+		return nil, fmt.Errorf("scenario %s: boot: %w", sc.Name, err)
+	}
+
+	if err := r.playTimeline(ctx); err != nil {
+		r.teardown()
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	// End of timeline: heal whatever the script left injected, stop issuing
+	// new publishes, and give in-flight retries a bounded settle window.
+	// settleCtx is published before stopIssue closes — observing the close
+	// is what licenses a pump to read it.
+	r.tr.SetEnabled(false)
+	r.logf("timeline done — faults healed, settling")
+	settleCtx, settleCancel := context.WithTimeout(ctx, opts.Settle)
+	defer settleCancel()
+	r.settleCtx = settleCtx
+	close(r.stopIssue)
+	pumpDone := make(chan struct{})
+	go func() { r.wg.Wait(); r.burstWG.Wait(); close(pumpDone) }()
+	select {
+	case <-pumpDone:
+	case <-settleCtx.Done():
+		r.eventErrf(0, "settle: workload pumps still running after %v", opts.Settle)
+	}
+
+	// Assertions against the settled fleet, then teardown, then the
+	// goroutine-leak check (which needs everything closed first).
+	var leak *Assertion
+	for i := range sc.Asserts {
+		a := &sc.Asserts[i]
+		if a.Type == AssertNoLeak {
+			leak = a
+			continue
+		}
+		v.Assertions = append(v.Assertions, r.eval(a))
+	}
+	r.collectTotals(v)
+	r.teardown()
+	if leak != nil {
+		v.Assertions = append(v.Assertions, r.evalNoLeak(leak))
+	}
+
+	v.Faults = r.tr.Stats()
+	v.DurationSec = time.Since(runStart).Seconds()
+	r.evMu.Lock()
+	v.EventErrors = append([]string(nil), r.evErrs...)
+	r.evMu.Unlock()
+	v.Pass = len(v.EventErrors) == 0
+	for _, a := range v.Assertions {
+		if !a.Pass {
+			v.Pass = false
+		}
+	}
+	for _, a := range v.Assertions {
+		status := "PASS"
+		if !a.Pass {
+			status = "FAIL"
+		}
+		r.logf("assert %-26s %s  %s", a.Type, status, a.Detail)
+	}
+	r.logf("verdict: pass=%v faults=%+v", v.Pass, v.Faults)
+	return v, nil
+}
+
+// logf writes one timeline line; serialized because pumps, the observer,
+// and the main loop all narrate into the same writer.
+func (r *runner) logf(format string, args ...any) {
+	var t float64
+	if !r.start.IsZero() {
+		t = time.Since(r.start).Seconds()
+	}
+	r.logMu.Lock()
+	fmt.Fprintf(r.log, "t=%7.3fs  %s\n", t, fmt.Sprintf(format, args...))
+	r.logMu.Unlock()
+}
+
+func (r *runner) since() time.Duration {
+	return time.Since(r.start)
+}
+
+func (r *runner) eventErrf(line int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if line > 0 {
+		msg = fmt.Sprintf("line %d: %s", line, msg)
+	}
+	r.evMu.Lock()
+	r.evErrs = append(r.evErrs, msg)
+	r.evMu.Unlock()
+	r.logf("EVENT ERROR: %s", msg)
+}
+
+// boot starts instances, utility clients, the alert observer, subscriber
+// groups, and workload pumps; the scenario clock starts when it returns.
+func (r *runner) boot(ctx context.Context) error {
+	for _, spec := range r.sc.Fleet.Instances {
+		var (
+			h   handle
+			err error
+		)
+		if r.opts.Mode == ModeInproc {
+			h, err = startInproc(spec, []mercury.Option{mercury.WithInjector(r.tr)})
+		} else {
+			h, err = startProc(ctx, r.opts.SomadPath, spec)
+		}
+		if err != nil {
+			return fmt.Errorf("instance %s: %w", spec.Name, err)
+		}
+		util, err := core.ConnectPolicy(h.addr(), r.cleanEngine, simPolicy())
+		if err != nil {
+			h.close()
+			return fmt.Errorf("instance %s: utility client: %w", spec.Name, err)
+		}
+		r.instances[spec.Name] = &instanceRT{spec: spec, h: h, util: util}
+		r.order = append(r.order, spec.Name)
+		r.logf("boot: instance %s (%s, ranks=%d) at %s", spec.Name, r.opts.Mode, spec.Ranks, h.addr())
+	}
+
+	// The scenario clock starts once the fleet is up: event at: offsets and
+	// ack timestamps count from here. Set before any observer/pump goroutine
+	// exists so they read it race-free.
+	r.start = time.Now()
+	r.obs = startAlertObserver(r)
+
+	for _, g := range r.sc.Fleet.Subscribers {
+		sg, err := r.openSubGroup(ctx, g.Name, g.Instance, g.NS, g.Pattern, g.Count)
+		if err != nil {
+			return fmt.Errorf("subscribers %s: %w", g.Name, err)
+		}
+		r.subsMu.Lock()
+		r.subs = append(r.subs, sg)
+		r.subsMu.Unlock()
+		r.logf("boot: %d subscriber(s) %s on %s ns=%s", g.Count, g.Name, g.Instance, g.NS)
+	}
+
+	for i := range r.sc.Fleet.Workloads {
+		w, err := startWorkload(ctx, r, r.sc.Fleet.Workloads[i])
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", r.sc.Fleet.Workloads[i].Name, err)
+		}
+		r.workloads[w.spec.Name] = w
+	}
+	return nil
+}
+
+// playTimeline executes the sorted event script against the live fleet and
+// then waits out the scenario duration.
+func (r *runner) playTimeline(ctx context.Context) error {
+	for _, ev := range r.sc.sortedTimeline() {
+		if err := r.sleepUntil(ctx, ev.At); err != nil {
+			return err
+		}
+		r.execute(ctx, ev)
+	}
+	return r.sleepUntil(ctx, r.sc.Duration)
+}
+
+func (r *runner) sleepUntil(ctx context.Context, at time.Duration) error {
+	d := time.Until(r.start.Add(at))
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (r *runner) execute(ctx context.Context, ev Event) {
+	switch ev.Action {
+	case ActInjectFault:
+		f := ev.Fault
+		r.tr.Reconfigure(f.Config(r.seed))
+		r.tr.SetEnabled(true)
+		r.logf("inject_fault drop=%g sever=%g corrupt=%g blackhole=%g delay=%g budget=%d",
+			f.Drop, f.Sever, f.Corrupt, f.Blackhole, f.Delay, f.Budget)
+	case ActHeal:
+		r.tr.SetEnabled(false)
+		r.logf("heal — injection disabled (injected so far: %+v)", r.tr.Stats())
+	case ActKill:
+		in := r.instances[ev.Target]
+		if err := in.h.kill(); err != nil {
+			r.eventErrf(ev.Line, "kill %s: %v", ev.Target, err)
+			return
+		}
+		r.logf("kill %s", ev.Target)
+	case ActRestart:
+		in := r.instances[ev.Target]
+		if err := in.h.restart(); err != nil {
+			r.eventErrf(ev.Line, "restart %s: %v", ev.Target, err)
+			return
+		}
+		in.mu.Lock()
+		in.lastRestart = r.since()
+		in.mu.Unlock()
+		r.logf("restart %s at %s", ev.Target, in.h.addr())
+	case ActBurst:
+		r.runBurst(ctx, ev)
+	case ActHerd:
+		h := ev.Herd
+		sg, err := r.openSubGroup(ctx, fmt.Sprintf("herd@%v", ev.At), h.Instance, h.NS, h.Pattern, h.Count)
+		if err != nil {
+			r.eventErrf(ev.Line, "herd: %v", err)
+			return
+		}
+		r.subsMu.Lock()
+		r.subs = append(r.subs, sg)
+		r.subsMu.Unlock()
+		r.logf("herd: %d subscribers stampeded onto %s ns=%s", h.Count, h.Instance, h.NS)
+	case ActAlertSet:
+		in := r.eventInstance(ev.Target)
+		if err := retryOp(ctx, 5, func() error { return in.util.SetAlert(*ev.Alert) }); err != nil {
+			r.eventErrf(ev.Line, "alert_set %s: %v", ev.Alert.Name, err)
+			return
+		}
+		r.logf("alert_set %s: %s %s %s %g window=%gs", ev.Alert.Name, ev.Alert.NS,
+			ev.Alert.Pattern, ev.Alert.Op, ev.Alert.Threshold, ev.Alert.WindowSec)
+	case ActAlertRm:
+		in := r.eventInstance("")
+		if err := retryOp(ctx, 5, func() error { return in.util.RemoveAlert(ev.Target) }); err != nil {
+			r.eventErrf(ev.Line, "alert_rm %s: %v", ev.Target, err)
+			return
+		}
+		r.logf("alert_rm %s", ev.Target)
+	case ActPause:
+		r.workloads[ev.Target].paused.Store(true)
+		r.logf("pause %s", ev.Target)
+	case ActResume:
+		r.workloads[ev.Target].paused.Store(false)
+		r.logf("resume %s", ev.Target)
+	case ActSetValue:
+		r.workloads[ev.Target].setValue(ev.Value)
+		r.logf("set_value %s = %g", ev.Target, ev.Value)
+	}
+}
+
+// eventInstance resolves an event's instance reference; "" means the first
+// declared instance (single-instance scenarios never need to name it).
+func (r *runner) eventInstance(name string) *instanceRT {
+	if name == "" {
+		return r.instances[r.order[0]]
+	}
+	return r.instances[name]
+}
+
+// retryOp retries a utility operation through transient fleet weather.
+func retryOp(ctx context.Context, attempts int, op func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return err
+}
+
+func (r *runner) collectTotals(v *Verdict) {
+	for _, w := range r.workloads {
+		v.Attempted += w.attempted.Load()
+		v.Acked += w.acked.Load()
+	}
+	r.subsMu.Lock()
+	for _, sg := range r.subs {
+		v.Updates += sg.updates.Load()
+		v.Dropped += sg.droppedTotal()
+	}
+	r.subsMu.Unlock()
+	r.evMu.Lock()
+	v.BurstAcked = r.burstAck
+	r.evMu.Unlock()
+}
+
+// teardown closes everything the run opened, in dependency order.
+func (r *runner) teardown() {
+	r.subsMu.Lock()
+	subs := r.subs
+	r.subs = nil
+	r.subsMu.Unlock()
+	for _, sg := range subs {
+		sg.close()
+	}
+	if r.obs != nil {
+		r.obs.stop()
+	}
+	for _, w := range r.workloads {
+		w.client.Close()
+	}
+	for _, name := range r.order {
+		in := r.instances[name]
+		in.util.Close()
+		in.h.close()
+	}
+	r.faultEngine.Close()
+	r.cleanEngine.Close()
+}

@@ -1,0 +1,325 @@
+// Package scenario implements the declarative scenario engine behind
+// cmd/somasim: YAML fleet declarations, scripted fault timelines, and
+// assertions checked against a live SOMA fleet. A scenario file declares a
+// fleet (somad instances, publisher workloads, live subscribers), a timeline
+// of events (fault injection via internal/faults, instance kill/restart,
+// traffic bursts, alert churn), and assertions (health, zero-loss publish
+// accounting, alert fired/resolved deadlines, query-vs-ground-truth
+// equivalence, goroutine-leak and drop budgets) evaluated during and after
+// the run. The engine drives either in-process core.Service instances
+// (-inproc: fast, race-detector friendly) or real somad child processes,
+// both over real TCP, through the existing client, CallPolicy, and faults
+// layers. See DESIGN.md §4j.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The scenario format is a strict YAML subset parsed by the hand-rolled
+// decoder below (zero dependencies, like the RFC 6455 codec in
+// internal/gateway). Supported: block mappings and sequences by 2+ space
+// indentation, scalar values (plain, single- or double-quoted), `#`
+// comments, and an optional leading `---`. Deliberately unsupported, with
+// explicit errors: tabs, flow syntax (`[a, b]` / `{a: b}`), anchors/aliases,
+// multi-document streams, and block scalars (`|` / `>`). Unknown keys are
+// rejected one layer up, in the schema decoder.
+
+// yamlKind discriminates the three node shapes of the subset.
+type yamlKind int
+
+const (
+	yScalar yamlKind = iota
+	yMap
+	yList
+)
+
+func (k yamlKind) String() string {
+	switch k {
+	case yScalar:
+		return "scalar"
+	case yMap:
+		return "mapping"
+	default:
+		return "list"
+	}
+}
+
+// yamlNode is one node of the untyped parse tree.
+type yamlNode struct {
+	line   int
+	kind   yamlKind
+	scalar string
+	keys   []string // mapping keys in file order
+	m      map[string]*yamlNode
+	items  []*yamlNode
+}
+
+// srcLine is one significant source line: comments stripped, blanks and
+// document markers skipped, indentation measured.
+type srcLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+// parseYAML parses src into its untyped tree.
+func parseYAML(src []byte) (*yamlNode, error) {
+	lines, err := splitSource(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("line %d: top-level content must not be indented", lines[0].num)
+	}
+	root, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: content outside the document structure (bad indentation?)", lines[next].num)
+	}
+	return root, nil
+}
+
+// splitSource turns raw bytes into significant lines. Tabs in indentation
+// are rejected outright — silent tab/space mixing is the classic YAML trap.
+func splitSource(src []byte) ([]srcLine, error) {
+	var out []srcLine
+	for num, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tab in indentation (spaces only)", num+1)
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(out) == 0 {
+			continue // optional document start marker
+		}
+		out = append(out, srcLine{num: num + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `# ...` comment: a '#' outside quotes, at
+// the start of the content or preceded by whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++ // skip the escaped byte
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+// parseBlock parses the block starting at lines[i], whose lines sit at
+// exactly indent. It returns the node and the index of the first line it
+// did not consume.
+func parseBlock(lines []srcLine, i, indent int) (*yamlNode, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseMap(lines []srcLine, i, indent int) (*yamlNode, int, error) {
+	n := &yamlNode{line: lines[i].num, kind: yMap, m: map[string]*yamlNode{}}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, 0, fmt.Errorf("line %d: list item where a mapping key was expected", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := n.m[key]; dup {
+			return nil, 0, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		var child *yamlNode
+		if rest != "" {
+			sc, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			child = sc
+			i++
+		} else {
+			if i+1 >= len(lines) || lines[i+1].indent <= indent {
+				return nil, 0, fmt.Errorf("line %d: key %q has no value", ln.num, key)
+			}
+			sub, next, err := parseBlock(lines, i+1, lines[i+1].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			child = sub
+			i = next
+		}
+		n.keys = append(n.keys, key)
+		n.m[key] = child
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return n, i, nil
+}
+
+func parseList(lines []srcLine, i, indent int) (*yamlNode, int, error) {
+	n := &yamlNode{line: lines[i].num, kind: yList}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			break // back to the enclosing mapping
+		}
+		if ln.text == "-" {
+			return nil, 0, fmt.Errorf("line %d: bare '-' list item (write the item on the same line)", ln.num)
+		}
+		// The item content starts after the dash; its effective indentation
+		// is the dash column plus the dash-and-spaces prefix, so follow-on
+		// keys of a mapping item align under the first one.
+		j := 1
+		for j < len(ln.text) && ln.text[j] == ' ' {
+			j++
+		}
+		rest := ln.text[j:]
+		childIndent := indent + j
+		if isMappingStart(rest) {
+			// Re-thread the first key through parseMap by rewriting this
+			// line as if it sat at the item's content indentation.
+			rewritten := make([]srcLine, len(lines))
+			copy(rewritten, lines)
+			rewritten[i] = srcLine{num: ln.num, indent: childIndent, text: rest}
+			item, next, err := parseMap(rewritten, i, childIndent)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.items = append(n.items, item)
+			i = next
+			continue
+		}
+		sc, err := parseScalar(rest, ln.num)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.items = append(n.items, sc)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return n, i, nil
+}
+
+// isMappingStart reports whether a list item's content begins a mapping
+// (`key: value` or `key:`) rather than a plain scalar.
+func isMappingStart(s string) bool {
+	if s == "" || s[0] == '"' || s[0] == '\'' {
+		return false
+	}
+	c := strings.IndexByte(s, ':')
+	if c <= 0 {
+		return false
+	}
+	return c == len(s)-1 || s[c+1] == ' '
+}
+
+// splitKey splits `key: value` / `key:` and validates the key.
+func splitKey(ln srcLine) (key, rest string, err error) {
+	c := strings.IndexByte(ln.text, ':')
+	if c <= 0 {
+		return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", ln.num, ln.text)
+	}
+	key = ln.text[:c]
+	if strings.ContainsAny(key, " \"'") {
+		return "", "", fmt.Errorf("line %d: malformed key %q", ln.num, key)
+	}
+	rest = ln.text[c+1:]
+	if rest != "" {
+		if rest[0] != ' ' {
+			return "", "", fmt.Errorf("line %d: missing space after ':' in %q", ln.num, ln.text)
+		}
+		rest = strings.TrimLeft(rest, " ")
+	}
+	return key, rest, nil
+}
+
+// parseScalar parses one scalar value: plain, or single/double quoted.
+func parseScalar(s string, num int) (*yamlNode, error) {
+	switch s[0] {
+	case '[', '{':
+		return nil, fmt.Errorf("line %d: flow syntax (%q) is not supported; use block form", num, s)
+	case '&', '*':
+		return nil, fmt.Errorf("line %d: anchors/aliases (%q) are not supported", num, s)
+	case '|', '>':
+		return nil, fmt.Errorf("line %d: block scalars (%q) are not supported", num, s)
+	case '"':
+		v, rest, err := unquoteDouble(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", num, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("line %d: trailing content %q after quoted string", num, rest)
+		}
+		return &yamlNode{line: num, kind: yScalar, scalar: v}, nil
+	case '\'':
+		end := strings.IndexByte(s[1:], '\'')
+		if end < 0 {
+			return nil, fmt.Errorf("line %d: unterminated single-quoted string", num)
+		}
+		if strings.TrimSpace(s[end+2:]) != "" {
+			return nil, fmt.Errorf("line %d: trailing content %q after quoted string", num, s[end+2:])
+		}
+		return &yamlNode{line: num, kind: yScalar, scalar: s[1 : end+1]}, nil
+	}
+	return &yamlNode{line: num, kind: yScalar, scalar: s}, nil
+}
+
+func unquoteDouble(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated double-quoted string")
+}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # gateway_smoke.sh — end-to-end proof of the HTTP/WebSocket gateway.
 #
 # Boots somad + somagate, publishes real traffic via somabench, then
@@ -16,7 +16,10 @@
 #
 # Every verdict is emitted as one machine-readable line:
 #   GATEWAY_SMOKE <check>=<pass|fail> detail...
-set -eu
+#
+# pipefail matters: several checks pipe curl through awk/grep, and a curl
+# failure must fail the check, not vanish behind the filter's exit code.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 

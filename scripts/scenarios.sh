@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# scenarios.sh — run every scenario in scenarios/ end-to-end and fail if any
+# verdict comes back red.
+#
+# Each scenario boots a real fleet (somad child processes by default; pass
+# SCENARIO_FLAGS=-inproc for in-process services), plays its fault timeline,
+# and judges its assertions. Per scenario the human timeline goes to
+# <logdir>/<name>.log and the SCENARIO_VERDICT JSON line to
+# <logdir>/<name>.verdict; pipefail keeps somasim's exit code authoritative
+# through the tee.
+#
+#   SCENARIO_LOG_DIR   where to keep logs/verdicts (default: mktemp -d)
+#   SCENARIO_FLAGS     extra `somasim run` flags (-inproc, -seed N, ...)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+go build -o bin/somad ./cmd/somad
+go build -o bin/somasim ./cmd/somasim
+
+logdir=${SCENARIO_LOG_DIR:-$(mktemp -d)}
+mkdir -p "$logdir"
+echo "scenarios: logs in $logdir"
+
+fail=0
+for f in scenarios/*.yaml; do
+    name=$(basename "$f" .yaml)
+    echo "=== scenario $name ==="
+    # shellcheck disable=SC2086  # SCENARIO_FLAGS is intentionally word-split
+    if bin/somasim run ${SCENARIO_FLAGS:-} "$f" \
+        2>"$logdir/$name.log" | tee "$logdir/$name.verdict"; then
+        echo "scenario $name: PASS"
+    else
+        echo "scenario $name: FAIL (timeline tail follows; full log: $logdir/$name.log)"
+        tail -n 25 "$logdir/$name.log" || true
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "scenarios: FAIL"
+    exit 1
+fi
+echo "scenarios: PASS ($(ls scenarios/*.yaml | wc -l | tr -d ' ') scenarios)"
