@@ -10,7 +10,7 @@ GO ?= go
 GOFMT ?= gofmt
 BENCH_COUNT ?= 5
 
-.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke gateway-smoke fuzz-smoke scenario scenarios
+.PHONY: build test vet race lint bench benchdiff telemetry-overhead verify verify-stream chaos load load-smoke cluster-smoke gateway-smoke fuzz-smoke scenario scenarios
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,7 @@ verify-stream:
 
 bench:
 	$(GO) test ./internal/core/ -run '^$$' \
-		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkPublishBatch$$|BenchmarkSelectSnapshot$$|BenchmarkSeriesQuery$$|BenchmarkSubscribeFanout$$|BenchmarkQueryHot$$|BenchmarkQueryEncodeNoCache$$|BenchmarkQueryDelta$$|BenchmarkSnapshotRebuild$$' \
+		-bench 'BenchmarkPublishIngest$$|BenchmarkPublishIngestRPC$$|BenchmarkPublishBatch$$|BenchmarkSelectSnapshot$$|BenchmarkSeriesQuery$$|BenchmarkSubscribeFanout$$|BenchmarkQueryHot$$|BenchmarkQueryEncodeNoCache$$|BenchmarkQueryDelta$$|BenchmarkSnapshotRebuild$$|BenchmarkScatterGatherQuery$$' \
 		-benchmem -count $(BENCH_COUNT)
 
 benchdiff:
@@ -76,6 +76,21 @@ load:
 load-smoke:
 	$(GO) build -o bin/somabench ./cmd/somabench
 	bin/somabench load -publishers 1000 -conns 4 -duration 2s -json
+
+# cluster-smoke is the sharded-fleet CI gate: the 3-instance somasim scenario
+# (consistent-hash placement, two sever storms, zero-loss + ground-truth
+# verdicts) followed by somabench against a 2-instance cluster with shard
+# routing. The rate floor is deliberately conservative — shared CI runners
+# (and single-core boxes) cannot show the multi-core scaling the full-size
+# `make load` demonstrates — so the gate is exact loss accounting plus a
+# sanity floor, not a scaling claim.
+cluster-smoke:
+	$(GO) build -o bin/somad ./cmd/somad
+	$(GO) build -o bin/somasim ./cmd/somasim
+	$(GO) build -o bin/somabench ./cmd/somabench
+	bin/somasim run scenarios/cluster-rebalance.yaml
+	bin/somabench load -peers 2 -publishers 1000 -conns 4 -duration 2s \
+		-min-rate 200000 -json
 
 # gateway-smoke boots somad + somagate, drives the JSON API and dashboard
 # with curl, publishes via `somabench pub`, and holds a live WebSocket

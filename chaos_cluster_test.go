@@ -1,0 +1,187 @@
+//go:build chaos
+
+package gosoma_test
+
+// Cluster chaos (make chaos): a 3-instance fleet over real TCP with the
+// seeded fault transport severing and dropping frames on the inter-peer
+// wire while a shard-routing client publishes distinct leaves through the
+// storm. Severed pings mark peers dead, the ring shrinks, rebalance starts
+// handing leaves to their new owners — and then more severs land mid-
+// rebalance. The asserted outcome is invariant across schedules:
+//
+//	zero loss — after the storm heals and the rings reconverge, a scattered
+//	            soma.query from EVERY instance answers every acknowledged
+//	            leaf with its exact value. Handoff never deletes at the
+//	            source and reads scatter to all live members, so an
+//	            interrupted rebalance has no loss window to expose;
+//	zero deadlock — convergence, the final queries and every Close finish
+//	            within the test timeout.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/core"
+	"github.com/hpcobs/gosoma/internal/faults"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+func TestChaosClusterSeverMidRebalance(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runClusterSeverStorm(t, seed)
+		})
+	}
+}
+
+func runClusterSeverStorm(t *testing.T, seed int64) {
+	// Sever-heavy mix: the point is membership churn (dead peers, ring
+	// changes, interrupted handoffs), not frame-level noise. The budget
+	// guarantees the storm ends and the fleet is allowed to heal.
+	tr := faults.New(faults.Config{
+		Seed:      seed,
+		SeverProb: 0.03,
+		DropProb:  0.03,
+		Budget:    300,
+	})
+	tr.SetEnabled(false) // form the fleet cleanly first
+
+	const fleet = 3
+	svcs := make([]*core.Service, fleet)
+	addrs := make([]string, fleet)
+	for i := range svcs {
+		svcs[i] = core.NewService(core.ServiceConfig{
+			RanksPerNamespace: 2,
+			EngineOptions:     []mercury.Option{mercury.WithInjector(tr)},
+		})
+		addr, err := svcs[i].Listen("tcp://127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		defer svcs[i].Close()
+	}
+	for i, s := range svcs {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		err := s.JoinCluster(core.ClusterConfig{
+			SelfID:       fmt.Sprintf("soma-%d", i),
+			Peers:        peers,
+			PingInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, svcs, fleet, 10*time.Second)
+
+	// The publisher rides a clean engine: its acks are real, so "acked" is a
+	// trustworthy ledger. The storm lives on the inter-peer wire (and the
+	// services' response writes), which is where rebalance and placement run.
+	cc, err := core.ConnectCluster(addrs[0], nil, core.ClusterClientConfig{
+		Policy:          chaosPolicy(),
+		RefreshInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	tr.SetEnabled(true)
+	truth := map[string]float64{} // acked leaves only — the zero-loss ledger
+	const leaves = 400
+	for i := 0; i < leaves; i++ {
+		path := fmt.Sprintf("CHAOS/cn%03d/metric", i)
+		n := conduit.NewNode()
+		n.SetFloat(path, float64(i))
+		var perr error
+		for attempt := 0; attempt < 50; attempt++ {
+			if perr = cc.Publish(core.NSHardware, n); perr == nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if perr != nil {
+			// Never acked: not in the ledger, nothing owed. (With the fault
+			// budget this is rare; losing a few keeps the invariant honest.)
+			continue
+		}
+		truth[path] = float64(i)
+	}
+	if len(truth) < leaves/2 {
+		t.Fatalf("storm acked only %d/%d publishes; schedule too hostile to mean anything", len(truth), leaves)
+	}
+
+	// Heal: stop injecting, let pings revive the dead and the rings agree.
+	tr.SetEnabled(false)
+	waitConverged(t, svcs, fleet, 15*time.Second)
+
+	// Zero loss: every acked leaf, exact value, from every entry point.
+	st := tr.Stats()
+	t.Logf("seed %d: %d acked, faults injected: severs=%d drops=%d", seed, len(truth), st.Severs, st.Drops)
+	for i, addr := range addrs {
+		c, err := core.ConnectPolicy(addr, nil, chaosPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tree *conduit.Node
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			tree, err = c.Query(core.NSHardware, "")
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("instance %d: scattered query never succeeded after heal: %v", i, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		for path, want := range truth {
+			got, ok := tree.Float(path)
+			if !ok {
+				t.Fatalf("instance %d: acked leaf %s missing after sever-mid-rebalance storm", i, path)
+			}
+			if got != want {
+				t.Fatalf("instance %d: leaf %s = %v, want %v", i, path, got, want)
+			}
+		}
+		c.Close()
+	}
+}
+
+// waitConverged blocks until every service's ring reports `alive` members
+// under one shared epoch.
+func waitConverged(t *testing.T, svcs []*core.Service, alive int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		epochs := map[uint64]bool{}
+		ok := true
+		for _, s := range svcs {
+			e, members := s.ClusterRing()
+			if len(members) != alive {
+				ok = false
+				break
+			}
+			epochs[e] = true
+		}
+		if ok && len(epochs) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, s := range svcs {
+				e, members := s.ClusterRing()
+				t.Logf("svc %d: epoch=%x members=%d", i, e, len(members))
+			}
+			t.Fatal("fleet rings never reconverged after the storm healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -34,6 +34,7 @@ import (
 type loadReport struct {
 	Publishers      int     `json:"publishers"`
 	Conns           int     `json:"conns"`
+	Peers           int     `json:"peers"`
 	DurationSec     float64 `json:"duration_sec"`
 	Publishes       int64   `json:"publishes"`
 	PublishesPerSec float64 `json:"publishes_per_sec"`
@@ -55,6 +56,8 @@ func runLoad(argv []string) int {
 	batchLeaves := fs.Int("batch-leaves", 0, "coalescer leaf-count flush threshold (0 = default)")
 	batchBytes := fs.Int("batch-bytes", 0, "coalescer byte-budget flush threshold (0 = default)")
 	batchAge := fs.Duration("batch-age", 0, "coalescer age flush bound (0 = default)")
+	batchTarget := fs.Duration("target-latency", 0, "adaptive coalescer: steer the age bound toward this ack-latency tail (0 = fixed batch-age)")
+	peers := fs.Int("peers", 1, "in-process service instances joined into one sharded cluster (1 = single instance)")
 	queryInterval := fs.Duration("query-interval", 250*time.Millisecond, "monitor query period (folds pending records)")
 	rollups := fs.Bool("rollups", false, "enable server rollups (forces tree materialization on ingest)")
 	addr := fs.String("addr", "tcp://127.0.0.1:0", "listen address for the in-process service")
@@ -81,18 +84,58 @@ func runLoad(argv []string) int {
 		fmt.Fprintln(os.Stderr, "somabench load: need publishers >= conns >= 1")
 		return 2
 	}
+	if *peers < 1 || *peers > 16 {
+		fmt.Fprintln(os.Stderr, "somabench load: need 1 <= peers <= 16")
+		return 2
+	}
 
-	svc := core.NewService(core.ServiceConfig{
-		// Bounded history: at load rates the ring is a sliding window, and
-		// keeping it short keeps retained records (and GC scan) flat.
-		MaxRecords:     4096,
-		DisableRollups: !*rollups,
-	})
-	defer svc.Close()
-	laddr, err := svc.Listen(*addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "somabench load: listen %s: %v\n", *addr, err)
-		return 1
+	// -peers N boots N instances and joins them into one sharded cluster;
+	// the client side then routes each publisher's stream straight to its
+	// shard owner and the monitor queries scatter-gather across the fleet.
+	svcs := make([]*core.Service, *peers)
+	addrs := make([]string, *peers)
+	for i := range svcs {
+		svcs[i] = core.NewService(core.ServiceConfig{
+			// Bounded history: at load rates the ring is a sliding window, and
+			// keeping it short keeps retained records (and GC scan) flat.
+			MaxRecords:     4096,
+			DisableRollups: !*rollups,
+		})
+		defer svcs[i].Close()
+		listen := "tcp://127.0.0.1:0"
+		if i == 0 {
+			listen = *addr
+		}
+		laddr, err := svcs[i].Listen(listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somabench load: listen %s: %v\n", listen, err)
+			return 1
+		}
+		addrs[i] = laddr
+	}
+	laddr := addrs[0]
+	if *peers > 1 {
+		for i, s := range svcs {
+			var others []string
+			for j, a := range addrs {
+				if j != i {
+					others = append(others, a)
+				}
+			}
+			err := s.JoinCluster(core.ClusterConfig{
+				SelfID:       fmt.Sprintf("bench-%d", i),
+				Peers:        others,
+				PingInterval: 100 * time.Millisecond,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "somabench load: join cluster: %v\n", err)
+				return 1
+			}
+		}
+		if err := waitBenchCluster(svcs); err != nil {
+			fmt.Fprintf(os.Stderr, "somabench load: %v\n", err)
+			return 1
+		}
 	}
 
 	// One single-leaf payload per logical publisher, pre-encoded up front
@@ -103,27 +146,40 @@ func runLoad(argv []string) int {
 	// monitors report: fan-out spread over two tree levels instead of one
 	// flat 100k-child map keeps every child map small enough to stay
 	// cache-resident during folds and grafts.
-	payloads := make([][]byte, *publishers)
+	payloads := make([]loadPayload, *publishers)
 	for i := range payloads {
+		path := fmt.Sprintf("LOAD/cn%05d/s%02d", i/16, i%16)
 		n := conduit.NewNode()
-		n.SetFloat(fmt.Sprintf("LOAD/cn%05d/s%02d", i/16, i%16), float64(i))
-		payloads[i] = n.EncodeBinary()
+		n.SetFloat(path, float64(i))
+		payloads[i] = loadPayload{path: path, enc: n.EncodeBinary()}
 	}
 
-	clients := make([]*core.Client, *conns)
+	batch := core.BatchConfig{
+		MaxBytes:      *batchBytes,
+		MaxLeaves:     *batchLeaves,
+		MaxAge:        *batchAge,
+		TargetLatency: *batchTarget,
+	}
+	clients := make([]loadConn, *conns)
 	for i := range clients {
-		c, err := core.Connect(laddr, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "somabench load: connect: %v\n", err)
-			return 1
+		if *peers > 1 {
+			cc, err := core.ConnectCluster(laddr, nil, core.ClusterClientConfig{Batch: &batch})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "somabench load: connect cluster: %v\n", err)
+				return 1
+			}
+			defer cc.Close()
+			clients[i] = clusterConn{cc}
+		} else {
+			c, err := core.Connect(laddr, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "somabench load: connect: %v\n", err)
+				return 1
+			}
+			defer c.Close()
+			c.EnableBatch(batch)
+			clients[i] = singleConn{c}
 		}
-		defer c.Close()
-		c.EnableBatch(core.BatchConfig{
-			MaxBytes:  *batchBytes,
-			MaxLeaves: *batchLeaves,
-			MaxAge:    *batchAge,
-		})
-		clients[i] = c
 	}
 
 	// Partition the publishers across connections; each producer goroutine
@@ -144,10 +200,11 @@ func runLoad(argv []string) int {
 			break
 		}
 		wg.Add(1)
-		go func(c *core.Client, own [][]byte) {
+		go func(c loadConn, own []loadPayload) {
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
-				if err := c.PublishEncoded(core.NSHardware, own[i%len(own)]); err != nil {
+				p := own[i%len(own)]
+				if err := c.publishEncoded(core.NSHardware, p.path, p.enc); err != nil {
 					pubErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -166,7 +223,8 @@ func runLoad(argv []string) int {
 		for {
 			select {
 			case <-tick.C:
-				if _, err := svc.Query(core.NSHardware, "LOAD"); err != nil {
+				// Scatter-gathers across the fleet when clustered.
+				if _, err := svcs[0].Query(core.NSHardware, "LOAD"); err != nil {
 					pubErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -185,14 +243,14 @@ func runLoad(argv []string) int {
 	elapsed := time.Since(start)
 	var atStop int64
 	for _, c := range clients {
-		atStop += c.Published()
+		atStop += c.published()
 	}
 	stop.Store(true)
 	wg.Wait()
 	close(quit)
 	<-monDone
 	for _, c := range clients {
-		if err := c.Flush(); err != nil {
+		if err := c.flush(); err != nil {
 			pubErr.CompareAndSwap(nil, err)
 		}
 	}
@@ -203,13 +261,15 @@ func runLoad(argv []string) int {
 
 	var published int64
 	for _, c := range clients {
-		published += c.Published()
+		published += c.published()
 	}
 	var serverPubs, bytesIn int64
-	for _, st := range svc.Stats() {
-		if st.Namespace == core.NSHardware {
-			serverPubs += st.Publishes
-			bytesIn += st.BytesIn
+	for _, svc := range svcs {
+		for _, st := range svc.Stats() {
+			if st.Namespace == core.NSHardware {
+				serverPubs += st.Publishes
+				bytesIn += st.BytesIn
+			}
 		}
 	}
 
@@ -220,6 +280,7 @@ func runLoad(argv []string) int {
 	rep := loadReport{
 		Publishers:      *publishers,
 		Conns:           *conns,
+		Peers:           *peers,
 		DurationSec:     elapsed.Seconds(),
 		Publishes:       published,
 		PublishesPerSec: float64(atStop) / elapsed.Seconds(),
@@ -244,8 +305,12 @@ func runLoad(argv []string) int {
 			return 1
 		}
 	} else {
-		fmt.Printf("somabench load: %d publishers over %d conns for %.1fs\n",
-			rep.Publishers, rep.Conns, rep.DurationSec)
+		fleet := ""
+		if rep.Peers > 1 {
+			fleet = fmt.Sprintf(" into %d clustered instances", rep.Peers)
+		}
+		fmt.Printf("somabench load: %d publishers over %d conns%s for %.1fs\n",
+			rep.Publishers, rep.Conns, fleet, rep.DurationSec)
 		fmt.Printf("  publishes        %d (%.0f/sec)\n", rep.Publishes, rep.PublishesPerSec)
 		fmt.Printf("  ack latency      p50 %.0fus  p95 %.0fus  p99 %.0fus\n",
 			rep.P50Micros, rep.P95Micros, rep.P99Micros)
@@ -264,4 +329,60 @@ func runLoad(argv []string) int {
 		return 1
 	}
 	return 0
+}
+
+// loadPayload is one logical publisher's pre-encoded sample and its leaf
+// path — the shard routing key in clustered runs.
+type loadPayload struct {
+	path string
+	enc  []byte
+}
+
+// loadConn abstracts a producer goroutine's connection: a plain Client in
+// single-instance runs, a shard-routing ClusterClient under -peers.
+type loadConn interface {
+	publishEncoded(ns core.Namespace, path string, enc []byte) error
+	flush() error
+	published() int64
+}
+
+type singleConn struct{ c *core.Client }
+
+func (s singleConn) publishEncoded(ns core.Namespace, _ string, enc []byte) error {
+	return s.c.PublishEncoded(ns, enc)
+}
+func (s singleConn) flush() error     { return s.c.Flush() }
+func (s singleConn) published() int64 { return s.c.Published() }
+
+type clusterConn struct{ c *core.ClusterClient }
+
+func (s clusterConn) publishEncoded(ns core.Namespace, path string, enc []byte) error {
+	return s.c.PublishEncoded(ns, path, enc)
+}
+func (s clusterConn) flush() error     { return s.c.Flush() }
+func (s clusterConn) published() int64 { return s.c.Published() }
+
+// waitBenchCluster blocks until every instance sees the whole fleet alive
+// under one ring epoch.
+func waitBenchCluster(svcs []*core.Service) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		epochs := map[uint64]bool{}
+		ready := true
+		for _, s := range svcs {
+			e, members := s.ClusterRing()
+			if len(members) != len(svcs) {
+				ready = false
+				break
+			}
+			epochs[e] = true
+		}
+		if ready && len(epochs) == 1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster of %d never converged", len(svcs))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,9 @@ func main() {
 	spanRing := flag.Int("span-ring", 0, "recent-span ring capacity (0 = default 256)")
 	traceMax := flag.Int("trace-max", 0, "kept traces retained by the tail sampler (0 = default 128)")
 	traceHead := flag.Int("trace-head", 0, "head-sample 1 in N unremarkable traces (0 = default 64, negative = off)")
+	peers := flag.String("peers", "", "comma-separated peer addresses: join a sharded SOMA cluster with these instances")
+	clusterID := flag.String("id", "", "stable cluster member id (with -peers; default: the listen address)")
+	pingEvery := flag.Duration("ping", 0, "cluster liveness ping interval (0 = default 250ms)")
 	flag.Parse()
 
 	// Tracing knobs reconfigure the Default registry before the service
@@ -67,6 +71,24 @@ func main() {
 	}
 	fmt.Println(addr) // the published RPC address
 	log.Printf("somad: serving %d rank(s) per namespace at %s", *ranks, addr)
+
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		err := svc.JoinCluster(core.ClusterConfig{
+			SelfID:       *clusterID,
+			Peers:        peerList,
+			PingInterval: *pingEvery,
+		})
+		if err != nil {
+			log.Fatalf("somad: join cluster: %v", err)
+		}
+		log.Printf("somad: clustered with %d peer(s): %s", len(peerList), *peers)
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultPingMisses is how many consecutive failed pings mark a peer dead.
+// Three misses rides out a single dropped frame or a slow GC pause without
+// flapping the ring, while still detecting a severed peer within
+// 3×PingInterval.
+const DefaultPingMisses = 3
+
+// PeerState is the tracker's view of one remote member.
+type PeerState struct {
+	Member
+	Alive    bool
+	Misses   int // consecutive ping failures; reset on success
+	LastSeen time.Time
+}
+
+// Tracker folds ping outcomes into an alive set and keeps the consistent-
+// hash ring over the alive members (always including self). It is the
+// transport-free half of membership: internal/core drives it from the
+// soma.peer.ping loop and reads the ring back for placement decisions.
+//
+// All methods are safe for concurrent use. Ring() returns an immutable
+// snapshot, so readers on the publish hot path never contend with the
+// pinger beyond a mutex-protected pointer load.
+type Tracker struct {
+	self   Member
+	vnodes int
+	misses int
+
+	mu    sync.Mutex
+	peers map[string]*PeerState // by Addr; excludes self
+	ring  *Ring                 // over self + alive peers
+}
+
+// NewTracker starts a tracker for self. vnodes <= 0 means DefaultVnodes;
+// misses <= 0 means DefaultPingMisses. The initial ring contains only self.
+func NewTracker(self Member, vnodes, misses int) *Tracker {
+	if self.ID == "" {
+		self.ID = self.Addr
+	}
+	if misses <= 0 {
+		misses = DefaultPingMisses
+	}
+	t := &Tracker{
+		self:   self,
+		vnodes: vnodes,
+		misses: misses,
+		peers:  map[string]*PeerState{},
+	}
+	t.ring = NewRing([]Member{self}, vnodes)
+	return t
+}
+
+// Self returns the local member.
+func (t *Tracker) Self() Member { return t.self }
+
+// Add introduces a peer address (seed list or gossip). New peers start
+// alive — a freshly seeded fleet should place across the full member set
+// immediately rather than after the first ping round; a truly dead seed is
+// demoted after `misses` failed pings. Adding self or a known address is a
+// no-op. Returns true when the alive set (and therefore the ring) changed.
+func (t *Tracker) Add(m Member) bool {
+	if m.Addr == "" || m.Addr == t.self.Addr {
+		return false
+	}
+	if m.ID == "" {
+		m.ID = m.Addr
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[m.Addr]; ok {
+		if m.ID != m.Addr && p.ID != m.ID {
+			p.ID = m.ID // learned the peer's configured label via gossip
+		}
+		return false
+	}
+	t.peers[m.Addr] = &PeerState{Member: m, Alive: true}
+	t.rebuildLocked()
+	return true
+}
+
+// ReportSuccess records a successful ping (or an inbound ping — hearing
+// from a peer proves it alive) and merges any members it gossiped back.
+// Returns true when the alive set changed.
+func (t *Tracker) ReportSuccess(addr string, learned []Member) bool {
+	t.mu.Lock()
+	changed := false
+	if p, ok := t.peers[addr]; ok {
+		p.Misses = 0
+		p.LastSeen = time.Now()
+		if !p.Alive {
+			p.Alive = true
+			changed = true
+		}
+	}
+	for _, m := range learned {
+		if m.Addr == "" || m.Addr == t.self.Addr {
+			continue
+		}
+		if m.ID == "" {
+			m.ID = m.Addr
+		}
+		if p, ok := t.peers[m.Addr]; ok {
+			if m.ID != m.Addr && p.ID != m.ID {
+				p.ID = m.ID
+			}
+			continue
+		}
+		t.peers[m.Addr] = &PeerState{Member: m, Alive: true}
+		changed = true
+	}
+	if changed {
+		t.rebuildLocked()
+	}
+	t.mu.Unlock()
+	return changed
+}
+
+// ReportFailure records a failed ping. The peer is marked dead after
+// `misses` consecutive failures. Returns true when the alive set changed.
+func (t *Tracker) ReportFailure(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.peers[addr]
+	if !ok {
+		return false
+	}
+	p.Misses++
+	if !p.Alive || p.Misses < t.misses {
+		return false
+	}
+	p.Alive = false
+	t.rebuildLocked()
+	return true
+}
+
+// Ring returns the current ring over self + alive peers. The returned ring
+// is immutable; hold it for the duration of one placement decision.
+func (t *Tracker) Ring() *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ring
+}
+
+// Snapshot lists every known peer (alive or not), sorted by address, plus
+// the count of alive members including self.
+func (t *Tracker) Snapshot() (peers []PeerState, alive int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	alive = 1 // self
+	peers = make([]PeerState, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, *p)
+		if p.Alive {
+			alive++
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Addr < peers[j].Addr })
+	return peers, alive
+}
+
+func (t *Tracker) rebuildLocked() {
+	ms := make([]Member, 0, len(t.peers)+1)
+	ms = append(ms, t.self)
+	for _, p := range t.peers {
+		if p.Alive {
+			ms = append(ms, p.Member)
+		}
+	}
+	t.ring = NewRing(ms, t.vnodes)
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import "testing"
+
+func TestTrackerLifecycle(t *testing.T) {
+	self := Member{ID: "self", Addr: "tcp://10.0.0.1:4400"}
+	tr := NewTracker(self, 0, 3)
+
+	if got := tr.Ring().Len(); got != 1 {
+		t.Fatalf("fresh tracker ring has %d members, want 1 (self)", got)
+	}
+	e0 := tr.Ring().Epoch()
+
+	peer := Member{Addr: "tcp://10.0.0.2:4400"}
+	if !tr.Add(peer) {
+		t.Fatal("Add(new peer) must change the ring")
+	}
+	if tr.Add(peer) {
+		t.Fatal("Add(known peer) must be a no-op")
+	}
+	if tr.Add(self) {
+		t.Fatal("Add(self) must be a no-op")
+	}
+	e1 := tr.Ring().Epoch()
+	if e1 == e0 {
+		t.Fatal("epoch must change when a peer joins")
+	}
+	if tr.Ring().Len() != 2 {
+		t.Fatalf("ring has %d members, want 2", tr.Ring().Len())
+	}
+
+	// Two misses: still alive. Third: dead, ring shrinks back to self.
+	if tr.ReportFailure(peer.Addr) || tr.ReportFailure(peer.Addr) {
+		t.Fatal("peer must survive fewer than `misses` consecutive failures")
+	}
+	if !tr.ReportFailure(peer.Addr) {
+		t.Fatal("third consecutive failure must mark the peer dead")
+	}
+	if tr.Ring().Len() != 1 {
+		t.Fatalf("ring has %d members after death, want 1", tr.Ring().Len())
+	}
+	if tr.Ring().Epoch() != e0 {
+		t.Fatal("epoch must return to the self-only fingerprint after the peer dies")
+	}
+	if tr.ReportFailure(peer.Addr) {
+		t.Fatal("failures on an already-dead peer must not re-change the ring")
+	}
+
+	// Recovery: one success resurrects the peer and restores the old epoch.
+	if !tr.ReportSuccess(peer.Addr, nil) {
+		t.Fatal("success on a dead peer must revive it")
+	}
+	if tr.Ring().Epoch() != e1 {
+		t.Fatal("epoch must be deterministic: same alive set, same epoch")
+	}
+
+	peers, alive := tr.Snapshot()
+	if len(peers) != 1 || alive != 2 {
+		t.Fatalf("snapshot: %d peers, %d alive; want 1 peer, 2 alive", len(peers), alive)
+	}
+	if peers[0].ID != peer.Addr {
+		t.Fatalf("peer ID should default to its address, got %q", peers[0].ID)
+	}
+}
+
+func TestTrackerGossipLearnsMembers(t *testing.T) {
+	tr := NewTracker(Member{Addr: "tcp://10.0.0.1:1"}, 0, 0)
+	tr.Add(Member{Addr: "tcp://10.0.0.2:1"})
+
+	learned := []Member{
+		{Addr: "tcp://10.0.0.1:1"},              // self: ignored
+		{Addr: "tcp://10.0.0.2:1", ID: "beta"},  // known: label updated, no ring change alone
+		{Addr: "tcp://10.0.0.3:1", ID: "gamma"}, // new
+		{Addr: ""},                              // junk: ignored
+	}
+	if !tr.ReportSuccess("tcp://10.0.0.2:1", learned) {
+		t.Fatal("gossip naming a new member must change the ring")
+	}
+	if tr.Ring().Len() != 3 {
+		t.Fatalf("ring has %d members, want 3", tr.Ring().Len())
+	}
+	peers, _ := tr.Snapshot()
+	byAddr := map[string]string{}
+	for _, p := range peers {
+		byAddr[p.Addr] = p.ID
+	}
+	if byAddr["tcp://10.0.0.2:1"] != "beta" || byAddr["tcp://10.0.0.3:1"] != "gamma" {
+		t.Fatalf("gossiped labels not learned: %v", byAddr)
+	}
+}
+
+func TestTrackerConcurrency(t *testing.T) {
+	tr := NewTracker(Member{Addr: "tcp://10.0.0.1:1"}, 32, 2)
+	addrs := []string{"tcp://10.0.0.2:1", "tcp://10.0.0.3:1", "tcp://10.0.0.4:1"}
+	for _, a := range addrs {
+		tr.Add(Member{Addr: a})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			tr.ReportFailure(addrs[i%len(addrs)])
+			tr.ReportSuccess(addrs[(i+1)%len(addrs)], nil)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		ring := tr.Ring()
+		if ring.Len() < 1 {
+			t.Error("ring lost self")
+			break
+		}
+		ring.Owner("k")
+		tr.Snapshot()
+	}
+	<-done
+}

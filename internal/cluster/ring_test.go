@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fleet(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("soma-%d", i), Addr: fmt.Sprintf("tcp://10.0.0.%d:4400", i+1)}
+	}
+	return ms
+}
+
+func loadKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// The load-harness shape: one leaf per (node, sensor) pair.
+		keys[i] = ShardKey("hardware", fmt.Sprintf("LOAD/cn%05d/s%02d", i/16, i%16))
+	}
+	return keys
+}
+
+// Placement over 4 instances must stay within ±15% of even — the
+// acceptance bound from the issue. In practice DefaultVnodes lands within
+// a few percent; the test also checks a tighter advisory bound is not
+// wildly violated by printing the observed spread on failure.
+func TestRingBalance(t *testing.T) {
+	members := fleet(4)
+	r := NewRing(members, 0)
+	keys := loadKeys(40000)
+
+	counts := map[string]int{}
+	for _, k := range keys {
+		m, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("Owner returned !ok on a populated ring")
+		}
+		counts[m.Addr]++
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d members own keys: %v", len(counts), len(members), counts)
+	}
+	even := float64(len(keys)) / float64(len(members))
+	for addr, c := range counts {
+		dev := (float64(c) - even) / even
+		if dev > 0.15 || dev < -0.15 {
+			t.Errorf("member %s owns %d keys (%.1f%% from even %v); bound is ±15%%", addr, c, dev*100, even)
+		}
+	}
+}
+
+// Consistent hashing's defining property: removing a member only moves the
+// keys that member owned, and adding a member only moves keys onto the new
+// member. No key shuffles between surviving members.
+func TestRingMinimalMovement(t *testing.T) {
+	members := fleet(4)
+	keys := loadKeys(20000)
+	full := NewRing(members, 0)
+
+	owner := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, _ := full.Owner(k)
+		owner[k] = m.Addr
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		removed := members[2]
+		shrunk := NewRing(append(append([]Member(nil), members[:2]...), members[3]), 0)
+		moved := 0
+		for _, k := range keys {
+			m, _ := shrunk.Owner(k)
+			if owner[k] == removed.Addr {
+				moved++
+				continue // had to move somewhere
+			}
+			if m.Addr != owner[k] {
+				t.Fatalf("key %q moved %s -> %s though its owner survived", k, owner[k], m.Addr)
+			}
+		}
+		if moved == 0 {
+			t.Fatal("removed member owned zero keys — balance test should have caught this")
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joined := Member{ID: "soma-4", Addr: "tcp://10.0.0.5:4400"}
+		grown := NewRing(append(append([]Member(nil), members...), joined), 0)
+		onto := 0
+		for _, k := range keys {
+			m, _ := grown.Owner(k)
+			if m.Addr == owner[k] {
+				continue
+			}
+			if m.Addr != joined.Addr {
+				t.Fatalf("key %q moved %s -> %s, not onto the joining member", k, owner[k], m.Addr)
+			}
+			onto++
+		}
+		// A 5th member should claim roughly 1/5th of the keyspace.
+		frac := float64(onto) / float64(len(keys))
+		if frac < 0.10 || frac > 0.30 {
+			t.Errorf("joining member claimed %.1f%% of keys; expected ~20%%", frac*100)
+		}
+	})
+}
+
+// Ring construction must be order- and duplicate-insensitive: two peers
+// that learned the same membership in different orders (or heard the same
+// address from both the seed list and gossip) must agree on placement and
+// epoch, since epoch equality gates handoff acceptance.
+func TestRingDeterminism(t *testing.T) {
+	members := fleet(4)
+	a := NewRing(members, 0)
+	shuffled := []Member{members[2], members[0], members[3], members[1], members[2]}
+	b := NewRing(shuffled, 0)
+
+	if a.Epoch() != b.Epoch() {
+		t.Fatalf("epoch differs for same member set: %x vs %x", a.Epoch(), b.Epoch())
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("member count differs: %d vs %d", a.Len(), b.Len())
+	}
+	for _, k := range loadKeys(2000) {
+		ma, _ := a.Owner(k)
+		mb, _ := b.Owner(k)
+		if ma.Addr != mb.Addr {
+			t.Fatalf("key %q placed differently: %s vs %s", k, ma.Addr, mb.Addr)
+		}
+	}
+}
+
+func TestRingEpochChangesWithMembership(t *testing.T) {
+	members := fleet(3)
+	seen := map[uint64]bool{}
+	for i := 1; i <= len(members); i++ {
+		e := NewRing(members[:i], 0).Epoch()
+		if e == 0 {
+			t.Fatal("epoch must be nonzero")
+		}
+		if seen[e] {
+			t.Fatalf("duplicate epoch %x across different member sets", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	solo := NewRing(fleet(1), 0)
+	for _, k := range loadKeys(100) {
+		if !solo.Owns(fleet(1)[0].Addr, k) {
+			t.Fatal("single-member ring must own every key")
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(fleet(4), 0)
+	keys := loadKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i&1023])
+	}
+}

@@ -422,6 +422,13 @@ func (c *Client) Alerts() ([]AlertRule, []AlertState, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	rules, states := decodeAlertListResp(resp)
+	return rules, states, nil
+}
+
+// decodeAlertListResp decodes a soma.alert.list response frame — shared by
+// the client stub and the cluster scatter-gather merge.
+func decodeAlertListResp(resp *conduit.Node) ([]AlertRule, []AlertState) {
 	var rules []AlertRule
 	if rn, ok := resp.Get("rules"); ok {
 		for _, name := range rn.ChildNames() {
@@ -457,5 +464,5 @@ func (c *Client) Alerts() ([]AlertRule, []AlertState, error) {
 			states = append(states, st)
 		}
 	}
-	return rules, states, nil
+	return rules, states
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
@@ -63,6 +64,14 @@ type BatchConfig struct {
 	// MaxAge bounds how long an entry may sit unflushed (default 1ms); the
 	// tail-latency knob for sparse publishers.
 	MaxAge time.Duration
+	// TargetLatency switches the age bound from fixed to adaptive: the
+	// coalescer tracks the tail of observed batch ack latency
+	// (enqueue→acknowledgement of each batch's oldest entry) and steers the
+	// effective age bound to keep that tail near this target — shrinking it
+	// when acks run hot, stretching it (for more amortization per round
+	// trip) when there is headroom. The bound stays clamped to
+	// [100µs, 5ms] regardless of target. Zero keeps the fixed MaxAge.
+	TargetLatency time.Duration
 }
 
 func (cfg *BatchConfig) defaults() {
@@ -81,6 +90,14 @@ func (cfg *BatchConfig) defaults() {
 // may grow while a flush is in flight before appends start failing —
 // the coalescer's equivalent of "async publish queue full".
 const batchOverfill = 4
+
+// Adaptive age clamp (see BatchConfig.TargetLatency): the bound never drops
+// below flushing-per-publish territory and never holds a sparse publisher's
+// entry for more than 5ms.
+const (
+	minAdaptiveAge = 100 * time.Microsecond
+	maxAdaptiveAge = 5 * time.Millisecond
+)
 
 // batchRef remembers one coalesced publish alongside its encoded bytes, so
 // a failed flush can fall back to per-entry delivery or the spill buffer.
@@ -128,6 +145,15 @@ type coalescer struct {
 	ageTimer *time.Timer
 	stop     chan struct{}
 	done     chan struct{}
+
+	// Adaptive age state (TargetLatency mode). ageNs is the effective age
+	// bound read by append when arming the timer; ackTailNs is a peak-biased
+	// EWMA of observed batch ack latency — it chases high samples quickly
+	// (alpha ½ up) and forgets them slowly (alpha 1/16 down), tracking the
+	// tail rather than the mean, which is what the latency target is about.
+	// Both written only under sendMu (flushFor), read lock-free by append.
+	ageNs     atomic.Int64
+	ackTailNs float64
 }
 
 // EnableBatch switches the client's publishes into coalescing mode: they
@@ -147,10 +173,63 @@ func (c *Client) EnableBatch(cfg BatchConfig) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if cfg.TargetLatency > 0 {
+		start := cfg.MaxAge
+		if start < minAdaptiveAge {
+			start = minAdaptiveAge
+		}
+		if start > maxAdaptiveAge {
+			start = maxAdaptiveAge
+		}
+		co.ageNs.Store(int64(start))
+	}
 	if !c.coal.CompareAndSwap(nil, co) {
 		return // already enabled
 	}
 	go co.run()
+}
+
+// ageBound is the effective flush-age bound: the adaptive value in
+// TargetLatency mode, the fixed MaxAge otherwise.
+func (co *coalescer) ageBound() time.Duration {
+	if v := co.ageNs.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return co.cfg.MaxAge
+}
+
+// adaptAge folds one batch's observed ack latency (enqueue→ack of its
+// oldest entry) into the tail estimate and steers the age bound so the tail
+// sits near TargetLatency: acks over target shrink the bound (ship sooner,
+// carry less queue dwell), acks under target stretch it (amortize more per
+// round trip). The steer is multiplicative but bounded to [½, 2]× per flush
+// so a single outlier cannot slam the bound across its whole clamp range.
+// Called under sendMu.
+func (co *coalescer) adaptAge(ack time.Duration) {
+	s := float64(ack)
+	if s > co.ackTailNs {
+		co.ackTailNs += (s - co.ackTailNs) / 2
+	} else {
+		co.ackTailNs += (s - co.ackTailNs) / 16
+	}
+	if co.ackTailNs <= 0 {
+		return
+	}
+	cur := float64(co.ageNs.Load())
+	next := cur * float64(co.cfg.TargetLatency) / co.ackTailNs
+	if next > cur*2 {
+		next = cur * 2
+	}
+	if next < cur/2 {
+		next = cur / 2
+	}
+	if next < float64(minAdaptiveAge) {
+		next = float64(minAdaptiveAge)
+	}
+	if next > float64(maxAdaptiveAge) {
+		next = float64(maxAdaptiveAge)
+	}
+	co.ageNs.Store(int64(next))
 }
 
 // append encodes one publish into the pending batch. Exactly one of n and
@@ -175,7 +254,7 @@ retry:
 	}
 	if len(co.refs) == 0 {
 		co.firstAt = time.Now()
-		co.ageTimer.Reset(co.cfg.MaxAge)
+		co.ageTimer.Reset(co.ageBound())
 	}
 	if n != nil {
 		co.buf = conduit.AppendBatchEntry(co.buf, string(ns), n)
@@ -260,7 +339,11 @@ func (co *coalescer) flushFor(reason int) {
 	}
 	telBatchFlushes.Inc()
 	telBatchLeaves.Add(int64(len(refs)))
-	telBatchAck.ObserveSince(firstAt)
+	ack := time.Since(firstAt)
+	telBatchAck.Observe(ack)
+	if co.cfg.TargetLatency > 0 {
+		co.adaptAge(ack)
+	}
 	switch cause {
 	case flushCauseBytes:
 		telBatchFlushBytes.Inc()

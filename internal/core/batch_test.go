@@ -411,3 +411,116 @@ func TestBatchRawIngestRejectsAtomically(t *testing.T) {
 		t.Fatalf("rejected raw batch leaked %d records (err=%v)", len(hist), err)
 	}
 }
+
+// newAdaptiveCoalescer builds a bare coalescer in TargetLatency mode with
+// the adaptive bound seeded at start — enough state to drive adaptAge
+// directly, no wire required.
+func newAdaptiveCoalescer(target, start time.Duration) *coalescer {
+	co := &coalescer{cfg: BatchConfig{TargetLatency: target}}
+	co.ageNs.Store(int64(start))
+	return co
+}
+
+// Acks running far over target must shrink the age bound (ship sooner,
+// carry less queue dwell) until it pins at the lower clamp — and never
+// below it.
+func TestAdaptiveAgeShrinksUnderSlowAcks(t *testing.T) {
+	co := newAdaptiveCoalescer(time.Millisecond, time.Millisecond)
+	prev := co.ageBound()
+	co.adaptAge(10 * time.Millisecond)
+	if got := co.ageBound(); got >= prev {
+		t.Fatalf("age bound %v did not shrink from %v under 10x-over-target acks", got, prev)
+	}
+	for i := 0; i < 50; i++ {
+		co.adaptAge(10 * time.Millisecond)
+	}
+	if got := co.ageBound(); got != minAdaptiveAge {
+		t.Fatalf("age bound settled at %v, want the %v clamp under sustained slow acks", got, minAdaptiveAge)
+	}
+}
+
+// Acks running far under target must stretch the bound (amortize more per
+// round trip) until it pins at the upper clamp — and never above it.
+func TestAdaptiveAgeStretchesUnderFastAcks(t *testing.T) {
+	co := newAdaptiveCoalescer(time.Millisecond, 200*time.Microsecond)
+	// Warm the tail estimate below target first so the steer direction is
+	// unambiguous from the first assertion on.
+	co.adaptAge(50 * time.Microsecond)
+	prev := co.ageBound()
+	co.adaptAge(50 * time.Microsecond)
+	if got := co.ageBound(); got <= prev {
+		t.Fatalf("age bound %v did not stretch from %v under fast acks", got, prev)
+	}
+	for i := 0; i < 50; i++ {
+		co.adaptAge(50 * time.Microsecond)
+	}
+	if got := co.ageBound(); got != maxAdaptiveAge {
+		t.Fatalf("age bound settled at %v, want the %v clamp under sustained fast acks", got, maxAdaptiveAge)
+	}
+}
+
+// A single outlier ack may move the bound by at most a factor of two per
+// flush in either direction — the steer is damped, not a slam.
+func TestAdaptiveAgeStepBounded(t *testing.T) {
+	co := newAdaptiveCoalescer(time.Millisecond, time.Millisecond)
+	co.adaptAge(time.Second) // monstrous outlier
+	if got := co.ageBound(); got < 500*time.Microsecond {
+		t.Fatalf("one outlier moved the bound to %v; steps must stay within [1/2, 2]x", got)
+	}
+	co = newAdaptiveCoalescer(time.Millisecond, time.Millisecond)
+	co.ackTailNs = float64(time.Millisecond) // settled at target...
+	co.adaptAge(time.Nanosecond)             // ...then one absurdly fast ack
+	if got := co.ageBound(); got > 2*time.Millisecond {
+		t.Fatalf("one fast outlier stretched the bound to %v; steps must stay within [1/2, 2]x", got)
+	}
+}
+
+// Without TargetLatency the bound is the fixed MaxAge — the adaptive path
+// must stay fully inert.
+func TestAdaptiveAgeDisabledKeepsFixedMaxAge(t *testing.T) {
+	co := &coalescer{cfg: BatchConfig{MaxAge: 7 * time.Millisecond}}
+	if got := co.ageBound(); got != 7*time.Millisecond {
+		t.Fatalf("ageBound() = %v, want the fixed MaxAge 7ms", got)
+	}
+}
+
+// End-to-end: a TargetLatency client over a real wire must deliver
+// everything exactly as a fixed-age client would, with the effective bound
+// live inside its clamp the whole time.
+func TestAdaptiveBatchEndToEnd(t *testing.T) {
+	svc, addr := newTestService(t, ServiceConfig{})
+	c, err := Connect(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.EnableBatch(BatchConfig{MaxLeaves: 8, TargetLatency: 500 * time.Microsecond})
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		n := conduit.NewNode()
+		n.SetFloat(fmt.Sprintf("adapt/p%03d", i), float64(i))
+		if err := c.Publish(NSWorkflow, n); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := c.Published(); got != total {
+		t.Fatalf("Published() = %d, want %d", got, total)
+	}
+	tree, err := svc.Query(NSWorkflow, "adapt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if v, ok := tree.Float(fmt.Sprintf("p%03d", i)); !ok || v != float64(i) {
+			t.Fatalf("leaf p%03d = %v (%v) after adaptive batching", i, v, ok)
+		}
+	}
+	co := c.coal.Load()
+	if b := co.ageBound(); b < minAdaptiveAge || b > maxAdaptiveAge {
+		t.Fatalf("effective age bound %v escaped the [%v, %v] clamp", b, minAdaptiveAge, maxAdaptiveAge)
+	}
+}

@@ -70,6 +70,12 @@ type Client struct {
 	// (an older server); all later QueryDelta calls fall back to plain
 	// queries without re-probing.
 	noDelta atomic.Bool
+	// localRPCs switches reads to the ".local" single-shard RPC variants.
+	// ClusterClient sets it on its per-member clients so each shard poll is
+	// answered from that instance alone (with its own delta memo) instead of
+	// being scattered server-side across the whole fleet. Set before use,
+	// never flipped afterwards.
+	localRPCs bool
 	// Delta accounting for DeltaStats: polls answered "unchanged" and the
 	// wire bytes those answers saved versus re-sending the memoized frame.
 	deltaUnchanged  atomic.Int64
@@ -412,7 +418,7 @@ func (c *Client) QueryDelta(ns Namespace, path string) (tree *conduit.Node, chan
 	}
 	buf := conduit.GetEncodeBuffer()
 	*buf = req.AppendBinary(*buf)
-	out, err := c.ep.Call(ctx, RPCQueryDelta, *buf)
+	out, err := c.ep.Call(ctx, c.queryDeltaRPC(), *buf)
 	conduit.PutEncodeBuffer(buf)
 	if err != nil {
 		if errors.Is(err, mercury.ErrUnknownRPC) {
@@ -478,6 +484,20 @@ func (c *Client) DeltaStats() DeltaStatsSnapshot {
 	}
 }
 
+func (c *Client) queryRPC() string {
+	if c.localRPCs {
+		return RPCQueryLocal
+	}
+	return RPCQuery
+}
+
+func (c *Client) queryDeltaRPC() string {
+	if c.localRPCs {
+		return RPCQueryDeltaLocal
+	}
+	return RPCQueryDelta
+}
+
 // queryPlain is the pre-delta wire query: always fetches the full tree.
 func (c *Client) queryPlain(ns Namespace, path string) (tree *conduit.Node, err error) {
 	ctx, sp := telemetry.StartSpan(context.Background(), "soma.client.query")
@@ -492,7 +512,7 @@ func (c *Client) queryPlain(ns Namespace, path string) (tree *conduit.Node, err 
 	req.SetString("path", path)
 	buf := conduit.GetEncodeBuffer()
 	*buf = req.AppendBinary(*buf)
-	out, err := c.ep.Call(ctx, RPCQuery, *buf)
+	out, err := c.ep.Call(ctx, c.queryRPC(), *buf)
 	conduit.PutEncodeBuffer(buf)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,961 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/cluster"
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+	"github.com/hpcobs/gosoma/internal/telemetry"
+)
+
+// Sharded multi-instance clustering: consistent-hash placement of published
+// leaves across somad instances (internal/cluster), membership via a static
+// seed list plus gossip-style liveness over soma.peer.ping, scatter-gather
+// reads, and ring-epoch-stamped handoff on membership change.
+//
+// The correctness invariant is deliberately asymmetric:
+//
+//   - WRITES are placed: a publish whose shard key is owned by a peer is
+//     forwarded there (one hop, soma.publish.local), falling back to local
+//     ingest when the owner is unreachable — an acked publish is never
+//     dropped because of cluster state.
+//   - READS scatter: soma.query / soma.series / soma.alert.list fan out to
+//     every live member and merge, so data is found wherever it was ingested.
+//     Placement is a load-balancing optimization, never a correctness
+//     requirement — which is what makes rebalance safe to interrupt (the
+//     sever-mid-rebalance chaos scenario) without a loss window.
+//
+// Handoff copies mis-placed leaves to their owner after a membership change;
+// frames are stamped with the sender's ring epoch and rejected when it does
+// not match the receiver's, so two diverged views never exchange data placed
+// by different rings — the sender retries after gossip converges. Handed-off
+// leaves are not deleted at the source (in-memory stores have no tombstones);
+// the scatter merge deduplicates by path.
+
+var (
+	telPeersAlive      = telemetry.Default().Gauge("cluster.peers.alive")
+	telPeersKnown      = telemetry.Default().Gauge("cluster.peers.known")
+	telRingChanges     = telemetry.Default().Counter("cluster.ring.changes")
+	telForwards        = telemetry.Default().Counter("cluster.publish.forwards")
+	telForwardFallback = telemetry.Default().Counter("cluster.publish.forward_fallbacks")
+	telHandoffLeaves   = telemetry.Default().Counter("cluster.handoff.leaves_sent")
+	telHandoffRecv     = telemetry.Default().Counter("cluster.handoff.frames_received")
+	telHandoffStale    = telemetry.Default().Counter("cluster.handoff.rejected_stale")
+	telScatterFanouts  = telemetry.Default().Counter("cluster.scatter.fanouts")
+	telScatterLatency  = telemetry.Default().Histogram("cluster.scatter.latency")
+)
+
+// Cluster RPC names. The ".local" variants answer from this instance's own
+// state only — they are what scatter-gather fans out to (and what a routing
+// client polls per shard), so a scattered read can never recurse.
+const (
+	RPCPeerPing        = "soma.peer.ping"
+	RPCRing            = "soma.ring"
+	RPCHandoff         = "soma.handoff"
+	RPCPublishLocal    = "soma.publish.local"
+	RPCQueryLocal      = "soma.query.local"
+	RPCQueryDeltaLocal = "soma.query.delta.local"
+	RPCSeriesLocal     = "soma.series.local"
+	RPCAlertListLocal  = "soma.alert.list.local"
+)
+
+// ErrStaleRingEpoch rejects a handoff stamped by a ring this instance does
+// not currently hold.
+var ErrStaleRingEpoch = errors.New("soma: handoff ring epoch is stale")
+
+// ClusterConfig configures a service's membership in a sharded cluster.
+type ClusterConfig struct {
+	// SelfID labels this instance in health panels; defaults to its address.
+	SelfID string
+	// Peers is the static seed list: addresses of other instances (self is
+	// filtered out). Further members are learned by gossip.
+	Peers []string
+	// Vnodes per member on the hash ring; 0 = cluster.DefaultVnodes. Every
+	// member must agree — the value is gossiped in soma.ring so routing
+	// clients build the identical ring.
+	Vnodes int
+	// PingInterval is the liveness cadence; 0 = 250ms.
+	PingInterval time.Duration
+	// PingMisses consecutive failures mark a peer dead; 0 = 3.
+	PingMisses int
+	// ScatterParallel bounds concurrent peer calls per scattered read;
+	// 0 = 4.
+	ScatterParallel int
+	// Policy overrides the peer call policy (forwards, scatter, handoff,
+	// pings). nil = peerCallPolicy().
+	Policy *mercury.CallPolicy
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.PingInterval <= 0 {
+		c.PingInterval = 250 * time.Millisecond
+	}
+	if c.ScatterParallel <= 0 {
+		c.ScatterParallel = 4
+	}
+	if c.Policy == nil {
+		c.Policy = peerCallPolicy()
+	}
+}
+
+// peerCallPolicy is the default policy for instance-to-instance calls:
+// short attempts with one retry (the liveness tracker, not the transport,
+// decides when a peer is gone) and a per-endpoint breaker so a severed peer
+// fails fast instead of holding scattered reads hostage. Peer RPCs are all
+// safe to re-send: reads trivially, forwards and handoffs because ingest is
+// a last-writer-wins merge of identical payloads.
+func peerCallPolicy() *mercury.CallPolicy {
+	return &mercury.CallPolicy{
+		ConnectTimeout:   time.Second,
+		AttemptTimeout:   500 * time.Millisecond,
+		MaxRetries:       1,
+		Backoff:          mercury.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Idempotent:       func(string) bool { return true },
+		FailureThreshold: 4,
+		OpenFor:          200 * time.Millisecond,
+	}
+}
+
+// svcCluster is a Service's cluster runtime: tracker + ring, cached peer
+// endpoints, and the liveness/rebalance loops.
+type svcCluster struct {
+	svc     *Service
+	cfg     ClusterConfig
+	self    cluster.Member
+	tracker *cluster.Tracker
+
+	epMu sync.Mutex
+	eps  map[string]*mercury.Endpoint
+
+	kick chan struct{} // rebalance trigger (membership changed)
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// JoinCluster turns a listening service into a cluster member: it seeds the
+// membership tracker, starts the liveness pinger and the rebalance loop, and
+// flips publishes/reads into placed/scattered mode. Call it once, after
+// Listen (peers dial back the listen address).
+func (s *Service) JoinCluster(cfg ClusterConfig) error {
+	addrs := s.Addrs()
+	if len(addrs) == 0 {
+		return errors.New("soma: JoinCluster before Listen")
+	}
+	if s.cfg.Shared {
+		return errors.New("soma: clustering is not supported with a shared instance")
+	}
+	if s.cl.Load() != nil {
+		return errors.New("soma: already clustered")
+	}
+	cfg.defaults()
+	self := cluster.Member{ID: cfg.SelfID, Addr: addrs[0]}
+	cl := &svcCluster{
+		svc:     s,
+		cfg:     cfg,
+		self:    self,
+		tracker: cluster.NewTracker(self, cfg.Vnodes, cfg.PingMisses),
+		eps:     map[string]*mercury.Endpoint{},
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	cl.self = cl.tracker.Self() // ID defaulted to addr by the tracker
+	for _, p := range cfg.Peers {
+		cl.tracker.Add(cluster.Member{Addr: p})
+	}
+	if !s.cl.CompareAndSwap(nil, cl) {
+		return errors.New("soma: already clustered")
+	}
+	cl.updateGauges()
+	cl.wg.Add(2)
+	go cl.pingLoop()
+	go cl.rebalanceLoop()
+	return nil
+}
+
+// ClusterRing reports the current ring epoch and live member addresses
+// (nil ring when the service is not clustered).
+func (s *Service) ClusterRing() (epoch uint64, members []cluster.Member) {
+	cl := s.cl.Load()
+	if cl == nil {
+		return 0, nil
+	}
+	ring := cl.tracker.Ring()
+	return ring.Epoch(), ring.Members()
+}
+
+// shutdown stops the cluster loops; called from Service.Close before the
+// engine closes so in-flight peer calls get their cancellation from the
+// engine teardown, not the other way around.
+func (cl *svcCluster) shutdown() {
+	cl.once.Do(func() { close(cl.stop) })
+	cl.wg.Wait()
+}
+
+// active reports whether scattered/placed mode is on: at least one live
+// peer besides self.
+func (cl *svcCluster) active() bool {
+	return cl.tracker.Ring().Len() >= 2
+}
+
+func (cl *svcCluster) endpoint(addr string) (*mercury.Endpoint, error) {
+	cl.epMu.Lock()
+	defer cl.epMu.Unlock()
+	if ep := cl.eps[addr]; ep != nil {
+		return ep, nil
+	}
+	ep, err := cl.svc.engine.LookupPolicy(addr, cl.cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cl.eps[addr] = ep
+	return ep, nil
+}
+
+// peerAddrs returns the live peer addresses (ring members minus self),
+// sorted — the deterministic scatter/merge order.
+func (cl *svcCluster) peerAddrs() []string {
+	members := cl.tracker.Ring().Members()
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.Addr != cl.self.Addr {
+			out = append(out, m.Addr)
+		}
+	}
+	return out // ring members are already sorted by address
+}
+
+func (cl *svcCluster) updateGauges() {
+	peers, alive := cl.tracker.Snapshot()
+	telPeersKnown.Set(int64(len(peers) + 1))
+	telPeersAlive.Set(int64(alive))
+}
+
+func (cl *svcCluster) kickRebalance() {
+	select {
+	case cl.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: the ping loop.
+
+func (cl *svcCluster) pingLoop() {
+	defer cl.wg.Done()
+	tick := time.NewTicker(cl.cfg.PingInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cl.stop:
+			return
+		case <-tick.C:
+		}
+		peers, _ := cl.tracker.Snapshot()
+		changed := atomic.Bool{}
+		var wg sync.WaitGroup
+		for _, p := range peers {
+			wg.Add(1)
+			go func(m cluster.Member) {
+				defer wg.Done()
+				if cl.pingOne(m) {
+					changed.Store(true)
+				}
+			}(p.Member)
+		}
+		wg.Wait()
+		cl.updateGauges()
+		if changed.Load() {
+			telRingChanges.Inc()
+			cl.kickRebalance()
+		}
+	}
+}
+
+// pingOne exchanges one soma.peer.ping with a peer and folds the outcome
+// (plus any gossiped members) into the tracker. Returns true when the alive
+// set changed.
+func (cl *svcCluster) pingOne(m cluster.Member) bool {
+	ep, err := cl.endpoint(m.Addr)
+	if err != nil {
+		return cl.tracker.ReportFailure(m.Addr)
+	}
+	req := conduit.NewNode()
+	req.SetString("addr", cl.self.Addr)
+	req.SetString("id", cl.self.ID)
+	req.SetInt("epoch", int64(cl.tracker.Ring().Epoch()))
+	timeout := 2 * cl.cfg.PingInterval
+	if timeout < 500*time.Millisecond {
+		timeout = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	out, err := ep.Call(ctx, RPCPeerPing, req.EncodeBinary())
+	cancel()
+	if err != nil {
+		return cl.tracker.ReportFailure(m.Addr)
+	}
+	resp, err := conduit.DecodeBinary(out)
+	if err != nil {
+		return cl.tracker.ReportFailure(m.Addr)
+	}
+	return cl.tracker.ReportSuccess(m.Addr, decodeRingMembers(resp))
+}
+
+// ringFrame encodes this instance's membership view: the ring epoch, the
+// vnode count (so routing clients build the identical ring), and the live
+// members. soma.peer.ping and soma.ring both answer with it.
+func (cl *svcCluster) ringFrame() []byte {
+	ring := cl.tracker.Ring()
+	resp := conduit.NewNode()
+	resp.SetInt("epoch", int64(ring.Epoch()))
+	resp.SetInt("vnodes", int64(cl.vnodes()))
+	resp.SetString("self", cl.self.Addr)
+	for i, m := range ring.Members() {
+		base := fmt.Sprintf("members/%03d", i)
+		resp.SetString(base+"/addr", m.Addr)
+		resp.SetString(base+"/id", m.ID)
+	}
+	return resp.EncodeBinary()
+}
+
+func (cl *svcCluster) vnodes() int {
+	if cl.cfg.Vnodes > 0 {
+		return cl.cfg.Vnodes
+	}
+	return cluster.DefaultVnodes
+}
+
+func decodeRingMembers(resp *conduit.Node) []cluster.Member {
+	list, ok := resp.Get("members")
+	if !ok {
+		return nil
+	}
+	var out []cluster.Member
+	for _, name := range list.ChildNames() {
+		sub := list.Child(name)
+		m := cluster.Member{}
+		m.Addr, _ = sub.StringVal("addr")
+		m.ID, _ = sub.StringVal("id")
+		if m.Addr != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// handlePeerPing serves liveness probes: hearing from a peer proves it
+// alive (and may introduce it), and the response gossips this instance's
+// own membership view back.
+func (s *Service) handlePeerPing(_ context.Context, payload []byte) ([]byte, error) {
+	cl := s.cl.Load()
+	if cl == nil {
+		return nil, errors.New("soma: not clustered")
+	}
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	addr, _ := req.StringVal("addr")
+	id, _ := req.StringVal("id")
+	if addr != "" {
+		added := cl.tracker.Add(cluster.Member{ID: id, Addr: addr})
+		revived := cl.tracker.ReportSuccess(addr, nil)
+		if added || revived {
+			cl.updateGauges()
+			telRingChanges.Inc()
+			cl.kickRebalance()
+		}
+	}
+	return cl.ringFrame(), nil
+}
+
+// handleRing serves the membership view to routing clients and the gateway.
+// An unclustered service answers {epoch: 0} — callers fall back to treating
+// it as a cluster of one.
+func (s *Service) handleRing(_ context.Context, _ []byte) ([]byte, error) {
+	cl := s.cl.Load()
+	if cl == nil {
+		resp := conduit.NewNode()
+		resp.SetInt("epoch", 0)
+		return resp.EncodeBinary(), nil
+	}
+	return cl.ringFrame(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Write placement: ownership check + one-hop forward.
+
+// firstLeafPath returns the publish tree's first leaf path — the shard
+// routing key. Multi-leaf publishes route as a unit by their first leaf.
+func firstLeafPath(n *conduit.Node) string {
+	var path string
+	n.Walk(func(p string, _ *conduit.Node) bool {
+		path = p
+		return false
+	})
+	return path
+}
+
+// forwardPublish routes one publish to its owning peer. done=true means the
+// owner accepted (or definitively rejected) it and err is the final answer;
+// done=false means the caller should ingest locally — either this instance
+// owns the key, or the owner is unreachable and local ingest is the
+// no-loss fallback (scattered reads will still find the data).
+func (cl *svcCluster) forwardPublish(ctx context.Context, ns Namespace, n *conduit.Node) (done bool, err error) {
+	ring := cl.tracker.Ring()
+	if ring.Len() < 2 {
+		return false, nil
+	}
+	leaf := firstLeafPath(n)
+	if leaf == "" {
+		return false, nil
+	}
+	owner, ok := ring.Owner(cluster.ShardKey(string(ns), leaf))
+	if !ok || owner.Addr == cl.self.Addr {
+		return false, nil
+	}
+	ep, err := cl.endpoint(owner.Addr)
+	if err != nil {
+		telForwardFallback.Inc()
+		return false, nil
+	}
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.Attach("data", n)
+	buf := conduit.GetEncodeBuffer()
+	*buf = req.AppendBinary(*buf)
+	_, err = ep.Call(ctx, RPCPublishLocal, *buf)
+	conduit.PutEncodeBuffer(buf)
+	if err == nil {
+		telForwards.Inc()
+		return true, nil
+	}
+	if errors.Is(err, mercury.ErrRemoteFailed) {
+		// The owner answered and rejected (bad namespace, stopped): that is
+		// the publish's real outcome, not a transport fault to paper over.
+		return true, err
+	}
+	telForwardFallback.Inc()
+	return false, nil
+}
+
+// handlePublishLocal ingests a forwarded publish on the owning instance —
+// same envelope as soma.publish, but never re-forwards, so two instances
+// with diverged rings cannot bounce a publish between them.
+func (s *Service) handlePublishLocal(ctx context.Context, payload []byte) ([]byte, error) {
+	ctx, sp := telemetry.ChildSpan(ctx, "soma.publish.local.handler")
+	defer sp.End()
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := req.Get("data")
+	if !ok {
+		return nil, fmt.Errorf("soma: publish missing data")
+	}
+	if err := s.publishLocalCtx(ctx, ns, data, len(payload)); err != nil {
+		return nil, err
+	}
+	return okFrame, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance: epoch-stamped handoff of mis-placed leaves.
+
+func (cl *svcCluster) rebalanceLoop() {
+	defer cl.wg.Done()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	var doneEpoch uint64 // ring epoch whose handoff completed fully
+	for {
+		select {
+		case <-cl.stop:
+			return
+		case <-cl.kick:
+		case <-tick.C:
+		}
+		ring := cl.tracker.Ring()
+		if ring.Len() < 2 || ring.Epoch() == doneEpoch {
+			continue
+		}
+		if cl.rebalanceOnce(ring) {
+			doneEpoch = ring.Epoch()
+		}
+		// Partial failure (peer severed mid-rebalance): doneEpoch stays
+		// behind and the next tick retries the remaining handoffs — data is
+		// never at risk meanwhile, reads scatter.
+	}
+}
+
+// rebalanceOnce scans every namespace's snapshot for leaves this instance
+// holds but no longer owns under ring, and hands each owner its leaves in
+// one epoch-stamped frame per (namespace, owner). Returns true when every
+// handoff succeeded (or there was nothing to move).
+func (cl *svcCluster) rebalanceOnce(ring *cluster.Ring) bool {
+	ok := true
+	for _, ns := range Namespaces {
+		in, err := cl.svc.instanceFor(ns)
+		if err != nil {
+			continue
+		}
+		perOwner := map[string]*conduit.Node{}
+		counts := map[string]int{}
+		tree := in.snapshotTree()
+		tree.Walk(func(path string, leaf *conduit.Node) bool {
+			owner, has := ring.Owner(cluster.ShardKey(string(ns), path))
+			if !has || owner.Addr == cl.self.Addr {
+				return true
+			}
+			dst := perOwner[owner.Addr]
+			if dst == nil {
+				dst = conduit.NewNode()
+				perOwner[owner.Addr] = dst
+			}
+			dst.Fetch(path).Merge(leaf)
+			counts[owner.Addr]++
+			return true
+		})
+		for addr, data := range perOwner {
+			if err := cl.sendHandoff(ring.Epoch(), ns, addr, data); err != nil {
+				ok = false
+				continue
+			}
+			telHandoffLeaves.Add(int64(counts[addr]))
+		}
+	}
+	return ok
+}
+
+func (cl *svcCluster) sendHandoff(epoch uint64, ns Namespace, addr string, data *conduit.Node) error {
+	ep, err := cl.endpoint(addr)
+	if err != nil {
+		return err
+	}
+	req := conduit.NewNode()
+	req.SetInt("epoch", int64(epoch))
+	req.SetString("ns", string(ns))
+	req.Attach("data", data)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = ep.Call(ctx, RPCHandoff, req.EncodeBinary())
+	return err
+}
+
+// handleHandoff ingests a rebalance frame. The epoch stamp must match this
+// instance's current ring exactly: a mismatch means sender and receiver
+// hold diverged membership views, and accepting would apply placement
+// decisions from a ring this instance never agreed to. The sender retries
+// once gossip converges.
+func (s *Service) handleHandoff(ctx context.Context, payload []byte) ([]byte, error) {
+	cl := s.cl.Load()
+	if cl == nil {
+		return nil, errors.New("soma: not clustered")
+	}
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return nil, err
+	}
+	epoch, _ := req.Int("epoch")
+	if uint64(epoch) != cl.tracker.Ring().Epoch() {
+		telHandoffStale.Inc()
+		return nil, ErrStaleRingEpoch
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := req.Get("data")
+	if !ok {
+		return okFrame, nil
+	}
+	if err := s.publishLocalCtx(ctx, ns, data, len(payload)); err != nil {
+		return nil, err
+	}
+	telHandoffRecv.Inc()
+	return okFrame, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather reads.
+
+// handleSeriesDispatch serves soma.series: scattered across the fleet when
+// this instance is clustered with live peers, local otherwise.
+func (s *Service) handleSeriesDispatch(ctx context.Context, payload []byte) (mercury.Response, error) {
+	if cl := s.cl.Load(); cl != nil && cl.active() {
+		return cl.scatterSeries(ctx, payload)
+	}
+	return s.handleSeries(ctx, payload)
+}
+
+// handleAlertListDispatch serves soma.alert.list: scattered when clustered
+// with live peers, local otherwise.
+func (s *Service) handleAlertListDispatch(ctx context.Context, payload []byte) ([]byte, error) {
+	if cl := s.cl.Load(); cl != nil && cl.active() {
+		return cl.scatterAlertList(ctx)
+	}
+	return s.handleAlertList(ctx, payload)
+}
+
+// scatterCall fans payload out to every live peer's rpc with bounded
+// parallelism, decoding each response concurrently via decode. Any peer
+// failure fails the scatter — a partial answer silently missing a live
+// peer's shard would defeat the "reads find everything" invariant; callers
+// retry, and a truly dead peer leaves the ring within PingMisses intervals.
+func (cl *svcCluster) scatterCall(ctx context.Context, rpc string, payload []byte, decode func(resp *conduit.Node) error) error {
+	addrs := cl.peerAddrs()
+	if len(addrs) == 0 {
+		return nil
+	}
+	telScatterFanouts.Inc()
+	start := time.Now()
+	defer telScatterLatency.ObserveSince(start)
+	type result struct {
+		resp *conduit.Node
+		err  error
+	}
+	results := make([]result, len(addrs))
+	sem := make(chan struct{}, cl.cfg.ScatterParallel)
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ep, err := cl.endpoint(addr)
+			if err != nil {
+				results[i].err = fmt.Errorf("cluster: peer %s: %w", addr, err)
+				return
+			}
+			out, err := ep.Call(ctx, rpc, payload)
+			if err != nil {
+				results[i].err = fmt.Errorf("cluster: peer %s: %w", addr, err)
+				return
+			}
+			resp, err := conduit.DecodeBinary(out)
+			if err != nil {
+				results[i].err = fmt.Errorf("cluster: peer %s: %w", addr, err)
+				return
+			}
+			results[i].resp = resp
+		}(i, addr)
+	}
+	wg.Wait()
+	// Merge in sorted-address order so colliding paths resolve
+	// deterministically regardless of which peer answered first.
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		if err := decode(r.resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterQuery merges the query subtree at (ns, path) across this instance
+// and every live peer, answering in the plain soma.query envelope. The
+// stamp is zeroed: a cross-shard union has no single (epoch, gen) identity,
+// so delta memos never latch onto it.
+func (cl *svcCluster) scatterQuery(ctx context.Context, ns Namespace, path string) ([]byte, error) {
+	local, err := cl.svc.Query(ns, path)
+	if err != nil {
+		return nil, err
+	}
+	merged := conduit.NewNode()
+	merged.Merge(local)
+	req := conduit.NewNode()
+	req.SetString("ns", string(ns))
+	req.SetString("path", path)
+	err = cl.scatterCall(ctx, RPCQueryLocal, req.EncodeBinary(), func(resp *conduit.Node) error {
+		if data, ok := resp.Get("data"); ok {
+			merged.Merge(data)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := conduit.NewNode()
+	resp.SetInt("epoch", 0)
+	resp.SetInt("gen", 0)
+	resp.Attach("data", merged)
+	return resp.EncodeBinary(), nil
+}
+
+// scatterSeries merges a soma.series request across the fleet: pattern
+// requests union the key lists; single-key requests merge raw points by
+// time and rollup buckets by window start (min/max/sum-weighted mean).
+func (cl *svcCluster) scatterSeries(ctx context.Context, payload []byte) (mercury.Response, error) {
+	req, err := conduit.DecodeBinary(payload)
+	if err != nil {
+		return mercury.Response{}, err
+	}
+	ns, err := envelopeNS(req)
+	if err != nil {
+		return mercury.Response{}, err
+	}
+	if key, ok := req.StringVal("key"); ok {
+		level := Level1s
+		if lv, ok := req.StringVal("level"); ok && lv != "" {
+			level = SeriesLevel(lv)
+		}
+		after, _ := req.Float("after")
+		var parts []Series
+		if se, err := cl.svc.QuerySeries(ns, key, level, after); err == nil {
+			parts = append(parts, se)
+		} else if !errors.Is(err, ErrNoSeries) {
+			return mercury.Response{}, err
+		}
+		err := cl.scatterCall(ctx, RPCSeriesLocal, payload, func(resp *conduit.Node) error {
+			parts = append(parts, decodeSeriesResp(resp))
+			return nil
+		})
+		if err != nil {
+			if isPeerNoSeries(err) {
+				// A peer that never saw this key answers ErrNoSeries; that is
+				// "no data here", not a failure. Retry the fan-out collecting
+				// only willing answers would race liveness — instead treat the
+				// whole scatter as best-effort for this shape.
+				err = nil
+			} else {
+				return mercury.Response{}, err
+			}
+		}
+		if len(parts) == 0 {
+			return mercury.Response{}, fmt.Errorf("%w: %s/%s", ErrNoSeries, ns, key)
+		}
+		return ownedFrame(encodeSeriesResp(mergeSeries(key, level, parts)))
+	}
+	pattern, _ := req.StringVal("pattern")
+	keySet := map[string]struct{}{}
+	if keys, err := cl.svc.SeriesKeys(ns, pattern); err == nil {
+		for _, k := range keys {
+			keySet[k] = struct{}{}
+		}
+	}
+	err = cl.scatterCall(ctx, RPCSeriesLocal, payload, func(resp *conduit.Node) error {
+		if matches, ok := resp.Get("matches"); ok {
+			for _, name := range matches.ChildNames() {
+				if k, ok := matches.StringVal(name); ok {
+					keySet[k] = struct{}{}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return mercury.Response{}, err
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	resp := conduit.NewNode()
+	var keyBuf [32]byte
+	for i, k := range keys {
+		resp.SetString(string(appendMatchKey(keyBuf[:0], i)), k)
+	}
+	return ownedFrame(resp)
+}
+
+// isPeerNoSeries reports whether a scattered series failure is a peer
+// answering "no such series" (which travels as a remote-failure string).
+func isPeerNoSeries(err error) bool {
+	return err != nil && errors.Is(err, mercury.ErrRemoteFailed) &&
+		strings.Contains(err.Error(), "no such series")
+}
+
+// mergeSeries folds per-shard answers for one series into a single view.
+func mergeSeries(key string, level SeriesLevel, parts []Series) Series {
+	out := Series{Key: key, Level: level}
+	if level == LevelRaw {
+		for _, p := range parts {
+			out.Points = append(out.Points, p.Points...)
+		}
+		sort.Slice(out.Points, func(i, j int) bool { return out.Points[i].Time < out.Points[j].Time })
+		return out
+	}
+	byStart := map[float64]*SeriesBucket{}
+	for _, p := range parts {
+		for _, b := range p.Bucket {
+			agg := byStart[b.Start]
+			if agg == nil {
+				cp := b
+				byStart[b.Start] = &cp
+				continue
+			}
+			if b.Min < agg.Min {
+				agg.Min = b.Min
+			}
+			if b.Max > agg.Max {
+				agg.Max = b.Max
+			}
+			total := float64(agg.Count) + float64(b.Count)
+			agg.Mean = (agg.Mean*float64(agg.Count) + b.Mean*float64(b.Count)) / total
+			agg.Count += b.Count
+		}
+	}
+	for _, b := range byStart {
+		out.Bucket = append(out.Bucket, *b)
+	}
+	sort.Slice(out.Bucket, func(i, j int) bool { return out.Bucket[i].Start < out.Bucket[j].Start })
+	return out
+}
+
+// decodeSeriesResp decodes a soma.series single-key response frame — the
+// inverse of encodeSeriesResp, shared with the client-side decode.
+func decodeSeriesResp(resp *conduit.Node) Series {
+	se := Series{}
+	se.Key, _ = resp.StringVal("key")
+	if lv, ok := resp.StringVal("level"); ok {
+		se.Level = SeriesLevel(lv)
+	}
+	times, _ := resp.FloatArray("times")
+	if se.Level == LevelRaw {
+		values, _ := resp.FloatArray("values")
+		for i := range times {
+			if i < len(values) {
+				se.Points = append(se.Points, SeriesPoint{Time: times[i], Value: values[i]})
+			}
+		}
+		return se
+	}
+	mins, _ := resp.FloatArray("min")
+	maxs, _ := resp.FloatArray("max")
+	means, _ := resp.FloatArray("mean")
+	counts, _ := resp.IntArray("count")
+	for i := range times {
+		if i >= len(mins) || i >= len(maxs) || i >= len(means) || i >= len(counts) {
+			break
+		}
+		se.Bucket = append(se.Bucket, SeriesBucket{
+			Start: times[i], Min: mins[i], Max: maxs[i], Mean: means[i], Count: counts[i],
+		})
+	}
+	return se
+}
+
+// encodeSeriesResp builds the soma.series single-key response envelope.
+func encodeSeriesResp(se Series) *conduit.Node {
+	resp := conduit.NewNode()
+	resp.SetString("key", se.Key)
+	resp.SetString("level", string(se.Level))
+	if se.Level == LevelRaw {
+		times := make([]float64, len(se.Points))
+		vals := make([]float64, len(se.Points))
+		for i, p := range se.Points {
+			times[i], vals[i] = p.Time, p.Value
+		}
+		resp.SetFloatArray("times", times)
+		resp.SetFloatArray("values", vals)
+		return resp
+	}
+	times := make([]float64, len(se.Bucket))
+	mins := make([]float64, len(se.Bucket))
+	maxs := make([]float64, len(se.Bucket))
+	means := make([]float64, len(se.Bucket))
+	counts := make([]int64, len(se.Bucket))
+	for i, b := range se.Bucket {
+		times[i], mins[i], maxs[i], means[i], counts[i] = b.Start, b.Min, b.Max, b.Mean, b.Count
+	}
+	resp.SetFloatArray("times", times)
+	resp.SetFloatArray("min", mins)
+	resp.SetFloatArray("max", maxs)
+	resp.SetFloatArray("mean", means)
+	resp.SetIntArray("count", counts)
+	return resp
+}
+
+// scatterAlertList unions rules and standings across the fleet: rules
+// dedupe by name, standings by (rule, ns, key) preferring a firing answer
+// (any shard still judging the series as firing keeps the alert visible),
+// then the most recent transition.
+func (cl *svcCluster) scatterAlertList(ctx context.Context) ([]byte, error) {
+	rules, states := cl.svc.Alerts()
+	ruleByName := map[string]AlertRule{}
+	for _, r := range rules {
+		ruleByName[r.Name] = r
+	}
+	stateByKey := map[string]AlertState{}
+	keyOf := func(st AlertState) string { return st.Rule + "\x00" + string(st.NS) + "\x00" + st.Key }
+	mergeState := func(st AlertState) {
+		k := keyOf(st)
+		prev, ok := stateByKey[k]
+		if !ok || (st.Firing && !prev.Firing) || (st.Firing == prev.Firing && st.Since > prev.Since) {
+			stateByKey[k] = st
+		}
+	}
+	for _, st := range states {
+		mergeState(st)
+	}
+	err := cl.scatterCall(ctx, RPCAlertListLocal, okFrame, func(resp *conduit.Node) error {
+		prules, pstates := decodeAlertListResp(resp)
+		for _, r := range prules {
+			if _, ok := ruleByName[r.Name]; !ok {
+				ruleByName[r.Name] = r
+			}
+		}
+		for _, st := range pstates {
+			mergeState(st)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ruleByName))
+	for n := range ruleByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	mergedStates := make([]AlertState, 0, len(stateByKey))
+	keys := make([]string, 0, len(stateByKey))
+	for k := range stateByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		mergedStates = append(mergedStates, stateByKey[k])
+	}
+	resp := conduit.NewNode()
+	for _, n := range names {
+		r := ruleByName[n]
+		base := "rules/" + r.Name
+		resp.SetString(base+"/ns", string(r.NS))
+		resp.SetString(base+"/pattern", r.Pattern)
+		resp.SetString(base+"/op", r.Op)
+		resp.SetFloat(base+"/threshold", r.Threshold)
+		resp.SetFloat(base+"/window", r.WindowSec)
+		resp.SetString(base+"/severity", r.Severity)
+	}
+	for i, st := range mergedStates {
+		base := fmt.Sprintf("states/%06d", i)
+		resp.SetString(base+"/rule", st.Rule)
+		resp.SetString(base+"/ns", string(st.NS))
+		resp.SetString(base+"/key", st.Key)
+		resp.SetString(base+"/severity", st.Severity)
+		if st.Firing {
+			resp.SetString(base+"/state", "firing")
+		} else {
+			resp.SetString(base+"/state", "ok")
+		}
+		resp.SetFloat(base+"/value", st.Value)
+		resp.SetFloat(base+"/since", st.Since)
+	}
+	return resp.EncodeBinary(), nil
+}

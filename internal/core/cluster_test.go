@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/cluster"
+	"github.com/hpcobs/gosoma/internal/conduit"
+)
+
+// startFleet boots n clustered in-proc services: each listens, then joins
+// with the others as seeds and fast liveness so tests converge quickly.
+func startFleet(t testing.TB, n int) ([]*Service, []string) {
+	t.Helper()
+	svcs := make([]*Service, n)
+	addrs := make([]string, n)
+	for i := range svcs {
+		svcs[i] = NewService(ServiceConfig{})
+		addr, err := svcs[i].Listen(fmt.Sprintf("inproc://cluster-%s-%d", t.Name(), i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	for i, s := range svcs {
+		peers := make([]string, 0, n-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		err := s.JoinCluster(ClusterConfig{
+			SelfID:       fmt.Sprintf("soma-%d", i),
+			Peers:        peers,
+			PingInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range svcs {
+			s.Close()
+		}
+	})
+	waitFleetEpoch(t, svcs, n)
+	return svcs, addrs
+}
+
+// waitFleetEpoch blocks until every service's ring agrees: `alive` members
+// and one shared epoch.
+func waitFleetEpoch(t testing.TB, svcs []*Service, alive int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		epochs := map[uint64]bool{}
+		ok := true
+		for _, s := range svcs {
+			e, members := s.ClusterRing()
+			if len(members) != alive {
+				ok = false
+				break
+			}
+			epochs[e] = true
+		}
+		if ok && len(epochs) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, s := range svcs {
+				e, members := s.ClusterRing()
+				t.Logf("svc %d: epoch=%x members=%d", i, e, len(members))
+			}
+			t.Fatal("fleet rings never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// publishFleet spreads count distinct leaves across the fleet via plain
+// single-instance clients in round-robin — server-side placement forwards
+// each to its owner. Returns the ground-truth leaf values.
+func publishFleet(t testing.TB, addrs []string, count int) map[string]float64 {
+	t.Helper()
+	truth := map[string]float64{}
+	clients := make([]*Client, len(addrs))
+	for i, a := range addrs {
+		c, err := Connect(a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	for i := 0; i < count; i++ {
+		path := fmt.Sprintf("FLEET/cn%03d/metric", i)
+		n := conduit.NewNode()
+		n.SetFloat(path, float64(i))
+		if err := clients[i%len(clients)].Publish(NSHardware, n); err != nil {
+			t.Fatal(err)
+		}
+		truth[path] = float64(i)
+	}
+	return truth
+}
+
+func checkTruth(t testing.TB, tree *conduit.Node, truth map[string]float64) {
+	t.Helper()
+	for path, want := range truth {
+		got, ok := tree.Float(path)
+		if !ok {
+			t.Fatalf("leaf %s missing from merged query", path)
+		}
+		if got != want {
+			t.Fatalf("leaf %s = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestClusterScatterQuery is the core correctness invariant: no matter which
+// instance ingested a leaf and which instance a client asks, soma.query
+// answers the union of every shard.
+func TestClusterScatterQuery(t *testing.T) {
+	_, addrs := startFleet(t, 3)
+	truth := publishFleet(t, addrs, 60)
+
+	for _, addr := range addrs {
+		c, err := Connect(addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := c.Query(NSHardware, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTruth(t, tree, truth)
+		c.Close()
+	}
+}
+
+// TestClusterPlacementSpread checks writes actually shard: with leaf-level
+// consistent hashing, 60 distinct leaves published through one instance must
+// land (via forwarding) on every instance, not pile up at the entry point.
+func TestClusterPlacementSpread(t *testing.T) {
+	svcs, addrs := startFleet(t, 3)
+	c, err := Connect(addrs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 60; i++ {
+		n := conduit.NewNode()
+		n.SetFloat(fmt.Sprintf("SPREAD/cn%03d/metric", i), float64(i))
+		if err := c.Publish(NSHardware, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range svcs {
+		in, err := s.instanceFor(NSHardware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.snapshotTree().NumLeaves(); got == 0 {
+			t.Errorf("instance %d holds zero leaves — placement is not spreading writes", i)
+		} else {
+			t.Logf("instance %d holds %d leaves", i, got)
+		}
+	}
+}
+
+// TestClusterRebalanceHandoff: leaves ingested before the fleet converges
+// (owner unreachable → local-ingest fallback) are copied to their owners by
+// the epoch-stamped rebalance, and remain query-visible throughout.
+func TestClusterRebalanceHandoff(t *testing.T) {
+	// Boot one solo service and fill it while it is the whole cluster.
+	a := NewService(ServiceConfig{})
+	addrA, err := a.Listen(fmt.Sprintf("inproc://handoff-%s-a", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	truth := map[string]float64{}
+	ca, err := Connect(addrA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	for i := 0; i < 40; i++ {
+		path := fmt.Sprintf("HANDOFF/cn%03d/metric", i)
+		n := conduit.NewNode()
+		n.SetFloat(path, float64(i))
+		if err := ca.Publish(NSHardware, n); err != nil {
+			t.Fatal(err)
+		}
+		truth[path] = float64(i)
+	}
+
+	// Second instance joins; A learns of it via the inbound ping.
+	b := NewService(ServiceConfig{})
+	addrB, err := b.Listen(fmt.Sprintf("inproc://handoff-%s-b", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.JoinCluster(ClusterConfig{Peers: nil, PingInterval: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.JoinCluster(ClusterConfig{Peers: []string{addrA}, PingInterval: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	waitFleetEpoch(t, []*Service{a, b}, 2)
+
+	// Rebalance must copy B's share of the keys over: wait until B's local
+	// store holds every leaf the two-member ring assigns to it.
+	_, members := a.ClusterRing()
+	ring := cluster.NewRing(members, 0)
+	wantOnB := 0
+	for path := range truth {
+		if ring.Owns(addrB, cluster.ShardKey(string(NSHardware), path)) {
+			wantOnB++
+		}
+	}
+	if wantOnB == 0 {
+		t.Fatal("ring assigned zero keys to the joining member; balance test should have caught this")
+	}
+	inB, err := b.instanceFor(NSHardware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gotOnB := 0
+		tree := inB.snapshotTree()
+		for path := range truth {
+			if ring.Owns(addrB, cluster.ShardKey(string(NSHardware), path)) {
+				if _, ok := tree.Float(path); ok {
+					gotOnB++
+				}
+			}
+		}
+		if gotOnB == wantOnB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff incomplete: B holds %d of its %d owned leaves", gotOnB, wantOnB)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the scattered read still answers the full truth from either side.
+	tree, err := ca.Query(NSHardware, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTruth(t, tree, truth)
+}
+
+// TestClusterClientRouting drives the shard-routing client: Publish routes
+// by ring, Query unions per-member shards, Published sums acks.
+func TestClusterClientRouting(t *testing.T) {
+	_, addrs := startFleet(t, 3)
+	cc, err := ConnectCluster(addrs[0], nil, ClusterClientConfig{RefreshInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	if got := cc.Ring().Len(); got != 3 {
+		t.Fatalf("cluster client ring has %d members, want 3", got)
+	}
+
+	truth := map[string]float64{}
+	for i := 0; i < 60; i++ {
+		path := fmt.Sprintf("ROUTE/cn%03d/metric", i)
+		n := conduit.NewNode()
+		n.SetFloat(path, float64(i))
+		if err := cc.Publish(NSHardware, n); err != nil {
+			t.Fatal(err)
+		}
+		truth[path] = float64(i)
+	}
+	if err := cc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Published(); got != 60 {
+		t.Fatalf("Published() = %d, want 60", got)
+	}
+	tree, err := cc.Query(NSHardware, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTruth(t, tree, truth)
+
+	// Unchanged repeat polls ride the per-shard delta memos.
+	if _, err := cc.Query(NSHardware, ""); err != nil {
+		t.Fatal(err)
+	}
+	var unchanged int64
+	for _, cl := range cc.snapshotClients() {
+		unchanged += cl.DeltaStats().Unchanged
+	}
+	if unchanged == 0 {
+		t.Error("repeat cluster query produced zero unchanged delta answers; per-shard memos are not engaging")
+	}
+}
+
+// TestClusterClientAgainstSoloServer: a routing client pointed at an
+// unclustered service degrades to a cluster of one.
+func TestClusterClientAgainstSoloServer(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	addr, err := svc.Listen(fmt.Sprintf("inproc://solo-%s", t.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	cc, err := ConnectCluster(addr, nil, ClusterClientConfig{RefreshInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if got := cc.Ring().Len(); got != 1 {
+		t.Fatalf("solo ring has %d members, want 1", got)
+	}
+	n := conduit.NewNode()
+	n.SetFloat("SOLO/cn000/metric", 1)
+	if err := cc.Publish(NSHardware, n); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cc.Query(NSHardware, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Float("SOLO/cn000/metric"); !ok || v != 1 {
+		t.Fatalf("solo query = (%v, %v), want (1, true)", v, ok)
+	}
+}
+
+// TestClusterScatterSeriesAndAlerts: the rollup/alert read surface also
+// answers fleet-wide.
+func TestClusterScatterSeriesAndAlerts(t *testing.T) {
+	_, addrs := startFleet(t, 2)
+	c0, err := Connect(addrs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+
+	if err := c0.SetAlert(AlertRule{
+		NS: NSHardware, Name: "hot", Pattern: "SER/*/temp",
+		Op: ">", Threshold: 50, WindowSec: 60, Severity: "warn",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct keys; placement spreads them across both instances.
+	for i := 0; i < 16; i++ {
+		n := conduit.NewNode()
+		n.SetFloat(fmt.Sprintf("SER/cn%03d/temp", i), 90)
+		if err := c0.Publish(NSHardware, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	keys, err := c0.SeriesKeys(NSHardware, "SER/*/temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 16 {
+		t.Fatalf("scattered SeriesKeys returned %d keys, want 16: %v", len(keys), keys)
+	}
+	for _, key := range keys {
+		se, err := c0.Series(NSHardware, key, Level1s, 0)
+		if err != nil {
+			t.Fatalf("scattered Series(%s): %v", key, err)
+		}
+		if len(se.Bucket) == 0 {
+			t.Fatalf("scattered Series(%s) returned no buckets", key)
+		}
+	}
+
+	// The alert rule lives on instance 0's engine but its standings must be
+	// visible fleet-wide... the rule only fires for series instance 0 holds;
+	// the union still lists the rule itself from any entry point.
+	c1, err := Connect(addrs[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	rules, _, err := c1.Alerts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if r.Name == "hot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alert rule installed on instance 0 not visible via instance 1's scattered alert.list: %+v", rules)
+	}
+}
+
+// BenchmarkScatterGatherQuery measures a fleet-wide soma.query against a
+// 2-instance in-proc cluster — the benchdiff gate for the read fan-out path.
+func BenchmarkScatterGatherQuery(b *testing.B) {
+	_, addrs := startFleet(b, 2)
+	truth := publishFleet(b, addrs, 128)
+	c, err := Connect(addrs[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	tree, err := c.Query(NSHardware, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	checkTruth(b, tree, truth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(NSHardware, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

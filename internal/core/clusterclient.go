@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpcobs/gosoma/internal/cluster"
+	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/mercury"
+)
+
+// ClusterClient is the shard-routing client stub for a multi-instance SOMA
+// fleet. It bootstraps the hash ring from one seed instance's soma.ring,
+// keeps the ring fresh in the background (cached by epoch — refresh is a
+// tiny frame unless membership actually changed), and routes every publish
+// directly to the instance that owns its shard key: no proxy hop, one
+// pipelined connection (with its own batch coalescer) per peer.
+//
+// Reads fan out client-side: Query polls every member's ".local" variant —
+// each per-member Client keeps its own delta-query generation memo, so an
+// unchanged shard costs a ~30-byte frame — and merges the shards into one
+// tree. Routing is an optimization, not a correctness requirement: if the
+// client's ring lags the fleet's (a member just died or joined), a publish
+// sent to the wrong instance is forwarded server-side, and scattered reads
+// find data wherever it landed.
+type ClusterClient struct {
+	engine *mercury.Engine
+	cfg    ClusterClientConfig
+	seed   string
+
+	mu      sync.Mutex
+	ring    *cluster.Ring
+	vnodes  int
+	clients map[string]*Client // per member address, lazily connected
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ClusterClientConfig tunes a ClusterClient; the zero value works.
+type ClusterClientConfig struct {
+	// Policy is the mercury call policy for every per-member connection;
+	// nil keeps the default.
+	Policy *mercury.CallPolicy
+	// Batch, when non-nil, enables the publish coalescer on every
+	// per-member connection — the per-peer pipelined batching mode.
+	Batch *BatchConfig
+	// RefreshInterval is the background ring refresh cadence; 0 = 500ms,
+	// negative disables the refresher (tests drive RefreshRing directly).
+	RefreshInterval time.Duration
+}
+
+// ConnectCluster bootstraps a shard-routing client from one seed instance.
+// The seed answers soma.ring with the fleet's membership; an unclustered
+// seed (epoch 0) — or one predating the RPC — degrades to a cluster of one,
+// so ConnectCluster works against any service.
+func ConnectCluster(seed string, engine *mercury.Engine, cfg ClusterClientConfig) (*ClusterClient, error) {
+	c := &ClusterClient{
+		engine:  engine,
+		cfg:     cfg,
+		seed:    seed,
+		vnodes:  cluster.DefaultVnodes,
+		clients: map[string]*Client{},
+		stop:    make(chan struct{}),
+	}
+	c.ring = cluster.NewRing([]cluster.Member{{Addr: seed}}, c.vnodes)
+	// Bootstrap must reach the seed — a routing client with no fleet view
+	// would silently behave as a single-instance client.
+	if _, err := c.client(seed); err != nil {
+		return nil, err
+	}
+	if err := c.RefreshRing(); err != nil {
+		return nil, fmt.Errorf("soma: cluster bootstrap via %s: %w", seed, err)
+	}
+	interval := cfg.RefreshInterval
+	if interval == 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval > 0 {
+		c.wg.Add(1)
+		go c.refreshLoop(interval)
+	}
+	return c, nil
+}
+
+// Ring returns the cached ring (current epoch and members).
+func (c *ClusterClient) Ring() *cluster.Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// client returns (connecting on first use) the per-member client for addr.
+func (c *ClusterClient) client(addr string) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientLocked(addr)
+}
+
+func (c *ClusterClient) clientLocked(addr string) (*Client, error) {
+	if c.closed {
+		return nil, errors.New("soma: cluster client closed")
+	}
+	if cl := c.clients[addr]; cl != nil {
+		return cl, nil
+	}
+	cl, err := ConnectPolicy(addr, c.engine, c.cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cl.localRPCs = true
+	if c.cfg.Batch != nil {
+		cl.EnableBatch(*c.cfg.Batch)
+	}
+	c.clients[addr] = cl
+	return cl, nil
+}
+
+func (c *ClusterClient) refreshLoop(interval time.Duration) {
+	defer c.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		// Refresh failures are tolerated: the cached ring keeps routing, and
+		// server-side forwarding corrects any stale placements meanwhile.
+		_ = c.RefreshRing()
+	}
+}
+
+// RefreshRing re-fetches the membership view and swaps the cached ring when
+// the epoch moved. Members are tried in ring order, the seed as fallback —
+// any one live instance can answer for the fleet.
+func (c *ClusterClient) RefreshRing() error {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	addrs := make([]string, 0, ring.Len()+1)
+	for _, m := range ring.Members() {
+		addrs = append(addrs, m.Addr)
+	}
+	if len(addrs) == 0 || (len(addrs) > 0 && addrs[0] != c.seed && !containsAddr(addrs, c.seed)) {
+		addrs = append(addrs, c.seed)
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		cl, err := c.client(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := cl.ep.Call(context.Background(), RPCRing, okFrame)
+		if err != nil {
+			if errors.Is(err, mercury.ErrUnknownRPC) {
+				// Pre-cluster server: permanently a cluster of one.
+				return nil
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := conduit.DecodeBinary(out)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.applyRingFrame(addr, resp)
+		return nil
+	}
+	return lastErr
+}
+
+func containsAddr(addrs []string, addr string) bool {
+	for _, a := range addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRingFrame folds one soma.ring response into the cached ring. Epoch 0
+// means the answering instance is not clustered: it alone is the fleet.
+func (c *ClusterClient) applyRingFrame(from string, resp *conduit.Node) {
+	epoch, _ := resp.Int("epoch")
+	members := decodeRingMembers(resp)
+	if epoch == 0 || len(members) == 0 {
+		members = []cluster.Member{{Addr: from}}
+	}
+	if v, ok := resp.Int("vnodes"); ok && v > 0 {
+		c.vnodes = int(v)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := cluster.NewRing(members, c.vnodes)
+	if next.Epoch() != c.ring.Epoch() {
+		c.ring = next
+	}
+}
+
+// ownerClient resolves the member that owns (ns, leafPath) on the cached
+// ring and returns its connection.
+func (c *ClusterClient) ownerClient(ns Namespace, leafPath string) (*Client, error) {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	owner, ok := ring.Owner(cluster.ShardKey(string(ns), leafPath))
+	if !ok {
+		return c.client(c.seed)
+	}
+	return c.client(owner.Addr)
+}
+
+// Publish routes a tree to the instance owning its first leaf's shard key.
+// Multi-leaf trees route as a unit, exactly like server-side placement.
+func (c *ClusterClient) Publish(ns Namespace, n *conduit.Node) error {
+	cl, err := c.ownerClient(ns, firstLeafPath(n))
+	if err != nil {
+		return err
+	}
+	return cl.Publish(ns, n)
+}
+
+// PublishEncoded routes a pre-encoded tree by leafPath — the caller names
+// the routing key so the frame never has to be decoded client-side, keeping
+// the cached-payload fast path (see Client.PublishEncoded) decode-free.
+func (c *ClusterClient) PublishEncoded(ns Namespace, leafPath string, enc []byte) error {
+	cl, err := c.ownerClient(ns, leafPath)
+	if err != nil {
+		return err
+	}
+	return cl.PublishEncoded(ns, enc)
+}
+
+// Query fetches the union of (ns, path) across every fleet member, polling
+// each member's single-shard RPC so per-member delta memos absorb unchanged
+// shards. Any member failure fails the query — a silently partial union
+// would be indistinguishable from missing data.
+func (c *ClusterClient) Query(ns Namespace, path string) (*conduit.Node, error) {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	merged := conduit.NewNode()
+	for _, m := range ring.Members() {
+		cl, err := c.client(m.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("soma: cluster member %s: %w", m.Addr, err)
+		}
+		tree, err := cl.Query(ns, path)
+		if err != nil {
+			return nil, fmt.Errorf("soma: cluster member %s: %w", m.Addr, err)
+		}
+		merged.Merge(tree)
+	}
+	return merged, nil
+}
+
+// Flush drains every member connection's async queue and batch coalescer,
+// returning the first error.
+func (c *ClusterClient) Flush() error {
+	var first error
+	for _, cl := range c.snapshotClients() {
+		if err := cl.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Published sums acknowledged publishes across every member connection.
+func (c *ClusterClient) Published() int64 {
+	var total int64
+	for _, cl := range c.snapshotClients() {
+		total += cl.Published()
+	}
+	return total
+}
+
+func (c *ClusterClient) snapshotClients() []*Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		out = append(out, cl)
+	}
+	return out
+}
+
+// Close stops the ring refresher and closes every member connection.
+func (c *ClusterClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := make([]*Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	var first error
+	for _, cl := range clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

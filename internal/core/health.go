@@ -35,6 +35,21 @@ type HealthReport struct {
 	Breaker  string // endpoint circuit-breaker state (see mercury.BreakerState)
 	Degraded bool   // publishes currently buffered in the spill
 	Spill    SpillStats
+
+	// Cluster side; zero/empty unless the service joined a cluster
+	// (Service.JoinCluster).
+	ClusterSelf  string // this instance's address on the ring
+	ClusterEpoch uint64 // current ring epoch
+	ClusterAlive int    // live members including self
+	ClusterPeers []ClusterPeerHealth
+}
+
+// ClusterPeerHealth is one peer's liveness as seen by the reporting instance.
+type ClusterPeerHealth struct {
+	ID     string
+	Addr   string
+	Alive  bool
+	Misses int // consecutive failed pings
 }
 
 // handleHealth serves the service half of the report.
@@ -53,6 +68,19 @@ func (s *Service) handleHealth(_ context.Context, _ []byte) ([]byte, error) {
 	resp.SetInt("publishes", pubs)
 	resp.SetInt("calls_served", s.engine.Stats.CallsServed.Load())
 	resp.SetInt("shed_expired", s.engine.Stats.ShedExpired.Load())
+	if cl := s.cl.Load(); cl != nil {
+		resp.SetString("cluster/self", cl.self.Addr)
+		resp.SetInt("cluster/epoch", int64(cl.tracker.Ring().Epoch()))
+		peers, alive := cl.tracker.Snapshot()
+		resp.SetInt("cluster/alive", int64(alive))
+		for i, p := range peers {
+			base := fmt.Sprintf("cluster/peers/%03d", i)
+			resp.SetString(base+"/id", p.ID)
+			resp.SetString(base+"/addr", p.Addr)
+			resp.SetBool(base+"/alive", p.Alive)
+			resp.SetInt(base+"/misses", int64(p.Misses))
+		}
+	}
 	return resp.EncodeBinary(), nil
 }
 
@@ -90,6 +118,28 @@ func (c *Client) Health() (HealthReport, error) {
 	h.Publishes, _ = resp.Int("publishes")
 	h.CallsServed, _ = resp.Int("calls_served")
 	h.ShedExpired, _ = resp.Int("shed_expired")
+	if cn, ok := resp.Get("cluster"); ok {
+		h.ClusterSelf, _ = cn.StringVal("self")
+		if v, ok := cn.Int("epoch"); ok {
+			h.ClusterEpoch = uint64(v)
+		}
+		if v, ok := cn.Int("alive"); ok {
+			h.ClusterAlive = int(v)
+		}
+		if pn, ok := cn.Get("peers"); ok {
+			for _, name := range pn.ChildNames() {
+				sub := pn.Child(name)
+				p := ClusterPeerHealth{}
+				p.ID, _ = sub.StringVal("id")
+				p.Addr, _ = sub.StringVal("addr")
+				p.Alive, _ = sub.Bool("alive")
+				if v, ok := sub.Int("misses"); ok {
+					p.Misses = int(v)
+				}
+				h.ClusterPeers = append(h.ClusterPeers, p)
+			}
+		}
+	}
 	return h, nil
 }
 
@@ -115,4 +165,15 @@ func RenderHealth(w io.Writer, h HealthReport) {
 			mode, h.Spill.Buffered, h.Spill.Capacity, h.Spill.Redelivered, h.Spill.Dropped)
 	}
 	fmt.Fprintln(w)
+	if h.ClusterSelf != "" {
+		fmt.Fprintf(w, "  cluster: self=%s epoch=%x alive=%d/%d\n",
+			h.ClusterSelf, h.ClusterEpoch, h.ClusterAlive, len(h.ClusterPeers)+1)
+		for _, p := range h.ClusterPeers {
+			state := "alive"
+			if !p.Alive {
+				state = "DEAD"
+			}
+			fmt.Fprintf(w, "    peer %s (%s): %s misses=%d\n", p.ID, p.Addr, state, p.Misses)
+		}
+	}
 }

@@ -720,6 +720,12 @@ type Service struct {
 	// problem. See handleProfile.
 	profileBusy atomic.Bool
 
+	// cl is non-nil once JoinCluster turned this service into a sharded
+	// cluster member: publishes are placed by consistent hash (one-hop
+	// forward to the owner), reads scatter to every live member. See
+	// cluster.go.
+	cl atomic.Pointer[svcCluster]
+
 	mu      sync.Mutex
 	addrs   []string
 	stopped bool
@@ -812,10 +818,21 @@ func NewService(cfg ServiceConfig) *Service {
 	s.engine.Register(RPCSelect, s.handleSelect)
 	s.engine.RegisterOwned(RPCTelemetry, s.handleTelemetry)
 	s.engine.Register(RPCHealth, s.handleHealth)
-	s.engine.RegisterOwned(RPCSeries, s.handleSeries)
+	s.engine.RegisterOwned(RPCSeries, s.handleSeriesDispatch)
 	s.engine.Register(RPCAlertSet, s.handleAlertSet)
-	s.engine.Register(RPCAlertList, s.handleAlertList)
+	s.engine.Register(RPCAlertList, s.handleAlertListDispatch)
 	s.engine.Register(RPCAlertRemove, s.handleAlertRemove)
+	// Cluster surface. Registered unconditionally: the ".local" variants and
+	// soma.ring let a routing client talk to a solo (unclustered) service the
+	// same way it talks to a fleet; ping/handoff reject until JoinCluster.
+	s.engine.Register(RPCPeerPing, s.handlePeerPing)
+	s.engine.Register(RPCRing, s.handleRing)
+	s.engine.Register(RPCHandoff, s.handleHandoff)
+	s.engine.Register(RPCPublishLocal, s.handlePublishLocal)
+	s.engine.Register(RPCQueryLocal, s.handleQueryLocal)
+	s.engine.Register(RPCQueryDeltaLocal, s.handleQueryDeltaLocal)
+	s.engine.RegisterOwned(RPCSeriesLocal, s.handleSeries)
+	s.engine.Register(RPCAlertListLocal, s.handleAlertList)
 	s.engine.RegisterOwned(RPCTraceList, s.handleTraceList)
 	s.engine.RegisterOwned(RPCTraceGet, s.handleTraceGet)
 	// Blocking: a CPU capture occupies the handler for its whole sampling
@@ -854,6 +871,9 @@ func (s *Service) Close() error {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	if cl := s.cl.Load(); cl != nil {
+		cl.shutdown()
+	}
 	err := s.engine.Close()
 	if s.bus != nil {
 		s.bus.Close()
@@ -891,6 +911,20 @@ func (s *Service) Publish(ns Namespace, n *conduit.Node, rawBytes int) error {
 // publish can be followed client → wire → stripe append. Untraced callers
 // pay one context lookup and a histogram observation.
 func (s *Service) PublishCtx(ctx context.Context, ns Namespace, n *conduit.Node, rawBytes int) error {
+	if cl := s.cl.Load(); cl != nil {
+		if done, err := cl.forwardPublish(ctx, ns, n); done {
+			return err
+		}
+		// Not forwarded: this instance owns the key, or the owner is
+		// unreachable — ingest locally, scattered reads still find it.
+	}
+	return s.publishLocalCtx(ctx, ns, n, rawBytes)
+}
+
+// publishLocalCtx ingests into this instance's own stores unconditionally —
+// the under-the-ring half of PublishCtx, and the ingest path for forwarded
+// publishes and handoff frames (which must never re-forward).
+func (s *Service) publishLocalCtx(ctx context.Context, ns Namespace, n *conduit.Node, rawBytes int) error {
 	if s.Stopped() {
 		return ErrServiceStopped
 	}
@@ -1299,7 +1333,29 @@ func (s *Service) publishBatchFrame(ctx context.Context, frame []byte) error {
 	return nil
 }
 
+// handleQuery serves soma.query. On a clustered instance with live peers it
+// scatters to the whole fleet and merges, so a caller sees the union of all
+// shards no matter which instance it asked; otherwise (solo, or all peers
+// dead) it answers from local state alone.
 func (s *Service) handleQuery(ctx context.Context, payload []byte) ([]byte, error) {
+	if cl := s.cl.Load(); cl != nil && cl.active() {
+		req, err := conduit.DecodeBinary(payload)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := envelopeNS(req)
+		if err != nil {
+			return nil, err
+		}
+		path, _ := req.StringVal("path")
+		return cl.scatterQuery(ctx, ns, path)
+	}
+	return s.handleQueryLocal(ctx, payload)
+}
+
+// handleQueryLocal answers soma.query.local — this instance's shard only.
+// Scatter-gather fans out to it, so a scattered read can never recurse.
+func (s *Service) handleQueryLocal(ctx context.Context, payload []byte) ([]byte, error) {
 	sp := telemetry.LeafSpan(ctx, "soma.query.handler")
 	defer sp.End()
 	req, err := conduit.DecodeBinary(payload)
@@ -1318,7 +1374,27 @@ func (s *Service) handleQuery(ctx context.Context, payload []byte) ([]byte, erro
 
 // handleQueryDelta serves soma.query.delta: the request carries the client's
 // last-seen stamp as {ns, path, epoch: i64, gen: i64}; see QueryDeltaEncoded.
+// A clustered instance with live peers answers with the full scattered union
+// instead — a cross-shard merge has no single (epoch, gen) identity, and the
+// zero stamp it carries keeps plain clients from latching a delta memo onto
+// it. Shard-aware clients use soma.query.delta.local per member instead.
 func (s *Service) handleQueryDelta(ctx context.Context, payload []byte) ([]byte, error) {
+	if cl := s.cl.Load(); cl != nil && cl.active() {
+		req, err := conduit.DecodeBinary(payload)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := envelopeNS(req)
+		if err != nil {
+			return nil, err
+		}
+		path, _ := req.StringVal("path")
+		return cl.scatterQuery(ctx, ns, path)
+	}
+	return s.handleQueryDeltaLocal(ctx, payload)
+}
+
+func (s *Service) handleQueryDeltaLocal(ctx context.Context, payload []byte) ([]byte, error) {
 	sp := telemetry.LeafSpan(ctx, "soma.query.delta.handler")
 	defer sp.End()
 	req, err := conduit.DecodeBinary(payload)

@@ -52,6 +52,8 @@ func IdempotentRPCs() []string {
 	return []string{
 		RPCQuery, RPCQueryDelta, RPCSelect, RPCStats, RPCHealth,
 		RPCTelemetry, RPCSeries, RPCAlertList, RPCTraceList, RPCTraceGet,
+		RPCRing, RPCQueryLocal, RPCQueryDeltaLocal, RPCSeriesLocal,
+		RPCAlertListLocal,
 	}
 }
 

@@ -308,15 +308,32 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 type healthJSON struct {
-	Status      string  `json:"status"`
-	UptimeSec   float64 `json:"uptime_sec"`
-	Publishes   int64   `json:"publishes"`
-	CallsServed int64   `json:"calls_served"`
-	ShedExpired int64   `json:"shed_expired"`
-	Err         string  `json:"err,omitempty"`
-	Breaker     string  `json:"breaker"`
-	Degraded    bool    `json:"degraded"`
-	WSActive    int64   `json:"ws_active"`
+	Status      string       `json:"status"`
+	UptimeSec   float64      `json:"uptime_sec"`
+	Publishes   int64        `json:"publishes"`
+	CallsServed int64        `json:"calls_served"`
+	ShedExpired int64        `json:"shed_expired"`
+	Err         string       `json:"err,omitempty"`
+	Breaker     string       `json:"breaker"`
+	Degraded    bool         `json:"degraded"`
+	WSActive    int64        `json:"ws_active"`
+	Cluster     *clusterJSON `json:"cluster,omitempty"`
+}
+
+// clusterJSON is the upstream's sharded-cluster membership as it reports it
+// (present only when the instance has joined a cluster).
+type clusterJSON struct {
+	Self  string            `json:"self"`
+	Epoch string            `json:"epoch"` // ring epoch, hex
+	Alive int               `json:"alive"` // live members including self
+	Peers []clusterPeerJSON `json:"peers"`
+}
+
+type clusterPeerJSON struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Alive  bool   `json:"alive"`
+	Misses int    `json:"misses"`
 }
 
 // handleHealth serves GET /api/health. It always answers 200: the report's
@@ -325,7 +342,7 @@ type healthJSON struct {
 // smoke test polls through an upstream restart.
 func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	rep, _ := g.client.Health() // report is populated even on error
-	writeJSON(w, http.StatusOK, healthJSON{
+	h := healthJSON{
 		Status:      rep.Status,
 		UptimeSec:   rep.UptimeSec,
 		Publishes:   rep.Publishes,
@@ -335,7 +352,20 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Breaker:     rep.Breaker,
 		Degraded:    rep.Degraded,
 		WSActive:    g.wsActive.Value(),
-	})
+	}
+	if rep.ClusterSelf != "" {
+		cl := &clusterJSON{
+			Self:  rep.ClusterSelf,
+			Epoch: strconv.FormatUint(rep.ClusterEpoch, 16),
+			Alive: rep.ClusterAlive,
+			Peers: []clusterPeerJSON{},
+		}
+		for _, p := range rep.ClusterPeers {
+			cl.Peers = append(cl.Peers, clusterPeerJSON{ID: p.ID, Addr: p.Addr, Alive: p.Alive, Misses: p.Misses})
+		}
+		h.Cluster = cl
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 type traceSummaryJSON struct {

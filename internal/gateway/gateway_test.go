@@ -410,3 +410,73 @@ func TestWSAlertsStream(t *testing.T) {
 		return
 	}
 }
+
+// TestHealthClusterBlock: when the upstream joins a sharded cluster, the
+// gateway's /api/health must surface the membership block — self, ring
+// epoch, alive count and per-peer liveness — and omit it otherwise.
+func TestHealthClusterBlock(t *testing.T) {
+	tg := newTestGateway(t, Config{})
+
+	var plain struct {
+		Cluster *struct{} `json:"cluster"`
+	}
+	tg.getJSON(t, "/api/health", &plain)
+	if plain.Cluster != nil {
+		t.Fatalf("unclustered upstream reported a cluster block")
+	}
+
+	peer := core.NewService(core.ServiceConfig{})
+	paddr, err := peer.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	join := func(s *core.Service, id string, peers []string) {
+		t.Helper()
+		err := s.JoinCluster(core.ClusterConfig{
+			SelfID:       id,
+			Peers:        peers,
+			PingInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	join(tg.svc, "gw-upstream", []string{paddr})
+	join(peer, "gw-peer", []string{tg.addr})
+
+	var h struct {
+		Cluster *struct {
+			Self  string `json:"self"`
+			Epoch string `json:"epoch"`
+			Alive int    `json:"alive"`
+			Peers []struct {
+				ID    string `json:"id"`
+				Alive bool   `json:"alive"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	// Peers start alive from the seed list but their configured labels only
+	// arrive with the first gossip exchange — poll for both.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tg.getJSON(t, "/api/health", &h)
+		if h.Cluster != nil && h.Cluster.Alive == 2 &&
+			len(h.Cluster.Peers) == 1 && h.Cluster.Peers[0].ID == "gw-peer" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster block never settled on 2 alive with gossiped ids: %+v", h.Cluster)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if h.Cluster.Self != tg.addr {
+		t.Errorf("cluster self = %q, want upstream addr %q", h.Cluster.Self, tg.addr)
+	}
+	if h.Cluster.Epoch == "" || h.Cluster.Epoch == "0" {
+		t.Errorf("cluster epoch = %q, want a nonzero ring epoch", h.Cluster.Epoch)
+	}
+	if len(h.Cluster.Peers) != 1 || h.Cluster.Peers[0].ID != "gw-peer" || !h.Cluster.Peers[0].Alive {
+		t.Errorf("cluster peers = %+v, want one alive gw-peer", h.Cluster.Peers)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/hpcobs/gosoma/internal/conduit"
+	"github.com/hpcobs/gosoma/internal/telemetry"
 )
 
 // eval judges one assertion against the settled fleet. It runs after the
@@ -24,6 +25,8 @@ func (r *runner) eval(a *Assertion) AssertionResult {
 		return r.evalAlert(a)
 	case AssertMaxDropped:
 		return r.evalMaxDropped(a)
+	case AssertP99Below:
+		return r.evalP99Below(a)
 	}
 	return AssertionResult{Type: a.Type, Pass: false, Detail: "unknown assertion type"}
 }
@@ -162,6 +165,34 @@ func (r *runner) evalAlert(a *Assertion) AssertionResult {
 		res.Pass = true
 		res.Detail = fmt.Sprintf("alert %s %s at t=%.3fs", a.Rule, verb, at.Seconds())
 	}
+	return res
+}
+
+// evalP99Below reads a latency histogram from the instance's telemetry
+// registry (soma.telemetry, so it works identically for in-proc and child-
+// process fleets) and bounds its reconstructed p99. An empty histogram fails:
+// a latency assertion over zero observations would vacuously pass exactly
+// when the scenario failed to generate the load it meant to measure.
+func (r *runner) evalP99Below(a *Assertion) AssertionResult {
+	res := AssertionResult{Type: a.Type, Target: a.Metric}
+	in := r.eventInstance(a.Instance)
+	var snap *telemetry.Snapshot
+	err := retryOp(context.Background(), 5, func() error {
+		var terr error
+		snap, terr = in.util.Telemetry()
+		return terr
+	})
+	if err != nil {
+		res.Detail = fmt.Sprintf("telemetry fetch: %v", err)
+		return res
+	}
+	h, ok := snap.Histograms[a.Metric]
+	if !ok || h.Count == 0 {
+		res.Detail = fmt.Sprintf("histogram %s has no observations", a.Metric)
+		return res
+	}
+	res.Pass = h.P99 <= a.Below
+	res.Detail = fmt.Sprintf("p99=%v over %d observation(s) (bound %v)", h.P99, h.Count, a.Below)
 	return res
 }
 

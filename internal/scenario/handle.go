@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"os/exec"
 	"strconv"
 	"sync"
@@ -25,6 +26,9 @@ type inprocHandle struct {
 	svc  *core.Service
 	bind string // concrete tcp://host:port, stable across restarts
 	up   bool
+	// clcfg, when set, re-joins the instance into its cluster after every
+	// (re)boot — a restarted member announces itself to the same peer set.
+	clcfg *core.ClusterConfig
 }
 
 func startInproc(spec Instance, engineOpts []mercury.Option) (*inprocHandle, error) {
@@ -44,6 +48,18 @@ func startInproc(spec Instance, engineOpts []mercury.Option) (*inprocHandle, err
 }
 
 func (h *inprocHandle) addr() string { return h.bind }
+
+// joinCluster joins the live service into a sharded cluster and remembers
+// the config so restart() re-joins the fresh incarnation.
+func (h *inprocHandle) joinCluster(cfg core.ClusterConfig) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.svc.JoinCluster(cfg); err != nil {
+		return err
+	}
+	h.clcfg = &cfg
+	return nil
+}
 
 func (h *inprocHandle) kill() error {
 	h.mu.Lock()
@@ -66,6 +82,12 @@ func (h *inprocHandle) restart() error {
 	var err error
 	for i := 0; i < 20; i++ {
 		if _, err = svc.Listen(h.bind); err == nil {
+			if h.clcfg != nil {
+				if jerr := svc.JoinCluster(*h.clcfg); jerr != nil {
+					svc.Close()
+					return fmt.Errorf("rejoin cluster: %w", jerr)
+				}
+			}
 			h.svc = svc
 			h.up = true
 			return nil
@@ -86,6 +108,24 @@ func (h *inprocHandle) close() error {
 	return h.svc.Close()
 }
 
+// reserveAddrs picks n distinct concrete tcp://127.0.0.1:port addresses by
+// binding and immediately releasing ephemeral ports. A cluster-mode proc
+// fleet needs every member's address before any member boots (each somad is
+// told its peers on the command line); the tiny release-to-rebind window is
+// acceptable for a test harness.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, "tcp://"+l.Addr().String())
+		l.Close()
+	}
+	return addrs, nil
+}
+
 // ---------------------------------------------------------------------------
 // Child-process instances: one somad per instance, killed with a real
 // signal and restarted on the same port — the deployment-shaped fleet.
@@ -93,6 +133,7 @@ func (h *inprocHandle) close() error {
 type procHandle struct {
 	somad string
 	ranks int
+	extra []string // extra somad flags, stable across restarts (cluster -id/-peers)
 
 	mu   sync.Mutex
 	cmd  *exec.Cmd
@@ -100,9 +141,15 @@ type procHandle struct {
 	up   bool
 }
 
-func startProc(ctx context.Context, somad string, spec Instance) (*procHandle, error) {
-	h := &procHandle{somad: somad, ranks: spec.Ranks}
-	addr, err := h.spawn(ctx, "tcp://127.0.0.1:0")
+// startProc spawns one somad. listen is "" for an ephemeral port; a cluster
+// fleet passes pre-reserved concrete addresses (every member must know its
+// peers at boot) plus the -id/-peers flags in extra.
+func startProc(ctx context.Context, somad string, spec Instance, listen string, extra []string) (*procHandle, error) {
+	h := &procHandle{somad: somad, ranks: spec.Ranks, extra: extra}
+	if listen == "" {
+		listen = "tcp://127.0.0.1:0"
+	}
+	addr, err := h.spawn(ctx, listen)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +160,8 @@ func startProc(ctx context.Context, somad string, spec Instance) (*procHandle, e
 
 // spawn starts somad at listen and returns the concrete address it printed.
 func (h *procHandle) spawn(ctx context.Context, listen string) (string, error) {
-	cmd := exec.Command(h.somad, "-listen", listen, "-ranks", strconv.Itoa(h.ranks))
+	args := append([]string{"-listen", listen, "-ranks", strconv.Itoa(h.ranks)}, h.extra...)
+	cmd := exec.Command(h.somad, args...)
 	cmd.Stderr = io.Discard
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -69,6 +69,37 @@ func TestScenarioKillRestartInproc(t *testing.T) {
 	}
 }
 
+// TestScenarioClusterRebalanceInproc runs the shipped 3-instance sharded
+// fleet scenario: consistent-hash placement, two sever storms (the second
+// mid-rebalance), then zero-loss and ground-truth checks over scattered
+// reads from every instance.
+func TestScenarioClusterRebalanceInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet scenario")
+	}
+	v := runFile(t, filepath.Join("..", "..", "scenarios", "cluster-rebalance.yaml"))
+	if !v.Pass {
+		t.Fatalf("cluster-rebalance verdict failed: %+v", v)
+	}
+	if len(v.EventErrors) != 0 {
+		t.Fatalf("event errors: %v", v.EventErrors)
+	}
+	zl := assertion(t, v, AssertZeroLoss)
+	if !zl.Pass {
+		t.Errorf("zero_loss failed: %s", zl.Detail)
+	}
+	gt := assertion(t, v, AssertGroundTruth)
+	if !gt.Pass {
+		t.Errorf("query_matches_ground_truth failed: %s", gt.Detail)
+	}
+	if v.Acked == 0 {
+		t.Errorf("scenario moved no traffic: acked=%d", v.Acked)
+	}
+	if v.Faults.Severs == 0 {
+		t.Errorf("storm injected no severs (faults=%+v); the scenario proved nothing", v.Faults)
+	}
+}
+
 // TestScenarioBrokenAssertGoesRed proves the harness can fail: a fixture
 // asserting an alert that can never fire must produce pass=false with the
 // alert_fired clause as the culprit, while its satisfiable zero_loss clause

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -288,7 +289,18 @@ func (r *runner) eventErrf(line int, format string, args ...any) {
 // boot starts instances, utility clients, the alert observer, subscriber
 // groups, and workload pumps; the scenario clock starts when it returns.
 func (r *runner) boot(ctx context.Context) error {
-	for _, spec := range r.sc.Fleet.Instances {
+	clustered := r.sc.Fleet.Cluster
+	// A proc-mode cluster member must know its peers on the command line, so
+	// every address is reserved before anything boots. Inproc members join
+	// after boot instead (addresses are known once Listen returns).
+	var reserved []string
+	if clustered && r.opts.Mode == ModeProc {
+		var err error
+		if reserved, err = reserveAddrs(len(r.sc.Fleet.Instances)); err != nil {
+			return fmt.Errorf("reserve cluster ports: %w", err)
+		}
+	}
+	for i, spec := range r.sc.Fleet.Instances {
 		var (
 			h   handle
 			err error
@@ -296,7 +308,13 @@ func (r *runner) boot(ctx context.Context) error {
 		if r.opts.Mode == ModeInproc {
 			h, err = startInproc(spec, []mercury.Option{mercury.WithInjector(r.tr)})
 		} else {
-			h, err = startProc(ctx, r.opts.SomadPath, spec)
+			listen := ""
+			var extra []string
+			if clustered {
+				listen = reserved[i]
+				extra = []string{"-id", spec.Name, "-peers", strings.Join(othersOf(reserved, i), ",")}
+			}
+			h, err = startProc(ctx, r.opts.SomadPath, spec, listen, extra)
 		}
 		if err != nil {
 			return fmt.Errorf("instance %s: %w", spec.Name, err)
@@ -309,6 +327,30 @@ func (r *runner) boot(ctx context.Context) error {
 		r.instances[spec.Name] = &instanceRT{spec: spec, h: h, util: util}
 		r.order = append(r.order, spec.Name)
 		r.logf("boot: instance %s (%s, ranks=%d) at %s", spec.Name, r.opts.Mode, spec.Ranks, h.addr())
+	}
+
+	if clustered {
+		if r.opts.Mode == ModeInproc {
+			addrs := make([]string, len(r.order))
+			for i, name := range r.order {
+				addrs[i] = r.instances[name].h.addr()
+			}
+			for i, name := range r.order {
+				ih := r.instances[name].h.(*inprocHandle)
+				err := ih.joinCluster(core.ClusterConfig{
+					SelfID:       name,
+					Peers:        othersOf(addrs, i),
+					PingInterval: 100 * time.Millisecond,
+				})
+				if err != nil {
+					return fmt.Errorf("instance %s: join cluster: %w", name, err)
+				}
+			}
+		}
+		if err := r.waitClusterReady(ctx); err != nil {
+			return err
+		}
+		r.logf("boot: cluster of %d converged", len(r.order))
 	}
 
 	// The scenario clock starts once the fleet is up: event at: offsets and
@@ -430,6 +472,49 @@ func (r *runner) execute(ctx context.Context, ev Event) {
 	case ActSetValue:
 		r.workloads[ev.Target].setValue(ev.Value)
 		r.logf("set_value %s = %g", ev.Target, ev.Value)
+	}
+}
+
+// othersOf returns every element of addrs except index i — instance i's
+// cluster peer list.
+func othersOf(addrs []string, i int) []string {
+	out := make([]string, 0, len(addrs)-1)
+	for j, a := range addrs {
+		if j != i {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// waitClusterReady blocks until every instance's health report shows the
+// whole fleet alive under one ring epoch — the scenario clock must not start
+// while placement is still converging on the initial membership.
+func (r *runner) waitClusterReady(ctx context.Context) error {
+	want := len(r.order)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		epochs := map[uint64]bool{}
+		ready := true
+		for _, name := range r.order {
+			rep, err := r.instances[name].util.Health()
+			if err != nil || rep.ClusterAlive != want {
+				ready = false
+				break
+			}
+			epochs[rep.ClusterEpoch] = true
+		}
+		if ready && len(epochs) == 1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster of %d never converged", want)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
 }
 

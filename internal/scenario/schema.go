@@ -36,6 +36,10 @@ type Scenario struct {
 
 // Fleet declares what to boot before the timeline starts.
 type Fleet struct {
+	// Cluster joins every instance into one sharded SOMA cluster
+	// (consistent-hash placement, scatter-gather reads) before the scenario
+	// clock starts. Requires at least two instances.
+	Cluster     bool
 	Instances   []Instance
 	Workloads   []Workload
 	Subscribers []SubscriberGroup
@@ -189,18 +193,21 @@ const (
 	AssertResolved    = "alert_resolved"
 	AssertMaxDropped  = "max_dropped"
 	AssertNoLeak      = "no_goroutine_leak"
+	AssertP99Below    = "p99_below"
 )
 
 // Assertion is one verdict clause, evaluated at end of run (alert deadlines
 // are judged against observations collected during it).
 type Assertion struct {
 	Type     string
-	Instance string        // health
+	Instance string        // health / p99_below ("" = first instance)
 	Expect   string        // health: ok | stopped | unreachable
 	Workload string        // zero_loss / ground truth: restrict to one workload
 	Rule     string        // alert_fired / alert_resolved
 	By       time.Duration // alert deadline (scenario time; 0 = any time)
 	Budget   int64         // max_dropped / no_goroutine_leak
+	Metric   string        // p99_below: telemetry histogram name
+	Below    time.Duration // p99_below: required p99 upper bound
 	Line     int
 }
 
@@ -326,6 +333,23 @@ func (dc *decoder) i64(d *dict, key string, def int64) int64 {
 	return v
 }
 
+func (dc *decoder) boolean(d *dict, key string, def bool) bool {
+	n := d.get(key)
+	if n == nil {
+		return def
+	}
+	if n.kind != yScalar {
+		dc.errf(n.line, "%q must be a boolean, got a %s", key, n.kind)
+		return def
+	}
+	v, err := strconv.ParseBool(n.scalar)
+	if err != nil {
+		dc.errf(n.line, "%q: bad boolean %q (want true or false)", key, n.scalar)
+		return def
+	}
+	return v
+}
+
 func (dc *decoder) dur(d *dict, key string, def time.Duration) time.Duration {
 	n := d.get(key)
 	if n == nil {
@@ -393,6 +417,7 @@ func (dc *decoder) scenario(root *yamlNode) *Scenario {
 func (dc *decoder) fleet(n *yamlNode) Fleet {
 	d := dc.dict(n, "fleet")
 	var f Fleet
+	f.Cluster = dc.boolean(d, "cluster", false)
 	for _, it := range dc.list(d, "instances") {
 		id := dc.dict(it, "instance")
 		if id == nil {
@@ -526,6 +551,10 @@ func (dc *decoder) assertion(n *yamlNode) Assertion {
 		a.Budget = dc.i64(d, "budget", 0)
 	case AssertNoLeak:
 		a.Budget = dc.i64(d, "budget", 24)
+	case AssertP99Below:
+		a.Instance = dc.str(d, "instance", "")
+		a.Metric = dc.str(d, "metric", "")
+		a.Below = dc.dur(d, "below", 0)
 	case "":
 		dc.errf(n.line, "assertion missing %q", "type")
 	default:
@@ -558,6 +587,9 @@ func (sc *Scenario) validate() error {
 
 	if len(sc.Fleet.Instances) == 0 {
 		errs = append(errs, fmt.Errorf("scenario %q: empty fleet (declare at least one instance)", sc.Name))
+	}
+	if sc.Fleet.Cluster && len(sc.Fleet.Instances) < 2 {
+		errs = append(errs, fmt.Errorf("scenario %q: cluster: true needs at least two instances", sc.Name))
 	}
 	instances := map[string]bool{}
 	for _, in := range sc.Fleet.Instances {
@@ -766,6 +798,16 @@ func (sc *Scenario) validate() error {
 			if a.Budget < 0 {
 				ef(a.Line, "%s: negative budget", a.Type)
 			}
+		case AssertP99Below:
+			if a.Metric == "" {
+				ef(a.Line, "p99_below missing metric (a telemetry histogram name)")
+			}
+			if a.Below <= 0 {
+				ef(a.Line, "p99_below: below must be a positive duration, got %v", a.Below)
+			}
+			if a.Instance != "" && !instances[a.Instance] {
+				ef(a.Line, "p99_below references undeclared instance %q", a.Instance)
+			}
 		}
 	}
 	return errors.Join(errs...)
@@ -799,8 +841,12 @@ func WriteValidation(w io.Writer, path string, sc *Scenario, err error) bool {
 	for _, g := range sc.Fleet.Subscribers {
 		subs += g.Count
 	}
-	fmt.Fprintf(w, "  fleet: %d instance(s), %d workload(s), %d subscriber(s)\n",
-		len(sc.Fleet.Instances), len(sc.Fleet.Workloads), subs)
+	shape := ""
+	if sc.Fleet.Cluster {
+		shape = ", clustered"
+	}
+	fmt.Fprintf(w, "  fleet: %d instance(s)%s, %d workload(s), %d subscriber(s)\n",
+		len(sc.Fleet.Instances), shape, len(sc.Fleet.Workloads), subs)
 	fmt.Fprintf(w, "  timeline: %d event(s) over %v (seed %d)\n", len(sc.Timeline), sc.Duration, sc.Seed)
 	fmt.Fprintf(w, "  assertions: %d\n", len(sc.Asserts))
 	return true

@@ -45,6 +45,7 @@ qdelta=BenchmarkQueryDelta
 qrebuild=BenchmarkSnapshotRebuild
 batch=BenchmarkPublishBatch
 sampler=BenchmarkTraceTailSampler
+scatter=BenchmarkScatterGatherQuery
 count=${BENCH_COUNT:-5}
 
 # Everything except --update compares against the committed baseline; fail
@@ -143,6 +144,7 @@ if [ "${1:-}" = "--update" ]; then
 	qrebuildm=$(median_of "$qrebuild")
 	batchm=$(median_of "$batch")
 	samplerm=$(median_of "$sampler")
+	scatterm=$(median_of "$scatter")
 	cat >"$baseline" <<EOF
 {
   "benchmark": "$bench",
@@ -172,10 +174,13 @@ if [ "${1:-}" = "--update" ]; then
   "tail_sampler_benchmark": "$sampler",
   "tail_sampler_ns_per_op": ${samplerm:-0},
   "sampler_allowed_regression": 2.0,
+  "scatter_gather_benchmark": "$scatter",
+  "scatter_gather_ns_per_op": ${scatterm:-0},
+  "scatter_allowed_regression": 2.0,
   "recorded": "$(date -u +%Y-%m-%d)"
 }
 EOF
-	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0}, batch ${batchm:-0}, sampler ${samplerm:-0} ns/op)"
+	echo "benchdiff: baseline updated to $median ns/op (traced ${tracedm:-0}, series ${seriesm:-0}, fanout ${fanoutm:-0}, query-hot ${qhotm:-0}, query-delta ${qdeltam:-0}, rebuild ${qrebuildm:-0}, batch ${batchm:-0}, sampler ${samplerm:-0}, scatter ${scatterm:-0} ns/op)"
 	exit 0
 fi
 
@@ -320,6 +325,30 @@ if [ -n "$bbase" ] && [ "$bbase" != "0" ] && [ -n "$bfactor" ]; then
 		exit 1
 	fi
 	echo "BENCHDIFF_SUMMARY mode=batch benchmark=$batch median_ns_per_op=$bm publishes_per_sec=$rate limit_ns_per_op=$blimit floor_per_sec=$bfloor result=pass"
+fi
+
+# Scatter-gather query gate: BenchmarkScatterGatherQuery times one fleet-wide
+# soma.query fanned out to a 3-instance cluster over real loopback TCP and
+# merged, so it covers the scatter RPC, the per-shard encode, and the merge
+# path end to end. The factor is generous — the loopback round-trips make it
+# the noisiest benchmark in the suite. Skipped when the baseline predates the
+# cluster layer.
+scbase=$(json_num scatter_gather_ns_per_op)
+scfactor=$(json_num scatter_allowed_regression)
+if [ -n "$scbase" ] && [ "$scbase" != "0" ] && [ -n "$scfactor" ]; then
+	scm=$(median_of "$scatter")
+	if [ -z "$scm" ]; then
+		echo "benchdiff: no samples collected for $scatter" >&2
+		exit 1
+	fi
+	sclimit=$(awk -v b="$scbase" -v f="$scfactor" 'BEGIN {printf "%.0f", b*f}')
+	echo "benchdiff: $scatter median ${scm} ns/op (baseline ${scbase}, limit ${sclimit})"
+	if awk -v m="$scm" -v l="$sclimit" 'BEGIN {exit (m > l) ? 0 : 1}'; then
+		echo "benchdiff: FAIL — $scatter median ${scm} ns/op exceeds limit ${sclimit} ns/op" >&2
+		echo "BENCHDIFF_SUMMARY mode=scatter benchmark=$scatter median_ns_per_op=$scm baseline_ns_per_op=$scbase limit_ns_per_op=$sclimit result=fail"
+		exit 1
+	fi
+	echo "BENCHDIFF_SUMMARY mode=scatter benchmark=$scatter median_ns_per_op=$scm baseline_ns_per_op=$scbase limit_ns_per_op=$sclimit result=pass"
 fi
 
 echo "benchdiff: OK"
